@@ -1,0 +1,32 @@
+//! Micro-benchmarks of the pattern-matching engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use whyq_datagen::{ldbc_graph, ldbc_queries, LdbcConfig};
+use whyq_matcher::{count_matches, find_matches, Matcher};
+
+fn bench_matcher(c: &mut Criterion) {
+    let g = ldbc_graph(LdbcConfig::default());
+    let queries = ldbc_queries();
+    let mut group = c.benchmark_group("matcher");
+    group.sample_size(20);
+
+    for q in &queries {
+        let name = q.name.clone().unwrap_or_default();
+        group.bench_function(format!("count/{name}"), |b| {
+            b.iter(|| black_box(count_matches(&g, q, None)))
+        });
+    }
+    let q1 = &queries[0];
+    group.bench_function("count-indexed/LDBC QUERY 1", |b| {
+        let m = Matcher::new(&g).with_index("type");
+        b.iter(|| black_box(m.count(q1, None)))
+    });
+    group.bench_function("find-limit100/LDBC QUERY 3", |b| {
+        b.iter(|| black_box(find_matches(&g, &queries[2], Some(100))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matcher);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Micro-benchmarks of the subgraph-explanation algorithms (Ch. 4):
+//! DISCOVERMCS path strategies and BOUNDEDMCS.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use whyq_core::problem::CardinalityGoal;
+use whyq_core::subgraph::{BoundedMcs, DiscoverMcs, McsConfig, PathStrategy};
+use whyq_datagen::{ldbc_failing_queries, ldbc_graph, ldbc_queries, LdbcConfig};
+
+fn bench_mcs(c: &mut Criterion) {
+    let g = ldbc_graph(LdbcConfig::default());
+    let failing = ldbc_failing_queries();
+    let mut group = c.benchmark_group("mcs");
+    group.sample_size(10);
+
+    group.bench_function("discover-exhaustive/Q1", |b| {
+        b.iter(|| black_box(DiscoverMcs::new(&g).run(&failing[0])))
+    });
+    group.bench_function("discover-single-path/Q1", |b| {
+        let d = DiscoverMcs::new(&g).with_config(McsConfig {
+            strategy: PathStrategy::SingleSelectivity,
+            ..McsConfig::default()
+        });
+        b.iter(|| black_box(d.run(&failing[0])))
+    });
+    group.bench_function("discover-exhaustive/Q2", |b| {
+        b.iter(|| black_box(DiscoverMcs::new(&g).run(&failing[1])))
+    });
+    let q3 = &ldbc_queries()[2];
+    group.bench_function("bounded-atmost/Q3", |b| {
+        b.iter(|| black_box(BoundedMcs::new(&g).run(q3, CardinalityGoal::AtMost(10))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mcs);
+criterion_main!(benches);

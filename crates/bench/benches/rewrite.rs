@@ -1,0 +1,57 @@
+//! Micro-benchmarks of the rewriting engines (Chs. 5–6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use whyq_core::fine::{FineConfig, TraverseSearchTree};
+use whyq_core::problem::CardinalityGoal;
+use whyq_core::relax::priority::PriorityFn;
+use whyq_core::relax::{CoarseRewriter, RelaxConfig};
+use whyq_datagen::{ldbc_failing_queries, ldbc_graph, ldbc_queries, LdbcConfig};
+use whyq_matcher::count_matches;
+
+fn bench_rewrite(c: &mut Criterion) {
+    let g = ldbc_graph(LdbcConfig::default());
+    let failing = ldbc_failing_queries();
+    let mut group = c.benchmark_group("rewrite");
+    group.sample_size(10);
+
+    group.bench_function("coarse/path1+induced/Q1", |b| {
+        let rw = CoarseRewriter::new(&g);
+        b.iter(|| black_box(rw.rewrite(&failing[0], &RelaxConfig::default())))
+    });
+    group.bench_function("coarse/random/Q1", |b| {
+        let rw = CoarseRewriter::new(&g);
+        let config = RelaxConfig {
+            priority: PriorityFn::Random(99),
+            ..RelaxConfig::default()
+        };
+        b.iter(|| black_box(rw.rewrite(&failing[0], &config)))
+    });
+
+    let q3 = &ldbc_queries()[2];
+    let c1 = count_matches(&g, q3, None);
+    group.bench_function("fine/atmost-half/Q3", |b| {
+        b.iter(|| {
+            black_box(
+                TraverseSearchTree::new(&g)
+                    .run(q3, CardinalityGoal::AtMost(c1 / 2)),
+            )
+        })
+    });
+    group.bench_function("fine/no-prefix-reuse/Q3", |b| {
+        b.iter(|| {
+            black_box(
+                TraverseSearchTree::new(&g)
+                    .with_config(FineConfig {
+                        reuse_prefix: false,
+                        ..FineConfig::default()
+                    })
+                    .run(q3, CardinalityGoal::AtMost(c1 / 2)),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rewrite);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! # whyq-bench — the evaluation harness
+//!
+//! One module per figure/table family of the thesis evaluation; the
+//! `repro` binary dispatches experiment ids (see `DESIGN.md` §5 for the
+//! index). Each experiment prints the same series the paper plots and
+//! optionally writes TSV files for external plotting.
+
+pub mod appendix;
+pub mod fig3;
+mod smoke;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod tables;
+pub mod util;

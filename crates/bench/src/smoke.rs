@@ -1,0 +1,67 @@
+//! Smoke tests for the experiment harness: every experiment function runs
+//! to completion on a reduced workload without panicking. Keeps `repro`
+//! from rotting while the library evolves.
+
+#[cfg(test)]
+mod tests {
+    use crate::{appendix, fig3, fig4, fig5, fig6, tables};
+    use whyq_datagen::{dbpedia_graph, ldbc_graph, DbpediaConfig, LdbcConfig};
+    use whyq_graph::PropertyGraph;
+
+    fn small_ldbc() -> PropertyGraph {
+        ldbc_graph(LdbcConfig {
+            persons: 80,
+            seed: 42,
+        })
+    }
+
+    fn small_dbp() -> PropertyGraph {
+        dbpedia_graph(DbpediaConfig {
+            entities: 400,
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn tables_run() {
+        tables::tab_a1(&small_ldbc(), false);
+        tables::tab_a2(&small_dbp(), false);
+    }
+
+    #[test]
+    fn fig4_runs() {
+        let g = small_ldbc();
+        fig4::disc_ldbc(&g, false);
+        fig4::disc_dbp(&small_dbp(), false);
+        fig4::optimizations(&g, false);
+        fig4::bounded(&g, false);
+    }
+
+    #[test]
+    fn fig5_runs() {
+        let g = small_ldbc();
+        let d = small_dbp();
+        fig5::convergence(&g, false);
+        fig5::icc(&g, &d, false);
+        fig5::user(&g, false);
+    }
+
+    #[test]
+    fn fig6_runs() {
+        let g = small_ldbc();
+        fig6::topology(&g, false);
+    }
+
+    #[test]
+    fn appendix_runs() {
+        let g = small_ldbc();
+        appendix::b1(&g, false);
+        appendix::b2(&g, false);
+    }
+
+    #[test]
+    fn fig3_runs() {
+        // only the cheapest fig3 variant in the smoke suite
+        fig3::fig3_7(&small_ldbc(), false);
+    }
+}

@@ -1,0 +1,247 @@
+//! The holistic why-query engine (§3.1.3).
+//!
+//! `WhyEngine` is the user-facing entry point: given a query and a
+//! cardinality goal it measures the result size, classifies the problem
+//! (why-empty / why-so-few / why-so-many, Fig. 3.1) and dispatches to the
+//! matching explanation generator:
+//!
+//! | problem      | subgraph-based        | modification-based          |
+//! |--------------|-----------------------|-----------------------------|
+//! | why-empty    | DISCOVERMCS (§4.2.1)  | coarse rewriting (Ch. 5)    |
+//! | why-so-few   | BOUNDEDMCS (§4.2.2)   | TRAVERSESEARCHTREE (Ch. 6)  |
+//! | why-so-many  | BOUNDEDMCS (§4.2.2)   | TRAVERSESEARCHTREE (Ch. 6)  |
+
+use crate::explanation::{ModificationExplanation, SubgraphExplanation};
+use crate::fine::{FineConfig, TraverseSearchTree};
+use crate::problem::{CardinalityGoal, WhyProblem};
+use crate::relax::{CoarseRewriter, RelaxConfig};
+use crate::subgraph::{BoundedMcs, DiscoverMcs, McsConfig};
+use whyq_graph::PropertyGraph;
+use whyq_matcher::Matcher;
+use whyq_query::PatternQuery;
+
+/// A complete diagnosis: classification plus both explanation kinds.
+#[derive(Debug, Clone)]
+pub struct Diagnosis {
+    /// The classified problem.
+    pub problem: WhyProblem,
+    /// Measured (capped) cardinality of the original query.
+    pub cardinality: u64,
+    /// Subgraph-based explanation (absent when the goal is satisfied).
+    pub subgraph: Option<SubgraphExplanation>,
+    /// Modification-based explanation (absent when the goal is satisfied
+    /// or the rewriting budget was exhausted).
+    pub rewrite: Option<ModificationExplanation>,
+}
+
+/// The why-query engine bound to one data graph.
+pub struct WhyEngine<'g> {
+    g: &'g PropertyGraph,
+    /// Cap used when measuring cardinalities.
+    pub count_cap: u64,
+    /// Configuration of the subgraph-based algorithms.
+    pub mcs_config: McsConfig,
+    /// Configuration of the coarse (why-empty) rewriter.
+    pub relax_config: RelaxConfig,
+    /// Configuration of the fine (cardinality-driven) rewriter.
+    pub fine_config: FineConfig,
+}
+
+impl<'g> WhyEngine<'g> {
+    /// Engine with default configurations.
+    pub fn new(g: &'g PropertyGraph) -> Self {
+        WhyEngine {
+            g,
+            count_cap: 1_000_000,
+            mcs_config: McsConfig::default(),
+            relax_config: RelaxConfig::default(),
+            fine_config: FineConfig::default(),
+        }
+    }
+
+    /// The underlying data graph.
+    pub fn graph(&self) -> &'g PropertyGraph {
+        self.g
+    }
+
+    /// Measured (capped) cardinality of a query.
+    pub fn cardinality(&self, q: &PatternQuery) -> u64 {
+        Matcher::new(self.g)
+            .with_index("type")
+            .count(q, Some(self.count_cap))
+    }
+
+    /// Classify the why-problem of `q` under `goal`.
+    pub fn classify(&self, q: &PatternQuery, goal: CardinalityGoal) -> WhyProblem {
+        goal.classify(self.cardinality(q))
+    }
+
+    /// Subgraph-based explanation for an empty result (DISCOVERMCS).
+    pub fn why_empty(&self, q: &PatternQuery) -> SubgraphExplanation {
+        DiscoverMcs::new(self.g)
+            .with_config(self.mcs_config.clone())
+            .run(q)
+    }
+
+    /// Subgraph-based explanation for any cardinality problem.
+    pub fn subgraph_explanation(
+        &self,
+        q: &PatternQuery,
+        goal: CardinalityGoal,
+    ) -> SubgraphExplanation {
+        match self.classify(q, goal) {
+            WhyProblem::WhyEmpty => self.why_empty(q),
+            _ => BoundedMcs::new(self.g)
+                .with_config(self.mcs_config.clone())
+                .run(q, goal),
+        }
+    }
+
+    /// Modification-based explanation: rewrite `q` so it satisfies `goal`.
+    pub fn rewrite(
+        &self,
+        q: &PatternQuery,
+        goal: CardinalityGoal,
+    ) -> Option<ModificationExplanation> {
+        match self.classify(q, goal) {
+            WhyProblem::Satisfied => None,
+            WhyProblem::WhyEmpty if matches!(goal, CardinalityGoal::NonEmpty) => {
+                CoarseRewriter::new(self.g)
+                    .rewrite(q, &self.relax_config)
+                    .explanation
+            }
+            // cardinality-driven problems (including empty results under a
+            // threshold goal) go to the fine-grained engine
+            _ => {
+                TraverseSearchTree::new(self.g)
+                    .with_config(self.fine_config.clone())
+                    .run(q, goal)
+                    .explanation
+            }
+        }
+    }
+
+    /// Full diagnosis: classify, then produce both explanation kinds.
+    pub fn diagnose(&self, q: &PatternQuery, goal: CardinalityGoal) -> Diagnosis {
+        let cardinality = self.cardinality(q);
+        let problem = goal.classify(cardinality);
+        if problem == WhyProblem::Satisfied {
+            return Diagnosis {
+                problem,
+                cardinality,
+                subgraph: None,
+                rewrite: None,
+            };
+        }
+        Diagnosis {
+            problem,
+            cardinality,
+            subgraph: Some(self.subgraph_explanation(q, goal)),
+            rewrite: self.rewrite(q, goal),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whyq_graph::Value;
+    use whyq_query::{Predicate, QueryBuilder};
+
+    fn data() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let city = g.add_vertex([("type", Value::str("city")), ("name", Value::str("Dresden"))]);
+        for i in 0..8 {
+            let p = g.add_vertex([("type", Value::str("person")), ("age", Value::Int(20 + i))]);
+            g.add_edge(p, city, "livesIn", []);
+        }
+        g
+    }
+
+    #[test]
+    fn diagnose_why_empty() {
+        let g = data();
+        let engine = WhyEngine::new(&g);
+        let q = QueryBuilder::new("berlin")
+            .vertex("p", [Predicate::eq("type", "person")])
+            .vertex(
+                "c",
+                [Predicate::eq("type", "city"), Predicate::eq("name", "Berlin")],
+            )
+            .edge("p", "c", "livesIn")
+            .build();
+        let d = engine.diagnose(&q, CardinalityGoal::NonEmpty);
+        assert_eq!(d.problem, WhyProblem::WhyEmpty);
+        assert_eq!(d.cardinality, 0);
+        let sub = d.subgraph.expect("subgraph explanation");
+        assert!(!sub.differential.is_empty());
+        let rw = d.rewrite.expect("rewrite found");
+        assert!(rw.cardinality > 0);
+    }
+
+    #[test]
+    fn diagnose_why_so_many() {
+        let g = data();
+        let engine = WhyEngine::new(&g);
+        let q = QueryBuilder::new("all")
+            .vertex("p", [Predicate::eq("type", "person")])
+            .vertex("c", [Predicate::eq("type", "city")])
+            .edge("p", "c", "livesIn")
+            .build();
+        let d = engine.diagnose(&q, CardinalityGoal::AtMost(3));
+        assert_eq!(d.problem, WhyProblem::WhySoMany);
+        assert_eq!(d.cardinality, 8);
+        let rw = d.rewrite.expect("rewrite found");
+        assert!(rw.cardinality <= 3 && rw.cardinality > 0);
+    }
+
+    #[test]
+    fn diagnose_why_so_few() {
+        let g = data();
+        let engine = WhyEngine::new(&g);
+        let q = QueryBuilder::new("narrow")
+            .vertex(
+                "p",
+                [Predicate::eq("type", "person"), Predicate::between("age", 20.0, 21.0)],
+            )
+            .vertex("c", [Predicate::eq("type", "city")])
+            .edge("p", "c", "livesIn")
+            .build();
+        let d = engine.diagnose(&q, CardinalityGoal::AtLeast(5));
+        assert_eq!(d.problem, WhyProblem::WhySoFew);
+        let rw = d.rewrite.expect("rewrite found");
+        assert!(rw.cardinality >= 5);
+    }
+
+    #[test]
+    fn satisfied_goal_produces_no_explanations() {
+        let g = data();
+        let engine = WhyEngine::new(&g);
+        let q = QueryBuilder::new("ok")
+            .vertex("p", [Predicate::eq("type", "person")])
+            .build();
+        let d = engine.diagnose(&q, CardinalityGoal::NonEmpty);
+        assert_eq!(d.problem, WhyProblem::Satisfied);
+        assert!(d.subgraph.is_none());
+        assert!(d.rewrite.is_none());
+        assert!(engine.rewrite(&q, CardinalityGoal::NonEmpty).is_none());
+    }
+
+    #[test]
+    fn empty_under_threshold_goal_uses_fine_engine() {
+        let g = data();
+        let engine = WhyEngine::new(&g);
+        let q = QueryBuilder::new("none")
+            .vertex(
+                "p",
+                [Predicate::eq("type", "person"), Predicate::between("age", 90.0, 95.0)],
+            )
+            .vertex("c", [Predicate::eq("type", "city")])
+            .edge("p", "c", "livesIn")
+            .build();
+        let d = engine.diagnose(&q, CardinalityGoal::AtLeast(3));
+        assert_eq!(d.problem, WhyProblem::WhyEmpty);
+        let rw = d.rewrite.expect("rewrite found");
+        assert!(rw.cardinality >= 3);
+    }
+}

@@ -1,0 +1,312 @@
+//! Baseline approaches for the §6.4.1 comparison.
+//!
+//! The thesis compares TRAVERSESEARCHTREE against simpler strategies:
+//!
+//! * [`random_walk`] — apply uniformly random direction-aware
+//!   modifications, keeping a change only when it improves the deviation;
+//! * [`exhaustive_bfs`] — enumerate the modification lattice breadth-first
+//!   without any cardinality guidance (a SEAVE-style level-wise search);
+//! * predicate-only search — TRAVERSESEARCHTREE with
+//!   [`crate::fine::FineConfig::allow_topology`] `= false` (§6.4.3).
+
+use crate::domains::AttributeDomains;
+use crate::explanation::ModificationExplanation;
+use crate::fine::generate::fine_candidates;
+use crate::problem::CardinalityGoal;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::{HashSet, VecDeque};
+use whyq_graph::PropertyGraph;
+use whyq_matcher::Matcher;
+use whyq_metrics::syntactic_distance;
+use whyq_query::{signature::signature, GraphMod, PatternQuery};
+
+/// Outcome of a baseline run (same shape as the §6.4.2 series).
+#[derive(Debug, Clone)]
+pub struct BaselineOutcome {
+    /// Goal-satisfying explanation, if found within budget.
+    pub explanation: Option<ModificationExplanation>,
+    /// Executed candidate queries.
+    pub executed: usize,
+    /// Convergence trajectory `(executed, best deviation so far)`.
+    pub trajectory: Vec<(usize, u64)>,
+    /// Best deviation reached.
+    pub best_deviation: u64,
+}
+
+/// Greedy random walk: sample a random candidate modification of the
+/// current query, execute it, move only when the deviation improves.
+pub fn random_walk(
+    g: &PropertyGraph,
+    q: &PatternQuery,
+    goal: CardinalityGoal,
+    budget: usize,
+    seed: u64,
+    domains: &AttributeDomains,
+    count_cap: u64,
+) -> BaselineOutcome {
+    let matcher = Matcher::new(g).with_index("type");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut executed = 0usize;
+    let mut trajectory = Vec::new();
+
+    let mut current = q.clone();
+    let mut current_c = matcher.count(&current, Some(count_cap));
+    executed += 1;
+    let mut current_mods: Vec<GraphMod> = Vec::new();
+    let mut best_dev = goal.deviation(current_c);
+    trajectory.push((executed, best_dev));
+    if goal.satisfied(current_c) {
+        return BaselineOutcome {
+            explanation: Some(ModificationExplanation {
+                query: current,
+                mods: current_mods,
+                cardinality: current_c,
+                syntactic_distance: 0.0,
+            }),
+            executed,
+            trajectory,
+            best_deviation: 0,
+        };
+    }
+
+    let mut visited: HashSet<String> = HashSet::new();
+    visited.insert(signature(&current));
+
+    // attempts bound the sampling loop: a node whose neighborhood is fully
+    // visited would otherwise spin without consuming execution budget
+    let mut attempts = 0usize;
+    let max_attempts = budget.saturating_mul(20).max(1000);
+    while executed < budget && attempts < max_attempts {
+        attempts += 1;
+        let need_more = current_c == 0 || !matches!(goal.classify(current_c), crate::problem::WhyProblem::WhySoMany);
+        let candidates = fine_candidates(&current, domains, need_more, true);
+        if candidates.is_empty() {
+            break;
+        }
+        let m = &candidates[rng.random_range(0..candidates.len())];
+        let Ok((child, _)) = m.applied(&current) else {
+            continue;
+        };
+        let sig = signature(&child);
+        if visited.contains(&sig) {
+            continue;
+        }
+        visited.insert(sig);
+        let c = matcher.count(&child, Some(count_cap));
+        executed += 1;
+        let dev = goal.deviation(c);
+        if dev < best_dev {
+            best_dev = dev;
+        }
+        trajectory.push((executed, best_dev));
+        if goal.satisfied(c) {
+            let mut mods = current_mods;
+            mods.push(m.clone());
+            return BaselineOutcome {
+                explanation: Some(ModificationExplanation {
+                    syntactic_distance: syntactic_distance(q, &child),
+                    query: child,
+                    mods,
+                    cardinality: c,
+                }),
+                executed,
+                trajectory,
+                best_deviation: 0,
+            };
+        }
+        // hill-climb: adopt the child only on improvement
+        if dev < goal.deviation(current_c) {
+            current = child;
+            current_c = c;
+            current_mods.push(m.clone());
+        }
+    }
+
+    BaselineOutcome {
+        explanation: None,
+        executed,
+        trajectory,
+        best_deviation: best_dev,
+    }
+}
+
+/// Breadth-first lattice enumeration without cardinality guidance.
+pub fn exhaustive_bfs(
+    g: &PropertyGraph,
+    q: &PatternQuery,
+    goal: CardinalityGoal,
+    budget: usize,
+    domains: &AttributeDomains,
+    count_cap: u64,
+) -> BaselineOutcome {
+    let matcher = Matcher::new(g).with_index("type");
+    let mut executed = 0usize;
+    let mut trajectory = Vec::new();
+    let mut best_dev;
+
+    let c0 = matcher.count(q, Some(count_cap));
+    executed += 1;
+    best_dev = goal.deviation(c0);
+    trajectory.push((executed, best_dev));
+    if goal.satisfied(c0) {
+        return BaselineOutcome {
+            explanation: Some(ModificationExplanation {
+                query: q.clone(),
+                mods: Vec::new(),
+                cardinality: c0,
+                syntactic_distance: 0.0,
+            }),
+            executed,
+            trajectory,
+            best_deviation: 0,
+        };
+    }
+
+    let mut visited: HashSet<String> = HashSet::new();
+    visited.insert(signature(q));
+    let mut queue: VecDeque<(PatternQuery, u64, Vec<GraphMod>)> = VecDeque::new();
+    queue.push_back((q.clone(), c0, Vec::new()));
+
+    while let Some((node, node_c, mods)) = queue.pop_front() {
+        if executed >= budget {
+            break;
+        }
+        let need_more = node_c == 0
+            || !matches!(
+                goal.classify(node_c),
+                crate::problem::WhyProblem::WhySoMany
+            );
+        for m in fine_candidates(&node, domains, need_more, true) {
+            if executed >= budget {
+                break;
+            }
+            let Ok((child, _)) = m.applied(&node) else {
+                continue;
+            };
+            let sig = signature(&child);
+            if !visited.insert(sig) {
+                continue;
+            }
+            let c = matcher.count(&child, Some(count_cap));
+            executed += 1;
+            let dev = goal.deviation(c);
+            if dev < best_dev {
+                best_dev = dev;
+            }
+            trajectory.push((executed, best_dev));
+            if goal.satisfied(c) {
+                let mut all_mods = mods.clone();
+                all_mods.push(m);
+                return BaselineOutcome {
+                    explanation: Some(ModificationExplanation {
+                        syntactic_distance: syntactic_distance(q, &child),
+                        query: child,
+                        mods: all_mods,
+                        cardinality: c,
+                    }),
+                    executed,
+                    trajectory,
+                    best_deviation: 0,
+                };
+            }
+            let mut all_mods = mods.clone();
+            all_mods.push(m);
+            queue.push_back((child, c, all_mods));
+        }
+    }
+
+    BaselineOutcome {
+        explanation: None,
+        executed,
+        trajectory,
+        best_deviation: best_dev,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whyq_graph::Value;
+    use whyq_query::{Predicate, QueryBuilder};
+
+    fn data() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let city = g.add_vertex([("type", Value::str("city"))]);
+        for i in 0..10 {
+            let p = g.add_vertex([("type", Value::str("person")), ("age", Value::Int(20 + i))]);
+            g.add_edge(p, city, "livesIn", []);
+        }
+        g
+    }
+
+    fn narrow_query() -> PatternQuery {
+        QueryBuilder::new("q")
+            .vertex(
+                "p",
+                [Predicate::eq("type", "person"), Predicate::between("age", 24.0, 26.0)],
+            )
+            .vertex("c", [Predicate::eq("type", "city")])
+            .edge("p", "c", "livesIn")
+            .build()
+    }
+
+    #[test]
+    fn random_walk_eventually_finds_solution() {
+        let g = data();
+        let domains = AttributeDomains::build(&g, 100);
+        let out = random_walk(
+            &g,
+            &narrow_query(),
+            CardinalityGoal::AtLeast(7),
+            500,
+            42,
+            &domains,
+            10_000,
+        );
+        assert!(out.explanation.is_some());
+    }
+
+    #[test]
+    fn random_walk_is_deterministic_per_seed() {
+        let g = data();
+        let domains = AttributeDomains::build(&g, 100);
+        let a = random_walk(&g, &narrow_query(), CardinalityGoal::AtLeast(7), 200, 7, &domains, 10_000);
+        let b = random_walk(&g, &narrow_query(), CardinalityGoal::AtLeast(7), 200, 7, &domains, 10_000);
+        assert_eq!(a.executed, b.executed);
+        assert_eq!(a.trajectory, b.trajectory);
+    }
+
+    #[test]
+    fn bfs_finds_solution_with_enough_budget() {
+        let g = data();
+        let domains = AttributeDomains::build(&g, 100);
+        let out = exhaustive_bfs(
+            &g,
+            &narrow_query(),
+            CardinalityGoal::AtLeast(7),
+            2000,
+            &domains,
+            10_000,
+        );
+        assert!(out.explanation.is_some());
+    }
+
+    #[test]
+    fn trajectories_are_monotone() {
+        let g = data();
+        let domains = AttributeDomains::build(&g, 100);
+        let out = exhaustive_bfs(
+            &g,
+            &narrow_query(),
+            CardinalityGoal::AtLeast(1000),
+            50,
+            &domains,
+            10_000,
+        );
+        for w in out.trajectory.windows(2) {
+            assert!(w[1].1 <= w[0].1);
+        }
+        assert!(out.explanation.is_none());
+    }
+}

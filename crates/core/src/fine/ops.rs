@@ -1,0 +1,290 @@
+//! Operational graph-query representation and change propagation
+//! (§6.1.2, §6.3.1).
+//!
+//! A query is compiled into a *pipeline* of operators: a seed scan followed
+//! by one edge-expansion per query edge. Evaluating the pipeline
+//! materializes the partial result set behind every operator. When the
+//! fine-grained rewriter modifies a predicate on one element, only the
+//! pipeline *suffix* starting at that element's operator must be
+//! re-evaluated — the prefix states are reused. This is the guaranteed
+//! change propagation of §6.3.1: a change at operator *i* re-flows through
+//! operators *i..n* and its effect on the final cardinality is always
+//! observed.
+
+use whyq_graph::PropertyGraph;
+use whyq_matcher::{extend_matches, seed_matches, ResultGraph};
+use whyq_query::{PatternQuery, QEid, QVid, Target};
+
+/// One pipeline operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineStep {
+    /// Scan candidates of the seed vertex.
+    Seed(QVid),
+    /// Expand / close one query edge.
+    Edge(QEid),
+}
+
+/// The operator order for one query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pipeline {
+    /// Steps in evaluation order; `steps[0]` is always a seed.
+    pub steps: Vec<PipelineStep>,
+}
+
+impl Pipeline {
+    /// Deterministic pipeline for a query: seed at the smallest live vertex
+    /// id, then BFS over edges (jumping across unconnected parts, §4.3.3).
+    pub fn for_query(q: &PatternQuery) -> Option<Pipeline> {
+        let start = q.vertex_ids().next()?;
+        let mut steps = vec![PipelineStep::Seed(start)];
+        let mut bound = vec![start];
+        let mut remaining: Vec<QEid> = q.edge_ids().collect();
+        while !remaining.is_empty() {
+            // prefer edges touching the bound set; otherwise jump
+            let pos = remaining
+                .iter()
+                .position(|&e| {
+                    let ed = q.edge(e).expect("live");
+                    bound.contains(&ed.src) || bound.contains(&ed.dst)
+                })
+                .unwrap_or(0);
+            let e = remaining.remove(pos);
+            let ed = q.edge(e).expect("live");
+            for v in [ed.src, ed.dst] {
+                if !bound.contains(&v) {
+                    bound.push(v);
+                }
+            }
+            steps.push(PipelineStep::Edge(e));
+        }
+        Some(Pipeline { steps })
+    }
+
+    /// The first step index whose evaluation depends on `target` — a
+    /// changed predicate on that element invalidates states from here on.
+    pub fn position_of(&self, q: &PatternQuery, target: Target) -> usize {
+        match target {
+            Target::Edge(e) => self
+                .steps
+                .iter()
+                .position(|&s| s == PipelineStep::Edge(e))
+                .unwrap_or(0),
+            Target::Vertex(v) => {
+                // the step that binds v: its seed or the first incident edge
+                for (i, &s) in self.steps.iter().enumerate() {
+                    match s {
+                        PipelineStep::Seed(sv) if sv == v => return i,
+                        PipelineStep::Edge(e)
+                            if q.edge(e).is_some_and(|ed| ed.touches(v)) => {
+                                return i;
+                            }
+                        _ => {}
+                    }
+                }
+                0
+            }
+        }
+    }
+}
+
+/// Pipeline evaluator with state materialization for prefix reuse.
+pub struct PipelineEvaluator<'g> {
+    g: &'g PropertyGraph,
+    /// Cap on materialized partial-result sets (counts saturate here).
+    pub cap: usize,
+}
+
+impl<'g> PipelineEvaluator<'g> {
+    /// Evaluator over `g` with a partial-result cap.
+    pub fn new(g: &'g PropertyGraph, cap: usize) -> Self {
+        PipelineEvaluator { g, cap }
+    }
+
+    /// Evaluate all steps, returning the per-step states; the final state's
+    /// length is the (capped) result cardinality. `extensions` counts the
+    /// performed seed/extend operations — the work measure of §6.4.
+    pub fn eval_full(
+        &self,
+        q: &PatternQuery,
+        pipeline: &Pipeline,
+        extensions: &mut u64,
+    ) -> Vec<Vec<ResultGraph>> {
+        let mut states: Vec<Vec<ResultGraph>> = Vec::with_capacity(pipeline.steps.len());
+        for (i, &step) in pipeline.steps.iter().enumerate() {
+            let next = self.eval_step(q, step, states.get(i.wrapping_sub(1)), extensions);
+            states.push(next);
+            if states.last().expect("pushed").is_empty() {
+                // short-circuit: remaining steps stay empty
+                for _ in i + 1..pipeline.steps.len() {
+                    states.push(Vec::new());
+                }
+                break;
+            }
+        }
+        states
+    }
+
+    /// Re-evaluate only the suffix starting at `from`, reusing the parent's
+    /// prefix states (change propagation). Returns the (capped) final
+    /// cardinality of the modified query.
+    pub fn eval_suffix(
+        &self,
+        q: &PatternQuery,
+        pipeline: &Pipeline,
+        prefix_states: &[Vec<ResultGraph>],
+        from: usize,
+        extensions: &mut u64,
+    ) -> u64 {
+        let mut current: Option<Vec<ResultGraph>> = None;
+        for (i, &step) in pipeline.steps.iter().enumerate().skip(from) {
+            let input = match (&current, i) {
+                (Some(c), _) => Some(c),
+                (None, 0) => None,
+                (None, _) => prefix_states.get(i - 1),
+            };
+            let next = self.eval_step(q, step, input, extensions);
+            if next.is_empty() {
+                return 0;
+            }
+            current = Some(next);
+        }
+        match current {
+            Some(c) => c.len() as u64,
+            // from beyond the end: cardinality unchanged from prefix
+            None => prefix_states.last().map_or(0, |s| s.len() as u64),
+        }
+    }
+
+    fn eval_step(
+        &self,
+        q: &PatternQuery,
+        step: PipelineStep,
+        input: Option<&Vec<ResultGraph>>,
+        extensions: &mut u64,
+    ) -> Vec<ResultGraph> {
+        *extensions += 1;
+        match step {
+            PipelineStep::Seed(v) => seed_matches(self.g, q, v, self.cap),
+            PipelineStep::Edge(e) => {
+                let empty = Vec::new();
+                let partial = input.unwrap_or(&empty);
+                extend_matches(self.g, q, partial, e, self.cap)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whyq_graph::Value;
+    use whyq_matcher::count_matches;
+    use whyq_query::{GraphMod, Interval, Predicate, QueryBuilder};
+
+    fn data() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let city = g.add_vertex([("type", Value::str("city"))]);
+        for i in 0..5 {
+            let p = g.add_vertex([("type", Value::str("person")), ("age", Value::Int(20 + i))]);
+            g.add_edge(p, city, "livesIn", []);
+        }
+        g
+    }
+
+    fn query() -> PatternQuery {
+        QueryBuilder::new("q")
+            .vertex(
+                "p",
+                [Predicate::eq("type", "person"), Predicate::between("age", 21.0, 23.0)],
+            )
+            .vertex("c", [Predicate::eq("type", "city")])
+            .edge("p", "c", "livesIn")
+            .build()
+    }
+
+    #[test]
+    fn full_eval_matches_matcher() {
+        let g = data();
+        let q = query();
+        let pipeline = Pipeline::for_query(&q).unwrap();
+        let ev = PipelineEvaluator::new(&g, 100_000);
+        let mut ext = 0;
+        let states = ev.eval_full(&q, &pipeline, &mut ext);
+        assert_eq!(
+            states.last().unwrap().len() as u64,
+            count_matches(&g, &q, None)
+        );
+        assert_eq!(ext, pipeline.steps.len() as u64);
+    }
+
+    #[test]
+    fn suffix_eval_propagates_predicate_change() {
+        let g = data();
+        let q = query();
+        let pipeline = Pipeline::for_query(&q).unwrap();
+        let ev = PipelineEvaluator::new(&g, 100_000);
+        let mut ext = 0;
+        let states = ev.eval_full(&q, &pipeline, &mut ext);
+
+        // widen the age interval — touches the seed vertex (position 0)
+        let m = GraphMod::ReplaceInterval {
+            target: Target::Vertex(whyq_query::QVid(0)),
+            attr: "age".into(),
+            interval: Interval::between(20.0, 24.0),
+        };
+        let (child, _) = m.applied(&q).unwrap();
+        let pos = pipeline.position_of(&child, Target::Vertex(whyq_query::QVid(0)));
+        let mut ext2 = 0;
+        let c = ev.eval_suffix(&child, &pipeline, &states, pos, &mut ext2);
+        assert_eq!(c, count_matches(&g, &child, None));
+        assert_eq!(c, 5);
+    }
+
+    #[test]
+    fn suffix_reuse_is_cheaper_for_late_changes() {
+        let g = data();
+        // three-step query: p -livesIn-> c, with an edge predicate we change
+        let q = QueryBuilder::new("q")
+            .vertex("p", [Predicate::eq("type", "person")])
+            .vertex("c", [Predicate::eq("type", "city")])
+            .edge("p", "c", "livesIn")
+            .build();
+        let pipeline = Pipeline::for_query(&q).unwrap();
+        let ev = PipelineEvaluator::new(&g, 100_000);
+        let mut ext = 0;
+        let states = ev.eval_full(&q, &pipeline, &mut ext);
+        // change on the edge (last step) → only 1 re-evaluated step
+        let pos = pipeline.position_of(&q, Target::Edge(whyq_query::QEid(0)));
+        let mut ext2 = 0;
+        let _ = ev.eval_suffix(&q, &pipeline, &states, pos, &mut ext2);
+        assert!(ext2 < ext);
+        assert_eq!(ext2, 1);
+    }
+
+    #[test]
+    fn position_of_vertex_is_binding_step() {
+        let q = query();
+        let pipeline = Pipeline::for_query(&q).unwrap();
+        // seed is vertex 0 (p); c is bound by the edge step
+        assert_eq!(pipeline.position_of(&q, Target::Vertex(whyq_query::QVid(0))), 0);
+        assert_eq!(pipeline.position_of(&q, Target::Vertex(whyq_query::QVid(1))), 1);
+        assert_eq!(pipeline.position_of(&q, Target::Edge(whyq_query::QEid(0))), 1);
+    }
+
+    #[test]
+    fn empty_prefix_short_circuits() {
+        let g = data();
+        let q = QueryBuilder::new("none")
+            .vertex("x", [Predicate::eq("type", "spaceship")])
+            .vertex("c", [Predicate::eq("type", "city")])
+            .edge("x", "c", "livesIn")
+            .build();
+        let pipeline = Pipeline::for_query(&q).unwrap();
+        let ev = PipelineEvaluator::new(&g, 1000);
+        let mut ext = 0;
+        let states = ev.eval_full(&q, &pipeline, &mut ext);
+        assert!(states.iter().all(Vec::is_empty));
+        // short-circuit: only the seed was actually evaluated
+        assert_eq!(ext, 1);
+    }
+}

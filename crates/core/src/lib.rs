@@ -1,0 +1,46 @@
+//! # whyq-core — the why-query engine
+//!
+//! The primary contribution of *"Why-Query Support in Graph Databases"*
+//! (Vasilyeva, 2016): debugging support for pattern-matching queries that
+//! deliver **no**, **too few**, or **too many** answers over property
+//! graphs. Two explanation families are produced:
+//!
+//! * **Subgraph-based explanations** (Ch. 4) — *why did the query fail?*
+//!   The query graph is traversed while intermediate result sets are
+//!   maintained; the largest succeeding subquery (the maximum common
+//!   connected subgraph between query and data) is detected by
+//!   [`subgraph::discover::DiscoverMcs`] (why-empty) and
+//!   [`subgraph::bounded::BoundedMcs`] (why-so-few / why-so-many), and the
+//!   *differential graph* — the failed query part — is returned. The
+//!   optimizations of §4.3 (weakly-connected-component decomposition,
+//!   single-traversal-path selection) and the user-centric traversal of
+//!   §4.4 are implemented in [`subgraph::traversal`] and [`user`].
+//!
+//! * **Modification-based explanations** — *how should the query change?*
+//!   [`relax::CoarseRewriter`] (Ch. 5) relaxes why-empty queries by
+//!   discarding predicates and topology, driven by query-dependent
+//!   statistics ([`stats::Statistics`]), candidate priority functions
+//!   ([`relax::priority`]) and a query cache ([`relax::cache`]).
+//!   [`fine::TraverseSearchTree`] (Ch. 6) performs fine-grained,
+//!   cardinality-driven modification on the predicate-value level with a
+//!   modification tree, change propagation and discarding of
+//!   non-contributing branches.
+//!
+//! [`engine::WhyEngine`] ties everything together and provides the holistic
+//! dispatch of §3.1.3: given a cardinality goal it decides which why-query
+//! to run and lets the search oscillate around the threshold (Fig. 3.1).
+
+pub mod domains;
+pub mod engine;
+pub mod explanation;
+pub mod fine;
+pub mod problem;
+pub mod relax;
+pub mod stats;
+pub mod subgraph;
+pub mod user;
+
+pub use domains::AttributeDomains;
+pub use engine::WhyEngine;
+pub use explanation::{DifferentialGraph, ModificationExplanation, SubgraphExplanation};
+pub use problem::{CardinalityGoal, WhyProblem};

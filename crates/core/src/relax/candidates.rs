@@ -1,0 +1,93 @@
+//! Coarse-grained relaxation candidates (§5.1.2, §5.3.1).
+//!
+//! The coarse rewriter discards whole constraints: an attribute predicate,
+//! a query edge, or a query vertex (with its incident edges). Value-level
+//! changes are the business of the fine-grained rewriter (Ch. 6).
+
+use whyq_query::{GraphMod, PatternQuery, Target};
+
+/// Every applicable single-step coarse relaxation of `q`, in deterministic
+/// order (vertex predicates, edge predicates, edges, vertices).
+pub fn coarse_relaxations(q: &PatternQuery) -> Vec<GraphMod> {
+    let mut out = Vec::new();
+    for v in q.vertex_ids() {
+        let vx = q.vertex(v).expect("live");
+        for p in &vx.predicates {
+            out.push(GraphMod::RemovePredicate {
+                target: Target::Vertex(v),
+                attr: p.attr.clone(),
+            });
+        }
+    }
+    for e in q.edge_ids() {
+        let ed = q.edge(e).expect("live");
+        for p in &ed.predicates {
+            out.push(GraphMod::RemovePredicate {
+                target: Target::Edge(e),
+                attr: p.attr.clone(),
+            });
+        }
+    }
+    for e in q.edge_ids() {
+        out.push(GraphMod::RemoveEdge(e));
+    }
+    if q.num_vertices() > 1 {
+        for v in q.vertex_ids() {
+            out.push(GraphMod::RemoveVertex(v));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whyq_query::{Predicate, QueryBuilder};
+
+    #[test]
+    fn generates_all_constraint_discards() {
+        let q = QueryBuilder::new("q")
+            .vertex("a", [Predicate::eq("type", "person"), Predicate::eq("age", 30)])
+            .vertex("b", [Predicate::eq("type", "city")])
+            .edge_full(
+                "a",
+                "b",
+                "livesIn",
+                whyq_query::DirectionSet::FORWARD,
+                [Predicate::eq("since", 2000)],
+            )
+            .build();
+        let mods = coarse_relaxations(&q);
+        // 3 vertex predicates + 1 edge predicate + 1 edge + 2 vertices
+        assert_eq!(mods.len(), 7);
+        let removals = mods
+            .iter()
+            .filter(|m| matches!(m, GraphMod::RemovePredicate { .. }))
+            .count();
+        assert_eq!(removals, 4);
+    }
+
+    #[test]
+    fn single_vertex_query_keeps_its_vertex() {
+        let q = QueryBuilder::new("v")
+            .vertex("a", [Predicate::eq("type", "person")])
+            .build();
+        let mods = coarse_relaxations(&q);
+        assert!(mods
+            .iter()
+            .all(|m| !matches!(m, GraphMod::RemoveVertex(_))));
+        assert_eq!(mods.len(), 1);
+    }
+
+    #[test]
+    fn all_candidates_apply_cleanly() {
+        let q = QueryBuilder::new("q")
+            .vertex("a", [Predicate::eq("type", "person")])
+            .vertex("b", [Predicate::eq("type", "city")])
+            .edge("a", "b", "livesIn")
+            .build();
+        for m in coarse_relaxations(&q) {
+            assert!(m.applied(&q).is_ok(), "mod failed: {m}");
+        }
+    }
+}

@@ -1,0 +1,494 @@
+//! Coarse-grained modification-based explanations for why-empty queries
+//! (Ch. 5).
+//!
+//! A failed (empty) query is rewritten by *discarding constraints* —
+//! predicates, edges, vertices — until a candidate delivers results. The
+//! search space is the relaxation lattice over the original query; the
+//! rewriter explores it best-first:
+//!
+//! 1. **Candidate generation** ([`candidates`]) applies every applicable
+//!    coarse relaxation to the current query (§5.3.1).
+//! 2. **Prioritization** ([`priority`]) ranks candidates with
+//!    query-dependent statistics (§5.2) — estimated cardinality, average
+//!    `path(1)` cardinality, induced cardinality changes (§5.3.2) — or
+//!    syntactic closeness / random order as baselines (§5.5.1).
+//! 3. **Execution & caching** ([`cache`]) evaluates the most promising
+//!    candidate, memoizing cardinalities by canonical signature so
+//!    re-derived candidates are free (§5.5, App. B.2).
+//! 4. **User integration** ([`user_model`]) learns a preference model from
+//!    ratings of delivered explanations and biases the priorities toward
+//!    modifications the user tolerates (§5.4).
+
+pub mod cache;
+pub mod candidates;
+pub mod priority;
+pub mod user_model;
+
+use crate::explanation::ModificationExplanation;
+use crate::relax::cache::{CacheStats, QueryCache};
+use crate::relax::candidates::coarse_relaxations;
+use crate::relax::priority::PriorityFn;
+use crate::relax::user_model::PreferenceModel;
+use crate::stats::Statistics;
+use crate::user::SimulatedUser;
+use std::collections::{BinaryHeap, HashSet};
+use whyq_graph::PropertyGraph;
+use whyq_matcher::Matcher;
+use whyq_metrics::syntactic_distance;
+use whyq_query::{signature::signature, GraphMod, PatternQuery};
+
+/// Configuration of the coarse-grained rewriter.
+#[derive(Debug, Clone)]
+pub struct RelaxConfig {
+    /// Candidate priority function (§5.5.1).
+    pub priority: PriorityFn,
+    /// Budget: maximum number of *executed* candidate queries.
+    pub max_executed: usize,
+    /// Cap when counting a candidate's results.
+    pub count_limit: u64,
+    /// Memoize executed candidates by signature (§5.5 / App. B.2).
+    pub use_cache: bool,
+    /// Weight of the learned preference model in the priority (0 = model
+    /// ignored).
+    pub lambda: f64,
+}
+
+impl Default for RelaxConfig {
+    fn default() -> Self {
+        RelaxConfig {
+            priority: PriorityFn::Path1PlusInduced,
+            max_executed: 200,
+            count_limit: 10_000,
+            use_cache: true,
+            lambda: 0.0,
+        }
+    }
+}
+
+/// One executed candidate in the search trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryPoint {
+    /// 1-based execution index.
+    pub executed: usize,
+    /// Result cardinality of the candidate (capped at `count_limit`).
+    pub cardinality: u64,
+    /// Syntactic distance of the candidate to the original query.
+    pub syntactic: f64,
+    /// Relaxation depth (number of applied modifications).
+    pub depth: usize,
+}
+
+/// Outcome of a rewriting run.
+#[derive(Debug, Clone)]
+pub struct RelaxOutcome {
+    /// The first accepted explanation, if the budget sufficed.
+    pub explanation: Option<ModificationExplanation>,
+    /// Number of executed candidate queries.
+    pub executed: usize,
+    /// Number of generated (not necessarily executed) candidates.
+    pub generated: usize,
+    /// Cache statistics (App. B.2).
+    pub cache: CacheStats,
+    /// Execution trajectory (§5.5.2 convergence plots).
+    pub trajectory: Vec<TrajectoryPoint>,
+}
+
+/// A delivered explanation with the user's rating (§5.5.4, App. B.1).
+#[derive(Debug, Clone)]
+pub struct RatedRound {
+    /// The explanation delivered in this round.
+    pub explanation: ModificationExplanation,
+    /// The user's rating in `[0, 1]`.
+    pub rating: f64,
+    /// Candidates executed in this round.
+    pub executed: usize,
+}
+
+/// Outcome of an interactive session with rating feedback.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// All delivered rounds with ratings.
+    pub rounds: Vec<RatedRound>,
+    /// Index into `rounds` of the first accepted explanation.
+    pub accepted: Option<usize>,
+}
+
+struct Node {
+    priority: f64,
+    seq: u64,
+    query: PatternQuery,
+    mods: Vec<GraphMod>,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // max-heap on priority; FIFO tie-break for determinism
+        self.priority
+            .total_cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// The coarse-grained why-empty rewriter (Ch. 5).
+///
+/// The cardinality cache is rewriter state, not per-run state: interactive
+/// sessions re-enter the search after every rejected proposal and re-derive
+/// many of the same candidates — the re-use the thesis measures in App. B.2.
+pub struct CoarseRewriter<'g> {
+    g: &'g PropertyGraph,
+    stats: Statistics<'g>,
+    cache: std::cell::RefCell<QueryCache>,
+}
+
+impl<'g> CoarseRewriter<'g> {
+    /// Rewriter over `g`.
+    pub fn new(g: &'g PropertyGraph) -> Self {
+        CoarseRewriter {
+            g,
+            stats: Statistics::new(g),
+            cache: std::cell::RefCell::new(QueryCache::new()),
+        }
+    }
+
+    /// Access to the statistics provider (for reporting).
+    pub fn stats(&self) -> &Statistics<'g> {
+        &self.stats
+    }
+
+    /// Snapshot of the shared cardinality cache (App. B.2 reporting).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.borrow().stats()
+    }
+
+    /// Rewrite a why-empty query until the first non-empty candidate.
+    pub fn rewrite(&self, q: &PatternQuery, config: &RelaxConfig) -> RelaxOutcome {
+        self.rewrite_guided(q, config, None, &HashSet::new())
+    }
+
+    /// Rewrite with an optional preference model biasing priorities
+    /// (`config.lambda` controls its weight) and a set of excluded
+    /// candidate signatures (already delivered and rejected explanations).
+    pub fn rewrite_guided(
+        &self,
+        q: &PatternQuery,
+        config: &RelaxConfig,
+        model: Option<&PreferenceModel>,
+        exclude: &HashSet<String>,
+    ) -> RelaxOutcome {
+        let matcher = Matcher::new(self.g).with_index("type");
+        let mut cache = self.cache.borrow_mut();
+        let mut visited: HashSet<String> = HashSet::new();
+        let mut frontier: BinaryHeap<Node> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut generated = 0usize;
+        let mut executed = 0usize;
+        let mut trajectory = Vec::new();
+
+        // the original query is known to be empty — expand it directly
+        visited.insert(signature(q));
+        self.expand(
+            q,
+            &[],
+            config,
+            model,
+            &mut frontier,
+            &mut visited,
+            &mut seq,
+            &mut generated,
+        );
+
+        while let Some(node) = frontier.pop() {
+            if executed >= config.max_executed {
+                break;
+            }
+            let sig = signature(&node.query);
+            let cardinality = if config.use_cache {
+                match cache.get(&sig) {
+                    Some(c) => c,
+                    None => {
+                        let c = matcher.count(&node.query, Some(config.count_limit));
+                        cache.insert(sig.clone(), c);
+                        c
+                    }
+                }
+            } else {
+                matcher.count(&node.query, Some(config.count_limit))
+            };
+            executed += 1;
+            let syn = syntactic_distance(q, &node.query);
+            trajectory.push(TrajectoryPoint {
+                executed,
+                cardinality,
+                syntactic: syn,
+                depth: node.mods.len(),
+            });
+            if cardinality > 0 && !exclude.contains(&sig) {
+                return RelaxOutcome {
+                    explanation: Some(ModificationExplanation {
+                        query: node.query,
+                        mods: node.mods,
+                        cardinality,
+                        syntactic_distance: syn,
+                    }),
+                    executed,
+                    generated,
+                    cache: cache.stats(),
+                    trajectory,
+                };
+            }
+            // still empty (or excluded) — relax further
+            self.expand(
+                &node.query,
+                &node.mods,
+                config,
+                model,
+                &mut frontier,
+                &mut visited,
+                &mut seq,
+                &mut generated,
+            );
+        }
+
+        RelaxOutcome {
+            explanation: None,
+            executed,
+            generated,
+            cache: cache.stats(),
+            trajectory,
+        }
+    }
+
+    /// Interactive session (§5.5.4, App. B.1): deliver explanations, let
+    /// the user rate them, learn the preference model and retry until an
+    /// explanation is accepted (rating ≥ `accept_threshold`) or `rounds`
+    /// are exhausted. Returns the rated rounds and the learned model.
+    pub fn session(
+        &self,
+        q: &PatternQuery,
+        config: &RelaxConfig,
+        user: &SimulatedUser,
+        accept_threshold: f64,
+        rounds: usize,
+    ) -> (SessionOutcome, PreferenceModel) {
+        let mut model = PreferenceModel::default();
+        let mut exclude = HashSet::new();
+        let mut out = SessionOutcome {
+            rounds: Vec::new(),
+            accepted: None,
+        };
+        for round in 0..rounds {
+            let outcome = self.rewrite_guided(q, config, Some(&model), &exclude);
+            let Some(expl) = outcome.explanation else {
+                break;
+            };
+            let rating = user.rate(q, &expl.query);
+            model.observe(q, &expl.query, rating);
+            exclude.insert(signature(&expl.query));
+            let accepted = rating >= accept_threshold;
+            out.rounds.push(RatedRound {
+                explanation: expl,
+                rating,
+                executed: outcome.executed,
+            });
+            if accepted {
+                out.accepted = Some(round);
+                break;
+            }
+        }
+        (out, model)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn expand(
+        &self,
+        parent: &PatternQuery,
+        parent_mods: &[GraphMod],
+        config: &RelaxConfig,
+        model: Option<&PreferenceModel>,
+        frontier: &mut BinaryHeap<Node>,
+        visited: &mut HashSet<String>,
+        seq: &mut u64,
+        generated: &mut usize,
+    ) {
+        for m in coarse_relaxations(parent) {
+            let Ok((child, _)) = m.applied(parent) else {
+                continue;
+            };
+            let sig = signature(&child);
+            if !visited.insert(sig) {
+                continue;
+            }
+            *generated += 1;
+            let mut priority = config
+                .priority
+                .score(&child, parent, &self.stats, parent_mods.len());
+            if let (Some(model), true) = (model, config.lambda > 0.0) {
+                priority += config.lambda * model.tolerance(parent, &child);
+            }
+            let mut mods = parent_mods.to_vec();
+            mods.push(m);
+            *seq += 1;
+            frontier.push(Node {
+                priority,
+                seq: *seq,
+                query: child,
+                mods,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whyq_graph::Value;
+    use whyq_query::{Predicate, QueryBuilder};
+
+    /// Anna works at TUD in Dresden; the query asks for Berlin → empty.
+    fn data() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let anna = g.add_vertex([("type", Value::str("person")), ("name", Value::str("Anna"))]);
+        let tud = g.add_vertex([("type", Value::str("university"))]);
+        let dresden =
+            g.add_vertex([("type", Value::str("city")), ("name", Value::str("Dresden"))]);
+        g.add_edge(anna, tud, "workAt", []);
+        g.add_edge(tud, dresden, "locatedIn", []);
+        g
+    }
+
+    fn failing() -> PatternQuery {
+        QueryBuilder::new("f")
+            .vertex("p", [Predicate::eq("type", "person")])
+            .vertex("u", [Predicate::eq("type", "university")])
+            .vertex(
+                "c",
+                [Predicate::eq("type", "city"), Predicate::eq("name", "Berlin")],
+            )
+            .edge("p", "u", "workAt")
+            .edge("u", "c", "locatedIn")
+            .build()
+    }
+
+    #[test]
+    fn finds_minimal_relaxation() {
+        let g = data();
+        let rw = CoarseRewriter::new(&g);
+        let out = rw.rewrite(&failing(), &RelaxConfig::default());
+        let expl = out.explanation.expect("explanation found");
+        assert!(expl.cardinality >= 1);
+        // a single discarded constraint suffices (the Berlin name predicate)
+        assert_eq!(expl.mods.len(), 1);
+        assert!(expl.syntactic_distance > 0.0);
+        assert!(out.executed >= 1);
+        assert!(out.generated >= out.executed);
+    }
+
+    #[test]
+    fn trajectory_is_recorded() {
+        let g = data();
+        let rw = CoarseRewriter::new(&g);
+        let out = rw.rewrite(&failing(), &RelaxConfig::default());
+        assert_eq!(out.trajectory.len(), out.executed);
+        assert!(out.trajectory.last().unwrap().cardinality > 0);
+    }
+
+    #[test]
+    fn budget_zero_finds_nothing() {
+        let g = data();
+        let rw = CoarseRewriter::new(&g);
+        let out = rw.rewrite(
+            &failing(),
+            &RelaxConfig {
+                max_executed: 0,
+                ..Default::default()
+            },
+        );
+        assert!(out.explanation.is_none());
+        assert_eq!(out.executed, 0);
+    }
+
+    #[test]
+    fn priority_functions_all_terminate() {
+        let g = data();
+        let rw = CoarseRewriter::new(&g);
+        for p in [
+            PriorityFn::Random(42),
+            PriorityFn::MinSyntactic,
+            PriorityFn::EstimatedCardinality,
+            PriorityFn::AvgPath1,
+            PriorityFn::InducedChange,
+            PriorityFn::Path1PlusInduced,
+        ] {
+            let out = rw.rewrite(
+                &failing(),
+                &RelaxConfig {
+                    priority: p,
+                    ..Default::default()
+                },
+            );
+            assert!(out.explanation.is_some(), "no explanation found");
+        }
+    }
+
+    #[test]
+    fn excluded_solutions_are_skipped() {
+        let g = data();
+        let rw = CoarseRewriter::new(&g);
+        let first = rw
+            .rewrite(&failing(), &RelaxConfig::default())
+            .explanation
+            .unwrap();
+        let mut exclude = HashSet::new();
+        exclude.insert(signature(&first.query));
+        let second = rw
+            .rewrite_guided(&failing(), &RelaxConfig::default(), None, &exclude)
+            .explanation
+            .unwrap();
+        assert_ne!(signature(&first.query), signature(&second.query));
+    }
+
+    #[test]
+    fn session_with_agreeable_user_accepts_first_round() {
+        let g = data();
+        let rw = CoarseRewriter::new(&g);
+        // the user only protects the workAt edge; the natural fix (drop the
+        // Berlin name predicate) never touches it
+        let user = SimulatedUser::protecting_edges(&[whyq_query::QEid(0)]);
+        let (outcome, _) = rw.session(&failing(), &RelaxConfig::default(), &user, 0.9, 5);
+        assert_eq!(outcome.accepted, Some(0));
+        assert!(outcome.rounds[0].rating >= 0.9);
+    }
+
+    #[test]
+    fn session_with_protective_user_adapts() {
+        let g = data();
+        let rw = CoarseRewriter::new(&g);
+        // the user insists on keeping the city vertex untouched — but every
+        // fix must neutralize the Berlin predicate, so nothing can rate 1.0;
+        // with a 0.4 acceptance bar the session rejects the pure predicate
+        // fix (rating 0.0) and adapts to a mixed-change explanation
+        let user = SimulatedUser::protecting_vertices(&[whyq_query::QVid(2)]);
+        let config = RelaxConfig {
+            lambda: 10.0,
+            ..Default::default()
+        };
+        let (outcome, model) = rw.session(&failing(), &config, &user, 0.4, 6);
+        assert!(outcome.rounds.len() >= 2, "first round must be rejected");
+        let accepted = outcome.accepted.expect("eventually accepted");
+        assert!(outcome.rounds[accepted].rating >= 0.4);
+        // ratings improved over the session
+        assert!(outcome.rounds[accepted].rating > outcome.rounds[0].rating);
+        assert!(!model.is_empty());
+    }
+}

@@ -1,0 +1,165 @@
+//! Priority functions of the query-candidate selector (§5.3, §5.5.1).
+//!
+//! The rewriter pops the candidate with the highest priority from the
+//! frontier. The thesis evaluates several priority functions; higher score
+//! = executed earlier:
+//!
+//! * [`PriorityFn::Random`] — baseline: deterministic pseudo-random order;
+//! * [`PriorityFn::MinSyntactic`] — prefer candidates closest to the
+//!   original query (pure syntactic closeness, no statistics);
+//! * [`PriorityFn::EstimatedCardinality`] — prefer candidates whose
+//!   statistics-based estimate promises the most results (§5.2);
+//! * [`PriorityFn::AvgPath1`] — prefer candidates with a high average
+//!   `path(1)` cardinality (§5.5.3);
+//! * [`PriorityFn::InducedChange`] — prefer relaxations inducing the
+//!   largest estimated cardinality *gain* over their parent (§5.3.2);
+//! * [`PriorityFn::Path1PlusInduced`] — the §5.5.3 combination of the two.
+
+use crate::stats::Statistics;
+use std::hash::{Hash, Hasher};
+use whyq_metrics::syntactic_distance;
+use whyq_query::{signature::signature, PatternQuery};
+
+/// A candidate priority function (higher score = execute earlier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PriorityFn {
+    /// Deterministic pseudo-random order from the given seed.
+    Random(u64),
+    /// Negative syntactic distance to the original query.
+    MinSyntactic,
+    /// Statistics-based cardinality estimate of the candidate.
+    EstimatedCardinality,
+    /// Average `path(1)` cardinality over the candidate's edges.
+    AvgPath1,
+    /// Estimated cardinality change induced by the relaxation (§5.3.2).
+    InducedChange,
+    /// `AvgPath1 + max(InducedChange, 0)` (§5.5.3).
+    Path1PlusInduced,
+    /// `paths(n)`-based chain-join estimate (§5.2.3): highest estimated
+    /// cardinality first.
+    PathsN,
+}
+
+impl PriorityFn {
+    /// Human-readable name used in evaluation tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PriorityFn::Random(_) => "random",
+            PriorityFn::MinSyntactic => "min-syntactic",
+            PriorityFn::EstimatedCardinality => "est-cardinality",
+            PriorityFn::AvgPath1 => "avg-path1",
+            PriorityFn::InducedChange => "induced-change",
+            PriorityFn::Path1PlusInduced => "path1+induced",
+            PriorityFn::PathsN => "paths-n",
+        }
+    }
+
+    /// Score a candidate generated from `parent` at relaxation `depth`.
+    ///
+    /// `MinSyntactic` measures against the *parent's root*: because every
+    /// relaxation strictly grows the distance to the original query, the
+    /// candidate's own distance to its parent plus depth is a faithful
+    /// proxy; we measure directly against the parent chain's origin by
+    /// penalizing depth.
+    pub fn score(
+        &self,
+        candidate: &PatternQuery,
+        parent: &PatternQuery,
+        stats: &Statistics<'_>,
+        depth: usize,
+    ) -> f64 {
+        match self {
+            PriorityFn::Random(seed) => {
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                seed.hash(&mut h);
+                signature(candidate).hash(&mut h);
+                (h.finish() % 1_000_000) as f64 / 1_000_000.0
+            }
+            PriorityFn::MinSyntactic => {
+                -(syntactic_distance(parent, candidate) + depth as f64)
+            }
+            PriorityFn::EstimatedCardinality => stats.estimate(candidate) as f64,
+            PriorityFn::AvgPath1 => stats.avg_path1(candidate),
+            PriorityFn::InducedChange => stats.induced_change(parent, candidate) as f64,
+            PriorityFn::Path1PlusInduced => {
+                let induced = stats.induced_change(parent, candidate) as f64;
+                stats.avg_path1(candidate) + induced.max(0.0)
+            }
+            PriorityFn::PathsN => stats.estimate_paths(candidate),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whyq_graph::{PropertyGraph, Value};
+    use whyq_query::{GraphMod, Predicate, QueryBuilder, Target};
+
+    fn setup() -> (PropertyGraph, PatternQuery) {
+        let mut g = PropertyGraph::new();
+        let a = g.add_vertex([("type", Value::str("person"))]);
+        let b = g.add_vertex([("type", Value::str("city")), ("name", Value::str("Dresden"))]);
+        g.add_edge(a, b, "livesIn", []);
+        let q = QueryBuilder::new("q")
+            .vertex("p", [Predicate::eq("type", "person")])
+            .vertex(
+                "c",
+                [Predicate::eq("type", "city"), Predicate::eq("name", "Berlin")],
+            )
+            .edge("p", "c", "livesIn")
+            .build();
+        (g, q)
+    }
+
+    #[test]
+    fn induced_change_rewards_fixing_the_failure() {
+        let (g, q) = setup();
+        let stats = Statistics::new(&g);
+        // removing the failing name predicate raises the estimate
+        let fix = GraphMod::RemovePredicate {
+            target: Target::Vertex(whyq_query::QVid(1)),
+            attr: "name".into(),
+        };
+        let (fixed, _) = fix.applied(&q).unwrap();
+        // removing the innocent person type predicate does not
+        let noop = GraphMod::RemovePredicate {
+            target: Target::Vertex(whyq_query::QVid(0)),
+            attr: "type".into(),
+        };
+        let (unfixed, _) = noop.applied(&q).unwrap();
+        let p = PriorityFn::InducedChange;
+        assert!(p.score(&fixed, &q, &stats, 0) > p.score(&unfixed, &q, &stats, 0));
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let (g, q) = setup();
+        let stats = Statistics::new(&g);
+        let a = PriorityFn::Random(1).score(&q, &q, &stats, 0);
+        let b = PriorityFn::Random(1).score(&q, &q, &stats, 0);
+        let c = PriorityFn::Random(2).score(&q, &q, &stats, 0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn min_syntactic_prefers_shallow_candidates() {
+        let (g, q) = setup();
+        let stats = Statistics::new(&g);
+        let m = GraphMod::RemovePredicate {
+            target: Target::Vertex(whyq_query::QVid(1)),
+            attr: "name".into(),
+        };
+        let (child, _) = m.applied(&q).unwrap();
+        let shallow = PriorityFn::MinSyntactic.score(&child, &q, &stats, 0);
+        let deep = PriorityFn::MinSyntactic.score(&child, &q, &stats, 3);
+        assert!(shallow > deep);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(PriorityFn::Path1PlusInduced.name(), "path1+induced");
+        assert_eq!(PriorityFn::Random(7).name(), "random");
+    }
+}

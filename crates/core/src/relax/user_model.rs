@@ -1,0 +1,138 @@
+//! The learned user-preference model for query rewriting (§5.4).
+//!
+//! The rewriter never interrogates the user about individual constraints.
+//! Instead it observes *ratings* of delivered explanations: when the user
+//! rates an explanation that modified elements `{x, y}` highly, the model
+//! raises the modification tolerance of `x` and `y`; a poor rating lowers
+//! it. Candidate priorities are then biased toward modifying tolerated
+//! elements ([`PreferenceModel::tolerance`]), which steers subsequent
+//! rounds away from constraints the user silently protects — the
+//! *adaptation of query rewriting* of §5.4.2.
+
+use crate::user::simulated::SimulatedUser;
+use std::collections::HashMap;
+use whyq_query::{PatternQuery, Target};
+
+/// Exponentially-smoothed tolerance weights per query element.
+#[derive(Debug, Clone)]
+pub struct PreferenceModel {
+    weights: HashMap<Target, f64>,
+    /// Smoothing factor of the rating updates.
+    pub alpha: f64,
+}
+
+impl Default for PreferenceModel {
+    fn default() -> Self {
+        PreferenceModel {
+            weights: HashMap::new(),
+            alpha: 0.5,
+        }
+    }
+}
+
+impl PreferenceModel {
+    /// Model with a custom smoothing factor.
+    pub fn with_alpha(alpha: f64) -> Self {
+        PreferenceModel {
+            weights: HashMap::new(),
+            alpha: alpha.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Number of elements with learned weights.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when nothing has been learned yet.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Learned tolerance of modifying an element (neutral 0.5 default).
+    pub fn weight(&self, t: Target) -> f64 {
+        self.weights.get(&t).copied().unwrap_or(0.5)
+    }
+
+    /// Ingest a rating of a delivered explanation: every element the
+    /// explanation modified moves its tolerance toward the rating.
+    pub fn observe(&mut self, original: &PatternQuery, explanation: &PatternQuery, rating: f64) {
+        let rating = rating.clamp(0.0, 1.0);
+        for t in SimulatedUser::changed_elements(original, explanation) {
+            let w = self.weights.entry(t).or_insert(0.5);
+            *w = (1.0 - self.alpha) * *w + self.alpha * rating;
+        }
+    }
+
+    /// Mean tolerance of the elements a candidate modifies relative to its
+    /// parent — the priority bonus of §5.4.2. Neutral 0.5 when the
+    /// candidate modifies nothing.
+    pub fn tolerance(&self, parent: &PatternQuery, candidate: &PatternQuery) -> f64 {
+        let changed = SimulatedUser::changed_elements(parent, candidate);
+        if changed.is_empty() {
+            return 0.5;
+        }
+        changed.iter().map(|&t| self.weight(t)).sum::<f64>() / changed.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whyq_query::{GraphMod, Predicate, QueryBuilder, QVid};
+
+    fn q() -> PatternQuery {
+        QueryBuilder::new("q")
+            .vertex("a", [Predicate::eq("type", "person")])
+            .vertex("b", [Predicate::eq("type", "city")])
+            .edge("a", "b", "livesIn")
+            .build()
+    }
+
+    #[test]
+    fn observe_moves_weights_toward_rating() {
+        let original = q();
+        let (modified, _) = GraphMod::RemovePredicate {
+            target: Target::Vertex(QVid(0)),
+            attr: "type".into(),
+        }
+        .applied(&original)
+        .unwrap();
+        let mut model = PreferenceModel::default();
+        model.observe(&original, &modified, 1.0);
+        assert!(model.weight(Target::Vertex(QVid(0))) > 0.5);
+        model.observe(&original, &modified, 0.0);
+        // pulled back toward 0
+        assert!(model.weight(Target::Vertex(QVid(0))) <= 0.5);
+        assert_eq!(model.len(), 1);
+    }
+
+    #[test]
+    fn tolerance_reflects_learned_weights() {
+        let original = q();
+        let (bad, _) = GraphMod::RemoveEdge(whyq_query::QEid(0))
+            .applied(&original)
+            .unwrap();
+        let mut model = PreferenceModel::default();
+        model.observe(&original, &bad, 0.0);
+        let (good, _) = GraphMod::RemovePredicate {
+            target: Target::Vertex(QVid(1)),
+            attr: "type".into(),
+        }
+        .applied(&original)
+        .unwrap();
+        assert!(model.tolerance(&original, &good) > model.tolerance(&original, &bad));
+    }
+
+    #[test]
+    fn alpha_is_clamped() {
+        let m = PreferenceModel::with_alpha(7.0);
+        assert_eq!(m.alpha, 1.0);
+    }
+
+    #[test]
+    fn unchanged_candidate_is_neutral() {
+        let model = PreferenceModel::default();
+        assert_eq!(model.tolerance(&q(), &q()), 0.5);
+    }
+}

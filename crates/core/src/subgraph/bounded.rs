@@ -1,0 +1,272 @@
+//! The BOUNDEDMCS algorithm for why-so-few and why-so-many queries
+//! (§4.2.2).
+//!
+//! BOUNDEDMCS generalizes DISCOVERMCS from "non-empty" to an arbitrary
+//! cardinality bound. A traversal path is walked to the end (while the
+//! prefix still has *any* matches), the cardinality of every prefix is
+//! recorded, and the **bounded MCS** is the longest prefix whose
+//! cardinality satisfies the bound; the edge following it is the *crossing
+//! edge* where the bound is violated:
+//!
+//! * **why-so-few** (`AtLeast(t)`): the crossing edge is the constraint
+//!   that pushes the count below the threshold — the subgraph to blame for
+//!   the missing answers;
+//! * **why-so-many** (`AtMost(t)`): the crossing edge is where the
+//!   explosion begins (e.g. a high-fan-out traversal). When already every
+//!   seed vertex exceeds the bound, the MCS is empty — the query is
+//!   under-constrained from the start, which is itself the explanation.
+//!
+//! Intermediate result sets are capped at `max(max_intermediate, t + 1)`
+//! so every bound test below the cap is exact.
+
+use crate::explanation::{DifferentialGraph, SubgraphExplanation};
+use crate::problem::CardinalityGoal;
+use crate::stats::Statistics;
+use crate::subgraph::discover::{assemble_mcs, components_of, paths_for, PrefixOutcome};
+use crate::subgraph::traversal::TraversalPath;
+use crate::subgraph::McsConfig;
+use whyq_graph::PropertyGraph;
+use whyq_matcher::{extend_matches, seed_matches, Matcher};
+use whyq_query::PatternQuery;
+
+/// The BOUNDEDMCS algorithm (§4.2.2).
+pub struct BoundedMcs<'g> {
+    g: &'g PropertyGraph,
+    config: McsConfig,
+}
+
+impl<'g> BoundedMcs<'g> {
+    /// BOUNDEDMCS over `g` with default configuration.
+    pub fn new(g: &'g PropertyGraph) -> Self {
+        BoundedMcs {
+            g,
+            config: McsConfig::default(),
+        }
+    }
+
+    /// Override the configuration.
+    pub fn with_config(mut self, config: McsConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Walk one path to its end (or until the prefix empties), returning
+    /// the per-prefix cardinalities: `counts[0]` is the seed count,
+    /// `counts[i]` the count after traversing `i` edges.
+    fn traverse_counts(
+        &self,
+        q: &PatternQuery,
+        path: &TraversalPath,
+        cap: usize,
+        extensions: &mut u64,
+    ) -> Vec<usize> {
+        let mut partial = seed_matches(self.g, q, path.start, cap);
+        *extensions += 1;
+        let mut counts = vec![partial.len()];
+        for &e in &path.edges {
+            if partial.is_empty() {
+                break;
+            }
+            partial = extend_matches(self.g, q, &partial, e, cap);
+            *extensions += 1;
+            counts.push(partial.len());
+        }
+        counts
+    }
+
+    /// Explain a query whose cardinality violates `goal`.
+    pub fn run(&self, q: &PatternQuery, goal: CardinalityGoal) -> SubgraphExplanation {
+        let stats = Statistics::new(self.g);
+        let bound_cap = match goal {
+            CardinalityGoal::NonEmpty => 1,
+            CardinalityGoal::AtLeast(t) | CardinalityGoal::AtMost(t) => t as usize + 1,
+            CardinalityGoal::Between(_, hi) => hi as usize + 1,
+        };
+        let cap = self.config.max_intermediate.max(bound_cap);
+        let mut extensions = 0u64;
+        let mut paths_tried = 0usize;
+        let mut outcomes = Vec::new();
+
+        for component in components_of(q, self.config.decompose) {
+            let comp_edge_count = component
+                .iter()
+                .flat_map(|&v| q.incident_edges(v))
+                .collect::<std::collections::BTreeSet<_>>()
+                .len();
+            let paths = paths_for(q, &component, &self.config, &stats);
+            let mut best: Option<PrefixOutcome> = None;
+            for path in &paths {
+                paths_tried += 1;
+                let counts = self.traverse_counts(q, path, cap, &mut extensions);
+                // longest prefix position with a satisfied cardinality;
+                // position 0 = seed only, position i = i edges traversed
+                let satisfied_len = counts
+                    .iter()
+                    .enumerate()
+                    .rev()
+                    .find(|&(_, &c)| goal.satisfied(c as u64))
+                    .map(|(i, _)| i as i64)
+                    .unwrap_or(-1);
+                let outcome = if satisfied_len < 0 {
+                    PrefixOutcome {
+                        start: path.start,
+                        prefix: Vec::new(),
+                        crossing: path.edges.first().copied(),
+                        seed_ok: false,
+                    }
+                } else {
+                    let n = satisfied_len as usize;
+                    PrefixOutcome {
+                        start: path.start,
+                        prefix: path.edges[..n].to_vec(),
+                        crossing: path.edges.get(n).copied(),
+                        seed_ok: true,
+                    }
+                };
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        outcome.prefix.len() > b.prefix.len() || (!b.seed_ok && outcome.seed_ok)
+                    }
+                };
+                if better {
+                    let complete = outcome.prefix.len() == comp_edge_count;
+                    best = Some(outcome);
+                    if complete {
+                        break;
+                    }
+                }
+            }
+            if let Some(b) = best {
+                outcomes.push(b);
+            }
+        }
+
+        let mcs = assemble_mcs(q, &outcomes);
+        let mcs_cardinality = if mcs.num_vertices() == 0 {
+            0
+        } else {
+            Matcher::new(self.g)
+                .with_index("type")
+                .count(&mcs, Some(self.config.cardinality_limit))
+        };
+        let crossing_edge = outcomes.iter().find_map(|o| o.crossing);
+        SubgraphExplanation {
+            differential: DifferentialGraph::between(q, &mcs),
+            mcs,
+            mcs_cardinality,
+            crossing_edge,
+            paths_tried,
+            extensions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whyq_graph::Value;
+    use whyq_query::{Predicate, QEid, QueryBuilder, QVid};
+
+    /// Star data: one city with ten inhabitants; only one of them works at
+    /// the rare company.
+    fn data() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let city = g.add_vertex([("type", Value::str("city"))]);
+        let rare = g.add_vertex([("type", Value::str("company")), ("name", Value::str("RareCo"))]);
+        for i in 0..10 {
+            let p = g.add_vertex([("type", Value::str("person"))]);
+            g.add_edge(p, city, "livesIn", []);
+            if i == 0 {
+                g.add_edge(p, rare, "worksAt", []);
+            }
+        }
+        g
+    }
+
+    /// person -livesIn-> city, person -worksAt-> company(RareCo)
+    fn star_query() -> PatternQuery {
+        QueryBuilder::new("star")
+            .vertex("p", [Predicate::eq("type", "person")])
+            .vertex("c", [Predicate::eq("type", "city")])
+            .vertex(
+                "co",
+                [Predicate::eq("type", "company"), Predicate::eq("name", "RareCo")],
+            )
+            .edge("p", "c", "livesIn")
+            .edge("p", "co", "worksAt")
+            .build()
+    }
+
+    #[test]
+    fn why_so_few_blames_the_selective_edge() {
+        let g = data();
+        let q = star_query();
+        // full query delivers 1 answer; the user expected ≥ 5
+        let expl = BoundedMcs::new(&g).run(&q, CardinalityGoal::AtLeast(5));
+        // bounded MCS: person + livesIn + city (10 matches ≥ 5)
+        assert_eq!(expl.mcs.num_edges(), 1);
+        assert!(expl.mcs.edge(whyq_query::QEid(0)).is_some());
+        assert_eq!(expl.mcs_cardinality, 10);
+        // crossing edge: the worksAt edge towards the rare company
+        assert_eq!(expl.crossing_edge, Some(whyq_query::QEid(1)));
+        let failed: Vec<QEid> = expl.differential.edge_ids().collect();
+        assert_eq!(failed, vec![whyq_query::QEid(1)]);
+    }
+
+    #[test]
+    fn why_so_many_finds_explosion_edge() {
+        let g = data();
+        // city joined with every inhabitant: 10 answers, user wanted ≤ 3
+        let q = QueryBuilder::new("many")
+            .vertex("c", [Predicate::eq("type", "city")])
+            .vertex("p", [Predicate::eq("type", "person")])
+            .edge("p", "c", "livesIn")
+            .build();
+        let expl = BoundedMcs::new(&g).run(&q, CardinalityGoal::AtMost(3));
+        // the city seed (1 ≤ 3) is fine; adding livesIn explodes to 10
+        assert_eq!(expl.mcs.num_edges(), 0);
+        assert!(expl.mcs.vertex(QVid(0)).is_some());
+        assert_eq!(expl.crossing_edge, Some(whyq_query::QEid(0)));
+    }
+
+    #[test]
+    fn satisfied_bound_covers_whole_query() {
+        let g = data();
+        let q = QueryBuilder::new("ok")
+            .vertex("c", [Predicate::eq("type", "city")])
+            .vertex("p", [Predicate::eq("type", "person")])
+            .edge("p", "c", "livesIn")
+            .build();
+        let expl = BoundedMcs::new(&g).run(&q, CardinalityGoal::AtMost(50));
+        assert!(expl.differential.is_empty());
+        assert_eq!(expl.mcs_cardinality, 10);
+    }
+
+    #[test]
+    fn bounded_with_nonempty_goal_matches_discover() {
+        let g = data();
+        let q = QueryBuilder::new("fail")
+            .vertex(
+                "p",
+                [Predicate::eq("type", "person"), Predicate::eq("gender", "unknown")],
+            )
+            .vertex("c", [Predicate::eq("type", "city")])
+            .edge("p", "c", "livesIn")
+            .build();
+        let bounded = BoundedMcs::new(&g).run(&q, CardinalityGoal::NonEmpty);
+        let discover = crate::subgraph::DiscoverMcs::new(&g).run(&q);
+        assert_eq!(bounded.mcs.num_edges(), discover.mcs.num_edges());
+        assert_eq!(bounded.mcs.num_vertices(), discover.mcs.num_vertices());
+    }
+
+    #[test]
+    fn hopeless_bound_yields_empty_mcs() {
+        let g = data();
+        let q = star_query();
+        // nothing in this data ever reaches 1000 matches
+        let expl = BoundedMcs::new(&g).run(&q, CardinalityGoal::AtLeast(1000));
+        assert_eq!(expl.mcs.num_vertices(), 0);
+        assert_eq!(expl.differential.len(), q.num_vertices() + q.num_edges());
+    }
+}

@@ -1,0 +1,336 @@
+//! The DISCOVERMCS algorithm for why-empty queries (§4.2.1).
+//!
+//! DISCOVERMCS detects the maximum common connected subgraph (MCS) between
+//! a failed query and the data graph: the largest connected subquery that
+//! still delivers results. It traverses the query edge-by-edge along
+//! traversal paths while maintaining the intermediate result sets of the
+//! traversed prefix; the first edge whose addition empties the results is
+//! the *crossing edge*, the traversed prefix is an MCS candidate, and the
+//! maximum over all tried paths is returned. The differential graph
+//! `Q ∖ MCS` — the failed query part — is the explanation (§4.2.3).
+//!
+//! With exhaustive path enumeration the result is exact (every satisfiable
+//! connected subquery is a prefix of some connected order); the single-path
+//! strategies of §4.3.2/§4.4.2 approximate it with one traversal.
+
+use crate::explanation::{DifferentialGraph, SubgraphExplanation};
+use crate::stats::Statistics;
+use crate::subgraph::traversal::{
+    enumerate_paths, selectivity_path, user_centric_path, PathStrategy, TraversalPath,
+};
+use crate::subgraph::McsConfig;
+use whyq_graph::PropertyGraph;
+use whyq_matcher::{extend_matches, seed_matches, Matcher};
+use whyq_query::{PatternQuery, QEid, QVid};
+
+/// Outcome of traversing one component along its best path.
+#[derive(Debug, Clone)]
+pub(crate) struct PrefixOutcome {
+    pub start: QVid,
+    pub prefix: Vec<QEid>,
+    pub crossing: Option<QEid>,
+    pub seed_ok: bool,
+}
+
+/// Traverse one path, growing the prefix while `satisfied(count)` holds.
+pub(crate) fn traverse_path(
+    g: &PropertyGraph,
+    q: &PatternQuery,
+    path: &TraversalPath,
+    cap: usize,
+    satisfied: &dyn Fn(usize) -> bool,
+    extensions: &mut u64,
+) -> PrefixOutcome {
+    let mut partial = seed_matches(g, q, path.start, cap);
+    *extensions += 1;
+    if !satisfied(partial.len()) {
+        return PrefixOutcome {
+            start: path.start,
+            prefix: Vec::new(),
+            crossing: None,
+            seed_ok: false,
+        };
+    }
+    let mut prefix = Vec::new();
+    for &e in &path.edges {
+        let next = extend_matches(g, q, &partial, e, cap);
+        *extensions += 1;
+        if !satisfied(next.len()) {
+            return PrefixOutcome {
+                start: path.start,
+                prefix,
+                crossing: Some(e),
+                seed_ok: true,
+            };
+        }
+        partial = next;
+        prefix.push(e);
+    }
+    PrefixOutcome {
+        start: path.start,
+        prefix,
+        crossing: None,
+        seed_ok: true,
+    }
+}
+
+/// Best prefix over a set of paths for one component: the longest prefix
+/// wins; exploration stops early once a path covers every component edge.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn best_prefix(
+    g: &PropertyGraph,
+    q: &PatternQuery,
+    paths: &[TraversalPath],
+    component_edges: usize,
+    cap: usize,
+    satisfied: &dyn Fn(usize) -> bool,
+    extensions: &mut u64,
+    paths_tried: &mut usize,
+) -> PrefixOutcome {
+    let mut best: Option<PrefixOutcome> = None;
+    for path in paths {
+        *paths_tried += 1;
+        let outcome = traverse_path(g, q, path, cap, satisfied, extensions);
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                outcome.prefix.len() > b.prefix.len()
+                    || (!b.seed_ok && outcome.seed_ok)
+            }
+        };
+        if better {
+            let complete = outcome.prefix.len() == component_edges;
+            best = Some(outcome);
+            if complete {
+                break;
+            }
+        }
+    }
+    best.unwrap_or(PrefixOutcome {
+        start: QVid(0),
+        prefix: Vec::new(),
+        crossing: None,
+        seed_ok: false,
+    })
+}
+
+/// Components to traverse: per-WCC when decomposition is on (§4.3.1),
+/// otherwise the whole live vertex set at once.
+pub(crate) fn components_of(q: &PatternQuery, decompose: bool) -> Vec<Vec<QVid>> {
+    if decompose {
+        q.weakly_connected_components()
+    } else {
+        let all: Vec<QVid> = q.vertex_ids().collect();
+        if all.is_empty() {
+            Vec::new()
+        } else {
+            vec![all]
+        }
+    }
+}
+
+/// Paths for one component per the configured strategy.
+pub(crate) fn paths_for(
+    q: &PatternQuery,
+    component: &[QVid],
+    config: &McsConfig,
+    stats: &Statistics<'_>,
+) -> Vec<TraversalPath> {
+    match &config.strategy {
+        PathStrategy::Exhaustive => enumerate_paths(q, component, config.max_paths),
+        PathStrategy::SingleSelectivity => vec![selectivity_path(q, component, stats)],
+        PathStrategy::UserCentric(prefs) => {
+            vec![user_centric_path(q, component, prefs, stats)]
+        }
+    }
+}
+
+/// Assemble the MCS query from per-component outcomes, preserving ids.
+pub(crate) fn assemble_mcs(q: &PatternQuery, outcomes: &[PrefixOutcome]) -> PatternQuery {
+    let all_edges: Vec<QEid> = outcomes.iter().flat_map(|o| o.prefix.iter().copied()).collect();
+    let mut mcs = q.edge_subquery(&all_edges);
+    for o in outcomes {
+        // an edgeless but matching seed still belongs to the MCS
+        if o.seed_ok && mcs.vertex(o.start).is_none() {
+            if let Some(v) = q.vertex(o.start) {
+                mcs.restore_vertex(o.start, v.clone());
+            }
+        }
+    }
+    mcs
+}
+
+/// The DISCOVERMCS algorithm (§4.2.1).
+pub struct DiscoverMcs<'g> {
+    g: &'g PropertyGraph,
+    config: McsConfig,
+}
+
+impl<'g> DiscoverMcs<'g> {
+    /// DISCOVERMCS over `g` with default configuration.
+    pub fn new(g: &'g PropertyGraph) -> Self {
+        DiscoverMcs {
+            g,
+            config: McsConfig::default(),
+        }
+    }
+
+    /// Override the configuration (path strategy, caps, decomposition).
+    pub fn with_config(mut self, config: McsConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Explain a why-empty query: detect the MCS and the differential graph.
+    pub fn run(&self, q: &PatternQuery) -> SubgraphExplanation {
+        let stats = Statistics::new(self.g);
+        let satisfied = |n: usize| n > 0;
+        let mut extensions = 0u64;
+        let mut paths_tried = 0usize;
+        let mut outcomes = Vec::new();
+        for component in components_of(q, self.config.decompose) {
+            let comp_edges: Vec<QEid> = component
+                .iter()
+                .flat_map(|&v| q.incident_edges(v))
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            let paths = paths_for(q, &component, &self.config, &stats);
+            let outcome = best_prefix(
+                self.g,
+                q,
+                &paths,
+                comp_edges.len(),
+                self.config.max_intermediate,
+                &satisfied,
+                &mut extensions,
+                &mut paths_tried,
+            );
+            outcomes.push(outcome);
+        }
+        let mcs = assemble_mcs(q, &outcomes);
+        let mcs_cardinality = if mcs.num_vertices() == 0 {
+            0
+        } else {
+            Matcher::new(self.g)
+                .with_index("type")
+                .count(&mcs, Some(self.config.cardinality_limit))
+        };
+        let crossing_edge = outcomes.iter().find_map(|o| o.crossing);
+        SubgraphExplanation {
+            differential: DifferentialGraph::between(q, &mcs),
+            mcs,
+            mcs_cardinality,
+            crossing_edge,
+            paths_tried,
+            extensions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whyq_graph::Value;
+    use whyq_query::{Predicate, QueryBuilder};
+
+    /// Data: Anna works at TUD (since 2003), TUD located in Dresden.
+    fn data() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let anna = g.add_vertex([("type", Value::str("person")), ("name", Value::str("Anna"))]);
+        let tud = g.add_vertex([("type", Value::str("university"))]);
+        let dresden = g.add_vertex([("type", Value::str("city")), ("name", Value::str("Dresden"))]);
+        g.add_edge(anna, tud, "workAt", [("sinceYear", Value::Int(2003))]);
+        g.add_edge(tud, dresden, "locatedIn", []);
+        g
+    }
+
+    /// Query asking for the university in *Berlin* — fails on the city name.
+    fn failing_query() -> PatternQuery {
+        QueryBuilder::new("f")
+            .vertex("p", [Predicate::eq("type", "person")])
+            .vertex("u", [Predicate::eq("type", "university")])
+            .vertex(
+                "c",
+                [Predicate::eq("type", "city"), Predicate::eq("name", "Berlin")],
+            )
+            .edge("p", "u", "workAt")
+            .edge("u", "c", "locatedIn")
+            .build()
+    }
+
+    #[test]
+    fn finds_mcs_and_differential() {
+        let g = data();
+        let expl = DiscoverMcs::new(&g).run(&failing_query());
+        // MCS: person -workAt-> university (1 edge, 2 vertices)
+        assert_eq!(expl.mcs.num_edges(), 1);
+        assert_eq!(expl.mcs.num_vertices(), 2);
+        assert_eq!(expl.mcs_cardinality, 1);
+        // differential: the city vertex and the locatedIn edge
+        let failed_vs: Vec<QVid> = expl.differential.vertex_ids().collect();
+        let failed_es: Vec<QEid> = expl.differential.edge_ids().collect();
+        assert_eq!(failed_vs, vec![QVid(2)]);
+        assert_eq!(failed_es, vec![QEid(1)]);
+        assert_eq!(expl.crossing_edge, Some(QEid(1)));
+        assert!(expl.paths_tried >= 1);
+        assert!(expl.extensions >= 2);
+    }
+
+    #[test]
+    fn succeeding_query_has_empty_differential() {
+        let g = data();
+        let q = QueryBuilder::new("ok")
+            .vertex("p", [Predicate::eq("type", "person")])
+            .vertex("u", [Predicate::eq("type", "university")])
+            .edge("p", "u", "workAt")
+            .build();
+        let expl = DiscoverMcs::new(&g).run(&q);
+        assert!(expl.differential.is_empty());
+        assert_eq!(expl.mcs_cardinality, 1);
+        assert_eq!(expl.crossing_edge, None);
+    }
+
+    #[test]
+    fn totally_failing_seed_excludes_component() {
+        let g = data();
+        let q = QueryBuilder::new("alien")
+            .vertex("x", [Predicate::eq("type", "spaceship")])
+            .build();
+        let expl = DiscoverMcs::new(&g).run(&q);
+        assert_eq!(expl.mcs.num_vertices(), 0);
+        assert_eq!(expl.mcs_cardinality, 0);
+        assert_eq!(expl.differential.len(), 1);
+    }
+
+    #[test]
+    fn single_path_strategy_is_cheaper() {
+        let g = data();
+        let q = failing_query();
+        let exhaustive = DiscoverMcs::new(&g).run(&q);
+        let single = DiscoverMcs::new(&g)
+            .with_config(McsConfig {
+                strategy: PathStrategy::SingleSelectivity,
+                ..McsConfig::default()
+            })
+            .run(&q);
+        assert!(single.paths_tried <= exhaustive.paths_tried);
+        assert!(single.extensions <= exhaustive.extensions);
+        // on this simple query the approximation is exact
+        assert_eq!(single.mcs.num_edges(), exhaustive.mcs.num_edges());
+    }
+
+    #[test]
+    fn disconnected_query_components_processed_separately() {
+        let g = data();
+        let q = QueryBuilder::new("two-parts")
+            .vertex("p", [Predicate::eq("type", "person")])
+            .vertex("c", [Predicate::eq("type", "city"), Predicate::eq("name", "Atlantis")])
+            .build();
+        let expl = DiscoverMcs::new(&g).run(&q);
+        // person part matches, Atlantis part fails
+        assert!(expl.mcs.vertex(QVid(0)).is_some());
+        assert!(expl.mcs.vertex(QVid(1)).is_none());
+        assert_eq!(expl.differential.len(), 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! Subgraph-based explanations (Ch. 4).
+//!
+//! *Why did the query deliver an unexpected number of answers?* — answered
+//! in terms of the query's own topology: traverse the query graph while
+//! maintaining the intermediate results of the traversed subquery, find the
+//! largest subquery that still behaves as expected (the **maximum common
+//! connected subgraph** between query and data, §4.1.1) and report the rest
+//! as the **differential graph** (§4.1.2).
+//!
+//! * [`discover::DiscoverMcs`] — the DISCOVERMCS algorithm for why-empty
+//!   queries (§4.2.1);
+//! * [`bounded::BoundedMcs`] — the BOUNDEDMCS algorithm for why-so-few and
+//!   why-so-many queries (§4.2.2);
+//! * [`traversal`] — traversal-path enumeration and the single-path
+//!   selection heuristics (§4.3.2, §4.4.2).
+//!
+//! The §4.3 optimizations are configuration switches on [`McsConfig`]:
+//! weakly-connected-component decomposition (§4.3.1), single traversal path
+//! (§4.3.2) and unconnected-component handling (§4.3.3).
+
+pub mod bounded;
+pub mod discover;
+pub mod traversal;
+
+pub use bounded::BoundedMcs;
+pub use discover::DiscoverMcs;
+pub use traversal::{PathStrategy, TraversalPath};
+
+/// Configuration shared by DISCOVERMCS and BOUNDEDMCS.
+#[derive(Debug, Clone)]
+pub struct McsConfig {
+    /// How traversal paths are chosen (§4.3.2 / §4.4.2).
+    pub strategy: PathStrategy,
+    /// Process weakly connected query components separately (§4.3.1).
+    pub decompose: bool,
+    /// Cap on intermediate result-set sizes during traversal.
+    pub max_intermediate: usize,
+    /// Cap on the number of traversal paths tried per component in
+    /// exhaustive mode.
+    pub max_paths: usize,
+    /// Cap used when counting the cardinality of the final MCS.
+    pub cardinality_limit: u64,
+}
+
+impl Default for McsConfig {
+    fn default() -> Self {
+        McsConfig {
+            strategy: PathStrategy::Exhaustive,
+            decompose: true,
+            max_intermediate: 10_000,
+            max_paths: 64,
+            cardinality_limit: 100_000,
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! Traversal paths over the query graph (§4.2, §4.3.2, §4.4.2).
+//!
+//! A traversal path fixes the order in which query edges are evaluated
+//! while growing the common subgraph. DISCOVERMCS is exact when it may try
+//! *all* connected edge orders (every satisfiable connected subquery is a
+//! prefix of some order); the §4.3.2 optimization instead selects a
+//! *single* path by a selectivity heuristic, trading exactness for a large
+//! cut in traversals. §4.4.2 selects the path by user-preference rank
+//! instead, so the elements the user cares about are examined first.
+
+use crate::stats::Statistics;
+use crate::user::UserPreferences;
+use whyq_query::{PatternQuery, QEid, QVid};
+
+/// One traversal order: a start vertex and a sequence of query edges. Each
+/// edge either touches the already-visited subquery or — for unconnected
+/// queries (§4.3.3) — starts a new traversal island (a *jump*).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraversalPath {
+    /// Seed vertex.
+    pub start: QVid,
+    /// Edge evaluation order.
+    pub edges: Vec<QEid>,
+}
+
+/// Strategy for choosing traversal paths.
+#[derive(Debug, Clone)]
+pub enum PathStrategy {
+    /// Try every connected edge order (up to the configured cap) — exact
+    /// but exponential in the worst case.
+    Exhaustive,
+    /// One path chosen greedily by ascending `path(1)` selectivity
+    /// (§4.3.2): cheap, approximate.
+    SingleSelectivity,
+    /// One path chosen by user preference, most interesting elements first
+    /// (§4.4.2); selectivity breaks ties.
+    UserCentric(UserPreferences),
+}
+
+/// Enumerate traversal paths of the subquery induced by `component`,
+/// stopping after `max` paths.
+pub fn enumerate_paths(q: &PatternQuery, component: &[QVid], max: usize) -> Vec<TraversalPath> {
+    let mut out = Vec::new();
+    let comp_edges: Vec<QEid> = collect_component_edges(q, component);
+    for &start in component {
+        if out.len() >= max {
+            break;
+        }
+        let mut visited = vec![start];
+        let mut order = Vec::new();
+        let mut remaining = comp_edges.clone();
+        extend_orders(q, start, &mut visited, &mut order, &mut remaining, &mut out, max);
+    }
+    out
+}
+
+fn collect_component_edges(q: &PatternQuery, component: &[QVid]) -> Vec<QEid> {
+    let mut edges: Vec<QEid> = component
+        .iter()
+        .flat_map(|&v| q.incident_edges(v))
+        .collect();
+    edges.sort();
+    edges.dedup();
+    edges
+}
+
+#[allow(clippy::too_many_arguments)]
+fn extend_orders(
+    q: &PatternQuery,
+    start: QVid,
+    visited: &mut Vec<QVid>,
+    order: &mut Vec<QEid>,
+    remaining: &mut Vec<QEid>,
+    out: &mut Vec<TraversalPath>,
+    max: usize,
+) {
+    if out.len() >= max {
+        return;
+    }
+    if remaining.is_empty() {
+        out.push(TraversalPath {
+            start,
+            edges: order.clone(),
+        });
+        return;
+    }
+    // frontier edges touch a visited vertex; if none exist the query is
+    // unconnected from here — allow a jump to any remaining edge (§4.3.3)
+    let frontier: Vec<QEid> = remaining
+        .iter()
+        .copied()
+        .filter(|&e| {
+            let ed = q.edge(e).expect("live");
+            visited.contains(&ed.src) || visited.contains(&ed.dst)
+        })
+        .collect();
+    let candidates = if frontier.is_empty() {
+        remaining.clone()
+    } else {
+        frontier
+    };
+    for e in candidates {
+        let pos = remaining.iter().position(|&x| x == e).expect("present");
+        remaining.remove(pos);
+        order.push(e);
+        let ed = q.edge(e).expect("live");
+        let mut pushed = Vec::new();
+        for v in [ed.src, ed.dst] {
+            if !visited.contains(&v) {
+                visited.push(v);
+                pushed.push(v);
+            }
+        }
+        extend_orders(q, start, visited, order, remaining, out, max);
+        for _ in pushed {
+            visited.pop();
+        }
+        order.pop();
+        remaining.insert(pos, e);
+        if out.len() >= max {
+            return;
+        }
+    }
+}
+
+/// Greedy single path: seed at the most selective vertex that still has
+/// candidates, then repeatedly take the frontier edge with the smallest
+/// *non-zero* `path(1)` cardinality — zero-cardinality (failing) elements
+/// are pushed to the end of the path so the succeeding prefix grows as
+/// long as possible before the failure is hit.
+pub fn selectivity_path(
+    q: &PatternQuery,
+    component: &[QVid],
+    stats: &Statistics<'_>,
+) -> TraversalPath {
+    let start = selective_start(q, component, stats);
+    greedy_path(q, component, start, |e| {
+        selectivity_key(stats.edge_card(q, e))
+    })
+}
+
+/// Greedy single path by *descending* user preference (§4.4.2); the seed
+/// is an endpoint of the most interesting edge and the selectivity
+/// estimate breaks ties, so uninteresting cheap edges still come before
+/// uninteresting expensive ones.
+pub fn user_centric_path(
+    q: &PatternQuery,
+    component: &[QVid],
+    prefs: &UserPreferences,
+    stats: &Statistics<'_>,
+) -> TraversalPath {
+    // seed next to the edge the user cares most about (if any stands out)
+    let favorite = component
+        .iter()
+        .flat_map(|&v| q.incident_edges(v))
+        .max_by(|&a, &b| {
+            prefs
+                .edge_weight(a)
+                .partial_cmp(&prefs.edge_weight(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.cmp(&a))
+        });
+    let start = match favorite {
+        Some(e) if prefs.edge_weight(e) > crate::user::preferences::NEUTRAL_WEIGHT => {
+            let ed = q.edge(e).expect("live");
+            if stats.vertex_card(q, ed.src) <= stats.vertex_card(q, ed.dst) {
+                ed.src
+            } else {
+                ed.dst
+            }
+        }
+        _ => selective_start(q, component, stats),
+    };
+    greedy_path(q, component, start, |e| {
+        // lower key = earlier; high preference lowers the key strongly
+        let sel = selectivity_key(stats.edge_card(q, e));
+        (1.0 - prefs.edge_weight(e)) * 1e12 + sel
+    })
+}
+
+/// Zero-cardinality elements sort last: they are the failing parts.
+fn selectivity_key(card: u64) -> f64 {
+    if card == 0 {
+        f64::INFINITY
+    } else {
+        card as f64
+    }
+}
+
+/// The most selective vertex that still has candidates (fallback: minimum
+/// cardinality overall).
+fn selective_start(q: &PatternQuery, component: &[QVid], stats: &Statistics<'_>) -> QVid {
+    component
+        .iter()
+        .copied()
+        .min_by_key(|&v| {
+            let c = stats.vertex_card(q, v);
+            (if c == 0 { u64::MAX } else { c }, v)
+        })
+        .expect("non-empty component")
+}
+
+fn greedy_path(
+    q: &PatternQuery,
+    component: &[QVid],
+    start: QVid,
+    key: impl Fn(QEid) -> f64,
+) -> TraversalPath {
+    let mut visited = vec![start];
+    let mut remaining = collect_component_edges(q, component);
+    let mut order = Vec::new();
+    while !remaining.is_empty() {
+        let frontier: Vec<QEid> = remaining
+            .iter()
+            .copied()
+            .filter(|&e| {
+                let ed = q.edge(e).expect("live");
+                visited.contains(&ed.src) || visited.contains(&ed.dst)
+            })
+            .collect();
+        let pool = if frontier.is_empty() {
+            remaining.clone()
+        } else {
+            frontier
+        };
+        let best = pool
+            .into_iter()
+            .min_by(|&a, &b| {
+                key(a)
+                    .partial_cmp(&key(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            })
+            .expect("pool non-empty");
+        remaining.retain(|&e| e != best);
+        let ed = q.edge(best).expect("live");
+        for v in [ed.src, ed.dst] {
+            if !visited.contains(&v) {
+                visited.push(v);
+            }
+        }
+        order.push(best);
+    }
+    TraversalPath {
+        start,
+        edges: order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whyq_graph::{PropertyGraph, Value};
+    use whyq_query::{Predicate, QueryBuilder};
+
+    fn tri_query() -> PatternQuery {
+        QueryBuilder::new("tri")
+            .vertex("a", [Predicate::eq("type", "person")])
+            .vertex("b", [Predicate::eq("type", "person")])
+            .vertex("c", [Predicate::eq("type", "city")])
+            .edge("a", "b", "knows")
+            .edge("a", "c", "livesIn")
+            .edge("b", "c", "livesIn")
+            .build()
+    }
+
+    #[test]
+    fn enumerates_connected_orders() {
+        let q = tri_query();
+        let comp: Vec<QVid> = q.vertex_ids().collect();
+        let paths = enumerate_paths(&q, &comp, 1000);
+        // every path covers all three edges
+        assert!(paths.iter().all(|p| p.edges.len() == 3));
+        // multiple orders and starts exist
+        assert!(paths.len() >= 6);
+        // connectivity invariant: each prefix touches the visited set
+        for p in &paths {
+            let mut seen = vec![p.start];
+            for &e in &p.edges {
+                let ed = q.edge(e).unwrap();
+                assert!(seen.contains(&ed.src) || seen.contains(&ed.dst));
+                for v in [ed.src, ed.dst] {
+                    if !seen.contains(&v) {
+                        seen.push(v);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cap_limits_enumeration() {
+        let q = tri_query();
+        let comp: Vec<QVid> = q.vertex_ids().collect();
+        assert_eq!(enumerate_paths(&q, &comp, 4).len(), 4);
+    }
+
+    #[test]
+    fn selectivity_path_orders_cheap_edges_first() {
+        let mut g = PropertyGraph::new();
+        // many knows edges, one livesIn edge → livesIn is more selective
+        let city = g.add_vertex([("type", Value::str("city"))]);
+        let mut people = Vec::new();
+        for _ in 0..6 {
+            people.push(g.add_vertex([("type", Value::str("person"))]));
+        }
+        for w in people.windows(2) {
+            g.add_edge(w[0], w[1], "knows", []);
+        }
+        g.add_edge(people[0], city, "livesIn", []);
+        let q = tri_query();
+        let stats = Statistics::new(&g);
+        let comp: Vec<QVid> = q.vertex_ids().collect();
+        let p = selectivity_path(&q, &comp, &stats);
+        assert_eq!(p.edges.len(), 3);
+        // first edge must be one of the livesIn edges (card 1 each)
+        let first = q.edge(p.edges[0]).unwrap();
+        assert_eq!(first.types, vec!["livesIn".to_string()]);
+    }
+
+    #[test]
+    fn user_centric_path_honors_preferences() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_vertex([("type", Value::str("person"))]);
+        let b = g.add_vertex([("type", Value::str("person"))]);
+        let c = g.add_vertex([("type", Value::str("city"))]);
+        g.add_edge(a, b, "knows", []);
+        g.add_edge(a, c, "livesIn", []);
+        g.add_edge(b, c, "livesIn", []);
+        let q = tri_query();
+        let stats = Statistics::new(&g);
+        let comp: Vec<QVid> = q.vertex_ids().collect();
+        let mut prefs = UserPreferences::new();
+        prefs.set_edge(QEid(0), 1.0); // the knows edge is most interesting
+        let p = user_centric_path(&q, &comp, &prefs, &stats);
+        assert_eq!(p.edges[0], QEid(0));
+    }
+
+    #[test]
+    fn disconnected_queries_jump() {
+        let q = QueryBuilder::new("two")
+            .vertex("a", [])
+            .vertex("b", [])
+            .vertex("x", [])
+            .vertex("y", [])
+            .edge("a", "b", "t")
+            .edge("x", "y", "t")
+            .build();
+        let comp: Vec<QVid> = q.vertex_ids().collect();
+        let paths = enumerate_paths(&q, &comp, 10);
+        assert!(paths.iter().all(|p| p.edges.len() == 2));
+    }
+}

@@ -1,0 +1,16 @@
+//! Non-intrusive user integration (§3.1.6, §4.4, §5.4).
+//!
+//! The thesis integrates users without asking them to steer every decision:
+//! a preference weight per query element expresses how *interesting* an
+//! element is for the explanation ([`UserPreferences`]); the traversal-path
+//! selection consumes the weights (§4.4.2) and the rewriting engines learn
+//! a preference model from ratings of delivered explanations (§5.4).
+//!
+//! For reproducible experiments a [`SimulatedUser`] with hidden preferences
+//! rates explanations deterministically.
+
+pub mod preferences;
+pub mod simulated;
+
+pub use preferences::UserPreferences;
+pub use simulated::SimulatedUser;

@@ -1,0 +1,128 @@
+//! User preference weights over query elements (§4.4.1).
+//!
+//! A weight in `[0, 1]` per query vertex/edge expresses the user's interest
+//! in having that element *examined first* during subgraph-explanation
+//! traversal (high interest → traverse early, §4.4.2) and, during
+//! rewriting, the tolerance for *modifying* it (§5.4). Unweighted elements
+//! default to a neutral 0.5.
+
+use std::collections::HashMap;
+use whyq_query::{QEid, QVid, Target};
+
+/// Neutral weight of elements the user never rated.
+pub const NEUTRAL_WEIGHT: f64 = 0.5;
+
+/// Preference weights over query elements.
+#[derive(Debug, Clone, Default)]
+pub struct UserPreferences {
+    weights: HashMap<Target, f64>,
+}
+
+impl UserPreferences {
+    /// No expressed preferences (all neutral).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the weight of a query vertex (clamped to `[0, 1]`).
+    pub fn set_vertex(&mut self, v: QVid, w: f64) -> &mut Self {
+        self.weights.insert(Target::Vertex(v), w.clamp(0.0, 1.0));
+        self
+    }
+
+    /// Set the weight of a query edge (clamped to `[0, 1]`).
+    pub fn set_edge(&mut self, e: QEid, w: f64) -> &mut Self {
+        self.weights.insert(Target::Edge(e), w.clamp(0.0, 1.0));
+        self
+    }
+
+    /// Weight of an element (neutral when unrated).
+    pub fn weight(&self, t: Target) -> f64 {
+        self.weights.get(&t).copied().unwrap_or(NEUTRAL_WEIGHT)
+    }
+
+    /// Weight of an element with a custom default for unrated ones.
+    pub fn weight_or(&self, t: Target, default: f64) -> f64 {
+        self.weights.get(&t).copied().unwrap_or(default)
+    }
+
+    /// Weight of a query edge.
+    pub fn edge_weight(&self, e: QEid) -> f64 {
+        self.weight(Target::Edge(e))
+    }
+
+    /// Weight of a query vertex.
+    pub fn vertex_weight(&self, v: QVid) -> f64 {
+        self.weight(Target::Vertex(v))
+    }
+
+    /// Number of explicitly rated elements.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when the user expressed no preference at all.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Rank of a traversal path (§4.4.3): positionally discounted sum of
+    /// edge weights, normalized to `[0, 1]` — elements the user cares about
+    /// contribute more when traversed earlier.
+    pub fn path_rank(&self, edges: &[QEid]) -> f64 {
+        if edges.is_empty() {
+            return NEUTRAL_WEIGHT;
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (i, &e) in edges.iter().enumerate() {
+            let discount = 1.0 / (i as f64 + 1.0);
+            num += self.edge_weight(e) * discount;
+            den += discount;
+        }
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_neutral() {
+        let p = UserPreferences::new();
+        assert_eq!(p.edge_weight(QEid(3)), NEUTRAL_WEIGHT);
+        assert_eq!(p.vertex_weight(QVid(3)), NEUTRAL_WEIGHT);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn weights_clamped() {
+        let mut p = UserPreferences::new();
+        p.set_edge(QEid(0), 2.5);
+        p.set_vertex(QVid(0), -1.0);
+        assert_eq!(p.edge_weight(QEid(0)), 1.0);
+        assert_eq!(p.vertex_weight(QVid(0)), 0.0);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn path_rank_prefers_interesting_first() {
+        let mut p = UserPreferences::new();
+        p.set_edge(QEid(0), 1.0);
+        p.set_edge(QEid(1), 0.0);
+        let interesting_first = p.path_rank(&[QEid(0), QEid(1)]);
+        let interesting_last = p.path_rank(&[QEid(1), QEid(0)]);
+        assert!(interesting_first > interesting_last);
+        // empty path is neutral
+        assert_eq!(p.path_rank(&[]), NEUTRAL_WEIGHT);
+    }
+
+    #[test]
+    fn path_rank_bounds() {
+        let mut p = UserPreferences::new();
+        p.set_edge(QEid(0), 1.0);
+        p.set_edge(QEid(1), 1.0);
+        assert!((p.path_rank(&[QEid(0), QEid(1)]) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,156 @@
+//! A deterministic simulated user for reproducible experiments.
+//!
+//! The thesis evaluates user integration with users who rate delivered
+//! explanations (§5.5.4, App. B.1). The paper's users are human; for a
+//! reproducible benchmark we substitute a simulated user holding *hidden*
+//! protection weights: elements the user silently considers essential.
+//! An explanation that modifies protected elements receives a low rating;
+//! one that only touches irrelevant elements receives a high rating. The
+//! rewriting engine never sees the hidden weights — only the ratings —
+//! exactly matching the paper's non-intrusive integration model.
+
+use crate::user::preferences::UserPreferences;
+use whyq_query::{PatternQuery, QEid, QVid, Target};
+
+/// A user with hidden per-element protection weights.
+#[derive(Debug, Clone, Default)]
+pub struct SimulatedUser {
+    hidden: UserPreferences,
+}
+
+impl SimulatedUser {
+    /// User with the given hidden protection weights (1.0 = must not be
+    /// modified, 0.0 = free to modify).
+    pub fn new(hidden: UserPreferences) -> Self {
+        SimulatedUser { hidden }
+    }
+
+    /// The hidden model (test/benchmark introspection only).
+    pub fn hidden(&self) -> &UserPreferences {
+        &self.hidden
+    }
+
+    /// Elements of `original` that `explanation` modified or removed.
+    pub fn changed_elements(original: &PatternQuery, explanation: &PatternQuery) -> Vec<Target> {
+        let mut out = Vec::new();
+        for v in original.vertex_ids() {
+            let changed = match explanation.vertex(v) {
+                None => true,
+                Some(ex) => original.vertex(v).expect("live") != ex,
+            };
+            if changed {
+                out.push(Target::Vertex(v));
+            }
+        }
+        for e in original.edge_ids() {
+            let changed = match explanation.edge(e) {
+                None => true,
+                Some(ex) => original.edge(e).expect("live") != ex,
+            };
+            if changed {
+                out.push(Target::Edge(e));
+            }
+        }
+        out
+    }
+
+    /// Rate an explanation in `[0, 1]`: `1 − mean(protection of changed
+    /// elements)`, where elements the user never rated count as freely
+    /// modifiable (protection 0). An explanation that changes nothing
+    /// rates 1.0.
+    pub fn rate(&self, original: &PatternQuery, explanation: &PatternQuery) -> f64 {
+        let changed = Self::changed_elements(original, explanation);
+        if changed.is_empty() {
+            return 1.0;
+        }
+        let penalty: f64 = changed
+            .iter()
+            .map(|&t| self.hidden.weight_or(t, 0.0))
+            .sum::<f64>()
+            / changed.len() as f64;
+        1.0 - penalty
+    }
+
+    /// Convenience: protect the given edges fully, leave the rest free.
+    pub fn protecting_edges(edges: &[QEid]) -> Self {
+        let mut prefs = UserPreferences::new();
+        for &e in edges {
+            prefs.set_edge(e, 1.0);
+        }
+        SimulatedUser { hidden: prefs }
+    }
+
+    /// Convenience: protect the given vertices fully, leave the rest free.
+    pub fn protecting_vertices(vertices: &[QVid]) -> Self {
+        let mut prefs = UserPreferences::new();
+        for &v in vertices {
+            prefs.set_vertex(v, 1.0);
+        }
+        SimulatedUser { hidden: prefs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whyq_query::{GraphMod, Predicate, QueryBuilder};
+
+    fn q() -> PatternQuery {
+        QueryBuilder::new("q")
+            .vertex("a", [Predicate::eq("type", "person")])
+            .vertex("b", [Predicate::eq("type", "city")])
+            .edge("a", "b", "livesIn")
+            .build()
+    }
+
+    #[test]
+    fn unchanged_explanation_rates_one() {
+        let u = SimulatedUser::protecting_edges(&[QEid(0)]);
+        assert_eq!(u.rate(&q(), &q()), 1.0);
+    }
+
+    #[test]
+    fn modifying_protected_edge_rates_zero() {
+        let u = SimulatedUser::protecting_edges(&[QEid(0)]);
+        let mut modified = q();
+        GraphMod::RemoveEdge(QEid(0)).apply(&mut modified).unwrap();
+        assert_eq!(u.rate(&q(), &modified), 0.0);
+    }
+
+    #[test]
+    fn modifying_free_element_rates_high() {
+        let mut prefs = UserPreferences::new();
+        prefs.set_vertex(QVid(0), 0.0); // vertex a free to modify
+        let u = SimulatedUser::new(prefs);
+        let mut modified = q();
+        GraphMod::RemovePredicate {
+            target: Target::Vertex(QVid(0)),
+            attr: "type".into(),
+        }
+        .apply(&mut modified)
+        .unwrap();
+        assert_eq!(u.rate(&q(), &modified), 1.0);
+    }
+
+    #[test]
+    fn changed_elements_detects_predicate_edits() {
+        let mut modified = q();
+        GraphMod::RemovePredicate {
+            target: Target::Vertex(QVid(1)),
+            attr: "type".into(),
+        }
+        .apply(&mut modified)
+        .unwrap();
+        let changed = SimulatedUser::changed_elements(&q(), &modified);
+        assert_eq!(changed, vec![Target::Vertex(QVid(1))]);
+    }
+
+    #[test]
+    fn removed_vertex_marks_vertex_and_edges() {
+        let mut modified = q();
+        GraphMod::RemoveVertex(QVid(1)).apply(&mut modified).unwrap();
+        let changed = SimulatedUser::changed_elements(&q(), &modified);
+        assert!(changed.contains(&Target::Vertex(QVid(1))));
+        assert!(changed.contains(&Target::Edge(QEid(0))));
+    }
+}

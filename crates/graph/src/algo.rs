@@ -1,0 +1,146 @@
+//! Basic graph algorithms used by the why-query engine.
+//!
+//! Only what the thesis needs: weakly connected components (the §4.3.1
+//! optimization decomposes the *query* graph, but the same routine also
+//! validates generated data graphs) and breadth-first traversal.
+
+use crate::graph::{PropertyGraph, VertexId};
+use std::collections::VecDeque;
+
+/// Compute the weakly connected components of the graph.
+///
+/// Returns one vertex list per component; components are ordered by their
+/// smallest vertex id and vertices within a component are in BFS discovery
+/// order.
+pub fn weakly_connected_components(g: &PropertyGraph) -> Vec<Vec<VertexId>> {
+    let n = g.num_vertices();
+    let mut seen = vec![false; n];
+    let mut components = Vec::new();
+    for start in g.vertex_ids() {
+        if seen[start.0 as usize] {
+            continue;
+        }
+        let mut comp = Vec::new();
+        let mut queue = VecDeque::new();
+        seen[start.0 as usize] = true;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            comp.push(v);
+            for (_, w) in g.incident(v) {
+                if !seen[w.0 as usize] {
+                    seen[w.0 as usize] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+        components.push(comp);
+    }
+    components
+}
+
+/// Breadth-first order of vertices reachable from `start` treating edges as
+/// undirected.
+pub fn bfs_order(g: &PropertyGraph, start: VertexId) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut seen = vec![false; n];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[start.0 as usize] = true;
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for (_, w) in g.incident(v) {
+            if !seen[w.0 as usize] {
+                seen[w.0 as usize] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    order
+}
+
+/// Shortest hop distance between two vertices treating edges as undirected;
+/// `None` if unreachable.
+pub fn hop_distance(g: &PropertyGraph, from: VertexId, to: VertexId) -> Option<usize> {
+    if from == to {
+        return Some(0);
+    }
+    let n = g.num_vertices();
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    dist[from.0 as usize] = 0;
+    queue.push_back(from);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.0 as usize];
+        for (_, w) in g.incident(v) {
+            if dist[w.0 as usize] == usize::MAX {
+                dist[w.0 as usize] = d + 1;
+                if w == to {
+                    return Some(d + 1);
+                }
+                queue.push_back(w);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let vs: Vec<_> = (0..n).map(|_| g.add_vertex([])).collect();
+        for w in vs.windows(2) {
+            g.add_edge(w[0], w[1], "next", []);
+        }
+        g
+    }
+
+    #[test]
+    fn single_component_chain() {
+        let g = chain(5);
+        let comps = weakly_connected_components(&g);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 5);
+    }
+
+    #[test]
+    fn two_components() {
+        let mut g = chain(3);
+        let x = g.add_vertex([]);
+        let y = g.add_vertex([]);
+        g.add_edge(y, x, "back", []);
+        let comps = weakly_connected_components(&g);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].len(), 3);
+        assert_eq!(comps[1].len(), 2);
+    }
+
+    #[test]
+    fn bfs_reaches_against_direction() {
+        let g = chain(4);
+        // start at the last vertex; edges point forward but BFS is undirected
+        let order = bfs_order(&g, VertexId(3));
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0], VertexId(3));
+    }
+
+    #[test]
+    fn hop_distances() {
+        let g = chain(4);
+        assert_eq!(hop_distance(&g, VertexId(0), VertexId(3)), Some(3));
+        assert_eq!(hop_distance(&g, VertexId(3), VertexId(0)), Some(3));
+        assert_eq!(hop_distance(&g, VertexId(2), VertexId(2)), Some(0));
+        let mut g2 = chain(2);
+        let lonely = g2.add_vertex([]);
+        assert_eq!(hop_distance(&g2, VertexId(0), lonely), None);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = PropertyGraph::new();
+        assert!(weakly_connected_components(&g).is_empty());
+    }
+}

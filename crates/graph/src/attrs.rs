@@ -1,0 +1,114 @@
+//! Compact attribute maps for graph elements.
+//!
+//! Most vertices and edges carry only a handful of attributes, so a sorted
+//! vector of `(Symbol, Value)` pairs beats a hash map both in memory and in
+//! lookup speed (binary search over `u32` keys).
+
+use crate::interner::Symbol;
+use crate::value::Value;
+
+/// A small sorted map from interned attribute names to values.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct AttrMap {
+    entries: Vec<(Symbol, Value)>,
+}
+
+impl AttrMap {
+    /// Create an empty attribute map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the element carries no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert or replace the value for `key`, returning the previous value.
+    pub fn insert(&mut self, key: Symbol, value: Value) -> Option<Value> {
+        match self.entries.binary_search_by_key(&key, |(k, _)| *k) {
+            Ok(pos) => Some(std::mem::replace(&mut self.entries[pos].1, value)),
+            Err(pos) => {
+                self.entries.insert(pos, (key, value));
+                None
+            }
+        }
+    }
+
+    /// Look up the value for `key`.
+    pub fn get(&self, key: Symbol) -> Option<&Value> {
+        self.entries
+            .binary_search_by_key(&key, |(k, _)| *k)
+            .ok()
+            .map(|pos| &self.entries[pos].1)
+    }
+
+    /// Remove `key`, returning its value.
+    pub fn remove(&mut self, key: Symbol) -> Option<Value> {
+        match self.entries.binary_search_by_key(&key, |(k, _)| *k) {
+            Ok(pos) => Some(self.entries.remove(pos).1),
+            Err(_) => None,
+        }
+    }
+
+    /// True if `key` is present.
+    pub fn contains(&self, key: Symbol) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Iterate over `(symbol, value)` pairs in symbol order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &Value)> {
+        self.entries.iter().map(|(k, v)| (*k, v))
+    }
+}
+
+impl FromIterator<(Symbol, Value)> for AttrMap {
+    fn from_iter<T: IntoIterator<Item = (Symbol, Value)>>(iter: T) -> Self {
+        let mut m = AttrMap::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_replace() {
+        let mut m = AttrMap::new();
+        assert_eq!(m.insert(Symbol(3), Value::Int(1)), None);
+        assert_eq!(m.insert(Symbol(1), Value::Int(2)), None);
+        assert_eq!(m.get(Symbol(3)), Some(&Value::Int(1)));
+        assert_eq!(m.insert(Symbol(3), Value::Int(9)), Some(Value::Int(1)));
+        assert_eq!(m.get(Symbol(3)), Some(&Value::Int(9)));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn iteration_is_sorted_by_symbol() {
+        let mut m = AttrMap::new();
+        m.insert(Symbol(5), Value::Int(5));
+        m.insert(Symbol(1), Value::Int(1));
+        m.insert(Symbol(3), Value::Int(3));
+        let keys: Vec<u32> = m.iter().map(|(k, _)| k.0).collect();
+        assert_eq!(keys, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut m: AttrMap = [(Symbol(0), Value::Bool(true))].into_iter().collect();
+        assert!(m.contains(Symbol(0)));
+        assert_eq!(m.remove(Symbol(0)), Some(Value::Bool(true)));
+        assert!(!m.contains(Symbol(0)));
+        assert_eq!(m.remove(Symbol(0)), None);
+        assert!(m.is_empty());
+    }
+}

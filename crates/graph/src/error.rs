@@ -1,0 +1,24 @@
+//! Error types for the graph substrate.
+
+use crate::graph::{EdgeId, VertexId};
+use std::fmt;
+
+/// Errors raised by graph construction and lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A vertex id referenced an out-of-range slot.
+    VertexOutOfRange(VertexId),
+    /// An edge id referenced an out-of-range slot.
+    EdgeOutOfRange(EdgeId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange(v) => write!(f, "vertex {} out of range", v.0),
+            GraphError::EdgeOutOfRange(e) => write!(f, "edge {} out of range", e.0),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

@@ -1,0 +1,337 @@
+//! The property-graph store.
+//!
+//! `PropertyGraph` is a directed multigraph: any number of edges may connect
+//! the same pair of vertices (Definition 1, §3.1.1). Vertices and edges live
+//! in dense arenas addressed by `u32` ids, attribute names and edge types are
+//! interned, and adjacency is materialized as per-vertex in/out edge lists so
+//! the pattern matcher can expand candidate matches in O(degree).
+
+use crate::attrs::AttrMap;
+use crate::error::GraphError;
+use crate::interner::{Interner, Symbol};
+use crate::value::Value;
+use std::fmt;
+
+/// Dense identifier of a data vertex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VertexId(pub u32);
+
+/// Dense identifier of a data edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u32);
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Payload of a vertex: its attribute map.
+#[derive(Debug, Clone, Default)]
+pub struct VertexData {
+    /// Attribute key/value pairs (`f : V → A_V`).
+    pub attrs: AttrMap,
+}
+
+/// Payload of an edge: endpoints, type, attributes.
+#[derive(Debug, Clone)]
+pub struct EdgeData {
+    /// Source vertex (`u(e).0`).
+    pub src: VertexId,
+    /// Target vertex (`u(e).1`).
+    pub dst: VertexId,
+    /// Interned edge type (e.g. `knows`, `isLocatedIn`).
+    pub ty: Symbol,
+    /// Attribute key/value pairs (`g : E → A_E`).
+    pub attrs: AttrMap,
+}
+
+/// An in-memory property graph.
+#[derive(Debug, Default, Clone)]
+pub struct PropertyGraph {
+    attr_names: Interner,
+    edge_types: Interner,
+    vertices: Vec<VertexData>,
+    edges: Vec<EdgeData>,
+    out_edges: Vec<Vec<EdgeId>>,
+    in_edges: Vec<Vec<EdgeId>>,
+}
+
+impl PropertyGraph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an empty graph with pre-sized vertex/edge arenas.
+    pub fn with_capacity(vertices: usize, edges: usize) -> Self {
+        PropertyGraph {
+            attr_names: Interner::new(),
+            edge_types: Interner::new(),
+            vertices: Vec::with_capacity(vertices),
+            edges: Vec::with_capacity(edges),
+            out_edges: Vec::with_capacity(vertices),
+            in_edges: Vec::with_capacity(vertices),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // construction
+    // ------------------------------------------------------------------
+
+    /// Add a vertex with the given attributes; returns its id.
+    pub fn add_vertex<'a, I>(&mut self, attrs: I) -> VertexId
+    where
+        I: IntoIterator<Item = (&'a str, Value)>,
+    {
+        let id = VertexId(u32::try_from(self.vertices.len()).expect("vertex arena overflow"));
+        let attrs = attrs
+            .into_iter()
+            .map(|(k, v)| (self.attr_names.intern(k), v))
+            .collect();
+        self.vertices.push(VertexData { attrs });
+        self.out_edges.push(Vec::new());
+        self.in_edges.push(Vec::new());
+        id
+    }
+
+    /// Add a directed edge `src → dst` of type `ty`; returns its id.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range (construction-time bug).
+    pub fn add_edge<'a, I>(&mut self, src: VertexId, dst: VertexId, ty: &str, attrs: I) -> EdgeId
+    where
+        I: IntoIterator<Item = (&'a str, Value)>,
+    {
+        assert!((src.0 as usize) < self.vertices.len(), "src out of range");
+        assert!((dst.0 as usize) < self.vertices.len(), "dst out of range");
+        let id = EdgeId(u32::try_from(self.edges.len()).expect("edge arena overflow"));
+        let ty = self.edge_types.intern(ty);
+        let attrs = attrs
+            .into_iter()
+            .map(|(k, v)| (self.attr_names.intern(k), v))
+            .collect();
+        self.edges.push(EdgeData {
+            src,
+            dst,
+            ty,
+            attrs,
+        });
+        self.out_edges[src.0 as usize].push(id);
+        self.in_edges[dst.0 as usize].push(id);
+        id
+    }
+
+    /// Set (insert or overwrite) an attribute on an existing vertex.
+    pub fn set_vertex_attr(
+        &mut self,
+        v: VertexId,
+        key: &str,
+        value: Value,
+    ) -> Result<(), GraphError> {
+        let sym = self.attr_names.intern(key);
+        self.vertices
+            .get_mut(v.0 as usize)
+            .ok_or(GraphError::VertexOutOfRange(v))?
+            .attrs
+            .insert(sym, value);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // sizes
+    // ------------------------------------------------------------------
+
+    /// Number of vertices `N_d`.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges `M_d`.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    // ------------------------------------------------------------------
+    // lookups
+    // ------------------------------------------------------------------
+
+    /// The interner of attribute names.
+    pub fn attr_names(&self) -> &Interner {
+        &self.attr_names
+    }
+
+    /// The interner of edge types.
+    pub fn edge_types(&self) -> &Interner {
+        &self.edge_types
+    }
+
+    /// Resolve an attribute name to its symbol, if any element uses it.
+    pub fn attr_symbol(&self, name: &str) -> Option<Symbol> {
+        self.attr_names.get(name)
+    }
+
+    /// Resolve an edge-type name to its symbol, if any edge uses it.
+    pub fn type_symbol(&self, name: &str) -> Option<Symbol> {
+        self.edge_types.get(name)
+    }
+
+    /// Vertex payload.
+    pub fn vertex(&self, v: VertexId) -> &VertexData {
+        &self.vertices[v.0 as usize]
+    }
+
+    /// Edge payload.
+    pub fn edge(&self, e: EdgeId) -> &EdgeData {
+        &self.edges[e.0 as usize]
+    }
+
+    /// Checked vertex lookup.
+    pub fn try_vertex(&self, v: VertexId) -> Result<&VertexData, GraphError> {
+        self.vertices
+            .get(v.0 as usize)
+            .ok_or(GraphError::VertexOutOfRange(v))
+    }
+
+    /// Checked edge lookup.
+    pub fn try_edge(&self, e: EdgeId) -> Result<&EdgeData, GraphError> {
+        self.edges
+            .get(e.0 as usize)
+            .ok_or(GraphError::EdgeOutOfRange(e))
+    }
+
+    /// Attribute value of a vertex by symbol.
+    pub fn vertex_attr(&self, v: VertexId, key: Symbol) -> Option<&Value> {
+        self.vertices[v.0 as usize].attrs.get(key)
+    }
+
+    /// Attribute value of an edge by symbol.
+    pub fn edge_attr(&self, e: EdgeId, key: Symbol) -> Option<&Value> {
+        self.edges[e.0 as usize].attrs.get(key)
+    }
+
+    /// Outgoing edges of `v`.
+    pub fn out_edges(&self, v: VertexId) -> &[EdgeId] {
+        &self.out_edges[v.0 as usize]
+    }
+
+    /// Incoming edges of `v`.
+    pub fn in_edges(&self, v: VertexId) -> &[EdgeId] {
+        &self.in_edges[v.0 as usize]
+    }
+
+    /// Out-degree plus in-degree.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.out_edges(v).len() + self.in_edges(v).len()
+    }
+
+    /// Iterate over all vertex ids.
+    pub fn vertex_ids(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.vertices.len() as u32).map(VertexId)
+    }
+
+    /// Iterate over all edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Neighbors reachable via one edge in either direction (with the
+    /// connecting edge), deduplicated per edge.
+    pub fn incident(&self, v: VertexId) -> impl Iterator<Item = (EdgeId, VertexId)> + '_ {
+        let out = self.out_edges(v).iter().map(move |&e| (e, self.edge(e).dst));
+        let inn = self.in_edges(v).iter().map(move |&e| (e, self.edge(e).src));
+        out.chain(inn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (PropertyGraph, VertexId, VertexId, EdgeId) {
+        let mut g = PropertyGraph::new();
+        let a = g.add_vertex([("type", Value::str("person")), ("age", Value::Int(30))]);
+        let b = g.add_vertex([("type", Value::str("city"))]);
+        let e = g.add_edge(a, b, "livesIn", [("since", Value::Int(2003))]);
+        (g, a, b, e)
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let (g, a, b, e) = tiny();
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.num_edges(), 1);
+        let age = g.attr_symbol("age").unwrap();
+        assert_eq!(g.vertex_attr(a, age), Some(&Value::Int(30)));
+        let since = g.attr_symbol("since").unwrap();
+        assert_eq!(g.edge_attr(e, since), Some(&Value::Int(2003)));
+        assert_eq!(g.edge(e).src, a);
+        assert_eq!(g.edge(e).dst, b);
+        assert_eq!(g.edge_types().resolve(g.edge(e).ty), "livesIn");
+    }
+
+    #[test]
+    fn adjacency_lists() {
+        let (g, a, b, e) = tiny();
+        assert_eq!(g.out_edges(a), &[e]);
+        assert_eq!(g.in_edges(b), &[e]);
+        assert!(g.out_edges(b).is_empty());
+        assert_eq!(g.degree(a), 1);
+        let inc: Vec<_> = g.incident(a).collect();
+        assert_eq!(inc, vec![(e, b)]);
+    }
+
+    #[test]
+    fn multigraph_allows_parallel_edges() {
+        let (mut g, a, b, _) = tiny();
+        let e2 = g.add_edge(a, b, "livesIn", []);
+        let e3 = g.add_edge(a, b, "worksIn", []);
+        assert_eq!(g.out_edges(a).len(), 3);
+        assert_ne!(e2, e3);
+        // The two `livesIn` edges share a type symbol, `worksIn` differs.
+        assert_eq!(g.edge(e2).ty, g.edge(EdgeId(0)).ty);
+        assert_ne!(g.edge(e3).ty, g.edge(e2).ty);
+    }
+
+    #[test]
+    fn set_vertex_attr_overwrites() {
+        let (mut g, a, _, _) = tiny();
+        g.set_vertex_attr(a, "age", Value::Int(31)).unwrap();
+        let age = g.attr_symbol("age").unwrap();
+        assert_eq!(g.vertex_attr(a, age), Some(&Value::Int(31)));
+        assert!(g
+            .set_vertex_attr(VertexId(99), "age", Value::Int(1))
+            .is_err());
+    }
+
+    #[test]
+    fn checked_lookups() {
+        let (g, a, _, e) = tiny();
+        assert!(g.try_vertex(a).is_ok());
+        assert!(g.try_edge(e).is_ok());
+        assert_eq!(
+            g.try_vertex(VertexId(5)).unwrap_err(),
+            GraphError::VertexOutOfRange(VertexId(5))
+        );
+        assert_eq!(
+            g.try_edge(EdgeId(5)).unwrap_err(),
+            GraphError::EdgeOutOfRange(EdgeId(5))
+        );
+    }
+
+    #[test]
+    fn self_loops_supported() {
+        let mut g = PropertyGraph::new();
+        let v = g.add_vertex([]);
+        let e = g.add_edge(v, v, "self", []);
+        assert_eq!(g.out_edges(v), &[e]);
+        assert_eq!(g.in_edges(v), &[e]);
+        assert_eq!(g.degree(v), 2);
+    }
+}

@@ -1,0 +1,115 @@
+//! String interning for attribute names and edge types.
+//!
+//! Attribute names repeat across millions of graph elements; storing them as
+//! `u32` symbols keeps [`crate::AttrMap`]s small and makes predicate lookup a
+//! binary search over integers instead of string comparisons.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned string. Symbols are only meaningful relative to the
+/// [`Interner`] (and therefore the [`crate::PropertyGraph`]) that created
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// A simple append-only string interner.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    by_name: HashMap<String, Symbol>,
+    names: Vec<String>,
+}
+
+impl Interner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its symbol (existing or freshly assigned).
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.by_name.get(name) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.names.len()).expect("interner overflow"));
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), sym);
+        sym
+    }
+
+    /// Look up a previously interned string without interning it.
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolve a symbol back to its string.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.0 as usize]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate over `(symbol, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Symbol(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("age");
+        let b = i.intern("age");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_distinct_symbols() {
+        let mut i = Interner::new();
+        let a = i.intern("age");
+        let n = i.intern("name");
+        assert_ne!(a, n);
+        assert_eq!(i.resolve(a), "age");
+        assert_eq!(i.resolve(n), "name");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("missing"), None);
+        i.intern("present");
+        assert!(i.get("present").is_some());
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let mut i = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        let collected: Vec<_> = i.iter().map(|(_, n)| n.to_string()).collect();
+        assert_eq!(collected, vec!["a", "b"]);
+    }
+}

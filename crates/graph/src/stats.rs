@@ -1,0 +1,167 @@
+//! Graph-level summary statistics.
+//!
+//! Used by the workload generators to validate the shape of generated data
+//! (degree skew, type mix) and by the evaluation harness to report the
+//! data-set tables of Appendix A.
+
+use crate::graph::PropertyGraph;
+use crate::interner::Symbol;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Counts of edges per edge type.
+pub fn edge_type_histogram(g: &PropertyGraph) -> Vec<(String, usize)> {
+    let mut counts: HashMap<Symbol, usize> = HashMap::new();
+    for e in g.edge_ids() {
+        *counts.entry(g.edge(e).ty).or_default() += 1;
+    }
+    let mut out: Vec<(String, usize)> = counts
+        .into_iter()
+        .map(|(s, c)| (g.edge_types().resolve(s).to_string(), c))
+        .collect();
+    out.sort();
+    out
+}
+
+/// Counts of vertices per value of a given attribute (typically `"type"`).
+pub fn vertex_attr_histogram(g: &PropertyGraph, attr: &str) -> Vec<(String, usize)> {
+    let Some(sym) = g.attr_symbol(attr) else {
+        return Vec::new();
+    };
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for v in g.vertex_ids() {
+        if let Some(val) = g.vertex_attr(v, sym) {
+            let key = match val {
+                Value::Str(s) => s.clone(),
+                other => other.to_string(),
+            };
+            *counts.entry(key).or_default() += 1;
+        }
+    }
+    let mut out: Vec<(String, usize)> = counts.into_iter().collect();
+    out.sort();
+    out
+}
+
+/// Degree distribution summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeSummary {
+    /// Smallest total degree.
+    pub min: usize,
+    /// Largest total degree.
+    pub max: usize,
+    /// Mean total degree.
+    pub mean: f64,
+    /// Number of isolated vertices.
+    pub isolated: usize,
+}
+
+/// Summarize the (in+out) degree distribution.
+pub fn degree_summary(g: &PropertyGraph) -> DegreeSummary {
+    let n = g.num_vertices();
+    if n == 0 {
+        return DegreeSummary {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            isolated: 0,
+        };
+    }
+    let mut min = usize::MAX;
+    let mut max = 0usize;
+    let mut sum = 0usize;
+    let mut isolated = 0usize;
+    for v in g.vertex_ids() {
+        let d = g.degree(v);
+        min = min.min(d);
+        max = max.max(d);
+        sum += d;
+        if d == 0 {
+            isolated += 1;
+        }
+    }
+    DegreeSummary {
+        min,
+        max,
+        mean: sum as f64 / n as f64,
+        isolated,
+    }
+}
+
+/// Distinct values of an attribute across all vertices, sorted.
+///
+/// Feeds the attribute-domain catalog that query *concretization* operations
+/// draw new predicate values from (§6.2.2).
+pub fn distinct_vertex_values(g: &PropertyGraph, attr: &str) -> Vec<Value> {
+    let Some(sym) = g.attr_symbol(attr) else {
+        return Vec::new();
+    };
+    let mut vals: Vec<Value> = Vec::new();
+    for v in g.vertex_ids() {
+        if let Some(val) = g.vertex_attr(v, sym) {
+            if !vals.contains(val) {
+                vals.push(val.clone());
+            }
+        }
+    }
+    vals.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .unwrap_or_else(|| a.type_name().cmp(b.type_name()))
+    });
+    vals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let a = g.add_vertex([("type", Value::str("person")), ("age", Value::Int(30))]);
+        let b = g.add_vertex([("type", Value::str("person")), ("age", Value::Int(25))]);
+        let c = g.add_vertex([("type", Value::str("city"))]);
+        g.add_vertex([]); // isolated
+        g.add_edge(a, b, "knows", []);
+        g.add_edge(a, c, "livesIn", []);
+        g.add_edge(b, c, "livesIn", []);
+        g
+    }
+
+    #[test]
+    fn edge_histogram_counts_types() {
+        let g = sample();
+        assert_eq!(
+            edge_type_histogram(&g),
+            vec![("knows".into(), 1), ("livesIn".into(), 2)]
+        );
+    }
+
+    #[test]
+    fn vertex_histogram_counts_attr_values() {
+        let g = sample();
+        assert_eq!(
+            vertex_attr_histogram(&g, "type"),
+            vec![("city".into(), 1), ("person".into(), 2)]
+        );
+        assert!(vertex_attr_histogram(&g, "nope").is_empty());
+    }
+
+    #[test]
+    fn degree_summary_detects_isolated() {
+        let g = sample();
+        let s = degree_summary(&g);
+        assert_eq!(s.isolated, 1);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 2);
+        assert!((s.mean - 6.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_values_sorted() {
+        let g = sample();
+        assert_eq!(
+            distinct_vertex_values(&g, "age"),
+            vec![Value::Int(25), Value::Int(30)]
+        );
+    }
+}

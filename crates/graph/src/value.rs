@@ -1,0 +1,244 @@
+//! Attribute values stored on vertices and edges.
+//!
+//! The property-graph model annotates graph elements with key/value pairs
+//! whose values are drawn from a small set of scalar types. Predicates in
+//! pattern queries (`whyq-query`) compare against these values, so `Value`
+//! provides a total order within a numeric family (integers and floats
+//! compare against each other) and equality across all variants.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A scalar attribute value.
+///
+/// Integers and floats form one *numeric family*: `Value::Int(2)` compares
+/// equal to `Value::Float(2.0)`. Strings and booleans only compare within
+/// their own variant.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// 64-bit signed integer (years, counts, identifiers, ...).
+    Int(i64),
+    /// 64-bit float (scores, coordinates, ...).
+    Float(f64),
+    /// UTF-8 string (names, labels, ...).
+    Str(String),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl Value {
+    /// Build a string value from anything string-like.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Returns the numeric view of this value if it belongs to the numeric
+    /// family, coercing integers to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the string slice if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True if both values belong to the numeric family.
+    pub fn same_family(&self, other: &Value) -> bool {
+        use Value::*;
+        matches!(
+            (self, other),
+            (Int(_) | Float(_), Int(_) | Float(_)) | (Str(_), Str(_)) | (Bool(_), Bool(_))
+        )
+    }
+
+    /// Total comparison *within a family*; `None` when the families differ
+    /// (a predicate comparing a string against a number never matches).
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (a, b) => {
+                // normalize -0.0 so the numeric family is a consistent order
+                let norm = |v: f64| if v == 0.0 { 0.0 } else { v };
+                let (x, y) = (norm(a.as_f64()?), norm(b.as_f64()?));
+                Some(x.total_cmp(&y))
+            }
+        }
+    }
+
+    /// Short tag used in error messages and debug displays.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "str",
+            Value::Bool(_) => "bool",
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.compare(other) == Some(Ordering::Equal)
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Numeric family members must hash identically when equal:
+        // hash every numeric value through its canonical f64 bit pattern
+        // (normalizing -0.0 to 0.0 so Int(0) == Float(-0.0) hashes equal).
+        match self {
+            Value::Int(i) => {
+                let f = *i as f64;
+                state.write_u8(0);
+                state.write_u64((if f == 0.0 { 0.0f64 } else { f }).to_bits());
+            }
+            Value::Float(f) => {
+                state.write_u8(0);
+                state.write_u64((if *f == 0.0 { 0.0f64 } else { *f }).to_bits());
+            }
+            Value::Str(s) => {
+                state.write_u8(1);
+                s.hash(state);
+            }
+            Value::Bool(b) => {
+                state.write_u8(2);
+                b.hash(state);
+            }
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.compare(other)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn int_float_cross_family_equality() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert_ne!(Value::Int(2), Value::Float(2.5));
+        assert_eq!(hash_of(&Value::Int(2)), hash_of(&Value::Float(2.0)));
+    }
+
+    #[test]
+    fn negative_zero_normalized() {
+        assert_eq!(Value::Float(-0.0), Value::Int(0));
+        assert_eq!(hash_of(&Value::Float(-0.0)), hash_of(&Value::Int(0)));
+    }
+
+    #[test]
+    fn cross_family_comparison_is_none() {
+        assert_eq!(Value::str("a").compare(&Value::Int(1)), None);
+        assert_ne!(Value::str("a"), Value::Int(1));
+        assert_eq!(Value::Bool(true).compare(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn ordering_within_families() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::Int(1) < Value::Float(1.5));
+        assert!(Value::str("alpha") < Value::str("beta"));
+        assert!(Value::Bool(false) < Value::Bool(true));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Int(7).as_f64(), Some(7.0));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::str("x").as_int(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::str("a").to_string(), "\"a\"");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+    }
+}

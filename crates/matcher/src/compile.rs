@@ -1,0 +1,320 @@
+//! Query compilation: resolve attribute/type names against a graph's
+//! interners and build a per-component evaluation plan.
+//!
+//! A query predicate names attributes by string; the graph stores interned
+//! symbols. Compilation resolves each name once so the inner matching loops
+//! compare integers. A predicate over an attribute the graph has never seen
+//! can match nothing and marks its element as unsatisfiable.
+
+use whyq_graph::{EdgeData, PropertyGraph, Symbol, VertexId};
+use whyq_query::{PatternQuery, Predicate, QEid, QVid};
+
+/// A predicate with its attribute resolved to a graph symbol.
+#[derive(Debug, Clone)]
+pub struct ResolvedPredicate {
+    /// `None` when the graph has no such attribute anywhere — the predicate
+    /// is unsatisfiable.
+    pub sym: Option<Symbol>,
+    /// The predicate itself (cloned out of the query for lifetime freedom).
+    pub pred: Predicate,
+}
+
+impl ResolvedPredicate {
+    /// Check the predicate against an attribute map.
+    pub fn matches(&self, attrs: &whyq_graph::AttrMap) -> bool {
+        match self.sym {
+            Some(s) => self.pred.matches(attrs.get(s)),
+            None => false,
+        }
+    }
+}
+
+/// Compiled form of one query vertex.
+#[derive(Debug, Clone, Default)]
+pub struct CompiledVertex {
+    /// Resolved predicates; all must hold.
+    pub preds: Vec<ResolvedPredicate>,
+}
+
+impl CompiledVertex {
+    /// Does data vertex `v` satisfy the vertex constraints?
+    pub fn accepts(&self, g: &PropertyGraph, v: VertexId) -> bool {
+        let attrs = &g.vertex(v).attrs;
+        self.preds.iter().all(|p| p.matches(attrs))
+    }
+}
+
+/// Compiled form of one query edge.
+#[derive(Debug, Clone)]
+pub struct CompiledEdge {
+    /// Resolved admissible types. `None` = any type; `Some` with an empty
+    /// vector = unsatisfiable (every named type is absent from the graph).
+    pub types: Option<Vec<Symbol>>,
+    /// Resolved predicates; all must hold.
+    pub preds: Vec<ResolvedPredicate>,
+}
+
+impl CompiledEdge {
+    /// Does the data edge satisfy type and attribute constraints
+    /// (direction is checked by the traversal, not here)?
+    pub fn accepts(&self, ed: &EdgeData) -> bool {
+        if let Some(tys) = &self.types {
+            if !tys.contains(&ed.ty) {
+                return false;
+            }
+        }
+        self.preds.iter().all(|p| p.matches(&ed.attrs))
+    }
+}
+
+/// Fully compiled query: one slot per query vertex/edge id.
+#[derive(Debug, Clone, Default)]
+pub struct Compiled {
+    /// Compiled vertices, indexed by `QVid` slot.
+    pub vertices: Vec<Option<CompiledVertex>>,
+    /// Compiled edges, indexed by `QEid` slot.
+    pub edges: Vec<Option<CompiledEdge>>,
+}
+
+impl Compiled {
+    /// Compile `q` against `g`.
+    pub fn new(g: &PropertyGraph, q: &PatternQuery) -> Self {
+        let mut vertices = vec![None; q.vertex_slots()];
+        for v in q.vertex_ids() {
+            let qv = q.vertex(v).expect("live");
+            vertices[v.0 as usize] = Some(CompiledVertex {
+                preds: resolve(g, &qv.predicates),
+            });
+        }
+        let mut edges = vec![None; q.edge_slots()];
+        for e in q.edge_ids() {
+            let qe = q.edge(e).expect("live");
+            let types = if qe.types.is_empty() {
+                None
+            } else {
+                Some(
+                    qe.types
+                        .iter()
+                        .filter_map(|t| g.type_symbol(t))
+                        .collect::<Vec<_>>(),
+                )
+            };
+            edges[e.0 as usize] = Some(CompiledEdge {
+                types,
+                preds: resolve(g, &qe.predicates),
+            });
+        }
+        Compiled { vertices, edges }
+    }
+
+    /// Compiled vertex by id.
+    pub fn vertex(&self, v: QVid) -> &CompiledVertex {
+        self.vertices[v.0 as usize].as_ref().expect("compiled")
+    }
+
+    /// Compiled edge by id.
+    pub fn edge(&self, e: QEid) -> &CompiledEdge {
+        self.edges[e.0 as usize].as_ref().expect("compiled")
+    }
+}
+
+fn resolve(g: &PropertyGraph, preds: &[Predicate]) -> Vec<ResolvedPredicate> {
+    preds
+        .iter()
+        .map(|p| ResolvedPredicate {
+            sym: g.attr_symbol(&p.attr),
+            pred: p.clone(),
+        })
+        .collect()
+}
+
+/// One step of a component evaluation plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Bind the first vertex of the component by scanning candidates.
+    Seed {
+        /// The query vertex to bind.
+        vertex: QVid,
+    },
+    /// Traverse a query edge from a bound endpoint to an unbound one.
+    ExpandNew {
+        /// Query edge to bind.
+        edge: QEid,
+        /// Already-bound endpoint.
+        from: QVid,
+        /// Endpoint bound by this step.
+        to: QVid,
+    },
+    /// Bind a query edge whose endpoints are both already bound.
+    Close {
+        /// Query edge to bind.
+        edge: QEid,
+    },
+}
+
+/// Evaluation plan for one weakly connected query component.
+#[derive(Debug, Clone)]
+pub struct ComponentPlan {
+    /// Steps in execution order; the first is always [`Step::Seed`].
+    pub steps: Vec<Step>,
+}
+
+/// Build greedy plans for every weakly connected component of `q`.
+///
+/// The seed of each component is the vertex with the fewest candidate data
+/// vertices (cheapest scan first); expansion prefers *closing* edges (both
+/// endpoints bound — cheap existence checks) and otherwise picks the edge
+/// whose new endpoint has the fewest candidates.
+pub fn build_plans(g: &PropertyGraph, q: &PatternQuery, compiled: &Compiled) -> Vec<ComponentPlan> {
+    // candidate counts per query vertex (cap the scan for very large graphs
+    // is unnecessary here: one pass per query vertex over the vertex arena)
+    let mut cand_count: Vec<u64> = vec![0; q.vertex_slots()];
+    for v in q.vertex_ids() {
+        let cv = compiled.vertex(v);
+        let mut c = 0u64;
+        for dv in g.vertex_ids() {
+            if cv.accepts(g, dv) {
+                c += 1;
+            }
+        }
+        cand_count[v.0 as usize] = c;
+    }
+
+    q.weakly_connected_components()
+        .into_iter()
+        .map(|comp| plan_component(q, &comp, &cand_count))
+        .collect()
+}
+
+fn plan_component(q: &PatternQuery, comp: &[QVid], cand_count: &[u64]) -> ComponentPlan {
+    let seed = *comp
+        .iter()
+        .min_by_key(|v| cand_count[v.0 as usize])
+        .expect("non-empty component");
+    let mut steps = vec![Step::Seed { vertex: seed }];
+    let mut bound: Vec<QVid> = vec![seed];
+    let mut remaining: Vec<QEid> = comp
+        .iter()
+        .flat_map(|&v| q.incident_edges(v))
+        .collect::<Vec<_>>();
+    remaining.sort();
+    remaining.dedup();
+
+    while !remaining.is_empty() {
+        // prefer closing edges
+        if let Some(pos) = remaining.iter().position(|&e| {
+            let ed = q.edge(e).expect("live");
+            bound.contains(&ed.src) && bound.contains(&ed.dst)
+        }) {
+            let e = remaining.remove(pos);
+            steps.push(Step::Close { edge: e });
+            continue;
+        }
+        // otherwise the frontier edge with the cheapest new endpoint
+        let (pos, from, to) = remaining
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &e)| {
+                let ed = q.edge(e).expect("live");
+                if bound.contains(&ed.src) {
+                    Some((i, ed.src, ed.dst))
+                } else if bound.contains(&ed.dst) {
+                    Some((i, ed.dst, ed.src))
+                } else {
+                    None
+                }
+            })
+            .min_by_key(|&(_, _, to)| cand_count[to.0 as usize])
+            .expect("component is connected");
+        let e = remaining.remove(pos);
+        steps.push(Step::ExpandNew { edge: e, from, to });
+        bound.push(to);
+    }
+    ComponentPlan { steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whyq_graph::Value;
+    use whyq_query::{QueryBuilder, QueryEdge, QueryVertex};
+
+    fn small_graph() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let p1 = g.add_vertex([("type", Value::str("person"))]);
+        let p2 = g.add_vertex([("type", Value::str("person"))]);
+        let c = g.add_vertex([("type", Value::str("city"))]);
+        g.add_edge(p1, p2, "knows", []);
+        g.add_edge(p1, c, "livesIn", []);
+        g
+    }
+
+    #[test]
+    fn unknown_attribute_is_unsatisfiable() {
+        let g = small_graph();
+        let q = QueryBuilder::new("q")
+            .vertex("a", [whyq_query::Predicate::eq("nonexistent", 1)])
+            .build();
+        let c = Compiled::new(&g, &q);
+        assert!(!c.vertex(QVid(0)).accepts(&g, VertexId(0)));
+    }
+
+    #[test]
+    fn unknown_type_is_unsatisfiable() {
+        let g = small_graph();
+        let mut q = PatternQuery::new();
+        let a = q.add_vertex(QueryVertex::any());
+        let b = q.add_vertex(QueryVertex::any());
+        q.add_edge(QueryEdge::typed(a, b, "teleportsTo"));
+        let c = Compiled::new(&g, &q);
+        assert_eq!(c.edge(QEid(0)).types.as_deref(), Some(&[][..]));
+        assert!(!c.edge(QEid(0)).accepts(g.edge(whyq_graph::EdgeId(0))));
+    }
+
+    #[test]
+    fn plan_seeds_most_selective_vertex() {
+        let g = small_graph();
+        let q = QueryBuilder::new("q")
+            .vertex("p", [whyq_query::Predicate::eq("type", "person")])
+            .vertex("c", [whyq_query::Predicate::eq("type", "city")])
+            .edge("p", "c", "livesIn")
+            .build();
+        let compiled = Compiled::new(&g, &q);
+        let plans = build_plans(&g, &q, &compiled);
+        assert_eq!(plans.len(), 1);
+        // the city vertex (1 candidate) beats the person vertex (2)
+        assert_eq!(plans[0].steps[0], Step::Seed { vertex: QVid(1) });
+        assert_eq!(plans[0].steps.len(), 2);
+    }
+
+    #[test]
+    fn plan_emits_close_for_cycles() {
+        let g = small_graph();
+        let q = QueryBuilder::new("tri")
+            .vertex("a", [])
+            .vertex("b", [])
+            .vertex("c", [])
+            .edge("a", "b", "knows")
+            .edge("b", "c", "knows")
+            .edge("a", "c", "knows")
+            .build();
+        let compiled = Compiled::new(&g, &q);
+        let plans = build_plans(&g, &q, &compiled);
+        let closes = plans[0]
+            .steps
+            .iter()
+            .filter(|s| matches!(s, Step::Close { .. }))
+            .count();
+        assert_eq!(closes, 1);
+    }
+
+    #[test]
+    fn isolated_vertices_get_seed_only_plans() {
+        let g = small_graph();
+        let q = QueryBuilder::new("iso").vertex("x", []).vertex("y", []).build();
+        let compiled = Compiled::new(&g, &q);
+        let plans = build_plans(&g, &q, &compiled);
+        assert_eq!(plans.len(), 2);
+        assert_eq!(plans[0].steps.len(), 1);
+    }
+}

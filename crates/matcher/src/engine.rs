@@ -1,0 +1,516 @@
+//! The backtracking matching engine.
+//!
+//! Evaluates the compiled plan of every weakly connected query component by
+//! depth-first search over candidate assignments and combines component
+//! results as a cartesian product (§4.3.3). Counting supports early
+//! termination — the why-query engine only ever needs to know whether a
+//! candidate query crosses a cardinality threshold, not the exact count
+//! beyond it.
+
+use crate::compile::{build_plans, Compiled, ComponentPlan, Step};
+use crate::index::AttrIndex;
+use crate::result::ResultGraph;
+use whyq_graph::{EdgeId, PropertyGraph, VertexId};
+use whyq_query::{Interval, PatternQuery, QVid};
+
+/// Options controlling match semantics.
+#[derive(Debug, Clone, Copy)]
+pub struct MatchOptions {
+    /// Injective mapping of vertices and edges within a component
+    /// (subgraph-isomorphism style). `false` = homomorphic matching.
+    pub injective: bool,
+    /// Stop after this many result graphs.
+    pub limit: Option<usize>,
+}
+
+impl Default for MatchOptions {
+    fn default() -> Self {
+        MatchOptions {
+            injective: true,
+            limit: None,
+        }
+    }
+}
+
+impl MatchOptions {
+    /// Default options with a result cap.
+    pub fn limited(limit: usize) -> Self {
+        MatchOptions {
+            limit: Some(limit),
+            ..Self::default()
+        }
+    }
+}
+
+/// A reusable matcher bound to one data graph, optionally with a vertex
+/// attribute index for seeding.
+#[derive(Debug, Clone)]
+pub struct Matcher<'g> {
+    g: &'g PropertyGraph,
+    index: Option<AttrIndex>,
+}
+
+impl<'g> Matcher<'g> {
+    /// Matcher without an index.
+    pub fn new(g: &'g PropertyGraph) -> Self {
+        Matcher { g, index: None }
+    }
+
+    /// Attach an equality index over `attr` (no-op if absent from graph).
+    pub fn with_index(mut self, attr: &str) -> Self {
+        self.index = AttrIndex::build(self.g, attr);
+        self
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g PropertyGraph {
+        self.g
+    }
+
+    /// Enumerate result graphs.
+    pub fn find(&self, q: &PatternQuery, opts: MatchOptions) -> Vec<ResultGraph> {
+        if q.num_vertices() == 0 {
+            return Vec::new();
+        }
+        let compiled = Compiled::new(self.g, q);
+        let plans = build_plans(self.g, q, &compiled);
+        let cap = opts.limit.unwrap_or(usize::MAX);
+
+        // evaluate each component independently
+        let mut per_component: Vec<Vec<ResultGraph>> = Vec::with_capacity(plans.len());
+        for plan in &plans {
+            let mut results = Vec::new();
+            self.eval_component(q, &compiled, plan, opts.injective, &mut |r| {
+                results.push(r.clone());
+                results.len() < cap
+            });
+            if results.is_empty() {
+                return Vec::new();
+            }
+            per_component.push(results);
+        }
+
+        // cartesian combination, capped
+        let mut combined = per_component.remove(0);
+        for comp in per_component {
+            let mut next = Vec::new();
+            'outer: for base in &combined {
+                for extra in &comp {
+                    next.push(base.merged(extra));
+                    if next.len() >= cap {
+                        break 'outer;
+                    }
+                }
+            }
+            combined = next;
+        }
+        combined.truncate(cap);
+        combined
+    }
+
+    /// Count result graphs, stopping early at `limit` (the returned value is
+    /// `min(C(Q), limit)`).
+    pub fn count(&self, q: &PatternQuery, limit: Option<u64>) -> u64 {
+        if q.num_vertices() == 0 {
+            return 0;
+        }
+        let compiled = Compiled::new(self.g, q);
+        let plans = build_plans(self.g, q, &compiled);
+        let mut counts: Vec<u64> = Vec::with_capacity(plans.len());
+        for plan in &plans {
+            let mut c: u64 = 0;
+            self.eval_component(q, &compiled, plan, true, &mut |_| {
+                c += 1;
+                limit.is_none_or(|l| c < l)
+            });
+            if c == 0 {
+                return 0;
+            }
+            counts.push(c);
+        }
+        let total = counts
+            .into_iter()
+            .fold(1u64, |acc, c| acc.saturating_mul(c));
+        match limit {
+            Some(l) => total.min(l),
+            None => total,
+        }
+    }
+
+    /// DFS over one component plan; `emit` returns `false` to stop.
+    fn eval_component(
+        &self,
+        q: &PatternQuery,
+        compiled: &Compiled,
+        plan: &ComponentPlan,
+        injective: bool,
+        emit: &mut dyn FnMut(&ResultGraph) -> bool,
+    ) {
+        let mut partial = ResultGraph::new();
+        self.step(q, compiled, &plan.steps, 0, injective, &mut partial, emit);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn step(
+        &self,
+        q: &PatternQuery,
+        compiled: &Compiled,
+        steps: &[Step],
+        i: usize,
+        injective: bool,
+        partial: &mut ResultGraph,
+        emit: &mut dyn FnMut(&ResultGraph) -> bool,
+    ) -> bool {
+        if i == steps.len() {
+            return emit(partial);
+        }
+        match steps[i] {
+            Step::Seed { vertex } => {
+                let cv = compiled.vertex(vertex);
+                let from_index = self.seed_candidates(q, vertex);
+                match from_index {
+                    Some(cands) => {
+                        for dv in cands {
+                            if !cv.accepts(self.g, dv) {
+                                continue;
+                            }
+                            if injective && partial.uses_data_vertex(dv) {
+                                continue;
+                            }
+                            let mut next = partial.clone();
+                            next.bind_vertex(vertex, dv);
+                            if !self.step(q, compiled, steps, i + 1, injective, &mut next, emit) {
+                                return false;
+                            }
+                        }
+                    }
+                    None => {
+                        for dv in self.g.vertex_ids() {
+                            if !cv.accepts(self.g, dv) {
+                                continue;
+                            }
+                            if injective && partial.uses_data_vertex(dv) {
+                                continue;
+                            }
+                            let mut next = partial.clone();
+                            next.bind_vertex(vertex, dv);
+                            if !self.step(q, compiled, steps, i + 1, injective, &mut next, emit) {
+                                return false;
+                            }
+                        }
+                    }
+                }
+                true
+            }
+            Step::ExpandNew { edge, from, to } => {
+                let qe = q.edge(edge).expect("live");
+                let ce = compiled.edge(edge);
+                let cv_to = compiled.vertex(to);
+                let bound = partial.vertex(from).expect("plan binds from first");
+                let mut cands: Vec<(EdgeId, VertexId)> = Vec::new();
+                let from_is_src = from == qe.src;
+                if qe.directions.forward {
+                    // data edge μ(src) → μ(dst)
+                    if from_is_src {
+                        for &de in self.g.out_edges(bound) {
+                            cands.push((de, self.g.edge(de).dst));
+                        }
+                    } else {
+                        for &de in self.g.in_edges(bound) {
+                            cands.push((de, self.g.edge(de).src));
+                        }
+                    }
+                }
+                if qe.directions.backward {
+                    // data edge μ(dst) → μ(src)
+                    if from_is_src {
+                        for &de in self.g.in_edges(bound) {
+                            cands.push((de, self.g.edge(de).src));
+                        }
+                    } else {
+                        for &de in self.g.out_edges(bound) {
+                            cands.push((de, self.g.edge(de).dst));
+                        }
+                    }
+                }
+                cands.sort();
+                cands.dedup();
+                for (de, dv) in cands {
+                    if !ce.accepts(self.g.edge(de)) || !cv_to.accepts(self.g, dv) {
+                        continue;
+                    }
+                    if injective
+                        && (partial.uses_data_vertex(dv) || partial.uses_data_edge(de))
+                    {
+                        continue;
+                    }
+                    let mut next = partial.clone();
+                    next.bind_vertex(to, dv);
+                    next.bind_edge(edge, de);
+                    if !self.step(q, compiled, steps, i + 1, injective, &mut next, emit) {
+                        return false;
+                    }
+                }
+                true
+            }
+            Step::Close { edge } => {
+                let qe = q.edge(edge).expect("live");
+                let ce = compiled.edge(edge);
+                let ms = partial.vertex(qe.src).expect("bound");
+                let mt = partial.vertex(qe.dst).expect("bound");
+                let mut cands: Vec<EdgeId> = Vec::new();
+                if qe.directions.forward {
+                    for &de in self.g.out_edges(ms) {
+                        if self.g.edge(de).dst == mt {
+                            cands.push(de);
+                        }
+                    }
+                }
+                if qe.directions.backward {
+                    for &de in self.g.out_edges(mt) {
+                        if self.g.edge(de).dst == ms {
+                            cands.push(de);
+                        }
+                    }
+                }
+                cands.sort();
+                cands.dedup();
+                for de in cands {
+                    if !ce.accepts(self.g.edge(de)) {
+                        continue;
+                    }
+                    if injective && partial.uses_data_edge(de) {
+                        continue;
+                    }
+                    let mut next = partial.clone();
+                    next.bind_edge(edge, de);
+                    if !self.step(q, compiled, steps, i + 1, injective, &mut next, emit) {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Candidate list from the index if the seed vertex pins the indexed
+    /// attribute with a `OneOf` interval.
+    fn seed_candidates(&self, q: &PatternQuery, vertex: QVid) -> Option<Vec<VertexId>> {
+        let idx = self.index.as_ref()?;
+        let qv = q.vertex(vertex)?;
+        for p in &qv.predicates {
+            if self.g.attr_symbol(&p.attr) == Some(idx.attr()) {
+                if let Interval::OneOf(vals) = &p.interval {
+                    let mut out = Vec::new();
+                    for v in vals {
+                        out.extend_from_slice(idx.lookup(v));
+                    }
+                    out.sort();
+                    out.dedup();
+                    return Some(out);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Enumerate the result graphs of `q` over `g` (convenience wrapper).
+pub fn find_matches(g: &PropertyGraph, q: &PatternQuery, limit: Option<usize>) -> Vec<ResultGraph> {
+    Matcher::new(g).find(
+        q,
+        MatchOptions {
+            injective: true,
+            limit,
+        },
+    )
+}
+
+/// Count the result graphs of `q` over `g`, stopping early at `limit`.
+pub fn count_matches(g: &PropertyGraph, q: &PatternQuery, limit: Option<u64>) -> u64 {
+    Matcher::new(g).count(q, limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whyq_graph::Value;
+    use whyq_query::{DirectionSet, Predicate, QueryBuilder};
+
+    /// Two persons living in one city, knowing each other; a third person in
+    /// another city.
+    fn social() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let a = g.add_vertex([("type", Value::str("person")), ("name", Value::str("Anna"))]);
+        let b = g.add_vertex([("type", Value::str("person")), ("name", Value::str("Bert"))]);
+        let c = g.add_vertex([("type", Value::str("person")), ("name", Value::str("Cleo"))]);
+        let berlin = g.add_vertex([("type", Value::str("city")), ("name", Value::str("Berlin"))]);
+        let rome = g.add_vertex([("type", Value::str("city")), ("name", Value::str("Rome"))]);
+        g.add_edge(a, b, "knows", [("since", Value::Int(2003))]);
+        g.add_edge(b, c, "knows", [("since", Value::Int(2010))]);
+        g.add_edge(a, berlin, "livesIn", []);
+        g.add_edge(b, berlin, "livesIn", []);
+        g.add_edge(c, rome, "livesIn", []);
+        g
+    }
+
+    fn co_located_friends() -> PatternQuery {
+        QueryBuilder::new("colocated")
+            .vertex("p1", [Predicate::eq("type", "person")])
+            .vertex("p2", [Predicate::eq("type", "person")])
+            .vertex("city", [Predicate::eq("type", "city")])
+            .edge("p1", "p2", "knows")
+            .edge("p1", "city", "livesIn")
+            .edge("p2", "city", "livesIn")
+            .build()
+    }
+
+    #[test]
+    fn finds_triangle_match() {
+        let g = social();
+        let q = co_located_friends();
+        let res = find_matches(&g, &q, None);
+        assert_eq!(res.len(), 1);
+        assert_eq!(count_matches(&g, &q, None), 1);
+    }
+
+    #[test]
+    fn edge_predicates_filter() {
+        let g = social();
+        let q = QueryBuilder::new("old-friends")
+            .vertex("p1", [Predicate::eq("type", "person")])
+            .vertex("p2", [Predicate::eq("type", "person")])
+            .edge_full(
+                "p1",
+                "p2",
+                "knows",
+                DirectionSet::FORWARD,
+                [Predicate::at_most("since", 2005.0)],
+            )
+            .build();
+        assert_eq!(count_matches(&g, &q, None), 1);
+    }
+
+    #[test]
+    fn direction_semantics() {
+        let g = social();
+        // Anna -knows-> Bert exists; backward-only must match Bert->Anna side
+        let q_fwd = QueryBuilder::new("f")
+            .vertex("a", [Predicate::eq("name", "Anna")])
+            .vertex("b", [Predicate::eq("name", "Bert")])
+            .edge("a", "b", "knows")
+            .build();
+        assert_eq!(count_matches(&g, &q_fwd, None), 1);
+        let q_bwd = QueryBuilder::new("b")
+            .vertex("a", [Predicate::eq("name", "Anna")])
+            .vertex("b", [Predicate::eq("name", "Bert")])
+            .edge_full("b", "a", "knows", DirectionSet::BACKWARD, [])
+            .build();
+        assert_eq!(count_matches(&g, &q_bwd, None), 1);
+        let q_wrong = QueryBuilder::new("w")
+            .vertex("a", [Predicate::eq("name", "Anna")])
+            .vertex("b", [Predicate::eq("name", "Bert")])
+            .edge("b", "a", "knows")
+            .build();
+        assert_eq!(count_matches(&g, &q_wrong, None), 0);
+        let q_both = QueryBuilder::new("bt")
+            .vertex("a", [Predicate::eq("name", "Anna")])
+            .vertex("b", [Predicate::eq("name", "Bert")])
+            .edge_full("b", "a", "knows", DirectionSet::BOTH, [])
+            .build();
+        assert_eq!(count_matches(&g, &q_both, None), 1);
+    }
+
+    #[test]
+    fn injectivity_prevents_vertex_reuse() {
+        let g = social();
+        // p1 knows p2 — both persons; without injectivity a self-match on a
+        // reflexive edge could appear; here count distinct ordered pairs
+        let q = QueryBuilder::new("pairs")
+            .vertex("p1", [Predicate::eq("type", "person")])
+            .vertex("p2", [Predicate::eq("type", "person")])
+            .edge("p1", "p2", "knows")
+            .build();
+        assert_eq!(count_matches(&g, &q, None), 2); // (a,b), (b,c)
+    }
+
+    #[test]
+    fn unconnected_components_multiply() {
+        let g = social();
+        let q = QueryBuilder::new("pair")
+            .vertex("p", [Predicate::eq("type", "person")])
+            .vertex("c", [Predicate::eq("type", "city")])
+            .build();
+        // 3 persons × 2 cities
+        assert_eq!(count_matches(&g, &q, None), 6);
+        let res = find_matches(&g, &q, None);
+        assert_eq!(res.len(), 6);
+    }
+
+    #[test]
+    fn limits_stop_early() {
+        let g = social();
+        let q = QueryBuilder::new("p").vertex("p", [Predicate::eq("type", "person")]).build();
+        assert_eq!(count_matches(&g, &q, Some(2)), 2);
+        assert_eq!(find_matches(&g, &q, Some(2)).len(), 2);
+        assert_eq!(count_matches(&g, &q, None), 3);
+    }
+
+    #[test]
+    fn empty_query_has_no_matches() {
+        let g = social();
+        let q = PatternQuery::new();
+        assert_eq!(count_matches(&g, &q, None), 0);
+        assert!(find_matches(&g, &q, None).is_empty());
+    }
+
+    #[test]
+    fn indexed_matcher_agrees_with_scan() {
+        let g = social();
+        let q = co_located_friends();
+        let plain = Matcher::new(&g).count(&q, None);
+        let indexed = Matcher::new(&g).with_index("type").count(&q, None);
+        assert_eq!(plain, indexed);
+    }
+
+    #[test]
+    fn homomorphic_mode_allows_reuse() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_vertex([("type", Value::str("person"))]);
+        let b = g.add_vertex([("type", Value::str("person"))]);
+        g.add_edge(a, b, "knows", []);
+        g.add_edge(b, a, "knows", []);
+        // path p1 -> p2 -> p3 homomorphically maps p1=p3=a
+        let q = QueryBuilder::new("path")
+            .vertex("p1", [])
+            .vertex("p2", [])
+            .vertex("p3", [])
+            .edge("p1", "p2", "knows")
+            .edge("p2", "p3", "knows")
+            .build();
+        assert_eq!(count_matches(&g, &q, None), 0); // injective: needs 3 distinct
+        let hom = Matcher::new(&g).find(
+            &q,
+            MatchOptions {
+                injective: false,
+                limit: None,
+            },
+        );
+        assert_eq!(hom.len(), 2); // a->b->a and b->a->b
+    }
+
+    #[test]
+    fn parallel_edges_yield_distinct_matches() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_vertex([]);
+        let b = g.add_vertex([]);
+        g.add_edge(a, b, "t", []);
+        g.add_edge(a, b, "t", []);
+        let q = QueryBuilder::new("e")
+            .vertex("x", [])
+            .vertex("y", [])
+            .edge("x", "y", "t")
+            .build();
+        assert_eq!(count_matches(&g, &q, None), 2);
+    }
+}

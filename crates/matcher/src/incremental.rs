@@ -1,0 +1,291 @@
+//! Incremental match growth — the primitive under the why-query algorithms.
+//!
+//! DISCOVERMCS and BOUNDEDMCS (§4.2) traverse the *query* graph edge by edge
+//! while maintaining the intermediate result sets of the already-traversed
+//! subquery. This module provides exactly that primitive:
+//!
+//! * [`seed_matches`] — result graphs of a single query vertex,
+//! * [`extend_matches`] — extend every partial result graph by one query
+//!   edge (binding its unbound endpoint if necessary).
+//!
+//! The fine-grained rewriter's change-propagation machinery (§6.3.1) reuses
+//! the same primitive to re-evaluate only the pipeline suffix behind a
+//! modified operator.
+
+use crate::compile::{CompiledEdge, CompiledVertex, ResolvedPredicate};
+use crate::result::ResultGraph;
+use whyq_graph::{EdgeId, PropertyGraph, VertexId};
+use whyq_query::{PatternQuery, QEid, QVid};
+
+fn compile_vertex(g: &PropertyGraph, q: &PatternQuery, v: QVid) -> CompiledVertex {
+    let qv = q.vertex(v).expect("live query vertex");
+    CompiledVertex {
+        preds: qv
+            .predicates
+            .iter()
+            .map(|p| ResolvedPredicate {
+                sym: g.attr_symbol(&p.attr),
+                pred: p.clone(),
+            })
+            .collect(),
+    }
+}
+
+fn compile_edge(g: &PropertyGraph, q: &PatternQuery, e: QEid) -> CompiledEdge {
+    let qe = q.edge(e).expect("live query edge");
+    let types = if qe.types.is_empty() {
+        None
+    } else {
+        Some(qe.types.iter().filter_map(|t| g.type_symbol(t)).collect())
+    };
+    CompiledEdge {
+        types,
+        preds: qe
+            .predicates
+            .iter()
+            .map(|p| ResolvedPredicate {
+                sym: g.attr_symbol(&p.attr),
+                pred: p.clone(),
+            })
+            .collect(),
+    }
+}
+
+/// Result graphs binding only query vertex `v`, capped at `cap`.
+pub fn seed_matches(g: &PropertyGraph, q: &PatternQuery, v: QVid, cap: usize) -> Vec<ResultGraph> {
+    let cv = compile_vertex(g, q, v);
+    let mut out = Vec::new();
+    for dv in g.vertex_ids() {
+        if cv.accepts(g, dv) {
+            let mut r = ResultGraph::new();
+            r.bind_vertex(v, dv);
+            out.push(r);
+            if out.len() >= cap {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Extend each partial result graph in `partial` by query edge `e`.
+///
+/// Handles three situations per partial match:
+/// * both endpoints bound — bind the edge if a matching unused data edge
+///   connects them (*closing*),
+/// * one endpoint bound — traverse the data adjacency to bind the other
+///   endpoint and the edge (*expanding*),
+/// * neither endpoint bound — scan all data edges (*disconnected growth*,
+///   used when a traversal path must jump between query components,
+///   §4.3.3).
+///
+/// The output is capped at `cap` result graphs; vertex/edge injectivity is
+/// always enforced (the thesis matches subgraphs, not homomorphisms).
+pub fn extend_matches(
+    g: &PropertyGraph,
+    q: &PatternQuery,
+    partial: &[ResultGraph],
+    e: QEid,
+    cap: usize,
+) -> Vec<ResultGraph> {
+    let qe = q.edge(e).expect("live query edge");
+    let ce = compile_edge(g, q, e);
+    let cv_src = compile_vertex(g, q, qe.src);
+    let cv_dst = compile_vertex(g, q, qe.dst);
+
+    let mut out: Vec<ResultGraph> = Vec::new();
+    'partials: for r in partial {
+        let bs = r.vertex(qe.src);
+        let bt = r.vertex(qe.dst);
+        // candidate (data edge, src binding, dst binding) triples
+        let mut cands: Vec<(EdgeId, VertexId, VertexId)> = Vec::new();
+        match (bs, bt) {
+            (Some(ms), Some(mt)) => {
+                if qe.directions.forward {
+                    for &de in g.out_edges(ms) {
+                        if g.edge(de).dst == mt {
+                            cands.push((de, ms, mt));
+                        }
+                    }
+                }
+                if qe.directions.backward {
+                    for &de in g.out_edges(mt) {
+                        if g.edge(de).dst == ms {
+                            cands.push((de, ms, mt));
+                        }
+                    }
+                }
+            }
+            (Some(ms), None) => {
+                if qe.directions.forward {
+                    for &de in g.out_edges(ms) {
+                        cands.push((de, ms, g.edge(de).dst));
+                    }
+                }
+                if qe.directions.backward {
+                    for &de in g.in_edges(ms) {
+                        cands.push((de, ms, g.edge(de).src));
+                    }
+                }
+            }
+            (None, Some(mt)) => {
+                if qe.directions.forward {
+                    for &de in g.in_edges(mt) {
+                        cands.push((de, g.edge(de).src, mt));
+                    }
+                }
+                if qe.directions.backward {
+                    for &de in g.out_edges(mt) {
+                        cands.push((de, g.edge(de).dst, mt));
+                    }
+                }
+            }
+            (None, None) => {
+                for de in g.edge_ids() {
+                    let ed = g.edge(de);
+                    if qe.directions.forward {
+                        cands.push((de, ed.src, ed.dst));
+                    }
+                    if qe.directions.backward {
+                        cands.push((de, ed.dst, ed.src));
+                    }
+                }
+            }
+        }
+        cands.sort();
+        cands.dedup();
+
+        for (de, ms, mt) in cands {
+            if !ce.accepts(g.edge(de)) || r.uses_data_edge(de) {
+                continue;
+            }
+            // self-loop query edges bind one vertex twice — only allow when
+            // the data edge is a self-loop too
+            if qe.src == qe.dst && ms != mt {
+                continue;
+            }
+            let mut next = r.clone();
+            // bind src endpoint if new
+            if bs.is_none() {
+                if !cv_src.accepts(g, ms) || next.uses_data_vertex(ms) {
+                    continue;
+                }
+                next.bind_vertex(qe.src, ms);
+            } else if bs != Some(ms) {
+                continue;
+            }
+            if qe.src != qe.dst {
+                if bt.is_none() {
+                    if !cv_dst.accepts(g, mt) || next.uses_data_vertex(mt) {
+                        continue;
+                    }
+                    next.bind_vertex(qe.dst, mt);
+                } else if bt != Some(mt) {
+                    continue;
+                }
+            }
+            next.bind_edge(e, de);
+            out.push(next);
+            if out.len() >= cap {
+                break 'partials;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::count_matches;
+    use whyq_graph::Value;
+    use whyq_query::{Predicate, QueryBuilder};
+
+    fn social() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let a = g.add_vertex([("type", Value::str("person"))]);
+        let b = g.add_vertex([("type", Value::str("person"))]);
+        let c = g.add_vertex([("type", Value::str("person"))]);
+        let city = g.add_vertex([("type", Value::str("city"))]);
+        g.add_edge(a, b, "knows", []);
+        g.add_edge(b, c, "knows", []);
+        g.add_edge(a, city, "livesIn", []);
+        g.add_edge(b, city, "livesIn", []);
+        g
+    }
+
+    #[test]
+    fn seed_then_extend_equals_whole_query_eval() {
+        let g = social();
+        let q = QueryBuilder::new("tri")
+            .vertex("p1", [Predicate::eq("type", "person")])
+            .vertex("p2", [Predicate::eq("type", "person")])
+            .vertex("c", [Predicate::eq("type", "city")])
+            .edge("p1", "p2", "knows")
+            .edge("p1", "c", "livesIn")
+            .edge("p2", "c", "livesIn")
+            .build();
+        let seeds = seed_matches(&g, &q, whyq_query::QVid(0), usize::MAX);
+        assert_eq!(seeds.len(), 3);
+        let after_knows = extend_matches(&g, &q, &seeds, whyq_query::QEid(0), usize::MAX);
+        assert_eq!(after_knows.len(), 2); // a->b, b->c
+        let after_lives = extend_matches(&g, &q, &after_knows, whyq_query::QEid(1), usize::MAX);
+        assert_eq!(after_lives.len(), 2); // a and b live in the city
+        let full = extend_matches(&g, &q, &after_lives, whyq_query::QEid(2), usize::MAX);
+        assert_eq!(full.len() as u64, count_matches(&g, &q, None));
+        assert_eq!(full.len(), 1);
+    }
+
+    #[test]
+    fn extend_closing_edge() {
+        let g = social();
+        let q = QueryBuilder::new("pair")
+            .vertex("p1", [Predicate::eq("type", "person")])
+            .vertex("p2", [Predicate::eq("type", "person")])
+            .edge("p1", "p2", "knows")
+            .build();
+        // bind both endpoints first via seeds of separate vertices
+        let s1 = seed_matches(&g, &q, whyq_query::QVid(0), usize::MAX);
+        // extend with the edge binding p2 on the fly
+        let full = extend_matches(&g, &q, &s1, whyq_query::QEid(0), usize::MAX);
+        assert_eq!(full.len(), 2);
+    }
+
+    #[test]
+    fn disconnected_growth_scans_edges() {
+        let g = social();
+        let q = QueryBuilder::new("pair")
+            .vertex("p1", [Predicate::eq("type", "person")])
+            .vertex("p2", [Predicate::eq("type", "person")])
+            .edge("p1", "p2", "knows")
+            .build();
+        let empty_partial = vec![ResultGraph::new()];
+        let full = extend_matches(&g, &q, &empty_partial, whyq_query::QEid(0), usize::MAX);
+        assert_eq!(full.len(), 2);
+    }
+
+    #[test]
+    fn caps_respected() {
+        let g = social();
+        let q = QueryBuilder::new("p")
+            .vertex("p1", [Predicate::eq("type", "person")])
+            .build();
+        assert_eq!(seed_matches(&g, &q, whyq_query::QVid(0), 2).len(), 2);
+    }
+
+    #[test]
+    fn self_loop_requires_data_self_loop() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_vertex([]);
+        let b = g.add_vertex([]);
+        g.add_edge(a, b, "t", []);
+        g.add_edge(b, b, "t", []);
+        let mut q = PatternQuery::new();
+        let v = q.add_vertex(whyq_query::QueryVertex::any());
+        let e = q.add_edge(whyq_query::QueryEdge::typed(v, v, "t"));
+        let seeds = seed_matches(&g, &q, v, usize::MAX);
+        let full = extend_matches(&g, &q, &seeds, e, usize::MAX);
+        assert_eq!(full.len(), 1);
+        assert_eq!(full[0].vertex(v), Some(b));
+    }
+}

@@ -1,0 +1,34 @@
+//! # whyq-matcher — pattern matching over property graphs
+//!
+//! Evaluates [`whyq_query::PatternQuery`] against a
+//! [`whyq_graph::PropertyGraph`]: finds the data subgraphs matching the
+//! query (the *result graphs* of Def. 6, §3.2.4) or counts them with early
+//! termination.
+//!
+//! Matching semantics (§3.1.2):
+//!
+//! * a result graph maps query vertices to data vertices and query edges to
+//!   data edges;
+//! * the mapping honors every vertex/edge predicate, the edge-type
+//!   disjunction and the admissible direction set of every query edge;
+//! * within one weakly connected query component the mapping is
+//!   **injective** on vertices and edges (subgraph-isomorphism style;
+//!   homomorphic matching is available through [`MatchOptions`]);
+//! * unconnected query components are matched independently and combined as
+//!   a cartesian product (§4.3.3) — cardinalities multiply.
+//!
+//! Besides whole-query evaluation the crate exposes the *incremental* API
+//! ([`seed_matches`] / [`extend_matches`]) that the why-query algorithms of
+//! `whyq-core` (DISCOVERMCS, BOUNDEDMCS, change propagation) are built on:
+//! grow a set of partial result graphs by one query edge at a time.
+
+pub mod compile;
+pub mod engine;
+pub mod incremental;
+pub mod index;
+pub mod result;
+
+pub use engine::{count_matches, find_matches, MatchOptions, Matcher};
+pub use incremental::{extend_matches, seed_matches};
+pub use index::AttrIndex;
+pub use result::ResultGraph;

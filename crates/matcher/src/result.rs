@@ -1,0 +1,154 @@
+//! Result graphs: mappings from query elements to data elements.
+//!
+//! Definition 6 (§3.2.4): *a result graph describes a data subgraph as a
+//! mapping between query vertices and data vertices, query edges and data
+//! edges*. The result distance of Def. 7 compares two result graphs per
+//! query identifier, which is why the mapping is keyed by stable query ids.
+
+use whyq_graph::{EdgeId, VertexId};
+use whyq_query::{QEid, QVid};
+
+/// One match: an assignment of data elements to query elements.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResultGraph {
+    vertices: Vec<(QVid, VertexId)>,
+    edges: Vec<(QEid, EdgeId)>,
+}
+
+impl ResultGraph {
+    /// Empty assignment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The data vertex assigned to a query vertex.
+    pub fn vertex(&self, q: QVid) -> Option<VertexId> {
+        self.vertices
+            .binary_search_by_key(&q, |(k, _)| *k)
+            .ok()
+            .map(|i| self.vertices[i].1)
+    }
+
+    /// The data edge assigned to a query edge.
+    pub fn edge(&self, q: QEid) -> Option<EdgeId> {
+        self.edges
+            .binary_search_by_key(&q, |(k, _)| *k)
+            .ok()
+            .map(|i| self.edges[i].1)
+    }
+
+    /// Bind a query vertex to a data vertex.
+    ///
+    /// # Panics
+    /// Panics if the query vertex is already bound (engine invariant).
+    pub fn bind_vertex(&mut self, q: QVid, d: VertexId) {
+        match self.vertices.binary_search_by_key(&q, |(k, _)| *k) {
+            Ok(_) => panic!("query vertex {q} bound twice"),
+            Err(pos) => self.vertices.insert(pos, (q, d)),
+        }
+    }
+
+    /// Bind a query edge to a data edge.
+    ///
+    /// # Panics
+    /// Panics if the query edge is already bound (engine invariant).
+    pub fn bind_edge(&mut self, q: QEid, d: EdgeId) {
+        match self.edges.binary_search_by_key(&q, |(k, _)| *k) {
+            Ok(_) => panic!("query edge {q} bound twice"),
+            Err(pos) => self.edges.insert(pos, (q, d)),
+        }
+    }
+
+    /// Is the data vertex already used by this assignment?
+    pub fn uses_data_vertex(&self, d: VertexId) -> bool {
+        self.vertices.iter().any(|&(_, v)| v == d)
+    }
+
+    /// Is the data edge already used by this assignment?
+    pub fn uses_data_edge(&self, d: EdgeId) -> bool {
+        self.edges.iter().any(|&(_, e)| e == d)
+    }
+
+    /// Bound query vertices with their data vertices, in query-id order.
+    pub fn vertex_bindings(&self) -> &[(QVid, VertexId)] {
+        &self.vertices
+    }
+
+    /// Bound query edges with their data edges, in query-id order.
+    pub fn edge_bindings(&self) -> &[(QEid, EdgeId)] {
+        &self.edges
+    }
+
+    /// Number of bound vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of bound edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Merge two assignments over disjoint query elements (used for the
+    /// cartesian combination of unconnected query components).
+    ///
+    /// # Panics
+    /// Panics if the assignments share a query element.
+    pub fn merged(&self, other: &ResultGraph) -> ResultGraph {
+        let mut out = self.clone();
+        for &(q, d) in &other.vertices {
+            out.bind_vertex(q, d);
+        }
+        for &(q, d) in &other.edges {
+            out.bind_edge(q, d);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_and_lookup() {
+        let mut r = ResultGraph::new();
+        r.bind_vertex(QVid(2), VertexId(20));
+        r.bind_vertex(QVid(0), VertexId(10));
+        r.bind_edge(QEid(1), EdgeId(5));
+        assert_eq!(r.vertex(QVid(0)), Some(VertexId(10)));
+        assert_eq!(r.vertex(QVid(2)), Some(VertexId(20)));
+        assert_eq!(r.vertex(QVid(1)), None);
+        assert_eq!(r.edge(QEid(1)), Some(EdgeId(5)));
+        // bindings are sorted by query id
+        assert_eq!(r.vertex_bindings()[0].0, QVid(0));
+    }
+
+    #[test]
+    fn usage_checks() {
+        let mut r = ResultGraph::new();
+        r.bind_vertex(QVid(0), VertexId(7));
+        assert!(r.uses_data_vertex(VertexId(7)));
+        assert!(!r.uses_data_vertex(VertexId(8)));
+        r.bind_edge(QEid(0), EdgeId(3));
+        assert!(r.uses_data_edge(EdgeId(3)));
+    }
+
+    #[test]
+    fn merge_disjoint() {
+        let mut a = ResultGraph::new();
+        a.bind_vertex(QVid(0), VertexId(1));
+        let mut b = ResultGraph::new();
+        b.bind_vertex(QVid(1), VertexId(2));
+        let m = a.merged(&b);
+        assert_eq!(m.num_vertices(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut r = ResultGraph::new();
+        r.bind_vertex(QVid(0), VertexId(1));
+        r.bind_vertex(QVid(0), VertexId(2));
+    }
+}

@@ -1,0 +1,61 @@
+//! Cardinality-level comparison (§3.2.3).
+//!
+//! For too-few/too-many problems a cardinality threshold `C_thr` is given
+//! and two explanations compare by how much closer they bring the result
+//! size to it (Def. 5, eq. 3.19). For the empty-answer problem no threshold
+//! exists — non-empty explanations compare by plain size difference,
+//! preferring smaller results (eq. 3.20).
+
+/// Deviation of a result size from the threshold: `|C_thr − C|`.
+///
+/// This is the per-explanation quantity plotted in Fig. 3.9 and minimized by
+/// the fine-grained rewriter (Ch. 6).
+pub fn cardinality_deviation(c: u64, c_thr: u64) -> u64 {
+    c_thr.abs_diff(c)
+}
+
+/// Cardinality distance between two explanations under a threshold
+/// (eq. 3.19): `||C_thr − C₁| − |C_thr − C₂||`.
+pub fn cardinality_distance(c1: u64, c2: u64, c_thr: u64) -> u64 {
+    cardinality_deviation(c1, c_thr).abs_diff(cardinality_deviation(c2, c_thr))
+}
+
+/// Cardinality distance for the empty-answer problem (eq. 3.20):
+/// `|C₁ − C₂|` over two *non-empty* explanations. Returns `None` when
+/// either explanation is still empty (undefined per the thesis).
+pub fn cardinality_distance_empty(c1: u64, c2: u64) -> Option<u64> {
+    if c1 == 0 || c2 == 0 {
+        None
+    } else {
+        Some(c1.abs_diff(c2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deviation() {
+        assert_eq!(cardinality_deviation(10, 25), 15);
+        assert_eq!(cardinality_deviation(30, 25), 5);
+        assert_eq!(cardinality_deviation(25, 25), 0);
+    }
+
+    #[test]
+    fn threshold_distance() {
+        // C_thr = 100: C1=90 (dev 10), C2=120 (dev 20) → distance 10
+        assert_eq!(cardinality_distance(90, 120, 100), 10);
+        // symmetric
+        assert_eq!(cardinality_distance(120, 90, 100), 10);
+        // equal deviations on opposite sides → 0
+        assert_eq!(cardinality_distance(90, 110, 100), 0);
+    }
+
+    #[test]
+    fn empty_problem_distance() {
+        assert_eq!(cardinality_distance_empty(5, 8), Some(3));
+        assert_eq!(cardinality_distance_empty(0, 8), None);
+        assert_eq!(cardinality_distance_empty(5, 0), None);
+    }
+}

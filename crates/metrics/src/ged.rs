@@ -1,0 +1,253 @@
+//! Coarse-grained graph-edit distance between queries (§3.2.1).
+//!
+//! Before introducing the fine-granular set-based syntactic distance, the
+//! thesis discusses the classic graph-edit-distance view: count the basic
+//! modification operations (Table 3.1) needed to transform one query into
+//! another. The count ignores *how much* a predicate interval changed —
+//! which is exactly why §3.2.2 replaces it — but it remains useful as a
+//! cheap upper-level comparison and for explaining modification sequences
+//! to users ("3 changes away from your query").
+//!
+//! Because explanations share element ids with their original query, the
+//! minimal edit script is computable exactly by aligning per id (no
+//! correspondence search is needed).
+
+use whyq_query::{PatternQuery, QEid, QVid};
+
+/// Breakdown of the edit script between two queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EditCounts {
+    /// Vertices present in exactly one query.
+    pub vertex_edits: usize,
+    /// Edges present in exactly one query or with changed endpoints.
+    pub edge_edits: usize,
+    /// Predicate insertions/deletions (a changed interval counts as one
+    /// deletion plus one insertion, per §3.2.1).
+    pub predicate_edits: usize,
+    /// Edge-type insertions/deletions.
+    pub type_edits: usize,
+    /// Direction insertions/deletions.
+    pub direction_edits: usize,
+}
+
+impl EditCounts {
+    /// Total number of basic operations.
+    pub fn total(&self) -> usize {
+        self.vertex_edits
+            + self.edge_edits
+            + self.predicate_edits
+            + self.type_edits
+            + self.direction_edits
+    }
+}
+
+/// Count the basic edit operations transforming `q1` into `q2`
+/// (id-aligned, exact).
+pub fn graph_edit_counts(q1: &PatternQuery, q2: &PatternQuery) -> EditCounts {
+    let mut counts = EditCounts::default();
+
+    let mut vids: Vec<QVid> = q1.vertex_ids().chain(q2.vertex_ids()).collect();
+    vids.sort();
+    vids.dedup();
+    for v in vids {
+        match (q1.vertex(v), q2.vertex(v)) {
+            (Some(a), Some(b)) => {
+                // predicate-level diff by attribute
+                let mut attrs: Vec<&str> = a
+                    .predicates
+                    .iter()
+                    .chain(b.predicates.iter())
+                    .map(|p| p.attr.as_str())
+                    .collect();
+                attrs.sort();
+                attrs.dedup();
+                for attr in attrs {
+                    match (a.predicate(attr), b.predicate(attr)) {
+                        (Some(pa), Some(pb)) => {
+                            if pa.interval != pb.interval {
+                                counts.predicate_edits += 2; // delete + insert
+                            }
+                        }
+                        (None, None) => {}
+                        _ => counts.predicate_edits += 1,
+                    }
+                }
+            }
+            (None, None) => {}
+            _ => counts.vertex_edits += 1,
+        }
+    }
+
+    let mut eids: Vec<QEid> = q1.edge_ids().chain(q2.edge_ids()).collect();
+    eids.sort();
+    eids.dedup();
+    for e in eids {
+        match (q1.edge(e), q2.edge(e)) {
+            (Some(a), Some(b)) => {
+                if a.src != b.src || a.dst != b.dst {
+                    // rewired edge = deletion + insertion
+                    counts.edge_edits += 2;
+                    continue;
+                }
+                for t in &a.types {
+                    if !b.types.contains(t) {
+                        counts.type_edits += 1;
+                    }
+                }
+                for t in &b.types {
+                    if !a.types.contains(t) {
+                        counts.type_edits += 1;
+                    }
+                }
+                counts.direction_edits +=
+                    usize::from(a.directions.forward != b.directions.forward)
+                        + usize::from(a.directions.backward != b.directions.backward);
+                let mut attrs: Vec<&str> = a
+                    .predicates
+                    .iter()
+                    .chain(b.predicates.iter())
+                    .map(|p| p.attr.as_str())
+                    .collect();
+                attrs.sort();
+                attrs.dedup();
+                for attr in attrs {
+                    match (a.predicate(attr), b.predicate(attr)) {
+                        (Some(pa), Some(pb)) => {
+                            if pa.interval != pb.interval {
+                                counts.predicate_edits += 2;
+                            }
+                        }
+                        (None, None) => {}
+                        _ => counts.predicate_edits += 1,
+                    }
+                }
+            }
+            (None, None) => {}
+            _ => counts.edge_edits += 1,
+        }
+    }
+    counts
+}
+
+/// The coarse GED: total basic-operation count.
+pub fn graph_edit_distance(q1: &PatternQuery, q2: &PatternQuery) -> usize {
+    graph_edit_counts(q1, q2).total()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whyq_query::{
+        Direction, GraphMod, Interval, Predicate, QueryBuilder, Target,
+    };
+
+    fn base() -> PatternQuery {
+        QueryBuilder::new("b")
+            .vertex("a", [Predicate::eq("type", "person"), Predicate::eq("age", 30)])
+            .vertex("b", [Predicate::eq("type", "city")])
+            .edge("a", "b", "livesIn")
+            .build()
+    }
+
+    #[test]
+    fn identical_queries_have_zero_ged() {
+        assert_eq!(graph_edit_distance(&base(), &base()), 0);
+    }
+
+    #[test]
+    fn single_predicate_removal_costs_one() {
+        let q = base();
+        let (modified, _) = GraphMod::RemovePredicate {
+            target: Target::Vertex(QVid(0)),
+            attr: "age".into(),
+        }
+        .applied(&q)
+        .unwrap();
+        let c = graph_edit_counts(&q, &modified);
+        assert_eq!(c.predicate_edits, 1);
+        assert_eq!(c.total(), 1);
+    }
+
+    #[test]
+    fn interval_change_costs_two() {
+        let q = base();
+        let (modified, _) = GraphMod::ReplaceInterval {
+            target: Target::Vertex(QVid(0)),
+            attr: "age".into(),
+            interval: Interval::one_of([30, 31]),
+        }
+        .applied(&q)
+        .unwrap();
+        // deletion of the old interval + insertion of the new one
+        assert_eq!(graph_edit_distance(&q, &modified), 2);
+    }
+
+    #[test]
+    fn vertex_removal_counts_vertex_and_incident_edges() {
+        let q = base();
+        let (modified, _) = GraphMod::RemoveVertex(QVid(1)).applied(&q).unwrap();
+        let c = graph_edit_counts(&q, &modified);
+        assert_eq!(c.vertex_edits, 1);
+        assert_eq!(c.edge_edits, 1);
+        assert_eq!(c.total(), 2);
+    }
+
+    #[test]
+    fn type_and_direction_edits() {
+        let q = base();
+        let (m1, _) = GraphMod::InsertType {
+            edge: QEid(0),
+            ty: "worksIn".into(),
+        }
+        .applied(&q)
+        .unwrap();
+        assert_eq!(graph_edit_counts(&q, &m1).type_edits, 1);
+        let (m2, _) = GraphMod::InsertDirection {
+            edge: QEid(0),
+            dir: Direction::Backward,
+        }
+        .applied(&q)
+        .unwrap();
+        assert_eq!(graph_edit_counts(&q, &m2).direction_edits, 1);
+    }
+
+    #[test]
+    fn ged_is_symmetric() {
+        let q = base();
+        let (modified, _) = GraphMod::RemoveEdge(QEid(0)).applied(&q).unwrap();
+        assert_eq!(
+            graph_edit_distance(&q, &modified),
+            graph_edit_distance(&modified, &q)
+        );
+    }
+
+    #[test]
+    fn ged_is_coarser_than_syntactic_distance() {
+        // the thesis's motivation for the set-based distance: GED cannot
+        // tell a small interval widening from a large one
+        let q = base();
+        let (small, _) = GraphMod::ReplaceInterval {
+            target: Target::Vertex(QVid(0)),
+            attr: "age".into(),
+            interval: Interval::one_of([30, 31]),
+        }
+        .applied(&q)
+        .unwrap();
+        let (large, _) = GraphMod::ReplaceInterval {
+            target: Target::Vertex(QVid(0)),
+            attr: "age".into(),
+            interval: Interval::one_of([30, 31, 32, 33, 34, 35, 36, 37]),
+        }
+        .applied(&q)
+        .unwrap();
+        assert_eq!(
+            graph_edit_distance(&q, &small),
+            graph_edit_distance(&q, &large)
+        );
+        let syn_small = crate::syntactic::syntactic_distance(&q, &small);
+        let syn_large = crate::syntactic::syntactic_distance(&q, &large);
+        assert!(syn_large > syn_small);
+    }
+
+    use whyq_query::{QEid, QVid};
+}

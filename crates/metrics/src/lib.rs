@@ -1,0 +1,39 @@
+//! # whyq-metrics — comprehensive comparison of explanations
+//!
+//! Implements the three-level explanation comparison of §3.2 of *"Why-Query
+//! Support in Graph Databases"*:
+//!
+//! * **syntactic level** (§3.2.2) — how different an explanation *looks* to
+//!   the user, computed as a modified-Hausdorff set distance over the
+//!   set-based query model (Algorithm 1, eqs. 3.10–3.13);
+//! * **cardinality level** (§3.2.3) — how far the explanation's result size
+//!   is from the cardinality threshold (Def. 5, eqs. 3.19/3.20);
+//! * **result level** (§3.2.4) — how much of the original result content an
+//!   explanation preserves, computed as a normalized graph-edit distance
+//!   between result graphs (Def. 7) combined through a minimum-cost
+//!   assignment (Def. 8, the Hungarian algorithm of Algorithm 2).
+
+pub mod cardinality;
+pub mod ged;
+pub mod hungarian;
+pub mod result;
+pub mod setdist;
+pub mod syntactic;
+
+pub use cardinality::{cardinality_deviation, cardinality_distance, cardinality_distance_empty};
+pub use ged::{graph_edit_counts, graph_edit_distance, EditCounts};
+pub use hungarian::hungarian;
+pub use result::{result_graph_distance, result_set_distance};
+pub use syntactic::syntactic_distance;
+
+/// All three comparison levels for one explanation against the original
+/// query, bundled for the evaluation harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplanationScores {
+    /// Syntactic distance to the original query in `[0, 1]`.
+    pub syntactic: f64,
+    /// `|C_thr − C(explanation)|` (deviation from the threshold).
+    pub cardinality_deviation: u64,
+    /// Result distance to the original result set in `[0, 1]`.
+    pub result: f64,
+}

@@ -1,0 +1,182 @@
+//! Result-level comparison (§3.2.4).
+//!
+//! A result graph maps query elements to data elements (Def. 6). The
+//! distance between two result graphs is a graph-edit distance normalized
+//! by the union of involved query elements (Def. 7): aligned bindings with
+//! different data ids cost one relabel, bindings present in only one result
+//! cost one deletion/insertion.
+//!
+//! Two *result sets* compare through a minimum-cost assignment of result
+//! graphs (Def. 8, solved by the Hungarian method) normalized by the size of
+//! the original result set. Explanations with extra answers are not
+//! penalized for the surplus; lost original answers cost 1 each.
+
+use crate::hungarian::hungarian;
+use whyq_matcher::ResultGraph;
+use whyq_query::{QEid, QVid};
+
+/// Normalized graph-edit distance between two result graphs (Def. 7).
+pub fn result_graph_distance(r1: &ResultGraph, r2: &ResultGraph) -> f64 {
+    // union of bound query vertex/edge ids
+    let mut vids: Vec<QVid> = r1
+        .vertex_bindings()
+        .iter()
+        .chain(r2.vertex_bindings())
+        .map(|&(q, _)| q)
+        .collect();
+    vids.sort();
+    vids.dedup();
+    let mut eids: Vec<QEid> = r1
+        .edge_bindings()
+        .iter()
+        .chain(r2.edge_bindings())
+        .map(|&(q, _)| q)
+        .collect();
+    eids.sort();
+    eids.dedup();
+    let total = vids.len() + eids.len();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut ged = 0usize;
+    for v in vids {
+        match (r1.vertex(v), r2.vertex(v)) {
+            (Some(a), Some(b)) if a == b => {}
+            _ => ged += 1, // relabel, deletion or insertion — unit cost each
+        }
+    }
+    for e in eids {
+        match (r1.edge(e), r2.edge(e)) {
+            (Some(a), Some(b)) if a == b => {}
+            _ => ged += 1,
+        }
+    }
+    ged as f64 / total as f64
+}
+
+/// Distance between an original result set `r1` and an explanation's result
+/// set `r2` (Def. 8), in `[0, 1]`.
+///
+/// Rows are original answers, columns are explanation answers. When the
+/// original set is larger, surplus rows map to padding columns at cost 1
+/// (per Algorithm 2 step 0 — lost answers). When the explanation is larger,
+/// surplus columns map to zero-cost padding rows (new answers are free).
+/// The assignment cost is normalized by `|R1|`.
+///
+/// Returns 1.0 when the original set is empty or the explanation set is
+/// empty (a completely different result).
+pub fn result_set_distance(r1: &[ResultGraph], r2: &[ResultGraph]) -> f64 {
+    if r1.is_empty() || r2.is_empty() {
+        return if r1.is_empty() && r2.is_empty() {
+            0.0
+        } else {
+            1.0
+        };
+    }
+    let m = r1.len();
+    let n = r2.len();
+    let size = m.max(n);
+    let mut cost = vec![vec![0.0f64; size]; size];
+    for (i, row) in cost.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = if i < m && j < n {
+                result_graph_distance(&r1[i], &r2[j])
+            } else if i < m {
+                // original answer with no counterpart → lost
+                1.0
+            } else {
+                // padding row: surplus explanation answers are free
+                0.0
+            };
+        }
+    }
+    let (_, total) = hungarian(&cost);
+    total / m as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whyq_graph::{EdgeId, VertexId};
+
+    fn rg(vs: &[(u32, u32)], es: &[(u32, u32)]) -> ResultGraph {
+        let mut r = ResultGraph::new();
+        for &(q, d) in vs {
+            r.bind_vertex(QVid(q), VertexId(d));
+        }
+        for &(q, d) in es {
+            r.bind_edge(QEid(q), EdgeId(d));
+        }
+        r
+    }
+
+    #[test]
+    fn thesis_fig36_example() {
+        // Fig. 3.6: r1 = {v1:person.1, v2:person.2, v3:city.5; e1:1, e2:10},
+        //           r2 = {v1:person.1, v2:person.2, v4:city.15; e1:1, e4:15}
+        // → GED 4 over union of 4 vertices + 3 edges = 4/7
+        let r1 = rg(&[(0, 1), (1, 2), (2, 5)], &[(0, 1), (1, 10)]);
+        let r2 = rg(&[(0, 1), (1, 2), (3, 15)], &[(0, 1), (3, 15)]);
+        assert!((result_graph_distance(&r1, &r2) - 4.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_results_zero_distance() {
+        let r = rg(&[(0, 1), (1, 2)], &[(0, 0)]);
+        assert_eq!(result_graph_distance(&r, &r), 0.0);
+    }
+
+    #[test]
+    fn relabeling_costs_one_each() {
+        let r1 = rg(&[(0, 1), (1, 2)], &[]);
+        let r2 = rg(&[(0, 1), (1, 9)], &[]);
+        assert!((result_graph_distance(&r1, &r2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_distance_identical_sets() {
+        let set = vec![rg(&[(0, 1)], &[]), rg(&[(0, 2)], &[])];
+        assert_eq!(result_set_distance(&set, &set), 0.0);
+    }
+
+    #[test]
+    fn set_distance_handles_unequal_sizes() {
+        let orig = vec![rg(&[(0, 1)], &[]), rg(&[(0, 2)], &[])];
+        // explanation keeps one original answer and adds two new ones
+        let expl = vec![rg(&[(0, 1)], &[]), rg(&[(0, 7)], &[]), rg(&[(0, 8)], &[])];
+        // best assignment: (0→keep, cost 0), (1→one of the new, cost 1) → 1/2
+        assert!((result_set_distance(&orig, &expl) - 0.5).abs() < 1e-12);
+        // surplus answers alone are free: superset explanation
+        let expl2 = vec![rg(&[(0, 1)], &[]), rg(&[(0, 2)], &[]), rg(&[(0, 9)], &[])];
+        assert_eq!(result_set_distance(&orig, &expl2), 0.0);
+    }
+
+    #[test]
+    fn set_distance_lost_answers_penalized() {
+        let orig = vec![rg(&[(0, 1)], &[]), rg(&[(0, 2)], &[]), rg(&[(0, 3)], &[])];
+        let expl = vec![rg(&[(0, 1)], &[])];
+        // one kept, two lost → 2/3
+        assert!((result_set_distance(&orig, &expl) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sets() {
+        let set = vec![rg(&[(0, 1)], &[])];
+        assert_eq!(result_set_distance(&[], &set), 1.0);
+        assert_eq!(result_set_distance(&set, &[]), 1.0);
+        assert_eq!(result_set_distance(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn thesis_matrix_normalization() {
+        // §3.2.4: costs 0.58 over 4 original answers → 0.145; rebuild via
+        // four synthetic result graphs is unnecessary — verify the published
+        // normalization arithmetic holds for our pipeline on a same-shape
+        // matrix by checking the hungarian total directly in hungarian.rs.
+        // Here: distance bounded by [0, 1] sanity on random-ish inputs.
+        let orig = vec![rg(&[(0, 1), (1, 2)], &[(0, 0)]), rg(&[(0, 3), (1, 4)], &[(0, 1)])];
+        let expl = vec![rg(&[(0, 1), (1, 9)], &[(0, 0)])];
+        let d = result_set_distance(&orig, &expl);
+        assert!((0.0..=1.0).contains(&d));
+    }
+}

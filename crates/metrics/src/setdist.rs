@@ -1,0 +1,66 @@
+//! Modified-Hausdorff set distances (Def. 4).
+//!
+//! With Boolean point-point distances (eq. 3.8), the point-set distance
+//! (Def. 3) degenerates to set membership (eq. 3.9) and the modified
+//! Hausdorff distance of Dubuisson & Jain becomes
+//!
+//! ```text
+//! MHD(A, B) = max( |A∖B| / |A| , |B∖A| / |B| )
+//! ```
+//!
+//! which is what the syntactic comparison applies to id sets, type sets and
+//! direction sets. (Predicate intervals additionally support measure-based
+//! distances for numeric ranges — see [`whyq_query::Interval::distance`].)
+
+/// MHD over two slices with Boolean point distances.
+///
+/// Conventions: two empty sets are identical (0); an empty set against a
+/// non-empty one is maximally distant (1).
+pub fn mhd_bool<T: PartialEq>(a: &[T], b: &[T]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 1.0;
+    }
+    let a_not_b = a.iter().filter(|x| !b.contains(x)).count() as f64;
+    let b_not_a = b.iter().filter(|x| !a.contains(x)).count() as f64;
+    (a_not_b / a.len() as f64).max(b_not_a / b.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sets() {
+        assert_eq!(mhd_bool(&[1, 2, 3], &[1, 2, 3]), 0.0);
+        assert_eq!(mhd_bool::<i32>(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn disjoint_sets() {
+        assert_eq!(mhd_bool(&[1], &[2]), 1.0);
+    }
+
+    #[test]
+    fn asymmetric_overlap_takes_max() {
+        // A = {1,2}, B = {1}: A∖B = 1/2, B∖A = 0 → 0.5
+        assert!((mhd_bool(&[1, 2], &[1]) - 0.5).abs() < 1e-12);
+        // thesis eq. 3.15: IN sets {e1} vs {e1, e3} → 1/2
+        assert!((mhd_bool(&["e1"], &["e1", "e3"]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_vs_nonempty() {
+        assert_eq!(mhd_bool(&[], &[1]), 1.0);
+        assert_eq!(mhd_bool(&[1], &[]), 1.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = [1, 2, 3, 4];
+        let b = [3, 4, 5];
+        assert_eq!(mhd_bool(&a, &b), mhd_bool(&b, &a));
+    }
+}

@@ -1,0 +1,166 @@
+//! Ergonomic construction of pattern queries.
+//!
+//! `QueryBuilder` lets callers refer to vertices by string keys while the
+//! builder tracks the assigned stable ids — convenient for the workload
+//! definitions in `whyq-datagen` and for examples.
+
+use crate::direction::DirectionSet;
+use crate::predicate::Predicate;
+use crate::query::{PatternQuery, QEid, QVid, QueryEdge, QueryVertex};
+use std::collections::HashMap;
+
+/// Fluent builder for [`PatternQuery`].
+#[derive(Debug, Default)]
+pub struct QueryBuilder {
+    query: PatternQuery,
+    keys: HashMap<String, QVid>,
+}
+
+impl QueryBuilder {
+    /// Start a named query.
+    pub fn new(name: impl Into<String>) -> Self {
+        QueryBuilder {
+            query: PatternQuery::named(name),
+            keys: HashMap::new(),
+        }
+    }
+
+    /// Add a vertex under `key` with the given predicates.
+    ///
+    /// # Panics
+    /// Panics if `key` was already used (construction bug).
+    pub fn vertex(
+        mut self,
+        key: &str,
+        predicates: impl IntoIterator<Item = Predicate>,
+    ) -> Self {
+        assert!(
+            !self.keys.contains_key(key),
+            "duplicate vertex key {key:?}"
+        );
+        let id = self
+            .query
+            .add_vertex(QueryVertex::with(predicates).labeled(key));
+        self.keys.insert(key.to_string(), id);
+        self
+    }
+
+    /// Add a forward edge `src → dst` with one type and no predicates.
+    pub fn edge(self, src: &str, dst: &str, ty: &str) -> Self {
+        self.edge_full(src, dst, ty, DirectionSet::FORWARD, [])
+    }
+
+    /// Add an edge with explicit directions and predicates.
+    pub fn edge_full(
+        mut self,
+        src: &str,
+        dst: &str,
+        ty: &str,
+        directions: DirectionSet,
+        predicates: impl IntoIterator<Item = Predicate>,
+    ) -> Self {
+        let s = self.resolve(src);
+        let d = self.resolve(dst);
+        self.query.add_edge(QueryEdge {
+            src: s,
+            dst: d,
+            types: vec![ty.to_string()],
+            directions,
+            predicates: predicates.into_iter().collect(),
+            label: None,
+        });
+        self
+    }
+
+    /// The id assigned to `key`.
+    ///
+    /// # Panics
+    /// Panics on unknown keys.
+    pub fn id(&self, key: &str) -> QVid {
+        self.resolve(key)
+    }
+
+    fn resolve(&self, key: &str) -> QVid {
+        *self
+            .keys
+            .get(key)
+            .unwrap_or_else(|| panic!("unknown vertex key {key:?}"))
+    }
+
+    /// Finish building.
+    pub fn build(self) -> PatternQuery {
+        self.query
+    }
+
+    /// Finish building, also returning the key → id map.
+    pub fn build_with_keys(self) -> (PatternQuery, HashMap<String, QVid>) {
+        (self.query, self.keys)
+    }
+}
+
+/// Find the edge id connecting two labeled vertices (first match), useful in
+/// tests and examples.
+pub fn edge_between(q: &PatternQuery, src: QVid, dst: QVid) -> Option<QEid> {
+    q.edge_ids()
+        .find(|&e| q.edge(e).is_some_and(|ed| ed.src == src && ed.dst == dst))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_thesis_example_query() {
+        // Fig. 3.5a: person(Anna) -workAt-> university <-studyAt- person,
+        // university -locatedIn-> city(Berlin)
+        let q = QueryBuilder::new("fig3.5a")
+            .vertex(
+                "anna",
+                [Predicate::eq("type", "person"), Predicate::eq("name", "Anna")],
+            )
+            .vertex("uni", [Predicate::eq("type", "university")])
+            .vertex(
+                "city",
+                [Predicate::eq("type", "city"), Predicate::eq("name", "Berlin")],
+            )
+            .vertex(
+                "student",
+                [
+                    Predicate::eq("type", "person"),
+                    Predicate::eq("gender", "male"),
+                    Predicate::eq("nationality", "Chinese"),
+                ],
+            )
+            .edge_full(
+                "anna",
+                "uni",
+                "workAt",
+                DirectionSet::FORWARD,
+                [Predicate::eq("sinceYear", 2003)],
+            )
+            .edge("uni", "city", "locatedIn")
+            .edge("student", "uni", "studyAt")
+            .build();
+        assert_eq!(q.num_vertices(), 4);
+        assert_eq!(q.num_edges(), 3);
+        assert!(q.is_connected());
+        assert_eq!(q.name.as_deref(), Some("fig3.5a"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate vertex key")]
+    fn duplicate_key_panics() {
+        let _ = QueryBuilder::new("x")
+            .vertex("a", [])
+            .vertex("a", []);
+    }
+
+    #[test]
+    fn edge_between_finds_edge() {
+        let b = QueryBuilder::new("x").vertex("a", []).vertex("b", []);
+        let (a, bb) = (b.id("a"), b.id("b"));
+        let q = b.edge("a", "b", "t").build();
+        assert!(edge_between(&q, a, bb).is_some());
+        assert!(edge_between(&q, bb, a).is_none());
+    }
+}

@@ -1,0 +1,454 @@
+//! Complex modification operations (§3.2.1, Fig. 3.2).
+//!
+//! Several basic operations of Table 3.1 executed as one semantic step.
+//! The thesis classifies them by target: *vertex-oriented* (vertex
+//! exclusion, predicate extension, vertex cleaving), *edge-oriented* (edge
+//! exclusion, type substitution, path cleaving) and *subgraph-oriented*
+//! (densification, extension, relaxation). Each complex operation expands
+//! into a sequence of [`GraphMod`]s applied atomically — if any step fails
+//! the query is left untouched.
+
+use crate::direction::DirectionSet;
+use crate::interval::Interval;
+use crate::modification::{GraphMod, ModError, Target};
+use crate::predicate::Predicate;
+use crate::query::{PatternQuery, QEid, QVid};
+use whyq_graph::Value;
+
+/// A composite modification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ComplexOp {
+    /// *Vertex exclusion* — remove a vertex but keep the path through it:
+    /// incident edge pairs are re-wired into direct edges between the
+    /// vertex's neighbors (the inverse of vertex cleaving).
+    VertexExclusion {
+        /// The vertex to splice out.
+        vertex: QVid,
+        /// Type given to the bridging edges.
+        bridge_type: String,
+    },
+    /// *Vertex cleaving* — split a path edge by introducing a fresh
+    /// intermediate vertex: `a -e-> b` becomes `a -> new -> b`.
+    PathCleaving {
+        /// The edge to split.
+        edge: QEid,
+        /// Predicates of the new intermediate vertex.
+        predicates: Vec<Predicate>,
+    },
+    /// *Predicate extension* — widen an existing predicate interval with
+    /// extra values (a deletion + insertion of the interval, per §3.2.1).
+    PredicateExtension {
+        /// Element carrying the predicate.
+        target: Target,
+        /// Attribute to widen.
+        attr: String,
+        /// Values to add to the interval.
+        values: Vec<Value>,
+    },
+    /// *Type substitution* — replace one admitted edge type by another.
+    TypeSubstitution {
+        /// Edge to modify.
+        edge: QEid,
+        /// Type to remove.
+        from: String,
+        /// Type to add.
+        to: String,
+    },
+    /// *Subgraph densification* — add edges between existing vertices
+    /// (vertex count unchanged, edge count grows).
+    SubgraphDensification {
+        /// `(src, dst, type)` triples for new edges.
+        edges: Vec<(QVid, QVid, String)>,
+    },
+    /// *Subgraph extension* — grow both vertex and edge counts: a fresh
+    /// vertex attached to an existing one.
+    SubgraphExtension {
+        /// Vertex to attach to.
+        anchor: QVid,
+        /// Predicates of the new vertex.
+        predicates: Vec<Predicate>,
+        /// Type of the connecting edge (drawn anchor → new vertex).
+        edge_type: String,
+    },
+    /// *Subgraph relaxation* — drop all attribute predicates of a set of
+    /// elements at once, keeping the topology.
+    SubgraphRelaxation {
+        /// Elements whose predicates are discarded.
+        targets: Vec<Target>,
+    },
+}
+
+impl ComplexOp {
+    /// Expand into the equivalent sequence of basic operations against the
+    /// current state of `q` (the expansion inspects the query, e.g. to
+    /// enumerate incident edges of an excluded vertex).
+    pub fn expand(&self, q: &PatternQuery) -> Result<Vec<GraphMod>, ModError> {
+        match self {
+            ComplexOp::VertexExclusion {
+                vertex,
+                bridge_type,
+            } => {
+                if q.vertex(*vertex).is_none() {
+                    return Err(ModError::NoSuchVertex(*vertex));
+                }
+                let mut mods = Vec::new();
+                // neighbors in drawing order: in-neighbors bridge to
+                // out-neighbors (path semantics)
+                let ins: Vec<QVid> = q
+                    .in_edges(*vertex)
+                    .into_iter()
+                    .map(|e| q.edge(e).expect("live").src)
+                    .collect();
+                let outs: Vec<QVid> = q
+                    .out_edges(*vertex)
+                    .into_iter()
+                    .map(|e| q.edge(e).expect("live").dst)
+                    .collect();
+                mods.push(GraphMod::RemoveVertex(*vertex));
+                for &a in &ins {
+                    for &b in &outs {
+                        if a != b && a != *vertex && b != *vertex {
+                            mods.push(GraphMod::InsertEdge {
+                                src: a,
+                                dst: b,
+                                types: vec![bridge_type.clone()],
+                                directions: DirectionSet::FORWARD,
+                                predicates: vec![],
+                            });
+                        }
+                    }
+                }
+                Ok(mods)
+            }
+            ComplexOp::PathCleaving { edge, predicates } => {
+                let ed = q.edge(*edge).ok_or(ModError::NoSuchEdge(*edge))?.clone();
+                // the new vertex id is only known at apply time; encode the
+                // rewiring with the convention that InsertVertex precedes
+                // the edges referring to it (resolved by `apply`)
+                Ok(vec![
+                    GraphMod::RemoveEdge(*edge),
+                    GraphMod::InsertVertex {
+                        predicates: predicates.clone(),
+                    },
+                    // placeholders — fixed up by `apply` with the real id
+                    GraphMod::InsertEdge {
+                        src: ed.src,
+                        dst: ed.src, // overwritten
+                        types: ed.types.clone(),
+                        directions: ed.directions,
+                        predicates: ed.predicates.clone(),
+                    },
+                    GraphMod::InsertEdge {
+                        src: ed.dst, // overwritten
+                        dst: ed.dst,
+                        types: ed.types.clone(),
+                        directions: ed.directions,
+                        predicates: vec![],
+                    },
+                ])
+            }
+            ComplexOp::PredicateExtension {
+                target,
+                attr,
+                values,
+            } => {
+                let preds = match target {
+                    Target::Vertex(v) => {
+                        &q.vertex(*v).ok_or(ModError::NoSuchVertex(*v))?.predicates
+                    }
+                    Target::Edge(e) => &q.edge(*e).ok_or(ModError::NoSuchEdge(*e))?.predicates,
+                };
+                let p = preds
+                    .iter()
+                    .find(|p| p.attr == *attr)
+                    .ok_or_else(|| ModError::NoSuchPredicate(attr.clone()))?;
+                let mut widened = p.interval.clone();
+                let mut changed = false;
+                for v in values {
+                    changed |= widened.add_value(v.clone());
+                }
+                if !changed {
+                    return Err(ModError::NoChange);
+                }
+                Ok(vec![GraphMod::ReplaceInterval {
+                    target: *target,
+                    attr: attr.clone(),
+                    interval: widened,
+                }])
+            }
+            ComplexOp::TypeSubstitution { edge, from, to } => Ok(vec![
+                GraphMod::InsertType {
+                    edge: *edge,
+                    ty: to.clone(),
+                },
+                GraphMod::RemoveType {
+                    edge: *edge,
+                    ty: from.clone(),
+                },
+            ]),
+            ComplexOp::SubgraphDensification { edges } => Ok(edges
+                .iter()
+                .map(|(src, dst, ty)| GraphMod::InsertEdge {
+                    src: *src,
+                    dst: *dst,
+                    types: vec![ty.clone()],
+                    directions: DirectionSet::FORWARD,
+                    predicates: vec![],
+                })
+                .collect()),
+            ComplexOp::SubgraphExtension {
+                anchor,
+                predicates,
+                edge_type,
+            } => {
+                if q.vertex(*anchor).is_none() {
+                    return Err(ModError::NoSuchVertex(*anchor));
+                }
+                Ok(vec![
+                    GraphMod::InsertVertex {
+                        predicates: predicates.clone(),
+                    },
+                    // placeholder edge — fixed up by `apply`
+                    GraphMod::InsertEdge {
+                        src: *anchor,
+                        dst: *anchor, // overwritten with the new vertex id
+                        types: vec![edge_type.clone()],
+                        directions: DirectionSet::FORWARD,
+                        predicates: vec![],
+                    },
+                ])
+            }
+            ComplexOp::SubgraphRelaxation { targets } => {
+                let mut mods = Vec::new();
+                for t in targets {
+                    let preds = match t {
+                        Target::Vertex(v) => {
+                            &q.vertex(*v).ok_or(ModError::NoSuchVertex(*v))?.predicates
+                        }
+                        Target::Edge(e) => {
+                            &q.edge(*e).ok_or(ModError::NoSuchEdge(*e))?.predicates
+                        }
+                    };
+                    for p in preds {
+                        mods.push(GraphMod::RemovePredicate {
+                            target: *t,
+                            attr: p.attr.clone(),
+                        });
+                    }
+                }
+                Ok(mods)
+            }
+        }
+    }
+
+    /// Apply atomically to a clone of `q`; the original is untouched on
+    /// error. Vertex-creating operations rewire the placeholder edges to
+    /// the freshly assigned vertex id.
+    pub fn applied(&self, q: &PatternQuery) -> Result<PatternQuery, ModError> {
+        let mods = self.expand(q)?;
+        let mut out = q.clone();
+        let mut new_vertex: Option<QVid> = None;
+        for (i, m) in mods.iter().enumerate() {
+            let mut m = m.clone();
+            // fix up placeholder endpoints referring to the created vertex
+            if let GraphMod::InsertEdge { src, dst, .. } = &mut m {
+                if let Some(nv) = new_vertex {
+                    match self {
+                        ComplexOp::PathCleaving { .. } => {
+                            // first inserted edge: src stays, dst → new;
+                            // second: src → new, dst stays
+                            if i == 2 {
+                                *dst = nv;
+                            } else if i == 3 {
+                                *src = nv;
+                            }
+                        }
+                        ComplexOp::SubgraphExtension { .. } => {
+                            *dst = nv;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            let receipt = m.apply(&mut out)?;
+            if let Some(nv) = receipt.new_vertex {
+                new_vertex = Some(nv);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Does the operation relax (true) or restrict (false) the query, in
+    /// the Fig. 3.2 classification? `None` for mixed effects.
+    pub fn is_relaxation(&self) -> Option<bool> {
+        match self {
+            ComplexOp::VertexExclusion { .. } | ComplexOp::SubgraphRelaxation { .. } => Some(true),
+            ComplexOp::PredicateExtension { .. } => Some(true),
+            ComplexOp::SubgraphDensification { .. }
+            | ComplexOp::SubgraphExtension { .. }
+            | ComplexOp::PathCleaving { .. } => Some(false),
+            ComplexOp::TypeSubstitution { .. } => None,
+        }
+    }
+}
+
+/// Convenience: widen a predicate interval into an explicit new interval
+/// (deletion + insertion as one step, §3.2.1).
+pub fn interval_change(target: Target, attr: &str, interval: Interval) -> GraphMod {
+    GraphMod::ReplaceInterval {
+        target,
+        attr: attr.to_string(),
+        interval,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::QueryBuilder;
+
+    fn path3() -> PatternQuery {
+        QueryBuilder::new("p3")
+            .vertex("a", [Predicate::eq("type", "person")])
+            .vertex("b", [Predicate::eq("type", "person")])
+            .vertex("c", [Predicate::eq("type", "city")])
+            .edge("a", "b", "knows")
+            .edge("b", "c", "livesIn")
+            .build()
+    }
+
+    #[test]
+    fn vertex_exclusion_bridges_neighbors() {
+        let q = path3();
+        let op = ComplexOp::VertexExclusion {
+            vertex: QVid(1),
+            bridge_type: "knowsSomeoneIn".into(),
+        };
+        let out = op.applied(&q).unwrap();
+        assert_eq!(out.num_vertices(), 2);
+        assert_eq!(out.num_edges(), 1);
+        let bridge = out.edge_ids().next().unwrap();
+        let e = out.edge(bridge).unwrap();
+        assert_eq!(e.src, QVid(0));
+        assert_eq!(e.dst, QVid(2));
+        assert_eq!(e.types, vec!["knowsSomeoneIn".to_string()]);
+    }
+
+    #[test]
+    fn path_cleaving_splits_an_edge() {
+        let q = path3();
+        let op = ComplexOp::PathCleaving {
+            edge: QEid(0),
+            predicates: vec![Predicate::eq("type", "person")],
+        };
+        let out = op.applied(&q).unwrap();
+        assert_eq!(out.num_vertices(), 4);
+        assert_eq!(out.num_edges(), 3);
+        assert!(out.is_connected());
+        // the split edge is gone
+        assert!(out.edge(QEid(0)).is_none());
+    }
+
+    #[test]
+    fn predicate_extension_widens() {
+        let q = path3();
+        let op = ComplexOp::PredicateExtension {
+            target: Target::Vertex(QVid(2)),
+            attr: "type".into(),
+            values: vec![Value::str("village")],
+        };
+        let out = op.applied(&q).unwrap();
+        let i = &out.vertex(QVid(2)).unwrap().predicate("type").unwrap().interval;
+        assert!(i.matches(&Value::str("village")));
+        assert!(i.matches(&Value::str("city")));
+        // no-op extension is rejected
+        let noop = ComplexOp::PredicateExtension {
+            target: Target::Vertex(QVid(2)),
+            attr: "type".into(),
+            values: vec![Value::str("city")],
+        };
+        assert_eq!(noop.applied(&q).unwrap_err(), ModError::NoChange);
+    }
+
+    #[test]
+    fn type_substitution() {
+        let q = path3();
+        let op = ComplexOp::TypeSubstitution {
+            edge: QEid(0),
+            from: "knows".into(),
+            to: "follows".into(),
+        };
+        let out = op.applied(&q).unwrap();
+        assert_eq!(out.edge(QEid(0)).unwrap().types, vec!["follows".to_string()]);
+    }
+
+    #[test]
+    fn densification_and_extension() {
+        let q = path3();
+        let dense = ComplexOp::SubgraphDensification {
+            edges: vec![(QVid(0), QVid(2), "visits".into())],
+        };
+        let out = dense.applied(&q).unwrap();
+        assert_eq!(out.num_edges(), 3);
+        assert_eq!(out.num_vertices(), 3);
+
+        let ext = ComplexOp::SubgraphExtension {
+            anchor: QVid(0),
+            predicates: vec![Predicate::eq("type", "company")],
+            edge_type: "workAt".into(),
+        };
+        let out = ext.applied(&q).unwrap();
+        assert_eq!(out.num_vertices(), 4);
+        assert_eq!(out.num_edges(), 3);
+        let new_edge = out
+            .edge_ids()
+            .find(|&e| out.edge(e).unwrap().types == vec!["workAt".to_string()])
+            .unwrap();
+        assert_eq!(out.edge(new_edge).unwrap().src, QVid(0));
+    }
+
+    #[test]
+    fn subgraph_relaxation_strips_predicates() {
+        let q = path3();
+        let op = ComplexOp::SubgraphRelaxation {
+            targets: vec![Target::Vertex(QVid(0)), Target::Vertex(QVid(1))],
+        };
+        let out = op.applied(&q).unwrap();
+        assert!(out.vertex(QVid(0)).unwrap().predicates.is_empty());
+        assert!(out.vertex(QVid(1)).unwrap().predicates.is_empty());
+        assert!(!out.vertex(QVid(2)).unwrap().predicates.is_empty());
+    }
+
+    #[test]
+    fn atomicity_on_error() {
+        let q = path3();
+        let op = ComplexOp::VertexExclusion {
+            vertex: QVid(9),
+            bridge_type: "x".into(),
+        };
+        assert!(op.applied(&q).is_err());
+        // query untouched
+        assert_eq!(q.num_vertices(), 3);
+    }
+
+    #[test]
+    fn relaxation_classification() {
+        assert_eq!(
+            ComplexOp::SubgraphRelaxation { targets: vec![] }.is_relaxation(),
+            Some(true)
+        );
+        assert_eq!(
+            ComplexOp::SubgraphDensification { edges: vec![] }.is_relaxation(),
+            Some(false)
+        );
+        assert_eq!(
+            ComplexOp::TypeSubstitution {
+                edge: QEid(0),
+                from: "a".into(),
+                to: "b".into()
+            }
+            .is_relaxation(),
+            None
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Edge directions.
+//!
+//! A query edge carries a *set* of admissible directions (§3.2.2): forward
+//! (query source → query target maps onto data source → data target),
+//! backward (reversed), or both (direction-agnostic matching).
+
+/// One admissible direction of a query edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Query edge maps onto a data edge in the drawn direction.
+    Forward,
+    /// Query edge maps onto a data edge in the reverse direction.
+    Backward,
+}
+
+/// The (non-empty in valid queries) set of admissible directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirectionSet {
+    /// Forward admissible.
+    pub forward: bool,
+    /// Backward admissible.
+    pub backward: bool,
+}
+
+impl DirectionSet {
+    /// Only forward matching.
+    pub const FORWARD: DirectionSet = DirectionSet {
+        forward: true,
+        backward: false,
+    };
+    /// Only backward matching.
+    pub const BACKWARD: DirectionSet = DirectionSet {
+        forward: false,
+        backward: true,
+    };
+    /// Direction-agnostic matching.
+    pub const BOTH: DirectionSet = DirectionSet {
+        forward: true,
+        backward: true,
+    };
+
+    /// Does the set contain `dir`?
+    pub fn contains(&self, dir: Direction) -> bool {
+        match dir {
+            Direction::Forward => self.forward,
+            Direction::Backward => self.backward,
+        }
+    }
+
+    /// Insert a direction; returns whether the set changed.
+    pub fn insert(&mut self, dir: Direction) -> bool {
+        let slot = match dir {
+            Direction::Forward => &mut self.forward,
+            Direction::Backward => &mut self.backward,
+        };
+        let changed = !*slot;
+        *slot = true;
+        changed
+    }
+
+    /// Remove a direction; returns whether the set changed. Removing the
+    /// last direction is allowed here — validity is checked by the query.
+    pub fn remove(&mut self, dir: Direction) -> bool {
+        let slot = match dir {
+            Direction::Forward => &mut self.forward,
+            Direction::Backward => &mut self.backward,
+        };
+        let changed = *slot;
+        *slot = false;
+        changed
+    }
+
+    /// Number of admissible directions.
+    pub fn len(&self) -> usize {
+        usize::from(self.forward) + usize::from(self.backward)
+    }
+
+    /// True when no direction is admissible (an invalid edge).
+    pub fn is_empty(&self) -> bool {
+        !self.forward && !self.backward
+    }
+
+    /// Modified-Hausdorff distance between two direction sets with Boolean
+    /// point distances: `max(|A∖B|/|A|, |B∖A|/|B|)`.
+    pub fn distance(&self, other: &DirectionSet) -> f64 {
+        if self.is_empty() && other.is_empty() {
+            return 0.0;
+        }
+        if self.is_empty() || other.is_empty() {
+            return 1.0;
+        }
+        let a_not_b = usize::from(self.forward && !other.forward)
+            + usize::from(self.backward && !other.backward);
+        let b_not_a = usize::from(other.forward && !self.forward)
+            + usize::from(other.backward && !self.backward);
+        (a_not_b as f64 / self.len() as f64).max(b_not_a as f64 / other.len() as f64)
+    }
+}
+
+impl Default for DirectionSet {
+    fn default() -> Self {
+        DirectionSet::FORWARD
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership_and_mutation() {
+        let mut d = DirectionSet::FORWARD;
+        assert!(d.contains(Direction::Forward));
+        assert!(!d.contains(Direction::Backward));
+        assert!(d.insert(Direction::Backward));
+        assert!(!d.insert(Direction::Backward));
+        assert_eq!(d, DirectionSet::BOTH);
+        assert!(d.remove(Direction::Forward));
+        assert_eq!(d, DirectionSet::BACKWARD);
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(DirectionSet::FORWARD.distance(&DirectionSet::FORWARD), 0.0);
+        assert_eq!(DirectionSet::FORWARD.distance(&DirectionSet::BACKWARD), 1.0);
+        // FORWARD vs BOTH: A∖B=0; B∖A=1 of 2 → 0.5
+        assert!((DirectionSet::FORWARD.distance(&DirectionSet::BOTH) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emptiness() {
+        let mut d = DirectionSet::FORWARD;
+        d.remove(Direction::Forward);
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        assert_eq!(d.distance(&DirectionSet::FORWARD), 1.0);
+    }
+}

@@ -1,0 +1,494 @@
+//! Predicate intervals — the value sets attached to query predicates.
+//!
+//! A predicate interval `pi = pv₁ ∨ pv₂ ∨ … ∨ pvₙ` (eq. 3.2) describes the
+//! set of values an attribute may take. Two physical representations exist:
+//!
+//! * [`Interval::OneOf`] — an explicit disjunction of values, used for
+//!   categorical attributes (`name = "Anna" OR "Alice"`), and
+//! * [`Interval::Range`] — a numeric interval with optional bounds, used for
+//!   continuous attributes (`1 < age < 4`).
+//!
+//! Intervals are *compared as sets* (Def. 4, modified Hausdorff distance with
+//! Boolean point-point distances, which reduces to
+//! `max(|A∖B|/|A|, |B∖A|/|B|)`); for ranges the set size is the measure
+//! (length) of the interval.
+
+use whyq_graph::Value;
+
+/// Width used in place of an unbounded range side when a measure is needed.
+const UNBOUNDED_CLAMP: f64 = 1.0e12;
+
+/// The value set of a predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Interval {
+    /// Explicit disjunction of admissible values.
+    OneOf(Vec<Value>),
+    /// Numeric range; `None` bounds are unbounded. `lo_incl`/`hi_incl`
+    /// select closed vs open endpoints.
+    Range {
+        /// Lower bound, if any.
+        lo: Option<f64>,
+        /// Upper bound, if any.
+        hi: Option<f64>,
+        /// Whether the lower bound itself is admissible.
+        lo_incl: bool,
+        /// Whether the upper bound itself is admissible.
+        hi_incl: bool,
+    },
+}
+
+impl Interval {
+    /// Single admissible value.
+    pub fn eq(v: impl Into<Value>) -> Self {
+        Interval::OneOf(vec![v.into()])
+    }
+
+    /// Disjunction of admissible values.
+    pub fn one_of<I, V>(vals: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        Interval::OneOf(vals.into_iter().map(Into::into).collect())
+    }
+
+    /// Closed numeric range `[lo, hi]`.
+    pub fn between(lo: f64, hi: f64) -> Self {
+        Interval::Range {
+            lo: Some(lo),
+            hi: Some(hi),
+            lo_incl: true,
+            hi_incl: true,
+        }
+    }
+
+    /// Open-ended range `≥ lo`.
+    pub fn at_least(lo: f64) -> Self {
+        Interval::Range {
+            lo: Some(lo),
+            hi: None,
+            lo_incl: true,
+            hi_incl: false,
+        }
+    }
+
+    /// Open-ended range `≤ hi`.
+    pub fn at_most(hi: f64) -> Self {
+        Interval::Range {
+            lo: None,
+            hi: Some(hi),
+            lo_incl: false,
+            hi_incl: true,
+        }
+    }
+
+    /// Does `value` satisfy this interval?
+    pub fn matches(&self, value: &Value) -> bool {
+        match self {
+            Interval::OneOf(vals) => vals.iter().any(|v| v == value),
+            Interval::Range {
+                lo,
+                hi,
+                lo_incl,
+                hi_incl,
+            } => {
+                let Some(x) = value.as_f64() else {
+                    return false;
+                };
+                let lo_ok = match lo {
+                    Some(l) => {
+                        if *lo_incl {
+                            x >= *l
+                        } else {
+                            x > *l
+                        }
+                    }
+                    None => true,
+                };
+                let hi_ok = match hi {
+                    Some(h) => {
+                        if *hi_incl {
+                            x <= *h
+                        } else {
+                            x < *h
+                        }
+                    }
+                    None => true,
+                };
+                lo_ok && hi_ok
+            }
+        }
+    }
+
+    /// Is the interval trivially empty (no value can satisfy it)?
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Interval::OneOf(vals) => vals.is_empty(),
+            Interval::Range {
+                lo: Some(l),
+                hi: Some(h),
+                lo_incl,
+                hi_incl,
+            } => {
+                if l > h {
+                    true
+                } else {
+                    l == h && !(*lo_incl && *hi_incl)
+                }
+            }
+            Interval::Range { .. } => false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // modification helpers (used by relaxation / concretization ops)
+    // ------------------------------------------------------------------
+
+    /// Relax a `OneOf` interval by adding a value (no-op on duplicates);
+    /// returns whether the interval changed. On a `Range`, numeric values
+    /// widen the nearer bound to cover the value.
+    pub fn add_value(&mut self, v: Value) -> bool {
+        match self {
+            Interval::OneOf(vals) => {
+                if vals.contains(&v) {
+                    false
+                } else {
+                    vals.push(v);
+                    true
+                }
+            }
+            Interval::Range { lo, hi, .. } => {
+                let Some(x) = v.as_f64() else { return false };
+                let mut changed = false;
+                if let Some(l) = lo {
+                    if x < *l {
+                        *l = x;
+                        changed = true;
+                    }
+                }
+                if let Some(h) = hi {
+                    if x > *h {
+                        *h = x;
+                        changed = true;
+                    }
+                }
+                changed
+            }
+        }
+    }
+
+    /// Concretize a `OneOf` interval by removing a value; returns whether
+    /// the interval changed. Ranges are unaffected.
+    pub fn remove_value(&mut self, v: &Value) -> bool {
+        match self {
+            Interval::OneOf(vals) => {
+                let before = vals.len();
+                vals.retain(|x| x != v);
+                vals.len() != before
+            }
+            Interval::Range { .. } => false,
+        }
+    }
+
+    /// Widen a numeric range by `step` on both bounded sides (relaxation).
+    /// Returns whether anything changed.
+    pub fn widen(&mut self, step: f64) -> bool {
+        match self {
+            Interval::Range { lo, hi, .. } => {
+                let mut changed = false;
+                if let Some(l) = lo {
+                    *l -= step;
+                    changed = true;
+                }
+                if let Some(h) = hi {
+                    *h += step;
+                    changed = true;
+                }
+                changed
+            }
+            Interval::OneOf(_) => false,
+        }
+    }
+
+    /// Shrink a numeric range by `step` on both bounded sides
+    /// (concretization); refuses to invert the interval.
+    pub fn shrink(&mut self, step: f64) -> bool {
+        match self {
+            Interval::Range { lo, hi, .. } => match (lo.as_mut(), hi.as_mut()) {
+                (Some(l), Some(h)) => {
+                    if *h - *l >= 2.0 * step {
+                        *l += step;
+                        *h -= step;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                (Some(l), None) => {
+                    *l += step;
+                    true
+                }
+                (None, Some(h)) => {
+                    *h -= step;
+                    true
+                }
+                (None, None) => false,
+            },
+            Interval::OneOf(_) => false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // set distance (Def. 4 applied to predicate intervals)
+    // ------------------------------------------------------------------
+
+    /// Set size: cardinality for `OneOf`, measure (length) for `Range`.
+    pub fn size_measure(&self) -> f64 {
+        match self {
+            Interval::OneOf(vals) => vals.len() as f64,
+            Interval::Range { lo, hi, .. } => {
+                let l = lo.unwrap_or(-UNBOUNDED_CLAMP);
+                let h = hi.unwrap_or(UNBOUNDED_CLAMP);
+                (h - l).max(0.0)
+            }
+        }
+    }
+
+    /// Modified-Hausdorff distance between two intervals in `[0, 1]`.
+    ///
+    /// With Boolean point-point distances (eq. 3.8/3.9), the MHD of Def. 4
+    /// reduces to `max(|A∖B|/|A|, |B∖A|/|B|)`:
+    ///
+    /// * `OneOf` vs `OneOf` — exact set difference over values;
+    /// * `Range` vs `Range` — measure of the range differences;
+    /// * mixed — a finite value set has measure zero inside a proper range,
+    ///   so the range side counts as fully uncovered unless the range is
+    ///   degenerate; the value-set side still uses membership.
+    pub fn distance(&self, other: &Interval) -> f64 {
+        use Interval::*;
+        match (self, other) {
+            (OneOf(a), OneOf(b)) => {
+                if a.is_empty() && b.is_empty() {
+                    return 0.0;
+                }
+                if a.is_empty() || b.is_empty() {
+                    return 1.0;
+                }
+                let a_not_b = a.iter().filter(|v| !b.contains(v)).count() as f64;
+                let b_not_a = b.iter().filter(|v| !a.contains(v)).count() as f64;
+                (a_not_b / a.len() as f64).max(b_not_a / b.len() as f64)
+            }
+            (Range { .. }, Range { .. }) => {
+                let (al, ah) = self.clamped_bounds();
+                let (bl, bh) = other.clamped_bounds();
+                let a_len = (ah - al).max(0.0);
+                let b_len = (bh - bl).max(0.0);
+                if a_len == 0.0 && b_len == 0.0 {
+                    return if (al - bl).abs() < f64::EPSILON {
+                        0.0
+                    } else {
+                        1.0
+                    };
+                }
+                let inter = (ah.min(bh) - al.max(bl)).max(0.0);
+                let a_side = if a_len > 0.0 {
+                    (a_len - inter) / a_len
+                } else if other.matches(&Value::Float(al)) {
+                    0.0
+                } else {
+                    1.0
+                };
+                let b_side = if b_len > 0.0 {
+                    (b_len - inter) / b_len
+                } else if self.matches(&Value::Float(bl)) {
+                    0.0
+                } else {
+                    1.0
+                };
+                a_side.max(b_side)
+            }
+            (OneOf(a), r @ Range { .. }) => Self::mixed_distance(a, r),
+            (r @ Range { .. }, OneOf(b)) => Self::mixed_distance(b, r),
+        }
+    }
+
+    fn mixed_distance(set: &[Value], range: &Interval) -> f64 {
+        if set.is_empty() {
+            return 1.0;
+        }
+        let misses = set.iter().filter(|v| !range.matches(v)).count() as f64;
+        let set_side = misses / set.len() as f64;
+        // a finite point set covers measure zero of a proper range
+        let range_side = if range.size_measure() == 0.0 && misses < set.len() as f64 {
+            0.0
+        } else {
+            1.0
+        };
+        set_side.max(range_side)
+    }
+
+    fn clamped_bounds(&self) -> (f64, f64) {
+        match self {
+            Interval::Range { lo, hi, .. } => (
+                lo.unwrap_or(-UNBOUNDED_CLAMP),
+                hi.unwrap_or(UNBOUNDED_CLAMP),
+            ),
+            Interval::OneOf(_) => (0.0, 0.0),
+        }
+    }
+
+    /// The values of a `OneOf` interval, if applicable.
+    pub fn values(&self) -> Option<&[Value]> {
+        match self {
+            Interval::OneOf(v) => Some(v),
+            Interval::Range { .. } => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Interval::OneOf(vals) => {
+                let parts: Vec<String> = vals.iter().map(|v| v.to_string()).collect();
+                write!(f, "{}", parts.join(" OR "))
+            }
+            Interval::Range {
+                lo,
+                hi,
+                lo_incl,
+                hi_incl,
+            } => {
+                match lo {
+                    Some(l) => write!(f, "{}{l}", if *lo_incl { "[" } else { "(" })?,
+                    None => write!(f, "(-inf")?,
+                }
+                write!(f, "; ")?;
+                match hi {
+                    Some(h) => write!(f, "{h}{}", if *hi_incl { "]" } else { ")" }),
+                    None => write!(f, "+inf)"),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_of_matching() {
+        let i = Interval::one_of(["a", "b"]);
+        assert!(i.matches(&Value::str("a")));
+        assert!(!i.matches(&Value::str("c")));
+        assert!(!i.matches(&Value::Int(1)));
+    }
+
+    #[test]
+    fn range_matching_with_open_bounds() {
+        // 1 < age < 4 — the thesis example containing {2, 3}
+        let i = Interval::Range {
+            lo: Some(1.0),
+            hi: Some(4.0),
+            lo_incl: false,
+            hi_incl: false,
+        };
+        assert!(!i.matches(&Value::Int(1)));
+        assert!(i.matches(&Value::Int(2)));
+        assert!(i.matches(&Value::Int(3)));
+        assert!(!i.matches(&Value::Int(4)));
+        assert!(i.matches(&Value::Float(3.5)));
+    }
+
+    #[test]
+    fn unbounded_ranges() {
+        assert!(Interval::at_least(5.0).matches(&Value::Int(1_000_000)));
+        assert!(!Interval::at_least(5.0).matches(&Value::Int(4)));
+        assert!(Interval::at_most(5.0).matches(&Value::Int(-7)));
+    }
+
+    #[test]
+    fn emptiness() {
+        assert!(Interval::OneOf(vec![]).is_empty());
+        assert!(!Interval::eq(1).is_empty());
+        assert!(Interval::Range {
+            lo: Some(3.0),
+            hi: Some(2.0),
+            lo_incl: true,
+            hi_incl: true
+        }
+        .is_empty());
+        assert!(Interval::Range {
+            lo: Some(2.0),
+            hi: Some(2.0),
+            lo_incl: true,
+            hi_incl: false
+        }
+        .is_empty());
+        assert!(!Interval::between(2.0, 2.0).is_empty());
+    }
+
+    #[test]
+    fn add_remove_values() {
+        let mut i = Interval::one_of(["x"]);
+        assert!(i.add_value(Value::str("y")));
+        assert!(!i.add_value(Value::str("y")));
+        assert!(i.matches(&Value::str("y")));
+        assert!(i.remove_value(&Value::str("x")));
+        assert!(!i.matches(&Value::str("x")));
+        assert!(!i.remove_value(&Value::str("x")));
+    }
+
+    #[test]
+    fn widen_and_shrink_ranges() {
+        let mut r = Interval::between(10.0, 20.0);
+        assert!(r.widen(5.0));
+        assert!(r.matches(&Value::Int(6)));
+        assert!(r.matches(&Value::Int(25)));
+        assert!(r.shrink(10.0));
+        assert!(r.matches(&Value::Int(15)));
+        assert!(!r.matches(&Value::Int(6)));
+        // refuses to invert
+        let mut tiny = Interval::between(0.0, 1.0);
+        assert!(!tiny.shrink(10.0));
+    }
+
+    #[test]
+    fn distance_thesis_example() {
+        // §3.2.2: pi(type,(university)) relaxed to
+        // pi(type,(university,college)) → d = max(1/2, 0/1) = 1/2
+        let orig = Interval::one_of(["university"]);
+        let relaxed = Interval::one_of(["university", "college"]);
+        assert!((relaxed.distance(&orig) - 0.5).abs() < 1e-12);
+        assert!((orig.distance(&relaxed) - 0.5).abs() < 1e-12);
+        assert_eq!(orig.distance(&orig), 0.0);
+    }
+
+    #[test]
+    fn distance_ranges_by_measure() {
+        let a = Interval::between(0.0, 10.0);
+        let b = Interval::between(5.0, 10.0);
+        // A∖B has length 5 of A's 10 → 0.5; B∖A empty → 0
+        assert!((a.distance(&b) - 0.5).abs() < 1e-12);
+        let c = Interval::between(20.0, 30.0);
+        assert_eq!(a.distance(&c), 1.0);
+    }
+
+    #[test]
+    fn distance_mixed() {
+        let set = Interval::one_of([2, 3]);
+        let range = Interval::between(1.0, 4.0);
+        // all set points inside the range, but points cover measure zero
+        assert_eq!(set.distance(&range), 1.0);
+        let degenerate = Interval::between(2.0, 2.0);
+        let single = Interval::one_of([2]);
+        assert_eq!(single.distance(&degenerate), 0.0);
+    }
+
+    #[test]
+    fn display_round_trips_concepts() {
+        assert_eq!(Interval::one_of(["a", "b"]).to_string(), "\"a\" OR \"b\"");
+        assert_eq!(Interval::between(1.0, 2.0).to_string(), "[1; 2]");
+    }
+}

@@ -1,0 +1,43 @@
+//! # whyq-query — set-based pattern-query model
+//!
+//! Implements the query model of §3.2.2 (Fig. 3.3) of *"Why-Query Support in
+//! Graph Databases"*: a pattern-matching query is itself a property graph
+//! whose elements are **sets**,
+//!
+//! ```text
+//! Q = V_q ∪ E_q
+//! v_q = PI(v) ∪ IN(v) ∪ OUT(v)                    (eq. 3.3)
+//! e_q = T(e) ∪ v_s ∪ v_t ∪ PI(e) ∪ D(e)          (eq. 3.5)
+//! ```
+//!
+//! where `PI` are predicate intervals (disjunctions of attribute values or
+//! numeric ranges, eq. 3.2), `T` is a disjunction of edge types (eq. 3.7)
+//! and `D` a set of admissible directions. Every query vertex and edge has a
+//! numeric identifier that is **stable under modification** — the identifier
+//! is what the syntactic distance (§3.2.2) and result distance (§3.2.4)
+//! compare across an original query and its explanations.
+//!
+//! The crate also provides the graph-edit *modification operations* for
+//! property graphs (Table 3.1 and the complex operations of Fig. 3.2), which
+//! the modification-based explanation generators in `whyq-core` apply.
+
+pub mod builder;
+pub mod complex;
+pub mod direction;
+pub mod interval;
+pub mod modification;
+pub mod parser;
+pub mod predicate;
+pub mod query;
+pub mod signature;
+
+pub use builder::QueryBuilder;
+pub use complex::ComplexOp;
+pub use direction::{Direction, DirectionSet};
+pub use interval::Interval;
+pub use modification::{GraphMod, ModError, ModKind, Receipt, Target};
+pub use parser::{parse_query, ParseError};
+pub use predicate::Predicate;
+pub use query::{PatternQuery, QEid, QVid, QueryEdge, QueryVertex};
+
+pub use whyq_graph::Value;

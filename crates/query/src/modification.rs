@@ -1,0 +1,526 @@
+//! Graph-edit modification operations for pattern queries.
+//!
+//! Implements the basic operations of Table 3.1 — topological
+//! (edge/vertex/direction insertion and deletion) and predicate-level
+//! (predicate/type insertion and deletion) — plus the complex
+//! interval-replacement operation used by fine-grained rewriting (§6.2.2).
+//!
+//! Every operation is classified as a **relaxation** (removes constraints,
+//! can only grow the result set) or a **concretization** (adds constraints,
+//! can only shrink it); the classification drives the direction of search in
+//! the modification-based explanation generators.
+
+use crate::direction::{Direction, DirectionSet};
+use crate::interval::Interval;
+use crate::predicate::Predicate;
+use crate::query::{PatternQuery, QEid, QVid, QueryEdge, QueryVertex};
+use std::fmt;
+
+/// The query element a predicate-level modification applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// A query vertex.
+    Vertex(QVid),
+    /// A query edge.
+    Edge(QEid),
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Target::Vertex(v) => write!(f, "{v}"),
+            Target::Edge(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// Whether an operation can only grow or only shrink the result set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModKind {
+    /// Removes constraints (Table 3.1 "relaxation operation").
+    Relaxation,
+    /// Adds constraints (Table 3.1 "concretization operation").
+    Concretization,
+    /// Replaces a value set — may grow or shrink the result.
+    Neutral,
+}
+
+/// A single modification of a pattern query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphMod {
+    /// Delete a query edge (topological relaxation).
+    RemoveEdge(QEid),
+    /// Delete a query vertex and its incident edges (topological
+    /// relaxation; the incident-edge removal makes this the *vertex
+    /// exclusion* complex operation of Fig. 3.2).
+    RemoveVertex(QVid),
+    /// Drop one admissible direction from an edge (concretization — fewer
+    /// data edges match).
+    RemoveDirection {
+        /// Edge to modify.
+        edge: QEid,
+        /// Direction to remove.
+        dir: Direction,
+    },
+    /// Insert a new edge between existing vertices (topological
+    /// concretization).
+    InsertEdge {
+        /// Source query vertex.
+        src: QVid,
+        /// Target query vertex.
+        dst: QVid,
+        /// Type disjunction of the new edge.
+        types: Vec<String>,
+        /// Admissible directions of the new edge.
+        directions: DirectionSet,
+        /// Attribute predicates of the new edge.
+        predicates: Vec<Predicate>,
+    },
+    /// Insert a fresh unconstrained-by-topology vertex (concretization in
+    /// the sense of Table 3.1: the query description grows).
+    InsertVertex {
+        /// Attribute predicates of the new vertex.
+        predicates: Vec<Predicate>,
+    },
+    /// Add an admissible direction to an edge (relaxation).
+    InsertDirection {
+        /// Edge to modify.
+        edge: QEid,
+        /// Direction to add.
+        dir: Direction,
+    },
+    /// Remove an attribute predicate (relaxation).
+    RemovePredicate {
+        /// Element carrying the predicate.
+        target: Target,
+        /// Attribute name of the predicate to drop.
+        attr: String,
+    },
+    /// Add an attribute predicate (concretization).
+    InsertPredicate {
+        /// Element to constrain.
+        target: Target,
+        /// The new predicate.
+        predicate: Predicate,
+    },
+    /// Remove one type from an edge's type disjunction (concretization —
+    /// fewer data edges match; removing the *last* type means "any type",
+    /// which is treated as an error to keep the operation monotone).
+    RemoveType {
+        /// Edge to modify.
+        edge: QEid,
+        /// Type name to remove.
+        ty: String,
+    },
+    /// Add a type to an edge's type disjunction (relaxation).
+    InsertType {
+        /// Edge to modify.
+        edge: QEid,
+        /// Type name to add.
+        ty: String,
+    },
+    /// Replace the interval of an existing predicate (complex operation:
+    /// predicate deletion + insertion, §3.2.1).
+    ReplaceInterval {
+        /// Element carrying the predicate.
+        target: Target,
+        /// Attribute whose interval is replaced.
+        attr: String,
+        /// The new interval.
+        interval: Interval,
+    },
+}
+
+/// What `apply` did — ids assigned to inserted elements.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Receipt {
+    /// Id of a vertex created by `InsertVertex`.
+    pub new_vertex: Option<QVid>,
+    /// Id of an edge created by `InsertEdge`.
+    pub new_edge: Option<QEid>,
+}
+
+/// Errors applying a modification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModError {
+    /// Referenced vertex is absent.
+    NoSuchVertex(QVid),
+    /// Referenced edge is absent.
+    NoSuchEdge(QEid),
+    /// Referenced predicate is absent.
+    NoSuchPredicate(String),
+    /// Predicate with this attribute already exists on the target.
+    DuplicatePredicate(String),
+    /// Type already present / absent as required.
+    TypeConflict(String),
+    /// Direction edit would empty the direction set or duplicate a member.
+    DirectionConflict,
+    /// The operation would not change the query.
+    NoChange,
+}
+
+impl fmt::Display for ModError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModError::NoSuchVertex(v) => write!(f, "no such query vertex {v}"),
+            ModError::NoSuchEdge(e) => write!(f, "no such query edge {e}"),
+            ModError::NoSuchPredicate(a) => write!(f, "no predicate on attribute {a:?}"),
+            ModError::DuplicatePredicate(a) => write!(f, "predicate on {a:?} already exists"),
+            ModError::TypeConflict(t) => write!(f, "type conflict on {t:?}"),
+            ModError::DirectionConflict => write!(f, "direction edit invalid"),
+            ModError::NoChange => write!(f, "operation does not change the query"),
+        }
+    }
+}
+
+impl std::error::Error for ModError {}
+
+impl GraphMod {
+    /// Relaxation / concretization classification (Table 3.1).
+    pub fn kind(&self) -> ModKind {
+        match self {
+            GraphMod::RemoveEdge(_)
+            | GraphMod::RemoveVertex(_)
+            | GraphMod::RemovePredicate { .. }
+            | GraphMod::InsertType { .. }
+            | GraphMod::InsertDirection { .. } => ModKind::Relaxation,
+            GraphMod::InsertEdge { .. }
+            | GraphMod::InsertVertex { .. }
+            | GraphMod::InsertPredicate { .. }
+            | GraphMod::RemoveType { .. }
+            | GraphMod::RemoveDirection { .. } => ModKind::Concretization,
+            GraphMod::ReplaceInterval { .. } => ModKind::Neutral,
+        }
+    }
+
+    /// Is this a topology-level change (vs a predicate-level one)?
+    pub fn is_topological(&self) -> bool {
+        matches!(
+            self,
+            GraphMod::RemoveEdge(_)
+                | GraphMod::RemoveVertex(_)
+                | GraphMod::InsertEdge { .. }
+                | GraphMod::InsertVertex { .. }
+        )
+    }
+
+    /// Apply the modification to `q`.
+    pub fn apply(&self, q: &mut PatternQuery) -> Result<Receipt, ModError> {
+        let mut receipt = Receipt::default();
+        match self {
+            GraphMod::RemoveEdge(e) => {
+                q.remove_edge(*e).ok_or(ModError::NoSuchEdge(*e))?;
+            }
+            GraphMod::RemoveVertex(v) => {
+                q.remove_vertex(*v).ok_or(ModError::NoSuchVertex(*v))?;
+            }
+            GraphMod::RemoveDirection { edge, dir } => {
+                let ed = q.edge_mut(*edge).ok_or(ModError::NoSuchEdge(*edge))?;
+                if !ed.directions.contains(*dir) || ed.directions.len() == 1 {
+                    return Err(ModError::DirectionConflict);
+                }
+                ed.directions.remove(*dir);
+            }
+            GraphMod::InsertDirection { edge, dir } => {
+                let ed = q.edge_mut(*edge).ok_or(ModError::NoSuchEdge(*edge))?;
+                if !ed.directions.insert(*dir) {
+                    return Err(ModError::DirectionConflict);
+                }
+            }
+            GraphMod::InsertEdge {
+                src,
+                dst,
+                types,
+                directions,
+                predicates,
+            } => {
+                if q.vertex(*src).is_none() {
+                    return Err(ModError::NoSuchVertex(*src));
+                }
+                if q.vertex(*dst).is_none() {
+                    return Err(ModError::NoSuchVertex(*dst));
+                }
+                let id = q.add_edge(QueryEdge {
+                    src: *src,
+                    dst: *dst,
+                    types: types.clone(),
+                    directions: *directions,
+                    predicates: predicates.clone(),
+                    label: None,
+                });
+                receipt.new_edge = Some(id);
+            }
+            GraphMod::InsertVertex { predicates } => {
+                let id = q.add_vertex(QueryVertex::with(predicates.iter().cloned()));
+                receipt.new_vertex = Some(id);
+            }
+            GraphMod::RemovePredicate { target, attr } => {
+                let preds = predicates_mut(q, *target)?;
+                let before = preds.len();
+                preds.retain(|p| p.attr != *attr);
+                if preds.len() == before {
+                    return Err(ModError::NoSuchPredicate(attr.clone()));
+                }
+            }
+            GraphMod::InsertPredicate { target, predicate } => {
+                let preds = predicates_mut(q, *target)?;
+                if preds.iter().any(|p| p.attr == predicate.attr) {
+                    return Err(ModError::DuplicatePredicate(predicate.attr.clone()));
+                }
+                preds.push(predicate.clone());
+            }
+            GraphMod::RemoveType { edge, ty } => {
+                let ed = q.edge_mut(*edge).ok_or(ModError::NoSuchEdge(*edge))?;
+                if !ed.types.iter().any(|t| t == ty) {
+                    return Err(ModError::TypeConflict(ty.clone()));
+                }
+                if ed.types.len() == 1 {
+                    // dropping the last type would *relax* to "any type"
+                    return Err(ModError::TypeConflict(ty.clone()));
+                }
+                ed.types.retain(|t| t != ty);
+            }
+            GraphMod::InsertType { edge, ty } => {
+                let ed = q.edge_mut(*edge).ok_or(ModError::NoSuchEdge(*edge))?;
+                if ed.types.iter().any(|t| t == ty) {
+                    return Err(ModError::TypeConflict(ty.clone()));
+                }
+                ed.types.push(ty.clone());
+            }
+            GraphMod::ReplaceInterval {
+                target,
+                attr,
+                interval,
+            } => {
+                let preds = predicates_mut(q, *target)?;
+                let p = preds
+                    .iter_mut()
+                    .find(|p| p.attr == *attr)
+                    .ok_or_else(|| ModError::NoSuchPredicate(attr.clone()))?;
+                if p.interval == *interval {
+                    return Err(ModError::NoChange);
+                }
+                p.interval = interval.clone();
+            }
+        }
+        Ok(receipt)
+    }
+
+    /// Apply to a clone, leaving `q` untouched.
+    pub fn applied(&self, q: &PatternQuery) -> Result<(PatternQuery, Receipt), ModError> {
+        let mut clone = q.clone();
+        let receipt = self.apply(&mut clone)?;
+        Ok((clone, receipt))
+    }
+}
+
+fn predicates_mut(q: &mut PatternQuery, target: Target) -> Result<&mut Vec<Predicate>, ModError> {
+    match target {
+        Target::Vertex(v) => q
+            .vertex_mut(v)
+            .map(|vx| &mut vx.predicates)
+            .ok_or(ModError::NoSuchVertex(v)),
+        Target::Edge(e) => q
+            .edge_mut(e)
+            .map(|ed| &mut ed.predicates)
+            .ok_or(ModError::NoSuchEdge(e)),
+    }
+}
+
+impl fmt::Display for GraphMod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphMod::RemoveEdge(e) => write!(f, "remove edge {e}"),
+            GraphMod::RemoveVertex(v) => write!(f, "remove vertex {v}"),
+            GraphMod::RemoveDirection { edge, dir } => {
+                write!(f, "remove direction {dir:?} from {edge}")
+            }
+            GraphMod::InsertDirection { edge, dir } => {
+                write!(f, "add direction {dir:?} to {edge}")
+            }
+            GraphMod::InsertEdge { src, dst, types, .. } => {
+                write!(f, "insert edge {src}->{dst} ({})", types.join("|"))
+            }
+            GraphMod::InsertVertex { .. } => write!(f, "insert vertex"),
+            GraphMod::RemovePredicate { target, attr } => {
+                write!(f, "remove predicate {attr:?} from {target}")
+            }
+            GraphMod::InsertPredicate { target, predicate } => {
+                write!(f, "insert predicate [{predicate}] on {target}")
+            }
+            GraphMod::RemoveType { edge, ty } => write!(f, "remove type {ty:?} from {edge}"),
+            GraphMod::InsertType { edge, ty } => write!(f, "add type {ty:?} to {edge}"),
+            GraphMod::ReplaceInterval { target, attr, interval } => {
+                write!(f, "set {attr:?} on {target} to {interval}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{PatternQuery, QueryEdge, QueryVertex};
+
+    fn pair() -> (PatternQuery, QVid, QVid, QEid) {
+        let mut q = PatternQuery::new();
+        let a = q.add_vertex(QueryVertex::with([Predicate::eq("type", "person")]));
+        let b = q.add_vertex(QueryVertex::with([Predicate::eq("type", "city")]));
+        let e = q.add_edge(QueryEdge::typed(a, b, "livesIn"));
+        (q, a, b, e)
+    }
+
+    #[test]
+    fn remove_and_insert_predicate() {
+        let (mut q, a, _, _) = pair();
+        GraphMod::RemovePredicate {
+            target: Target::Vertex(a),
+            attr: "type".into(),
+        }
+        .apply(&mut q)
+        .unwrap();
+        assert!(q.vertex(a).unwrap().predicates.is_empty());
+        GraphMod::InsertPredicate {
+            target: Target::Vertex(a),
+            predicate: Predicate::eq("age", 30),
+        }
+        .apply(&mut q)
+        .unwrap();
+        assert!(q.vertex(a).unwrap().predicate("age").is_some());
+        // duplicate insert rejected
+        let err = GraphMod::InsertPredicate {
+            target: Target::Vertex(a),
+            predicate: Predicate::eq("age", 31),
+        }
+        .apply(&mut q)
+        .unwrap_err();
+        assert_eq!(err, ModError::DuplicatePredicate("age".into()));
+    }
+
+    #[test]
+    fn type_edits() {
+        let (mut q, _, _, e) = pair();
+        GraphMod::InsertType {
+            edge: e,
+            ty: "worksIn".into(),
+        }
+        .apply(&mut q)
+        .unwrap();
+        assert_eq!(q.edge(e).unwrap().types.len(), 2);
+        GraphMod::RemoveType {
+            edge: e,
+            ty: "livesIn".into(),
+        }
+        .apply(&mut q)
+        .unwrap();
+        assert_eq!(q.edge(e).unwrap().types, vec!["worksIn".to_string()]);
+        // cannot drop the last type
+        assert!(GraphMod::RemoveType {
+            edge: e,
+            ty: "worksIn".into()
+        }
+        .apply(&mut q)
+        .is_err());
+    }
+
+    #[test]
+    fn direction_edits() {
+        let (mut q, _, _, e) = pair();
+        GraphMod::InsertDirection {
+            edge: e,
+            dir: Direction::Backward,
+        }
+        .apply(&mut q)
+        .unwrap();
+        assert_eq!(q.edge(e).unwrap().directions, DirectionSet::BOTH);
+        GraphMod::RemoveDirection {
+            edge: e,
+            dir: Direction::Forward,
+        }
+        .apply(&mut q)
+        .unwrap();
+        assert_eq!(q.edge(e).unwrap().directions, DirectionSet::BACKWARD);
+        // cannot empty the set
+        assert!(GraphMod::RemoveDirection {
+            edge: e,
+            dir: Direction::Backward
+        }
+        .apply(&mut q)
+        .is_err());
+    }
+
+    #[test]
+    fn topology_edits_report_new_ids() {
+        let (mut q, a, b, _) = pair();
+        let r = GraphMod::InsertEdge {
+            src: b,
+            dst: a,
+            types: vec!["near".into()],
+            directions: DirectionSet::FORWARD,
+            predicates: vec![],
+        }
+        .apply(&mut q)
+        .unwrap();
+        assert!(r.new_edge.is_some());
+        assert_eq!(q.num_edges(), 2);
+        let r2 = GraphMod::InsertVertex { predicates: vec![] }
+            .apply(&mut q)
+            .unwrap();
+        assert!(r2.new_vertex.is_some());
+    }
+
+    #[test]
+    fn replace_interval_rejects_noop() {
+        let (mut q, a, _, _) = pair();
+        let m = GraphMod::ReplaceInterval {
+            target: Target::Vertex(a),
+            attr: "type".into(),
+            interval: Interval::eq("person"),
+        };
+        assert_eq!(m.apply(&mut q).unwrap_err(), ModError::NoChange);
+        let m2 = GraphMod::ReplaceInterval {
+            target: Target::Vertex(a),
+            attr: "type".into(),
+            interval: Interval::one_of(["person", "robot"]),
+        };
+        m2.apply(&mut q).unwrap();
+        assert!(q
+            .vertex(a)
+            .unwrap()
+            .predicate("type")
+            .unwrap()
+            .interval
+            .matches(&whyq_graph::Value::str("robot")));
+    }
+
+    #[test]
+    fn applied_leaves_original_untouched() {
+        let (q, a, ..) = pair();
+        let (modified, _) = GraphMod::RemoveVertex(a).applied(&q).unwrap();
+        assert_eq!(q.num_vertices(), 2);
+        assert_eq!(modified.num_vertices(), 1);
+        assert_eq!(modified.num_edges(), 0);
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert_eq!(GraphMod::RemoveEdge(QEid(0)).kind(), ModKind::Relaxation);
+        assert_eq!(
+            GraphMod::InsertPredicate {
+                target: Target::Vertex(QVid(0)),
+                predicate: Predicate::eq("a", 1)
+            }
+            .kind(),
+            ModKind::Concretization
+        );
+        assert_eq!(
+            GraphMod::InsertType {
+                edge: QEid(0),
+                ty: "t".into()
+            }
+            .kind(),
+            ModKind::Relaxation
+        );
+        assert!(GraphMod::RemoveVertex(QVid(0)).is_topological());
+    }
+}

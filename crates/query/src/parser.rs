@@ -1,0 +1,551 @@
+//! A compact textual syntax for pattern queries.
+//!
+//! Lets tools, tests and examples write patterns as text instead of builder
+//! calls. The grammar is a pragmatic subset of the ASCII-art style used by
+//! property-graph systems:
+//!
+//! ```text
+//! pattern   := chain (';' chain)*
+//! chain     := node (edge node)*
+//! node      := '(' ident? (':' value)? props? ')'
+//! edge      := '-[' (':' type ('|' type)*)? props? ']->'        forward
+//!            | '<-[' ... ']-'                                   backward
+//!            | '-[' ... ']-'                                    undirected
+//! props     := '{' prop (',' prop)* '}'
+//! prop      := ident op literal ('|' literal)*
+//! op        := ':' | '=' | '>=' | '<=' | '>' | '<'
+//! literal   := number | 'string' | ident | true | false
+//! ```
+//!
+//! `(p:person {name: 'Anna', age >= 30})-[:knows {since < 2010}]->(q:person)`
+//! declares two vertices with a `type` predicate (the `:label` shorthand),
+//! attribute predicates (`:`/`=` for equality with `|` disjunction, the
+//! comparison operators for open ranges) and one typed edge. Re-using a
+//! node identifier in another chain refers to the same query vertex, so
+//! non-linear topologies (stars, triangles) compose from chains:
+//!
+//! ```text
+//! (a:person)-[:knows]->(b:person); (a)-[:livesIn]->(c:city); (b)-[:livesIn]->(c)
+//! ```
+
+use crate::direction::DirectionSet;
+use crate::interval::Interval;
+use crate::predicate::Predicate;
+use crate::query::{PatternQuery, QVid, QueryEdge, QueryVertex};
+use std::collections::HashMap;
+use whyq_graph::Value;
+
+/// Parse error with byte position and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where parsing failed.
+    pub position: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a pattern string into a query.
+pub fn parse_query(input: &str) -> Result<PatternQuery, ParseError> {
+    Parser::new(input).parse()
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    query: PatternQuery,
+    named: HashMap<String, QVid>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            query: PatternQuery::new(),
+            named: HashMap::new(),
+        }
+    }
+
+    fn parse(mut self) -> Result<PatternQuery, ParseError> {
+        loop {
+            self.skip_ws();
+            if self.at_end() {
+                break;
+            }
+            self.parse_chain()?;
+            self.skip_ws();
+            if self.eat(b';') {
+                continue;
+            }
+            if !self.at_end() {
+                return Err(self.error("expected ';' or end of pattern"));
+            }
+        }
+        if self.query.num_vertices() == 0 {
+            return Err(self.error("empty pattern"));
+        }
+        Ok(self.query)
+    }
+
+    fn parse_chain(&mut self) -> Result<(), ParseError> {
+        let mut left = self.parse_node()?;
+        loop {
+            self.skip_ws();
+            let backward_in = self.peek_str("<-[");
+            if !backward_in && !self.peek_str("-[") {
+                return Ok(());
+            }
+            // consume '<-[' or '-['
+            self.pos += if backward_in { 3 } else { 2 };
+            let (types, predicates) = self.parse_edge_body()?;
+            self.skip_ws();
+            if !self.eat(b']') {
+                return Err(self.error("expected ']' closing edge"));
+            }
+            // ']->' (forward), ']-' (undirected / closing a backward edge)
+            let forward_out = self.peek_str("->");
+            if forward_out {
+                self.pos += 2;
+            } else if self.eat(b'-') {
+                // plain '-'
+            } else {
+                return Err(self.error("expected '->' or '-' after ']'"));
+            }
+            let right = self.parse_node()?;
+            let (src, dst, directions) = match (backward_in, forward_out) {
+                (false, true) => (left, right, DirectionSet::FORWARD),
+                (true, false) => (right, left, DirectionSet::FORWARD),
+                (false, false) => (left, right, DirectionSet::BOTH),
+                (true, true) => {
+                    return Err(self.error("edge cannot point both ways; use -[..]- for undirected"))
+                }
+            };
+            self.query.add_edge(QueryEdge {
+                src,
+                dst,
+                types,
+                directions,
+                predicates,
+                label: None,
+            });
+            left = right;
+        }
+    }
+
+    fn parse_node(&mut self) -> Result<QVid, ParseError> {
+        self.skip_ws();
+        if !self.eat(b'(') {
+            return Err(self.error("expected '(' starting a node"));
+        }
+        self.skip_ws();
+        let name = self.parse_ident_opt();
+        // back-reference: a bare known identifier
+        if let Some(n) = &name {
+            self.skip_ws();
+            if self.peek() == Some(b')') && self.named.contains_key(n) {
+                self.pos += 1;
+                return Ok(self.named[n]);
+            }
+        }
+        let mut predicates = Vec::new();
+        self.skip_ws();
+        if self.eat(b':') {
+            self.skip_ws();
+            let label = self
+                .parse_ident_opt()
+                .ok_or_else(|| self.error("expected label after ':'"))?;
+            predicates.push(Predicate::eq("type", label));
+        }
+        self.skip_ws();
+        if self.peek() == Some(b'{') {
+            predicates.extend(self.parse_props()?);
+        }
+        self.skip_ws();
+        if !self.eat(b')') {
+            return Err(self.error("expected ')' closing node"));
+        }
+        let vertex = QueryVertex {
+            predicates,
+            label: name.clone(),
+        };
+        let id = self.query.add_vertex(vertex);
+        if let Some(n) = name {
+            if self.named.insert(n.clone(), id).is_some() {
+                return Err(self.error(&format!("node {n:?} redefined with new constraints")));
+            }
+        }
+        Ok(id)
+    }
+
+    fn parse_edge_body(&mut self) -> Result<(Vec<String>, Vec<Predicate>), ParseError> {
+        let mut types = Vec::new();
+        self.skip_ws();
+        if self.eat(b':') {
+            loop {
+                self.skip_ws();
+                let ty = self
+                    .parse_ident_opt()
+                    .ok_or_else(|| self.error("expected edge type"))?;
+                types.push(ty);
+                self.skip_ws();
+                if !self.eat(b'|') {
+                    break;
+                }
+            }
+        }
+        self.skip_ws();
+        let predicates = if self.peek() == Some(b'{') {
+            self.parse_props()?
+        } else {
+            Vec::new()
+        };
+        Ok((types, predicates))
+    }
+
+    fn parse_props(&mut self) -> Result<Vec<Predicate>, ParseError> {
+        if !self.eat(b'{') {
+            return Err(self.error("expected '{'"));
+        }
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            let attr = self
+                .parse_ident_opt()
+                .ok_or_else(|| self.error("expected attribute name"))?;
+            self.skip_ws();
+            let op = self.parse_op()?;
+            self.skip_ws();
+            let first = self.parse_literal()?;
+            let interval = match op {
+                Op::Eq => {
+                    let mut vals = vec![first];
+                    loop {
+                        self.skip_ws();
+                        if !self.eat(b'|') {
+                            break;
+                        }
+                        self.skip_ws();
+                        vals.push(self.parse_literal()?);
+                    }
+                    Interval::OneOf(vals)
+                }
+                Op::Ge | Op::Gt | Op::Le | Op::Lt => {
+                    let x = first
+                        .as_f64()
+                        .ok_or_else(|| self.error("range predicate needs a numeric literal"))?;
+                    match op {
+                        Op::Ge => Interval::Range {
+                            lo: Some(x),
+                            hi: None,
+                            lo_incl: true,
+                            hi_incl: false,
+                        },
+                        Op::Gt => Interval::Range {
+                            lo: Some(x),
+                            hi: None,
+                            lo_incl: false,
+                            hi_incl: false,
+                        },
+                        Op::Le => Interval::Range {
+                            lo: None,
+                            hi: Some(x),
+                            lo_incl: false,
+                            hi_incl: true,
+                        },
+                        Op::Lt => Interval::Range {
+                            lo: None,
+                            hi: Some(x),
+                            lo_incl: false,
+                            hi_incl: false,
+                        },
+                        Op::Eq => unreachable!(),
+                    }
+                }
+            };
+            out.push(Predicate { attr, interval });
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            break;
+        }
+        self.skip_ws();
+        if !self.eat(b'}') {
+            return Err(self.error("expected '}' or ','"));
+        }
+        Ok(out)
+    }
+
+    fn parse_op(&mut self) -> Result<Op, ParseError> {
+        if self.peek_str(">=") {
+            self.pos += 2;
+            return Ok(Op::Ge);
+        }
+        if self.peek_str("<=") {
+            self.pos += 2;
+            return Ok(Op::Le);
+        }
+        match self.peek() {
+            Some(b':') | Some(b'=') => {
+                self.pos += 1;
+                Ok(Op::Eq)
+            }
+            Some(b'>') => {
+                self.pos += 1;
+                Ok(Op::Gt)
+            }
+            Some(b'<') => {
+                self.pos += 1;
+                Ok(Op::Lt)
+            }
+            _ => Err(self.error("expected one of ':', '=', '>', '<', '>=', '<='")),
+        }
+    }
+
+    fn parse_literal(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'\'') | Some(b'"') => {
+                let quote = self.bytes[self.pos];
+                self.pos += 1;
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c == quote {
+                        let s = &self.src[start..self.pos];
+                        self.pos += 1;
+                        return Ok(Value::str(s));
+                    }
+                    self.pos += 1;
+                }
+                Err(self.error("unterminated string literal"))
+            }
+            Some(c) if c.is_ascii_digit() || c == b'-' || c == b'+' => {
+                let start = self.pos;
+                self.pos += 1;
+                let mut is_float = false;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        self.pos += 1;
+                    } else if c == b'.' && !is_float {
+                        is_float = true;
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &self.src[start..self.pos];
+                if is_float {
+                    text.parse::<f64>()
+                        .map(Value::Float)
+                        .map_err(|_| self.error("invalid float literal"))
+                } else {
+                    text.parse::<i64>()
+                        .map(Value::Int)
+                        .map_err(|_| self.error("invalid integer literal"))
+                }
+            }
+            _ => {
+                let ident = self
+                    .parse_ident_opt()
+                    .ok_or_else(|| self.error("expected a literal"))?;
+                match ident.as_str() {
+                    "true" => Ok(Value::Bool(true)),
+                    "false" => Ok(Value::Bool(false)),
+                    other => Ok(Value::str(other)),
+                }
+            }
+        }
+    }
+
+    fn parse_ident_opt(&mut self) -> Option<String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos > start {
+            Some(self.src[start..self.pos].to_string())
+        } else {
+            None
+        }
+    }
+
+    // ----- low-level cursor helpers ------------------------------------
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.peek() {
+            if c.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_str(&self, s: &str) -> bool {
+        self.src[self.pos.min(self.src.len())..].starts_with(s)
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn error(&self, message: &str) -> ParseError {
+        ParseError {
+            position: self.pos,
+            message: message.to_string(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Eq,
+    Ge,
+    Gt,
+    Le,
+    Lt,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_edge() {
+        let q = parse_query("(p:person)-[:knows]->(q:person)").unwrap();
+        assert_eq!(q.num_vertices(), 2);
+        assert_eq!(q.num_edges(), 1);
+        let e = q.edge(crate::query::QEid(0)).unwrap();
+        assert_eq!(e.types, vec!["knows".to_string()]);
+        assert_eq!(e.directions, DirectionSet::FORWARD);
+        let p = q.vertex(QVid(0)).unwrap();
+        assert_eq!(p.label.as_deref(), Some("p"));
+        assert!(p.predicate("type").is_some());
+    }
+
+    #[test]
+    fn properties_and_operators() {
+        let q = parse_query(
+            "(p:person {name: 'Anna' | 'Alice', age >= 30})-[:knows {since < 2010}]->(q)",
+        )
+        .unwrap();
+        let p = q.vertex(QVid(0)).unwrap();
+        let name = p.predicate("name").unwrap();
+        assert!(name.interval.matches(&Value::str("Alice")));
+        assert!(!name.interval.matches(&Value::str("Bob")));
+        let age = p.predicate("age").unwrap();
+        assert!(age.interval.matches(&Value::Int(30)));
+        assert!(!age.interval.matches(&Value::Int(29)));
+        let e = q.edge(crate::query::QEid(0)).unwrap();
+        assert!(e.predicate("since").unwrap().interval.matches(&Value::Int(2009)));
+        assert!(!e.predicate("since").unwrap().interval.matches(&Value::Int(2010)));
+    }
+
+    #[test]
+    fn directions() {
+        let fwd = parse_query("(a)-[:t]->(b)").unwrap();
+        assert_eq!(fwd.edge(crate::query::QEid(0)).unwrap().src, QVid(0));
+        let bwd = parse_query("(a)<-[:t]-(b)").unwrap();
+        // a <- b means the data edge runs b → a
+        let e = bwd.edge(crate::query::QEid(0)).unwrap();
+        assert_eq!(e.src, QVid(1));
+        assert_eq!(e.dst, QVid(0));
+        let undirected = parse_query("(a)-[:t]-(b)").unwrap();
+        assert_eq!(
+            undirected.edge(crate::query::QEid(0)).unwrap().directions,
+            DirectionSet::BOTH
+        );
+    }
+
+    #[test]
+    fn chains_and_backreferences_build_triangles() {
+        let q = parse_query(
+            "(a:person)-[:knows]->(b:person); (a)-[:livesIn]->(c:city); (b)-[:livesIn]->(c)",
+        )
+        .unwrap();
+        assert_eq!(q.num_vertices(), 3);
+        assert_eq!(q.num_edges(), 3);
+        assert!(q.is_connected());
+        // degree of c is 2 (both livesIn edges end there)
+        assert_eq!(q.degree(QVid(2)), 2);
+    }
+
+    #[test]
+    fn type_disjunction_on_edges() {
+        let q = parse_query("(a)-[:knows|likes]->(b)").unwrap();
+        assert_eq!(
+            q.edge(crate::query::QEid(0)).unwrap().types,
+            vec!["knows".to_string(), "likes".to_string()]
+        );
+    }
+
+    #[test]
+    fn anonymous_and_unlabeled_nodes() {
+        let q = parse_query("()-[:t]->()").unwrap();
+        assert_eq!(q.num_vertices(), 2);
+        assert!(q.vertex(QVid(0)).unwrap().predicates.is_empty());
+    }
+
+    #[test]
+    fn numeric_and_boolean_literals() {
+        let q = parse_query("(a {x = 3.5, y = -7, z = true})").unwrap();
+        let v = q.vertex(QVid(0)).unwrap();
+        assert!(v.predicate("x").unwrap().interval.matches(&Value::Float(3.5)));
+        assert!(v.predicate("y").unwrap().interval.matches(&Value::Int(-7)));
+        assert!(v.predicate("z").unwrap().interval.matches(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse_query("(a-").unwrap_err();
+        assert!(err.position > 0);
+        assert!(parse_query("").is_err());
+        assert!(parse_query("(a)-[:t]->").is_err());
+        assert!(parse_query("(a {x ~ 3})").is_err());
+        // both-ways edge is rejected
+        assert!(parse_query("(a)<-[:t]->(b)").is_err());
+        // redefinition of a named node with constraints
+        assert!(parse_query("(a:person); (a:city)").is_err());
+    }
+
+    #[test]
+    fn parsed_query_matches_builder_query() {
+        use crate::builder::QueryBuilder;
+        let parsed = parse_query("(p:person)-[:livesIn]->(c:city)").unwrap();
+        let built = QueryBuilder::new("b")
+            .vertex("p", [Predicate::eq("type", "person")])
+            .vertex("c", [Predicate::eq("type", "city")])
+            .edge("p", "c", "livesIn")
+            .build();
+        assert_eq!(
+            crate::signature::signature(&parsed),
+            crate::signature::signature(&built)
+        );
+    }
+}

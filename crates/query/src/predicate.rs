@@ -1,0 +1,101 @@
+//! Predicates: named attribute constraints on query vertices and edges.
+
+use crate::interval::Interval;
+use whyq_graph::Value;
+
+/// A constraint `attr ∈ interval` on one attribute of a query element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Attribute name the constraint applies to.
+    pub attr: String,
+    /// Admissible value set.
+    pub interval: Interval,
+}
+
+impl Predicate {
+    /// `attr = value`.
+    pub fn eq(attr: impl Into<String>, value: impl Into<Value>) -> Self {
+        Predicate {
+            attr: attr.into(),
+            interval: Interval::eq(value),
+        }
+    }
+
+    /// `attr ∈ {v₁, v₂, …}`.
+    pub fn one_of<I, V>(attr: impl Into<String>, values: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        Predicate {
+            attr: attr.into(),
+            interval: Interval::one_of(values),
+        }
+    }
+
+    /// `lo ≤ attr ≤ hi`.
+    pub fn between(attr: impl Into<String>, lo: f64, hi: f64) -> Self {
+        Predicate {
+            attr: attr.into(),
+            interval: Interval::between(lo, hi),
+        }
+    }
+
+    /// `attr ≥ lo`.
+    pub fn at_least(attr: impl Into<String>, lo: f64) -> Self {
+        Predicate {
+            attr: attr.into(),
+            interval: Interval::at_least(lo),
+        }
+    }
+
+    /// `attr ≤ hi`.
+    pub fn at_most(attr: impl Into<String>, hi: f64) -> Self {
+        Predicate {
+            attr: attr.into(),
+            interval: Interval::at_most(hi),
+        }
+    }
+
+    /// Does the (possibly absent) attribute value satisfy the predicate?
+    /// A missing attribute never satisfies a predicate.
+    pub fn matches(&self, value: Option<&Value>) -> bool {
+        value.is_some_and(|v| self.interval.matches(v))
+    }
+}
+
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ∈ {}", self.attr, self.interval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_predicate() {
+        let p = Predicate::eq("type", "person");
+        assert!(p.matches(Some(&Value::str("person"))));
+        assert!(!p.matches(Some(&Value::str("city"))));
+        assert!(!p.matches(None));
+    }
+
+    #[test]
+    fn range_predicates() {
+        let p = Predicate::between("age", 18.0, 30.0);
+        assert!(p.matches(Some(&Value::Int(25))));
+        assert!(!p.matches(Some(&Value::Int(31))));
+        assert!(Predicate::at_least("y", 5.0).matches(Some(&Value::Int(5))));
+        assert!(Predicate::at_most("y", 5.0).matches(Some(&Value::Int(5))));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            Predicate::eq("type", "person").to_string(),
+            "type ∈ \"person\""
+        );
+    }
+}

@@ -1,0 +1,511 @@
+//! The pattern query graph.
+//!
+//! `PatternQuery` is a property graph over *predicates*: vertices constrain
+//! data vertices, edges constrain data edges (type disjunction, direction
+//! set, attribute predicates) and the topology constrains how matched data
+//! elements connect. Identifiers of query vertices/edges are **stable**:
+//! removing an element leaves a tombstone, so an explanation derived from a
+//! query keeps referring to the original element ids — exactly what the
+//! set-based comparison of §3.2.2 requires.
+
+use crate::direction::DirectionSet;
+use crate::predicate::Predicate;
+use std::collections::VecDeque;
+
+/// Identifier of a query vertex (stable across modifications).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QVid(pub u32);
+
+/// Identifier of a query edge (stable across modifications).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QEid(pub u32);
+
+impl std::fmt::Display for QVid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0 + 1)
+    }
+}
+
+impl std::fmt::Display for QEid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0 + 1)
+    }
+}
+
+/// A query vertex: a conjunction of attribute predicates.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryVertex {
+    /// Attribute predicates (all must hold).
+    pub predicates: Vec<Predicate>,
+    /// Optional human-readable label for displays.
+    pub label: Option<String>,
+}
+
+impl QueryVertex {
+    /// Vertex with no constraints.
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Vertex from a list of predicates.
+    pub fn with(predicates: impl IntoIterator<Item = Predicate>) -> Self {
+        QueryVertex {
+            predicates: predicates.into_iter().collect(),
+            label: None,
+        }
+    }
+
+    /// Attach a display label.
+    pub fn labeled(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Find a predicate by attribute name.
+    pub fn predicate(&self, attr: &str) -> Option<&Predicate> {
+        self.predicates.iter().find(|p| p.attr == attr)
+    }
+
+    /// Find a predicate by attribute name, mutably.
+    pub fn predicate_mut(&mut self, attr: &str) -> Option<&mut Predicate> {
+        self.predicates.iter_mut().find(|p| p.attr == attr)
+    }
+}
+
+/// A query edge: endpoints, type disjunction, direction set and predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryEdge {
+    /// Source query vertex.
+    pub src: QVid,
+    /// Target query vertex.
+    pub dst: QVid,
+    /// Admissible edge types (disjunction, eq. 3.7). Empty = any type.
+    pub types: Vec<String>,
+    /// Admissible directions.
+    pub directions: DirectionSet,
+    /// Attribute predicates (all must hold).
+    pub predicates: Vec<Predicate>,
+    /// Optional human-readable label.
+    pub label: Option<String>,
+}
+
+impl QueryEdge {
+    /// Forward edge of one type, no attribute predicates.
+    pub fn typed(src: QVid, dst: QVid, ty: impl Into<String>) -> Self {
+        QueryEdge {
+            src,
+            dst,
+            types: vec![ty.into()],
+            directions: DirectionSet::FORWARD,
+            predicates: Vec::new(),
+            label: None,
+        }
+    }
+
+    /// Add an attribute predicate (builder style).
+    pub fn with_predicate(mut self, p: Predicate) -> Self {
+        self.predicates.push(p);
+        self
+    }
+
+    /// Replace the direction set (builder style).
+    pub fn with_directions(mut self, d: DirectionSet) -> Self {
+        self.directions = d;
+        self
+    }
+
+    /// Find a predicate by attribute name.
+    pub fn predicate(&self, attr: &str) -> Option<&Predicate> {
+        self.predicates.iter().find(|p| p.attr == attr)
+    }
+
+    /// Find a predicate by attribute name, mutably.
+    pub fn predicate_mut(&mut self, attr: &str) -> Option<&mut Predicate> {
+        self.predicates.iter_mut().find(|p| p.attr == attr)
+    }
+
+    /// The endpoint other than `v` (self-loops return `v`).
+    pub fn other(&self, v: QVid) -> QVid {
+        if self.src == v {
+            self.dst
+        } else {
+            self.src
+        }
+    }
+
+    /// Does the edge touch `v`?
+    pub fn touches(&self, v: QVid) -> bool {
+        self.src == v || self.dst == v
+    }
+}
+
+/// A pattern-matching query: a small property graph of predicates.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PatternQuery {
+    /// Optional query name (e.g. `"LDBC QUERY 1"`).
+    pub name: Option<String>,
+    vertices: Vec<Option<QueryVertex>>,
+    edges: Vec<Option<QueryEdge>>,
+}
+
+impl PatternQuery {
+    /// Empty query.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty query with a name.
+    pub fn named(name: impl Into<String>) -> Self {
+        PatternQuery {
+            name: Some(name.into()),
+            ..Self::default()
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // construction / mutation
+    // ------------------------------------------------------------------
+
+    /// Add a vertex; returns its stable id.
+    pub fn add_vertex(&mut self, v: QueryVertex) -> QVid {
+        let id = QVid(u32::try_from(self.vertices.len()).expect("query vertex overflow"));
+        self.vertices.push(Some(v));
+        id
+    }
+
+    /// Add an edge; returns its stable id.
+    ///
+    /// # Panics
+    /// Panics if an endpoint does not exist (a construction bug, not a
+    /// recoverable state).
+    pub fn add_edge(&mut self, e: QueryEdge) -> QEid {
+        assert!(self.vertex(e.src).is_some(), "edge source missing");
+        assert!(self.vertex(e.dst).is_some(), "edge target missing");
+        let id = QEid(u32::try_from(self.edges.len()).expect("query edge overflow"));
+        self.edges.push(Some(e));
+        id
+    }
+
+    /// Remove an edge, returning its payload if it was live.
+    pub fn remove_edge(&mut self, e: QEid) -> Option<QueryEdge> {
+        self.edges.get_mut(e.0 as usize).and_then(Option::take)
+    }
+
+    /// Remove a vertex and all incident edges; returns the vertex payload
+    /// and the removed edges.
+    pub fn remove_vertex(&mut self, v: QVid) -> Option<(QueryVertex, Vec<(QEid, QueryEdge)>)> {
+        let payload = self.vertices.get_mut(v.0 as usize).and_then(Option::take)?;
+        let mut removed = Vec::new();
+        for i in 0..self.edges.len() {
+            let touches = self.edges[i].as_ref().is_some_and(|e| e.touches(v));
+            if touches {
+                let e = self.edges[i].take().expect("checked live");
+                removed.push((QEid(i as u32), e));
+            }
+        }
+        Some((payload, removed))
+    }
+
+    /// Re-insert a vertex payload at a specific (tombstoned) id slot.
+    /// Used to restore previously removed elements with identical ids.
+    pub fn restore_vertex(&mut self, id: QVid, v: QueryVertex) {
+        let slot = &mut self.vertices[id.0 as usize];
+        assert!(slot.is_none(), "restoring over a live vertex");
+        *slot = Some(v);
+    }
+
+    /// Re-insert an edge payload at a specific (tombstoned) id slot.
+    pub fn restore_edge(&mut self, id: QEid, e: QueryEdge) {
+        assert!(self.vertex(e.src).is_some() && self.vertex(e.dst).is_some());
+        let slot = &mut self.edges[id.0 as usize];
+        assert!(slot.is_none(), "restoring over a live edge");
+        *slot = Some(e);
+    }
+
+    // ------------------------------------------------------------------
+    // accessors
+    // ------------------------------------------------------------------
+
+    /// Vertex payload, if live.
+    pub fn vertex(&self, v: QVid) -> Option<&QueryVertex> {
+        self.vertices.get(v.0 as usize).and_then(Option::as_ref)
+    }
+
+    /// Mutable vertex payload, if live.
+    pub fn vertex_mut(&mut self, v: QVid) -> Option<&mut QueryVertex> {
+        self.vertices.get_mut(v.0 as usize).and_then(Option::as_mut)
+    }
+
+    /// Edge payload, if live.
+    pub fn edge(&self, e: QEid) -> Option<&QueryEdge> {
+        self.edges.get(e.0 as usize).and_then(Option::as_ref)
+    }
+
+    /// Mutable edge payload, if live.
+    pub fn edge_mut(&mut self, e: QEid) -> Option<&mut QueryEdge> {
+        self.edges.get_mut(e.0 as usize).and_then(Option::as_mut)
+    }
+
+    /// Live vertex ids in id order.
+    pub fn vertex_ids(&self) -> impl Iterator<Item = QVid> + '_ {
+        self.vertices
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.as_ref().map(|_| QVid(i as u32)))
+    }
+
+    /// Live edge ids in id order.
+    pub fn edge_ids(&self) -> impl Iterator<Item = QEid> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|_| QEid(i as u32)))
+    }
+
+    /// Number of live vertices `N_q`.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.iter().flatten().count()
+    }
+
+    /// Number of live edges `M_q`.
+    pub fn num_edges(&self) -> usize {
+        self.edges.iter().flatten().count()
+    }
+
+    /// Highest ever assigned vertex slot count (including tombstones).
+    pub fn vertex_slots(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Highest ever assigned edge slot count (including tombstones).
+    pub fn edge_slots(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Ids of live edges leaving `v` (query drawing direction).
+    pub fn out_edges(&self, v: QVid) -> Vec<QEid> {
+        self.edge_ids()
+            .filter(|&e| self.edge(e).is_some_and(|ed| ed.src == v))
+            .collect()
+    }
+
+    /// Ids of live edges entering `v` (query drawing direction).
+    pub fn in_edges(&self, v: QVid) -> Vec<QEid> {
+        self.edge_ids()
+            .filter(|&e| self.edge(e).is_some_and(|ed| ed.dst == v))
+            .collect()
+    }
+
+    /// Ids of live edges touching `v`.
+    pub fn incident_edges(&self, v: QVid) -> Vec<QEid> {
+        self.edge_ids()
+            .filter(|&e| self.edge(e).is_some_and(|ed| ed.touches(v)))
+            .collect()
+    }
+
+    /// Degree of a live vertex (self-loops count twice).
+    pub fn degree(&self, v: QVid) -> usize {
+        self.edge_ids()
+            .filter_map(|e| self.edge(e))
+            .map(|ed| usize::from(ed.src == v) + usize::from(ed.dst == v))
+            .sum()
+    }
+
+    /// Total number of constraints: predicates on vertices and edges plus
+    /// one per typed edge. Used by evaluation sweeps over query size.
+    pub fn num_constraints(&self) -> usize {
+        let vp: usize = self
+            .vertex_ids()
+            .filter_map(|v| self.vertex(v))
+            .map(|v| v.predicates.len())
+            .sum();
+        let ep: usize = self
+            .edge_ids()
+            .filter_map(|e| self.edge(e))
+            .map(|e| e.predicates.len() + usize::from(!e.types.is_empty()))
+            .sum();
+        vp + ep
+    }
+
+    // ------------------------------------------------------------------
+    // topology analysis
+    // ------------------------------------------------------------------
+
+    /// Weakly connected components over live vertices (BFS discovery order
+    /// inside a component; components ordered by smallest vertex id).
+    pub fn weakly_connected_components(&self) -> Vec<Vec<QVid>> {
+        let mut seen: Vec<bool> = vec![false; self.vertices.len()];
+        let mut comps = Vec::new();
+        for start in self.vertex_ids() {
+            if seen[start.0 as usize] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut queue = VecDeque::new();
+            seen[start.0 as usize] = true;
+            queue.push_back(start);
+            while let Some(v) = queue.pop_front() {
+                comp.push(v);
+                for e in self.incident_edges(v) {
+                    let w = self.edge(e).expect("live").other(v);
+                    if !seen[w.0 as usize] {
+                        seen[w.0 as usize] = true;
+                        queue.push_back(w);
+                    }
+                }
+            }
+            comps.push(comp);
+        }
+        comps
+    }
+
+    /// True when all live vertices belong to one weakly connected component
+    /// (the empty query counts as connected).
+    pub fn is_connected(&self) -> bool {
+        self.weakly_connected_components().len() <= 1
+    }
+
+    /// The subquery induced by a set of vertices: keeps those vertices and
+    /// all live edges between them, **preserving original ids**.
+    pub fn induced_subquery(&self, keep: &[QVid]) -> PatternQuery {
+        let mut q = PatternQuery {
+            name: self.name.clone(),
+            vertices: vec![None; self.vertices.len()],
+            edges: vec![None; self.edges.len()],
+        };
+        for &v in keep {
+            if let Some(p) = self.vertex(v) {
+                q.vertices[v.0 as usize] = Some(p.clone());
+            }
+        }
+        for e in self.edge_ids() {
+            let ed = self.edge(e).expect("live");
+            if q.vertices[ed.src.0 as usize].is_some() && q.vertices[ed.dst.0 as usize].is_some() {
+                q.edges[e.0 as usize] = Some(ed.clone());
+            }
+        }
+        q
+    }
+
+    /// The subquery consisting of the given edges and their endpoints,
+    /// preserving original ids.
+    pub fn edge_subquery(&self, keep: &[QEid]) -> PatternQuery {
+        let mut q = PatternQuery {
+            name: self.name.clone(),
+            vertices: vec![None; self.vertices.len()],
+            edges: vec![None; self.edges.len()],
+        };
+        for &e in keep {
+            if let Some(ed) = self.edge(e) {
+                q.vertices[ed.src.0 as usize] = Some(self.vertex(ed.src).expect("live").clone());
+                q.vertices[ed.dst.0 as usize] = Some(self.vertex(ed.dst).expect("live").clone());
+                q.edges[e.0 as usize] = Some(ed.clone());
+            }
+        }
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Predicate;
+
+    fn triangle() -> (PatternQuery, [QVid; 3], [QEid; 3]) {
+        let mut q = PatternQuery::named("tri");
+        let a = q.add_vertex(QueryVertex::with([Predicate::eq("type", "person")]));
+        let b = q.add_vertex(QueryVertex::with([Predicate::eq("type", "person")]));
+        let c = q.add_vertex(QueryVertex::with([Predicate::eq("type", "city")]));
+        let e1 = q.add_edge(QueryEdge::typed(a, b, "knows"));
+        let e2 = q.add_edge(QueryEdge::typed(a, c, "livesIn"));
+        let e3 = q.add_edge(QueryEdge::typed(b, c, "livesIn"));
+        (q, [a, b, c], [e1, e2, e3])
+    }
+
+    #[test]
+    fn stable_ids_after_removal() {
+        let (mut q, [a, b, c], [e1, _, e3]) = triangle();
+        q.remove_edge(e1);
+        assert!(q.edge(e1).is_none());
+        assert!(q.edge(e3).is_some());
+        assert_eq!(q.num_edges(), 2);
+        // removing vertex c removes both livesIn edges
+        let (_, removed) = q.remove_vertex(c).unwrap();
+        assert_eq!(removed.len(), 2);
+        assert_eq!(q.num_edges(), 0);
+        assert_eq!(q.num_vertices(), 2);
+        // a and b keep their ids
+        assert!(q.vertex(a).is_some());
+        assert!(q.vertex(b).is_some());
+    }
+
+    #[test]
+    fn restore_round_trips() {
+        let (mut q, [_, _, c], _) = triangle();
+        let (payload, removed) = q.remove_vertex(c).unwrap();
+        q.restore_vertex(c, payload);
+        for (id, e) in removed {
+            q.restore_edge(id, e);
+        }
+        assert_eq!(q.num_edges(), 3);
+        assert_eq!(q.num_vertices(), 3);
+    }
+
+    #[test]
+    fn adjacency_queries() {
+        let (q, [a, b, c], [e1, e2, e3]) = triangle();
+        assert_eq!(q.out_edges(a), vec![e1, e2]);
+        assert_eq!(q.in_edges(c), vec![e2, e3]);
+        assert_eq!(q.incident_edges(b), vec![e1, e3]);
+        assert_eq!(q.degree(a), 2);
+        assert_eq!(q.edge(e1).unwrap().other(a), b);
+    }
+
+    #[test]
+    fn connectivity() {
+        let (mut q, _, [e1, e2, e3]) = triangle();
+        assert!(q.is_connected());
+        q.remove_edge(e1);
+        assert!(q.is_connected());
+        q.remove_edge(e2);
+        q.remove_edge(e3);
+        assert_eq!(q.weakly_connected_components().len(), 3);
+        assert!(!q.is_connected());
+    }
+
+    #[test]
+    fn induced_subquery_preserves_ids() {
+        let (q, [a, b, c], [e1, ..]) = triangle();
+        let sub = q.induced_subquery(&[a, b]);
+        assert_eq!(sub.num_vertices(), 2);
+        assert_eq!(sub.num_edges(), 1);
+        assert!(sub.edge(e1).is_some());
+        assert!(sub.vertex(c).is_none());
+    }
+
+    #[test]
+    fn edge_subquery_includes_endpoints() {
+        let (q, [a, _, c], [_, e2, _]) = triangle();
+        let sub = q.edge_subquery(&[e2]);
+        assert_eq!(sub.num_vertices(), 2);
+        assert!(sub.vertex(a).is_some());
+        assert!(sub.vertex(c).is_some());
+        assert_eq!(sub.num_edges(), 1);
+    }
+
+    #[test]
+    fn constraint_count() {
+        let (q, ..) = triangle();
+        // 3 vertex predicates + 3 typed edges
+        assert_eq!(q.num_constraints(), 6);
+    }
+
+    #[test]
+    fn self_loop_degree() {
+        let mut q = PatternQuery::new();
+        let v = q.add_vertex(QueryVertex::any());
+        q.add_edge(QueryEdge::typed(v, v, "self"));
+        assert_eq!(q.degree(v), 2);
+        assert!(q.is_connected());
+    }
+}

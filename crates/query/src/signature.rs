@@ -1,0 +1,131 @@
+//! Canonical query signatures.
+//!
+//! The coarse-grained rewriter caches the cardinality of every executed
+//! query candidate (§5.5, Appendix B.2). The cache key must identify a query
+//! up to its *constraint content* — two candidates reached along different
+//! relaxation paths but describing the same query must collide. Since query
+//! element ids are stable and shared across all candidates derived from one
+//! original query, a deterministic serialization in id order is canonical.
+
+use crate::interval::Interval;
+use crate::query::PatternQuery;
+use std::fmt::Write;
+
+/// Deterministic, canonical textual signature of a query.
+pub fn signature(q: &PatternQuery) -> String {
+    let mut out = String::new();
+    for v in q.vertex_ids() {
+        let vx = q.vertex(v).expect("live");
+        let _ = write!(out, "V{}[", v.0);
+        let mut preds: Vec<String> = vx
+            .predicates
+            .iter()
+            .map(|p| format!("{}:{}", p.attr, interval_sig(&p.interval)))
+            .collect();
+        preds.sort();
+        out.push_str(&preds.join(","));
+        out.push(']');
+    }
+    for e in q.edge_ids() {
+        let ed = q.edge(e).expect("live");
+        let _ = write!(
+            out,
+            "E{}({}->{})d{}{}t[",
+            e.0,
+            ed.src.0,
+            ed.dst.0,
+            u8::from(ed.directions.forward),
+            u8::from(ed.directions.backward)
+        );
+        let mut tys = ed.types.clone();
+        tys.sort();
+        out.push_str(&tys.join("|"));
+        out.push_str("]p[");
+        let mut preds: Vec<String> = ed
+            .predicates
+            .iter()
+            .map(|p| format!("{}:{}", p.attr, interval_sig(&p.interval)))
+            .collect();
+        preds.sort();
+        out.push_str(&preds.join(","));
+        out.push(']');
+    }
+    out
+}
+
+fn interval_sig(i: &Interval) -> String {
+    match i {
+        Interval::OneOf(vals) => {
+            let mut parts: Vec<String> = vals.iter().map(|v| format!("{v}")).collect();
+            parts.sort();
+            format!("{{{}}}", parts.join("|"))
+        }
+        Interval::Range {
+            lo,
+            hi,
+            lo_incl,
+            hi_incl,
+        } => format!(
+            "r{}{:?}..{:?}{}",
+            if *lo_incl { "[" } else { "(" },
+            lo,
+            hi,
+            if *hi_incl { "]" } else { ")" }
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Predicate;
+    use crate::query::{QueryEdge, QueryVertex};
+
+    fn base() -> PatternQuery {
+        let mut q = PatternQuery::new();
+        let a = q.add_vertex(QueryVertex::with([Predicate::eq("type", "person")]));
+        let b = q.add_vertex(QueryVertex::with([Predicate::eq("type", "city")]));
+        q.add_edge(QueryEdge::typed(a, b, "livesIn"));
+        q
+    }
+
+    #[test]
+    fn identical_queries_share_signature() {
+        assert_eq!(signature(&base()), signature(&base()));
+    }
+
+    #[test]
+    fn predicate_order_does_not_matter() {
+        let mut q1 = PatternQuery::new();
+        q1.add_vertex(QueryVertex::with([
+            Predicate::eq("a", 1),
+            Predicate::eq("b", 2),
+        ]));
+        let mut q2 = PatternQuery::new();
+        q2.add_vertex(QueryVertex::with([
+            Predicate::eq("b", 2),
+            Predicate::eq("a", 1),
+        ]));
+        assert_eq!(signature(&q1), signature(&q2));
+    }
+
+    #[test]
+    fn different_intervals_different_signatures() {
+        let q1 = base();
+        let mut q2 = base();
+        q2.vertex_mut(crate::query::QVid(0))
+            .unwrap()
+            .predicate_mut("type")
+            .unwrap()
+            .interval = Interval::one_of(["person", "robot"]);
+        assert_ne!(signature(&q1), signature(&q2));
+    }
+
+    #[test]
+    fn removal_changes_signature() {
+        let q1 = base();
+        let mut q2 = base();
+        q2.remove_edge(crate::query::QEid(0));
+        assert_ne!(signature(&q1), signature(&q2));
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests of predicate intervals and modification operations:
+//! the monotonicity contracts the rewriting engines rely on.
+
+use proptest::prelude::*;
+use whyq_query::{Interval, PatternQuery, Predicate, QueryBuilder, QueryVertex, Value};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-100i64..100).prop_map(Value::Int),
+        (-100.0f64..100.0).prop_map(Value::Float),
+        "[a-e]{1,2}".prop_map(Value::str),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Widening an interval never loses previously matching values.
+    #[test]
+    fn widen_is_monotone(
+        vals in prop::collection::vec(arb_value(), 1..4),
+        extra in arb_value(),
+        probe in arb_value(),
+    ) {
+        let original = Interval::OneOf(vals);
+        let mut widened = original.clone();
+        widened.add_value(extra.clone());
+        if original.matches(&probe) {
+            prop_assert!(widened.matches(&probe));
+        }
+        prop_assert!(widened.matches(&extra));
+    }
+
+    /// Range widening is monotone; shrinking is antitone.
+    #[test]
+    fn range_widen_shrink_monotone(
+        lo in -50.0f64..0.0,
+        hi in 0.0f64..50.0,
+        step in 0.1f64..10.0,
+        probe in -60.0f64..60.0,
+    ) {
+        let original = Interval::between(lo, hi);
+        let mut widened = original.clone();
+        widened.widen(step);
+        let mut shrunk = original.clone();
+        let did_shrink = shrunk.shrink(step);
+        let p = Value::Float(probe);
+        if original.matches(&p) {
+            prop_assert!(widened.matches(&p));
+        }
+        if did_shrink && shrunk.matches(&p) {
+            prop_assert!(original.matches(&p));
+        }
+    }
+
+    /// Interval distance: identity, symmetry, boundedness; widening moves
+    /// the interval away from the original.
+    #[test]
+    fn interval_distance_properties(
+        vals in prop::collection::vec(arb_value(), 1..4),
+        extras in prop::collection::vec(arb_value(), 1..3),
+    ) {
+        let a = Interval::OneOf(vals);
+        prop_assert!(a.distance(&a).abs() < 1e-12);
+        let mut b = a.clone();
+        let mut changed = false;
+        for e in extras {
+            changed |= b.add_value(e);
+        }
+        let d = a.distance(&b);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert!((d - b.distance(&a)).abs() < 1e-12);
+        if changed {
+            prop_assert!(d > 0.0);
+        }
+    }
+
+    /// Signatures are stable under predicate reordering but sensitive to
+    /// value changes.
+    #[test]
+    fn signature_canonical(
+        a in arb_value(),
+        b in arb_value(),
+    ) {
+        let q1 = {
+            let mut q = PatternQuery::new();
+            q.add_vertex(QueryVertex::with([
+                Predicate { attr: "x".into(), interval: Interval::OneOf(vec![a.clone()]) },
+                Predicate { attr: "y".into(), interval: Interval::OneOf(vec![b.clone()]) },
+            ]));
+            q
+        };
+        let q2 = {
+            let mut q = PatternQuery::new();
+            q.add_vertex(QueryVertex::with([
+                Predicate { attr: "y".into(), interval: Interval::OneOf(vec![b.clone()]) },
+                Predicate { attr: "x".into(), interval: Interval::OneOf(vec![a.clone()]) },
+            ]));
+            q
+        };
+        prop_assert_eq!(
+            whyq_query::signature::signature(&q1),
+            whyq_query::signature::signature(&q2)
+        );
+    }
+
+    /// The parser round-trips numeric equality predicates faithfully.
+    #[test]
+    fn parser_numeric_predicates(x in -1000i64..1000) {
+        let text = format!("(a {{v = {x}}})");
+        let q = whyq_query::parse_query(&text).unwrap();
+        let v = q.vertex(whyq_query::QVid(0)).unwrap();
+        prop_assert!(v.predicate("v").unwrap().interval.matches(&Value::Int(x)));
+        prop_assert!(!v.predicate("v").unwrap().interval.matches(&Value::Int(x + 1)));
+    }
+
+    /// Builder and coarse relaxation: removing a predicate always yields a
+    /// query whose signature differs and whose constraint count drops by 1.
+    #[test]
+    fn predicate_removal_effect(n in 1usize..4) {
+        let mut b = QueryBuilder::new("q");
+        for i in 0..n {
+            b = b.vertex(&format!("v{i}"), [Predicate::eq("type", "t")]);
+        }
+        let q = b.build();
+        let before = q.num_constraints();
+        let m = whyq_query::GraphMod::RemovePredicate {
+            target: whyq_query::Target::Vertex(whyq_query::QVid(0)),
+            attr: "type".into(),
+        };
+        let (relaxed, _) = m.applied(&q).unwrap();
+        prop_assert_eq!(relaxed.num_constraints(), before - 1);
+        prop_assert_ne!(
+            whyq_query::signature::signature(&q),
+            whyq_query::signature::signature(&relaxed)
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Holistic cardinality support (§3.1.3, Fig. 3.1): the search oscillates
+//! around the threshold — one candidate overshoots, the next undershoots —
+//! and the engine adapts its direction per node until the result size
+//! lands inside the requested interval.
+//!
+//! Run with: `cargo run --release --example interactive_repl`
+
+use whyquery::core::fine::TraverseSearchTree;
+use whyquery::datagen::{ldbc_graph, LdbcConfig};
+use whyquery::prelude::*;
+
+fn main() {
+    let g = ldbc_graph(LdbcConfig::default());
+    let engine = WhyEngine::new(&g);
+
+    // start from a broad query: every person who knows someone
+    let query = QueryBuilder::new("acquaintances")
+        .vertex("p1", [Predicate::eq("type", "person")])
+        .vertex("p2", [Predicate::eq("type", "person")])
+        .edge("p1", "p2", "knows")
+        .build();
+    let c0 = engine.cardinality(&query);
+
+    // the user wants a shortlist: between 10 and 20 answers
+    let goal = CardinalityGoal::Between(10, 20);
+    println!("original cardinality: {c0}; goal: 10..=20");
+    println!("classified as: {}", engine.classify(&query, goal));
+
+    let outcome = TraverseSearchTree::new(&g).run(&query, goal);
+
+    println!("\nexecuted {} candidates; search trajectory (executed → best |C_thr−C|):", outcome.executed);
+    let mut last = u64::MAX;
+    for &(executed, dev) in &outcome.trajectory {
+        if dev < last {
+            println!("  after {executed:>4} executions: deviation {dev}");
+            last = dev;
+        }
+    }
+
+    match outcome.explanation {
+        Some(expl) => {
+            println!("\nfinal query delivers {} answers via:", expl.cardinality);
+            for m in &expl.mods {
+                println!("  * {m}");
+            }
+            assert!((10..=20).contains(&expl.cardinality));
+            println!("\ngoal satisfied — holistic oscillation converged");
+        }
+        None => println!("\nbudget exhausted at deviation {}", outcome.best_deviation),
+    }
+}

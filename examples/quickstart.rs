@@ -1,0 +1,83 @@
+//! Quickstart: build a tiny property graph, run a pattern query that
+//! unexpectedly returns nothing, and ask the why-query engine to explain
+//! and repair it.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use whyquery::prelude::*;
+
+fn main() {
+    // ----------------------------------------------------------------
+    // 1. A tiny data graph: Anna works at TU Dresden, located in Dresden.
+    // ----------------------------------------------------------------
+    let mut g = PropertyGraph::new();
+    let anna = g.add_vertex([
+        ("type", Value::str("person")),
+        ("name", Value::str("Anna")),
+    ]);
+    let tud = g.add_vertex([
+        ("type", Value::str("university")),
+        ("name", Value::str("TU Dresden")),
+    ]);
+    let dresden = g.add_vertex([
+        ("type", Value::str("city")),
+        ("name", Value::str("Dresden")),
+    ]);
+    g.add_edge(anna, tud, "workAt", [("sinceYear", Value::Int(2003))]);
+    g.add_edge(tud, dresden, "locatedIn", []);
+
+    // ----------------------------------------------------------------
+    // 2. The user asks for people working at a university in *Berlin*.
+    // ----------------------------------------------------------------
+    let query = QueryBuilder::new("who-works-in-berlin")
+        .vertex("p", [Predicate::eq("type", "person")])
+        .vertex("u", [Predicate::eq("type", "university")])
+        .vertex(
+            "c",
+            [Predicate::eq("type", "city"), Predicate::eq("name", "Berlin")],
+        )
+        .edge("p", "u", "workAt")
+        .edge("u", "c", "locatedIn")
+        .build();
+
+    let n = count_matches(&g, &query, None);
+    println!("query {:?} returned {n} results", query.name.as_deref().unwrap());
+    assert_eq!(n, 0);
+
+    // ----------------------------------------------------------------
+    // 3. Why is it empty? — subgraph-based explanation (DISCOVERMCS)
+    // ----------------------------------------------------------------
+    let engine = WhyEngine::new(&g);
+    let explanation = engine.why_empty(&query);
+    println!("\n--- subgraph-based explanation ---");
+    println!(
+        "largest succeeding subquery: {} vertices, {} edges, {} result(s)",
+        explanation.mcs.num_vertices(),
+        explanation.mcs.num_edges(),
+        explanation.mcs_cardinality
+    );
+    println!("failed query part: {}", explanation.differential);
+    if let Some(e) = explanation.crossing_edge {
+        println!("the traversal died at query edge {e}");
+    }
+
+    // ----------------------------------------------------------------
+    // 4. How should the query change? — modification-based explanation
+    // ----------------------------------------------------------------
+    let diagnosis = engine.diagnose(&query, CardinalityGoal::NonEmpty);
+    println!("\n--- modification-based explanation ---");
+    println!("classified problem: {}", diagnosis.problem);
+    let rewrite = diagnosis.rewrite.expect("rewriting found a fix");
+    println!("suggested modifications:");
+    for m in &rewrite.mods {
+        println!("  * {m}");
+    }
+    println!(
+        "rewritten query delivers {} result(s) at syntactic distance {:.3}",
+        rewrite.cardinality, rewrite.syntactic_distance
+    );
+
+    // the rewritten query really works:
+    assert!(count_matches(&g, &rewrite.query, None) > 0);
+    println!("\nquickstart OK");
+}

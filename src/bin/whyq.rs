@@ -1,0 +1,193 @@
+//! `whyq` — the why-query command line.
+//!
+//! ```text
+//! whyq generate <ldbc|dbpedia> [--scale N] [--seed S] [--out FILE]
+//! whyq stats    <GRAPH>
+//! whyq match    <GRAPH> <PATTERN> [--limit N]
+//! whyq why      <GRAPH> <PATTERN> [--at-least N] [--at-most N] [--between LO HI]
+//! ```
+//!
+//! Graphs use the text format of `whyq_graph::io`; patterns use the
+//! `whyq_query::parser` syntax, e.g.
+//! `'(p:person {name: "Anna"})-[:knows]->(q:person)'`.
+
+use std::process::ExitCode;
+use whyquery::core::engine::WhyEngine;
+use whyquery::core::problem::CardinalityGoal;
+use whyquery::datagen::{dbpedia_graph, ldbc_graph, DbpediaConfig, LdbcConfig};
+use whyquery::graph::{io, PropertyGraph};
+use whyquery::matcher::find_matches;
+use whyquery::query::{parse_query, PatternQuery};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("whyq: {msg}");
+            eprintln!();
+            eprintln!("usage:");
+            eprintln!("  whyq generate <ldbc|dbpedia> [--scale N] [--seed S] [--out FILE]");
+            eprintln!("  whyq stats    <GRAPH>");
+            eprintln!("  whyq match    <GRAPH> <PATTERN> [--limit N]");
+            eprintln!("  whyq why      <GRAPH> <PATTERN> [--at-least N] [--at-most N] [--between LO HI]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("generate") => generate(&args[1..]),
+        Some("stats") => stats(&args[1..]),
+        Some("match") => do_match(&args[1..]),
+        Some("why") => why(&args[1..]),
+        Some(other) => Err(format!("unknown command {other:?}")),
+        None => Err("missing command".into()),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid {what}: {s:?}"))
+}
+
+fn generate(args: &[String]) -> Result<(), String> {
+    let kind = args.first().ok_or("generate needs <ldbc|dbpedia>")?;
+    let seed: u64 = match flag_value(args, "--seed") {
+        Some(s) => parse_num(s, "seed")?,
+        None => 42,
+    };
+    let g = match kind.as_str() {
+        "ldbc" => {
+            let persons: usize = match flag_value(args, "--scale") {
+                Some(s) => parse_num(s, "scale")?,
+                None => 300,
+            };
+            ldbc_graph(LdbcConfig { persons, seed })
+        }
+        "dbpedia" => {
+            let entities: usize = match flag_value(args, "--scale") {
+                Some(s) => parse_num(s, "scale")?,
+                None => 2000,
+            };
+            dbpedia_graph(DbpediaConfig { entities, seed })
+        }
+        other => return Err(format!("unknown generator {other:?}")),
+    };
+    let text = io::write_graph(&g);
+    match flag_value(args, "--out") {
+        Some(path) => {
+            std::fs::write(path, text).map_err(|e| format!("writing {path:?}: {e}"))?;
+            eprintln!(
+                "wrote {} vertices / {} edges to {path}",
+                g.num_vertices(),
+                g.num_edges()
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn load_graph(path: &str) -> Result<PropertyGraph, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path:?}: {e}"))?;
+    io::read_graph(&text).map_err(|e| format!("parsing {path:?}: {e}"))
+}
+
+fn load_pattern(text: &str) -> Result<PatternQuery, String> {
+    parse_query(text).map_err(|e| format!("pattern: {e}"))
+}
+
+fn stats(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("stats needs <GRAPH>")?;
+    let g = load_graph(path)?;
+    println!("vertices: {}", g.num_vertices());
+    println!("edges:    {}", g.num_edges());
+    let d = whyquery::graph::stats::degree_summary(&g);
+    println!("degree:   min {} / mean {:.1} / max {}", d.min, d.mean, d.max);
+    println!("\nvertex types:");
+    for (ty, c) in whyquery::graph::stats::vertex_attr_histogram(&g, "type") {
+        println!("  {ty:<24} {c}");
+    }
+    println!("\nedge types:");
+    for (ty, c) in whyquery::graph::stats::edge_type_histogram(&g) {
+        println!("  {ty:<24} {c}");
+    }
+    Ok(())
+}
+
+fn do_match(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("match needs <GRAPH>")?;
+    let pattern = args.get(1).ok_or("match needs <PATTERN>")?;
+    let limit: usize = match flag_value(args, "--limit") {
+        Some(s) => parse_num(s, "limit")?,
+        None => 10,
+    };
+    let g = load_graph(path)?;
+    let q = load_pattern(pattern)?;
+    let results = find_matches(&g, &q, Some(limit));
+    println!("{} match(es) (showing up to {limit}):", results.len());
+    for (i, r) in results.iter().enumerate() {
+        let parts: Vec<String> = r
+            .vertex_bindings()
+            .iter()
+            .map(|(qv, dv)| format!("{qv}={dv}"))
+            .collect();
+        println!("  #{:<3} {}", i + 1, parts.join("  "));
+    }
+    Ok(())
+}
+
+fn why(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("why needs <GRAPH>")?;
+    let pattern = args.get(1).ok_or("why needs <PATTERN>")?;
+    let goal = if let Some(s) = flag_value(args, "--at-least") {
+        CardinalityGoal::AtLeast(parse_num(s, "threshold")?)
+    } else if let Some(s) = flag_value(args, "--at-most") {
+        CardinalityGoal::AtMost(parse_num(s, "threshold")?)
+    } else if let Some(i) = args.iter().position(|a| a == "--between") {
+        let lo = parse_num(args.get(i + 1).ok_or("--between needs LO HI")?, "lo")?;
+        let hi = parse_num(args.get(i + 2).ok_or("--between needs LO HI")?, "hi")?;
+        CardinalityGoal::Between(lo, hi)
+    } else {
+        CardinalityGoal::NonEmpty
+    };
+
+    let g = load_graph(path)?;
+    let q = load_pattern(pattern)?;
+    let engine = WhyEngine::new(&g);
+    let d = engine.diagnose(&q, goal);
+    println!("cardinality: {}", d.cardinality);
+    println!("problem:     {}", d.problem);
+    if let Some(sub) = &d.subgraph {
+        println!("\nsubgraph-based explanation:");
+        println!(
+            "  largest conforming subquery: {} vertices, {} edges ({} results)",
+            sub.mcs.num_vertices(),
+            sub.mcs.num_edges(),
+            sub.mcs_cardinality
+        );
+        println!("  {}", sub.differential);
+        if let Some(e) = sub.crossing_edge {
+            println!("  bound crossed at query edge {e}");
+        }
+    }
+    if let Some(rw) = &d.rewrite {
+        println!("\nmodification-based explanation:");
+        for m in &rw.mods {
+            println!("  * {m}");
+        }
+        println!(
+            "  rewritten query delivers {} result(s), syntactic distance {:.3}",
+            rw.cardinality, rw.syntactic_distance
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! # whyquery — why-query support for graph databases
+//!
+//! Facade crate re-exporting the whole workspace: a property-graph store, a
+//! predicate-aware pattern matcher, explanation-comparison metrics and the
+//! why-query engine (subgraph-based and modification-based explanations for
+//! empty, too-few and too-many answers), plus seeded workload generators.
+//!
+//! Reproduces *"Why-Query Support in Graph Databases"* (E. Vasilyeva,
+//! TU Dresden, 2016). See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the reproduced evaluation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use whyquery::prelude::*;
+//!
+//! // a tiny data graph
+//! let mut g = PropertyGraph::new();
+//! let anna = g.add_vertex([("type", Value::str("person")), ("name", Value::str("Anna"))]);
+//! let tud = g.add_vertex([("type", Value::str("university"))]);
+//! g.add_edge(anna, tud, "workAt", [("sinceYear", Value::Int(2003))]);
+//!
+//! // a pattern query that can never match (wrong year)
+//! let q = QueryBuilder::new("who-works-since-2005")
+//!     .vertex("p", [Predicate::eq("type", "person")])
+//!     .vertex("u", [Predicate::eq("type", "university")])
+//!     .edge_full("p", "u", "workAt", DirectionSet::FORWARD,
+//!                [Predicate::eq("sinceYear", 2005)])
+//!     .build();
+//!
+//! assert_eq!(count_matches(&g, &q, None), 0);
+//!
+//! // ask the why-query engine what went wrong
+//! let engine = WhyEngine::new(&g);
+//! let explanation = engine.why_empty(&q);
+//! assert!(explanation.differential.edge_ids().count() > 0);
+//! ```
+
+pub use whyq_core as core;
+pub use whyq_datagen as datagen;
+pub use whyq_graph as graph;
+pub use whyq_matcher as matcher;
+pub use whyq_metrics as metrics;
+pub use whyq_query as query;
+
+/// Convenience imports covering the common API surface.
+pub mod prelude {
+    pub use whyq_core::engine::WhyEngine;
+    pub use whyq_core::problem::{CardinalityGoal, WhyProblem};
+    pub use whyq_graph::{PropertyGraph, Value};
+    pub use whyq_matcher::{count_matches, find_matches, MatchOptions};
+    pub use whyq_query::{
+        DirectionSet, GraphMod, Interval, PatternQuery, Predicate, QueryBuilder, Target,
+    };
+}

@@ -1,0 +1,186 @@
+//! Property-based tests of the why-query engine invariants: MCS
+//! satisfiability and maximality, differential complementarity, rewriting
+//! soundness — checked over randomly generated small graphs and queries.
+
+use proptest::prelude::*;
+use whyquery::core::subgraph::{DiscoverMcs, McsConfig, PathStrategy};
+use whyquery::core::DifferentialGraph;
+use whyquery::prelude::*;
+use whyquery::query::{QEid, QVid, QueryEdge, QueryVertex};
+
+/// Build a small random data graph: `n` vertices with a type out of three,
+/// edges from the pair list, one edge type out of two.
+fn build_graph(n: usize, types: &[u8], pairs: &[(u8, u8, bool)]) -> PropertyGraph {
+    let mut g = PropertyGraph::new();
+    let type_names = ["red", "green", "blue"];
+    let vs: Vec<_> = (0..n)
+        .map(|i| {
+            g.add_vertex([
+                ("type", Value::str(type_names[types[i % types.len()] as usize % 3])),
+                ("x", Value::Int(i as i64)),
+            ])
+        })
+        .collect();
+    for &(a, b, t) in pairs {
+        let (a, b) = (a as usize % n, b as usize % n);
+        g.add_edge(vs[a], vs[b], if t { "link" } else { "flow" }, []);
+    }
+    g
+}
+
+/// Build a small random connected path query over the same vocabulary.
+fn build_query(len: usize, types: &[u8], edge_types: &[bool]) -> PatternQuery {
+    let type_names = ["red", "green", "blue"];
+    let mut q = PatternQuery::named("pq");
+    let mut prev: Option<QVid> = None;
+    for i in 0..len {
+        let v = q.add_vertex(QueryVertex::with([Predicate::eq(
+            "type",
+            type_names[types[i % types.len()] as usize % 3],
+        )]));
+        if let Some(p) = prev {
+            q.add_edge(QueryEdge::typed(
+                p,
+                v,
+                if edge_types[i % edge_types.len()] {
+                    "link"
+                } else {
+                    "flow"
+                },
+            ));
+        }
+        prev = Some(v);
+    }
+    q
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The MCS is always satisfiable, and the differential graph is exactly
+    /// the complement of the MCS in the original query.
+    #[test]
+    fn mcs_satisfiable_and_differential_complementary(
+        n in 3usize..8,
+        vtypes in prop::collection::vec(0u8..3, 8),
+        pairs in prop::collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 2..12),
+        qlen in 2usize..5,
+        qtypes in prop::collection::vec(0u8..3, 5),
+        qetypes in prop::collection::vec(any::<bool>(), 5),
+    ) {
+        let g = build_graph(n, &vtypes, &pairs);
+        let q = build_query(qlen, &qtypes, &qetypes);
+        let expl = DiscoverMcs::new(&g).run(&q);
+
+        // complementarity: every query element is either in the MCS or in
+        // the differential, never both
+        let diff = DifferentialGraph::between(&q, &expl.mcs);
+        for v in q.vertex_ids() {
+            let in_mcs = expl.mcs.vertex(v).is_some();
+            let in_diff = diff.vertex_ids().any(|x| x == v);
+            prop_assert!(in_mcs ^ in_diff);
+        }
+        for e in q.edge_ids() {
+            let in_mcs = expl.mcs.edge(e).is_some();
+            let in_diff = diff.edge_ids().any(|x| x == e);
+            prop_assert!(in_mcs ^ in_diff);
+        }
+
+        // satisfiability: a non-empty MCS matches something
+        if expl.mcs.num_vertices() > 0 {
+            prop_assert!(count_matches(&g, &expl.mcs, Some(1)) > 0);
+        }
+
+        // consistency: if the query itself succeeds, the differential is
+        // empty and vice versa
+        let c = count_matches(&g, &q, Some(1));
+        if c > 0 {
+            prop_assert!(expl.differential.is_empty());
+        } else {
+            prop_assert!(!expl.differential.is_empty());
+        }
+    }
+
+    /// Exhaustive DISCOVERMCS never finds a smaller MCS than the
+    /// single-path approximation.
+    #[test]
+    fn exhaustive_dominates_single_path(
+        n in 3usize..8,
+        vtypes in prop::collection::vec(0u8..3, 8),
+        pairs in prop::collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 2..12),
+        qlen in 2usize..5,
+        qtypes in prop::collection::vec(0u8..3, 5),
+        qetypes in prop::collection::vec(any::<bool>(), 5),
+    ) {
+        let g = build_graph(n, &vtypes, &pairs);
+        let q = build_query(qlen, &qtypes, &qetypes);
+        let exhaustive = DiscoverMcs::new(&g)
+            .with_config(McsConfig { max_paths: 512, ..McsConfig::default() })
+            .run(&q);
+        let single = DiscoverMcs::new(&g)
+            .with_config(McsConfig {
+                strategy: PathStrategy::SingleSelectivity,
+                ..McsConfig::default()
+            })
+            .run(&q);
+        prop_assert!(exhaustive.mcs.num_edges() >= single.mcs.num_edges());
+    }
+
+    /// Whatever the engine returns as a rewrite really satisfies the goal
+    /// on re-execution.
+    #[test]
+    fn rewrites_are_sound(
+        n in 4usize..8,
+        vtypes in prop::collection::vec(0u8..3, 8),
+        pairs in prop::collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 3..14),
+        qlen in 2usize..4,
+        qtypes in prop::collection::vec(0u8..3, 5),
+        qetypes in prop::collection::vec(any::<bool>(), 5),
+    ) {
+        let g = build_graph(n, &vtypes, &pairs);
+        let q = build_query(qlen, &qtypes, &qetypes);
+        let engine = WhyEngine::new(&g);
+        let goal = CardinalityGoal::NonEmpty;
+        if let Some(rw) = engine.rewrite(&q, goal) {
+            let c = count_matches(&g, &rw.query, None);
+            prop_assert_eq!(c, rw.cardinality);
+            prop_assert!(goal.satisfied(c));
+        }
+    }
+
+    /// The brute-force check of MCS maximality: no strictly larger
+    /// connected subquery (by edge count, over edge subsets) is satisfiable.
+    #[test]
+    fn mcs_edge_count_is_maximal(
+        n in 3usize..7,
+        vtypes in prop::collection::vec(0u8..3, 8),
+        pairs in prop::collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 2..10),
+        qtypes in prop::collection::vec(0u8..3, 4),
+        qetypes in prop::collection::vec(any::<bool>(), 4),
+    ) {
+        let g = build_graph(n, &vtypes, &pairs);
+        let q = build_query(3, &qtypes, &qetypes); // 3 vertices, 2 edges
+        let expl = DiscoverMcs::new(&g)
+            .with_config(McsConfig { max_paths: 512, ..McsConfig::default() })
+            .run(&q);
+        // enumerate all edge subsets (the query has ≤ 2 edges)
+        let eids: Vec<QEid> = q.edge_ids().collect();
+        let mut best = 0usize;
+        for mask in 0..(1u32 << eids.len()) {
+            let subset: Vec<QEid> = eids
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &e)| e)
+                .collect();
+            let sub = q.edge_subquery(&subset);
+            if sub.num_vertices() == 0 {
+                continue;
+            }
+            if sub.is_connected() && count_matches(&g, &sub, Some(1)) > 0 {
+                best = best.max(subset.len());
+            }
+        }
+        prop_assert_eq!(expl.mcs.num_edges(), best);
+    }
+}

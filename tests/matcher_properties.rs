@@ -1,0 +1,219 @@
+//! Property-based verification of the matching engine against a
+//! brute-force reference: on small random graphs and queries, the
+//! backtracking matcher must produce exactly the assignments a naive
+//! enumerate-all-mappings oracle accepts.
+
+use proptest::prelude::*;
+use whyquery::graph::{EdgeId, PropertyGraph, VertexId};
+use whyquery::matcher::{count_matches, find_matches, ResultGraph};
+use whyquery::prelude::*;
+use whyquery::query::{QEid, QVid, QueryEdge, QueryVertex};
+
+fn build_graph(n: usize, types: &[u8], pairs: &[(u8, u8, bool)]) -> PropertyGraph {
+    let names = ["red", "green", "blue"];
+    let mut g = PropertyGraph::new();
+    let vs: Vec<_> = (0..n)
+        .map(|i| g.add_vertex([("type", Value::str(names[types[i % types.len()] as usize % 3]))]))
+        .collect();
+    for &(a, b, t) in pairs {
+        g.add_edge(
+            vs[a as usize % n],
+            vs[b as usize % n],
+            if t { "link" } else { "flow" },
+            [],
+        );
+    }
+    g
+}
+
+fn build_query(len: usize, types: &[u8], etypes: &[bool], undirected: bool) -> PatternQuery {
+    let names = ["red", "green", "blue"];
+    let mut q = PatternQuery::new();
+    let mut prev: Option<QVid> = None;
+    for i in 0..len {
+        let v = q.add_vertex(QueryVertex::with([Predicate::eq(
+            "type",
+            names[types[i % types.len()] as usize % 3],
+        )]));
+        if let Some(p) = prev {
+            let mut e = QueryEdge::typed(p, v, if etypes[i % etypes.len()] { "link" } else { "flow" });
+            if undirected {
+                e.directions = DirectionSet::BOTH;
+            }
+            q.add_edge(e);
+        }
+        prev = Some(v);
+    }
+    q
+}
+
+/// Brute force: enumerate every injective vertex assignment and every
+/// injective choice of data edges per query edge; count accepted mappings.
+fn brute_force_count(g: &PropertyGraph, q: &PatternQuery) -> u64 {
+    let qvs: Vec<QVid> = q.vertex_ids().collect();
+    let qes: Vec<QEid> = q.edge_ids().collect();
+    let dvs: Vec<VertexId> = g.vertex_ids().collect();
+    let mut count = 0u64;
+    let mut assignment: Vec<VertexId> = Vec::new();
+    enumerate_vertices(
+        g,
+        q,
+        &qvs,
+        &qes,
+        &dvs,
+        &mut assignment,
+        &mut count,
+    );
+    count
+}
+
+fn enumerate_vertices(
+    g: &PropertyGraph,
+    q: &PatternQuery,
+    qvs: &[QVid],
+    qes: &[QEid],
+    dvs: &[VertexId],
+    assignment: &mut Vec<VertexId>,
+    count: &mut u64,
+) {
+    if assignment.len() == qvs.len() {
+        // all vertices placed: check predicates already done; now count
+        // injective edge assignments
+        *count += count_edge_assignments(g, q, qvs, qes, assignment, 0, &mut Vec::new());
+        return;
+    }
+    let qv = qvs[assignment.len()];
+    let vx = q.vertex(qv).expect("live");
+    for &dv in dvs {
+        if assignment.contains(&dv) {
+            continue;
+        }
+        let ok = vx
+            .predicates
+            .iter()
+            .all(|p| p.matches(g.attr_symbol(&p.attr).and_then(|s| g.vertex_attr(dv, s))));
+        if !ok {
+            continue;
+        }
+        assignment.push(dv);
+        enumerate_vertices(g, q, qvs, qes, dvs, assignment, count);
+        assignment.pop();
+    }
+}
+
+fn count_edge_assignments(
+    g: &PropertyGraph,
+    q: &PatternQuery,
+    qvs: &[QVid],
+    qes: &[QEid],
+    assignment: &[VertexId],
+    idx: usize,
+    used: &mut Vec<EdgeId>,
+) -> u64 {
+    if idx == qes.len() {
+        return 1;
+    }
+    let qe = q.edge(qes[idx]).expect("live");
+    let ms = assignment[qvs.iter().position(|&v| v == qe.src).unwrap()];
+    let mt = assignment[qvs.iter().position(|&v| v == qe.dst).unwrap()];
+    let mut total = 0u64;
+    for de in g.edge_ids() {
+        if used.contains(&de) {
+            continue;
+        }
+        let ed = g.edge(de);
+        let fwd = qe.directions.forward && ed.src == ms && ed.dst == mt;
+        let bwd = qe.directions.backward && ed.src == mt && ed.dst == ms;
+        if !fwd && !bwd {
+            continue;
+        }
+        let ty_ok = qe.types.is_empty()
+            || qe
+                .types
+                .iter()
+                .any(|t| g.type_symbol(t) == Some(ed.ty));
+        if !ty_ok {
+            continue;
+        }
+        let preds_ok = qe
+            .predicates
+            .iter()
+            .all(|p| p.matches(g.attr_symbol(&p.attr).and_then(|s| g.edge_attr(de, s))));
+        if !preds_ok {
+            continue;
+        }
+        used.push(de);
+        total += count_edge_assignments(g, q, qvs, qes, assignment, idx + 1, used);
+        used.pop();
+    }
+    total
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matcher_agrees_with_brute_force(
+        n in 2usize..6,
+        vtypes in prop::collection::vec(0u8..3, 6),
+        pairs in prop::collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 1..10),
+        qlen in 1usize..4,
+        qtypes in prop::collection::vec(0u8..3, 4),
+        qetypes in prop::collection::vec(any::<bool>(), 4),
+        undirected in any::<bool>(),
+    ) {
+        let g = build_graph(n, &vtypes, &pairs);
+        let q = build_query(qlen, &qtypes, &qetypes, undirected);
+        let expected = brute_force_count(&g, &q);
+        let got = count_matches(&g, &q, None);
+        prop_assert_eq!(got, expected, "matcher vs brute force");
+        // find() agrees with count()
+        let found = find_matches(&g, &q, None);
+        prop_assert_eq!(found.len() as u64, expected);
+        // every found match is valid and distinct
+        let mut seen: Vec<&ResultGraph> = Vec::new();
+        for r in &found {
+            prop_assert!(validate(&g, &q, r));
+            prop_assert!(!seen.contains(&r));
+            seen.push(r);
+        }
+    }
+}
+
+/// Independent validity check of a result graph.
+fn validate(g: &PropertyGraph, q: &PatternQuery, r: &ResultGraph) -> bool {
+    // every live query element bound
+    for v in q.vertex_ids() {
+        let Some(dv) = r.vertex(v) else { return false };
+        let vx = q.vertex(v).expect("live");
+        if !vx
+            .predicates
+            .iter()
+            .all(|p| p.matches(g.attr_symbol(&p.attr).and_then(|s| g.vertex_attr(dv, s))))
+        {
+            return false;
+        }
+    }
+    for e in q.edge_ids() {
+        let Some(de) = r.edge(e) else { return false };
+        let qe = q.edge(e).expect("live");
+        let ed = g.edge(de);
+        let (ms, mt) = (r.vertex(qe.src).unwrap(), r.vertex(qe.dst).unwrap());
+        let fwd = qe.directions.forward && ed.src == ms && ed.dst == mt;
+        let bwd = qe.directions.backward && ed.src == mt && ed.dst == ms;
+        if !fwd && !bwd {
+            return false;
+        }
+    }
+    // injectivity
+    let mut vs: Vec<_> = r.vertex_bindings().iter().map(|&(_, v)| v).collect();
+    vs.sort();
+    vs.dedup();
+    if vs.len() != r.num_vertices() {
+        return false;
+    }
+    let mut es: Vec<_> = r.edge_bindings().iter().map(|&(_, e)| e).collect();
+    es.sort();
+    es.dedup();
+    es.len() == r.num_edges()
+}

@@ -1,0 +1,223 @@
+//! Property-based tests of the comparison metrics (§3.2) — the invariants
+//! the thesis's evaluation relies on, checked with proptest over randomly
+//! generated queries, modifications, and assignment matrices.
+
+use proptest::prelude::*;
+use whyquery::graph::Value;
+use whyquery::metrics::{
+    cardinality_deviation, cardinality_distance, hungarian, result_graph_distance,
+    syntactic_distance,
+};
+use whyquery::query::{
+    DirectionSet, GraphMod, Interval, PatternQuery, Predicate, QEid, QVid, QueryEdge,
+    QueryVertex, Target,
+};
+
+// ---------------------------------------------------------------------
+// generators
+// ---------------------------------------------------------------------
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-50i64..50).prop_map(Value::Int),
+        "[a-d]{1,3}".prop_map(Value::str),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+fn arb_interval() -> impl Strategy<Value = Interval> {
+    prop_oneof![
+        prop::collection::vec(arb_value(), 1..4).prop_map(Interval::OneOf),
+        (-50.0f64..0.0, 0.0f64..50.0).prop_map(|(lo, hi)| Interval::between(lo, hi)),
+    ]
+}
+
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    ("[a-c]{1}", arb_interval()).prop_map(|(attr, interval)| Predicate { attr, interval })
+}
+
+prop_compose! {
+    fn arb_query()(
+        vertex_preds in prop::collection::vec(prop::collection::vec(arb_predicate(), 0..3), 2..5),
+        edge_specs in prop::collection::vec((0usize..4, 0usize..4, 0usize..3), 1..5),
+    ) -> PatternQuery {
+        let mut q = PatternQuery::named("arb");
+        let n = vertex_preds.len();
+        let mut vids = Vec::new();
+        for preds in vertex_preds {
+            vids.push(q.add_vertex(QueryVertex::with(preds)));
+        }
+        for (s, d, ty) in edge_specs {
+            let src = vids[s % n];
+            let dst = vids[d % n];
+            q.add_edge(QueryEdge {
+                src,
+                dst,
+                types: vec![format!("t{ty}")],
+                directions: DirectionSet::FORWARD,
+                predicates: vec![],
+                label: None,
+            });
+        }
+        q
+    }
+}
+
+/// A random applicable modification of `q` (None if the pick is invalid).
+fn apply_random_mod(q: &PatternQuery, pick: usize) -> Option<PatternQuery> {
+    let vids: Vec<QVid> = q.vertex_ids().collect();
+    let eids: Vec<QEid> = q.edge_ids().collect();
+    let mods: Vec<GraphMod> = vids
+        .iter()
+        .flat_map(|&v| {
+            q.vertex(v)
+                .unwrap()
+                .predicates
+                .iter()
+                .map(move |p| GraphMod::RemovePredicate {
+                    target: Target::Vertex(v),
+                    attr: p.attr.clone(),
+                })
+        })
+        .chain(eids.iter().map(|&e| GraphMod::RemoveEdge(e)))
+        .chain(vids.iter().map(|&v| GraphMod::RemoveVertex(v)))
+        .collect();
+    if mods.is_empty() {
+        return None;
+    }
+    let m = &mods[pick % mods.len()];
+    m.applied(q).ok().map(|(next, _)| next)
+}
+
+// ---------------------------------------------------------------------
+// syntactic distance
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn syntactic_distance_zero_on_self(q in arb_query()) {
+        prop_assert!(syntactic_distance(&q, &q).abs() < 1e-12);
+    }
+
+    #[test]
+    fn syntactic_distance_symmetric(q in arb_query(), pick in any::<usize>()) {
+        if let Some(modified) = apply_random_mod(&q, pick) {
+            let a = syntactic_distance(&q, &modified);
+            let b = syntactic_distance(&modified, &q);
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn syntactic_distance_bounded(q in arb_query(), pick in any::<usize>()) {
+        if let Some(modified) = apply_random_mod(&q, pick) {
+            let d = syntactic_distance(&q, &modified);
+            prop_assert!((0.0..=1.0).contains(&d));
+            prop_assert!(d > 0.0, "a modification must be visible");
+        }
+    }
+
+    #[test]
+    fn interval_distance_bounded_and_symmetric(a in arb_interval(), b in arb_interval()) {
+        let d1 = a.distance(&b);
+        let d2 = b.distance(&a);
+        prop_assert!((0.0..=1.0).contains(&d1));
+        prop_assert!((d1 - d2).abs() < 1e-12);
+        prop_assert!(a.distance(&a).abs() < 1e-12);
+    }
+}
+
+// ---------------------------------------------------------------------
+// cardinality distance
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cardinality_distance_properties(c1 in 0u64..10_000, c2 in 0u64..10_000, thr in 0u64..10_000) {
+        // symmetry
+        prop_assert_eq!(cardinality_distance(c1, c2, thr), cardinality_distance(c2, c1, thr));
+        // identity
+        prop_assert_eq!(cardinality_distance(c1, c1, thr), 0);
+        // definition
+        let expected = cardinality_deviation(c1, thr).abs_diff(cardinality_deviation(c2, thr));
+        prop_assert_eq!(cardinality_distance(c1, c2, thr), expected);
+    }
+}
+
+// ---------------------------------------------------------------------
+// hungarian assignment
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hungarian_beats_or_matches_greedy(
+        n in 1usize..6,
+        cells in prop::collection::vec(0.0f64..1.0, 36),
+    ) {
+        let cost: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| cells[i * 6 + j]).collect())
+            .collect();
+        let (assignment, total) = hungarian(&cost);
+        // assignment is a permutation
+        let mut seen = vec![false; n];
+        for &c in &assignment {
+            prop_assert!(!seen[c]);
+            seen[c] = true;
+        }
+        // total matches the assignment
+        let recomputed: f64 = assignment.iter().enumerate().map(|(i, &j)| cost[i][j]).sum();
+        prop_assert!((total - recomputed).abs() < 1e-9);
+        // greedy row-wise assignment can never be cheaper
+        let mut used = vec![false; n];
+        let mut greedy = 0.0;
+        for row in &cost {
+            let (j, c) = row
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| !used[*j])
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap();
+            used[j] = true;
+            greedy += *c;
+        }
+        prop_assert!(total <= greedy + 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------
+// result distance
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn result_graph_distance_metric_properties(
+        vs1 in prop::collection::vec((0u32..5, 0u32..20), 1..5),
+        vs2 in prop::collection::vec((0u32..5, 0u32..20), 1..5),
+    ) {
+        use whyquery::matcher::ResultGraph;
+        use whyquery::graph::VertexId;
+        let build = |vs: &[(u32, u32)]| {
+            let mut r = ResultGraph::new();
+            for &(q, d) in vs {
+                if r.vertex(QVid(q)).is_none() {
+                    r.bind_vertex(QVid(q), VertexId(d));
+                }
+            }
+            r
+        };
+        let r1 = build(&vs1);
+        let r2 = build(&vs2);
+        let d = result_graph_distance(&r1, &r2);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert!((result_graph_distance(&r2, &r1) - d).abs() < 1e-12);
+        prop_assert!(result_graph_distance(&r1, &r1).abs() < 1e-12);
+    }
+}
