@@ -1,9 +1,17 @@
 //! Micro-benchmarks of the pattern-matching engine.
+//!
+//! Each LDBC query pattern is measured twice: through the optimized
+//! slot-based engine and through the retained naive reference engine
+//! (`clone`-per-binding, the pre-optimization behavior). The committed
+//! `BENCH_matcher.json` snapshot is produced from this bench via the
+//! `WHYQ_BENCH_JSON` environment variable.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use whyq_datagen::{ldbc_graph, ldbc_queries, LdbcConfig};
-use whyq_matcher::{count_matches, find_matches, Matcher};
+use whyq_matcher::{
+    count_matches, count_matches_naive, find_matches, find_matches_naive, MatchOptions, Matcher,
+};
 
 fn bench_matcher(c: &mut Criterion) {
     let g = ldbc_graph(LdbcConfig::default());
@@ -16,14 +24,26 @@ fn bench_matcher(c: &mut Criterion) {
         group.bench_function(format!("count/{name}"), |b| {
             b.iter(|| black_box(count_matches(&g, q, None)))
         });
+        group.bench_function(format!("count-naive/{name}"), |b| {
+            b.iter(|| black_box(count_matches_naive(&g, q, MatchOptions::default())))
+        });
     }
     let q1 = &queries[0];
     group.bench_function("count-indexed/LDBC QUERY 1", |b| {
         let m = Matcher::new(&g).with_index("type");
-        b.iter(|| black_box(m.count(q1, None)))
+        b.iter(|| black_box(m.count(q1, MatchOptions::default())))
     });
     group.bench_function("find-limit100/LDBC QUERY 3", |b| {
         b.iter(|| black_box(find_matches(&g, &queries[2], Some(100))))
+    });
+    group.bench_function("find-limit100-naive/LDBC QUERY 3", |b| {
+        b.iter(|| {
+            black_box(find_matches_naive(
+                &g,
+                &queries[2],
+                MatchOptions::limited(100),
+            ))
+        })
     });
     group.finish();
 }

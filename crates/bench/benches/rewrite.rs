@@ -31,12 +31,7 @@ fn bench_rewrite(c: &mut Criterion) {
     let q3 = &ldbc_queries()[2];
     let c1 = count_matches(&g, q3, None);
     group.bench_function("fine/atmost-half/Q3", |b| {
-        b.iter(|| {
-            black_box(
-                TraverseSearchTree::new(&g)
-                    .run(q3, CardinalityGoal::AtMost(c1 / 2)),
-            )
-        })
+        b.iter(|| black_box(TraverseSearchTree::new(&g).run(q3, CardinalityGoal::AtMost(c1 / 2))))
     });
     group.bench_function("fine/no-prefix-reuse/Q3", |b| {
         b.iter(|| {

@@ -36,7 +36,12 @@ pub fn b1(g: &PropertyGraph, tsv: bool) {
         };
         let (session, model) = rewriter.session(&q, &config, &user, 0.7, 6);
         for (i, round) in session.rounds.iter().enumerate() {
-            let mods: Vec<String> = round.explanation.mods.iter().map(|m| m.to_string()).collect();
+            let mods: Vec<String> = round
+                .explanation
+                .mods
+                .iter()
+                .map(|m| m.to_string())
+                .collect();
             t.row(cells![
                 q.name.clone().unwrap_or_default(),
                 i + 1,
@@ -63,7 +68,17 @@ pub fn b1(g: &PropertyGraph, tsv: bool) {
 pub fn b2(g: &PropertyGraph, tsv: bool) {
     let mut t = Table::new(
         "App B.2 — resource consumption of why-empty rewriting (6-round session)",
-        &["query", "rounds", "cache entries", "lookups", "hits", "hit rate", "approx bytes", "stat lookups", "stat misses"],
+        &[
+            "query",
+            "rounds",
+            "cache entries",
+            "lookups",
+            "hits",
+            "hit rate",
+            "approx bytes",
+            "stat lookups",
+            "stat misses",
+        ],
     );
     // hard (two-failure) queries force deeper searches, and the interactive
     // session re-enters the search per rejected proposal — the regime where
@@ -76,9 +91,7 @@ pub fn b2(g: &PropertyGraph, tsv: bool) {
             ..RelaxConfig::default()
         };
         // a user that accepts nothing: every round is a fresh re-entry
-        let user = SimulatedUser::protecting_vertices(
-            &q.vertex_ids().collect::<Vec<_>>(),
-        );
+        let user = SimulatedUser::protecting_vertices(&q.vertex_ids().collect::<Vec<_>>());
         let (session, _) = rewriter.session(&q, &config, &user, 0.99, 6);
         let cache = rewriter.cache_stats();
         let (lookups, misses) = rewriter.stats().counters();
@@ -88,10 +101,7 @@ pub fn b2(g: &PropertyGraph, tsv: bool) {
             cache.entries,
             cache.lookups,
             cache.hits,
-            format!(
-                "{:.2}",
-                cache.hits as f64 / cache.lookups.max(1) as f64
-            ),
+            format!("{:.2}", cache.hits as f64 / cache.lookups.max(1) as f64),
             cache.approx_bytes,
             lookups,
             misses,
@@ -101,5 +111,7 @@ pub fn b2(g: &PropertyGraph, tsv: bool) {
     if tsv {
         let _ = t.write_tsv();
     }
-    println!("  shape check: cross-round re-derivations hit the cache; statistics lookups >> misses.");
+    println!(
+        "  shape check: cross-round re-derivations hit the cache; statistics lookups >> misses."
+    );
 }

@@ -39,7 +39,11 @@ const EXPERIMENTS: [&str; 20] = [
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let tsv = args.iter().any(|a| a == "--tsv");
-    let ids: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
 
     match ids.first() {
         None | Some(&"list") => {
@@ -64,12 +68,7 @@ fn main() {
     }
 }
 
-fn run(
-    id: &str,
-    ldbc: &whyq_graph::PropertyGraph,
-    dbp: &whyq_graph::PropertyGraph,
-    tsv: bool,
-) {
+fn run(id: &str, ldbc: &whyq_graph::PropertyGraph, dbp: &whyq_graph::PropertyGraph, tsv: bool) {
     let (_, ms) = util::timed(|| match id {
         "tabA.1" => tables::tab_a1(ldbc, tsv),
         "tabA.2" => tables::tab_a2(dbp, tsv),

@@ -70,7 +70,17 @@ pub fn fig3_7(g: &PropertyGraph, tsv: bool) {
     let pools = build_pools(g, 1234);
     let mut t = Table::new(
         "Fig 3.7 — syntactic distances of random explanations (quartiles of the ordered series)",
-        &["query", "C1", "pool", "min", "q25", "median", "q75", "max", "distinct-steps"],
+        &[
+            "query",
+            "C1",
+            "pool",
+            "min",
+            "q25",
+            "median",
+            "q75",
+            "max",
+            "distinct-steps",
+        ],
     );
     for p in &pools {
         let mut series: Vec<f64> = p.explanations.iter().map(|(_, _, s)| *s).collect();
@@ -107,7 +117,9 @@ pub fn fig3_7(g: &PropertyGraph, tsv: bool) {
 pub fn fig3_8(g: &PropertyGraph, tsv: bool) {
     let mut t = Table::new(
         "Fig 3.8 — result distances of random explanations",
-        &["query", "factor", "C_thr", "min", "q25", "median", "q75", "max", "frac@1.0"],
+        &[
+            "query", "factor", "C_thr", "min", "q25", "median", "q75", "max", "frac@1.0",
+        ],
     );
     for (fi, &factor) in CARDINALITY_FACTORS.iter().enumerate() {
         // a fresh pool per factor, like the thesis's per-subfigure pools
@@ -122,8 +134,8 @@ pub fn fig3_8(g: &PropertyGraph, tsv: bool) {
                     result_set_distance(&p.original_results, &results)
                 })
                 .collect();
-            let saturated = series.iter().filter(|&&d| d >= 0.999).count() as f64
-                / series.len().max(1) as f64;
+            let saturated =
+                series.iter().filter(|&&d| d >= 0.999).count() as f64 / series.len().max(1) as f64;
             let (min, q25, med, q75, max) = series_summary(&mut series);
             t.row(cells![
                 p.query.name.clone().unwrap_or_default(),
@@ -149,7 +161,9 @@ pub fn fig3_8(g: &PropertyGraph, tsv: bool) {
 pub fn fig3_9(g: &PropertyGraph, tsv: bool) {
     let mut t = Table::new(
         "Fig 3.9 — cardinality deviations |C_thr - C| of random explanations",
-        &["query", "factor", "C_thr", "min", "q25", "median", "q75", "max", "plateaus"],
+        &[
+            "query", "factor", "C_thr", "min", "q25", "median", "q75", "max", "plateaus",
+        ],
     );
     for (fi, &factor) in CARDINALITY_FACTORS.iter().enumerate() {
         let pools = build_pools(g, 1000 + fi as u64 * 37);

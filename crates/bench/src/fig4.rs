@@ -11,8 +11,8 @@ use crate::util::{timed, Table, CARDINALITY_FACTORS};
 use whyq_core::problem::CardinalityGoal;
 use whyq_core::stats::Statistics;
 use whyq_core::subgraph::traversal::{selectivity_path, user_centric_path};
-use whyq_core::user::UserPreferences;
 use whyq_core::subgraph::{BoundedMcs, DiscoverMcs, McsConfig, PathStrategy};
+use whyq_core::user::UserPreferences;
 use whyq_datagen::{dbpedia_failing_queries, ldbc_failing_queries, ldbc_path_query, ldbc_queries};
 use whyq_graph::PropertyGraph;
 use whyq_matcher::count_matches;
@@ -22,7 +22,17 @@ use whyq_query::{PatternQuery, Predicate, QueryVertex};
 pub fn disc_ldbc(g: &PropertyGraph, tsv: bool) {
     let mut t = Table::new(
         "Fig 4 (LDBC) — DISCOVERMCS on why-empty queries",
-        &["query", "|Vq|", "|Eq|", "mcs edges", "mcs C", "crossing", "paths", "extends", "ms"],
+        &[
+            "query",
+            "|Vq|",
+            "|Eq|",
+            "mcs edges",
+            "mcs C",
+            "crossing",
+            "paths",
+            "extends",
+            "ms",
+        ],
     );
     let mut queries = ldbc_failing_queries();
     for hops in 1..=4 {
@@ -36,7 +46,9 @@ pub fn disc_ldbc(g: &PropertyGraph, tsv: bool) {
             q.num_edges(),
             expl.mcs.num_edges(),
             expl.mcs_cardinality,
-            expl.crossing_edge.map(|e| e.to_string()).unwrap_or_else(|| "-".into()),
+            expl.crossing_edge
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "-".into()),
             expl.paths_tried,
             expl.extensions,
             format!("{ms:.1}"),
@@ -53,7 +65,17 @@ pub fn disc_ldbc(g: &PropertyGraph, tsv: bool) {
 pub fn disc_dbp(g: &PropertyGraph, tsv: bool) {
     let mut t = Table::new(
         "Fig 4 (DBPEDIA) — DISCOVERMCS on why-empty queries",
-        &["query", "|Vq|", "|Eq|", "mcs edges", "mcs C", "crossing", "paths", "extends", "ms"],
+        &[
+            "query",
+            "|Vq|",
+            "|Eq|",
+            "mcs edges",
+            "mcs C",
+            "crossing",
+            "paths",
+            "extends",
+            "ms",
+        ],
     );
     for q in dbpedia_failing_queries() {
         let (expl, ms) = timed(|| DiscoverMcs::new(g).run(&q));
@@ -63,7 +85,9 @@ pub fn disc_dbp(g: &PropertyGraph, tsv: bool) {
             q.num_edges(),
             expl.mcs.num_edges(),
             expl.mcs_cardinality,
-            expl.crossing_edge.map(|e| e.to_string()).unwrap_or_else(|| "-".into()),
+            expl.crossing_edge
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "-".into()),
             expl.paths_tried,
             expl.extensions,
             format!("{ms:.1}"),
@@ -93,10 +117,21 @@ fn disconnected_variant(base: &PatternQuery) -> PatternQuery {
 pub fn optimizations(g: &PropertyGraph, tsv: bool) {
     let mut t = Table::new(
         "Fig 4 (ablation) — traversal-path strategy x WCC decomposition",
-        &["query", "strategy", "decompose", "mcs edges", "paths", "extends", "ms"],
+        &[
+            "query",
+            "strategy",
+            "decompose",
+            "mcs edges",
+            "paths",
+            "extends",
+            "ms",
+        ],
     );
     let mut queries = ldbc_failing_queries();
-    queries = queries.into_iter().map(|q| disconnected_variant(&q)).collect();
+    queries = queries
+        .into_iter()
+        .map(|q| disconnected_variant(&q))
+        .collect();
     for q in &queries {
         for (strategy, sname) in [
             (PathStrategy::Exhaustive, "exhaustive"),
@@ -132,7 +167,17 @@ pub fn optimizations(g: &PropertyGraph, tsv: bool) {
 pub fn bounded(g: &PropertyGraph, tsv: bool) {
     let mut t = Table::new(
         "Fig 4 (BOUNDEDMCS) — bounded MCS per cardinality factor",
-        &["query", "C1", "factor", "goal", "mcs edges", "mcs C", "crossing", "extends", "ms"],
+        &[
+            "query",
+            "C1",
+            "factor",
+            "goal",
+            "mcs edges",
+            "mcs C",
+            "crossing",
+            "extends",
+            "ms",
+        ],
     );
     for q in ldbc_queries() {
         let c1 = count_matches(g, &q, None);
@@ -151,7 +196,9 @@ pub fn bounded(g: &PropertyGraph, tsv: bool) {
                 format!("{goal:?}"),
                 expl.mcs.num_edges(),
                 expl.mcs_cardinality,
-                expl.crossing_edge.map(|e| e.to_string()).unwrap_or_else(|| "-".into()),
+                expl.crossing_edge
+                    .map(|e| e.to_string())
+                    .unwrap_or_else(|| "-".into()),
                 expl.extensions,
                 format!("{ms:.1}"),
             ]);
@@ -169,7 +216,14 @@ pub fn bounded(g: &PropertyGraph, tsv: bool) {
 pub fn user_paths(g: &PropertyGraph, tsv: bool) {
     let mut t = Table::new(
         "Fig 4 (user paths) — position of the user's edge of interest in the traversal",
-        &["query", "interesting edge", "pos selectivity-path", "pos user-centric", "rank sel", "rank user"],
+        &[
+            "query",
+            "interesting edge",
+            "pos selectivity-path",
+            "pos user-centric",
+            "rank sel",
+            "rank user",
+        ],
     );
     let stats = Statistics::new(g);
     for q in ldbc_queries() {
@@ -182,7 +236,11 @@ pub fn user_paths(g: &PropertyGraph, tsv: bool) {
         let sel = selectivity_path(&q, &component, &stats);
         let user = user_centric_path(&q, &component, &prefs, &stats);
         let pos = |edges: &[whyq_query::QEid]| {
-            edges.iter().position(|&e| e == interesting).map(|p| p + 1).unwrap_or(0)
+            edges
+                .iter()
+                .position(|&e| e == interesting)
+                .map(|p| p + 1)
+                .unwrap_or(0)
         };
         t.row(cells![
             q.name.clone().unwrap_or_default(),
@@ -197,5 +255,7 @@ pub fn user_paths(g: &PropertyGraph, tsv: bool) {
     if tsv {
         let _ = t.write_tsv();
     }
-    println!("  shape check: the user-centric path moves the interesting edge to the front (rank up).");
+    println!(
+        "  shape check: the user-centric path moves the interesting edge to the front (rank up)."
+    );
 }

@@ -30,7 +30,16 @@ const PRIORITIES: [PriorityFn; 7] = [
 pub fn priorities(ldbc: &PropertyGraph, dbp: &PropertyGraph, tsv: bool) {
     let mut t = Table::new(
         "Fig 5 (priorities) — executed candidates until first non-empty rewrite",
-        &["data", "query", "priority", "executed", "generated", "found", "syn-dist", "ms"],
+        &[
+            "data",
+            "query",
+            "priority",
+            "executed",
+            "generated",
+            "found",
+            "syn-dist",
+            "ms",
+        ],
     );
     let workloads: Vec<(&str, &PropertyGraph, Vec<whyq_query::PatternQuery>)> = vec![
         ("LDBC", ldbc, ldbc_failing_queries()),
@@ -79,7 +88,11 @@ pub fn convergence(g: &PropertyGraph, tsv: bool) {
     let rewriter = CoarseRewriter::new(g);
     let hard = ldbc_hard_failing_queries();
     let q = &hard[0];
-    for p in [PriorityFn::Random(99), PriorityFn::MinSyntactic, PriorityFn::Path1PlusInduced] {
+    for p in [
+        PriorityFn::Random(99),
+        PriorityFn::MinSyntactic,
+        PriorityFn::Path1PlusInduced,
+    ] {
         let config = RelaxConfig {
             priority: p,
             max_executed: 400,
@@ -107,7 +120,13 @@ pub fn convergence(g: &PropertyGraph, tsv: bool) {
 pub fn icc(ldbc: &PropertyGraph, dbp: &PropertyGraph, tsv: bool) {
     let mut t = Table::new(
         "Fig 5 (icc) — avg-path1 vs induced-change vs combination",
-        &["data", "query", "avg-path1", "induced-change", "path1+induced"],
+        &[
+            "data",
+            "query",
+            "avg-path1",
+            "induced-change",
+            "path1+induced",
+        ],
     );
     let workloads: Vec<(&str, &PropertyGraph, Vec<whyq_query::PatternQuery>)> = vec![
         ("LDBC", ldbc, ldbc_hard_failing_queries()),
@@ -154,7 +173,14 @@ pub fn icc(ldbc: &PropertyGraph, dbp: &PropertyGraph, tsv: bool) {
 pub fn user(g: &PropertyGraph, tsv: bool) {
     let mut t = Table::new(
         "Fig 5 (user) — rating-guided rewriting (simulated user)",
-        &["query", "lambda", "rounds", "accepted", "first rating", "final rating"],
+        &[
+            "query",
+            "lambda",
+            "rounds",
+            "accepted",
+            "first rating",
+            "final rating",
+        ],
     );
     let rewriter = CoarseRewriter::new(g);
     for q in ldbc_failing_queries() {
@@ -180,8 +206,11 @@ pub fn user(g: &PropertyGraph, tsv: bool) {
                     .accepted
                     .map(|i| (i + 1).to_string())
                     .unwrap_or_else(|| "-".into()),
-                first.map(|r| format!("{r:.2}")).unwrap_or_else(|| "-".into()),
-                last.map(|r| format!("{r:.2}")).unwrap_or_else(|| "-".into()),
+                first
+                    .map(|r| format!("{r:.2}"))
+                    .unwrap_or_else(|| "-".into()),
+                last.map(|r| format!("{r:.2}"))
+                    .unwrap_or_else(|| "-".into()),
             ]);
         }
     }
@@ -189,7 +218,9 @@ pub fn user(g: &PropertyGraph, tsv: bool) {
     if tsv {
         let _ = t.write_tsv();
     }
-    println!("  shape check: the preference model (lambda>0) accepts in no more rounds than without.");
+    println!(
+        "  shape check: the preference model (lambda>0) accepts in no more rounds than without."
+    );
 }
 
 /// §5.2 — cardinality-estimation quality: the min-edge bound and the
@@ -201,7 +232,15 @@ pub fn estimates(ldbc: &PropertyGraph, dbp: &PropertyGraph, tsv: bool) {
 
     let mut t = Table::new(
         "Fig 5 (estimates) — cardinality estimation quality (q-error)",
-        &["data", "query", "true C", "min-edge est", "paths(n) est", "qerr min-edge", "qerr paths(n)"],
+        &[
+            "data",
+            "query",
+            "true C",
+            "min-edge est",
+            "paths(n) est",
+            "qerr min-edge",
+            "qerr paths(n)",
+        ],
     );
     let qerr = |est: f64, truth: f64| -> f64 {
         if est <= 0.0 || truth <= 0.0 {

@@ -37,7 +37,9 @@ fn goals_for(c1: u64) -> Vec<(f64, CardinalityGoal)> {
 pub fn baselines(g: &PropertyGraph, tsv: bool) {
     let mut t = Table::new(
         "Fig 6 (baselines) — executed candidates until the goal is met",
-        &["query", "factor", "goal", "method", "executed", "found", "best dev", "ms"],
+        &[
+            "query", "factor", "goal", "method", "executed", "found", "best dev", "ms",
+        ],
     );
     let domains = AttributeDomains::build(g, 256);
     for q in ldbc_queries() {
@@ -96,7 +98,9 @@ pub fn baselines(g: &PropertyGraph, tsv: bool) {
 pub fn topology(g: &PropertyGraph, tsv: bool) {
     let mut t = Table::new(
         "Fig 6 (topology) — fine-grained rewriting with and without topology ops",
-        &["query", "factor", "topology", "executed", "found", "best dev", "mods", "extends"],
+        &[
+            "query", "factor", "topology", "executed", "found", "best dev", "mods", "extends",
+        ],
     );
     for q in ldbc_queries() {
         let c1 = count_matches(g, &q, None);

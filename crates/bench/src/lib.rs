@@ -7,9 +7,9 @@
 
 pub mod appendix;
 pub mod fig3;
-mod smoke;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+mod smoke;
 pub mod tables;
 pub mod util;

@@ -37,7 +37,14 @@ pub fn tab_a1(g: &PropertyGraph, tsv: bool) {
 
     let mut t = Table::new(
         "Table A.1b — LDBC queries",
-        &["query", "|Vq|", "|Eq|", "constraints", "C1 (measured)", "C1 (paper, SF1)"],
+        &[
+            "query",
+            "|Vq|",
+            "|Eq|",
+            "constraints",
+            "C1 (measured)",
+            "C1 (paper, SF1)",
+        ],
     );
     for (i, q) in ldbc_queries().iter().enumerate() {
         t.row(cells![
@@ -54,7 +61,9 @@ pub fn tab_a1(g: &PropertyGraph, tsv: bool) {
         let _ = t.write_tsv();
     }
     println!("  note: absolute counts are scale-dependent; the evaluation applies the same");
-    println!("  cardinality *factors* (0.2/0.5/2/5) relative to the measured C1, as the thesis does.");
+    println!(
+        "  cardinality *factors* (0.2/0.5/2/5) relative to the measured C1, as the thesis does."
+    );
 }
 
 /// Table A.2 — the DBpedia data set and its queries.

@@ -52,7 +52,8 @@ impl Table {
 
     /// Append one row (anything displayable).
     pub fn row(&mut self, cells: Vec<Box<dyn Display>>) {
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
     }
 
     /// Append a row of ready-made strings.

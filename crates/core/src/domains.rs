@@ -97,7 +97,8 @@ impl AttributeDomains {
                     .push(val.clone());
             }
         }
-        let mut edge_types: Vec<String> = g.edge_types().iter().map(|(_, n)| n.to_string()).collect();
+        let mut edge_types: Vec<String> =
+            g.edge_types().iter().map(|(_, n)| n.to_string()).collect();
         edge_types.sort();
         AttributeDomains {
             vertex_attrs: vertex_attrs
@@ -186,7 +187,10 @@ mod tests {
         assert_eq!(ages.max, Some(30.0));
         let since = d.edge_attr("since").unwrap();
         assert_eq!(since.values.len(), 1);
-        assert_eq!(d.edge_types(), &["knows".to_string(), "livesIn".to_string()]);
+        assert_eq!(
+            d.edge_types(),
+            &["knows".to_string(), "livesIn".to_string()]
+        );
         assert!(d.vertex_attr("nope").is_none());
     }
 

@@ -17,7 +17,7 @@ use crate::problem::{CardinalityGoal, WhyProblem};
 use crate::relax::{CoarseRewriter, RelaxConfig};
 use crate::subgraph::{BoundedMcs, DiscoverMcs, McsConfig};
 use whyq_graph::PropertyGraph;
-use whyq_matcher::Matcher;
+use whyq_matcher::{MatchOptions, Matcher};
 use whyq_query::PatternQuery;
 
 /// A complete diagnosis: classification plus both explanation kinds.
@@ -37,6 +37,9 @@ pub struct Diagnosis {
 /// The why-query engine bound to one data graph.
 pub struct WhyEngine<'g> {
     g: &'g PropertyGraph,
+    /// Index-backed matcher reused across every cardinality measurement
+    /// (the scratch arena and the attribute index are built exactly once).
+    matcher: Matcher<'g>,
     /// Cap used when measuring cardinalities.
     pub count_cap: u64,
     /// Configuration of the subgraph-based algorithms.
@@ -52,6 +55,7 @@ impl<'g> WhyEngine<'g> {
     pub fn new(g: &'g PropertyGraph) -> Self {
         WhyEngine {
             g,
+            matcher: Matcher::new(g).with_index("type"),
             count_cap: 1_000_000,
             mcs_config: McsConfig::default(),
             relax_config: RelaxConfig::default(),
@@ -66,9 +70,8 @@ impl<'g> WhyEngine<'g> {
 
     /// Measured (capped) cardinality of a query.
     pub fn cardinality(&self, q: &PatternQuery) -> u64 {
-        Matcher::new(self.g)
-            .with_index("type")
-            .count(q, Some(self.count_cap))
+        self.matcher
+            .count(q, MatchOptions::counting(Some(self.count_cap)))
     }
 
     /// Classify the why-problem of `q` under `goal`.
@@ -80,7 +83,7 @@ impl<'g> WhyEngine<'g> {
     pub fn why_empty(&self, q: &PatternQuery) -> SubgraphExplanation {
         DiscoverMcs::new(self.g)
             .with_config(self.mcs_config.clone())
-            .run(q)
+            .run_with(q, &self.matcher)
     }
 
     /// Subgraph-based explanation for any cardinality problem.
@@ -93,7 +96,7 @@ impl<'g> WhyEngine<'g> {
             WhyProblem::WhyEmpty => self.why_empty(q),
             _ => BoundedMcs::new(self.g)
                 .with_config(self.mcs_config.clone())
-                .run(q, goal),
+                .run_with(q, goal, &self.matcher),
         }
     }
 
@@ -150,7 +153,10 @@ mod tests {
 
     fn data() -> PropertyGraph {
         let mut g = PropertyGraph::new();
-        let city = g.add_vertex([("type", Value::str("city")), ("name", Value::str("Dresden"))]);
+        let city = g.add_vertex([
+            ("type", Value::str("city")),
+            ("name", Value::str("Dresden")),
+        ]);
         for i in 0..8 {
             let p = g.add_vertex([("type", Value::str("person")), ("age", Value::Int(20 + i))]);
             g.add_edge(p, city, "livesIn", []);
@@ -166,7 +172,10 @@ mod tests {
             .vertex("p", [Predicate::eq("type", "person")])
             .vertex(
                 "c",
-                [Predicate::eq("type", "city"), Predicate::eq("name", "Berlin")],
+                [
+                    Predicate::eq("type", "city"),
+                    Predicate::eq("name", "Berlin"),
+                ],
             )
             .edge("p", "c", "livesIn")
             .build();
@@ -202,7 +211,10 @@ mod tests {
         let q = QueryBuilder::new("narrow")
             .vertex(
                 "p",
-                [Predicate::eq("type", "person"), Predicate::between("age", 20.0, 21.0)],
+                [
+                    Predicate::eq("type", "person"),
+                    Predicate::between("age", 20.0, 21.0),
+                ],
             )
             .vertex("c", [Predicate::eq("type", "city")])
             .edge("p", "c", "livesIn")
@@ -234,7 +246,10 @@ mod tests {
         let q = QueryBuilder::new("none")
             .vertex(
                 "p",
-                [Predicate::eq("type", "person"), Predicate::between("age", 90.0, 95.0)],
+                [
+                    Predicate::eq("type", "person"),
+                    Predicate::between("age", 90.0, 95.0),
+                ],
             )
             .vertex("c", [Predicate::eq("type", "city")])
             .edge("p", "c", "livesIn")

@@ -17,7 +17,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::{HashSet, VecDeque};
 use whyq_graph::PropertyGraph;
-use whyq_matcher::Matcher;
+use whyq_matcher::{MatchOptions, Matcher};
 use whyq_metrics::syntactic_distance;
 use whyq_query::{signature::signature, GraphMod, PatternQuery};
 
@@ -51,7 +51,7 @@ pub fn random_walk(
     let mut trajectory = Vec::new();
 
     let mut current = q.clone();
-    let mut current_c = matcher.count(&current, Some(count_cap));
+    let mut current_c = matcher.count(&current, MatchOptions::counting(Some(count_cap)));
     executed += 1;
     let mut current_mods: Vec<GraphMod> = Vec::new();
     let mut best_dev = goal.deviation(current_c);
@@ -79,7 +79,11 @@ pub fn random_walk(
     let max_attempts = budget.saturating_mul(20).max(1000);
     while executed < budget && attempts < max_attempts {
         attempts += 1;
-        let need_more = current_c == 0 || !matches!(goal.classify(current_c), crate::problem::WhyProblem::WhySoMany);
+        let need_more = current_c == 0
+            || !matches!(
+                goal.classify(current_c),
+                crate::problem::WhyProblem::WhySoMany
+            );
         let candidates = fine_candidates(&current, domains, need_more, true);
         if candidates.is_empty() {
             break;
@@ -93,7 +97,7 @@ pub fn random_walk(
             continue;
         }
         visited.insert(sig);
-        let c = matcher.count(&child, Some(count_cap));
+        let c = matcher.count(&child, MatchOptions::counting(Some(count_cap)));
         executed += 1;
         let dev = goal.deviation(c);
         if dev < best_dev {
@@ -145,7 +149,7 @@ pub fn exhaustive_bfs(
     let mut trajectory = Vec::new();
     let mut best_dev;
 
-    let c0 = matcher.count(q, Some(count_cap));
+    let c0 = matcher.count(q, MatchOptions::counting(Some(count_cap)));
     executed += 1;
     best_dev = goal.deviation(c0);
     trajectory.push((executed, best_dev));
@@ -172,11 +176,8 @@ pub fn exhaustive_bfs(
         if executed >= budget {
             break;
         }
-        let need_more = node_c == 0
-            || !matches!(
-                goal.classify(node_c),
-                crate::problem::WhyProblem::WhySoMany
-            );
+        let need_more =
+            node_c == 0 || !matches!(goal.classify(node_c), crate::problem::WhyProblem::WhySoMany);
         for m in fine_candidates(&node, domains, need_more, true) {
             if executed >= budget {
                 break;
@@ -188,7 +189,7 @@ pub fn exhaustive_bfs(
             if !visited.insert(sig) {
                 continue;
             }
-            let c = matcher.count(&child, Some(count_cap));
+            let c = matcher.count(&child, MatchOptions::counting(Some(count_cap)));
             executed += 1;
             let dev = goal.deviation(c);
             if dev < best_dev {
@@ -244,7 +245,10 @@ mod tests {
         QueryBuilder::new("q")
             .vertex(
                 "p",
-                [Predicate::eq("type", "person"), Predicate::between("age", 24.0, 26.0)],
+                [
+                    Predicate::eq("type", "person"),
+                    Predicate::between("age", 24.0, 26.0),
+                ],
             )
             .vertex("c", [Predicate::eq("type", "city")])
             .edge("p", "c", "livesIn")
@@ -271,8 +275,24 @@ mod tests {
     fn random_walk_is_deterministic_per_seed() {
         let g = data();
         let domains = AttributeDomains::build(&g, 100);
-        let a = random_walk(&g, &narrow_query(), CardinalityGoal::AtLeast(7), 200, 7, &domains, 10_000);
-        let b = random_walk(&g, &narrow_query(), CardinalityGoal::AtLeast(7), 200, 7, &domains, 10_000);
+        let a = random_walk(
+            &g,
+            &narrow_query(),
+            CardinalityGoal::AtLeast(7),
+            200,
+            7,
+            &domains,
+            10_000,
+        );
+        let b = random_walk(
+            &g,
+            &narrow_query(),
+            CardinalityGoal::AtLeast(7),
+            200,
+            7,
+            &domains,
+            10_000,
+        );
         assert_eq!(a.executed, b.executed);
         assert_eq!(a.trajectory, b.trajectory);
     }

@@ -8,9 +8,7 @@
 //! sign of the current cardinality deviation — holistic support in action.
 
 use crate::domains::AttributeDomains;
-use whyq_query::{
-    Direction, DirectionSet, GraphMod, Interval, PatternQuery, Predicate, Target,
-};
+use whyq_query::{Direction, DirectionSet, GraphMod, Interval, PatternQuery, Predicate, Target};
 
 /// Candidate modifications for a node needing **more** results
 /// (relaxations) or **fewer** results (concretizations).
@@ -47,14 +45,13 @@ fn relaxations(q: &PatternQuery, domains: &AttributeDomains, topology: bool) -> 
             } else {
                 Direction::Forward
             };
-            out.push(GraphMod::InsertDirection { edge: e, dir: missing });
+            out.push(GraphMod::InsertDirection {
+                edge: e,
+                dir: missing,
+            });
         }
         // type relaxation: admit one more existing type
-        if let Some(extra) = domains
-            .edge_types()
-            .iter()
-            .find(|t| !ed.types.contains(t))
-        {
+        if let Some(extra) = domains.edge_types().iter().find(|t| !ed.types.contains(t)) {
             if !ed.types.is_empty() {
                 out.push(GraphMod::InsertType {
                     edge: e,
@@ -235,10 +232,7 @@ fn narrow_interval(target: Target, p: &Predicate, out: &mut Vec<GraphMod>) {
     }
 }
 
-fn anchor_predicates(
-    attr: &str,
-    domain: Option<&crate::domains::AttrDomain>,
-) -> Vec<Predicate> {
+fn anchor_predicates(attr: &str, domain: Option<&crate::domains::AttrDomain>) -> Vec<Predicate> {
     let Some(domain) = domain else {
         return Vec::new();
     };
@@ -292,7 +286,10 @@ mod tests {
         let q = QueryBuilder::new("q")
             .vertex(
                 "p",
-                [Predicate::eq("type", "person"), Predicate::between("age", 24.0, 26.0)],
+                [
+                    Predicate::eq("type", "person"),
+                    Predicate::between("age", 24.0, 26.0),
+                ],
             )
             .vertex("c", [Predicate::eq("type", "city")])
             .edge("p", "c", "livesIn")
@@ -328,7 +325,9 @@ mod tests {
             .any(|m| matches!(m, GraphMod::InsertPredicate { .. })));
         // inserting an edge between unconnected pair is impossible here
         // (only p–c exist and they are connected) — so no InsertEdge
-        assert!(!mods.iter().any(|m| matches!(m, GraphMod::InsertEdge { .. })));
+        assert!(!mods
+            .iter()
+            .any(|m| matches!(m, GraphMod::InsertEdge { .. })));
     }
 
     #[test]

@@ -23,7 +23,7 @@ use crate::fine::ops::{Pipeline, PipelineEvaluator};
 use crate::problem::CardinalityGoal;
 use std::collections::{BinaryHeap, HashSet};
 use whyq_graph::PropertyGraph;
-use whyq_matcher::Matcher;
+use whyq_matcher::{MatchOptions, Matcher};
 use whyq_metrics::syntactic_distance;
 use whyq_query::{signature::signature, GraphMod, PatternQuery, Target};
 
@@ -146,7 +146,7 @@ impl<'g> TraverseSearchTree<'g> {
         let mut executed = 0usize;
         let mut trajectory = Vec::new();
 
-        let c0 = matcher.count(q, Some(self.config.count_cap));
+        let c0 = matcher.count(q, MatchOptions::counting(Some(self.config.count_cap)));
         executed += 1;
         let dev0 = goal.deviation(c0);
         let mut tree = ModificationTree::with_root(c0, dev0);
@@ -207,8 +207,12 @@ impl<'g> TraverseSearchTree<'g> {
                 .as_ref()
                 .map(|p| evaluator.eval_full(&node.query, p, &mut extensions));
 
-            let mut candidates =
-                fine_candidates(&node.query, &self.domains, need_more, self.config.allow_topology);
+            let mut candidates = fine_candidates(
+                &node.query,
+                &self.domains,
+                need_more,
+                self.config.allow_topology,
+            );
             candidates.truncate(self.config.max_children);
 
             for m in candidates {
@@ -228,7 +232,7 @@ impl<'g> TraverseSearchTree<'g> {
                         let from = p.position_of(&child, target);
                         evaluator.eval_suffix(&child, p, states, from, &mut extensions)
                     }
-                    _ => matcher.count(&child, Some(self.config.count_cap)),
+                    _ => matcher.count(&child, MatchOptions::counting(Some(self.config.count_cap))),
                 };
                 executed += 1;
                 let dev = goal.deviation(c);
@@ -324,7 +328,10 @@ mod tests {
         QueryBuilder::new("ages")
             .vertex(
                 "p",
-                [Predicate::eq("type", "person"), Predicate::between("age", lo, hi)],
+                [
+                    Predicate::eq("type", "person"),
+                    Predicate::between("age", lo, hi),
+                ],
             )
             .vertex("c", [Predicate::eq("type", "city")])
             .edge("p", "c", "livesIn")

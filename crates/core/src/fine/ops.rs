@@ -74,10 +74,9 @@ impl Pipeline {
                 for (i, &s) in self.steps.iter().enumerate() {
                     match s {
                         PipelineStep::Seed(sv) if sv == v => return i,
-                        PipelineStep::Edge(e)
-                            if q.edge(e).is_some_and(|ed| ed.touches(v)) => {
-                                return i;
-                            }
+                        PipelineStep::Edge(e) if q.edge(e).is_some_and(|ed| ed.touches(v)) => {
+                            return i;
+                        }
                         _ => {}
                     }
                 }
@@ -195,7 +194,10 @@ mod tests {
         QueryBuilder::new("q")
             .vertex(
                 "p",
-                [Predicate::eq("type", "person"), Predicate::between("age", 21.0, 23.0)],
+                [
+                    Predicate::eq("type", "person"),
+                    Predicate::between("age", 21.0, 23.0),
+                ],
             )
             .vertex("c", [Predicate::eq("type", "city")])
             .edge("p", "c", "livesIn")
@@ -266,9 +268,18 @@ mod tests {
         let q = query();
         let pipeline = Pipeline::for_query(&q).unwrap();
         // seed is vertex 0 (p); c is bound by the edge step
-        assert_eq!(pipeline.position_of(&q, Target::Vertex(whyq_query::QVid(0))), 0);
-        assert_eq!(pipeline.position_of(&q, Target::Vertex(whyq_query::QVid(1))), 1);
-        assert_eq!(pipeline.position_of(&q, Target::Edge(whyq_query::QEid(0))), 1);
+        assert_eq!(
+            pipeline.position_of(&q, Target::Vertex(whyq_query::QVid(0))),
+            0
+        );
+        assert_eq!(
+            pipeline.position_of(&q, Target::Vertex(whyq_query::QVid(1))),
+            1
+        );
+        assert_eq!(
+            pipeline.position_of(&q, Target::Edge(whyq_query::QEid(0))),
+            1
+        );
     }
 
     #[test]

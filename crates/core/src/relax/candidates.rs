@@ -47,7 +47,10 @@ mod tests {
     #[test]
     fn generates_all_constraint_discards() {
         let q = QueryBuilder::new("q")
-            .vertex("a", [Predicate::eq("type", "person"), Predicate::eq("age", 30)])
+            .vertex(
+                "a",
+                [Predicate::eq("type", "person"), Predicate::eq("age", 30)],
+            )
             .vertex("b", [Predicate::eq("type", "city")])
             .edge_full(
                 "a",
@@ -73,9 +76,7 @@ mod tests {
             .vertex("a", [Predicate::eq("type", "person")])
             .build();
         let mods = coarse_relaxations(&q);
-        assert!(mods
-            .iter()
-            .all(|m| !matches!(m, GraphMod::RemoveVertex(_))));
+        assert!(mods.iter().all(|m| !matches!(m, GraphMod::RemoveVertex(_))));
         assert_eq!(mods.len(), 1);
     }
 

@@ -33,7 +33,7 @@ use crate::stats::Statistics;
 use crate::user::SimulatedUser;
 use std::collections::{BinaryHeap, HashSet};
 use whyq_graph::PropertyGraph;
-use whyq_matcher::Matcher;
+use whyq_matcher::{MatchOptions, Matcher};
 use whyq_metrics::syntactic_distance;
 use whyq_query::{signature::signature, GraphMod, PatternQuery};
 
@@ -217,13 +217,19 @@ impl<'g> CoarseRewriter<'g> {
                 match cache.get(&sig) {
                     Some(c) => c,
                     None => {
-                        let c = matcher.count(&node.query, Some(config.count_limit));
+                        let c = matcher.count(
+                            &node.query,
+                            MatchOptions::counting(Some(config.count_limit)),
+                        );
                         cache.insert(sig.clone(), c);
                         c
                     }
                 }
             } else {
-                matcher.count(&node.query, Some(config.count_limit))
+                matcher.count(
+                    &node.query,
+                    MatchOptions::counting(Some(config.count_limit)),
+                )
             };
             executed += 1;
             let syn = syntactic_distance(q, &node.query);
@@ -330,9 +336,10 @@ impl<'g> CoarseRewriter<'g> {
                 continue;
             }
             *generated += 1;
-            let mut priority = config
-                .priority
-                .score(&child, parent, &self.stats, parent_mods.len());
+            let mut priority =
+                config
+                    .priority
+                    .score(&child, parent, &self.stats, parent_mods.len());
             if let (Some(model), true) = (model, config.lambda > 0.0) {
                 priority += config.lambda * model.tolerance(parent, &child);
             }
@@ -360,8 +367,10 @@ mod tests {
         let mut g = PropertyGraph::new();
         let anna = g.add_vertex([("type", Value::str("person")), ("name", Value::str("Anna"))]);
         let tud = g.add_vertex([("type", Value::str("university"))]);
-        let dresden =
-            g.add_vertex([("type", Value::str("city")), ("name", Value::str("Dresden"))]);
+        let dresden = g.add_vertex([
+            ("type", Value::str("city")),
+            ("name", Value::str("Dresden")),
+        ]);
         g.add_edge(anna, tud, "workAt", []);
         g.add_edge(tud, dresden, "locatedIn", []);
         g
@@ -373,7 +382,10 @@ mod tests {
             .vertex("u", [Predicate::eq("type", "university")])
             .vertex(
                 "c",
-                [Predicate::eq("type", "city"), Predicate::eq("name", "Berlin")],
+                [
+                    Predicate::eq("type", "city"),
+                    Predicate::eq("name", "Berlin"),
+                ],
             )
             .edge("p", "u", "workAt")
             .edge("u", "c", "locatedIn")

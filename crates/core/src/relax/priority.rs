@@ -75,9 +75,7 @@ impl PriorityFn {
                 signature(candidate).hash(&mut h);
                 (h.finish() % 1_000_000) as f64 / 1_000_000.0
             }
-            PriorityFn::MinSyntactic => {
-                -(syntactic_distance(parent, candidate) + depth as f64)
-            }
+            PriorityFn::MinSyntactic => -(syntactic_distance(parent, candidate) + depth as f64),
             PriorityFn::EstimatedCardinality => stats.estimate(candidate) as f64,
             PriorityFn::AvgPath1 => stats.avg_path1(candidate),
             PriorityFn::InducedChange => stats.induced_change(parent, candidate) as f64,
@@ -99,13 +97,19 @@ mod tests {
     fn setup() -> (PropertyGraph, PatternQuery) {
         let mut g = PropertyGraph::new();
         let a = g.add_vertex([("type", Value::str("person"))]);
-        let b = g.add_vertex([("type", Value::str("city")), ("name", Value::str("Dresden"))]);
+        let b = g.add_vertex([
+            ("type", Value::str("city")),
+            ("name", Value::str("Dresden")),
+        ]);
         g.add_edge(a, b, "livesIn", []);
         let q = QueryBuilder::new("q")
             .vertex("p", [Predicate::eq("type", "person")])
             .vertex(
                 "c",
-                [Predicate::eq("type", "city"), Predicate::eq("name", "Berlin")],
+                [
+                    Predicate::eq("type", "city"),
+                    Predicate::eq("name", "Berlin"),
+                ],
             )
             .edge("p", "c", "livesIn")
             .build();

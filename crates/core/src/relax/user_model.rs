@@ -79,7 +79,7 @@ impl PreferenceModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use whyq_query::{GraphMod, Predicate, QueryBuilder, QVid};
+    use whyq_query::{GraphMod, Predicate, QVid, QueryBuilder};
 
     fn q() -> PatternQuery {
         QueryBuilder::new("q")

@@ -20,7 +20,7 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use whyq_graph::PropertyGraph;
-use whyq_matcher::Matcher;
+use whyq_matcher::{MatchOptions, Matcher};
 use whyq_query::{signature::signature, PatternQuery, QEid, QVid};
 
 /// Memoizing statistics provider bound to one data graph.
@@ -159,7 +159,7 @@ impl<'g> Statistics<'g> {
             return c;
         }
         *self.misses.borrow_mut() += 1;
-        let c = self.matcher.count(sub, None);
+        let c = self.matcher.count(sub, MatchOptions::counting(None));
         self.cache.borrow_mut().insert(key, c);
         c
     }
@@ -263,13 +263,14 @@ mod tests {
         let s = Statistics::new(&g);
         let q = path_query();
         assert_eq!(s.estimate(&q), 2); // min(2, 2)
-        // relaxing the whole livesIn edge away raises the estimate? both
-        // edges have card 2 — removing one leaves min = 2; removing a
-        // *failing* constraint would raise it. Add a failing predicate:
+                                       // relaxing the whole livesIn edge away raises the estimate? both
+                                       // edges have card 2 — removing one leaves min = 2; removing a
+                                       // *failing* constraint would raise it. Add a failing predicate:
         let mut bad = q.clone();
-        bad.vertex_mut(QVid(2)).unwrap().predicates.push(
-            Predicate::eq("name", "Atlantis"),
-        );
+        bad.vertex_mut(QVid(2))
+            .unwrap()
+            .predicates
+            .push(Predicate::eq("name", "Atlantis"));
         assert_eq!(s.estimate(&bad), 0);
         assert!(s.induced_change(&bad, &q) > 0);
     }

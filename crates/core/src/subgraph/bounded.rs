@@ -26,7 +26,7 @@ use crate::subgraph::discover::{assemble_mcs, components_of, paths_for, PrefixOu
 use crate::subgraph::traversal::TraversalPath;
 use crate::subgraph::McsConfig;
 use whyq_graph::PropertyGraph;
-use whyq_matcher::{extend_matches, seed_matches, Matcher};
+use whyq_matcher::{extend_matches, seed_matches, MatchOptions, Matcher};
 use whyq_query::PatternQuery;
 
 /// The BOUNDEDMCS algorithm (§4.2.2).
@@ -76,6 +76,28 @@ impl<'g> BoundedMcs<'g> {
 
     /// Explain a query whose cardinality violates `goal`.
     pub fn run(&self, q: &PatternQuery, goal: CardinalityGoal) -> SubgraphExplanation {
+        self.run_impl(q, goal, None)
+    }
+
+    /// Like [`BoundedMcs::run`], but measuring the MCS cardinality through
+    /// a caller-provided matcher (which must be bound to the same graph) —
+    /// the why-engine reuses its long-lived index-backed matcher this way
+    /// instead of building a throwaway index per explanation.
+    pub fn run_with(
+        &self,
+        q: &PatternQuery,
+        goal: CardinalityGoal,
+        matcher: &Matcher<'_>,
+    ) -> SubgraphExplanation {
+        self.run_impl(q, goal, Some(matcher))
+    }
+
+    fn run_impl(
+        &self,
+        q: &PatternQuery,
+        goal: CardinalityGoal,
+        matcher: Option<&Matcher<'_>>,
+    ) -> SubgraphExplanation {
         let stats = Statistics::new(self.g);
         let bound_cap = match goal {
             CardinalityGoal::NonEmpty => 1,
@@ -146,9 +168,11 @@ impl<'g> BoundedMcs<'g> {
         let mcs_cardinality = if mcs.num_vertices() == 0 {
             0
         } else {
-            Matcher::new(self.g)
-                .with_index("type")
-                .count(&mcs, Some(self.config.cardinality_limit))
+            let opts = MatchOptions::counting(Some(self.config.cardinality_limit));
+            match matcher {
+                Some(m) => m.count(&mcs, opts),
+                None => Matcher::new(self.g).with_index("type").count(&mcs, opts),
+            }
         };
         let crossing_edge = outcomes.iter().find_map(|o| o.crossing);
         SubgraphExplanation {
@@ -166,14 +190,17 @@ impl<'g> BoundedMcs<'g> {
 mod tests {
     use super::*;
     use whyq_graph::Value;
-    use whyq_query::{Predicate, QEid, QueryBuilder, QVid};
+    use whyq_query::{Predicate, QEid, QVid, QueryBuilder};
 
     /// Star data: one city with ten inhabitants; only one of them works at
     /// the rare company.
     fn data() -> PropertyGraph {
         let mut g = PropertyGraph::new();
         let city = g.add_vertex([("type", Value::str("city"))]);
-        let rare = g.add_vertex([("type", Value::str("company")), ("name", Value::str("RareCo"))]);
+        let rare = g.add_vertex([
+            ("type", Value::str("company")),
+            ("name", Value::str("RareCo")),
+        ]);
         for i in 0..10 {
             let p = g.add_vertex([("type", Value::str("person"))]);
             g.add_edge(p, city, "livesIn", []);
@@ -191,7 +218,10 @@ mod tests {
             .vertex("c", [Predicate::eq("type", "city")])
             .vertex(
                 "co",
-                [Predicate::eq("type", "company"), Predicate::eq("name", "RareCo")],
+                [
+                    Predicate::eq("type", "company"),
+                    Predicate::eq("name", "RareCo"),
+                ],
             )
             .edge("p", "c", "livesIn")
             .edge("p", "co", "worksAt")
@@ -249,7 +279,10 @@ mod tests {
         let q = QueryBuilder::new("fail")
             .vertex(
                 "p",
-                [Predicate::eq("type", "person"), Predicate::eq("gender", "unknown")],
+                [
+                    Predicate::eq("type", "person"),
+                    Predicate::eq("gender", "unknown"),
+                ],
             )
             .vertex("c", [Predicate::eq("type", "city")])
             .edge("p", "c", "livesIn")

@@ -20,7 +20,7 @@ use crate::subgraph::traversal::{
 };
 use crate::subgraph::McsConfig;
 use whyq_graph::PropertyGraph;
-use whyq_matcher::{extend_matches, seed_matches, Matcher};
+use whyq_matcher::{extend_matches, seed_matches, MatchOptions, Matcher};
 use whyq_query::{PatternQuery, QEid, QVid};
 
 /// Outcome of traversing one component along its best path.
@@ -93,10 +93,7 @@ pub(crate) fn best_prefix(
         let outcome = traverse_path(g, q, path, cap, satisfied, extensions);
         let better = match &best {
             None => true,
-            Some(b) => {
-                outcome.prefix.len() > b.prefix.len()
-                    || (!b.seed_ok && outcome.seed_ok)
-            }
+            Some(b) => outcome.prefix.len() > b.prefix.len() || (!b.seed_ok && outcome.seed_ok),
         };
         if better {
             let complete = outcome.prefix.len() == component_edges;
@@ -147,7 +144,10 @@ pub(crate) fn paths_for(
 
 /// Assemble the MCS query from per-component outcomes, preserving ids.
 pub(crate) fn assemble_mcs(q: &PatternQuery, outcomes: &[PrefixOutcome]) -> PatternQuery {
-    let all_edges: Vec<QEid> = outcomes.iter().flat_map(|o| o.prefix.iter().copied()).collect();
+    let all_edges: Vec<QEid> = outcomes
+        .iter()
+        .flat_map(|o| o.prefix.iter().copied())
+        .collect();
     let mut mcs = q.edge_subquery(&all_edges);
     for o in outcomes {
         // an edgeless but matching seed still belongs to the MCS
@@ -183,6 +183,18 @@ impl<'g> DiscoverMcs<'g> {
 
     /// Explain a why-empty query: detect the MCS and the differential graph.
     pub fn run(&self, q: &PatternQuery) -> SubgraphExplanation {
+        self.run_impl(q, None)
+    }
+
+    /// Like [`DiscoverMcs::run`], but measuring the MCS cardinality through
+    /// a caller-provided matcher (which must be bound to the same graph) —
+    /// the why-engine reuses its long-lived index-backed matcher this way
+    /// instead of building a throwaway index per explanation.
+    pub fn run_with(&self, q: &PatternQuery, matcher: &Matcher<'_>) -> SubgraphExplanation {
+        self.run_impl(q, Some(matcher))
+    }
+
+    fn run_impl(&self, q: &PatternQuery, matcher: Option<&Matcher<'_>>) -> SubgraphExplanation {
         let stats = Statistics::new(self.g);
         let satisfied = |n: usize| n > 0;
         let mut extensions = 0u64;
@@ -212,9 +224,11 @@ impl<'g> DiscoverMcs<'g> {
         let mcs_cardinality = if mcs.num_vertices() == 0 {
             0
         } else {
-            Matcher::new(self.g)
-                .with_index("type")
-                .count(&mcs, Some(self.config.cardinality_limit))
+            let opts = MatchOptions::counting(Some(self.config.cardinality_limit));
+            match matcher {
+                Some(m) => m.count(&mcs, opts),
+                None => Matcher::new(self.g).with_index("type").count(&mcs, opts),
+            }
         };
         let crossing_edge = outcomes.iter().find_map(|o| o.crossing);
         SubgraphExplanation {
@@ -239,7 +253,10 @@ mod tests {
         let mut g = PropertyGraph::new();
         let anna = g.add_vertex([("type", Value::str("person")), ("name", Value::str("Anna"))]);
         let tud = g.add_vertex([("type", Value::str("university"))]);
-        let dresden = g.add_vertex([("type", Value::str("city")), ("name", Value::str("Dresden"))]);
+        let dresden = g.add_vertex([
+            ("type", Value::str("city")),
+            ("name", Value::str("Dresden")),
+        ]);
         g.add_edge(anna, tud, "workAt", [("sinceYear", Value::Int(2003))]);
         g.add_edge(tud, dresden, "locatedIn", []);
         g
@@ -252,7 +269,10 @@ mod tests {
             .vertex("u", [Predicate::eq("type", "university")])
             .vertex(
                 "c",
-                [Predicate::eq("type", "city"), Predicate::eq("name", "Berlin")],
+                [
+                    Predicate::eq("type", "city"),
+                    Predicate::eq("name", "Berlin"),
+                ],
             )
             .edge("p", "u", "workAt")
             .edge("u", "c", "locatedIn")
@@ -325,7 +345,13 @@ mod tests {
         let g = data();
         let q = QueryBuilder::new("two-parts")
             .vertex("p", [Predicate::eq("type", "person")])
-            .vertex("c", [Predicate::eq("type", "city"), Predicate::eq("name", "Atlantis")])
+            .vertex(
+                "c",
+                [
+                    Predicate::eq("type", "city"),
+                    Predicate::eq("name", "Atlantis"),
+                ],
+            )
             .build();
         let expl = DiscoverMcs::new(&g).run(&q);
         // person part matches, Atlantis part fails

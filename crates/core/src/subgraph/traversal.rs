@@ -49,7 +49,15 @@ pub fn enumerate_paths(q: &PatternQuery, component: &[QVid], max: usize) -> Vec<
         let mut visited = vec![start];
         let mut order = Vec::new();
         let mut remaining = comp_edges.clone();
-        extend_orders(q, start, &mut visited, &mut order, &mut remaining, &mut out, max);
+        extend_orders(
+            q,
+            start,
+            &mut visited,
+            &mut order,
+            &mut remaining,
+            &mut out,
+            max,
+        );
     }
     out
 }

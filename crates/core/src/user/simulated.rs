@@ -148,7 +148,9 @@ mod tests {
     #[test]
     fn removed_vertex_marks_vertex_and_edges() {
         let mut modified = q();
-        GraphMod::RemoveVertex(QVid(1)).apply(&mut modified).unwrap();
+        GraphMod::RemoveVertex(QVid(1))
+            .apply(&mut modified)
+            .unwrap();
         let changed = SimulatedUser::changed_elements(&q(), &modified);
         assert!(changed.contains(&Target::Vertex(QVid(1))));
         assert!(changed.contains(&Target::Edge(QEid(0))));

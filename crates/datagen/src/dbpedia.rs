@@ -158,7 +158,10 @@ pub fn dbpedia_queries() -> Vec<PatternQuery> {
             .vertex("s", [Predicate::eq("type", "settlement")])
             .vertex(
                 "c",
-                [Predicate::eq("type", "country"), Predicate::eq("name", "Germany")],
+                [
+                    Predicate::eq("type", "country"),
+                    Predicate::eq("name", "Germany"),
+                ],
             )
             .edge("f", "p", "starring")
             .edge("p", "s", "birthPlace")

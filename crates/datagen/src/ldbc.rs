@@ -42,21 +42,36 @@ const COUNTRIES: [&str; 10] = [
 ];
 
 const FIRST_NAMES: [&str; 20] = [
-    "Anna", "Bert", "Carlos", "Dana", "Emil", "Fatima", "Gustav", "Hana", "Ivan", "Jun",
-    "Karl", "Lena", "Miguel", "Nadia", "Otto", "Priya", "Quentin", "Rosa", "Sven", "Tao",
+    "Anna", "Bert", "Carlos", "Dana", "Emil", "Fatima", "Gustav", "Hana", "Ivan", "Jun", "Karl",
+    "Lena", "Miguel", "Nadia", "Otto", "Priya", "Quentin", "Rosa", "Sven", "Tao",
 ];
 
 const LAST_NAMES: [&str; 15] = [
-    "Schmidt", "Novak", "Garcia", "Rossi", "Kowalski", "Wang", "Patel", "Smith", "Silva",
-    "Tanaka", "Weber", "Dubois", "Lopez", "Bauer", "Kim",
+    "Schmidt", "Novak", "Garcia", "Rossi", "Kowalski", "Wang", "Patel", "Smith", "Silva", "Tanaka",
+    "Weber", "Dubois", "Lopez", "Bauer", "Kim",
 ];
 
 const BROWSERS: [&str; 4] = ["Chrome", "Firefox", "Safari", "Opera"];
 const LANGUAGES: [&str; 5] = ["en", "de", "es", "zh", "pt"];
 const TAG_NAMES: [&str; 18] = [
-    "music", "sports", "cooking", "travel", "books", "movies", "science", "history",
-    "photography", "gaming", "art", "politics", "fashion", "hiking", "chess", "gardening",
-    "astronomy", "databases",
+    "music",
+    "sports",
+    "cooking",
+    "travel",
+    "books",
+    "movies",
+    "science",
+    "history",
+    "photography",
+    "gaming",
+    "art",
+    "politics",
+    "fashion",
+    "hiking",
+    "chess",
+    "gardening",
+    "astronomy",
+    "databases",
 ];
 
 /// Generate the LDBC-like social network.
@@ -124,7 +139,11 @@ pub fn ldbc_graph(config: LdbcConfig) -> PropertyGraph {
             ),
             (
                 "gender",
-                Value::str(if rng.random_bool(0.5) { "male" } else { "female" }),
+                Value::str(if rng.random_bool(0.5) {
+                    "male"
+                } else {
+                    "female"
+                }),
             ),
             ("birthYear", Value::Int(rng.random_range(1950..2000))),
             (
@@ -255,7 +274,10 @@ pub fn ldbc_queries() -> Vec<PatternQuery> {
         QueryBuilder::new("LDBC QUERY 1")
             .vertex(
                 "p1",
-                [Predicate::eq("type", "person"), Predicate::eq("firstName", "Anna")],
+                [
+                    Predicate::eq("type", "person"),
+                    Predicate::eq("firstName", "Anna"),
+                ],
             )
             .vertex("p2", [Predicate::eq("type", "person")])
             .vertex("city", [Predicate::eq("type", "city")])
@@ -266,10 +288,19 @@ pub fn ldbc_queries() -> Vec<PatternQuery> {
         // person -workAt{workFrom≥2005}-> company; -isLocatedIn-> city;
         // -hasInterest-> tag(music)
         QueryBuilder::new("LDBC QUERY 2")
-            .vertex("p", [Predicate::eq("type", "person"), Predicate::eq("gender", "female")])
+            .vertex(
+                "p",
+                [
+                    Predicate::eq("type", "person"),
+                    Predicate::eq("gender", "female"),
+                ],
+            )
             .vertex("co", [Predicate::eq("type", "company")])
             .vertex("city", [Predicate::eq("type", "city")])
-            .vertex("tag", [Predicate::eq("type", "tag"), Predicate::eq("name", "music")])
+            .vertex(
+                "tag",
+                [Predicate::eq("type", "tag"), Predicate::eq("name", "music")],
+            )
             .edge_full(
                 "p",
                 "co",
@@ -296,7 +327,10 @@ pub fn ldbc_queries() -> Vec<PatternQuery> {
             .vertex("cm", [Predicate::eq("type", "comment")])
             .vertex(
                 "post",
-                [Predicate::eq("type", "post"), Predicate::eq("language", "en")],
+                [
+                    Predicate::eq("type", "post"),
+                    Predicate::eq("language", "en"),
+                ],
             )
             .vertex("p", [Predicate::eq("type", "person")])
             .vertex("u", [Predicate::eq("type", "university")])
@@ -427,8 +461,14 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = ldbc_graph(LdbcConfig { seed: 1, ..Default::default() });
-        let b = ldbc_graph(LdbcConfig { seed: 2, ..Default::default() });
+        let a = ldbc_graph(LdbcConfig {
+            seed: 1,
+            ..Default::default()
+        });
+        let b = ldbc_graph(LdbcConfig {
+            seed: 2,
+            ..Default::default()
+        });
         assert_ne!(a.num_edges(), b.num_edges());
     }
 
@@ -437,7 +477,17 @@ mod tests {
         let g = ldbc_graph(LdbcConfig::default());
         let hist = whyq_graph::stats::vertex_attr_histogram(&g, "type");
         let types: Vec<&str> = hist.iter().map(|(t, _)| t.as_str()).collect();
-        for expected in ["person", "city", "country", "university", "company", "tag", "forum", "post", "comment"] {
+        for expected in [
+            "person",
+            "city",
+            "country",
+            "university",
+            "company",
+            "tag",
+            "forum",
+            "post",
+            "comment",
+        ] {
             assert!(types.contains(&expected), "missing {expected}");
         }
         let person_count = hist.iter().find(|(t, _)| t == "person").unwrap().1;

@@ -52,6 +52,83 @@ pub struct EdgeData {
     pub attrs: AttrMap,
 }
 
+/// Per-vertex adjacency list kept *grouped by edge type*: one flat vector
+/// of edge ids ordered as contiguous per-type runs, plus a tiny run table
+/// (most vertices touch only a handful of edge types). The whole list and
+/// any single-type slice are both O(1)-addressable, which lets the pattern
+/// matcher traverse only the edges whose type a query edge admits.
+#[derive(Debug, Default, Clone)]
+struct AdjList {
+    /// Edge ids, contiguous per type run.
+    flat: Vec<EdgeId>,
+    /// `(type, end offset)` per run, sorted by type symbol; a run starts at
+    /// the previous run's end.
+    runs: Vec<(Symbol, u32)>,
+}
+
+impl AdjList {
+    fn insert(&mut self, ty: Symbol, e: EdgeId) {
+        // fast path: the common construction orders (same type repeated,
+        // or per-type phases with freshly interned — hence increasing —
+        // symbols) always touch the last run, where insertion is a plain
+        // push. Only interleaving types on one vertex pays the O(degree)
+        // middle insert.
+        match self.runs.last_mut() {
+            Some((last_ty, end)) if *last_ty == ty => {
+                self.flat.push(e);
+                *end += 1;
+                return;
+            }
+            Some((last_ty, _)) if *last_ty < ty => {
+                self.flat.push(e);
+                self.runs.push((ty, self.flat.len() as u32));
+                return;
+            }
+            None => {
+                self.flat.push(e);
+                self.runs.push((ty, 1));
+                return;
+            }
+            _ => {}
+        }
+        match self.runs.binary_search_by_key(&ty, |(t, _)| *t) {
+            Ok(i) => {
+                let end = self.runs[i].1 as usize;
+                self.flat.insert(end, e);
+                for r in &mut self.runs[i..] {
+                    r.1 += 1;
+                }
+            }
+            Err(i) => {
+                let start = if i == 0 { 0 } else { self.runs[i - 1].1 };
+                self.flat.insert(start as usize, e);
+                self.runs.insert(i, (ty, start + 1));
+                for r in &mut self.runs[i + 1..] {
+                    r.1 += 1;
+                }
+            }
+        }
+    }
+
+    fn all(&self) -> &[EdgeId] {
+        &self.flat
+    }
+
+    fn of_type(&self, ty: Symbol) -> &[EdgeId] {
+        match self.runs.binary_search_by_key(&ty, |(t, _)| *t) {
+            Ok(i) => {
+                let start = if i == 0 {
+                    0
+                } else {
+                    self.runs[i - 1].1 as usize
+                };
+                &self.flat[start..self.runs[i].1 as usize]
+            }
+            Err(_) => &[],
+        }
+    }
+}
+
 /// An in-memory property graph.
 #[derive(Debug, Default, Clone)]
 pub struct PropertyGraph {
@@ -59,8 +136,8 @@ pub struct PropertyGraph {
     edge_types: Interner,
     vertices: Vec<VertexData>,
     edges: Vec<EdgeData>,
-    out_edges: Vec<Vec<EdgeId>>,
-    in_edges: Vec<Vec<EdgeId>>,
+    out_edges: Vec<AdjList>,
+    in_edges: Vec<AdjList>,
 }
 
 impl PropertyGraph {
@@ -96,8 +173,8 @@ impl PropertyGraph {
             .map(|(k, v)| (self.attr_names.intern(k), v))
             .collect();
         self.vertices.push(VertexData { attrs });
-        self.out_edges.push(Vec::new());
-        self.in_edges.push(Vec::new());
+        self.out_edges.push(AdjList::default());
+        self.in_edges.push(AdjList::default());
         id
     }
 
@@ -123,8 +200,8 @@ impl PropertyGraph {
             ty,
             attrs,
         });
-        self.out_edges[src.0 as usize].push(id);
-        self.in_edges[dst.0 as usize].push(id);
+        self.out_edges[src.0 as usize].insert(ty, id);
+        self.in_edges[dst.0 as usize].insert(ty, id);
         id
     }
 
@@ -216,14 +293,25 @@ impl PropertyGraph {
         self.edges[e.0 as usize].attrs.get(key)
     }
 
-    /// Outgoing edges of `v`.
+    /// Outgoing edges of `v`, grouped in contiguous per-type runs.
     pub fn out_edges(&self, v: VertexId) -> &[EdgeId] {
-        &self.out_edges[v.0 as usize]
+        self.out_edges[v.0 as usize].all()
     }
 
-    /// Incoming edges of `v`.
+    /// Incoming edges of `v`, grouped in contiguous per-type runs.
     pub fn in_edges(&self, v: VertexId) -> &[EdgeId] {
-        &self.in_edges[v.0 as usize]
+        self.in_edges[v.0 as usize].all()
+    }
+
+    /// Outgoing edges of `v` whose type is `ty` — an O(log #types) slice
+    /// lookup, so typed traversals touch no foreign-type edges at all.
+    pub fn out_edges_of(&self, v: VertexId, ty: Symbol) -> &[EdgeId] {
+        self.out_edges[v.0 as usize].of_type(ty)
+    }
+
+    /// Incoming edges of `v` whose type is `ty`.
+    pub fn in_edges_of(&self, v: VertexId, ty: Symbol) -> &[EdgeId] {
+        self.in_edges[v.0 as usize].of_type(ty)
     }
 
     /// Out-degree plus in-degree.
@@ -244,7 +332,10 @@ impl PropertyGraph {
     /// Neighbors reachable via one edge in either direction (with the
     /// connecting edge), deduplicated per edge.
     pub fn incident(&self, v: VertexId) -> impl Iterator<Item = (EdgeId, VertexId)> + '_ {
-        let out = self.out_edges(v).iter().map(move |&e| (e, self.edge(e).dst));
+        let out = self
+            .out_edges(v)
+            .iter()
+            .map(move |&e| (e, self.edge(e).dst));
         let inn = self.in_edges(v).iter().map(move |&e| (e, self.edge(e).src));
         out.chain(inn)
     }
@@ -297,6 +388,33 @@ mod tests {
         // The two `livesIn` edges share a type symbol, `worksIn` differs.
         assert_eq!(g.edge(e2).ty, g.edge(EdgeId(0)).ty);
         assert_ne!(g.edge(e3).ty, g.edge(e2).ty);
+    }
+
+    #[test]
+    fn typed_adjacency_slices() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_vertex([]);
+        let b = g.add_vertex([]);
+        let c = g.add_vertex([]);
+        // interleave types on one vertex so inserts hit both the push fast
+        // path and the middle-insert slow path
+        let e1 = g.add_edge(a, b, "knows", []);
+        let e2 = g.add_edge(a, c, "livesIn", []);
+        let e3 = g.add_edge(a, c, "knows", []);
+        let e4 = g.add_edge(b, a, "knows", []);
+        let knows = g.type_symbol("knows").unwrap();
+        let lives = g.type_symbol("livesIn").unwrap();
+        assert_eq!(g.out_edges_of(a, knows), &[e1, e3]);
+        assert_eq!(g.out_edges_of(a, lives), &[e2]);
+        assert_eq!(g.in_edges_of(a, knows), &[e4]);
+        assert!(g.in_edges_of(a, lives).is_empty());
+        assert!(g.out_edges_of(b, lives).is_empty());
+        // the flat view contains every edge exactly once, grouped by type
+        let mut all = g.out_edges(a).to_vec();
+        all.sort();
+        assert_eq!(all, vec![e1, e2, e3]);
+        let missing = g.type_symbol("nope");
+        assert!(missing.is_none());
     }
 
     #[test]

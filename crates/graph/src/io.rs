@@ -64,7 +64,9 @@ fn decode_value(text: &str, line: usize) -> Result<Value, IoError> {
         line,
         message: m.to_string(),
     };
-    let (tag, body) = text.split_once(':').ok_or_else(|| err("missing value tag"))?;
+    let (tag, body) = text
+        .split_once(':')
+        .ok_or_else(|| err("missing value tag"))?;
     match tag {
         "i" => i64::from_str(body)
             .map(Value::Int)
@@ -149,7 +151,9 @@ pub fn read_graph(text: &str) -> Result<PropertyGraph, IoError> {
             Some("V") => {
                 let mut attrs = Vec::new();
                 for f in fields {
-                    let (k, v) = f.split_once('=').ok_or_else(|| err("expected attr=value"))?;
+                    let (k, v) = f
+                        .split_once('=')
+                        .ok_or_else(|| err("expected attr=value"))?;
                     attrs.push((k, decode_value(v, lineno)?));
                 }
                 g.add_vertex(attrs.iter().map(|(k, v)| (*k, v.clone())));
@@ -170,7 +174,9 @@ pub fn read_graph(text: &str) -> Result<PropertyGraph, IoError> {
                 }
                 let mut attrs = Vec::new();
                 for f in fields {
-                    let (k, v) = f.split_once('=').ok_or_else(|| err("expected attr=value"))?;
+                    let (k, v) = f
+                        .split_once('=')
+                        .ok_or_else(|| err("expected attr=value"))?;
                     attrs.push((k, decode_value(v, lineno)?));
                 }
                 g.add_edge(
@@ -198,7 +204,12 @@ mod tests {
             ("age", Value::Int(30)),
         ]);
         let b = g.add_vertex([("type", Value::str("city")), ("lat", Value::Float(51.05))]);
-        g.add_edge(a, b, "livesIn", [("since", Value::Int(2003)), ("ok", Value::Bool(true))]);
+        g.add_edge(
+            a,
+            b,
+            "livesIn",
+            [("since", Value::Int(2003)), ("ok", Value::Bool(true))],
+        );
         g
     }
 
@@ -218,7 +229,10 @@ mod tests {
             Some(&Value::str("Anna\tTab"))
         );
         let since = g2.attr_symbol("since").unwrap();
-        assert_eq!(g2.edge_attr(crate::graph::EdgeId(0), since), Some(&Value::Int(2003)));
+        assert_eq!(
+            g2.edge_attr(crate::graph::EdgeId(0), since),
+            Some(&Value::Int(2003))
+        );
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! compare integers. A predicate over an attribute the graph has never seen
 //! can match nothing and marks its element as unsatisfiable.
 
-use whyq_graph::{EdgeData, PropertyGraph, Symbol, VertexId};
-use whyq_query::{PatternQuery, Predicate, QEid, QVid};
+use crate::index::AttrIndex;
+use whyq_graph::{EdgeData, PropertyGraph, Symbol, Value, VertexId};
+use whyq_query::{Interval, PatternQuery, Predicate, QEid, QVid};
 
 /// A predicate with its attribute resolved to a graph symbol.
 #[derive(Debug, Clone)]
@@ -92,12 +93,16 @@ impl Compiled {
             let types = if qe.types.is_empty() {
                 None
             } else {
-                Some(
-                    qe.types
-                        .iter()
-                        .filter_map(|t| g.type_symbol(t))
-                        .collect::<Vec<_>>(),
-                )
+                // dedup: the engine scans one adjacency slice per admitted
+                // type, so a repeated type name must not repeat its edges
+                let mut tys = qe
+                    .types
+                    .iter()
+                    .filter_map(|t| g.type_symbol(t))
+                    .collect::<Vec<_>>();
+                tys.sort_unstable();
+                tys.dedup();
+                Some(tys)
             };
             edges[e.0 as usize] = Some(CompiledEdge {
                 types,
@@ -159,31 +164,115 @@ pub struct ComponentPlan {
     pub steps: Vec<Step>,
 }
 
-/// Build greedy plans for every weakly connected component of `q`.
+/// Build greedy, selectivity-ordered plans for every weakly connected
+/// component of `q`.
 ///
-/// The seed of each component is the vertex with the fewest candidate data
-/// vertices (cheapest scan first); expansion prefers *closing* edges (both
-/// endpoints bound — cheap existence checks) and otherwise picks the edge
-/// whose new endpoint has the fewest candidates.
-pub fn build_plans(g: &PropertyGraph, q: &PatternQuery, compiled: &Compiled) -> Vec<ComponentPlan> {
-    // candidate counts per query vertex (cap the scan for very large graphs
-    // is unnecessary here: one pass per query vertex over the vertex arena)
-    let mut cand_count: Vec<u64> = vec![0; q.vertex_slots()];
-    for v in q.vertex_ids() {
-        let cv = compiled.vertex(v);
-        let mut c = 0u64;
-        for dv in g.vertex_ids() {
-            if cv.accepts(g, dv) {
-                c += 1;
-            }
-        }
-        cand_count[v.0 as usize] = c;
-    }
-
+/// The seed of each component is the vertex with the fewest *estimated*
+/// candidate data vertices (see [`estimate_candidates`]); expansion prefers
+/// *closing* edges (both endpoints bound — cheap existence checks) and
+/// otherwise picks the edge whose new endpoint has the lowest estimate.
+pub fn build_plans(
+    g: &PropertyGraph,
+    q: &PatternQuery,
+    compiled: &Compiled,
+    index: Option<&AttrIndex>,
+) -> Vec<ComponentPlan> {
+    let est = estimate_candidates(g, q, compiled, index);
     q.weakly_connected_components()
         .into_iter()
-        .map(|comp| plan_component(q, &comp, &cand_count))
+        .map(|comp| plan_component(q, &comp, &est))
         .collect()
+}
+
+/// How many vertices of the arena to test per query vertex when no index
+/// bucket count is available. Graphs up to this size get exact counts;
+/// larger ones an evenly spaced sample extrapolated to the full vertex
+/// set. Deliberately small: planning runs on every `find`/`count` call, so
+/// its cost must stay negligible next to the search itself.
+const ESTIMATE_SAMPLE: usize = 64;
+
+/// Estimate per-query-vertex candidate counts, indexed by `QVid` slot.
+///
+/// This is planning input, not a correctness bound: the matcher works with
+/// any ordering, the estimates only decide which one. Three sources, from
+/// strongest to weakest:
+///
+/// * an equality-shaped predicate (`OneOf` or degenerate point `Range`) on
+///   the indexed attribute — the sum of its index bucket sizes is an exact
+///   count for that predicate and an upper bound overall;
+/// * an evenly spaced sample of the vertex arena filtered through the
+///   compiled predicates, extrapolated by `|V| / sample` (exact when the
+///   graph has at most [`ESTIMATE_SAMPLE`] vertices);
+/// * the total vertex count as the trivial fallback for an unconstrained
+///   vertex.
+pub fn estimate_candidates(
+    g: &PropertyGraph,
+    q: &PatternQuery,
+    compiled: &Compiled,
+    index: Option<&AttrIndex>,
+) -> Vec<u64> {
+    let n = g.num_vertices();
+    let stride = n.div_ceil(ESTIMATE_SAMPLE).max(1);
+    let mut est: Vec<u64> = vec![0; q.vertex_slots()];
+    for v in q.vertex_ids() {
+        let cv = compiled.vertex(v);
+        let qv = q.vertex(v).expect("live");
+        let mut e = n as u64;
+        if cv.preds.is_empty() {
+            est[v.0 as usize] = e;
+            continue;
+        }
+        // exact bucket counts for equality predicates on the indexed attr
+        if let Some(idx) = index {
+            for p in &qv.predicates {
+                if g.attr_symbol(&p.attr) != Some(idx.attr()) {
+                    continue;
+                }
+                match &p.interval {
+                    Interval::OneOf(vals) => {
+                        let bucket_sum: u64 = vals.iter().map(|v| idx.lookup(v).len() as u64).sum();
+                        e = e.min(bucket_sum);
+                    }
+                    Interval::Range {
+                        lo: Some(lo),
+                        hi: Some(hi),
+                        lo_incl: true,
+                        hi_incl: true,
+                    } if lo == hi => {
+                        // one probe covers Int and Float encodings: `Value`
+                        // equates numeric family members
+                        e = e.min(idx.lookup(&Value::Float(*lo)).len() as u64);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // sampled (or exact, for small graphs) selectivity across *all*
+        // predicates — the bucket count above only sees the indexed one, so
+        // take the minimum of both signals
+        let mut sampled = 0usize;
+        let mut hits = 0u64;
+        for dv in g.vertex_ids().step_by(stride) {
+            sampled += 1;
+            if cv.accepts(g, dv) {
+                hits += 1;
+            }
+        }
+        if sampled > 0 {
+            e = e.min(hits.saturating_mul(n as u64) / sampled as u64);
+        }
+        // structurally unsatisfiable predicates match nothing at all
+        if cv.preds.iter().any(|p| p.sym.is_none())
+            || qv
+                .predicates
+                .iter()
+                .any(|p| matches!(&p.interval, Interval::OneOf(vs) if vs.is_empty()))
+        {
+            e = 0;
+        }
+        est[v.0 as usize] = e;
+    }
+    est
 }
 
 fn plan_component(q: &PatternQuery, comp: &[QVid], cand_count: &[u64]) -> ComponentPlan {
@@ -280,7 +369,7 @@ mod tests {
             .edge("p", "c", "livesIn")
             .build();
         let compiled = Compiled::new(&g, &q);
-        let plans = build_plans(&g, &q, &compiled);
+        let plans = build_plans(&g, &q, &compiled, None);
         assert_eq!(plans.len(), 1);
         // the city vertex (1 candidate) beats the person vertex (2)
         assert_eq!(plans[0].steps[0], Step::Seed { vertex: QVid(1) });
@@ -299,7 +388,7 @@ mod tests {
             .edge("a", "c", "knows")
             .build();
         let compiled = Compiled::new(&g, &q);
-        let plans = build_plans(&g, &q, &compiled);
+        let plans = build_plans(&g, &q, &compiled, None);
         let closes = plans[0]
             .steps
             .iter()
@@ -311,9 +400,12 @@ mod tests {
     #[test]
     fn isolated_vertices_get_seed_only_plans() {
         let g = small_graph();
-        let q = QueryBuilder::new("iso").vertex("x", []).vertex("y", []).build();
+        let q = QueryBuilder::new("iso")
+            .vertex("x", [])
+            .vertex("y", [])
+            .build();
         let compiled = Compiled::new(&g, &q);
-        let plans = build_plans(&g, &q, &compiled);
+        let plans = build_plans(&g, &q, &compiled, None);
         assert_eq!(plans.len(), 2);
         assert_eq!(plans[0].steps.len(), 1);
     }

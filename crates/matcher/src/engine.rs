@@ -6,11 +6,29 @@
 //! termination — the why-query engine only ever needs to know whether a
 //! candidate query crosses a cardinality threshold, not the exact count
 //! beyond it.
+//!
+//! ## Zero-allocation search
+//!
+//! The DFS never clones partial results. Bindings live in dense *slot
+//! arrays* indexed by query vertex/edge slot (`Vec<Option<VertexId>>` /
+//! `Vec<Option<EdgeId>>`), bound and unbound in O(1) as the search descends
+//! and backtracks. Injectivity is checked through generation-stamped
+//! inverse occupancy arrays over the data graph (O(1) check, O(1) whole-set
+//! reset) instead of linear scans of the partial assignment. Candidate
+//! edges are streamed straight
+//! off the adjacency lists — a self-loop skip rule replaces the sort+dedup
+//! buffer the previous engine allocated per step. A [`ResultGraph`] is
+//! materialized only when a complete match is emitted, and counting skips
+//! even that. All per-search storage lives in one reusable scratch arena
+//! owned by the [`Matcher`], so a matcher that is kept around — as the
+//! why-query relaxation loop does — performs no per-call setup allocations
+//! beyond query compilation.
 
 use crate::compile::{build_plans, Compiled, ComponentPlan, Step};
 use crate::index::AttrIndex;
 use crate::result::ResultGraph;
-use whyq_graph::{EdgeId, PropertyGraph, VertexId};
+use std::cell::RefCell;
+use whyq_graph::{EdgeId, PropertyGraph, Value, VertexId};
 use whyq_query::{Interval, PatternQuery, QVid};
 
 /// Options controlling match semantics.
@@ -40,20 +58,146 @@ impl MatchOptions {
             ..Self::default()
         }
     }
+
+    /// Injective options with an optional `u64` cardinality cap — the shape
+    /// every counting call site in the why-query engine uses.
+    pub fn counting(limit: Option<u64>) -> Self {
+        MatchOptions {
+            injective: true,
+            limit: limit.map(|l| usize::try_from(l).unwrap_or(usize::MAX)),
+        }
+    }
+}
+
+/// Reusable per-matcher search storage: binding slots, occupancy stamps
+/// and the seed candidate buffer. Allocated lazily on first use and grown,
+/// never shrunk, across searches.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    /// Data vertex bound to each query vertex slot.
+    vslots: Vec<Option<VertexId>>,
+    /// Data edge bound to each query edge slot.
+    eslots: Vec<Option<whyq_graph::EdgeId>>,
+    /// Inverse occupancy, generation-stamped: a data vertex is used by the
+    /// current partial assignment iff its stamp equals [`Scratch::gen`].
+    /// Stamping (instead of a bitmap) makes the per-search reset O(1) —
+    /// bumping the generation invalidates every stale entry at once.
+    /// Maintained only in injective mode.
+    v_stamp: Vec<u32>,
+    /// Inverse occupancy stamps for data edges.
+    e_stamp: Vec<u32>,
+    /// The stamp value marking "used in the current search". Starts at 1 so
+    /// freshly zeroed stamp entries are never considered used.
+    gen: u32,
+    /// Seed candidates of the component currently being evaluated.
+    seeds: Vec<VertexId>,
+}
+
+impl Scratch {
+    /// Size (and reset) the arena for a search of `q` over `g`.
+    fn prepare(&mut self, g: &PropertyGraph, q: &PatternQuery) {
+        self.vslots.clear();
+        self.vslots.resize(q.vertex_slots(), None);
+        self.eslots.clear();
+        self.eslots.resize(q.edge_slots(), None);
+        if self.v_stamp.len() < g.num_vertices() {
+            self.v_stamp.resize(g.num_vertices(), 0);
+        }
+        if self.e_stamp.len() < g.num_edges() {
+            self.e_stamp.resize(g.num_edges(), 0);
+        }
+        if self.gen == u32::MAX {
+            self.v_stamp.fill(0);
+            self.e_stamp.fill(0);
+            self.gen = 0;
+        }
+        self.gen += 1;
+    }
+
+    #[inline]
+    fn vertex_used(&self, dv: VertexId) -> bool {
+        self.v_stamp[dv.0 as usize] == self.gen
+    }
+
+    #[inline]
+    fn edge_used(&self, de: whyq_graph::EdgeId) -> bool {
+        self.e_stamp[de.0 as usize] == self.gen
+    }
+
+    #[inline]
+    fn set_vertex_used(&mut self, dv: VertexId, used: bool) {
+        self.v_stamp[dv.0 as usize] = if used { self.gen } else { 0 };
+    }
+
+    #[inline]
+    fn set_edge_used(&mut self, de: whyq_graph::EdgeId, used: bool) {
+        self.e_stamp[de.0 as usize] = if used { self.gen } else { 0 };
+    }
+
+    /// Materialize the current complete assignment (bindings are pushed in
+    /// ascending slot order, so every insert lands at the end).
+    fn to_result(&self) -> ResultGraph {
+        let mut r = ResultGraph::new();
+        for (slot, dv) in self.vslots.iter().enumerate() {
+            if let Some(dv) = dv {
+                r.bind_vertex(QVid(slot as u32), *dv);
+            }
+        }
+        for (slot, de) in self.eslots.iter().enumerate() {
+            if let Some(de) = de {
+                r.bind_edge(whyq_query::QEid(slot as u32), *de);
+            }
+        }
+        r
+    }
+}
+
+/// Loop-invariant inputs of one component search, bundled so the DFS
+/// helpers don't thread the same parameters through every level.
+struct SearchCtx<'a> {
+    q: &'a PatternQuery,
+    compiled: &'a Compiled,
+    steps: &'a [Step],
+    injective: bool,
+}
+
+/// Per-`ExpandNew`-step constants: the query edge being bound, the query
+/// vertex it binds, and their compiled forms.
+struct ExpandBinding<'a> {
+    edge: whyq_query::QEid,
+    to: QVid,
+    ce: &'a crate::compile::CompiledEdge,
+    cv_to: &'a crate::compile::CompiledVertex,
+}
+
+/// Where a `Seed` step draws its candidates from.
+enum SeedSource<'a> {
+    /// Full scan of the vertex arena.
+    Scan,
+    /// One index bucket, streamed directly.
+    Bucket(&'a [VertexId]),
+    /// Several index buckets (multi-value disjunction) — needs buffering
+    /// to deduplicate repeated values.
+    Union(&'a [Value]),
 }
 
 /// A reusable matcher bound to one data graph, optionally with a vertex
-/// attribute index for seeding.
+/// attribute index for seeding and selectivity estimation.
 #[derive(Debug, Clone)]
 pub struct Matcher<'g> {
     g: &'g PropertyGraph,
     index: Option<AttrIndex>,
+    scratch: RefCell<Scratch>,
 }
 
 impl<'g> Matcher<'g> {
     /// Matcher without an index.
     pub fn new(g: &'g PropertyGraph) -> Self {
-        Matcher { g, index: None }
+        Matcher {
+            g,
+            index: None,
+            scratch: RefCell::new(Scratch::default()),
+        }
     }
 
     /// Attach an equality index over `attr` (no-op if absent from graph).
@@ -73,15 +217,17 @@ impl<'g> Matcher<'g> {
             return Vec::new();
         }
         let compiled = Compiled::new(self.g, q);
-        let plans = build_plans(self.g, q, &compiled);
+        let plans = build_plans(self.g, q, &compiled, self.index.as_ref());
         let cap = opts.limit.unwrap_or(usize::MAX);
+        let mut st = self.scratch.borrow_mut();
+        st.prepare(self.g, q);
 
         // evaluate each component independently
         let mut per_component: Vec<Vec<ResultGraph>> = Vec::with_capacity(plans.len());
         for plan in &plans {
             let mut results = Vec::new();
-            self.eval_component(q, &compiled, plan, opts.injective, &mut |r| {
-                results.push(r.clone());
+            self.eval_component(q, &compiled, plan, opts.injective, &mut st, &mut |s| {
+                results.push(s.to_result());
                 results.len() < cap
             });
             if results.is_empty() {
@@ -108,18 +254,22 @@ impl<'g> Matcher<'g> {
         combined
     }
 
-    /// Count result graphs, stopping early at `limit` (the returned value is
-    /// `min(C(Q), limit)`).
-    pub fn count(&self, q: &PatternQuery, limit: Option<u64>) -> u64 {
+    /// Count result graphs under `opts`, stopping early at `opts.limit`
+    /// (the returned value is `min(C(Q), limit)`). Unlike [`Matcher::find`]
+    /// no result graph is ever materialized.
+    pub fn count(&self, q: &PatternQuery, opts: MatchOptions) -> u64 {
         if q.num_vertices() == 0 {
             return 0;
         }
         let compiled = Compiled::new(self.g, q);
-        let plans = build_plans(self.g, q, &compiled);
+        let plans = build_plans(self.g, q, &compiled, self.index.as_ref());
+        let limit = opts.limit.map(|l| l as u64);
+        let mut st = self.scratch.borrow_mut();
+        st.prepare(self.g, q);
         let mut counts: Vec<u64> = Vec::with_capacity(plans.len());
         for plan in &plans {
             let mut c: u64 = 0;
-            self.eval_component(q, &compiled, plan, true, &mut |_| {
+            self.eval_component(q, &compiled, plan, opts.injective, &mut st, &mut |_| {
                 c += 1;
                 limit.is_none_or(|l| c < l)
             });
@@ -137,181 +287,412 @@ impl<'g> Matcher<'g> {
         }
     }
 
-    /// DFS over one component plan; `emit` returns `false` to stop.
+    /// DFS over one component plan; `emit` returns `false` to stop. The
+    /// scratch arena must be prepared and is left clean (all slots unbound)
+    /// on return, including on early termination.
     fn eval_component(
         &self,
         q: &PatternQuery,
         compiled: &Compiled,
         plan: &ComponentPlan,
         injective: bool,
-        emit: &mut dyn FnMut(&ResultGraph) -> bool,
+        st: &mut Scratch,
+        emit: &mut dyn FnMut(&Scratch) -> bool,
     ) {
-        let mut partial = ResultGraph::new();
-        self.step(q, compiled, &plan.steps, 0, injective, &mut partial, emit);
+        let cx = SearchCtx {
+            q,
+            compiled,
+            steps: &plan.steps,
+            injective,
+        };
+        self.step(&cx, 0, st, emit);
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn step(
         &self,
-        q: &PatternQuery,
-        compiled: &Compiled,
-        steps: &[Step],
+        cx: &SearchCtx<'_>,
         i: usize,
-        injective: bool,
-        partial: &mut ResultGraph,
-        emit: &mut dyn FnMut(&ResultGraph) -> bool,
+        st: &mut Scratch,
+        emit: &mut dyn FnMut(&Scratch) -> bool,
     ) -> bool {
-        if i == steps.len() {
-            return emit(partial);
+        if i == cx.steps.len() {
+            return emit(st);
         }
-        match steps[i] {
-            Step::Seed { vertex } => {
-                let cv = compiled.vertex(vertex);
-                let from_index = self.seed_candidates(q, vertex);
-                match from_index {
-                    Some(cands) => {
-                        for dv in cands {
-                            if !cv.accepts(self.g, dv) {
-                                continue;
-                            }
-                            if injective && partial.uses_data_vertex(dv) {
-                                continue;
-                            }
-                            let mut next = partial.clone();
-                            next.bind_vertex(vertex, dv);
-                            if !self.step(q, compiled, steps, i + 1, injective, &mut next, emit) {
-                                return false;
-                            }
-                        }
-                    }
-                    None => {
-                        for dv in self.g.vertex_ids() {
-                            if !cv.accepts(self.g, dv) {
-                                continue;
-                            }
-                            if injective && partial.uses_data_vertex(dv) {
-                                continue;
-                            }
-                            let mut next = partial.clone();
-                            next.bind_vertex(vertex, dv);
-                            if !self.step(q, compiled, steps, i + 1, injective, &mut next, emit) {
-                                return false;
-                            }
-                        }
-                    }
-                }
-                true
-            }
+        match cx.steps[i] {
+            Step::Seed { vertex } => self.seed(cx, i, st, emit, vertex),
             Step::ExpandNew { edge, from, to } => {
-                let qe = q.edge(edge).expect("live");
-                let ce = compiled.edge(edge);
-                let cv_to = compiled.vertex(to);
-                let bound = partial.vertex(from).expect("plan binds from first");
-                let mut cands: Vec<(EdgeId, VertexId)> = Vec::new();
+                let qe = cx.q.edge(edge).expect("live");
+                let bound = st.vslots[from.0 as usize].expect("plan binds from first");
+                let ex = ExpandBinding {
+                    edge,
+                    to,
+                    ce: cx.compiled.edge(edge),
+                    cv_to: cx.compiled.vertex(to),
+                };
+                // whether the traversal leaves `bound` along its out-edges
+                // (and binds the data edge's dst) or its in-edges: identical
+                // booleans, merged into ExpandBinding consumers as `along`
                 let from_is_src = from == qe.src;
                 if qe.directions.forward {
                     // data edge μ(src) → μ(dst)
-                    if from_is_src {
-                        for &de in self.g.out_edges(bound) {
-                            cands.push((de, self.g.edge(de).dst));
-                        }
-                    } else {
-                        for &de in self.g.in_edges(bound) {
-                            cands.push((de, self.g.edge(de).src));
-                        }
+                    if !self.expand_direction(cx, i, st, emit, &ex, bound, from_is_src, false) {
+                        return false;
                     }
                 }
                 if qe.directions.backward {
-                    // data edge μ(dst) → μ(src)
-                    if from_is_src {
-                        for &de in self.g.in_edges(bound) {
-                            cands.push((de, self.g.edge(de).src));
-                        }
-                    } else {
-                        for &de in self.g.out_edges(bound) {
-                            cands.push((de, self.g.edge(de).dst));
-                        }
-                    }
-                }
-                cands.sort();
-                cands.dedup();
-                for (de, dv) in cands {
-                    if !ce.accepts(self.g.edge(de)) || !cv_to.accepts(self.g, dv) {
-                        continue;
-                    }
-                    if injective
-                        && (partial.uses_data_vertex(dv) || partial.uses_data_edge(de))
-                    {
-                        continue;
-                    }
-                    let mut next = partial.clone();
-                    next.bind_vertex(to, dv);
-                    next.bind_edge(edge, de);
-                    if !self.step(q, compiled, steps, i + 1, injective, &mut next, emit) {
+                    // data edge μ(dst) → μ(src): the mirror traversal. A
+                    // self-loop at `bound` sits in both adjacency lists, so
+                    // skip self-loops the forward pass already tried.
+                    if !self.expand_direction(
+                        cx,
+                        i,
+                        st,
+                        emit,
+                        &ex,
+                        bound,
+                        !from_is_src,
+                        qe.directions.forward,
+                    ) {
                         return false;
                     }
                 }
                 true
             }
             Step::Close { edge } => {
-                let qe = q.edge(edge).expect("live");
-                let ce = compiled.edge(edge);
-                let ms = partial.vertex(qe.src).expect("bound");
-                let mt = partial.vertex(qe.dst).expect("bound");
-                let mut cands: Vec<EdgeId> = Vec::new();
-                if qe.directions.forward {
-                    for &de in self.g.out_edges(ms) {
-                        if self.g.edge(de).dst == mt {
-                            cands.push(de);
-                        }
-                    }
+                let qe = cx.q.edge(edge).expect("live");
+                let ms = st.vslots[qe.src.0 as usize].expect("bound");
+                let mt = st.vslots[qe.dst.0 as usize].expect("bound");
+                if qe.directions.forward && !self.close_direction(cx, i, st, emit, edge, (ms, mt)) {
+                    return false;
                 }
-                if qe.directions.backward {
-                    for &de in self.g.out_edges(mt) {
-                        if self.g.edge(de).dst == ms {
-                            cands.push(de);
-                        }
-                    }
-                }
-                cands.sort();
-                cands.dedup();
-                for de in cands {
-                    if !ce.accepts(self.g.edge(de)) {
-                        continue;
-                    }
-                    if injective && partial.uses_data_edge(de) {
-                        continue;
-                    }
-                    let mut next = partial.clone();
-                    next.bind_edge(edge, de);
-                    if !self.step(q, compiled, steps, i + 1, injective, &mut next, emit) {
-                        return false;
-                    }
+                // when both endpoints map to one data vertex the forward
+                // pass already enumerated every self-loop there
+                if qe.directions.backward
+                    && !(qe.directions.forward && ms == mt)
+                    && !self.close_direction(cx, i, st, emit, edge, (mt, ms))
+                {
+                    return false;
                 }
                 true
             }
         }
     }
 
-    /// Candidate list from the index if the seed vertex pins the indexed
-    /// attribute with a `OneOf` interval.
-    fn seed_candidates(&self, q: &PatternQuery, vertex: QVid) -> Option<Vec<VertexId>> {
-        let idx = self.index.as_ref()?;
-        let qv = q.vertex(vertex)?;
-        for p in &qv.predicates {
-            if self.g.attr_symbol(&p.attr) == Some(idx.attr()) {
-                if let Interval::OneOf(vals) = &p.interval {
-                    let mut out = Vec::new();
-                    for v in vals {
-                        out.extend_from_slice(idx.lookup(v));
+    /// Execute a `Seed` step by *streaming* candidates — from the index
+    /// bucket when an equality-shaped predicate pins the indexed attribute,
+    /// from a full vertex scan otherwise — so a search under a small
+    /// `limit` stops without ever touching the rest of the candidate
+    /// space. Only a multi-value disjunction buffers (to deduplicate
+    /// repeated values' buckets).
+    fn seed(
+        &self,
+        cx: &SearchCtx<'_>,
+        i: usize,
+        st: &mut Scratch,
+        emit: &mut dyn FnMut(&Scratch) -> bool,
+        vertex: QVid,
+    ) -> bool {
+        let cv = cx.compiled.vertex(vertex);
+        match self.seed_source(cx.q, vertex) {
+            SeedSource::Scan => {
+                for dv in self.g.vertex_ids() {
+                    if !cv.accepts(self.g, dv) {
+                        continue;
                     }
-                    out.sort();
-                    out.dedup();
-                    return Some(out);
+                    if !self.bind_seed(cx, i, st, emit, vertex, dv) {
+                        return false;
+                    }
+                }
+                true
+            }
+            SeedSource::Bucket(bucket) => {
+                for &dv in bucket {
+                    if !cv.accepts(self.g, dv) {
+                        continue;
+                    }
+                    if !self.bind_seed(cx, i, st, emit, vertex, dv) {
+                        return false;
+                    }
+                }
+                true
+            }
+            SeedSource::Union(vals) => {
+                let idx = self.index.as_ref().expect("union source implies an index");
+                // the buffer is detached from the arena while the search
+                // below mutates it, and reattached (keeping its allocation)
+                // before returning
+                let mut seeds = std::mem::take(&mut st.seeds);
+                seeds.clear();
+                for v in vals {
+                    seeds.extend_from_slice(idx.lookup(v));
+                }
+                // repeated disjunction values would repeat their buckets
+                seeds.sort_unstable();
+                seeds.dedup();
+                let mut live = true;
+                for &dv in &seeds {
+                    if !cv.accepts(self.g, dv) {
+                        continue;
+                    }
+                    if !self.bind_seed(cx, i, st, emit, vertex, dv) {
+                        live = false;
+                        break;
+                    }
+                }
+                seeds.clear();
+                st.seeds = seeds;
+                live
+            }
+        }
+    }
+
+    /// Bind one seed candidate, recurse, unbind.
+    fn bind_seed(
+        &self,
+        cx: &SearchCtx<'_>,
+        i: usize,
+        st: &mut Scratch,
+        emit: &mut dyn FnMut(&Scratch) -> bool,
+        vertex: QVid,
+        dv: VertexId,
+    ) -> bool {
+        // the seed is the first binding of its component; earlier
+        // components' bindings are irrelevant (injectivity is
+        // per-component), so no occupancy check is needed here
+        let slot = vertex.0 as usize;
+        st.vslots[slot] = Some(dv);
+        if cx.injective {
+            st.set_vertex_used(dv, true);
+        }
+        let cont = self.step(cx, i + 1, st, emit);
+        st.vslots[slot] = None;
+        if cx.injective {
+            st.set_vertex_used(dv, false);
+        }
+        cont
+    }
+
+    /// One expansion direction: enumerate the candidate edges leaving
+    /// `bound`, restricted to the admissible edge types via the graph's
+    /// type-grouped adjacency, and try to bind each. `along_src` is true
+    /// when `bound` plays the data edge's source role in this direction
+    /// (out-edges are scanned and the edge's dst becomes the new binding);
+    /// `skip_self_loops` drops self-loops the opposite pass already tried.
+    #[allow(clippy::too_many_arguments)]
+    fn expand_direction(
+        &self,
+        cx: &SearchCtx<'_>,
+        i: usize,
+        st: &mut Scratch,
+        emit: &mut dyn FnMut(&Scratch) -> bool,
+        ex: &ExpandBinding<'_>,
+        bound: VertexId,
+        along_src: bool,
+        skip_self_loops: bool,
+    ) -> bool {
+        match &ex.ce.types {
+            Some(tys) => {
+                for &t in tys {
+                    let list = if along_src {
+                        self.g.out_edges_of(bound, t)
+                    } else {
+                        self.g.in_edges_of(bound, t)
+                    };
+                    if !self.expand_list(cx, i, st, emit, ex, list, along_src, skip_self_loops) {
+                        return false;
+                    }
+                }
+                true
+            }
+            None => {
+                let list = if along_src {
+                    self.g.out_edges(bound)
+                } else {
+                    self.g.in_edges(bound)
+                };
+                self.expand_list(cx, i, st, emit, ex, list, along_src, skip_self_loops)
+            }
+        }
+    }
+
+    /// Try every candidate edge of one adjacency slice.
+    #[allow(clippy::too_many_arguments)]
+    fn expand_list(
+        &self,
+        cx: &SearchCtx<'_>,
+        i: usize,
+        st: &mut Scratch,
+        emit: &mut dyn FnMut(&Scratch) -> bool,
+        ex: &ExpandBinding<'_>,
+        list: &[EdgeId],
+        take_dst: bool,
+        skip_self_loops: bool,
+    ) -> bool {
+        for &de in list {
+            let ed = self.g.edge(de);
+            if skip_self_loops && ed.src == ed.dst {
+                continue;
+            }
+            let dv = if take_dst { ed.dst } else { ed.src };
+            if !self.try_bind(cx, i, st, emit, ex, de, ed, dv) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// One closing direction: bind data edges running `ends.0 → ends.1`,
+    /// restricted to admissible types and scanning whichever adjacency
+    /// slice of the two endpoints is shorter.
+    fn close_direction(
+        &self,
+        cx: &SearchCtx<'_>,
+        i: usize,
+        st: &mut Scratch,
+        emit: &mut dyn FnMut(&Scratch) -> bool,
+        edge: whyq_query::QEid,
+        ends: (VertexId, VertexId),
+    ) -> bool {
+        let ce = cx.compiled.edge(edge);
+        match &ce.types {
+            Some(tys) => {
+                for &t in tys {
+                    let lists = (
+                        self.g.out_edges_of(ends.0, t),
+                        self.g.in_edges_of(ends.1, t),
+                    );
+                    if !self.close_pass(cx, i, st, emit, edge, ends, lists) {
+                        return false;
+                    }
+                }
+                true
+            }
+            None => {
+                let lists = (self.g.out_edges(ends.0), self.g.in_edges(ends.1));
+                self.close_pass(cx, i, st, emit, edge, ends, lists)
+            }
+        }
+    }
+
+    /// Scan one pair of candidate slices for edges running `ends.0 →
+    /// ends.1`, using whichever of the two is shorter.
+    #[allow(clippy::too_many_arguments)]
+    fn close_pass(
+        &self,
+        cx: &SearchCtx<'_>,
+        i: usize,
+        st: &mut Scratch,
+        emit: &mut dyn FnMut(&Scratch) -> bool,
+        edge: whyq_query::QEid,
+        ends: (VertexId, VertexId),
+        lists: (&[EdgeId], &[EdgeId]),
+    ) -> bool {
+        let ce = cx.compiled.edge(edge);
+        let scan_out = lists.0.len() <= lists.1.len();
+        let list = if scan_out { lists.0 } else { lists.1 };
+        for &de in list {
+            let ed = self.g.edge(de);
+            if scan_out {
+                if ed.dst != ends.1 {
+                    continue;
+                }
+            } else if ed.src != ends.0 {
+                continue;
+            }
+            if cx.injective && st.edge_used(de) {
+                continue;
+            }
+            if !ce.accepts(ed) {
+                continue;
+            }
+            let slot = edge.0 as usize;
+            st.eslots[slot] = Some(de);
+            if cx.injective {
+                st.set_edge_used(de, true);
+            }
+            let cont = self.step(cx, i + 1, st, emit);
+            st.eslots[slot] = None;
+            if cx.injective {
+                st.set_edge_used(de, false);
+            }
+            if !cont {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Try one expansion candidate: filter, bind edge + new vertex in
+    /// place, recurse, unbind. Returns `false` to abort the whole search.
+    /// The O(1) occupancy checks run before the predicate checks — a stamp
+    /// compare is far cheaper than attribute lookups and value equality.
+    #[allow(clippy::too_many_arguments)]
+    fn try_bind(
+        &self,
+        cx: &SearchCtx<'_>,
+        i: usize,
+        st: &mut Scratch,
+        emit: &mut dyn FnMut(&Scratch) -> bool,
+        ex: &ExpandBinding<'_>,
+        de: whyq_graph::EdgeId,
+        ed: &whyq_graph::EdgeData,
+        dv: VertexId,
+    ) -> bool {
+        if cx.injective && (st.vertex_used(dv) || st.edge_used(de)) {
+            return true;
+        }
+        if !ex.ce.accepts(ed) || !ex.cv_to.accepts(self.g, dv) {
+            return true;
+        }
+        let vslot = ex.to.0 as usize;
+        let eslot = ex.edge.0 as usize;
+        st.vslots[vslot] = Some(dv);
+        st.eslots[eslot] = Some(de);
+        if cx.injective {
+            st.set_vertex_used(dv, true);
+            st.set_edge_used(de, true);
+        }
+        let cont = self.step(cx, i + 1, st, emit);
+        st.vslots[vslot] = None;
+        st.eslots[eslot] = None;
+        if cx.injective {
+            st.set_vertex_used(dv, false);
+            st.set_edge_used(de, false);
+        }
+        cont
+    }
+
+    /// Where the candidates of a `Seed` step come from: the index bucket
+    /// of an equality-shaped predicate on the indexed attribute (an
+    /// explicit `OneOf` or a degenerate point `Range` with `lo == hi`,
+    /// both inclusive), or a full vertex scan.
+    fn seed_source<'m>(&'m self, q: &'m PatternQuery, vertex: QVid) -> SeedSource<'m> {
+        if let (Some(idx), Some(qv)) = (self.index.as_ref(), q.vertex(vertex)) {
+            for p in &qv.predicates {
+                if self.g.attr_symbol(&p.attr) != Some(idx.attr()) {
+                    continue;
+                }
+                match &p.interval {
+                    Interval::OneOf(vals) if vals.len() == 1 => {
+                        return SeedSource::Bucket(idx.lookup(&vals[0]));
+                    }
+                    Interval::OneOf(vals) => return SeedSource::Union(vals),
+                    Interval::Range {
+                        lo: Some(lo),
+                        hi: Some(hi),
+                        lo_incl: true,
+                        hi_incl: true,
+                    } if lo == hi => {
+                        // point equality: `Value` equates (and buckets)
+                        // numeric family members, so one f64 probe covers
+                        // both Int and Float encodings of the value
+                        return SeedSource::Bucket(idx.lookup(&Value::Float(*lo)));
+                    }
+                    _ => {}
                 }
             }
         }
-        None
+        SeedSource::Scan
     }
 }
 
@@ -326,9 +707,10 @@ pub fn find_matches(g: &PropertyGraph, q: &PatternQuery, limit: Option<usize>) -
     )
 }
 
-/// Count the result graphs of `q` over `g`, stopping early at `limit`.
+/// Count the result graphs of `q` over `g` injectively, stopping early at
+/// `limit`.
 pub fn count_matches(g: &PropertyGraph, q: &PatternQuery, limit: Option<u64>) -> u64 {
-    Matcher::new(g).count(q, limit)
+    Matcher::new(g).count(q, MatchOptions::counting(limit))
 }
 
 #[cfg(test)]
@@ -450,7 +832,9 @@ mod tests {
     #[test]
     fn limits_stop_early() {
         let g = social();
-        let q = QueryBuilder::new("p").vertex("p", [Predicate::eq("type", "person")]).build();
+        let q = QueryBuilder::new("p")
+            .vertex("p", [Predicate::eq("type", "person")])
+            .build();
         assert_eq!(count_matches(&g, &q, Some(2)), 2);
         assert_eq!(find_matches(&g, &q, Some(2)).len(), 2);
         assert_eq!(count_matches(&g, &q, None), 3);
@@ -468,9 +852,57 @@ mod tests {
     fn indexed_matcher_agrees_with_scan() {
         let g = social();
         let q = co_located_friends();
-        let plain = Matcher::new(&g).count(&q, None);
-        let indexed = Matcher::new(&g).with_index("type").count(&q, None);
+        let plain = Matcher::new(&g).count(&q, MatchOptions::default());
+        let indexed = Matcher::new(&g)
+            .with_index("type")
+            .count(&q, MatchOptions::default());
         assert_eq!(plain, indexed);
+    }
+
+    #[test]
+    fn point_range_predicate_hits_index() {
+        let mut g = PropertyGraph::new();
+        let mut last = None;
+        for year in 2000..2010 {
+            let v = g.add_vertex([("year", Value::Int(year))]);
+            last = Some(v);
+        }
+        g.add_vertex([("year", Value::Float(2005.0))]);
+        let _ = last;
+        let q = QueryBuilder::new("y")
+            .vertex("v", [Predicate::between("year", 2005.0, 2005.0)])
+            .build();
+        let plain = Matcher::new(&g).count(&q, MatchOptions::default());
+        let indexed = Matcher::new(&g)
+            .with_index("year")
+            .count(&q, MatchOptions::default());
+        // both the Int(2005) and the Float(2005.0) vertex match
+        assert_eq!(plain, 2);
+        assert_eq!(indexed, 2);
+    }
+
+    #[test]
+    fn count_respects_homomorphic_options() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_vertex([("type", Value::str("person"))]);
+        let b = g.add_vertex([("type", Value::str("person"))]);
+        g.add_edge(a, b, "knows", []);
+        g.add_edge(b, a, "knows", []);
+        let q = QueryBuilder::new("path")
+            .vertex("p1", [])
+            .vertex("p2", [])
+            .vertex("p3", [])
+            .edge("p1", "p2", "knows")
+            .edge("p2", "p3", "knows")
+            .build();
+        let m = Matcher::new(&g);
+        assert_eq!(m.count(&q, MatchOptions::default()), 0);
+        let hom = MatchOptions {
+            injective: false,
+            limit: None,
+        };
+        assert_eq!(m.count(&q, hom), 2);
+        assert_eq!(m.find(&q, hom).len() as u64, m.count(&q, hom));
     }
 
     #[test]
@@ -512,5 +944,61 @@ mod tests {
             .edge("x", "y", "t")
             .build();
         assert_eq!(count_matches(&g, &q, None), 2);
+    }
+
+    #[test]
+    fn self_loops_with_both_directions_not_double_counted() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_vertex([]);
+        let b = g.add_vertex([]);
+        g.add_edge(a, a, "t", []);
+        g.add_edge(a, b, "t", []);
+        // x -t- y in both directions: the self-loop must not produce two
+        // bindings for the same (edge, vertex) pair
+        let q = QueryBuilder::new("b")
+            .vertex("x", [])
+            .vertex("y", [])
+            .edge_full("x", "y", "t", DirectionSet::BOTH, [])
+            .build();
+        // injective matches: (a,b) via forward, (b,a) via backward
+        assert_eq!(count_matches(&g, &q, None), 2);
+        let hom = Matcher::new(&g).find(
+            &q,
+            MatchOptions {
+                injective: false,
+                limit: None,
+            },
+        );
+        // homomorphic adds (a,a) once — not twice
+        assert_eq!(hom.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_edge_types_not_double_counted() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_vertex([]);
+        let b = g.add_vertex([]);
+        g.add_edge(a, b, "knows", []);
+        let mut q = PatternQuery::new();
+        let x = q.add_vertex(whyq_query::QueryVertex::any());
+        let y = q.add_vertex(whyq_query::QueryVertex::any());
+        let mut e = whyq_query::QueryEdge::typed(x, y, "knows");
+        e.types.push("knows".into());
+        q.add_edge(e);
+        // the type disjunction admits "knows" twice; the edge must still
+        // bind once
+        assert_eq!(count_matches(&g, &q, None), 1);
+        assert_eq!(find_matches(&g, &q, None).len(), 1);
+    }
+
+    #[test]
+    fn scratch_is_reused_across_calls() {
+        let g = social();
+        let q = co_located_friends();
+        let m = Matcher::new(&g).with_index("type");
+        for _ in 0..3 {
+            assert_eq!(m.count(&q, MatchOptions::default()), 1);
+            assert_eq!(m.find(&q, MatchOptions::default()).len(), 1);
+        }
     }
 }

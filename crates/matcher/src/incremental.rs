@@ -36,7 +36,10 @@ fn compile_edge(g: &PropertyGraph, q: &PatternQuery, e: QEid) -> CompiledEdge {
     let types = if qe.types.is_empty() {
         None
     } else {
-        Some(qe.types.iter().filter_map(|t| g.type_symbol(t)).collect())
+        let mut tys: Vec<_> = qe.types.iter().filter_map(|t| g.type_symbol(t)).collect();
+        tys.sort_unstable();
+        tys.dedup();
+        Some(tys)
     };
     CompiledEdge {
         types,

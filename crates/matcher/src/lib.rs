@@ -26,9 +26,11 @@ pub mod compile;
 pub mod engine;
 pub mod incremental;
 pub mod index;
+pub mod reference;
 pub mod result;
 
 pub use engine::{count_matches, find_matches, MatchOptions, Matcher};
 pub use incremental::{extend_matches, seed_matches};
 pub use index::AttrIndex;
+pub use reference::{count_matches_naive, find_matches_naive};
 pub use result::ResultGraph;

@@ -99,9 +99,8 @@ pub fn graph_edit_counts(q1: &PatternQuery, q2: &PatternQuery) -> EditCounts {
                         counts.type_edits += 1;
                     }
                 }
-                counts.direction_edits +=
-                    usize::from(a.directions.forward != b.directions.forward)
-                        + usize::from(a.directions.backward != b.directions.backward);
+                counts.direction_edits += usize::from(a.directions.forward != b.directions.forward)
+                    + usize::from(a.directions.backward != b.directions.backward);
                 let mut attrs: Vec<&str> = a
                     .predicates
                     .iter()
@@ -137,13 +136,14 @@ pub fn graph_edit_distance(q1: &PatternQuery, q2: &PatternQuery) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use whyq_query::{
-        Direction, GraphMod, Interval, Predicate, QueryBuilder, Target,
-    };
+    use whyq_query::{Direction, GraphMod, Interval, Predicate, QueryBuilder, Target};
 
     fn base() -> PatternQuery {
         QueryBuilder::new("b")
-            .vertex("a", [Predicate::eq("type", "person"), Predicate::eq("age", 30)])
+            .vertex(
+                "a",
+                [Predicate::eq("type", "person"), Predicate::eq("age", 30)],
+            )
             .vertex("b", [Predicate::eq("type", "city")])
             .edge("a", "b", "livesIn")
             .build()

@@ -174,7 +174,10 @@ mod tests {
         // normalization arithmetic holds for our pipeline on a same-shape
         // matrix by checking the hungarian total directly in hungarian.rs.
         // Here: distance bounded by [0, 1] sanity on random-ish inputs.
-        let orig = vec![rg(&[(0, 1), (1, 2)], &[(0, 0)]), rg(&[(0, 3), (1, 4)], &[(0, 1)])];
+        let orig = vec![
+            rg(&[(0, 1), (1, 2)], &[(0, 0)]),
+            rg(&[(0, 3), (1, 4)], &[(0, 1)]),
+        ];
         let expl = vec![rg(&[(0, 1), (1, 9)], &[(0, 0)])];
         let d = result_set_distance(&orig, &expl);
         assert!((0.0..=1.0).contains(&d));

@@ -90,21 +90,25 @@ pub fn syntactic_distance(q1: &PatternQuery, q2: &PatternQuery) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use whyq_query::{
-        DirectionSet, GraphMod, Interval, Predicate, QueryBuilder, Target,
-    };
+    use whyq_query::{DirectionSet, GraphMod, Interval, Predicate, QueryBuilder, Target};
 
     /// Fig. 3.5a — the thesis's worked example query.
     fn fig35a() -> PatternQuery {
         QueryBuilder::new("fig3.5a")
             .vertex(
                 "anna",
-                [Predicate::eq("type", "person"), Predicate::eq("name", "Anna")],
+                [
+                    Predicate::eq("type", "person"),
+                    Predicate::eq("name", "Anna"),
+                ],
             )
             .vertex("uni", [Predicate::eq("type", "university")])
             .vertex(
                 "city",
-                [Predicate::eq("type", "city"), Predicate::eq("name", "Berlin")],
+                [
+                    Predicate::eq("type", "city"),
+                    Predicate::eq("name", "Berlin"),
+                ],
             )
             .vertex(
                 "student",

@@ -29,15 +29,8 @@ impl QueryBuilder {
     ///
     /// # Panics
     /// Panics if `key` was already used (construction bug).
-    pub fn vertex(
-        mut self,
-        key: &str,
-        predicates: impl IntoIterator<Item = Predicate>,
-    ) -> Self {
-        assert!(
-            !self.keys.contains_key(key),
-            "duplicate vertex key {key:?}"
-        );
+    pub fn vertex(mut self, key: &str, predicates: impl IntoIterator<Item = Predicate>) -> Self {
+        assert!(!self.keys.contains_key(key), "duplicate vertex key {key:?}");
         let id = self
             .query
             .add_vertex(QueryVertex::with(predicates).labeled(key));
@@ -116,12 +109,18 @@ mod tests {
         let q = QueryBuilder::new("fig3.5a")
             .vertex(
                 "anna",
-                [Predicate::eq("type", "person"), Predicate::eq("name", "Anna")],
+                [
+                    Predicate::eq("type", "person"),
+                    Predicate::eq("name", "Anna"),
+                ],
             )
             .vertex("uni", [Predicate::eq("type", "university")])
             .vertex(
                 "city",
-                [Predicate::eq("type", "city"), Predicate::eq("name", "Berlin")],
+                [
+                    Predicate::eq("type", "city"),
+                    Predicate::eq("name", "Berlin"),
+                ],
             )
             .vertex(
                 "student",
@@ -150,9 +149,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate vertex key")]
     fn duplicate_key_panics() {
-        let _ = QueryBuilder::new("x")
-            .vertex("a", [])
-            .vertex("a", []);
+        let _ = QueryBuilder::new("x").vertex("a", []).vertex("a", []);
     }
 
     #[test]

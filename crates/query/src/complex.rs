@@ -225,9 +225,7 @@ impl ComplexOp {
                         Target::Vertex(v) => {
                             &q.vertex(*v).ok_or(ModError::NoSuchVertex(*v))?.predicates
                         }
-                        Target::Edge(e) => {
-                            &q.edge(*e).ok_or(ModError::NoSuchEdge(*e))?.predicates
-                        }
+                        Target::Edge(e) => &q.edge(*e).ok_or(ModError::NoSuchEdge(*e))?.predicates,
                     };
                     for p in preds {
                         mods.push(GraphMod::RemovePredicate {
@@ -358,7 +356,12 @@ mod tests {
             values: vec![Value::str("village")],
         };
         let out = op.applied(&q).unwrap();
-        let i = &out.vertex(QVid(2)).unwrap().predicate("type").unwrap().interval;
+        let i = &out
+            .vertex(QVid(2))
+            .unwrap()
+            .predicate("type")
+            .unwrap()
+            .interval;
         assert!(i.matches(&Value::str("village")));
         assert!(i.matches(&Value::str("city")));
         // no-op extension is rejected
@@ -379,7 +382,10 @@ mod tests {
             to: "follows".into(),
         };
         let out = op.applied(&q).unwrap();
-        assert_eq!(out.edge(QEid(0)).unwrap().types, vec!["follows".to_string()]);
+        assert_eq!(
+            out.edge(QEid(0)).unwrap().types,
+            vec!["follows".to_string()]
+        );
     }
 
     #[test]

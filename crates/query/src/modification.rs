@@ -338,7 +338,9 @@ impl fmt::Display for GraphMod {
             GraphMod::InsertDirection { edge, dir } => {
                 write!(f, "add direction {dir:?} to {edge}")
             }
-            GraphMod::InsertEdge { src, dst, types, .. } => {
+            GraphMod::InsertEdge {
+                src, dst, types, ..
+            } => {
                 write!(f, "insert edge {src}->{dst} ({})", types.join("|"))
             }
             GraphMod::InsertVertex { .. } => write!(f, "insert vertex"),
@@ -350,7 +352,11 @@ impl fmt::Display for GraphMod {
             }
             GraphMod::RemoveType { edge, ty } => write!(f, "remove type {ty:?} from {edge}"),
             GraphMod::InsertType { edge, ty } => write!(f, "add type {ty:?} to {edge}"),
-            GraphMod::ReplaceInterval { target, attr, interval } => {
+            GraphMod::ReplaceInterval {
+                target,
+                attr,
+                interval,
+            } => {
                 write!(f, "set {attr:?} on {target} to {interval}")
             }
         }

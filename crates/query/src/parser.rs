@@ -463,8 +463,16 @@ mod tests {
         assert!(age.interval.matches(&Value::Int(30)));
         assert!(!age.interval.matches(&Value::Int(29)));
         let e = q.edge(crate::query::QEid(0)).unwrap();
-        assert!(e.predicate("since").unwrap().interval.matches(&Value::Int(2009)));
-        assert!(!e.predicate("since").unwrap().interval.matches(&Value::Int(2010)));
+        assert!(e
+            .predicate("since")
+            .unwrap()
+            .interval
+            .matches(&Value::Int(2009)));
+        assert!(!e
+            .predicate("since")
+            .unwrap()
+            .interval
+            .matches(&Value::Int(2010)));
     }
 
     #[test]
@@ -516,9 +524,17 @@ mod tests {
     fn numeric_and_boolean_literals() {
         let q = parse_query("(a {x = 3.5, y = -7, z = true})").unwrap();
         let v = q.vertex(QVid(0)).unwrap();
-        assert!(v.predicate("x").unwrap().interval.matches(&Value::Float(3.5)));
+        assert!(v
+            .predicate("x")
+            .unwrap()
+            .interval
+            .matches(&Value::Float(3.5)));
         assert!(v.predicate("y").unwrap().interval.matches(&Value::Int(-7)));
-        assert!(v.predicate("z").unwrap().interval.matches(&Value::Bool(true)));
+        assert!(v
+            .predicate("z")
+            .unwrap()
+            .interval
+            .matches(&Value::Bool(true)));
     }
 
     #[test]

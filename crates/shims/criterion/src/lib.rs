@@ -1,0 +1,240 @@
+//! Offline shim for the subset of the `criterion` API the workspace benches
+//! use: `Criterion`, `benchmark_group`, `bench_function`, `Bencher::iter`
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. The shim still *measures*: every benchmark runs a warm-up to
+//! calibrate the per-sample iteration count, then takes timed samples and
+//! reports median / mean / min ns-per-iteration to stdout. When the
+//! `WHYQ_BENCH_JSON` environment variable names a file, all results of the
+//! process are appended there as a JSON array — the workspace commits such
+//! snapshots (e.g. `BENCH_matcher.json`) as performance evidence.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export mirroring `criterion::black_box` (benches mostly use
+/// `std::hint::black_box` directly).
+pub use std::hint::black_box;
+
+/// One measured benchmark, accumulated for the JSON snapshot.
+#[derive(Debug, Clone)]
+struct Record {
+    group: String,
+    name: String,
+    samples: usize,
+    iters_per_sample: u64,
+    median_ns: f64,
+    mean_ns: f64,
+    min_ns: f64,
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    records: Vec<Record>,
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 50,
+        }
+    }
+
+    /// Run a benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(name, f);
+        group.finish();
+        self
+    }
+
+    /// Write the JSON snapshot if `WHYQ_BENCH_JSON` is set. Called by
+    /// `criterion_main!`; harmless to call more than once.
+    pub fn final_summary(&self) {
+        let Ok(path) = std::env::var("WHYQ_BENCH_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let mut out = String::from("[\n");
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "  {{\"group\": \"{}\", \"bench\": \"{}\", \"samples\": {}, \
+                 \"iters_per_sample\": {}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \
+                 \"min_ns\": {:.1}}}",
+                escape(&r.group),
+                escape(&r.name),
+                r.samples,
+                r.iters_per_sample,
+                r.median_ns,
+                r.mean_ns,
+                r.min_ns,
+            ));
+        }
+        out.push_str("\n]\n");
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("criterion shim: cannot write {path}: {e}");
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// A named collection of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Measure one benchmark function.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        // calibration: find an iteration count that makes one sample take
+        // roughly `target` so Instant quantisation is negligible
+        let target = Duration::from_millis(5);
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= target || iters >= 1 << 20 {
+                break;
+            }
+            // grow towards the target with a safety factor
+            let scale = if b.elapsed.is_zero() {
+                16.0
+            } else {
+                (target.as_secs_f64() / b.elapsed.as_secs_f64()).clamp(1.5, 16.0)
+            };
+            iters = ((iters as f64 * scale).ceil() as u64).max(iters + 1);
+        }
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+        let min = per_iter_ns[0];
+
+        let full = if self.name.is_empty() {
+            name.clone()
+        } else {
+            format!("{}/{}", self.name, name)
+        };
+        println!(
+            "bench {full:<50} median {median:>12.1} ns/iter  (mean {mean:.1}, min {min:.1}, \
+             {} samples x {iters} iters)",
+            self.sample_size
+        );
+        let _ = std::io::stdout().flush();
+        self.criterion.records.push(Record {
+            group: self.name.clone(),
+            name,
+            samples: self.sample_size,
+            iters_per_sample: iters,
+            median_ns: median,
+            mean_ns: mean,
+            min_ns: min,
+        });
+        self
+    }
+
+    /// End the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to every benchmark closure; times the measured routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it the calibrated number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Mirror of `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Mirror of `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; ignore them
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut n = 0u64;
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                n = n.wrapping_add(1);
+                black_box(n)
+            })
+        });
+        g.finish();
+        assert_eq!(c.records.len(), 1);
+        assert!(c.records[0].median_ns > 0.0);
+    }
+}

@@ -1,0 +1,486 @@
+//! Offline shim for the subset of the `proptest` API the workspace tests
+//! use: the `proptest!` / `prop_compose!` / `prop_oneof!` macros, range and
+//! tuple strategies, `prop::collection::vec`, `any::<T>()`, simple
+//! character-class string strategies and `prop_map`.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. Differences from real proptest, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case reports its generated inputs (via
+//!   `Debug`) and the case index, which is enough to reproduce because the
+//!   generator is seeded deterministically from the test name;
+//! * string strategies support only the `[x-y]{n}` / `[x-y]{n,m}`
+//!   character-class patterns the tests actually use (plus literal
+//!   fallback), not full regex;
+//! * `prop_assert*` are plain `assert*` aliases (panic-based).
+
+use rand::{RngCore, RngExt, SeedableRng, StdRng};
+use std::rc::Rc;
+
+/// Deterministic per-test random source.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seed from a test name (FNV-1a) so every run is reproducible.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn range_usize(&mut self, lo: usize, hi_excl: usize) -> usize {
+        self.0.random_range(lo..hi_excl)
+    }
+}
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Type-erased strategy (used by `prop_oneof!` to mix arm types).
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Erase a concrete strategy.
+    pub fn new<S: Strategy<Value = T> + 'static>(s: S) -> Self {
+        BoxedStrategy(Rc::new(move |rng| s.generate(rng)))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform choice between same-typed strategies — the `prop_oneof!` engine.
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union of the given arms (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.range_usize(0, self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.0.random_range(self.clone())
+    }
+}
+
+/// Character-class string strategy: `[x-y]{n}` or `[x-y]{n,m}`; anything
+/// else generates the pattern itself as a literal.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match parse_char_class(self) {
+            Some((lo, hi, min, max)) => {
+                let len = if min == max {
+                    min
+                } else {
+                    rng.range_usize(min, max + 1)
+                };
+                (0..len)
+                    .map(|_| {
+                        let span = (hi as u32 - lo as u32 + 1) as usize;
+                        char::from_u32(lo as u32 + rng.range_usize(0, span) as u32).unwrap()
+                    })
+                    .collect()
+            }
+            None => (*self).to_string(),
+        }
+    }
+}
+
+fn parse_char_class(pat: &str) -> Option<(char, char, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let (class, rest) = rest.split_once(']')?;
+    let mut chars = class.chars();
+    let (lo, dash, hi) = (chars.next()?, chars.next()?, chars.next()?);
+    if dash != '-' || chars.next().is_some() || lo > hi {
+        return None;
+    }
+    let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (min, max) = match counts.split_once(',') {
+        Some((a, b)) => (a.parse().ok()?, b.parse().ok()?),
+        None => {
+            let n = counts.parse().ok()?;
+            (n, n)
+        }
+    };
+    if min > max {
+        return None;
+    }
+    Some((lo, hi, min, max))
+}
+
+/// Always produces a clone of one value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Generate one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // finite, roughly [-1e6, 1e6): plenty for numeric-property tests
+        ((rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 2e6
+    }
+}
+
+/// Strategy generating any value of `T`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (`any::<u8>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9, K 10);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9, K 10, L 11);
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Admissible size specifications for [`vec`].
+    pub trait SizeRange {
+        /// Pick a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.range_usize(self.start, self.end)
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.range_usize(*self.start(), *self.end() + 1)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(element, size)`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec` resolves.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{
+        any, collection, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_compose,
+        prop_oneof, proptest, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Assert inside a property (alias of `assert!`; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)+) => { assert!($($tt)+) };
+}
+
+/// Assert equality inside a property (alias of `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)+) => { assert_eq!($($tt)+) };
+}
+
+/// Assert inequality inside a property (alias of `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)+) => { assert_ne!($($tt)+) };
+}
+
+/// Uniform choice between strategies (weights unsupported by the shim).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::BoxedStrategy::new($arm)),+])
+    };
+}
+
+/// Named composite strategy: `fn name()(bindings in strategies) -> T`.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        fn $name:ident()($($arg:ident in $strat:expr),+ $(,)?) -> $out:ty $body:block
+    ) => {
+        $(#[$meta])*
+        fn $name() -> impl $crate::Strategy<Value = $out> {
+            use $crate::Strategy as _;
+            ($($strat,)+).prop_map(move |($($arg,)+)| $body)
+        }
+    };
+}
+
+/// Property-test block: deterministic cases, inputs reported on failure.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (
+        @impl ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                let mut __rng = $crate::TestRng::from_name(stringify!($name));
+                let __strategy = ($($strat,)+);
+                for __case in 0..__config.cases {
+                    use $crate::Strategy as _;
+                    let ($($arg,)+) = __strategy.generate(&mut __rng);
+                    let __inputs = format!(
+                        concat!($("  ", stringify!($arg), " = {:?}\n"),+),
+                        $(&$arg),+
+                    );
+                    let __outcome = std::panic::catch_unwind(
+                        std::panic::AssertUnwindSafe(|| { $body })
+                    );
+                    if let Err(__panic) = __outcome {
+                        eprintln!(
+                            "proptest shim: case #{} of {} failed with inputs:\n{}",
+                            __case, stringify!($name), __inputs
+                        );
+                        std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_collections() {
+        let mut rng = TestRng::from_name("t");
+        for _ in 0..200 {
+            let x = (2usize..6).generate(&mut rng);
+            assert!((2..6).contains(&x));
+            let v = collection::vec(0u8..3, 1..5).generate(&mut rng);
+            assert!((1..5).contains(&v.len()));
+            assert!(v.iter().all(|&b| b < 3));
+            let s = "[a-c]{1,2}".generate(&mut rng);
+            assert!((1..=2).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let mut rng = TestRng::from_name("arms");
+        let s = prop_oneof![(0i64..1).prop_map(|_| 0u8), (0i64..1).prop_map(|_| 1u8)];
+        let mut seen = [false; 2];
+        for _ in 0..100 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    prop_compose! {
+        fn pair()(a in 0u8..10, b in 0u8..10) -> (u8, u8) { (a, b) }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn composed_pairs_in_range(p in pair(), flag in any::<bool>()) {
+            prop_assert!(p.0 < 10 && p.1 < 10);
+            let _ = flag;
+        }
+    }
+}

@@ -28,7 +28,10 @@ fn main() {
         .vertex("s", [Predicate::eq("type", "settlement")])
         .vertex(
             "c",
-            [Predicate::eq("type", "country"), Predicate::eq("name", "Borduria")],
+            [
+                Predicate::eq("type", "country"),
+                Predicate::eq("name", "Borduria"),
+            ],
         )
         .edge("f", "p", "starring")
         .edge("p", "s", "birthPlace")

@@ -28,7 +28,10 @@ fn main() {
 
     let outcome = TraverseSearchTree::new(&g).run(&query, goal);
 
-    println!("\nexecuted {} candidates; search trajectory (executed → best |C_thr−C|):", outcome.executed);
+    println!(
+        "\nexecuted {} candidates; search trajectory (executed → best |C_thr−C|):",
+        outcome.executed
+    );
     let mut last = u64::MAX;
     for &(executed, dev) in &outcome.trajectory {
         if dev < last {

@@ -11,10 +11,7 @@ fn main() {
     // 1. A tiny data graph: Anna works at TU Dresden, located in Dresden.
     // ----------------------------------------------------------------
     let mut g = PropertyGraph::new();
-    let anna = g.add_vertex([
-        ("type", Value::str("person")),
-        ("name", Value::str("Anna")),
-    ]);
+    let anna = g.add_vertex([("type", Value::str("person")), ("name", Value::str("Anna"))]);
     let tud = g.add_vertex([
         ("type", Value::str("university")),
         ("name", Value::str("TU Dresden")),
@@ -34,14 +31,20 @@ fn main() {
         .vertex("u", [Predicate::eq("type", "university")])
         .vertex(
             "c",
-            [Predicate::eq("type", "city"), Predicate::eq("name", "Berlin")],
+            [
+                Predicate::eq("type", "city"),
+                Predicate::eq("name", "Berlin"),
+            ],
         )
         .edge("p", "u", "workAt")
         .edge("u", "c", "locatedIn")
         .build();
 
     let n = count_matches(&g, &query, None);
-    println!("query {:?} returned {n} results", query.name.as_deref().unwrap());
+    println!(
+        "query {:?} returned {n} results",
+        query.name.as_deref().unwrap()
+    );
     assert_eq!(n, 0);
 
     // ----------------------------------------------------------------

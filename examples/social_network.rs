@@ -26,7 +26,10 @@ fn main() {
     let query = QueryBuilder::new("who-knows-city-dwellers")
         .vertex(
             "p1",
-            [Predicate::eq("type", "person"), Predicate::eq("gender", "female")],
+            [
+                Predicate::eq("type", "person"),
+                Predicate::eq("gender", "female"),
+            ],
         )
         .vertex("p2", [Predicate::eq("type", "person")])
         .vertex("city", [Predicate::eq("type", "city")])

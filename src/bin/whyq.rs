@@ -30,7 +30,9 @@ fn main() -> ExitCode {
             eprintln!("  whyq generate <ldbc|dbpedia> [--scale N] [--seed S] [--out FILE]");
             eprintln!("  whyq stats    <GRAPH>");
             eprintln!("  whyq match    <GRAPH> <PATTERN> [--limit N]");
-            eprintln!("  whyq why      <GRAPH> <PATTERN> [--at-least N] [--at-most N] [--between LO HI]");
+            eprintln!(
+                "  whyq why      <GRAPH> <PATTERN> [--at-least N] [--at-most N] [--between LO HI]"
+            );
             ExitCode::FAILURE
         }
     }
@@ -111,7 +113,10 @@ fn stats(args: &[String]) -> Result<(), String> {
     println!("vertices: {}", g.num_vertices());
     println!("edges:    {}", g.num_edges());
     let d = whyquery::graph::stats::degree_summary(&g);
-    println!("degree:   min {} / mean {:.1} / max {}", d.min, d.mean, d.max);
+    println!(
+        "degree:   min {} / mean {:.1} / max {}",
+        d.min, d.mean, d.max
+    );
     println!("\nvertex types:");
     for (ty, c) in whyquery::graph::stats::vertex_attr_histogram(&g, "type") {
         println!("  {ty:<24} {c}");

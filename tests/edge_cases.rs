@@ -85,7 +85,10 @@ fn huge_thresholds_do_not_overflow() {
     let engine = WhyEngine::new(&g);
     let d = engine.classify(&q, CardinalityGoal::AtLeast(u64::MAX));
     assert_eq!(d, WhyProblem::WhySoFew);
-    assert_eq!(CardinalityGoal::AtLeast(u64::MAX).deviation(2), u64::MAX - 2);
+    assert_eq!(
+        CardinalityGoal::AtLeast(u64::MAX).deviation(2),
+        u64::MAX - 2
+    );
     // fine search terminates at budget without finding a fix
     let out = TraverseSearchTree::new(&g)
         .with_config(FineConfig {
@@ -174,8 +177,8 @@ fn mcs_with_tiny_intermediate_cap_still_terminates() {
 fn malformed_graph_files_are_rejected_not_panicked() {
     for bad in [
         "V\tbroken",
-        "E\t0\t0\tt",          // edge before any vertex
-        "Z\tnothing",          // unknown record
+        "E\t0\t0\tt", // edge before any vertex
+        "Z\tnothing", // unknown record
         "V\tx=i:notanumber",
     ] {
         assert!(io::read_graph(bad).is_err(), "accepted: {bad:?}");

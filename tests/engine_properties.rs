@@ -16,7 +16,10 @@ fn build_graph(n: usize, types: &[u8], pairs: &[(u8, u8, bool)]) -> PropertyGrap
     let vs: Vec<_> = (0..n)
         .map(|i| {
             g.add_vertex([
-                ("type", Value::str(type_names[types[i % types.len()] as usize % 3])),
+                (
+                    "type",
+                    Value::str(type_names[types[i % types.len()] as usize % 3]),
+                ),
                 ("x", Value::Int(i as i64)),
             ])
         })

@@ -13,7 +13,12 @@ fn build_graph(n: usize, types: &[u8], pairs: &[(u8, u8, bool)]) -> PropertyGrap
     let names = ["red", "green", "blue"];
     let mut g = PropertyGraph::new();
     let vs: Vec<_> = (0..n)
-        .map(|i| g.add_vertex([("type", Value::str(names[types[i % types.len()] as usize % 3]))]))
+        .map(|i| {
+            g.add_vertex([(
+                "type",
+                Value::str(names[types[i % types.len()] as usize % 3]),
+            )])
+        })
         .collect();
     for &(a, b, t) in pairs {
         g.add_edge(
@@ -36,7 +41,15 @@ fn build_query(len: usize, types: &[u8], etypes: &[bool], undirected: bool) -> P
             names[types[i % types.len()] as usize % 3],
         )]));
         if let Some(p) = prev {
-            let mut e = QueryEdge::typed(p, v, if etypes[i % etypes.len()] { "link" } else { "flow" });
+            let mut e = QueryEdge::typed(
+                p,
+                v,
+                if etypes[i % etypes.len()] {
+                    "link"
+                } else {
+                    "flow"
+                },
+            );
             if undirected {
                 e.directions = DirectionSet::BOTH;
             }
@@ -55,15 +68,7 @@ fn brute_force_count(g: &PropertyGraph, q: &PatternQuery) -> u64 {
     let dvs: Vec<VertexId> = g.vertex_ids().collect();
     let mut count = 0u64;
     let mut assignment: Vec<VertexId> = Vec::new();
-    enumerate_vertices(
-        g,
-        q,
-        &qvs,
-        &qes,
-        &dvs,
-        &mut assignment,
-        &mut count,
-    );
+    enumerate_vertices(g, q, &qvs, &qes, &dvs, &mut assignment, &mut count);
     count
 }
 
@@ -127,11 +132,7 @@ fn count_edge_assignments(
         if !fwd && !bwd {
             continue;
         }
-        let ty_ok = qe.types.is_empty()
-            || qe
-                .types
-                .iter()
-                .any(|t| g.type_symbol(t) == Some(ed.ty));
+        let ty_ok = qe.types.is_empty() || qe.types.iter().any(|t| g.type_symbol(t) == Some(ed.ty));
         if !ty_ok {
             continue;
         }

@@ -9,8 +9,8 @@ use whyquery::metrics::{
     syntactic_distance,
 };
 use whyquery::query::{
-    DirectionSet, GraphMod, Interval, PatternQuery, Predicate, QEid, QVid, QueryEdge,
-    QueryVertex, Target,
+    DirectionSet, GraphMod, Interval, PatternQuery, Predicate, QEid, QVid, QueryEdge, QueryVertex,
+    Target,
 };
 
 // ---------------------------------------------------------------------
