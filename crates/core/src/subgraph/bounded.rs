@@ -110,6 +110,9 @@ impl<'g> BoundedMcs<'g> {
         let mut outcomes = Vec::new();
 
         for component in components_of(q, self.config.decompose) {
+            // set-dedup of per-vertex incidence lists: two-endpoint edges
+            // arrive twice, self-loops once — the count compares against
+            // prefix lengths, so it must be exact (see discover.rs)
             let comp_edge_count = component
                 .iter()
                 .flat_map(|&v| q.incident_edges(v))

@@ -201,6 +201,10 @@ impl<'g> DiscoverMcs<'g> {
         let mut paths_tried = 0usize;
         let mut outcomes = Vec::new();
         for component in components_of(q, self.config.decompose) {
+            // `incident_edges` yields each edge once per *vertex* it
+            // touches (a self-loop included once, not twice); the set
+            // dedups the edges shared by two component endpoints so the
+            // component edge count stays exact
             let comp_edges: Vec<QEid> = component
                 .iter()
                 .flat_map(|&v| q.incident_edges(v))

@@ -62,6 +62,9 @@ pub fn enumerate_paths(q: &PatternQuery, component: &[QVid], max: usize) -> Vec<
     out
 }
 
+/// Edges of the subquery induced by `component`, each exactly once.
+/// `incident_edges` reports an edge once per touched vertex (self-loops
+/// once), so the sort+dedup collapses the two-endpoint duplicates.
 fn collect_component_edges(q: &PatternQuery, component: &[QVid]) -> Vec<QEid> {
     let mut edges: Vec<QEid> = component
         .iter()

@@ -144,6 +144,8 @@ pub fn dbpedia_graph(config: DbpediaConfig) -> PropertyGraph {
         person_pool.push(author);
     }
 
+    // generated graphs are immutable workloads: seal into the CSR layout
+    g.seal();
     g
 }
 

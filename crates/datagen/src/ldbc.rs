@@ -263,6 +263,8 @@ pub fn ldbc_graph(config: LdbcConfig) -> PropertyGraph {
         g.add_edge(c, creator, "hasCreator", []);
     }
 
+    // generated graphs are immutable workloads: seal into the CSR layout
+    g.seal();
     g
 }
 

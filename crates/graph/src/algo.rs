@@ -2,7 +2,9 @@
 //!
 //! Only what the thesis needs: weakly connected components (the §4.3.1
 //! optimization decomposes the *query* graph, but the same routine also
-//! validates generated data graphs) and breadth-first traversal.
+//! validates generated data graphs) and breadth-first traversal. All
+//! traversals run over the graph's sealed CSR topology — neighbor scans
+//! read the contiguous endpoint columns instead of chasing `EdgeData`.
 
 use crate::graph::{PropertyGraph, VertexId};
 use std::collections::VecDeque;
@@ -13,6 +15,7 @@ use std::collections::VecDeque;
 /// smallest vertex id and vertices within a component are in BFS discovery
 /// order.
 pub fn weakly_connected_components(g: &PropertyGraph) -> Vec<Vec<VertexId>> {
+    g.topology(); // warm the CSR cache so incident() scans columns
     let n = g.num_vertices();
     let mut seen = vec![false; n];
     let mut components = Vec::new();
@@ -41,6 +44,7 @@ pub fn weakly_connected_components(g: &PropertyGraph) -> Vec<Vec<VertexId>> {
 /// Breadth-first order of vertices reachable from `start` treating edges as
 /// undirected.
 pub fn bfs_order(g: &PropertyGraph, start: VertexId) -> Vec<VertexId> {
+    g.topology(); // warm the CSR cache so incident() scans columns
     let n = g.num_vertices();
     let mut seen = vec![false; n];
     let mut order = Vec::new();
@@ -65,6 +69,7 @@ pub fn hop_distance(g: &PropertyGraph, from: VertexId, to: VertexId) -> Option<u
     if from == to {
         return Some(0);
     }
+    g.topology(); // warm the CSR cache so incident() scans columns
     let n = g.num_vertices();
     let mut dist = vec![usize::MAX; n];
     let mut queue = VecDeque::new();

@@ -2,15 +2,37 @@
 //!
 //! `PropertyGraph` is a directed multigraph: any number of edges may connect
 //! the same pair of vertices (Definition 1, §3.1.1). Vertices and edges live
-//! in dense arenas addressed by `u32` ids, attribute names and edge types are
-//! interned, and adjacency is materialized as per-vertex in/out edge lists so
-//! the pattern matcher can expand candidate matches in O(degree).
+//! in dense arenas addressed by `u32` ids, and attribute names and edge
+//! types are interned.
+//!
+//! ## Two-phase adjacency: build, then seal
+//!
+//! Adjacency has two representations matched to the two phases of a
+//! graph's life:
+//!
+//! * **Build phase** — per-vertex in/out edge lists ([`AdjList`]), cheap to
+//!   append to while edges stream in.
+//! * **Sealed phase** — one compressed-sparse-row arena per direction
+//!   ([`CsrTopology`]): flat SoA columns (`edge`, `other endpoint`, `type`)
+//!   plus per-vertex, per-type run offsets, so candidate scans read
+//!   contiguous memory and never touch [`EdgeData`] just to learn an
+//!   endpoint or a type.
+//!
+//! [`PropertyGraph::seal`] compacts the build lists into the CSR and frees
+//! them; readers that want the dense layout without an explicit seal call
+//! [`PropertyGraph::topology`], which builds the CSR lazily and caches it
+//! (any later mutation invalidates the cache and — on a sealed graph —
+//! transparently re-materializes the build lists, so mutation is always
+//! legal, just not free). The classic slice accessors (`out_edges`,
+//! `in_edges_of`, …) serve from whichever representation is current.
 
 use crate::attrs::AttrMap;
+use crate::csr::{CsrDir, CsrTopology};
 use crate::error::GraphError;
 use crate::interner::{Interner, Symbol};
 use crate::value::Value;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Dense identifier of a data vertex.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -58,12 +80,12 @@ pub struct EdgeData {
 /// any single-type slice are both O(1)-addressable, which lets the pattern
 /// matcher traverse only the edges whose type a query edge admits.
 #[derive(Debug, Default, Clone)]
-struct AdjList {
+pub(crate) struct AdjList {
     /// Edge ids, contiguous per type run.
-    flat: Vec<EdgeId>,
+    pub(crate) flat: Vec<EdgeId>,
     /// `(type, end offset)` per run, sorted by type symbol; a run starts at
     /// the previous run's end.
-    runs: Vec<(Symbol, u32)>,
+    pub(crate) runs: Vec<(Symbol, u32)>,
 }
 
 impl AdjList {
@@ -136,8 +158,15 @@ pub struct PropertyGraph {
     edge_types: Interner,
     vertices: Vec<VertexData>,
     edges: Vec<EdgeData>,
+    /// Build-phase adjacency; drained (left empty) once sealed.
     out_edges: Vec<AdjList>,
     in_edges: Vec<AdjList>,
+    /// Sealed CSR adjacency, built lazily on the first [`Self::topology`]
+    /// call and invalidated by any topology mutation.
+    csr: OnceLock<CsrTopology>,
+    /// True once [`Self::seal`] dropped the build lists: the CSR is then
+    /// the *only* adjacency representation until a mutation melts it.
+    sealed: bool,
 }
 
 impl PropertyGraph {
@@ -155,7 +184,71 @@ impl PropertyGraph {
             edges: Vec::with_capacity(edges),
             out_edges: Vec::with_capacity(vertices),
             in_edges: Vec::with_capacity(vertices),
+            csr: OnceLock::new(),
+            sealed: false,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // lifecycle: build → seal (→ melt on mutation)
+    // ------------------------------------------------------------------
+
+    /// The sealed CSR view of the adjacency, built on first use and cached.
+    ///
+    /// Cheap after the first call; any mutation invalidates the cache. Bulk
+    /// readers (the matcher, traversals) should grab this once and scan
+    /// through [`crate::csr::AdjSlice`]s instead of per-edge [`Self::edge`]
+    /// lookups.
+    pub fn topology(&self) -> &CsrTopology {
+        self.csr.get_or_init(|| CsrTopology {
+            out: CsrDir::build(
+                self.out_edges.iter().map(|l| (&l.flat[..], &l.runs[..])),
+                &self.edges,
+                true,
+            ),
+            inn: CsrDir::build(
+                self.in_edges.iter().map(|l| (&l.flat[..], &l.runs[..])),
+                &self.edges,
+                false,
+            ),
+        })
+    }
+
+    /// Seal the graph: compact adjacency into the CSR arena and free the
+    /// per-vertex build lists. Idempotent. Reads keep working unchanged
+    /// (served from the CSR); a later mutation transparently melts the
+    /// graph back into build mode at O(|E|) cost.
+    pub fn seal(&mut self) {
+        if self.sealed {
+            return;
+        }
+        let _ = self.topology();
+        self.out_edges = Vec::new();
+        self.in_edges = Vec::new();
+        self.sealed = true;
+    }
+
+    /// True while the CSR is the only adjacency representation.
+    pub fn is_sealed(&self) -> bool {
+        self.sealed
+    }
+
+    /// Invalidate the CSR cache before a topology mutation; on a sealed
+    /// graph, first re-materialize the build lists from the edge arena
+    /// (iterating in edge-id order reproduces the original insertion
+    /// sequence, hence the exact same run layout).
+    fn melt(&mut self) {
+        if self.sealed {
+            self.out_edges = vec![AdjList::default(); self.vertices.len()];
+            self.in_edges = vec![AdjList::default(); self.vertices.len()];
+            for (i, ed) in self.edges.iter().enumerate() {
+                let id = EdgeId(i as u32);
+                self.out_edges[ed.src.0 as usize].insert(ed.ty, id);
+                self.in_edges[ed.dst.0 as usize].insert(ed.ty, id);
+            }
+            self.sealed = false;
+        }
+        self.csr.take();
     }
 
     // ------------------------------------------------------------------
@@ -167,6 +260,7 @@ impl PropertyGraph {
     where
         I: IntoIterator<Item = (&'a str, Value)>,
     {
+        self.melt();
         let id = VertexId(u32::try_from(self.vertices.len()).expect("vertex arena overflow"));
         let attrs = attrs
             .into_iter()
@@ -188,6 +282,7 @@ impl PropertyGraph {
     {
         assert!((src.0 as usize) < self.vertices.len(), "src out of range");
         assert!((dst.0 as usize) < self.vertices.len(), "dst out of range");
+        self.melt();
         let id = EdgeId(u32::try_from(self.edges.len()).expect("edge arena overflow"));
         let ty = self.edge_types.intern(ty);
         let attrs = attrs
@@ -295,26 +390,38 @@ impl PropertyGraph {
 
     /// Outgoing edges of `v`, grouped in contiguous per-type runs.
     pub fn out_edges(&self, v: VertexId) -> &[EdgeId] {
-        self.out_edges[v.0 as usize].all()
+        match self.csr.get() {
+            Some(csr) => csr.out_edge_ids(v),
+            None => self.out_edges[v.0 as usize].all(),
+        }
     }
 
     /// Incoming edges of `v`, grouped in contiguous per-type runs.
     pub fn in_edges(&self, v: VertexId) -> &[EdgeId] {
-        self.in_edges[v.0 as usize].all()
+        match self.csr.get() {
+            Some(csr) => csr.in_edge_ids(v),
+            None => self.in_edges[v.0 as usize].all(),
+        }
     }
 
     /// Outgoing edges of `v` whose type is `ty` — an O(log #types) slice
     /// lookup, so typed traversals touch no foreign-type edges at all.
     pub fn out_edges_of(&self, v: VertexId, ty: Symbol) -> &[EdgeId] {
-        self.out_edges[v.0 as usize].of_type(ty)
+        match self.csr.get() {
+            Some(csr) => csr.out_entries_of(v, ty).edges,
+            None => self.out_edges[v.0 as usize].of_type(ty),
+        }
     }
 
     /// Incoming edges of `v` whose type is `ty`.
     pub fn in_edges_of(&self, v: VertexId, ty: Symbol) -> &[EdgeId] {
-        self.in_edges[v.0 as usize].of_type(ty)
+        match self.csr.get() {
+            Some(csr) => csr.in_entries_of(v, ty).edges,
+            None => self.in_edges[v.0 as usize].of_type(ty),
+        }
     }
 
-    /// Out-degree plus in-degree.
+    /// Out-degree plus in-degree (a self-loop contributes to both).
     pub fn degree(&self, v: VertexId) -> usize {
         self.out_edges(v).len() + self.in_edges(v).len()
     }
@@ -330,14 +437,34 @@ impl PropertyGraph {
     }
 
     /// Neighbors reachable via one edge in either direction (with the
-    /// connecting edge), deduplicated per edge.
+    /// connecting edge), deduplicated per edge: a self-loop sits in both
+    /// the out- and the in-list of `v` but is yielded exactly once (from
+    /// the out side).
+    ///
+    /// With the CSR cache present the scan reads the endpoint columns
+    /// directly; in build mode it chases each edge id into the arena.
+    /// Exactly one source of each chained pair below is non-empty, so the
+    /// self-loop dedup rule lives in this one filter for both modes.
     pub fn incident(&self, v: VertexId) -> impl Iterator<Item = (EdgeId, VertexId)> + '_ {
-        let out = self
-            .out_edges(v)
+        let csr = self.csr.get();
+        let (csr_out, csr_in) = csr
+            .map(|c| (c.out_entries(v), c.in_entries(v)))
+            .unwrap_or_default();
+        let (build_out, build_in): (&[EdgeId], &[EdgeId]) = if csr.is_some() {
+            (&[], &[])
+        } else {
+            (
+                self.out_edges[v.0 as usize].all(),
+                self.in_edges[v.0 as usize].all(),
+            )
+        };
+        let out = csr_out
             .iter()
-            .map(move |&e| (e, self.edge(e).dst));
-        let inn = self.in_edges(v).iter().map(move |&e| (e, self.edge(e).src));
-        out.chain(inn)
+            .chain(build_out.iter().map(move |&e| (e, self.edge(e).dst)));
+        let inn = csr_in
+            .iter()
+            .chain(build_in.iter().map(move |&e| (e, self.edge(e).src)));
+        out.chain(inn.filter(move |&(_, other)| other != v))
     }
 }
 
@@ -451,5 +578,85 @@ mod tests {
         assert_eq!(g.out_edges(v), &[e]);
         assert_eq!(g.in_edges(v), &[e]);
         assert_eq!(g.degree(v), 2);
+    }
+
+    /// Regression: `incident` chained the out- and in-lists, so a self-loop
+    /// (present in both) was yielded twice and inflated neighborhood
+    /// discovery. It must appear exactly once — in build and sealed mode.
+    #[test]
+    fn incident_yields_self_loop_once() {
+        let mut g = PropertyGraph::new();
+        let v = g.add_vertex([]);
+        let w = g.add_vertex([]);
+        let loop_e = g.add_edge(v, v, "self", []);
+        let out_e = g.add_edge(v, w, "t", []);
+        let in_e = g.add_edge(w, v, "t", []);
+        let expect = vec![(loop_e, v), (out_e, w), (in_e, w)];
+        assert_eq!(g.incident(v).collect::<Vec<_>>(), expect);
+        // degree still counts both loop endpoints (standard convention)
+        assert_eq!(g.degree(v), 4);
+        g.seal();
+        assert_eq!(g.incident(v).collect::<Vec<_>>(), expect);
+    }
+
+    #[test]
+    fn seal_preserves_adjacency_and_typed_slices() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_vertex([]);
+        let b = g.add_vertex([]);
+        let c = g.add_vertex([]);
+        // interleaved types + parallel edges + a self-loop
+        let e1 = g.add_edge(a, b, "knows", []);
+        let e2 = g.add_edge(a, c, "livesIn", []);
+        let e3 = g.add_edge(a, c, "knows", []);
+        let e4 = g.add_edge(a, a, "knows", []);
+        let e5 = g.add_edge(b, a, "knows", []);
+        let unsealed = g.clone();
+        g.seal();
+        assert!(g.is_sealed());
+        assert!(!unsealed.is_sealed());
+        let knows = g.type_symbol("knows").unwrap();
+        let lives = g.type_symbol("livesIn").unwrap();
+        for v in [a, b, c] {
+            assert_eq!(g.out_edges(v), unsealed.out_edges(v));
+            assert_eq!(g.in_edges(v), unsealed.in_edges(v));
+            assert_eq!(g.degree(v), unsealed.degree(v));
+            for ty in [knows, lives] {
+                assert_eq!(g.out_edges_of(v, ty), unsealed.out_edges_of(v, ty));
+                assert_eq!(g.in_edges_of(v, ty), unsealed.in_edges_of(v, ty));
+            }
+        }
+        assert_eq!(g.out_edges_of(a, knows), &[e1, e3, e4]);
+        assert_eq!(g.out_edges_of(a, lives), &[e2]);
+        assert_eq!(g.in_edges_of(a, knows), &[e4, e5]);
+        // the SoA columns expose (edge, other, type) without EdgeData
+        let entries = g.topology().out_entries_of(a, knows);
+        assert_eq!(entries.edges, &[e1, e3, e4]);
+        assert_eq!(entries.others, &[b, c, a]);
+        assert!(entries.types.iter().all(|&t| t == knows));
+        assert_eq!(g.topology().in_entries(a).others, &[a, b]);
+    }
+
+    #[test]
+    fn mutation_after_seal_melts_and_stays_correct() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_vertex([]);
+        let b = g.add_vertex([]);
+        let e1 = g.add_edge(a, b, "t", []);
+        g.seal();
+        assert!(g.is_sealed());
+        let c = g.add_vertex([]);
+        assert!(!g.is_sealed());
+        let e2 = g.add_edge(b, c, "t", []);
+        let e3 = g.add_edge(a, b, "u", []);
+        let t = g.type_symbol("t").unwrap();
+        assert_eq!(g.out_edges(a), &[e1, e3]);
+        assert_eq!(g.out_edges_of(b, t), &[e2]);
+        assert_eq!(g.in_edges(b), &[e1, e3]);
+        // re-seal after the melt; everything still agrees
+        g.seal();
+        assert_eq!(g.out_edges(a), &[e1, e3]);
+        assert_eq!(g.out_edges_of(a, t), &[e1]);
+        assert_eq!(g.in_edges(c), &[e2]);
     }
 }

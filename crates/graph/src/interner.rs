@@ -6,6 +6,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// An interned string. Symbols are only meaningful relative to the
 /// [`Interner`] (and therefore the [`crate::PropertyGraph`]) that created
@@ -20,10 +21,15 @@ impl fmt::Display for Symbol {
 }
 
 /// A simple append-only string interner.
+///
+/// Each distinct string is allocated exactly once: the lookup map and the
+/// symbol-indexed table share one `Arc<str>` (an `Arc` clone is a refcount
+/// bump, not a copy), and [`Interner::resolve`] hands out plain `&str`
+/// borrows into that shared allocation.
 #[derive(Debug, Default, Clone)]
 pub struct Interner {
-    by_name: HashMap<String, Symbol>,
-    names: Vec<String>,
+    by_name: HashMap<Arc<str>, Symbol>,
+    names: Vec<Arc<str>>,
 }
 
 impl Interner {
@@ -38,8 +44,9 @@ impl Interner {
             return sym;
         }
         let sym = Symbol(u32::try_from(self.names.len()).expect("interner overflow"));
-        self.names.push(name.to_string());
-        self.by_name.insert(name.to_string(), sym);
+        let shared: Arc<str> = Arc::from(name);
+        self.names.push(Arc::clone(&shared));
+        self.by_name.insert(shared, sym);
         sym
     }
 
@@ -68,7 +75,7 @@ impl Interner {
         self.names
             .iter()
             .enumerate()
-            .map(|(i, n)| (Symbol(i as u32), n.as_str()))
+            .map(|(i, n)| (Symbol(i as u32), &**n))
     }
 }
 
@@ -102,6 +109,20 @@ mod tests {
         i.intern("present");
         assert!(i.get("present").is_some());
         assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn map_and_table_share_one_allocation() {
+        let mut i = Interner::new();
+        let sym = i.intern("shared");
+        // the table entry and the map key are the same allocation: one
+        // fresh Arc plus the two owners held by the interner
+        let name = &i.names[sym.0 as usize];
+        assert_eq!(std::sync::Arc::strong_count(name), 2);
+        assert!(std::ptr::eq(
+            i.resolve(sym),
+            &**i.by_name.get_key_value("shared").unwrap().0
+        ));
     }
 
     #[test]

@@ -189,6 +189,9 @@ pub fn read_graph(text: &str) -> Result<PropertyGraph, IoError> {
             _ => return Err(err("expected 'V' or 'E' record")),
         }
     }
+    // a parsed graph is complete: hand it back already sealed so readers
+    // start on the CSR layout without paying a later lazy build
+    g.seal();
     Ok(g)
 }
 

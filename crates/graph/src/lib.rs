@@ -13,13 +13,16 @@
 //!
 //! The store is an in-memory arena: vertices and edges are dense `u32`
 //! indices, attribute names and edge types are interned symbols, and
-//! adjacency is kept as per-vertex in/out edge lists. This is the substrate
-//! every other crate of the workspace builds on — the pattern matcher
-//! (`whyq-matcher`), the why-query engine (`whyq-core`) and the workload
-//! generators (`whyq-datagen`).
+//! adjacency lives in two phases — per-vertex in/out edge lists while the
+//! graph is being **built**, and a cache-dense compressed-sparse-row arena
+//! ([`CsrTopology`]) once it is **sealed** (see [`graph`] for the full
+//! lifecycle). This is the substrate every other crate of the workspace
+//! builds on — the pattern matcher (`whyq-matcher`), the why-query engine
+//! (`whyq-core`) and the workload generators (`whyq-datagen`).
 
 pub mod algo;
 pub mod attrs;
+pub mod csr;
 pub mod error;
 pub mod graph;
 pub mod interner;
@@ -28,6 +31,7 @@ pub mod stats;
 pub mod value;
 
 pub use attrs::AttrMap;
+pub use csr::{AdjSlice, CsrTopology};
 pub use error::GraphError;
 pub use graph::{EdgeData, EdgeId, PropertyGraph, VertexData, VertexId};
 pub use interner::{Interner, Symbol};

@@ -67,12 +67,14 @@ pub fn degree_summary(g: &PropertyGraph) -> DegreeSummary {
             isolated: 0,
         };
     }
+    let topo = g.topology();
     let mut min = usize::MAX;
     let mut max = 0usize;
     let mut sum = 0usize;
     let mut isolated = 0usize;
     for v in g.vertex_ids() {
-        let d = g.degree(v);
+        // two offset subtractions per vertex off the CSR extents
+        let d = topo.out_degree(v) + topo.in_degree(v);
         min = min.min(d);
         max = max.max(d);
         sum += d;

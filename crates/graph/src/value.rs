@@ -5,6 +5,24 @@
 //! pattern queries (`whyq-query`) compare against these values, so `Value`
 //! provides a total order within a numeric family (integers and floats
 //! compare against each other) and equality across all variants.
+//!
+//! ## NaN and signed-zero semantics (pinned)
+//!
+//! The numeric family is ordered by `f64::total_cmp` with `-0.0`
+//! normalized to `0.0`, which makes three guarantees:
+//!
+//! * **Equality is reflexive and hash-consistent.** `Float(NAN)` equals
+//!   itself (same bit pattern), `Int(0) == Float(0.0) == Float(-0.0)`, and
+//!   equal values always hash equal — `Value` is safe as a map/index key.
+//! * **NaN has a defined sort position** (total order: negative NaN below
+//!   `-∞`, positive NaN above `+∞`), so sorting value lists never panics
+//!   and is deterministic.
+//! * **NaN matches no ordering predicate.** The sort position is a storage
+//!   artifact, *not* a query semantic: range predicates
+//!   (`whyq_query::Interval::Range`) reject NaN explicitly, so `x ≥ lo`,
+//!   `x ≤ hi` and `lo ≤ x ≤ hi` are all false for a NaN attribute. Only an
+//!   explicit equality/`OneOf` predicate carrying NaN itself can match a
+//!   NaN value (identity membership, not ordering).
 
 use std::cmp::Ordering;
 use std::fmt;
@@ -78,6 +96,10 @@ impl Value {
 
     /// Total comparison *within a family*; `None` when the families differ
     /// (a predicate comparing a string against a number never matches).
+    ///
+    /// Numbers follow `f64::total_cmp` with `-0.0` normalized, so NaN has
+    /// a stable sort position; see the module docs for why that position
+    /// deliberately does **not** make NaN satisfy ordering predicates.
     pub fn compare(&self, other: &Value) -> Option<Ordering> {
         use Value::*;
         match (self, other) {
@@ -209,6 +231,28 @@ mod tests {
     fn negative_zero_normalized() {
         assert_eq!(Value::Float(-0.0), Value::Int(0));
         assert_eq!(hash_of(&Value::Float(-0.0)), hash_of(&Value::Int(0)));
+    }
+
+    #[test]
+    fn nan_equality_hash_and_order_are_consistent() {
+        let nan = Value::Float(f64::NAN);
+        // reflexive equality + matching hash: NaN is a usable map key
+        assert_eq!(nan, Value::Float(f64::NAN));
+        assert_eq!(hash_of(&nan), hash_of(&Value::Float(f64::NAN)));
+        // defined sort position: positive NaN above every number...
+        assert_eq!(
+            nan.compare(&Value::Float(f64::INFINITY)),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(nan.compare(&Value::Int(i64::MAX)), Some(Ordering::Greater));
+        // ...negative NaN below every number
+        assert_eq!(
+            Value::Float(-f64::NAN).compare(&Value::Float(f64::NEG_INFINITY)),
+            Some(Ordering::Less)
+        );
+        // NaN never equals a real number (and vice versa)
+        assert_ne!(nan, Value::Int(0));
+        assert_ne!(Value::Float(0.0), nan);
     }
 
     #[test]

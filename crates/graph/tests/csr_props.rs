@@ -1,0 +1,154 @@
+//! Property-based equivalence of the sealed CSR adjacency and the
+//! build-phase `Vec` adjacency: on arbitrary interleaved multigraphs —
+//! self-loops, parallel edges, types arriving in any order — every
+//! adjacency accessor must answer identically before and after `seal()`,
+//! the CSR SoA columns must agree with the `EdgeData` arena, and a
+//! mutation after sealing (the melt path) must land the graph back in a
+//! consistent build state.
+
+use proptest::prelude::*;
+use whyq_graph::{PropertyGraph, VertexId};
+
+const TYPE_NAMES: [&str; 4] = ["knows", "livesIn", "worksAt", "self"];
+
+/// Build a multigraph with `n` vertices and the given `(src, dst, ty)`
+/// edge list (indices taken modulo `n`, so self-loops and parallel edges
+/// occur naturally).
+fn build(n: usize, edges: &[(u8, u8, u8)]) -> PropertyGraph {
+    let mut g = PropertyGraph::new();
+    let vs: Vec<VertexId> = (0..n).map(|_| g.add_vertex([])).collect();
+    for &(s, d, t) in edges {
+        g.add_edge(
+            vs[s as usize % n],
+            vs[d as usize % n],
+            TYPE_NAMES[t as usize % TYPE_NAMES.len()],
+            [],
+        );
+    }
+    g
+}
+
+/// Assert every adjacency accessor of `a` and `b` agrees on every vertex
+/// and every edge type.
+fn assert_adjacency_eq(a: &PropertyGraph, b: &PropertyGraph) {
+    assert_eq!(a.num_vertices(), b.num_vertices());
+    assert_eq!(a.num_edges(), b.num_edges());
+    let tys: Vec<_> = TYPE_NAMES.iter().filter_map(|t| a.type_symbol(t)).collect();
+    for v in a.vertex_ids() {
+        assert_eq!(a.out_edges(v), b.out_edges(v), "out_edges({v})");
+        assert_eq!(a.in_edges(v), b.in_edges(v), "in_edges({v})");
+        assert_eq!(a.degree(v), b.degree(v), "degree({v})");
+        assert_eq!(
+            a.incident(v).collect::<Vec<_>>(),
+            b.incident(v).collect::<Vec<_>>(),
+            "incident({v})"
+        );
+        for &ty in &tys {
+            assert_eq!(a.out_edges_of(v, ty), b.out_edges_of(v, ty));
+            assert_eq!(a.in_edges_of(v, ty), b.in_edges_of(v, ty));
+        }
+    }
+}
+
+/// The CSR columns must mirror the `EdgeData` arena entry by entry.
+fn assert_columns_consistent(g: &PropertyGraph) {
+    let topo = g.topology();
+    for v in g.vertex_ids() {
+        let out = topo.out_entries(v);
+        for i in 0..out.len() {
+            let ed = g.edge(out.edges[i]);
+            assert_eq!(ed.src, v);
+            assert_eq!(out.others[i], ed.dst);
+            assert_eq!(out.types[i], ed.ty);
+        }
+        let inn = topo.in_entries(v);
+        for i in 0..inn.len() {
+            let ed = g.edge(inn.edges[i]);
+            assert_eq!(ed.dst, v);
+            assert_eq!(inn.others[i], ed.src);
+            assert_eq!(inn.types[i], ed.ty);
+        }
+        // typed runs partition the full extent
+        let typed_total: usize = TYPE_NAMES
+            .iter()
+            .filter_map(|t| g.type_symbol(t))
+            .map(|ty| topo.out_entries_of(v, ty).len())
+            .sum();
+        assert_eq!(typed_total, out.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Sealing must not change any observable adjacency, and the sealed
+    /// columns must agree with the edge arena.
+    #[test]
+    fn sealed_graph_equals_vec_adjacency(
+        n in 1usize..8,
+        edges in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..24),
+    ) {
+        let unsealed = build(n, &edges);
+        let mut sealed = unsealed.clone();
+        sealed.seal();
+        prop_assert!(sealed.is_sealed());
+        assert_adjacency_eq(&unsealed, &sealed);
+        assert_columns_consistent(&sealed);
+        // the lazy topology cache of an unsealed graph is the same CSR
+        assert_columns_consistent(&unsealed);
+        assert_adjacency_eq(&unsealed, &sealed);
+    }
+
+    /// Every edge appears exactly once in `incident` of each endpoint —
+    /// self-loops included (the historical double-count regression).
+    #[test]
+    fn incident_is_deduplicated_per_edge(
+        n in 1usize..6,
+        edges in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..16),
+    ) {
+        let mut g = build(n, &edges);
+        g.seal();
+        for v in g.vertex_ids() {
+            let mut seen = std::collections::HashSet::new();
+            for (e, _) in g.incident(v) {
+                prop_assert!(seen.insert(e), "edge {e} incident to {v} twice");
+                let ed = g.edge(e);
+                prop_assert!(ed.src == v || ed.dst == v);
+            }
+            // and none is missing: membership matches the edge arena
+            for e in g.edge_ids() {
+                let ed = g.edge(e);
+                prop_assert_eq!(seen.contains(&e), ed.src == v || ed.dst == v);
+            }
+        }
+    }
+
+    /// Mutating a sealed graph melts it back into a consistent build
+    /// state identical to a graph that was never sealed.
+    #[test]
+    fn melt_after_seal_stays_consistent(
+        n in 1usize..6,
+        edges in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..16),
+        extra in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..5),
+    ) {
+        let mut never_sealed = build(n, &edges);
+        let mut melted = build(n, &edges);
+        melted.seal();
+        for &(s, d, t) in &extra {
+            for g in [&mut never_sealed, &mut melted] {
+                g.add_edge(
+                    VertexId((s as usize % n) as u32),
+                    VertexId((d as usize % n) as u32),
+                    TYPE_NAMES[t as usize % TYPE_NAMES.len()],
+                    [],
+                );
+            }
+        }
+        prop_assert!(!melted.is_sealed());
+        assert_adjacency_eq(&never_sealed, &melted);
+        // re-sealing after the melt reproduces the same CSR
+        melted.seal();
+        assert_adjacency_eq(&never_sealed, &melted);
+        assert_columns_consistent(&melted);
+    }
+}

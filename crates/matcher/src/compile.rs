@@ -66,6 +66,20 @@ impl CompiledEdge {
         }
         self.preds.iter().all(|p| p.matches(&ed.attrs))
     }
+
+    /// Attribute-predicate check alone, for scans that already know the
+    /// edge type is admissible (the CSR engine iterates per-type runs, so
+    /// the type test is implied by the slice being scanned).
+    pub fn accepts_attrs(&self, attrs: &whyq_graph::AttrMap) -> bool {
+        self.preds.iter().all(|p| p.matches(attrs))
+    }
+
+    /// True when matching an edge from an admissible-type adjacency run
+    /// requires loading its [`EdgeData`] at all (only attribute predicates
+    /// do — endpoints and type come straight from the CSR columns).
+    pub fn needs_edge_data(&self) -> bool {
+        !self.preds.is_empty()
+    }
 }
 
 /// Fully compiled query: one slot per query vertex/edge id.

@@ -15,8 +15,11 @@
 //! and backtracks. Injectivity is checked through generation-stamped
 //! inverse occupancy arrays over the data graph (O(1) check, O(1) whole-set
 //! reset) instead of linear scans of the partial assignment. Candidate
-//! edges are streamed straight
-//! off the adjacency lists — a self-loop skip rule replaces the sort+dedup
+//! edges are streamed straight off the graph's sealed CSR topology
+//! ([`whyq_graph::CsrTopology`]): each expansion scans contiguous
+//! `(edge, endpoint)` column pairs of one per-type run, so the filter loop
+//! touches no [`whyq_graph::EdgeData`] unless the query edge carries
+//! attribute predicates — a self-loop skip rule replaces the sort+dedup
 //! buffer the previous engine allocated per step. A [`ResultGraph`] is
 //! materialized only when a complete match is emitted, and counting skips
 //! even that. All per-search storage lives in one reusable scratch arena
@@ -28,7 +31,7 @@ use crate::compile::{build_plans, Compiled, ComponentPlan, Step};
 use crate::index::AttrIndex;
 use crate::result::ResultGraph;
 use std::cell::RefCell;
-use whyq_graph::{EdgeId, PropertyGraph, Value, VertexId};
+use whyq_graph::{AdjSlice, CsrTopology, PropertyGraph, Value, VertexId};
 use whyq_query::{Interval, PatternQuery, QVid};
 
 /// Options controlling match semantics.
@@ -186,6 +189,10 @@ enum SeedSource<'a> {
 #[derive(Debug, Clone)]
 pub struct Matcher<'g> {
     g: &'g PropertyGraph,
+    /// The graph's sealed CSR adjacency — resolved once at construction so
+    /// every candidate scan is a plain slice walk (building it here also
+    /// warms the graph's topology cache for unsealed graphs).
+    topo: &'g CsrTopology,
     index: Option<AttrIndex>,
     scratch: RefCell<Scratch>,
 }
@@ -195,6 +202,7 @@ impl<'g> Matcher<'g> {
     pub fn new(g: &'g PropertyGraph) -> Self {
         Matcher {
             g,
+            topo: g.topology(),
             index: None,
             scratch: RefCell::new(Scratch::default()),
         }
@@ -473,10 +481,10 @@ impl<'g> Matcher<'g> {
     }
 
     /// One expansion direction: enumerate the candidate edges leaving
-    /// `bound`, restricted to the admissible edge types via the graph's
-    /// type-grouped adjacency, and try to bind each. `along_src` is true
-    /// when `bound` plays the data edge's source role in this direction
-    /// (out-edges are scanned and the edge's dst becomes the new binding);
+    /// `bound`, restricted to the admissible edge types via the CSR's
+    /// per-type runs, and try to bind each. `along_src` is true when
+    /// `bound` plays the data edge's source role in this direction (the
+    /// out arena is scanned and the edge's dst becomes the new binding);
     /// `skip_self_loops` drops self-loops the opposite pass already tried.
     #[allow(clippy::too_many_arguments)]
     fn expand_direction(
@@ -494,11 +502,11 @@ impl<'g> Matcher<'g> {
             Some(tys) => {
                 for &t in tys {
                     let list = if along_src {
-                        self.g.out_edges_of(bound, t)
+                        self.topo.out_entries_of(bound, t)
                     } else {
-                        self.g.in_edges_of(bound, t)
+                        self.topo.in_entries_of(bound, t)
                     };
-                    if !self.expand_list(cx, i, st, emit, ex, list, along_src, skip_self_loops) {
+                    if !self.expand_list(cx, i, st, emit, ex, list, bound, skip_self_loops) {
                         return false;
                     }
                 }
@@ -506,16 +514,19 @@ impl<'g> Matcher<'g> {
             }
             None => {
                 let list = if along_src {
-                    self.g.out_edges(bound)
+                    self.topo.out_entries(bound)
                 } else {
-                    self.g.in_edges(bound)
+                    self.topo.in_entries(bound)
                 };
-                self.expand_list(cx, i, st, emit, ex, list, along_src, skip_self_loops)
+                self.expand_list(cx, i, st, emit, ex, list, bound, skip_self_loops)
             }
         }
     }
 
-    /// Try every candidate edge of one adjacency slice.
+    /// Try every candidate of one CSR slice. The slice's `others` column
+    /// already holds the endpoint the expansion would bind, so the scan
+    /// needs no `EdgeData` at all: an entry is a self-loop exactly when
+    /// its opposite endpoint is `bound` itself (the scanned vertex).
     #[allow(clippy::too_many_arguments)]
     fn expand_list(
         &self,
@@ -524,17 +535,15 @@ impl<'g> Matcher<'g> {
         st: &mut Scratch,
         emit: &mut dyn FnMut(&Scratch) -> bool,
         ex: &ExpandBinding<'_>,
-        list: &[EdgeId],
-        take_dst: bool,
+        list: AdjSlice<'g>,
+        bound: VertexId,
         skip_self_loops: bool,
     ) -> bool {
-        for &de in list {
-            let ed = self.g.edge(de);
-            if skip_self_loops && ed.src == ed.dst {
+        for (de, dv) in list.iter() {
+            if skip_self_loops && dv == bound {
                 continue;
             }
-            let dv = if take_dst { ed.dst } else { ed.src };
-            if !self.try_bind(cx, i, st, emit, ex, de, ed, dv) {
+            if !self.try_bind(cx, i, st, emit, ex, de, dv) {
                 return false;
             }
         }
@@ -558,8 +567,8 @@ impl<'g> Matcher<'g> {
             Some(tys) => {
                 for &t in tys {
                     let lists = (
-                        self.g.out_edges_of(ends.0, t),
-                        self.g.in_edges_of(ends.1, t),
+                        self.topo.out_entries_of(ends.0, t),
+                        self.topo.in_entries_of(ends.1, t),
                     );
                     if !self.close_pass(cx, i, st, emit, edge, ends, lists) {
                         return false;
@@ -568,14 +577,16 @@ impl<'g> Matcher<'g> {
                 true
             }
             None => {
-                let lists = (self.g.out_edges(ends.0), self.g.in_edges(ends.1));
+                let lists = (self.topo.out_entries(ends.0), self.topo.in_entries(ends.1));
                 self.close_pass(cx, i, st, emit, edge, ends, lists)
             }
         }
     }
 
     /// Scan one pair of candidate slices for edges running `ends.0 →
-    /// ends.1`, using whichever of the two is shorter.
+    /// ends.1`, using whichever of the two is shorter. The endpoint test
+    /// reads the CSR `others` column; `EdgeData` is loaded only for edges
+    /// that survive it *and* carry attribute predicates.
     #[allow(clippy::too_many_arguments)]
     fn close_pass(
         &self,
@@ -585,24 +596,26 @@ impl<'g> Matcher<'g> {
         emit: &mut dyn FnMut(&Scratch) -> bool,
         edge: whyq_query::QEid,
         ends: (VertexId, VertexId),
-        lists: (&[EdgeId], &[EdgeId]),
+        lists: (AdjSlice<'g>, AdjSlice<'g>),
     ) -> bool {
         let ce = cx.compiled.edge(edge);
         let scan_out = lists.0.len() <= lists.1.len();
-        let list = if scan_out { lists.0 } else { lists.1 };
-        for &de in list {
-            let ed = self.g.edge(de);
-            if scan_out {
-                if ed.dst != ends.1 {
-                    continue;
-                }
-            } else if ed.src != ends.0 {
+        // scanning the out arena of `ends.0`, the entry's opposite endpoint
+        // is its dst and must equal `ends.1`; scanning the in arena of
+        // `ends.1`, it is the src and must equal `ends.0`
+        let (list, want) = if scan_out {
+            (lists.0, ends.1)
+        } else {
+            (lists.1, ends.0)
+        };
+        for (de, other) in list.iter() {
+            if other != want {
                 continue;
             }
             if cx.injective && st.edge_used(de) {
                 continue;
             }
-            if !ce.accepts(ed) {
+            if ce.needs_edge_data() && !ce.accepts_attrs(&self.g.edge(de).attrs) {
                 continue;
             }
             let slot = edge.0 as usize;
@@ -625,7 +638,10 @@ impl<'g> Matcher<'g> {
     /// Try one expansion candidate: filter, bind edge + new vertex in
     /// place, recurse, unbind. Returns `false` to abort the whole search.
     /// The O(1) occupancy checks run before the predicate checks — a stamp
-    /// compare is far cheaper than attribute lookups and value equality.
+    /// compare is far cheaper than attribute lookups and value equality —
+    /// and the edge payload is only fetched when edge predicates exist
+    /// (its type is already implied by the CSR run the candidate came
+    /// from, or unconstrained).
     #[allow(clippy::too_many_arguments)]
     fn try_bind(
         &self,
@@ -635,13 +651,15 @@ impl<'g> Matcher<'g> {
         emit: &mut dyn FnMut(&Scratch) -> bool,
         ex: &ExpandBinding<'_>,
         de: whyq_graph::EdgeId,
-        ed: &whyq_graph::EdgeData,
         dv: VertexId,
     ) -> bool {
         if cx.injective && (st.vertex_used(dv) || st.edge_used(de)) {
             return true;
         }
-        if !ex.ce.accepts(ed) || !ex.cv_to.accepts(self.g, dv) {
+        if ex.ce.needs_edge_data() && !ex.ce.accepts_attrs(&self.g.edge(de).attrs) {
+            return true;
+        }
+        if !ex.cv_to.accepts(self.g, dv) {
             return true;
         }
         let vslot = ex.to.0 as usize;

@@ -96,24 +96,27 @@ pub fn extend_matches(
     let cv_src = compile_vertex(g, q, qe.src);
     let cv_dst = compile_vertex(g, q, qe.dst);
 
+    let topo = g.topology();
     let mut out: Vec<ResultGraph> = Vec::new();
     'partials: for r in partial {
         let bs = r.vertex(qe.src);
         let bt = r.vertex(qe.dst);
-        // candidate (data edge, src binding, dst binding) triples
+        // candidate (data edge, src binding, dst binding) triples, read
+        // off the CSR columns — the opposite endpoint comes with the edge
+        // id, so no `EdgeData` is touched while collecting
         let mut cands: Vec<(EdgeId, VertexId, VertexId)> = Vec::new();
         match (bs, bt) {
             (Some(ms), Some(mt)) => {
                 if qe.directions.forward {
-                    for &de in g.out_edges(ms) {
-                        if g.edge(de).dst == mt {
+                    for (de, dst) in topo.out_entries(ms).iter() {
+                        if dst == mt {
                             cands.push((de, ms, mt));
                         }
                     }
                 }
                 if qe.directions.backward {
-                    for &de in g.out_edges(mt) {
-                        if g.edge(de).dst == ms {
+                    for (de, dst) in topo.out_entries(mt).iter() {
+                        if dst == ms {
                             cands.push((de, ms, mt));
                         }
                     }
@@ -121,25 +124,25 @@ pub fn extend_matches(
             }
             (Some(ms), None) => {
                 if qe.directions.forward {
-                    for &de in g.out_edges(ms) {
-                        cands.push((de, ms, g.edge(de).dst));
+                    for (de, dst) in topo.out_entries(ms).iter() {
+                        cands.push((de, ms, dst));
                     }
                 }
                 if qe.directions.backward {
-                    for &de in g.in_edges(ms) {
-                        cands.push((de, ms, g.edge(de).src));
+                    for (de, src) in topo.in_entries(ms).iter() {
+                        cands.push((de, ms, src));
                     }
                 }
             }
             (None, Some(mt)) => {
                 if qe.directions.forward {
-                    for &de in g.in_edges(mt) {
-                        cands.push((de, g.edge(de).src, mt));
+                    for (de, src) in topo.in_entries(mt).iter() {
+                        cands.push((de, src, mt));
                     }
                 }
                 if qe.directions.backward {
-                    for &de in g.out_edges(mt) {
-                        cands.push((de, g.edge(de).dst, mt));
+                    for (de, dst) in topo.out_entries(mt).iter() {
+                        cands.push((de, dst, mt));
                     }
                 }
             }

@@ -83,6 +83,13 @@ impl Interval {
     }
 
     /// Does `value` satisfy this interval?
+    ///
+    /// NaN semantics are pinned (see `whyq_graph::value`): a NaN attribute
+    /// value matches **no** `Range`, whatever its bounds — NaN's
+    /// `total_cmp` sort position above `+∞` is a storage artifact that
+    /// must not leak into ordering predicates. A NaN *bound* likewise
+    /// admits nothing on its side. Only an explicit NaN inside a `OneOf`
+    /// matches a NaN value (identity membership, not ordering).
     pub fn matches(&self, value: &Value) -> bool {
         match self {
             Interval::OneOf(vals) => vals.iter().any(|v| v == value),
@@ -95,6 +102,9 @@ impl Interval {
                 let Some(x) = value.as_f64() else {
                     return false;
                 };
+                if x.is_nan() {
+                    return false;
+                }
                 let lo_ok = match lo {
                     Some(l) => {
                         if *lo_incl {
@@ -406,6 +416,25 @@ mod tests {
         assert!(Interval::at_least(5.0).matches(&Value::Int(1_000_000)));
         assert!(!Interval::at_least(5.0).matches(&Value::Int(4)));
         assert!(Interval::at_most(5.0).matches(&Value::Int(-7)));
+    }
+
+    #[test]
+    fn nan_matches_no_ordering_predicate() {
+        let nan = Value::Float(f64::NAN);
+        // even though total_cmp sorts NaN above +inf, no range admits it
+        assert!(!Interval::at_least(f64::NEG_INFINITY).matches(&nan));
+        assert!(!Interval::at_most(f64::INFINITY).matches(&nan));
+        assert!(!Interval::between(f64::NEG_INFINITY, f64::INFINITY).matches(&nan));
+        // NaN bounds admit nothing
+        assert!(!Interval::at_least(f64::NAN).matches(&Value::Int(0)));
+        assert!(!Interval::between(f64::NAN, f64::NAN).matches(&nan));
+        // a NaN-bounded point range is empty, not a wildcard
+        // identity membership still works: OneOf carries the value itself
+        assert!(Interval::eq(f64::NAN).matches(&nan));
+        assert!(!Interval::eq(f64::NAN).matches(&Value::Int(1)));
+        // -0.0 stays an ordinary number on both sides
+        assert!(Interval::between(-0.0, 0.0).matches(&Value::Float(-0.0)));
+        assert!(Interval::between(-0.0, 0.0).matches(&Value::Int(0)));
     }
 
     #[test]

@@ -461,6 +461,24 @@ mod tests {
         assert_eq!(q.edge(e1).unwrap().other(a), b);
     }
 
+    /// A self-loop query edge touches its vertex at both endpoints but is
+    /// one edge: `incident_edges` must yield it exactly once (the MCS
+    /// traversal planners union these lists per component and count
+    /// component edges from them), while `degree` keeps the standard
+    /// convention of counting both endpoints.
+    #[test]
+    fn self_loop_incident_once_degree_twice() {
+        let mut q = PatternQuery::new();
+        let v = q.add_vertex(QueryVertex::any());
+        let w = q.add_vertex(QueryVertex::any());
+        let looped = q.add_edge(QueryEdge::typed(v, v, "self"));
+        let out = q.add_edge(QueryEdge::typed(v, w, "t"));
+        assert_eq!(q.incident_edges(v), vec![looped, out]);
+        assert_eq!(q.degree(v), 3);
+        assert_eq!(q.out_edges(v), vec![looped, out]);
+        assert_eq!(q.in_edges(v), vec![looped]);
+    }
+
     #[test]
     fn connectivity() {
         let (mut q, _, [e1, e2, e3]) = triangle();

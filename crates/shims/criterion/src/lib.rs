@@ -9,6 +9,11 @@
 //! `WHYQ_BENCH_JSON` environment variable names a file, all results of the
 //! process are appended there as a JSON array — the workspace commits such
 //! snapshots (e.g. `BENCH_matcher.json`) as performance evidence.
+//!
+//! Setting `WHYQ_BENCH_SMOKE=1` skips calibration and runs every benchmark
+//! for exactly one iteration of one sample — a CI-friendly smoke mode that
+//! proves the bench harness still compiles and executes without spending
+//! measurement time (the reported numbers are meaningless then).
 
 use std::io::Write as _;
 use std::time::{Duration, Instant};
@@ -114,30 +119,36 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let name = name.into();
+        let smoke = std::env::var("WHYQ_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
         // calibration: find an iteration count that makes one sample take
-        // roughly `target` so Instant quantisation is negligible
+        // roughly `target` so Instant quantisation is negligible (smoke
+        // mode pins one iteration of one sample instead — execution proof,
+        // not measurement)
         let target = Duration::from_millis(5);
         let mut iters: u64 = 1;
-        loop {
-            let mut b = Bencher {
-                iters,
-                elapsed: Duration::ZERO,
-            };
-            f(&mut b);
-            if b.elapsed >= target || iters >= 1 << 20 {
-                break;
+        if !smoke {
+            loop {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                if b.elapsed >= target || iters >= 1 << 20 {
+                    break;
+                }
+                // grow towards the target with a safety factor
+                let scale = if b.elapsed.is_zero() {
+                    16.0
+                } else {
+                    (target.as_secs_f64() / b.elapsed.as_secs_f64()).clamp(1.5, 16.0)
+                };
+                iters = ((iters as f64 * scale).ceil() as u64).max(iters + 1);
             }
-            // grow towards the target with a safety factor
-            let scale = if b.elapsed.is_zero() {
-                16.0
-            } else {
-                (target.as_secs_f64() / b.elapsed.as_secs_f64()).clamp(1.5, 16.0)
-            };
-            iters = ((iters as f64 * scale).ceil() as u64).max(iters + 1);
         }
 
-        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
-        for _ in 0..self.sample_size {
+        let samples = if smoke { 1 } else { self.sample_size };
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
             let mut b = Bencher {
                 iters,
                 elapsed: Duration::ZERO,
@@ -157,14 +168,13 @@ impl BenchmarkGroup<'_> {
         };
         println!(
             "bench {full:<50} median {median:>12.1} ns/iter  (mean {mean:.1}, min {min:.1}, \
-             {} samples x {iters} iters)",
-            self.sample_size
+             {samples} samples x {iters} iters)"
         );
         let _ = std::io::stdout().flush();
         self.criterion.records.push(Record {
             group: self.name.clone(),
             name,
-            samples: self.sample_size,
+            samples,
             iters_per_sample: iters,
             median_ns: median,
             mean_ns: mean,
