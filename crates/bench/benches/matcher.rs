@@ -12,6 +12,33 @@ use whyq_datagen::{ldbc_graph, ldbc_queries, LdbcConfig};
 use whyq_matcher::{
     count_matches, count_matches_naive, find_matches, find_matches_naive, MatchOptions, Matcher,
 };
+use whyq_query::{PatternQuery, Predicate, QueryBuilder};
+
+/// A string-equality-heavy persona scan over the LDBC person table: every
+/// candidate check is a conjunction of four string equalities plus one on
+/// the neighbor — the workload shape the value dictionary turns from four
+/// heap-string comparisons per candidate into four `u32` compares.
+fn persona_query() -> PatternQuery {
+    QueryBuilder::new("PERSONA STRINGS")
+        .vertex(
+            "p",
+            [
+                Predicate::eq("type", "person"),
+                Predicate::eq("gender", "female"),
+                Predicate::eq("browserUsed", "Chrome"),
+                Predicate::eq("nationality", "Germany"),
+            ],
+        )
+        .vertex(
+            "friend",
+            [
+                Predicate::eq("type", "person"),
+                Predicate::eq("gender", "male"),
+            ],
+        )
+        .edge("p", "friend", "knows")
+        .build()
+}
 
 fn bench_matcher(c: &mut Criterion) {
     let g = ldbc_graph(LdbcConfig::default());
@@ -28,6 +55,13 @@ fn bench_matcher(c: &mut Criterion) {
             b.iter(|| black_box(count_matches_naive(&g, q, MatchOptions::default())))
         });
     }
+    let persona = persona_query();
+    group.bench_function("count/PERSONA STRINGS", |b| {
+        b.iter(|| black_box(count_matches(&g, &persona, None)))
+    });
+    group.bench_function("count-naive/PERSONA STRINGS", |b| {
+        b.iter(|| black_box(count_matches_naive(&g, &persona, MatchOptions::default())))
+    });
     let q1 = &queries[0];
     group.bench_function("count-indexed/LDBC QUERY 1", |b| {
         let m = Matcher::new(&g).with_index("type");

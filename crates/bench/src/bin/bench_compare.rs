@@ -1,0 +1,75 @@
+//! Bench-regression gate: compare a fresh criterion-shim snapshot against a
+//! committed `BENCH_*.json` baseline and fail on regressions.
+//!
+//! ```text
+//! # measure (any bench target; WHYQ_BENCH_JSON makes the shim write JSON)
+//! WHYQ_BENCH_JSON=current.json cargo bench -p whyq-bench --bench matcher
+//!
+//! # gate (exit 1 on >25% median regression or a missing benchmark)
+//! cargo run -p whyq-bench --bin bench_compare -- BENCH_matcher.json current.json
+//! cargo run -p whyq-bench --bin bench_compare -- BENCH_matcher.json current.json --threshold 0.4
+//! ```
+//!
+//! CI runs exactly this pair of commands (job `bench-compare`); the
+//! threshold default of 25% absorbs runner noise while still catching the
+//! step-function regressions a bad refactor causes.
+
+use std::process::ExitCode;
+use whyq_bench::compare::{compare, parse_snapshot};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_compare <baseline.json> <current.json> [--threshold FRACTION]\n\
+         \n\
+         Compares per-benchmark median_ns of two criterion-shim snapshots.\n\
+         Exits 1 when any baseline benchmark is slower by more than the\n\
+         threshold (default 0.25 = +25%) or missing from the current run."
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<&str> = Vec::new();
+    let mut threshold = 0.25f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                i += 1;
+                threshold = args
+                    .get(i)
+                    .and_then(|t| t.parse().ok())
+                    .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--help" | "-h" => usage(),
+            f => files.push(f),
+        }
+        i += 1;
+    }
+    let [baseline_path, current_path] = files[..] else {
+        usage();
+    };
+
+    let read = |path: &str| -> Vec<whyq_bench::compare::BenchRecord> {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench_compare: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        parse_snapshot(&text).unwrap_or_else(|e| {
+            eprintln!("bench_compare: {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = read(baseline_path);
+    let current = read(current_path);
+
+    let cmp = compare(&baseline, &current, threshold);
+    print!("{}", cmp.report(threshold));
+    if cmp.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,343 @@
+//! Bench-snapshot comparison — the regression gate behind the committed
+//! `BENCH_*.json` files.
+//!
+//! The criterion shim (`crates/shims/criterion`) appends every measured
+//! benchmark of a process to the file named by `WHYQ_BENCH_JSON` as a flat
+//! JSON array of records. The workspace commits such snapshots as
+//! performance evidence; this module parses two of them — a committed
+//! baseline and a freshly measured run — and reports every benchmark whose
+//! median regressed beyond a threshold. The `bench_compare` binary wraps it
+//! for CI and local use:
+//!
+//! ```text
+//! WHYQ_BENCH_JSON=current.json cargo bench -p whyq-bench --bench matcher
+//! cargo run -p whyq-bench --bin bench_compare -- BENCH_matcher.json current.json
+//! ```
+//!
+//! The parser is deliberately self-contained (the offline workspace has no
+//! serde): it tokenizes the known flat shape — an array of one-level
+//! objects with string and number fields — with proper string-escape
+//! handling, and rejects anything else loudly rather than guessing.
+
+use std::fmt::Write as _;
+
+/// One benchmark record of a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Criterion group (may be empty).
+    pub group: String,
+    /// Benchmark name within the group.
+    pub bench: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+}
+
+impl BenchRecord {
+    /// `group/bench` — the key snapshots are matched on.
+    pub fn key(&self) -> String {
+        if self.group.is_empty() {
+            self.bench.clone()
+        } else {
+            format!("{}/{}", self.group, self.bench)
+        }
+    }
+}
+
+/// Split the top-level `[...]` into one `&str` per `{...}` object,
+/// respecting string literals (a brace inside a quoted name must not
+/// split).
+fn split_objects(text: &str) -> Result<Vec<&str>, String> {
+    let body = text.trim();
+    let body = body
+        .strip_prefix('[')
+        .and_then(|b| b.strip_suffix(']'))
+        .ok_or("snapshot is not a JSON array")?;
+    let mut objects = Vec::new();
+    let mut depth = 0usize;
+    let mut start = None;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        if in_str {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => {
+                if depth == 0 {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.checked_sub(1).ok_or("unbalanced braces")?;
+                if depth == 0 {
+                    let s = start.take().ok_or("unbalanced braces")?;
+                    objects.push(&body[s..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 || in_str {
+        return Err("truncated snapshot".into());
+    }
+    Ok(objects)
+}
+
+/// Extract `"key": "value"` from a flat object, undoing the `\\` and `\"`
+/// escapes the shim writes.
+fn str_field(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\"");
+    let after = &obj[obj.find(&pat)? + pat.len()..];
+    let after = after.trim_start().strip_prefix(':')?.trim_start();
+    let mut out = String::new();
+    let mut chars = after.strip_prefix('"')?.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => out.push(chars.next()?),
+            '"' => return Some(out),
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extract `"key": <number>` from a flat object.
+fn num_field(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\"");
+    let after = &obj[obj.find(&pat)? + pat.len()..];
+    let after = after.trim_start().strip_prefix(':')?.trim_start();
+    let end = after
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(after.len());
+    after[..end].parse().ok()
+}
+
+/// Parse a snapshot file's contents.
+pub fn parse_snapshot(text: &str) -> Result<Vec<BenchRecord>, String> {
+    let mut out = Vec::new();
+    for (i, obj) in split_objects(text)?.into_iter().enumerate() {
+        let group = str_field(obj, "group").ok_or(format!("record {i}: missing group"))?;
+        let bench = str_field(obj, "bench").ok_or(format!("record {i}: missing bench"))?;
+        let median_ns =
+            num_field(obj, "median_ns").ok_or(format!("record {i}: missing median_ns"))?;
+        if !median_ns.is_finite() || median_ns < 0.0 {
+            return Err(format!("record {i}: bad median_ns {median_ns}"));
+        }
+        out.push(BenchRecord {
+            group,
+            bench,
+            median_ns,
+        });
+    }
+    Ok(out)
+}
+
+/// One matched benchmark of a comparison.
+#[derive(Debug, Clone)]
+pub struct CompareRow {
+    /// `group/bench` key.
+    pub name: String,
+    /// Committed baseline median (ns/iter).
+    pub baseline_ns: f64,
+    /// Freshly measured median (ns/iter).
+    pub current_ns: f64,
+    /// `current / baseline`; > 1 is slower.
+    pub ratio: f64,
+    /// Whether the slowdown exceeds the threshold.
+    pub regressed: bool,
+}
+
+/// Result of comparing a fresh run against a committed baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    /// Matched benchmarks, in baseline order.
+    pub rows: Vec<CompareRow>,
+    /// Baseline benchmarks the fresh run did not produce — a gate failure
+    /// (a renamed or deleted bench must update its snapshot).
+    pub missing: Vec<String>,
+    /// Fresh benchmarks absent from the baseline (fine: newly added).
+    pub new_benches: Vec<String>,
+}
+
+impl Comparison {
+    /// All rows that regressed.
+    pub fn regressions(&self) -> Vec<&CompareRow> {
+        self.rows.iter().filter(|r| r.regressed).collect()
+    }
+
+    /// Gate verdict: regressions or missing benches fail.
+    pub fn passed(&self) -> bool {
+        self.missing.is_empty() && self.rows.iter().all(|r| !r.regressed)
+    }
+
+    /// Human-readable report table.
+    pub fn report(&self, threshold: f64) -> String {
+        let mut out = String::new();
+        let width = self
+            .rows
+            .iter()
+            .map(|r| r.name.len())
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        let _ = writeln!(
+            out,
+            "{:<width$}  {:>12}  {:>12}  {:>8}  verdict",
+            "bench", "baseline ns", "current ns", "ratio"
+        );
+        for r in &self.rows {
+            let verdict = if r.regressed {
+                "REGRESSED"
+            } else if r.ratio < 1.0 {
+                "faster"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                out,
+                "{:<width$}  {:>12.1}  {:>12.1}  {:>8.3}  {}",
+                r.name, r.baseline_ns, r.current_ns, r.ratio, verdict
+            );
+        }
+        for m in &self.missing {
+            let _ = writeln!(out, "{m}  MISSING from current run");
+        }
+        for n in &self.new_benches {
+            let _ = writeln!(out, "{n}  new (no baseline)");
+        }
+        let _ = writeln!(
+            out,
+            "gate: {} (threshold +{:.0}%)",
+            if self.passed() { "PASS" } else { "FAIL" },
+            threshold * 100.0
+        );
+        out
+    }
+}
+
+/// Compare `current` against `baseline`: a benchmark regresses when its
+/// median exceeds the baseline median by more than `threshold` (0.25 =
+/// 25% slower).
+pub fn compare(baseline: &[BenchRecord], current: &[BenchRecord], threshold: f64) -> Comparison {
+    let mut cmp = Comparison::default();
+    for b in baseline {
+        let key = b.key();
+        match current.iter().find(|c| c.key() == key) {
+            Some(c) => {
+                let ratio = if b.median_ns > 0.0 {
+                    c.median_ns / b.median_ns
+                } else {
+                    1.0
+                };
+                cmp.rows.push(CompareRow {
+                    name: key,
+                    baseline_ns: b.median_ns,
+                    current_ns: c.median_ns,
+                    ratio,
+                    regressed: ratio > 1.0 + threshold,
+                });
+            }
+            None => cmp.missing.push(key),
+        }
+    }
+    for c in current {
+        let key = c.key();
+        if !baseline.iter().any(|b| b.key() == key) {
+            cmp.new_benches.push(key);
+        }
+    }
+    cmp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SNAP: &str = r#"[
+  {"group": "matcher", "bench": "count/Q1", "samples": 20, "iters_per_sample": 154, "median_ns": 100.0, "mean_ns": 101.0, "min_ns": 99.0},
+  {"group": "", "bench": "lone", "samples": 2, "iters_per_sample": 1, "median_ns": 50.5, "mean_ns": 50.5, "min_ns": 50.0}
+]
+"#;
+
+    #[test]
+    fn parses_the_shim_format() {
+        let recs = parse_snapshot(SNAP).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].group, "matcher");
+        assert_eq!(recs[0].bench, "count/Q1");
+        assert_eq!(recs[0].median_ns, 100.0);
+        assert_eq!(recs[0].key(), "matcher/count/Q1");
+        assert_eq!(recs[1].key(), "lone");
+    }
+
+    #[test]
+    fn parses_escapes_and_braces_in_names() {
+        let text = r#"[{"group": "g", "bench": "odd \"q\" {x}", "median_ns": 1.0}]"#;
+        let recs = parse_snapshot(text).unwrap();
+        assert_eq!(recs[0].bench, "odd \"q\" {x}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_snapshot("not json").is_err());
+        assert!(parse_snapshot("[{\"group\": \"g\"}]").is_err());
+        assert!(parse_snapshot("[{").is_err());
+        // the parser accepts an empty array (no benches: nothing to gate)
+        assert_eq!(parse_snapshot("[]").unwrap().len(), 0);
+    }
+
+    fn rec(bench: &str, ns: f64) -> BenchRecord {
+        BenchRecord {
+            group: "g".into(),
+            bench: bench.into(),
+            median_ns: ns,
+        }
+    }
+
+    #[test]
+    fn flags_only_regressions_beyond_threshold() {
+        let base = vec![rec("a", 100.0), rec("b", 100.0), rec("c", 100.0)];
+        let curr = vec![rec("a", 124.0), rec("b", 126.0), rec("c", 60.0)];
+        let cmp = compare(&base, &curr, 0.25);
+        assert!(!cmp.rows[0].regressed); // +24% — inside the budget
+        assert!(cmp.rows[1].regressed); // +26% — over
+        assert!(!cmp.rows[2].regressed); // faster
+        assert!(!cmp.passed());
+        assert_eq!(cmp.regressions().len(), 1);
+        let report = cmp.report(0.25);
+        assert!(report.contains("REGRESSED"));
+        assert!(report.contains("FAIL"));
+    }
+
+    #[test]
+    fn missing_benches_fail_new_benches_pass() {
+        let base = vec![rec("a", 100.0), rec("gone", 100.0)];
+        let curr = vec![rec("a", 100.0), rec("fresh", 10.0)];
+        let cmp = compare(&base, &curr, 0.25);
+        assert_eq!(cmp.missing, vec!["g/gone".to_string()]);
+        assert_eq!(cmp.new_benches, vec!["g/fresh".to_string()]);
+        assert!(!cmp.passed());
+        let ok = compare(&[rec("a", 100.0)], &curr, 0.25);
+        assert!(ok.passed());
+    }
+
+    #[test]
+    fn round_trips_the_committed_matcher_snapshot() {
+        // the committed snapshot must always stay parseable — the CI gate
+        // depends on it
+        let text = include_str!("../../../BENCH_matcher.json");
+        let recs = parse_snapshot(text).unwrap();
+        assert!(!recs.is_empty());
+        let cmp = compare(&recs, &recs, 0.25);
+        assert!(cmp.passed());
+        assert!(cmp.rows.iter().all(|r| r.ratio == 1.0));
+    }
+}

@@ -6,6 +6,7 @@
 //! optionally writes TSV files for external plotting.
 
 pub mod appendix;
+pub mod compare;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;

@@ -6,6 +6,13 @@
 //! catalog summarizes, per attribute: the distinct values (capped and
 //! sorted) and, for numeric attributes, the observed range; plus the edge
 //! types occurring in the graph.
+//!
+//! The catalog clones values straight out of the graph, so string entries
+//! stay **dictionary-encoded** (`Value::Sym` — the clone is an `Arc`
+//! refcount bump, not a string copy). That matters downstream: every
+//! relaxed query the why-engine builds from these values carries constants
+//! the matcher's compiler recognizes as symbols of the same graph, keeping
+//! the whole relax loop's predicate evaluation on the integer fast path.
 
 use std::collections::HashMap;
 use whyq_graph::{PropertyGraph, Value};
@@ -206,6 +213,24 @@ mod tests {
             ages.neighbors(&Value::Int(27)),
             vec![&Value::Int(25), &Value::Int(30)]
         );
+    }
+
+    #[test]
+    fn string_domain_values_stay_dictionary_encoded() {
+        let graph = g();
+        let d = AttributeDomains::build(&graph, 100);
+        let types = d.vertex_attr("type").unwrap();
+        assert_eq!(types.values.len(), 2);
+        for v in &types.values {
+            let sv = v.as_sym().expect("catalog keeps the encoded form");
+            assert_eq!(sv.dict_id(), graph.values().dict_id());
+        }
+        // neighbors of the encoded "city" is the encoded "person"
+        let city = types.values[0].clone();
+        assert_eq!(city.as_str(), Some("city"));
+        let n = types.neighbors(&city);
+        assert_eq!(n.len(), 1);
+        assert_eq!(n[0].as_str(), Some("person"));
     }
 
     #[test]

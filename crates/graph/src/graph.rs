@@ -156,6 +156,10 @@ impl AdjList {
 pub struct PropertyGraph {
     attr_names: Interner,
     edge_types: Interner,
+    /// The value dictionary: every string attribute value stored in this
+    /// graph is interned here on insertion (see `crate::value` for the
+    /// encoding invariants).
+    values: Interner,
     vertices: Vec<VertexData>,
     edges: Vec<EdgeData>,
     /// Build-phase adjacency; drained (left empty) once sealed.
@@ -180,6 +184,7 @@ impl PropertyGraph {
         PropertyGraph {
             attr_names: Interner::new(),
             edge_types: Interner::new(),
+            values: Interner::new(),
             vertices: Vec::with_capacity(vertices),
             edges: Vec::with_capacity(edges),
             out_edges: Vec::with_capacity(vertices),
@@ -264,7 +269,7 @@ impl PropertyGraph {
         let id = VertexId(u32::try_from(self.vertices.len()).expect("vertex arena overflow"));
         let attrs = attrs
             .into_iter()
-            .map(|(k, v)| (self.attr_names.intern(k), v))
+            .map(|(k, v)| (self.attr_names.intern(k), self.values.intern_value(v)))
             .collect();
         self.vertices.push(VertexData { attrs });
         self.out_edges.push(AdjList::default());
@@ -287,7 +292,7 @@ impl PropertyGraph {
         let ty = self.edge_types.intern(ty);
         let attrs = attrs
             .into_iter()
-            .map(|(k, v)| (self.attr_names.intern(k), v))
+            .map(|(k, v)| (self.attr_names.intern(k), self.values.intern_value(v)))
             .collect();
         self.edges.push(EdgeData {
             src,
@@ -308,6 +313,7 @@ impl PropertyGraph {
         value: Value,
     ) -> Result<(), GraphError> {
         let sym = self.attr_names.intern(key);
+        let value = self.values.intern_value(value);
         self.vertices
             .get_mut(v.0 as usize)
             .ok_or(GraphError::VertexOutOfRange(v))?
@@ -342,6 +348,19 @@ impl PropertyGraph {
     /// The interner of edge types.
     pub fn edge_types(&self) -> &Interner {
         &self.edge_types
+    }
+
+    /// The value dictionary: every string attribute value stored in this
+    /// graph, interned. Readers that compile predicates resolve string
+    /// constants here once, then compare symbols.
+    pub fn values(&self) -> &Interner {
+        &self.values
+    }
+
+    /// Resolve a string to its value-dictionary symbol, if any stored
+    /// attribute carries it. Allocation-free probe.
+    pub fn value_symbol(&self, text: &str) -> Option<Symbol> {
+        self.values.get(text)
     }
 
     /// Resolve an attribute name to its symbol, if any element uses it.
@@ -542,6 +561,39 @@ mod tests {
         assert_eq!(all, vec![e1, e2, e3]);
         let missing = g.type_symbol("nope");
         assert!(missing.is_none());
+    }
+
+    #[test]
+    fn stored_strings_are_dictionary_encoded() {
+        let (g, a, b, e) = tiny();
+        let ty = g.attr_symbol("type").unwrap();
+        // both "person" and "city" landed in the value dictionary...
+        let person = g.value_symbol("person").unwrap();
+        let city = g.value_symbol("city").unwrap();
+        assert_ne!(person, city);
+        assert!(g.value_symbol("robot").is_none());
+        // ...and the stored values carry those symbols
+        let pv = g.vertex_attr(a, ty).unwrap().as_sym().unwrap();
+        assert_eq!(pv.sym(), person);
+        assert_eq!(pv.dict_id(), g.values().dict_id());
+        assert_eq!(g.vertex_attr(b, ty).unwrap().as_sym().unwrap().sym(), city);
+        // encoded values still compare equal to plain literals
+        assert_eq!(g.vertex_attr(a, ty), Some(&Value::str("person")));
+        // non-strings pass through un-encoded
+        let since = g.attr_symbol("since").unwrap();
+        assert!(g.edge_attr(e, since).unwrap().as_sym().is_none());
+    }
+
+    #[test]
+    fn set_vertex_attr_encodes_strings_too() {
+        let (mut g, a, _, _) = tiny();
+        g.set_vertex_attr(a, "type", Value::str("robot")).unwrap();
+        let ty = g.attr_symbol("type").unwrap();
+        let stored = g.vertex_attr(a, ty).unwrap();
+        assert_eq!(
+            stored.as_sym().unwrap().sym(),
+            g.value_symbol("robot").unwrap()
+        );
     }
 
     #[test]

@@ -1,11 +1,25 @@
-//! String interning for attribute names and edge types.
+//! String interning for attribute names, edge types and — since the value
+//! dictionary — attribute *values*.
 //!
 //! Attribute names repeat across millions of graph elements; storing them as
 //! `u32` symbols keeps [`crate::AttrMap`]s small and makes predicate lookup a
-//! binary search over integers instead of string comparisons.
+//! binary search over integers instead of string comparisons. The same
+//! machinery doubles as the per-graph **value dictionary**: every
+//! [`Value::Str`](crate::Value::Str) stored on a vertex or edge is interned
+//! through [`Interner::intern_value`] into a
+//! [`Value::Sym`](crate::Value::Sym), so string-equality predicates compare
+//! one `u32` instead of walking heap strings (see `crate::value` for the
+//! encoding invariants).
+//!
+//! Lookups never allocate: [`Interner::get`] and the probe half of
+//! [`Interner::intern`] take `&str` and hash the borrowed bytes directly
+//! (`Arc<str>: Borrow<str>`), so checking whether a constant exists in a
+//! dictionary is allocation-free even for misses.
 
+use crate::value::{SymStr, Value};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 /// An interned string. Symbols are only meaningful relative to the
@@ -20,22 +34,69 @@ impl fmt::Display for Symbol {
     }
 }
 
+/// Source of fresh dictionary identities (see [`Interner::dict_id`]).
+static NEXT_DICT_ID: AtomicU32 = AtomicU32::new(1);
+
+fn fresh_dict_id() -> u32 {
+    NEXT_DICT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
 /// A simple append-only string interner.
 ///
 /// Each distinct string is allocated exactly once: the lookup map and the
 /// symbol-indexed table share one `Arc<str>` (an `Arc` clone is a refcount
 /// bump, not a copy), and [`Interner::resolve`] hands out plain `&str`
 /// borrows into that shared allocation.
-#[derive(Debug, Default, Clone)]
+///
+/// Every interner carries a process-unique **dictionary id**. Two symbols
+/// are comparable as integers only when their dictionary ids match; the id
+/// is embedded in every [`Value::Sym`] the interner mints so `Value`
+/// equality knows when the `u32` fast path is sound. Cloning an interner
+/// assigns a *fresh* id: the clone starts with the same table but may
+/// diverge (clone A interns `"x"` as symbol 7 while clone B interns `"y"`
+/// as symbol 7), so symbols minted after the split must not alias. Values
+/// minted *before* the split still compare cheaply across the clones —
+/// they share the same `Arc` allocation, which the cross-dictionary
+/// fallback detects with a pointer comparison.
+#[derive(Debug)]
 pub struct Interner {
+    dict: u32,
     by_name: HashMap<Arc<str>, Symbol>,
     names: Vec<Arc<str>>,
+}
+
+impl Default for Interner {
+    fn default() -> Self {
+        Interner {
+            dict: fresh_dict_id(),
+            by_name: HashMap::new(),
+            names: Vec::new(),
+        }
+    }
+}
+
+impl Clone for Interner {
+    fn clone(&self) -> Self {
+        Interner {
+            // a fresh identity: the clone's future symbol assignments may
+            // diverge from the original's, so their symbols must never be
+            // integer-compared against each other (see the type docs)
+            dict: fresh_dict_id(),
+            by_name: self.by_name.clone(),
+            names: self.names.clone(),
+        }
+    }
 }
 
 impl Interner {
     /// Create an empty interner.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The process-unique dictionary identity of this interner.
+    pub fn dict_id(&self) -> u32 {
+        self.dict
     }
 
     /// Intern `name`, returning its symbol (existing or freshly assigned).
@@ -50,13 +111,48 @@ impl Interner {
         sym
     }
 
-    /// Look up a previously interned string without interning it.
+    /// Intern `name` and hand back the shared allocation alongside the
+    /// symbol — the building block of [`Interner::intern_value`].
+    pub fn intern_arc(&mut self, name: &str) -> (Symbol, Arc<str>) {
+        let sym = self.intern(name);
+        (sym, Arc::clone(&self.names[sym.0 as usize]))
+    }
+
+    /// Dictionary-encode a value: `Str` is interned into a [`Value::Sym`]
+    /// carrying this interner's dictionary id; a foreign `Sym` (minted by
+    /// another dictionary) is re-encoded through its text; a `Sym` of this
+    /// dictionary and every non-string value pass through unchanged.
+    pub fn intern_value(&mut self, v: Value) -> Value {
+        match v {
+            Value::Str(s) => {
+                let (sym, text) = self.intern_arc(&s);
+                Value::Sym(SymStr::new(self.dict, sym, text))
+            }
+            Value::Sym(sv) => {
+                if sv.dict_id() == self.dict {
+                    Value::Sym(sv)
+                } else {
+                    let (sym, text) = self.intern_arc(sv.as_str());
+                    Value::Sym(SymStr::new(self.dict, sym, text))
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Look up a previously interned string without interning it. The probe
+    /// borrows `name` — no allocation, even on a miss.
     pub fn get(&self, name: &str) -> Option<Symbol> {
         self.by_name.get(name).copied()
     }
 
     /// Resolve a symbol back to its string.
     pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.0 as usize]
+    }
+
+    /// Resolve a symbol to the shared allocation behind it.
+    pub fn resolve_arc(&self, sym: Symbol) -> &Arc<str> {
         &self.names[sym.0 as usize]
     }
 
@@ -132,5 +228,48 @@ mod tests {
         i.intern("b");
         let collected: Vec<_> = i.iter().map(|(_, n)| n.to_string()).collect();
         assert_eq!(collected, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn dict_ids_are_unique_and_clone_gets_a_fresh_one() {
+        let a = Interner::new();
+        let b = Interner::new();
+        assert_ne!(a.dict_id(), b.dict_id());
+        let c = a.clone();
+        assert_ne!(a.dict_id(), c.dict_id());
+    }
+
+    #[test]
+    fn intern_value_encodes_strings_and_passes_scalars() {
+        let mut i = Interner::new();
+        let v = i.intern_value(Value::str("person"));
+        let Value::Sym(sv) = &v else {
+            panic!("expected Sym, got {v:?}");
+        };
+        assert_eq!(sv.as_str(), "person");
+        assert_eq!(sv.dict_id(), i.dict_id());
+        assert_eq!(i.resolve(sv.sym()), "person");
+        // idempotent: re-encoding a native Sym is a no-op
+        let again = i.intern_value(v.clone());
+        assert_eq!(again, v);
+        // scalars pass through untouched
+        assert_eq!(i.intern_value(Value::Int(3)), Value::Int(3));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn foreign_sym_is_reencoded() {
+        let mut a = Interner::new();
+        let mut b = Interner::new();
+        b.intern("padding"); // shift symbol space so ids differ
+        let va = a.intern_value(Value::str("x"));
+        let vb = b.intern_value(va.clone());
+        let (Value::Sym(sa), Value::Sym(sb)) = (&va, &vb) else {
+            panic!("expected Syms");
+        };
+        assert_eq!(sb.dict_id(), b.dict_id());
+        assert_ne!(sa.sym(), sb.sym());
+        // ...but the values still compare equal (same text)
+        assert_eq!(va, vb);
     }
 }

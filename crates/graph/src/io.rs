@@ -45,7 +45,10 @@ fn encode_value(v: &Value, out: &mut String) {
         Value::Bool(b) => {
             let _ = write!(out, "b:{b}");
         }
-        Value::Str(s) => {
+        // both string encodings serialize as decoded text — the dictionary
+        // is an in-memory artifact, rebuilt on read
+        Value::Str(_) | Value::Sym(_) => {
+            let s = v.as_str().expect("string family");
             out.push_str("s:");
             for c in s.chars() {
                 match c {
@@ -190,7 +193,9 @@ pub fn read_graph(text: &str) -> Result<PropertyGraph, IoError> {
         }
     }
     // a parsed graph is complete: hand it back already sealed so readers
-    // start on the CSR layout without paying a later lazy build
+    // start on the CSR layout without paying a later lazy build (string
+    // values were dictionary-encoded on the way in by `add_vertex`/
+    // `add_edge`)
     g.seal();
     Ok(g)
 }

@@ -36,4 +36,4 @@ pub use error::GraphError;
 pub use graph::{EdgeData, EdgeId, PropertyGraph, VertexData, VertexId};
 pub use interner::{Interner, Symbol};
 pub use io::{read_graph, write_graph};
-pub use value::Value;
+pub use value::{SymStr, Value};

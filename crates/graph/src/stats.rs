@@ -31,9 +31,9 @@ pub fn vertex_attr_histogram(g: &PropertyGraph, attr: &str) -> Vec<(String, usiz
     let mut counts: HashMap<String, usize> = HashMap::new();
     for v in g.vertex_ids() {
         if let Some(val) = g.vertex_attr(v, sym) {
-            let key = match val {
-                Value::Str(s) => s.clone(),
-                other => other.to_string(),
+            let key = match val.as_str() {
+                Some(s) => s.to_string(),
+                None => val.to_string(),
             };
             *counts.entry(key).or_default() += 1;
         }
@@ -41,6 +41,28 @@ pub fn vertex_attr_histogram(g: &PropertyGraph, attr: &str) -> Vec<(String, usiz
     let mut out: Vec<(String, usize)> = counts.into_iter().collect();
     out.sort();
     out
+}
+
+/// Sizes of the graph's three interners — how compressible the workload's
+/// string universe is (the value dictionary is the interesting one: its
+/// size vs. the element count is the dictionary-encoding win).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DictSummary {
+    /// Distinct attribute names.
+    pub attr_names: usize,
+    /// Distinct edge types.
+    pub edge_types: usize,
+    /// Distinct string attribute values.
+    pub values: usize,
+}
+
+/// Summarize the interner/dictionary sizes of a graph.
+pub fn dict_summary(g: &PropertyGraph) -> DictSummary {
+    DictSummary {
+        attr_names: g.attr_names().len(),
+        edge_types: g.edge_types().len(),
+        values: g.values().len(),
+    }
 }
 
 /// Degree distribution summary.
@@ -156,6 +178,15 @@ mod tests {
         assert_eq!(s.min, 0);
         assert_eq!(s.max, 2);
         assert!((s.mean - 6.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dict_summary_counts_interners() {
+        let g = sample();
+        let d = dict_summary(&g);
+        assert_eq!(d.edge_types, 2); // knows, livesIn
+        assert_eq!(d.attr_names, 2); // type, age
+        assert_eq!(d.values, 2); // "person", "city"
     }
 
     #[test]

@@ -6,6 +6,41 @@
 //! provides a total order within a numeric family (integers and floats
 //! compare against each other) and equality across all variants.
 //!
+//! ## Dictionary encoding (pinned invariants)
+//!
+//! Strings come in two physical representations that are **semantically one
+//! type**: [`Value::Str`] owns its text, [`Value::Sym`] is the
+//! dictionary-encoded form minted by an [`crate::Interner`] — a `u32`
+//! symbol, the shared `Arc<str>` text, and the id of the dictionary that
+//! assigned the symbol. The invariants:
+//!
+//! * **Every string stored in a graph is encoded.** [`crate::PropertyGraph`]
+//!   interns attribute values on every insertion path (`add_vertex`,
+//!   `add_edge`, `set_vertex_attr`, and therefore `io::read_graph` and the
+//!   generators), so a stored `Value::Sym`'s symbol is always valid in —
+//!   and agrees with — its graph's value dictionary. Plain `Value::Str`
+//!   appears only *outside* graphs: query constants, decoded values,
+//!   user-constructed literals.
+//! * **A `Sym` is meaningful relative to its dictionary.** The embedded
+//!   dictionary id says which interner assigned the symbol. Two `Sym`s with
+//!   the *same* id came from the same assignment history, so equality is
+//!   one `u32` compare. With *different* ids the symbols are incomparable
+//!   and equality falls back to the text — first an `Arc` pointer check
+//!   (clones of a graph share allocations), then a real string compare.
+//!   Cross-graph comparison is therefore always correct, just not always
+//!   integer-speed.
+//! * **Encoding is invisible to semantics.** `Sym` and `Str` of the same
+//!   text are equal, hash equal (both hash their text), order identically
+//!   (lexicographic), display identically and serialize identically
+//!   (`io` writes the decoded text). Code that pattern-matches string
+//!   values should use [`Value::as_str`], which decodes both forms.
+//!
+//! The payoff sits in `whyq-matcher`: query compilation resolves string
+//! constants through the graph's dictionary once, after which every
+//! candidate check against a stored string is a single integer comparison —
+//! and a constant the dictionary has never seen proves its predicate
+//! unsatisfiable before any scan starts.
+//!
 //! ## NaN and signed-zero semantics (pinned)
 //!
 //! The numeric family is ordered by `f64::total_cmp` with `-0.0`
@@ -24,23 +59,67 @@
 //!   explicit equality/`OneOf` predicate carrying NaN itself can match a
 //!   NaN value (identity membership, not ordering).
 
+use crate::interner::Symbol;
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A dictionary-encoded string value: the symbol an [`crate::Interner`]
+/// assigned, the shared text, and the dictionary's identity (see the
+/// [module docs](self) for the comparison rules these three enable).
+#[derive(Debug, Clone)]
+pub struct SymStr {
+    dict: u32,
+    sym: Symbol,
+    text: Arc<str>,
+}
+
+impl SymStr {
+    /// Build an encoded string. Only dictionaries mint these — going
+    /// through [`crate::Interner::intern_value`] is what makes the
+    /// `(dict, sym) → text` association trustworthy.
+    pub(crate) fn new(dict: u32, sym: Symbol, text: Arc<str>) -> Self {
+        SymStr { dict, sym, text }
+    }
+
+    /// The symbol within the minting dictionary.
+    pub fn sym(&self) -> Symbol {
+        self.sym
+    }
+
+    /// The identity of the minting dictionary
+    /// (cf. [`crate::Interner::dict_id`]).
+    pub fn dict_id(&self) -> u32 {
+        self.dict
+    }
+
+    /// The decoded text.
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+
+    /// The shared allocation behind the text.
+    pub fn text_arc(&self) -> &Arc<str> {
+        &self.text
+    }
+}
 
 /// A scalar attribute value.
 ///
 /// Integers and floats form one *numeric family*: `Value::Int(2)` compares
-/// equal to `Value::Float(2.0)`. Strings and booleans only compare within
-/// their own variant.
+/// equal to `Value::Float(2.0)`. Strings — in both physical forms, see the
+/// [module docs](self) — and booleans only compare within their own family.
 #[derive(Debug, Clone)]
 pub enum Value {
     /// 64-bit signed integer (years, counts, identifiers, ...).
     Int(i64),
     /// 64-bit float (scores, coordinates, ...).
     Float(f64),
-    /// UTF-8 string (names, labels, ...).
+    /// UTF-8 string (names, labels, ...), un-encoded.
     Str(String),
+    /// Dictionary-encoded string, minted by [`crate::Interner::intern_value`].
+    Sym(SymStr),
     /// Boolean flag.
     Bool(bool),
 }
@@ -69,10 +148,20 @@ impl Value {
         }
     }
 
-    /// Returns the string slice if this is a `Str`.
+    /// Returns the string slice if this is a string in either physical
+    /// form (`Str` or dictionary-encoded `Sym`).
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
+            Value::Sym(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Returns the encoded form if this is a dictionary-encoded string.
+    pub fn as_sym(&self) -> Option<&SymStr> {
+        match self {
+            Value::Sym(s) => Some(s),
             _ => None,
         }
     }
@@ -85,12 +174,15 @@ impl Value {
         }
     }
 
-    /// True if both values belong to the numeric family.
+    /// True if both values belong to the same family (numeric, string in
+    /// either encoding, or boolean).
     pub fn same_family(&self, other: &Value) -> bool {
         use Value::*;
         matches!(
             (self, other),
-            (Int(_) | Float(_), Int(_) | Float(_)) | (Str(_), Str(_)) | (Bool(_), Bool(_))
+            (Int(_) | Float(_), Int(_) | Float(_))
+                | (Str(_) | Sym(_), Str(_) | Sym(_))
+                | (Bool(_), Bool(_))
         )
     }
 
@@ -100,11 +192,17 @@ impl Value {
     /// Numbers follow `f64::total_cmp` with `-0.0` normalized, so NaN has
     /// a stable sort position; see the module docs for why that position
     /// deliberately does **not** make NaN satisfy ordering predicates.
+    /// Strings compare lexicographically regardless of encoding, with a
+    /// same-dictionary symbol check short-circuiting the equal case.
     pub fn compare(&self, other: &Value) -> Option<Ordering> {
         use Value::*;
         match (self, other) {
             (Int(a), Int(b)) => Some(a.cmp(b)),
-            (Str(a), Str(b)) => Some(a.cmp(b)),
+            (Sym(a), Sym(b)) if a.dict == b.dict && a.sym == b.sym => Some(Ordering::Equal),
+            (Str(_) | Sym(_), Str(_) | Sym(_)) => {
+                // both sides are strings, as_str never fails
+                Some(self.as_str()?.cmp(other.as_str()?))
+            }
             (Bool(a), Bool(b)) => Some(a.cmp(b)),
             (a, b) => {
                 // normalize -0.0 so the numeric family is a consistent order
@@ -115,12 +213,13 @@ impl Value {
         }
     }
 
-    /// Short tag used in error messages and debug displays.
+    /// Short tag used in error messages and debug displays. Both string
+    /// encodings report `"str"` — the encoding is a storage detail.
     pub fn type_name(&self) -> &'static str {
         match self {
             Value::Int(_) => "int",
             Value::Float(_) => "float",
-            Value::Str(_) => "str",
+            Value::Str(_) | Value::Sym(_) => "str",
             Value::Bool(_) => "bool",
         }
     }
@@ -128,7 +227,21 @@ impl Value {
 
 impl PartialEq for Value {
     fn eq(&self, other: &Self) -> bool {
-        self.compare(other) == Some(Ordering::Equal)
+        use Value::*;
+        match (self, other) {
+            // dictionary fast path: same dictionary → symbols decide; the
+            // cross-dictionary fallback tries pointer identity (clones
+            // share allocations) before touching the bytes
+            (Sym(a), Sym(b)) => {
+                if a.dict == b.dict {
+                    a.sym == b.sym
+                } else {
+                    Arc::ptr_eq(&a.text, &b.text) || a.text == b.text
+                }
+            }
+            (Sym(a), Str(b)) | (Str(b), Sym(a)) => *a.text == **b,
+            _ => self.compare(other) == Some(Ordering::Equal),
+        }
     }
 }
 
@@ -139,6 +252,8 @@ impl Hash for Value {
         // Numeric family members must hash identically when equal:
         // hash every numeric value through its canonical f64 bit pattern
         // (normalizing -0.0 to 0.0 so Int(0) == Float(-0.0) hashes equal).
+        // Both string encodings hash their text so Sym == Str stays
+        // hash-consistent.
         match self {
             Value::Int(i) => {
                 let f = *i as f64;
@@ -152,6 +267,10 @@ impl Hash for Value {
             Value::Str(s) => {
                 state.write_u8(1);
                 s.hash(state);
+            }
+            Value::Sym(s) => {
+                state.write_u8(1);
+                s.as_str().hash(state);
             }
             Value::Bool(b) => {
                 state.write_u8(2);
@@ -173,6 +292,7 @@ impl fmt::Display for Value {
             Value::Int(i) => write!(f, "{i}"),
             Value::Float(x) => write!(f, "{x}"),
             Value::Str(s) => write!(f, "{s:?}"),
+            Value::Sym(s) => write!(f, "{:?}", s.as_str()),
             Value::Bool(b) => write!(f, "{b}"),
         }
     }
@@ -212,6 +332,7 @@ impl From<bool> for Value {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::interner::Interner;
     use std::collections::hash_map::DefaultHasher;
 
     fn hash_of(v: &Value) -> u64 {
@@ -284,5 +405,47 @@ mod tests {
         assert_eq!(Value::Int(3).to_string(), "3");
         assert_eq!(Value::str("a").to_string(), "\"a\"");
         assert_eq!(Value::Bool(false).to_string(), "false");
+    }
+
+    #[test]
+    fn encoded_and_plain_strings_are_one_type() {
+        let mut dict = Interner::new();
+        let sym = dict.intern_value(Value::str("person"));
+        let plain = Value::str("person");
+        // equality, hash, order, display, accessors all agree
+        assert_eq!(sym, plain);
+        assert_eq!(plain, sym);
+        assert_eq!(hash_of(&sym), hash_of(&plain));
+        assert_eq!(sym.compare(&plain), Some(Ordering::Equal));
+        assert_eq!(sym.to_string(), plain.to_string());
+        assert_eq!(sym.as_str(), Some("person"));
+        assert_eq!(sym.type_name(), "str");
+        assert!(sym.same_family(&plain));
+        // and a different text stays unequal in every combination
+        let other = dict.intern_value(Value::str("city"));
+        assert_ne!(sym, other);
+        assert_ne!(other, plain);
+        assert!(other < sym); // "city" < "person"
+    }
+
+    #[test]
+    fn cross_dictionary_syms_compare_by_text() {
+        let mut a = Interner::new();
+        let mut b = Interner::new();
+        b.intern("shift"); // make symbol ids diverge
+        let va = a.intern_value(Value::str("x"));
+        let vb = b.intern_value(Value::str("x"));
+        assert_eq!(va, vb);
+        assert_eq!(hash_of(&va), hash_of(&vb));
+        let wa = a.intern_value(Value::str("y"));
+        assert_ne!(wa, vb);
+        // same symbol index in different dictionaries is NOT equality:
+        // a's "x" and b's "shift" are both symbol 0
+        let shift = Value::Sym(SymStr::new(
+            b.dict_id(),
+            crate::interner::Symbol(0),
+            b.resolve_arc(crate::interner::Symbol(0)).clone(),
+        ));
+        assert_ne!(va, shift);
     }
 }

@@ -1,0 +1,192 @@
+//! Property tests of the value dictionary.
+//!
+//! Three families of invariants:
+//!
+//! * **intern/resolve round-trips** — encoding any string through an
+//!   [`Interner`] and resolving it back yields the original text, with one
+//!   stable symbol per distinct string;
+//! * **eq/hash agreement** — a dictionary-encoded [`Value`] must be
+//!   indistinguishable from its un-encoded twin under `==`, `Hash`,
+//!   `partial_cmp`, `Display` and `as_str`, across arbitrary value pairs
+//!   and across *different* dictionaries;
+//! * **storage encoding** — whatever mix of values a graph is built from,
+//!   every stored string is encoded in the graph's own dictionary and
+//!   still equal to its plain form.
+
+use proptest::prelude::*;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use whyq_graph::{Interner, PropertyGraph, Value};
+
+fn hash_of(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+/// Decode a small integer triple into a `Value` covering every family,
+/// with deliberate text collisions across cases.
+fn mk_value(kind: u8, payload: i64, text: &str) -> Value {
+    match kind % 5 {
+        0 => Value::Int(payload),
+        1 => Value::Float(payload as f64 / 3.0),
+        2 => Value::str(text),
+        3 => Value::Bool(payload % 2 == 0),
+        _ => Value::Float(-0.0),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Interning any sequence of strings round-trips every one of them,
+    /// idempotently, with `len` counting the distinct set.
+    #[test]
+    fn intern_resolve_round_trips(texts in prop::collection::vec("[a-p]{0,10}", 1..20)) {
+        let mut dict = Interner::new();
+        let syms: Vec<_> = texts.iter().map(|t| dict.intern(t)).collect();
+        for (t, s) in texts.iter().zip(&syms) {
+            prop_assert_eq!(dict.resolve(*s), t.as_str());
+            prop_assert_eq!(dict.get(t), Some(*s));
+            // re-interning is a no-op returning the same symbol
+            prop_assert_eq!(dict.intern(t), *s);
+        }
+        let mut distinct = texts.clone();
+        distinct.sort();
+        distinct.dedup();
+        prop_assert_eq!(dict.len(), distinct.len());
+    }
+
+    /// `intern_value` round-trips the text and mints values equal to (and
+    /// hash-consistent with) their un-encoded twins.
+    #[test]
+    fn encoded_value_round_trips(texts in prop::collection::vec("[a-f]{0,6}", 1..16)) {
+        let mut dict = Interner::new();
+        for t in &texts {
+            let encoded = dict.intern_value(Value::str(t.clone()));
+            let plain = Value::str(t.clone());
+            prop_assert_eq!(encoded.as_str(), Some(t.as_str()));
+            prop_assert_eq!(&encoded, &plain);
+            prop_assert_eq!(&plain, &encoded);
+            prop_assert_eq!(hash_of(&encoded), hash_of(&plain));
+            prop_assert_eq!(encoded.partial_cmp(&plain), Some(std::cmp::Ordering::Equal));
+            prop_assert_eq!(encoded.to_string(), plain.to_string());
+        }
+    }
+
+    /// Equality, hash and order between arbitrary value pairs are
+    /// invariant under dictionary encoding of either or both sides — also
+    /// when the two sides are encoded by *different* dictionaries.
+    #[test]
+    fn eq_hash_order_invariant_under_encoding(
+        ka in any::<u8>(), pa in -20i64..20, ta in "[a-c]{0,3}",
+        kb in any::<u8>(), pb in -20i64..20, tb in "[a-c]{0,3}",
+        shift in 0usize..4,
+    ) {
+        let a = mk_value(ka, pa, &ta);
+        let b = mk_value(kb, pb, &tb);
+        let mut d1 = Interner::new();
+        let mut d2 = Interner::new();
+        for i in 0..shift {
+            d2.intern(&format!("shift-{i}")); // desynchronize symbol spaces
+        }
+        let combos = [
+            (d1.intern_value(a.clone()), b.clone()),
+            (a.clone(), d2.intern_value(b.clone())),
+            (d1.intern_value(a.clone()), d1.intern_value(b.clone())),
+            (d1.intern_value(a.clone()), d2.intern_value(b.clone())),
+        ];
+        let plain_eq = a == b;
+        let plain_ord = a.partial_cmp(&b);
+        for (ea, eb) in combos {
+            prop_assert_eq!(ea == eb, plain_eq, "{:?} vs {:?}", ea, eb);
+            prop_assert_eq!(ea.partial_cmp(&eb), plain_ord);
+            prop_assert_eq!(hash_of(&ea), hash_of(&a));
+            prop_assert_eq!(hash_of(&eb), hash_of(&b));
+            if plain_eq {
+                prop_assert_eq!(hash_of(&ea), hash_of(&eb));
+            }
+        }
+    }
+
+    /// Every string stored through the graph API is encoded in the graph's
+    /// own dictionary, resolvable, and equal to its plain form; non-string
+    /// values stay untouched.
+    #[test]
+    fn graphs_encode_all_stored_strings(
+        rows in prop::collection::vec((any::<u8>(), -20i64..20, "[a-d]{0,3}"), 1..24),
+    ) {
+        let mut g = PropertyGraph::new();
+        let mut prev = None;
+        for (i, (k, p, t)) in rows.iter().enumerate() {
+            let v = mk_value(*k, *p, t);
+            let dv = if i % 3 == 0 && prev.is_some() {
+                // every third row stores its value on an edge instead
+                let dst = g.add_vertex([]);
+                let e = g.add_edge(prev.unwrap(), dst, "t", [("attr", v.clone())]);
+                let sym = g.attr_symbol("attr").unwrap();
+                let stored = g.edge_attr(e, sym).unwrap();
+                prop_assert_eq!(stored, &v);
+                if let Some(sv) = stored.as_sym() {
+                    prop_assert_eq!(sv.dict_id(), g.values().dict_id());
+                    prop_assert_eq!(g.values().resolve(sv.sym()), sv.as_str());
+                }
+                dst
+            } else {
+                g.add_vertex([("attr", v.clone())])
+            };
+            let sym = g.attr_symbol("attr").unwrap();
+            if let Some(stored) = g.vertex_attr(dv, sym) {
+                prop_assert_eq!(stored, &v);
+                match (&v, stored.as_sym()) {
+                    // strings must come back encoded by this graph...
+                    (Value::Str(s), Some(sv)) => {
+                        prop_assert_eq!(sv.as_str(), s.as_str());
+                        prop_assert_eq!(sv.dict_id(), g.values().dict_id());
+                        prop_assert_eq!(g.value_symbol(s), Some(sv.sym()));
+                    }
+                    (Value::Str(_), None) => prop_assert!(false, "stored string not encoded"),
+                    // ...everything else un-encoded
+                    (_, enc) => prop_assert!(enc.is_none()),
+                }
+            }
+            prev = Some(dv);
+        }
+        // the dictionary is exactly the set of distinct stored strings
+        let mut texts: Vec<&str> = Vec::new();
+        for v in g.vertex_ids() {
+            for (_, val) in g.vertex(v).attrs.iter() {
+                if let Some(s) = val.as_str() {
+                    texts.push(s);
+                }
+            }
+        }
+        for e in g.edge_ids() {
+            for (_, val) in g.edge(e).attrs.iter() {
+                if let Some(s) = val.as_str() {
+                    texts.push(s);
+                }
+            }
+        }
+        texts.sort();
+        texts.dedup();
+        prop_assert_eq!(g.values().len(), texts.len());
+    }
+
+    /// Re-encoding a value through a second dictionary (the cross-graph
+    /// copy path) preserves text and equality.
+    #[test]
+    fn cross_dictionary_reencoding_preserves_text(texts in prop::collection::vec("[a-e]{0,4}", 1..12)) {
+        let mut d1 = Interner::new();
+        let mut d2 = Interner::new();
+        d2.intern("skew");
+        for t in &texts {
+            let first = d1.intern_value(Value::str(t.clone()));
+            let second = d2.intern_value(first.clone());
+            prop_assert_eq!(second.as_str(), Some(t.as_str()));
+            prop_assert_eq!(&second, &first);
+            let sv = second.as_sym().unwrap();
+            prop_assert_eq!(sv.dict_id(), d2.dict_id());
+        }
+    }
+}

@@ -1,32 +1,180 @@
-//! Query compilation: resolve attribute/type names against a graph's
-//! interners and build a per-component evaluation plan.
+//! Query compilation: resolve attribute/type names *and string predicate
+//! constants* against a graph's interners and build a per-component
+//! evaluation plan.
 //!
-//! A query predicate names attributes by string; the graph stores interned
-//! symbols. Compilation resolves each name once so the inner matching loops
-//! compare integers. A predicate over an attribute the graph has never seen
-//! can match nothing and marks its element as unsatisfiable.
+//! A query predicate names attributes by string and carries string
+//! constants; the graph stores interned symbols on both axes (attribute
+//! names since PR 1, attribute *values* since the value dictionary).
+//! Compilation resolves each name and each string constant once, so the
+//! inner matching loops compare integers only:
+//!
+//! * an attribute name resolves to its `Symbol` — absent from the graph
+//!   means the predicate can match nothing;
+//! * every string constant of a `OneOf` interval resolves through the
+//!   graph's value dictionary — a constant the dictionary has never seen
+//!   cannot equal any stored (always-encoded) string and is dropped from
+//!   the disjunction at compile time. A disjunction that loses *all* its
+//!   constants this way proves the predicate **unsatisfiable**, which
+//!   [`Compiled::unsatisfiable`] surfaces so the engine can answer
+//!   "no matches" before any scan starts.
+//!
+//! The result: the candidate loop of the engine evaluates a string
+//! equality like `type = "person"` as one `u32` comparison against the
+//! symbol carried by the stored [`whyq_graph::Value::Sym`] — no heap
+//! string is ever touched.
 
 use crate::index::AttrIndex;
-use whyq_graph::{EdgeData, PropertyGraph, Symbol, Value, VertexId};
-use whyq_query::{Interval, PatternQuery, Predicate, QEid, QVid};
+use std::sync::Arc;
+use whyq_graph::{AttrMap, EdgeData, PropertyGraph, Symbol, Value, VertexId};
+use whyq_query::{Interval, PatternQuery, Predicate, QEid, QVid, QueryEdge, QueryVertex};
 
-/// A predicate with its attribute resolved to a graph symbol.
+/// A predicate interval with its string constants resolved against the
+/// graph's value dictionary.
+#[derive(Debug, Clone)]
+pub enum CompiledInterval {
+    /// Explicit disjunction, split by family: interned string constants
+    /// (compared by symbol) and non-string constants (compared by value).
+    /// String constants absent from the dictionary were dropped — they can
+    /// equal no stored string.
+    OneOf {
+        /// Resolved string constants; the `Arc<str>` is kept only for the
+        /// defensive un-encoded-string fallback and for display.
+        syms: Vec<(Symbol, Arc<str>)>,
+        /// Non-string constants (numbers, booleans).
+        other: Vec<Value>,
+    },
+    /// Numeric range, kept as the query interval itself: range evaluation
+    /// never touches the dictionary, and delegating to
+    /// [`Interval::matches`] keeps the engine's bounds/NaN semantics in
+    /// lockstep with the oracle's by construction.
+    Range(Interval),
+}
+
+impl CompiledInterval {
+    /// Resolve the string constants of `interval` against `g`'s value
+    /// dictionary.
+    pub fn resolve(g: &PropertyGraph, interval: &Interval) -> Self {
+        match interval {
+            Interval::OneOf(vals) => {
+                let mut syms: Vec<(Symbol, Arc<str>)> = Vec::new();
+                let mut other = Vec::new();
+                let mut push_sym = |sym: Symbol, text: Arc<str>| {
+                    if !syms.iter().any(|(s, _)| *s == sym) {
+                        syms.push((sym, text));
+                    }
+                };
+                for v in vals {
+                    match v {
+                        // a constant already encoded by *this* graph's
+                        // dictionary — the why-engine's relax loop builds
+                        // its candidate intervals from domain values
+                        // cloned out of the graph, so this arm makes
+                        // recompiling hundreds of relaxed queries skip
+                        // even the dictionary hash probe
+                        Value::Sym(sv) if sv.dict_id() == g.values().dict_id() => {
+                            push_sym(sv.sym(), Arc::clone(sv.text_arc()));
+                        }
+                        v => match v.as_str() {
+                            Some(text) => {
+                                if let Some(sym) = g.value_symbol(text) {
+                                    push_sym(sym, Arc::clone(g.values().resolve_arc(sym)));
+                                }
+                                // absent from the dictionary: unmatchable, drop
+                            }
+                            None => other.push(v.clone()),
+                        },
+                    }
+                }
+                CompiledInterval::OneOf { syms, other }
+            }
+            range @ Interval::Range { .. } => CompiledInterval::Range(range.clone()),
+        }
+    }
+
+    /// Does a *stored* attribute value satisfy the interval? Stored string
+    /// values are dictionary-encoded (the graph interns on insertion), so
+    /// the string case is a scan over a few `u32`s; the `Str` arm is a
+    /// defensive fallback that never fires on graph-API-built data.
+    pub fn matches_stored(&self, v: &Value) -> bool {
+        match self {
+            CompiledInterval::OneOf { syms, other } => match v {
+                Value::Sym(sv) => {
+                    let s = sv.sym();
+                    syms.iter().any(|(c, _)| *c == s)
+                }
+                Value::Str(s) => syms.iter().any(|(_, t)| **t == **s),
+                v => other.iter().any(|c| c == v),
+            },
+            CompiledInterval::Range(iv) => iv.matches(v),
+        }
+    }
+
+    /// True when no stored value can satisfy the interval: an exhausted
+    /// disjunction (empty to begin with, or every string constant pruned
+    /// by the dictionary), or an empty/NaN-bounded range (a NaN bound
+    /// admits nothing — see the pinned NaN semantics in
+    /// `whyq_graph::value`).
+    pub fn is_unsatisfiable(&self) -> bool {
+        match self {
+            CompiledInterval::OneOf { syms, other } => syms.is_empty() && other.is_empty(),
+            CompiledInterval::Range(iv) => {
+                if let Interval::Range { lo, hi, .. } = iv {
+                    if lo.is_some_and(f64::is_nan) || hi.is_some_and(f64::is_nan) {
+                        return true;
+                    }
+                }
+                iv.is_empty()
+            }
+        }
+    }
+}
+
+/// A predicate with its attribute name and string constants resolved to
+/// graph symbols.
 #[derive(Debug, Clone)]
 pub struct ResolvedPredicate {
     /// `None` when the graph has no such attribute anywhere — the predicate
     /// is unsatisfiable.
-    pub sym: Option<Symbol>,
-    /// The predicate itself (cloned out of the query for lifetime freedom).
-    pub pred: Predicate,
+    sym: Option<Symbol>,
+    /// The interval, with string constants dictionary-resolved.
+    interval: CompiledInterval,
 }
 
 impl ResolvedPredicate {
+    /// Resolve `p` against `g`'s name and value dictionaries.
+    pub fn resolve(g: &PropertyGraph, p: &Predicate) -> Self {
+        ResolvedPredicate {
+            sym: g.attr_symbol(&p.attr),
+            interval: CompiledInterval::resolve(g, &p.interval),
+        }
+    }
+
     /// Check the predicate against an attribute map.
-    pub fn matches(&self, attrs: &whyq_graph::AttrMap) -> bool {
+    #[inline]
+    pub fn matches(&self, attrs: &AttrMap) -> bool {
         match self.sym {
-            Some(s) => self.pred.matches(attrs.get(s)),
+            Some(s) => match attrs.get(s) {
+                Some(v) => self.interval.matches_stored(v),
+                None => false,
+            },
             None => false,
         }
+    }
+
+    /// True when the predicate can match nothing in this graph: unknown
+    /// attribute, or an interval with no reachable value.
+    pub fn is_unsatisfiable(&self) -> bool {
+        self.sym.is_none() || self.interval.is_unsatisfiable()
+    }
+
+    /// The resolved attribute symbol, if the graph knows the attribute.
+    pub fn attr_symbol(&self) -> Option<Symbol> {
+        self.sym
+    }
+
+    /// The compiled interval.
+    pub fn interval(&self) -> &CompiledInterval {
+        &self.interval
     }
 }
 
@@ -38,10 +186,22 @@ pub struct CompiledVertex {
 }
 
 impl CompiledVertex {
+    /// Compile the predicates of `qv` against `g`.
+    pub fn compile(g: &PropertyGraph, qv: &QueryVertex) -> Self {
+        CompiledVertex {
+            preds: resolve(g, &qv.predicates),
+        }
+    }
+
     /// Does data vertex `v` satisfy the vertex constraints?
     pub fn accepts(&self, g: &PropertyGraph, v: VertexId) -> bool {
         let attrs = &g.vertex(v).attrs;
         self.preds.iter().all(|p| p.matches(attrs))
+    }
+
+    /// True when no data vertex can satisfy this query vertex.
+    pub fn unsatisfiable(&self) -> bool {
+        self.preds.iter().any(ResolvedPredicate::is_unsatisfiable)
     }
 }
 
@@ -56,6 +216,28 @@ pub struct CompiledEdge {
 }
 
 impl CompiledEdge {
+    /// Compile the type disjunction and predicates of `qe` against `g`.
+    pub fn compile(g: &PropertyGraph, qe: &QueryEdge) -> Self {
+        let types = if qe.types.is_empty() {
+            None
+        } else {
+            // dedup: the engine scans one adjacency slice per admitted
+            // type, so a repeated type name must not repeat its edges
+            let mut tys = qe
+                .types
+                .iter()
+                .filter_map(|t| g.type_symbol(t))
+                .collect::<Vec<_>>();
+            tys.sort_unstable();
+            tys.dedup();
+            Some(tys)
+        };
+        CompiledEdge {
+            types,
+            preds: resolve(g, &qe.predicates),
+        }
+    }
+
     /// Does the data edge satisfy type and attribute constraints
     /// (direction is checked by the traversal, not here)?
     pub fn accepts(&self, ed: &EdgeData) -> bool {
@@ -70,7 +252,7 @@ impl CompiledEdge {
     /// Attribute-predicate check alone, for scans that already know the
     /// edge type is admissible (the CSR engine iterates per-type runs, so
     /// the type test is implied by the slice being scanned).
-    pub fn accepts_attrs(&self, attrs: &whyq_graph::AttrMap) -> bool {
+    pub fn accepts_attrs(&self, attrs: &AttrMap) -> bool {
         self.preds.iter().all(|p| p.matches(attrs))
     }
 
@@ -79,6 +261,12 @@ impl CompiledEdge {
     /// do — endpoints and type come straight from the CSR columns).
     pub fn needs_edge_data(&self) -> bool {
         !self.preds.is_empty()
+    }
+
+    /// True when no data edge can satisfy this query edge.
+    pub fn unsatisfiable(&self) -> bool {
+        self.types.as_ref().is_some_and(Vec::is_empty)
+            || self.preds.iter().any(ResolvedPredicate::is_unsatisfiable)
     }
 }
 
@@ -97,31 +285,12 @@ impl Compiled {
         let mut vertices = vec![None; q.vertex_slots()];
         for v in q.vertex_ids() {
             let qv = q.vertex(v).expect("live");
-            vertices[v.0 as usize] = Some(CompiledVertex {
-                preds: resolve(g, &qv.predicates),
-            });
+            vertices[v.0 as usize] = Some(CompiledVertex::compile(g, qv));
         }
         let mut edges = vec![None; q.edge_slots()];
         for e in q.edge_ids() {
             let qe = q.edge(e).expect("live");
-            let types = if qe.types.is_empty() {
-                None
-            } else {
-                // dedup: the engine scans one adjacency slice per admitted
-                // type, so a repeated type name must not repeat its edges
-                let mut tys = qe
-                    .types
-                    .iter()
-                    .filter_map(|t| g.type_symbol(t))
-                    .collect::<Vec<_>>();
-                tys.sort_unstable();
-                tys.dedup();
-                Some(tys)
-            };
-            edges[e.0 as usize] = Some(CompiledEdge {
-                types,
-                preds: resolve(g, &qe.predicates),
-            });
+            edges[e.0 as usize] = Some(CompiledEdge::compile(g, qe));
         }
         Compiled { vertices, edges }
     }
@@ -135,15 +304,25 @@ impl Compiled {
     pub fn edge(&self, e: QEid) -> &CompiledEdge {
         self.edges[e.0 as usize].as_ref().expect("compiled")
     }
+
+    /// True when some query element can match nothing in this graph — an
+    /// unknown attribute or edge type, an empty interval, or a string
+    /// constant the value dictionary has never seen. Since every component
+    /// must match for the query to match (empty components zero the
+    /// cartesian product), the whole search can be skipped.
+    pub fn unsatisfiable(&self) -> bool {
+        self.vertices
+            .iter()
+            .flatten()
+            .any(CompiledVertex::unsatisfiable)
+            || self.edges.iter().flatten().any(CompiledEdge::unsatisfiable)
+    }
 }
 
 fn resolve(g: &PropertyGraph, preds: &[Predicate]) -> Vec<ResolvedPredicate> {
     preds
         .iter()
-        .map(|p| ResolvedPredicate {
-            sym: g.attr_symbol(&p.attr),
-            pred: p.clone(),
-        })
+        .map(|p| ResolvedPredicate::resolve(g, p))
         .collect()
 }
 
@@ -219,6 +398,10 @@ const ESTIMATE_SAMPLE: usize = 64;
 ///   graph has at most [`ESTIMATE_SAMPLE`] vertices);
 /// * the total vertex count as the trivial fallback for an unconstrained
 ///   vertex.
+///
+/// A vertex with an unsatisfiable compiled predicate — including a string
+/// equality whose constant the value dictionary has never seen — estimates
+/// to zero outright.
 pub fn estimate_candidates(
     g: &PropertyGraph,
     q: &PatternQuery,
@@ -236,28 +419,24 @@ pub fn estimate_candidates(
             est[v.0 as usize] = e;
             continue;
         }
+        // structurally unsatisfiable predicates match nothing at all
+        if cv.unsatisfiable() {
+            est[v.0 as usize] = 0;
+            continue;
+        }
         // exact bucket counts for equality predicates on the indexed attr
         if let Some(idx) = index {
             for p in &qv.predicates {
                 if g.attr_symbol(&p.attr) != Some(idx.attr()) {
                     continue;
                 }
-                match &p.interval {
-                    Interval::OneOf(vals) => {
-                        let bucket_sum: u64 = vals.iter().map(|v| idx.lookup(v).len() as u64).sum();
-                        e = e.min(bucket_sum);
-                    }
-                    Interval::Range {
-                        lo: Some(lo),
-                        hi: Some(hi),
-                        lo_incl: true,
-                        hi_incl: true,
-                    } if lo == hi => {
-                        // one probe covers Int and Float encodings: `Value`
-                        // equates numeric family members
-                        e = e.min(idx.lookup(&Value::Float(*lo)).len() as u64);
-                    }
-                    _ => {}
+                if let Interval::OneOf(vals) = &p.interval {
+                    let bucket_sum: u64 = vals.iter().map(|v| idx.lookup(g, v).len() as u64).sum();
+                    e = e.min(bucket_sum);
+                } else if let Some(pv) = p.interval.point_value() {
+                    // one probe covers Int and Float encodings: `Value`
+                    // equates (and the index buckets) numeric family members
+                    e = e.min(idx.lookup(g, &pv).len() as u64);
                 }
             }
         }
@@ -274,15 +453,6 @@ pub fn estimate_candidates(
         }
         if sampled > 0 {
             e = e.min(hits.saturating_mul(n as u64) / sampled as u64);
-        }
-        // structurally unsatisfiable predicates match nothing at all
-        if cv.preds.iter().any(|p| p.sym.is_none())
-            || qv
-                .predicates
-                .iter()
-                .any(|p| matches!(&p.interval, Interval::OneOf(vs) if vs.is_empty()))
-        {
-            e = 0;
         }
         est[v.0 as usize] = e;
     }
@@ -340,7 +510,7 @@ fn plan_component(q: &PatternQuery, comp: &[QVid], cand_count: &[u64]) -> Compon
 mod tests {
     use super::*;
     use whyq_graph::Value;
-    use whyq_query::{QueryBuilder, QueryEdge, QueryVertex};
+    use whyq_query::{QueryBuilder, QueryVertex};
 
     fn small_graph() -> PropertyGraph {
         let mut g = PropertyGraph::new();
@@ -360,6 +530,8 @@ mod tests {
             .build();
         let c = Compiled::new(&g, &q);
         assert!(!c.vertex(QVid(0)).accepts(&g, VertexId(0)));
+        assert!(c.vertex(QVid(0)).unsatisfiable());
+        assert!(c.unsatisfiable());
     }
 
     #[test]
@@ -372,6 +544,72 @@ mod tests {
         let c = Compiled::new(&g, &q);
         assert_eq!(c.edge(QEid(0)).types.as_deref(), Some(&[][..]));
         assert!(!c.edge(QEid(0)).accepts(g.edge(whyq_graph::EdgeId(0))));
+        assert!(c.unsatisfiable());
+    }
+
+    #[test]
+    fn string_constants_resolve_to_dictionary_symbols() {
+        let g = small_graph();
+        let q = QueryBuilder::new("q")
+            .vertex("a", [whyq_query::Predicate::eq("type", "person")])
+            .build();
+        let c = Compiled::new(&g, &q);
+        let p = &c.vertex(QVid(0)).preds[0];
+        assert!(!p.is_unsatisfiable());
+        let CompiledInterval::OneOf { syms, other } = p.interval() else {
+            panic!("expected OneOf");
+        };
+        assert_eq!(other.len(), 0);
+        assert_eq!(syms.len(), 1);
+        assert_eq!(syms[0].0, g.value_symbol("person").unwrap());
+        // the symbol check accepts exactly the person vertices
+        assert!(c.vertex(QVid(0)).accepts(&g, VertexId(0)));
+        assert!(c.vertex(QVid(0)).accepts(&g, VertexId(1)));
+        assert!(!c.vertex(QVid(0)).accepts(&g, VertexId(2)));
+    }
+
+    #[test]
+    fn unknown_string_constant_prunes_to_unsatisfiable() {
+        let g = small_graph();
+        // "robot" is not in the value dictionary: the graph stores no such
+        // string anywhere, so the predicate can match nothing
+        let q = QueryBuilder::new("q")
+            .vertex("a", [whyq_query::Predicate::eq("type", "robot")])
+            .build();
+        let c = Compiled::new(&g, &q);
+        assert!(c.vertex(QVid(0)).unsatisfiable());
+        assert!(c.unsatisfiable());
+        let est = estimate_candidates(&g, &q, &c, None);
+        assert_eq!(est, vec![0]);
+        // a mixed disjunction with one known constant survives
+        let q2 = QueryBuilder::new("q2")
+            .vertex(
+                "a",
+                [whyq_query::Predicate::one_of("type", ["robot", "city"])],
+            )
+            .build();
+        let c2 = Compiled::new(&g, &q2);
+        assert!(!c2.unsatisfiable());
+        assert!(c2.vertex(QVid(0)).accepts(&g, VertexId(2)));
+        assert!(!c2.vertex(QVid(0)).accepts(&g, VertexId(0)));
+    }
+
+    #[test]
+    fn non_string_constants_still_match() {
+        let mut g = PropertyGraph::new();
+        let v = g.add_vertex([("age", Value::Int(30)), ("ok", Value::Bool(true))]);
+        let q = QueryBuilder::new("q")
+            .vertex(
+                "a",
+                [
+                    whyq_query::Predicate::eq("age", 30),
+                    whyq_query::Predicate::eq("ok", true),
+                ],
+            )
+            .build();
+        let c = Compiled::new(&g, &q);
+        assert!(!c.unsatisfiable());
+        assert!(c.vertex(QVid(0)).accepts(&g, v));
     }
 
     #[test]

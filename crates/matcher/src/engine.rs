@@ -225,6 +225,12 @@ impl<'g> Matcher<'g> {
             return Vec::new();
         }
         let compiled = Compiled::new(self.g, q);
+        // compile-time pruning: an unknown attribute/type or a string
+        // constant absent from the value dictionary proves some element
+        // unmatchable — answer without planning or scanning anything
+        if compiled.unsatisfiable() {
+            return Vec::new();
+        }
         let plans = build_plans(self.g, q, &compiled, self.index.as_ref());
         let cap = opts.limit.unwrap_or(usize::MAX);
         let mut st = self.scratch.borrow_mut();
@@ -270,6 +276,10 @@ impl<'g> Matcher<'g> {
             return 0;
         }
         let compiled = Compiled::new(self.g, q);
+        // same compile-time pruning as `find`
+        if compiled.unsatisfiable() {
+            return 0;
+        }
         let plans = build_plans(self.g, q, &compiled, self.index.as_ref());
         let limit = opts.limit.map(|l| l as u64);
         let mut st = self.scratch.borrow_mut();
@@ -432,7 +442,7 @@ impl<'g> Matcher<'g> {
                 let mut seeds = std::mem::take(&mut st.seeds);
                 seeds.clear();
                 for v in vals {
-                    seeds.extend_from_slice(idx.lookup(v));
+                    seeds.extend_from_slice(idx.lookup(self.g, v));
                 }
                 // repeated disjunction values would repeat their buckets
                 seeds.sort_unstable();
@@ -683,30 +693,26 @@ impl<'g> Matcher<'g> {
     /// Where the candidates of a `Seed` step come from: the index bucket
     /// of an equality-shaped predicate on the indexed attribute (an
     /// explicit `OneOf` or a degenerate point `Range` with `lo == hi`,
-    /// both inclusive), or a full vertex scan.
+    /// both inclusive — see `Interval::point_value`), or a full vertex
+    /// scan. Index probes resolve string constants through the value
+    /// dictionary, so a point probe is a symbol lookup, not a string hash.
     fn seed_source<'m>(&'m self, q: &'m PatternQuery, vertex: QVid) -> SeedSource<'m> {
         if let (Some(idx), Some(qv)) = (self.index.as_ref(), q.vertex(vertex)) {
             for p in &qv.predicates {
                 if self.g.attr_symbol(&p.attr) != Some(idx.attr()) {
                     continue;
                 }
-                match &p.interval {
-                    Interval::OneOf(vals) if vals.len() == 1 => {
-                        return SeedSource::Bucket(idx.lookup(&vals[0]));
+                if let Interval::OneOf(vals) = &p.interval {
+                    if vals.len() == 1 {
+                        return SeedSource::Bucket(idx.lookup(self.g, &vals[0]));
                     }
-                    Interval::OneOf(vals) => return SeedSource::Union(vals),
-                    Interval::Range {
-                        lo: Some(lo),
-                        hi: Some(hi),
-                        lo_incl: true,
-                        hi_incl: true,
-                    } if lo == hi => {
-                        // point equality: `Value` equates (and buckets)
-                        // numeric family members, so one f64 probe covers
-                        // both Int and Float encodings of the value
-                        return SeedSource::Bucket(idx.lookup(&Value::Float(*lo)));
-                    }
-                    _ => {}
+                    return SeedSource::Union(vals);
+                }
+                if let Some(pv) = p.interval.point_value() {
+                    // point equality: `Value` equates (and the index
+                    // buckets) numeric family members, so one canonical
+                    // probe covers both Int and Float encodings
+                    return SeedSource::Bucket(idx.lookup(self.g, &pv));
                 }
             }
         }

@@ -12,46 +12,17 @@
 //! the same primitive to re-evaluate only the pipeline suffix behind a
 //! modified operator.
 
-use crate::compile::{CompiledEdge, CompiledVertex, ResolvedPredicate};
+use crate::compile::{CompiledEdge, CompiledVertex};
 use crate::result::ResultGraph;
 use whyq_graph::{EdgeId, PropertyGraph, VertexId};
 use whyq_query::{PatternQuery, QEid, QVid};
 
 fn compile_vertex(g: &PropertyGraph, q: &PatternQuery, v: QVid) -> CompiledVertex {
-    let qv = q.vertex(v).expect("live query vertex");
-    CompiledVertex {
-        preds: qv
-            .predicates
-            .iter()
-            .map(|p| ResolvedPredicate {
-                sym: g.attr_symbol(&p.attr),
-                pred: p.clone(),
-            })
-            .collect(),
-    }
+    CompiledVertex::compile(g, q.vertex(v).expect("live query vertex"))
 }
 
 fn compile_edge(g: &PropertyGraph, q: &PatternQuery, e: QEid) -> CompiledEdge {
-    let qe = q.edge(e).expect("live query edge");
-    let types = if qe.types.is_empty() {
-        None
-    } else {
-        let mut tys: Vec<_> = qe.types.iter().filter_map(|t| g.type_symbol(t)).collect();
-        tys.sort_unstable();
-        tys.dedup();
-        Some(tys)
-    };
-    CompiledEdge {
-        types,
-        preds: qe
-            .predicates
-            .iter()
-            .map(|p| ResolvedPredicate {
-                sym: g.attr_symbol(&p.attr),
-                pred: p.clone(),
-            })
-            .collect(),
-    }
+    CompiledEdge::compile(g, q.edge(e).expect("live query edge"))
 }
 
 /// Result graphs binding only query vertex `v`, capped at `cap`.

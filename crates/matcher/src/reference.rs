@@ -14,13 +14,117 @@
 //!   (`BENCH_matcher.json`) — the speedup numbers are before/after this PR;
 //! * it documents the semantics without any performance machinery on top.
 //!
+//! Since the value dictionary, this also means the reference evaluates
+//! predicates on **decoded strings**: it resolves only attribute *names*
+//! to symbols (as the original engine did) and leaves every constant
+//! comparison to [`whyq_query::Predicate::matches`], whose string equality
+//! walks text whatever the physical encoding. The optimized engine's
+//! symbol-compiled predicates are therefore checked against an oracle that
+//! shares none of the dictionary machinery.
+//!
 //! Nothing in the hot path should ever call into this module.
 
-use crate::compile::Compiled;
 use crate::engine::MatchOptions;
 use crate::result::ResultGraph;
-use whyq_graph::{EdgeId, PropertyGraph, VertexId};
-use whyq_query::{PatternQuery, QEid, QVid};
+use whyq_graph::{AttrMap, EdgeData, EdgeId, PropertyGraph, Symbol, VertexId};
+use whyq_query::{PatternQuery, Predicate, QEid, QVid};
+
+/// A predicate with only its attribute *name* resolved; constants stay in
+/// the query's own representation and compare by decoded value.
+struct NaivePredicate {
+    sym: Option<Symbol>,
+    pred: Predicate,
+}
+
+impl NaivePredicate {
+    fn matches(&self, attrs: &AttrMap) -> bool {
+        match self.sym {
+            Some(s) => self.pred.matches(attrs.get(s)),
+            None => false,
+        }
+    }
+}
+
+/// Naive compiled form of one query vertex.
+struct NaiveVertex {
+    preds: Vec<NaivePredicate>,
+}
+
+impl NaiveVertex {
+    fn accepts(&self, g: &PropertyGraph, v: VertexId) -> bool {
+        let attrs = &g.vertex(v).attrs;
+        self.preds.iter().all(|p| p.matches(attrs))
+    }
+}
+
+/// Naive compiled form of one query edge.
+struct NaiveEdge {
+    types: Option<Vec<Symbol>>,
+    preds: Vec<NaivePredicate>,
+}
+
+impl NaiveEdge {
+    fn accepts(&self, ed: &EdgeData) -> bool {
+        if let Some(tys) = &self.types {
+            if !tys.contains(&ed.ty) {
+                return false;
+            }
+        }
+        self.preds.iter().all(|p| p.matches(&ed.attrs))
+    }
+}
+
+/// Per-slot naive compilation (name resolution only).
+struct NaiveCompiled {
+    vertices: Vec<Option<NaiveVertex>>,
+    edges: Vec<Option<NaiveEdge>>,
+}
+
+impl NaiveCompiled {
+    fn new(g: &PropertyGraph, q: &PatternQuery) -> Self {
+        let resolve = |preds: &[Predicate]| -> Vec<NaivePredicate> {
+            preds
+                .iter()
+                .map(|p| NaivePredicate {
+                    sym: g.attr_symbol(&p.attr),
+                    pred: p.clone(),
+                })
+                .collect()
+        };
+        let mut vertices: Vec<Option<NaiveVertex>> = (0..q.vertex_slots()).map(|_| None).collect();
+        for v in q.vertex_ids() {
+            let qv = q.vertex(v).expect("live");
+            vertices[v.0 as usize] = Some(NaiveVertex {
+                preds: resolve(&qv.predicates),
+            });
+        }
+        let mut edges: Vec<Option<NaiveEdge>> = (0..q.edge_slots()).map(|_| None).collect();
+        for e in q.edge_ids() {
+            let qe = q.edge(e).expect("live");
+            let types = if qe.types.is_empty() {
+                None
+            } else {
+                let mut tys: Vec<_> = qe.types.iter().filter_map(|t| g.type_symbol(t)).collect();
+                tys.sort_unstable();
+                tys.dedup();
+                Some(tys)
+            };
+            edges[e.0 as usize] = Some(NaiveEdge {
+                types,
+                preds: resolve(&qe.predicates),
+            });
+        }
+        NaiveCompiled { vertices, edges }
+    }
+
+    fn vertex(&self, v: QVid) -> &NaiveVertex {
+        self.vertices[v.0 as usize].as_ref().expect("compiled")
+    }
+
+    fn edge(&self, e: QEid) -> &NaiveEdge {
+        self.edges[e.0 as usize].as_ref().expect("compiled")
+    }
+}
 
 /// One step of the fixed naive plan (mirrors `compile::Step` but is built
 /// without any selectivity input).
@@ -32,7 +136,11 @@ enum NaiveStep {
 
 /// Exact per-query-vertex candidate counts — the original planner scanned
 /// the whole vertex arena once per query vertex on every call.
-fn exact_candidate_counts(g: &PropertyGraph, q: &PatternQuery, compiled: &Compiled) -> Vec<u64> {
+fn exact_candidate_counts(
+    g: &PropertyGraph,
+    q: &PatternQuery,
+    compiled: &NaiveCompiled,
+) -> Vec<u64> {
     let mut cand_count: Vec<u64> = vec![0; q.vertex_slots()];
     for v in q.vertex_ids() {
         let cv = compiled.vertex(v);
@@ -98,7 +206,7 @@ fn naive_plan(q: &PatternQuery, comp: &[QVid], cand_count: &[u64]) -> Vec<NaiveS
 fn step(
     g: &PropertyGraph,
     q: &PatternQuery,
-    compiled: &Compiled,
+    compiled: &NaiveCompiled,
     steps: &[NaiveStep],
     i: usize,
     injective: bool,
@@ -222,7 +330,7 @@ pub fn find_matches_naive(
     if q.num_vertices() == 0 {
         return Vec::new();
     }
-    let compiled = Compiled::new(g, q);
+    let compiled = NaiveCompiled::new(g, q);
     let cand_count = exact_candidate_counts(g, q, &compiled);
     let cap = opts.limit.unwrap_or(usize::MAX);
     let mut per_component: Vec<Vec<ResultGraph>> = Vec::new();
@@ -270,7 +378,7 @@ pub fn count_matches_naive(g: &PropertyGraph, q: &PatternQuery, opts: MatchOptio
     if q.num_vertices() == 0 {
         return 0;
     }
-    let compiled = Compiled::new(g, q);
+    let compiled = NaiveCompiled::new(g, q);
     let cand_count = exact_candidate_counts(g, q, &compiled);
     let limit = opts.limit.map(|l| l as u64);
     let mut counts: Vec<u64> = Vec::new();

@@ -144,6 +144,73 @@ proptest! {
         prop_assert_eq!(find_matches_naive(&g, &q, opts).len() as u64, expect);
     }
 
+    /// String-predicate queries — including `OneOf` disjunctions carrying
+    /// constants the graph has never stored, which the optimized engine
+    /// prunes through the value dictionary at compile time — agree with
+    /// the oracle's decoded-string evaluation. Vertices carry a second
+    /// string attribute so multi-predicate conjunctions are exercised too.
+    #[test]
+    fn string_predicate_queries_agree_with_oracle(
+        n in 2usize..6,
+        vtypes in prop::collection::vec(0u8..3, 6),
+        vlabels in prop::collection::vec(0u8..4, 6),
+        pairs in prop::collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 1..10),
+        qlen in 1usize..4,
+        // 0..3 are stored type names, 3.. are strings absent from every
+        // graph (dictionary-pruned); each query vertex gets a disjunction
+        qdisj in prop::collection::vec(prop::collection::vec(0u8..5, 1..3), 4),
+        qlabel in prop::collection::vec(0u8..6, 4),
+        injective in any::<bool>(),
+    ) {
+        let names = ["red", "green", "blue", "ultraviolet", "infrared"];
+        let labels = ["ok", "warn", "err", "mute", "ghost", "wraith"];
+        let mut g = PropertyGraph::new();
+        let vs: Vec<_> = (0..n)
+            .map(|i| {
+                g.add_vertex([
+                    ("type", Value::str(names[vtypes[i % vtypes.len()] as usize % 3])),
+                    ("label", Value::str(labels[vlabels[i % vlabels.len()] as usize % 4])),
+                ])
+            })
+            .collect();
+        for &(a, b, t) in &pairs {
+            g.add_edge(
+                vs[a as usize % n],
+                vs[b as usize % n],
+                if t { "link" } else { "flow" },
+                [],
+            );
+        }
+        let mut q = PatternQuery::new();
+        let mut prev: Option<QVid> = None;
+        for i in 0..qlen {
+            let disj: Vec<&str> = qdisj[i % qdisj.len()]
+                .iter()
+                .map(|&d| names[d as usize % names.len()])
+                .collect();
+            let v = q.add_vertex(QueryVertex::with([
+                Predicate::one_of("type", disj),
+                Predicate::eq("label", labels[qlabel[i % qlabel.len()] as usize % labels.len()]),
+            ]));
+            if let Some(p) = prev {
+                q.add_edge(QueryEdge::typed(p, v, "link"));
+            }
+            prev = Some(v);
+        }
+        let opts = MatchOptions { injective, limit: None };
+
+        let naive_count = count_matches_naive(&g, &q, opts);
+        let naive_set = canonical(&find_matches_naive(&g, &q, opts));
+
+        let plain = Matcher::new(&g);
+        prop_assert_eq!(plain.count(&q, opts), naive_count);
+        prop_assert_eq!(canonical(&plain.find(&q, opts)), naive_set.clone());
+
+        let indexed = Matcher::new(&g).with_index("type");
+        prop_assert_eq!(indexed.count(&q, opts), naive_count);
+        prop_assert_eq!(canonical(&indexed.find(&q, opts)), naive_set);
+    }
+
     /// Multi-component queries (isolated vertices) multiply identically.
     #[test]
     fn disconnected_components_agree(

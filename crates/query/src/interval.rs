@@ -354,6 +354,24 @@ impl Interval {
             Interval::Range { .. } => None,
         }
     }
+
+    /// The single admissible value of an equality-shaped interval, if any:
+    /// a one-element `OneOf` yields that value, a degenerate closed point
+    /// `Range` `[x, x]` yields `Float(x)` (which `Value` equates with the
+    /// `Int` encoding of the same number). Engines use this to route
+    /// equality predicates through index buckets and dictionary lookups.
+    pub fn point_value(&self) -> Option<Value> {
+        match self {
+            Interval::OneOf(vals) if vals.len() == 1 => Some(vals[0].clone()),
+            Interval::Range {
+                lo: Some(lo),
+                hi: Some(hi),
+                lo_incl: true,
+                hi_incl: true,
+            } if lo == hi => Some(Value::Float(*lo)),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for Interval {
@@ -435,6 +453,26 @@ mod tests {
         // -0.0 stays an ordinary number on both sides
         assert!(Interval::between(-0.0, 0.0).matches(&Value::Float(-0.0)));
         assert!(Interval::between(-0.0, 0.0).matches(&Value::Int(0)));
+    }
+
+    #[test]
+    fn point_values_of_equality_shaped_intervals() {
+        assert_eq!(Interval::eq("x").point_value(), Some(Value::str("x")));
+        assert_eq!(
+            Interval::between(3.0, 3.0).point_value(),
+            Some(Value::Float(3.0))
+        );
+        assert_eq!(Interval::one_of(["a", "b"]).point_value(), None);
+        assert_eq!(Interval::between(1.0, 2.0).point_value(), None);
+        assert_eq!(Interval::at_least(1.0).point_value(), None);
+        // open endpoints are not point equality
+        let open = Interval::Range {
+            lo: Some(2.0),
+            hi: Some(2.0),
+            lo_incl: true,
+            hi_incl: false,
+        };
+        assert_eq!(open.point_value(), None);
     }
 
     #[test]

@@ -59,6 +59,13 @@ impl Predicate {
 
     /// Does the (possibly absent) attribute value satisfy the predicate?
     /// A missing attribute never satisfies a predicate.
+    ///
+    /// This is the *decoded* evaluation path: string constants compare by
+    /// text, whatever their physical encoding (`whyq_graph::Value` equates
+    /// dictionary-encoded and plain strings). Engines that evaluate many
+    /// candidates compile the predicate against a graph's value dictionary
+    /// instead (`whyq_matcher::compile`), turning each string equality
+    /// into a single integer comparison.
     pub fn matches(&self, value: Option<&Value>) -> bool {
         value.is_some_and(|v| self.interval.matches(v))
     }
