@@ -2,17 +2,21 @@
 //!
 //! Each LDBC query pattern is measured twice: through the optimized
 //! slot-based engine and through the retained naive reference engine
-//! (`clone`-per-binding, the pre-optimization behavior). The committed
+//! (`clone`-per-binding, the pre-optimization behavior). The
+//! `prepared-repeat` vs `compile-repeat` pair measures the plan cache of
+//! the session facade: the same LDBC query executed 100× through one
+//! prepared query against 100 per-call compilations over the same indexed
+//! matcher — the repeat-query win the facade exists for. The committed
 //! `BENCH_matcher.json` snapshot is produced from this bench via the
 //! `WHYQ_BENCH_JSON` environment variable.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 use whyq_datagen::{ldbc_graph, ldbc_queries, LdbcConfig};
-use whyq_matcher::{
-    count_matches, count_matches_naive, find_matches, find_matches_naive, MatchOptions, Matcher,
-};
+use whyq_matcher::{count_matches_naive, find_matches_naive, AttrIndex, MatchOptions, Matcher};
 use whyq_query::{PatternQuery, Predicate, QueryBuilder};
+use whyq_session::Database;
 
 /// A string-equality-heavy persona scan over the LDBC person table: every
 /// candidate check is a conjunction of four string equalities plus one on
@@ -40,16 +44,20 @@ fn persona_query() -> PatternQuery {
         .build()
 }
 
+/// Executions per iteration of the repeat-query benches.
+const REPEAT: usize = 100;
+
 fn bench_matcher(c: &mut Criterion) {
     let g = ldbc_graph(LdbcConfig::default());
     let queries = ldbc_queries();
     let mut group = c.benchmark_group("matcher");
     group.sample_size(20);
 
+    let plain = Matcher::new(&g);
     for q in &queries {
         let name = q.name.clone().unwrap_or_default();
         group.bench_function(format!("count/{name}"), |b| {
-            b.iter(|| black_box(count_matches(&g, q, None)))
+            b.iter(|| black_box(plain.count(q, MatchOptions::default())))
         });
         group.bench_function(format!("count-naive/{name}"), |b| {
             b.iter(|| black_box(count_matches_naive(&g, q, MatchOptions::default())))
@@ -57,18 +65,60 @@ fn bench_matcher(c: &mut Criterion) {
     }
     let persona = persona_query();
     group.bench_function("count/PERSONA STRINGS", |b| {
-        b.iter(|| black_box(count_matches(&g, &persona, None)))
+        b.iter(|| black_box(plain.count(&persona, MatchOptions::default())))
     });
     group.bench_function("count-naive/PERSONA STRINGS", |b| {
         b.iter(|| black_box(count_matches_naive(&g, &persona, MatchOptions::default())))
     });
+
+    let type_index = Arc::new(AttrIndex::build(&g, "type").expect("LDBC graphs carry type"));
+    let indexed = Matcher::with_shared_indexes(&g, vec![Arc::clone(&type_index)]);
     let q1 = &queries[0];
     group.bench_function("count-indexed/LDBC QUERY 1", |b| {
-        let m = Matcher::new(&g).with_index("type");
-        b.iter(|| black_box(m.count(q1, MatchOptions::default())))
+        b.iter(|| black_box(indexed.count(q1, MatchOptions::default())))
     });
+
+    // the plan-cache gate: one prepared query executed REPEAT times vs the
+    // same indexed matcher compiling + planning on every call
+    let db = Database::open(g.clone()).expect("open");
+    let session = db.session();
+    group.bench_function("prepared-repeat/LDBC QUERY 1", |b| {
+        let prepared = session.prepare(q1).expect("valid query");
+        b.iter(|| {
+            let mut total = 0u64;
+            for _ in 0..REPEAT {
+                total += prepared
+                    .count_opts(MatchOptions::default())
+                    .expect("prepared");
+            }
+            black_box(total)
+        })
+    });
+    // the pre-facade repeat path: what the deprecated `count_matches` shim
+    // does per call — construct a matcher, compile, plan, search, discard
+    group.bench_function("compile-repeat/LDBC QUERY 1", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for _ in 0..REPEAT {
+                total += Matcher::new(&g).count(q1, MatchOptions::default());
+            }
+            black_box(total)
+        })
+    });
+    // tighter comparison: per-call compile over a long-lived indexed
+    // matcher (scratch + index amortized, compile/plan still per call)
+    group.bench_function("compile-repeat-indexed/LDBC QUERY 1", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for _ in 0..REPEAT {
+                total += indexed.count(q1, MatchOptions::default());
+            }
+            black_box(total)
+        })
+    });
+
     group.bench_function("find-limit100/LDBC QUERY 3", |b| {
-        b.iter(|| black_box(find_matches(&g, &queries[2], Some(100))))
+        b.iter(|| black_box(plain.find(&queries[2], MatchOptions::limited(100))))
     });
     group.bench_function("find-limit100-naive/LDBC QUERY 3", |b| {
         b.iter(|| {
@@ -77,6 +127,15 @@ fn bench_matcher(c: &mut Criterion) {
                 &queries[2],
                 MatchOptions::limited(100),
             ))
+        })
+    });
+    group.bench_function("stream-limit100/LDBC QUERY 3", |b| {
+        b.iter(|| {
+            black_box(
+                plain
+                    .stream(&queries[2], MatchOptions::limited(100))
+                    .count(),
+            )
         })
     });
     group.finish();

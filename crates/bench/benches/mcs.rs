@@ -6,29 +6,30 @@ use std::hint::black_box;
 use whyq_core::problem::CardinalityGoal;
 use whyq_core::subgraph::{BoundedMcs, DiscoverMcs, McsConfig, PathStrategy};
 use whyq_datagen::{ldbc_failing_queries, ldbc_graph, ldbc_queries, LdbcConfig};
+use whyq_session::Database;
 
 fn bench_mcs(c: &mut Criterion) {
-    let g = ldbc_graph(LdbcConfig::default());
+    let db = Database::open(ldbc_graph(LdbcConfig::default())).expect("open");
     let failing = ldbc_failing_queries();
     let mut group = c.benchmark_group("mcs");
     group.sample_size(10);
 
     group.bench_function("discover-exhaustive/Q1", |b| {
-        b.iter(|| black_box(DiscoverMcs::new(&g).run(&failing[0])))
+        b.iter(|| black_box(DiscoverMcs::new(&db).run(&failing[0])))
     });
     group.bench_function("discover-single-path/Q1", |b| {
-        let d = DiscoverMcs::new(&g).with_config(McsConfig {
+        let d = DiscoverMcs::new(&db).with_config(McsConfig {
             strategy: PathStrategy::SingleSelectivity,
             ..McsConfig::default()
         });
         b.iter(|| black_box(d.run(&failing[0])))
     });
     group.bench_function("discover-exhaustive/Q2", |b| {
-        b.iter(|| black_box(DiscoverMcs::new(&g).run(&failing[1])))
+        b.iter(|| black_box(DiscoverMcs::new(&db).run(&failing[1])))
     });
     let q3 = &ldbc_queries()[2];
     group.bench_function("bounded-atmost/Q3", |b| {
-        b.iter(|| black_box(BoundedMcs::new(&g).run(q3, CardinalityGoal::AtMost(10))))
+        b.iter(|| black_box(BoundedMcs::new(&db).run(q3, CardinalityGoal::AtMost(10))))
     });
     group.finish();
 }

@@ -4,7 +4,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use whyq_core::domains::AttributeDomains;
 use whyq_datagen::{ldbc_graph, ldbc_queries, random_explanations, LdbcConfig, MutationConfig};
-use whyq_matcher::find_matches;
+use whyq_matcher::{MatchOptions, Matcher};
 use whyq_metrics::{hungarian, result_set_distance, syntactic_distance};
 
 fn bench_metrics(c: &mut Criterion) {
@@ -31,8 +31,9 @@ fn bench_metrics(c: &mut Criterion) {
         })
     });
 
-    let orig = find_matches(&g, q, Some(40));
-    let modified = find_matches(&g, &pool[0].0, Some(40));
+    let m = Matcher::new(&g);
+    let orig = m.find(q, MatchOptions::limited(40));
+    let modified = m.find(&pool[0].0, MatchOptions::limited(40));
     group.bench_function("result-distance/40x40", |b| {
         b.iter(|| black_box(result_set_distance(&orig, &modified)))
     });

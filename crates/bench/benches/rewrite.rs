@@ -7,20 +7,20 @@ use whyq_core::problem::CardinalityGoal;
 use whyq_core::relax::priority::PriorityFn;
 use whyq_core::relax::{CoarseRewriter, RelaxConfig};
 use whyq_datagen::{ldbc_failing_queries, ldbc_graph, ldbc_queries, LdbcConfig};
-use whyq_matcher::count_matches;
+use whyq_session::Database;
 
 fn bench_rewrite(c: &mut Criterion) {
-    let g = ldbc_graph(LdbcConfig::default());
+    let db = Database::open(ldbc_graph(LdbcConfig::default())).expect("open");
     let failing = ldbc_failing_queries();
     let mut group = c.benchmark_group("rewrite");
     group.sample_size(10);
 
     group.bench_function("coarse/path1+induced/Q1", |b| {
-        let rw = CoarseRewriter::new(&g);
+        let rw = CoarseRewriter::new(&db);
         b.iter(|| black_box(rw.rewrite(&failing[0], &RelaxConfig::default())))
     });
     group.bench_function("coarse/random/Q1", |b| {
-        let rw = CoarseRewriter::new(&g);
+        let rw = CoarseRewriter::new(&db);
         let config = RelaxConfig {
             priority: PriorityFn::Random(99),
             ..RelaxConfig::default()
@@ -29,14 +29,14 @@ fn bench_rewrite(c: &mut Criterion) {
     });
 
     let q3 = &ldbc_queries()[2];
-    let c1 = count_matches(&g, q3, None);
+    let c1 = db.session().count(q3).expect("valid query");
     group.bench_function("fine/atmost-half/Q3", |b| {
-        b.iter(|| black_box(TraverseSearchTree::new(&g).run(q3, CardinalityGoal::AtMost(c1 / 2))))
+        b.iter(|| black_box(TraverseSearchTree::new(&db).run(q3, CardinalityGoal::AtMost(c1 / 2))))
     });
     group.bench_function("fine/no-prefix-reuse/Q3", |b| {
         b.iter(|| {
             black_box(
-                TraverseSearchTree::new(&g)
+                TraverseSearchTree::new(&db)
                     .with_config(FineConfig {
                         reuse_prefix: false,
                         ..FineConfig::default()

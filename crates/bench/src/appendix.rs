@@ -10,16 +10,16 @@ use crate::util::Table;
 use whyq_core::relax::{CoarseRewriter, RelaxConfig};
 use whyq_core::user::{SimulatedUser, UserPreferences};
 use whyq_datagen::{ldbc_failing_queries, ldbc_hard_failing_queries};
-use whyq_graph::PropertyGraph;
 use whyq_query::{QVid, Target};
+use whyq_session::Database;
 
 /// App. B.1 — rating trajectories of rating-guided sessions.
-pub fn b1(g: &PropertyGraph, tsv: bool) {
+pub fn b1(db: &Database, tsv: bool) {
     let mut t = Table::new(
         "App B.1 — per-round ratings of the interactive why-empty session",
         &["query", "round", "executed", "rating", "mods"],
     );
-    let rewriter = CoarseRewriter::new(g);
+    let rewriter = CoarseRewriter::new(db);
     for q in ldbc_failing_queries() {
         let mut hidden = UserPreferences::new();
         // protect roughly half of the elements, deterministically
@@ -65,7 +65,7 @@ pub fn b1(g: &PropertyGraph, tsv: bool) {
 }
 
 /// App. B.2 — cache resource consumption during rewriting.
-pub fn b2(g: &PropertyGraph, tsv: bool) {
+pub fn b2(db: &Database, tsv: bool) {
     let mut t = Table::new(
         "App B.2 — resource consumption of why-empty rewriting (6-round session)",
         &[
@@ -84,7 +84,7 @@ pub fn b2(g: &PropertyGraph, tsv: bool) {
     // session re-enters the search per rejected proposal — the regime where
     // the cardinality cache earns its keep
     for q in ldbc_hard_failing_queries() {
-        let rewriter = CoarseRewriter::new(g);
+        let rewriter = CoarseRewriter::new(db);
         let config = RelaxConfig {
             max_executed: 400,
             lambda: 5.0,

@@ -54,13 +54,13 @@ fn main() {
             }
         }
         Some(&"all") => {
-            let (ldbc, dbp) = (util::ldbc(), util::dbpedia());
+            let (ldbc, dbp) = (util::ldbc_db(), util::dbpedia_db());
             for id in EXPERIMENTS {
                 run(id, &ldbc, &dbp, tsv);
             }
         }
         _ => {
-            let (ldbc, dbp) = (util::ldbc(), util::dbpedia());
+            let (ldbc, dbp) = (util::ldbc_db(), util::dbpedia_db());
             for id in ids {
                 run(id, &ldbc, &dbp, tsv);
             }
@@ -68,7 +68,7 @@ fn main() {
     }
 }
 
-fn run(id: &str, ldbc: &whyq_graph::PropertyGraph, dbp: &whyq_graph::PropertyGraph, tsv: bool) {
+fn run(id: &str, ldbc: &whyq_session::Database, dbp: &whyq_session::Database, tsv: bool) {
     let (_, ms) = util::timed(|| match id {
         "tabA.1" => tables::tab_a1(ldbc, tsv),
         "tabA.2" => tables::tab_a2(dbp, tsv),

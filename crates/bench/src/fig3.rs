@@ -10,13 +10,14 @@
 //! plateaus.
 
 use crate::cells;
+use crate::util::{count, find};
 use crate::util::{series_summary, Table, CARDINALITY_FACTORS};
 use whyq_core::domains::AttributeDomains;
 use whyq_datagen::{ldbc_queries, random_explanations, MutationConfig};
-use whyq_graph::PropertyGraph;
-use whyq_matcher::{count_matches, find_matches, ResultGraph};
+use whyq_matcher::ResultGraph;
 use whyq_metrics::{result_set_distance, syntactic_distance};
 use whyq_query::PatternQuery;
+use whyq_session::Database;
 
 /// Cap on enumerated result graphs per query when computing the result
 /// distance (the assignment is O(n³)).
@@ -31,13 +32,13 @@ struct Pool {
     explanations: Vec<(PatternQuery, u64, f64)>, // (query, cardinality, syntactic)
 }
 
-fn build_pools(g: &PropertyGraph, seed: u64) -> Vec<Pool> {
-    let domains = AttributeDomains::build(g, 128);
+fn build_pools(db: &Database, seed: u64) -> Vec<Pool> {
+    let domains = AttributeDomains::build(db.graph(), 128);
     ldbc_queries()
         .into_iter()
         .map(|q| {
-            let original_c = count_matches(g, &q, None);
-            let original_results = find_matches(g, &q, Some(RESULT_SAMPLE));
+            let original_c = count(db, &q, None);
+            let original_results = find(db, &q, Some(RESULT_SAMPLE));
             let pool = random_explanations(
                 &q,
                 &domains,
@@ -50,7 +51,7 @@ fn build_pools(g: &PropertyGraph, seed: u64) -> Vec<Pool> {
             let explanations = pool
                 .into_iter()
                 .map(|(eq, _)| {
-                    let c = count_matches(g, &eq, Some(100_000));
+                    let c = count(db, &eq, Some(100_000));
                     let syn = syntactic_distance(&q, &eq);
                     (eq, c, syn)
                 })
@@ -66,8 +67,8 @@ fn build_pools(g: &PropertyGraph, seed: u64) -> Vec<Pool> {
 }
 
 /// Fig. 3.7 — ordered syntactic distances.
-pub fn fig3_7(g: &PropertyGraph, tsv: bool) {
-    let pools = build_pools(g, 1234);
+pub fn fig3_7(db: &Database, tsv: bool) {
+    let pools = build_pools(db, 1234);
     let mut t = Table::new(
         "Fig 3.7 — syntactic distances of random explanations (quartiles of the ordered series)",
         &[
@@ -114,7 +115,7 @@ pub fn fig3_7(g: &PropertyGraph, tsv: bool) {
 }
 
 /// Fig. 3.8 — ordered result distances per cardinality factor.
-pub fn fig3_8(g: &PropertyGraph, tsv: bool) {
+pub fn fig3_8(db: &Database, tsv: bool) {
     let mut t = Table::new(
         "Fig 3.8 — result distances of random explanations",
         &[
@@ -123,14 +124,14 @@ pub fn fig3_8(g: &PropertyGraph, tsv: bool) {
     );
     for (fi, &factor) in CARDINALITY_FACTORS.iter().enumerate() {
         // a fresh pool per factor, like the thesis's per-subfigure pools
-        let pools = build_pools(g, 1000 + fi as u64 * 37);
+        let pools = build_pools(db, 1000 + fi as u64 * 37);
         for p in &pools {
             let c_thr = ((p.original_c as f64) * factor).round().max(1.0) as u64;
             let mut series: Vec<f64> = p
                 .explanations
                 .iter()
                 .map(|(eq, _, _)| {
-                    let results = find_matches(g, eq, Some(RESULT_SAMPLE));
+                    let results = find(db, eq, Some(RESULT_SAMPLE));
                     result_set_distance(&p.original_results, &results)
                 })
                 .collect();
@@ -158,7 +159,7 @@ pub fn fig3_8(g: &PropertyGraph, tsv: bool) {
 }
 
 /// Fig. 3.9 — ordered cardinality distances per cardinality factor.
-pub fn fig3_9(g: &PropertyGraph, tsv: bool) {
+pub fn fig3_9(db: &Database, tsv: bool) {
     let mut t = Table::new(
         "Fig 3.9 — cardinality deviations |C_thr - C| of random explanations",
         &[
@@ -166,7 +167,7 @@ pub fn fig3_9(g: &PropertyGraph, tsv: bool) {
         ],
     );
     for (fi, &factor) in CARDINALITY_FACTORS.iter().enumerate() {
-        let pools = build_pools(g, 1000 + fi as u64 * 37);
+        let pools = build_pools(db, 1000 + fi as u64 * 37);
         for p in &pools {
             let c_thr = ((p.original_c as f64) * factor).round().max(1.0) as u64;
             let mut series: Vec<f64> = p
@@ -208,8 +209,8 @@ pub fn fig3_9(g: &PropertyGraph, tsv: bool) {
 }
 
 /// Fig. 3.10 — average result distance vs. syntactic-distance interval.
-pub fn fig3_10(g: &PropertyGraph, tsv: bool) {
-    let pools = build_pools(g, 1234);
+pub fn fig3_10(db: &Database, tsv: bool) {
+    let pools = build_pools(db, 1234);
     let mut t = Table::new(
         "Fig 3.10 — avg result distance per syntactic-distance bin",
         &["query", "bin", "explanations", "avg result distance"],
@@ -218,7 +219,7 @@ pub fn fig3_10(g: &PropertyGraph, tsv: bool) {
         // bins of width 0.1 over the syntactic range
         let mut bins: Vec<(usize, f64)> = vec![(0, 0.0); 10];
         for (eq, _, syn) in &p.explanations {
-            let results = find_matches(g, eq, Some(RESULT_SAMPLE));
+            let results = find(db, eq, Some(RESULT_SAMPLE));
             let rd = result_set_distance(&p.original_results, &results);
             let b = ((syn * 10.0) as usize).min(9);
             bins[b].0 += 1;

@@ -7,6 +7,7 @@
 //! * `fig4.bnd` — BOUNDEDMCS for too-many / too-few thresholds (§4.5.2).
 
 use crate::cells;
+use crate::util::count;
 use crate::util::{timed, Table, CARDINALITY_FACTORS};
 use whyq_core::problem::CardinalityGoal;
 use whyq_core::stats::Statistics;
@@ -14,12 +15,11 @@ use whyq_core::subgraph::traversal::{selectivity_path, user_centric_path};
 use whyq_core::subgraph::{BoundedMcs, DiscoverMcs, McsConfig, PathStrategy};
 use whyq_core::user::UserPreferences;
 use whyq_datagen::{dbpedia_failing_queries, ldbc_failing_queries, ldbc_path_query, ldbc_queries};
-use whyq_graph::PropertyGraph;
-use whyq_matcher::count_matches;
 use whyq_query::{PatternQuery, Predicate, QueryVertex};
+use whyq_session::Database;
 
 /// DISCOVERMCS on LDBC why-empty queries + a query-size sweep.
-pub fn disc_ldbc(g: &PropertyGraph, tsv: bool) {
+pub fn disc_ldbc(db: &Database, tsv: bool) {
     let mut t = Table::new(
         "Fig 4 (LDBC) — DISCOVERMCS on why-empty queries",
         &[
@@ -39,7 +39,7 @@ pub fn disc_ldbc(g: &PropertyGraph, tsv: bool) {
         queries.push(ldbc_path_query(hops, true));
     }
     for q in &queries {
-        let (expl, ms) = timed(|| DiscoverMcs::new(g).run(q));
+        let (expl, ms) = timed(|| DiscoverMcs::new(db).run(q));
         t.row(cells![
             q.name.clone().unwrap_or_default(),
             q.num_vertices(),
@@ -62,7 +62,7 @@ pub fn disc_ldbc(g: &PropertyGraph, tsv: bool) {
 }
 
 /// DISCOVERMCS on DBpedia why-empty queries.
-pub fn disc_dbp(g: &PropertyGraph, tsv: bool) {
+pub fn disc_dbp(db: &Database, tsv: bool) {
     let mut t = Table::new(
         "Fig 4 (DBPEDIA) — DISCOVERMCS on why-empty queries",
         &[
@@ -78,7 +78,7 @@ pub fn disc_dbp(g: &PropertyGraph, tsv: bool) {
         ],
     );
     for q in dbpedia_failing_queries() {
-        let (expl, ms) = timed(|| DiscoverMcs::new(g).run(&q));
+        let (expl, ms) = timed(|| DiscoverMcs::new(db).run(&q));
         t.row(cells![
             q.name.clone().unwrap_or_default(),
             q.num_vertices(),
@@ -114,7 +114,7 @@ fn disconnected_variant(base: &PatternQuery) -> PatternQuery {
 }
 
 /// The §4.3 optimization ablation.
-pub fn optimizations(g: &PropertyGraph, tsv: bool) {
+pub fn optimizations(db: &Database, tsv: bool) {
     let mut t = Table::new(
         "Fig 4 (ablation) — traversal-path strategy x WCC decomposition",
         &[
@@ -143,7 +143,7 @@ pub fn optimizations(g: &PropertyGraph, tsv: bool) {
                     decompose,
                     ..McsConfig::default()
                 };
-                let (expl, ms) = timed(|| DiscoverMcs::new(g).with_config(config).run(q));
+                let (expl, ms) = timed(|| DiscoverMcs::new(db).with_config(config).run(q));
                 t.row(cells![
                     q.name.clone().unwrap_or_default(),
                     sname,
@@ -164,7 +164,7 @@ pub fn optimizations(g: &PropertyGraph, tsv: bool) {
 }
 
 /// BOUNDEDMCS under too-many and too-few thresholds (§4.5.2).
-pub fn bounded(g: &PropertyGraph, tsv: bool) {
+pub fn bounded(db: &Database, tsv: bool) {
     let mut t = Table::new(
         "Fig 4 (BOUNDEDMCS) — bounded MCS per cardinality factor",
         &[
@@ -180,7 +180,7 @@ pub fn bounded(g: &PropertyGraph, tsv: bool) {
         ],
     );
     for q in ldbc_queries() {
-        let c1 = count_matches(g, &q, None);
+        let c1 = count(db, &q, None);
         for &factor in &CARDINALITY_FACTORS {
             let c_thr = ((c1 as f64) * factor).round().max(1.0) as u64;
             let goal = if factor < 1.0 {
@@ -188,7 +188,7 @@ pub fn bounded(g: &PropertyGraph, tsv: bool) {
             } else {
                 CardinalityGoal::AtLeast(c_thr)
             };
-            let (expl, ms) = timed(|| BoundedMcs::new(g).run(&q, goal));
+            let (expl, ms) = timed(|| BoundedMcs::new(db).run(&q, goal));
             t.row(cells![
                 q.name.clone().unwrap_or_default(),
                 c1,
@@ -213,7 +213,7 @@ pub fn bounded(g: &PropertyGraph, tsv: bool) {
 
 /// §4.4 — user-centric traversal: does the path strategy examine the
 /// elements the user cares about first?
-pub fn user_paths(g: &PropertyGraph, tsv: bool) {
+pub fn user_paths(db: &Database, tsv: bool) {
     let mut t = Table::new(
         "Fig 4 (user paths) — position of the user's edge of interest in the traversal",
         &[
@@ -225,7 +225,7 @@ pub fn user_paths(g: &PropertyGraph, tsv: bool) {
             "rank user",
         ],
     );
-    let stats = Statistics::new(g);
+    let stats = Statistics::new(db);
     for q in ldbc_queries() {
         let component: Vec<whyq_query::QVid> = q.vertex_ids().collect();
         // the user cares about the *last* edge of the query (worst case for

@@ -13,8 +13,8 @@ use whyq_core::relax::priority::PriorityFn;
 use whyq_core::relax::{CoarseRewriter, RelaxConfig};
 use whyq_core::user::{SimulatedUser, UserPreferences};
 use whyq_datagen::{dbpedia_failing_queries, ldbc_failing_queries, ldbc_hard_failing_queries};
-use whyq_graph::PropertyGraph;
 use whyq_query::{QEid, QVid};
+use whyq_session::Database;
 
 const PRIORITIES: [PriorityFn; 7] = [
     PriorityFn::Random(99),
@@ -27,7 +27,7 @@ const PRIORITIES: [PriorityFn; 7] = [
 ];
 
 /// §5.5.1 — candidate-selector priority functions.
-pub fn priorities(ldbc: &PropertyGraph, dbp: &PropertyGraph, tsv: bool) {
+pub fn priorities(ldbc: &Database, dbp: &Database, tsv: bool) {
     let mut t = Table::new(
         "Fig 5 (priorities) — executed candidates until first non-empty rewrite",
         &[
@@ -41,13 +41,13 @@ pub fn priorities(ldbc: &PropertyGraph, dbp: &PropertyGraph, tsv: bool) {
             "ms",
         ],
     );
-    let workloads: Vec<(&str, &PropertyGraph, Vec<whyq_query::PatternQuery>)> = vec![
+    let workloads: Vec<(&str, &Database, Vec<whyq_query::PatternQuery>)> = vec![
         ("LDBC", ldbc, ldbc_failing_queries()),
         ("LDBC", ldbc, ldbc_hard_failing_queries()),
         ("DBPEDIA", dbp, dbpedia_failing_queries()),
     ];
-    for (dname, g, queries) in &workloads {
-        let rewriter = CoarseRewriter::new(g);
+    for (dname, db, queries) in &workloads {
+        let rewriter = CoarseRewriter::new(db);
         for q in queries {
             for p in PRIORITIES {
                 let config = RelaxConfig {
@@ -80,12 +80,12 @@ pub fn priorities(ldbc: &PropertyGraph, dbp: &PropertyGraph, tsv: bool) {
 }
 
 /// §5.5.2 — convergence: executed candidates vs. candidate cardinality.
-pub fn convergence(g: &PropertyGraph, tsv: bool) {
+pub fn convergence(db: &Database, tsv: bool) {
     let mut t = Table::new(
         "Fig 5 (convergence) — search trajectory on LDBC QUERY 1 (failing)",
         &["priority", "executed", "depth", "cardinality", "syntactic"],
     );
-    let rewriter = CoarseRewriter::new(g);
+    let rewriter = CoarseRewriter::new(db);
     let hard = ldbc_hard_failing_queries();
     let q = &hard[0];
     for p in [
@@ -117,7 +117,7 @@ pub fn convergence(g: &PropertyGraph, tsv: bool) {
 }
 
 /// §5.5.3 — the combined priority against its two components.
-pub fn icc(ldbc: &PropertyGraph, dbp: &PropertyGraph, tsv: bool) {
+pub fn icc(ldbc: &Database, dbp: &Database, tsv: bool) {
     let mut t = Table::new(
         "Fig 5 (icc) — avg-path1 vs induced-change vs combination",
         &[
@@ -128,12 +128,12 @@ pub fn icc(ldbc: &PropertyGraph, dbp: &PropertyGraph, tsv: bool) {
             "path1+induced",
         ],
     );
-    let workloads: Vec<(&str, &PropertyGraph, Vec<whyq_query::PatternQuery>)> = vec![
+    let workloads: Vec<(&str, &Database, Vec<whyq_query::PatternQuery>)> = vec![
         ("LDBC", ldbc, ldbc_hard_failing_queries()),
         ("DBPEDIA", dbp, dbpedia_failing_queries()),
     ];
-    for (dname, g, queries) in &workloads {
-        let rewriter = CoarseRewriter::new(g);
+    for (dname, db, queries) in &workloads {
+        let rewriter = CoarseRewriter::new(db);
         for q in queries {
             let mut executed = Vec::new();
             for p in [
@@ -170,7 +170,7 @@ pub fn icc(ldbc: &PropertyGraph, dbp: &PropertyGraph, tsv: bool) {
 }
 
 /// §5.5.4 — user integration: preference model on/off.
-pub fn user(g: &PropertyGraph, tsv: bool) {
+pub fn user(db: &Database, tsv: bool) {
     let mut t = Table::new(
         "Fig 5 (user) — rating-guided rewriting (simulated user)",
         &[
@@ -182,7 +182,7 @@ pub fn user(g: &PropertyGraph, tsv: bool) {
             "final rating",
         ],
     );
-    let rewriter = CoarseRewriter::new(g);
+    let rewriter = CoarseRewriter::new(db);
     for q in ldbc_failing_queries() {
         // the simulated user protects the first edge and the first vertex
         let mut hidden = UserPreferences::new();
@@ -225,10 +225,10 @@ pub fn user(g: &PropertyGraph, tsv: bool) {
 
 /// §5.2 — cardinality-estimation quality: the min-edge bound and the
 /// `paths(n)` chain-join estimate against the true cardinality.
-pub fn estimates(ldbc: &PropertyGraph, dbp: &PropertyGraph, tsv: bool) {
+pub fn estimates(ldbc: &Database, dbp: &Database, tsv: bool) {
+    use crate::util::count;
     use whyq_core::stats::Statistics;
     use whyq_datagen::{dbpedia_queries, ldbc_queries};
-    use whyq_matcher::count_matches;
 
     let mut t = Table::new(
         "Fig 5 (estimates) — cardinality estimation quality (q-error)",
@@ -249,14 +249,14 @@ pub fn estimates(ldbc: &PropertyGraph, dbp: &PropertyGraph, tsv: bool) {
             (est / truth).max(truth / est)
         }
     };
-    let workloads: Vec<(&str, &PropertyGraph, Vec<whyq_query::PatternQuery>)> = vec![
+    let workloads: Vec<(&str, &Database, Vec<whyq_query::PatternQuery>)> = vec![
         ("LDBC", ldbc, ldbc_queries()),
         ("DBPEDIA", dbp, dbpedia_queries()),
     ];
-    for (dname, g, queries) in &workloads {
-        let stats = Statistics::new(g);
+    for (dname, db, queries) in &workloads {
+        let stats = Statistics::new(db);
         for q in queries {
-            let truth = count_matches(g, q, None) as f64;
+            let truth = count(db, q, None) as f64;
             let min_edge = stats.estimate(q) as f64;
             let paths = stats.estimate_paths(q);
             t.row(cells![

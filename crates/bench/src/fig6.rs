@@ -7,14 +7,14 @@
 //!   without topology modifications.
 
 use crate::cells;
+use crate::util::count;
 use crate::util::{timed, Table, CARDINALITY_FACTORS};
 use whyq_core::domains::AttributeDomains;
 use whyq_core::fine::baselines::{exhaustive_bfs, random_walk};
 use whyq_core::fine::{FineConfig, TraverseSearchTree};
 use whyq_core::problem::CardinalityGoal;
 use whyq_datagen::ldbc_queries;
-use whyq_graph::PropertyGraph;
-use whyq_matcher::count_matches;
+use whyq_session::Database;
 
 const BUDGET: usize = 500;
 
@@ -34,19 +34,19 @@ fn goals_for(c1: u64) -> Vec<(f64, CardinalityGoal)> {
 }
 
 /// §6.4.2 — baseline comparison.
-pub fn baselines(g: &PropertyGraph, tsv: bool) {
+pub fn baselines(db: &Database, tsv: bool) {
     let mut t = Table::new(
         "Fig 6 (baselines) — executed candidates until the goal is met",
         &[
             "query", "factor", "goal", "method", "executed", "found", "best dev", "ms",
         ],
     );
-    let domains = AttributeDomains::build(g, 256);
+    let domains = AttributeDomains::build(db.graph(), 256);
     for q in ldbc_queries() {
-        let c1 = count_matches(g, &q, None);
+        let c1 = count(db, &q, None);
         for (factor, goal) in goals_for(c1) {
             // TRAVERSESEARCHTREE
-            let tst = TraverseSearchTree::new(g).with_config(FineConfig {
+            let tst = TraverseSearchTree::new(db).with_config(FineConfig {
                 max_executed: BUDGET,
                 ..FineConfig::default()
             });
@@ -62,7 +62,7 @@ pub fn baselines(g: &PropertyGraph, tsv: bool) {
                 format!("{ms:.1}"),
             ]);
             // random walk
-            let (rw, ms) = timed(|| random_walk(g, &q, goal, BUDGET, 11, &domains, 50_000));
+            let (rw, ms) = timed(|| random_walk(db, &q, goal, BUDGET, 11, &domains, 50_000));
             t.row(cells![
                 q.name.clone().unwrap_or_default(),
                 factor,
@@ -74,7 +74,7 @@ pub fn baselines(g: &PropertyGraph, tsv: bool) {
                 format!("{ms:.1}"),
             ]);
             // exhaustive BFS
-            let (bfs, ms) = timed(|| exhaustive_bfs(g, &q, goal, BUDGET, &domains, 50_000));
+            let (bfs, ms) = timed(|| exhaustive_bfs(db, &q, goal, BUDGET, &domains, 50_000));
             t.row(cells![
                 q.name.clone().unwrap_or_default(),
                 factor,
@@ -95,7 +95,7 @@ pub fn baselines(g: &PropertyGraph, tsv: bool) {
 }
 
 /// §6.4.3 — topology consideration ablation.
-pub fn topology(g: &PropertyGraph, tsv: bool) {
+pub fn topology(db: &Database, tsv: bool) {
     let mut t = Table::new(
         "Fig 6 (topology) — fine-grained rewriting with and without topology ops",
         &[
@@ -103,10 +103,10 @@ pub fn topology(g: &PropertyGraph, tsv: bool) {
         ],
     );
     for q in ldbc_queries() {
-        let c1 = count_matches(g, &q, None);
+        let c1 = count(db, &q, None);
         for (factor, goal) in goals_for(c1) {
             for allow in [true, false] {
-                let out = TraverseSearchTree::new(g)
+                let out = TraverseSearchTree::new(db)
                     .with_config(FineConfig {
                         max_executed: BUDGET,
                         allow_topology: allow,

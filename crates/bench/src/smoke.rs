@@ -6,20 +6,22 @@
 mod tests {
     use crate::{appendix, fig3, fig4, fig5, fig6, tables};
     use whyq_datagen::{dbpedia_graph, ldbc_graph, DbpediaConfig, LdbcConfig};
-    use whyq_graph::PropertyGraph;
+    use whyq_session::Database;
 
-    fn small_ldbc() -> PropertyGraph {
-        ldbc_graph(LdbcConfig {
+    fn small_ldbc() -> Database {
+        Database::open(ldbc_graph(LdbcConfig {
             persons: 80,
             seed: 42,
-        })
+        }))
+        .expect("open")
     }
 
-    fn small_dbp() -> PropertyGraph {
-        dbpedia_graph(DbpediaConfig {
+    fn small_dbp() -> Database {
+        Database::open(dbpedia_graph(DbpediaConfig {
             entities: 400,
             seed: 7,
-        })
+        }))
+        .expect("open")
     }
 
     #[test]

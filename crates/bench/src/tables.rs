@@ -1,18 +1,19 @@
 //! Appendix A — data sets and queries (Tables A.1 / A.2).
 
 use crate::cells;
+use crate::util::count;
 use crate::util::Table;
 use whyq_datagen::{dbpedia_queries, ldbc_queries};
 use whyq_graph::stats::{degree_summary, edge_type_histogram, vertex_attr_histogram};
-use whyq_graph::PropertyGraph;
-use whyq_matcher::count_matches;
+use whyq_session::Database;
 
 /// Cardinalities the thesis reports for LDBC QUERY 1–4 on SF1 (Table A.1);
 /// printed next to our measured counts for the paper-vs-measured record.
 const PAPER_C1: [u64; 4] = [21, 39, 188, 195];
 
 /// Table A.1 — the LDBC data set and its queries.
-pub fn tab_a1(g: &PropertyGraph, tsv: bool) {
+pub fn tab_a1(db: &Database, tsv: bool) {
+    let g = db.graph();
     let mut stats = Table::new(
         "Table A.1a — LDBC-like data set",
         &["entity/relationship", "count"],
@@ -52,7 +53,7 @@ pub fn tab_a1(g: &PropertyGraph, tsv: bool) {
             q.num_vertices(),
             q.num_edges(),
             q.num_constraints(),
-            count_matches(g, q, None),
+            count(db, q, None),
             PAPER_C1[i],
         ]);
     }
@@ -67,7 +68,8 @@ pub fn tab_a1(g: &PropertyGraph, tsv: bool) {
 }
 
 /// Table A.2 — the DBpedia data set and its queries.
-pub fn tab_a2(g: &PropertyGraph, tsv: bool) {
+pub fn tab_a2(db: &Database, tsv: bool) {
+    let g = db.graph();
     let mut stats = Table::new(
         "Table A.2a — DBPEDIA-like data set",
         &["entity/relationship", "count"],
@@ -100,7 +102,7 @@ pub fn tab_a2(g: &PropertyGraph, tsv: bool) {
             q.num_vertices(),
             q.num_edges(),
             q.num_constraints(),
-            count_matches(g, &q, None),
+            count(db, &q, None),
         ]);
     }
     t.print();

@@ -8,6 +8,9 @@ use std::path::PathBuf;
 use std::time::Instant;
 use whyq_datagen::{dbpedia_graph, ldbc_graph, DbpediaConfig, LdbcConfig};
 use whyq_graph::PropertyGraph;
+use whyq_matcher::{MatchOptions, ResultGraph};
+use whyq_query::PatternQuery;
+use whyq_session::Database;
 
 /// Output directory for TSV dumps (`repro` with `--tsv`).
 pub const OUT_DIR: &str = "EXPERIMENTS-output";
@@ -20,6 +23,38 @@ pub fn ldbc() -> PropertyGraph {
 /// The standard DBpedia-like workload graph (fixed seed).
 pub fn dbpedia() -> PropertyGraph {
     dbpedia_graph(DbpediaConfig::default())
+}
+
+/// The standard LDBC workload opened as a database (default config:
+/// `"type"` index + plan cache).
+pub fn ldbc_db() -> Database {
+    Database::open(ldbc()).expect("open LDBC database")
+}
+
+/// The standard DBpedia workload opened as a database.
+pub fn dbpedia_db() -> Database {
+    Database::open(dbpedia()).expect("open DBpedia database")
+}
+
+/// Count through a throwaway session of `db` (harness convenience; real
+/// workloads keep a session and prepared queries alive).
+pub fn count(db: &Database, q: &PatternQuery, limit: Option<u64>) -> u64 {
+    db.session()
+        .count_opts(q, MatchOptions::counting(limit))
+        .expect("harness queries are valid")
+}
+
+/// Find through a throwaway session of `db` — see [`count`].
+pub fn find(db: &Database, q: &PatternQuery, limit: Option<usize>) -> Vec<ResultGraph> {
+    db.session()
+        .find_opts(
+            q,
+            MatchOptions {
+                injective: true,
+                limit,
+            },
+        )
+        .expect("harness queries are valid")
 }
 
 /// The cardinality factors of the thesis evaluation (§3.2.5):

@@ -17,8 +17,9 @@ use crate::problem::{CardinalityGoal, WhyProblem};
 use crate::relax::{CoarseRewriter, RelaxConfig};
 use crate::subgraph::{BoundedMcs, DiscoverMcs, McsConfig};
 use whyq_graph::PropertyGraph;
-use whyq_matcher::{MatchOptions, Matcher};
+use whyq_matcher::MatchOptions;
 use whyq_query::PatternQuery;
+use whyq_session::{Database, Session, WhyqError};
 
 /// A complete diagnosis: classification plus both explanation kinds.
 #[derive(Debug, Clone)]
@@ -34,12 +35,19 @@ pub struct Diagnosis {
     pub rewrite: Option<ModificationExplanation>,
 }
 
-/// The why-query engine bound to one data graph.
-pub struct WhyEngine<'g> {
-    g: &'g PropertyGraph,
-    /// Index-backed matcher reused across every cardinality measurement
-    /// (the scratch arena and the attribute index are built exactly once).
-    matcher: Matcher<'g>,
+/// The why-query engine bound to one [`Database`].
+///
+/// Every entry point returns `Result<_, WhyqError>`: queries are validated
+/// through [`Session::prepare`] before any algorithm runs, and all
+/// cardinality measurements flow through the database's shared plan cache
+/// — the relax loop's hundreds of sibling candidates pay for compilation
+/// once per distinct signature.
+pub struct WhyEngine<'db> {
+    db: &'db Database,
+    /// Session reused across every cardinality measurement (its scratch
+    /// arena is built exactly once; indexes come from the database
+    /// configuration instead of a hard-coded attribute).
+    session: Session<'db>,
     /// Cap used when measuring cardinalities.
     pub count_cap: u64,
     /// Configuration of the subgraph-based algorithms.
@@ -50,12 +58,12 @@ pub struct WhyEngine<'g> {
     pub fine_config: FineConfig,
 }
 
-impl<'g> WhyEngine<'g> {
+impl<'db> WhyEngine<'db> {
     /// Engine with default configurations.
-    pub fn new(g: &'g PropertyGraph) -> Self {
+    pub fn new(db: &'db Database) -> Self {
         WhyEngine {
-            g,
-            matcher: Matcher::new(g).with_index("type"),
+            db,
+            session: db.session(),
             count_cap: 1_000_000,
             mcs_config: McsConfig::default(),
             relax_config: RelaxConfig::default(),
@@ -63,27 +71,38 @@ impl<'g> WhyEngine<'g> {
         }
     }
 
+    /// The underlying database.
+    pub fn database(&self) -> &'db Database {
+        self.db
+    }
+
     /// The underlying data graph.
-    pub fn graph(&self) -> &'g PropertyGraph {
-        self.g
+    pub fn graph(&self) -> &'db PropertyGraph {
+        self.db.graph()
     }
 
     /// Measured (capped) cardinality of a query.
-    pub fn cardinality(&self, q: &PatternQuery) -> u64 {
-        self.matcher
-            .count(q, MatchOptions::counting(Some(self.count_cap)))
+    pub fn cardinality(&self, q: &PatternQuery) -> Result<u64, WhyqError> {
+        self.session
+            .count_opts(q, MatchOptions::counting(Some(self.count_cap)))
     }
 
     /// Classify the why-problem of `q` under `goal`.
-    pub fn classify(&self, q: &PatternQuery, goal: CardinalityGoal) -> WhyProblem {
-        goal.classify(self.cardinality(q))
+    pub fn classify(
+        &self,
+        q: &PatternQuery,
+        goal: CardinalityGoal,
+    ) -> Result<WhyProblem, WhyqError> {
+        Ok(goal.classify(self.cardinality(q)?))
     }
 
     /// Subgraph-based explanation for an empty result (DISCOVERMCS).
-    pub fn why_empty(&self, q: &PatternQuery) -> SubgraphExplanation {
-        DiscoverMcs::new(self.g)
+    pub fn why_empty(&self, q: &PatternQuery) -> Result<SubgraphExplanation, WhyqError> {
+        // validate (and warm the plan cache) before the traversal starts
+        self.session.prepare(q)?;
+        Ok(DiscoverMcs::new(self.db)
             .with_config(self.mcs_config.clone())
-            .run_with(q, &self.matcher)
+            .run_with(q, &self.session))
     }
 
     /// Subgraph-based explanation for any cardinality problem.
@@ -91,12 +110,12 @@ impl<'g> WhyEngine<'g> {
         &self,
         q: &PatternQuery,
         goal: CardinalityGoal,
-    ) -> SubgraphExplanation {
-        match self.classify(q, goal) {
+    ) -> Result<SubgraphExplanation, WhyqError> {
+        match self.classify(q, goal)? {
             WhyProblem::WhyEmpty => self.why_empty(q),
-            _ => BoundedMcs::new(self.g)
+            _ => Ok(BoundedMcs::new(self.db)
                 .with_config(self.mcs_config.clone())
-                .run_with(q, goal, &self.matcher),
+                .run_with(q, goal, &self.session)),
         }
     }
 
@@ -105,43 +124,47 @@ impl<'g> WhyEngine<'g> {
         &self,
         q: &PatternQuery,
         goal: CardinalityGoal,
-    ) -> Option<ModificationExplanation> {
-        match self.classify(q, goal) {
+    ) -> Result<Option<ModificationExplanation>, WhyqError> {
+        Ok(match self.classify(q, goal)? {
             WhyProblem::Satisfied => None,
             WhyProblem::WhyEmpty if matches!(goal, CardinalityGoal::NonEmpty) => {
-                CoarseRewriter::new(self.g)
+                CoarseRewriter::new(self.db)
                     .rewrite(q, &self.relax_config)
                     .explanation
             }
             // cardinality-driven problems (including empty results under a
             // threshold goal) go to the fine-grained engine
             _ => {
-                TraverseSearchTree::new(self.g)
+                TraverseSearchTree::new(self.db)
                     .with_config(self.fine_config.clone())
                     .run(q, goal)
                     .explanation
             }
-        }
+        })
     }
 
     /// Full diagnosis: classify, then produce both explanation kinds.
-    pub fn diagnose(&self, q: &PatternQuery, goal: CardinalityGoal) -> Diagnosis {
-        let cardinality = self.cardinality(q);
+    pub fn diagnose(
+        &self,
+        q: &PatternQuery,
+        goal: CardinalityGoal,
+    ) -> Result<Diagnosis, WhyqError> {
+        let cardinality = self.cardinality(q)?;
         let problem = goal.classify(cardinality);
         if problem == WhyProblem::Satisfied {
-            return Diagnosis {
+            return Ok(Diagnosis {
                 problem,
                 cardinality,
                 subgraph: None,
                 rewrite: None,
-            };
+            });
         }
-        Diagnosis {
+        Ok(Diagnosis {
             problem,
             cardinality,
-            subgraph: Some(self.subgraph_explanation(q, goal)),
-            rewrite: self.rewrite(q, goal),
-        }
+            subgraph: Some(self.subgraph_explanation(q, goal)?),
+            rewrite: self.rewrite(q, goal)?,
+        })
     }
 }
 
@@ -151,7 +174,7 @@ mod tests {
     use whyq_graph::Value;
     use whyq_query::{Predicate, QueryBuilder};
 
-    fn data() -> PropertyGraph {
+    fn data() -> Database {
         let mut g = PropertyGraph::new();
         let city = g.add_vertex([
             ("type", Value::str("city")),
@@ -161,13 +184,13 @@ mod tests {
             let p = g.add_vertex([("type", Value::str("person")), ("age", Value::Int(20 + i))]);
             g.add_edge(p, city, "livesIn", []);
         }
-        g
+        Database::open(g).expect("open")
     }
 
     #[test]
     fn diagnose_why_empty() {
-        let g = data();
-        let engine = WhyEngine::new(&g);
+        let db = data();
+        let engine = WhyEngine::new(&db);
         let q = QueryBuilder::new("berlin")
             .vertex("p", [Predicate::eq("type", "person")])
             .vertex(
@@ -179,7 +202,7 @@ mod tests {
             )
             .edge("p", "c", "livesIn")
             .build();
-        let d = engine.diagnose(&q, CardinalityGoal::NonEmpty);
+        let d = engine.diagnose(&q, CardinalityGoal::NonEmpty).unwrap();
         assert_eq!(d.problem, WhyProblem::WhyEmpty);
         assert_eq!(d.cardinality, 0);
         let sub = d.subgraph.expect("subgraph explanation");
@@ -190,14 +213,14 @@ mod tests {
 
     #[test]
     fn diagnose_why_so_many() {
-        let g = data();
-        let engine = WhyEngine::new(&g);
+        let db = data();
+        let engine = WhyEngine::new(&db);
         let q = QueryBuilder::new("all")
             .vertex("p", [Predicate::eq("type", "person")])
             .vertex("c", [Predicate::eq("type", "city")])
             .edge("p", "c", "livesIn")
             .build();
-        let d = engine.diagnose(&q, CardinalityGoal::AtMost(3));
+        let d = engine.diagnose(&q, CardinalityGoal::AtMost(3)).unwrap();
         assert_eq!(d.problem, WhyProblem::WhySoMany);
         assert_eq!(d.cardinality, 8);
         let rw = d.rewrite.expect("rewrite found");
@@ -206,8 +229,8 @@ mod tests {
 
     #[test]
     fn diagnose_why_so_few() {
-        let g = data();
-        let engine = WhyEngine::new(&g);
+        let db = data();
+        let engine = WhyEngine::new(&db);
         let q = QueryBuilder::new("narrow")
             .vertex(
                 "p",
@@ -219,7 +242,7 @@ mod tests {
             .vertex("c", [Predicate::eq("type", "city")])
             .edge("p", "c", "livesIn")
             .build();
-        let d = engine.diagnose(&q, CardinalityGoal::AtLeast(5));
+        let d = engine.diagnose(&q, CardinalityGoal::AtLeast(5)).unwrap();
         assert_eq!(d.problem, WhyProblem::WhySoFew);
         let rw = d.rewrite.expect("rewrite found");
         assert!(rw.cardinality >= 5);
@@ -227,22 +250,25 @@ mod tests {
 
     #[test]
     fn satisfied_goal_produces_no_explanations() {
-        let g = data();
-        let engine = WhyEngine::new(&g);
+        let db = data();
+        let engine = WhyEngine::new(&db);
         let q = QueryBuilder::new("ok")
             .vertex("p", [Predicate::eq("type", "person")])
             .build();
-        let d = engine.diagnose(&q, CardinalityGoal::NonEmpty);
+        let d = engine.diagnose(&q, CardinalityGoal::NonEmpty).unwrap();
         assert_eq!(d.problem, WhyProblem::Satisfied);
         assert!(d.subgraph.is_none());
         assert!(d.rewrite.is_none());
-        assert!(engine.rewrite(&q, CardinalityGoal::NonEmpty).is_none());
+        assert!(engine
+            .rewrite(&q, CardinalityGoal::NonEmpty)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
     fn empty_under_threshold_goal_uses_fine_engine() {
-        let g = data();
-        let engine = WhyEngine::new(&g);
+        let db = data();
+        let engine = WhyEngine::new(&db);
         let q = QueryBuilder::new("none")
             .vertex(
                 "p",
@@ -254,7 +280,7 @@ mod tests {
             .vertex("c", [Predicate::eq("type", "city")])
             .edge("p", "c", "livesIn")
             .build();
-        let d = engine.diagnose(&q, CardinalityGoal::AtLeast(3));
+        let d = engine.diagnose(&q, CardinalityGoal::AtLeast(3)).unwrap();
         assert_eq!(d.problem, WhyProblem::WhyEmpty);
         let rw = d.rewrite.expect("rewrite found");
         assert!(rw.cardinality >= 3);

@@ -16,10 +16,10 @@ use crate::problem::CardinalityGoal;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::{HashSet, VecDeque};
-use whyq_graph::PropertyGraph;
-use whyq_matcher::{MatchOptions, Matcher};
+use whyq_matcher::MatchOptions;
 use whyq_metrics::syntactic_distance;
 use whyq_query::{signature::signature, GraphMod, PatternQuery};
+use whyq_session::Database;
 
 /// Outcome of a baseline run (same shape as the §6.4.2 series).
 #[derive(Debug, Clone)]
@@ -37,7 +37,7 @@ pub struct BaselineOutcome {
 /// Greedy random walk: sample a random candidate modification of the
 /// current query, execute it, move only when the deviation improves.
 pub fn random_walk(
-    g: &PropertyGraph,
+    db: &Database,
     q: &PatternQuery,
     goal: CardinalityGoal,
     budget: usize,
@@ -45,13 +45,18 @@ pub fn random_walk(
     domains: &AttributeDomains,
     count_cap: u64,
 ) -> BaselineOutcome {
-    let matcher = Matcher::new(g).with_index("type");
+    let session = db.session();
+    let count = |query: &PatternQuery| {
+        session
+            .count_opts(query, MatchOptions::counting(Some(count_cap)))
+            .expect("baseline modification preserves query validity")
+    };
     let mut rng = StdRng::seed_from_u64(seed);
     let mut executed = 0usize;
     let mut trajectory = Vec::new();
 
     let mut current = q.clone();
-    let mut current_c = matcher.count(&current, MatchOptions::counting(Some(count_cap)));
+    let mut current_c = count(&current);
     executed += 1;
     let mut current_mods: Vec<GraphMod> = Vec::new();
     let mut best_dev = goal.deviation(current_c);
@@ -97,7 +102,7 @@ pub fn random_walk(
             continue;
         }
         visited.insert(sig);
-        let c = matcher.count(&child, MatchOptions::counting(Some(count_cap)));
+        let c = count(&child);
         executed += 1;
         let dev = goal.deviation(c);
         if dev < best_dev {
@@ -137,19 +142,24 @@ pub fn random_walk(
 
 /// Breadth-first lattice enumeration without cardinality guidance.
 pub fn exhaustive_bfs(
-    g: &PropertyGraph,
+    db: &Database,
     q: &PatternQuery,
     goal: CardinalityGoal,
     budget: usize,
     domains: &AttributeDomains,
     count_cap: u64,
 ) -> BaselineOutcome {
-    let matcher = Matcher::new(g).with_index("type");
+    let session = db.session();
+    let count = |query: &PatternQuery| {
+        session
+            .count_opts(query, MatchOptions::counting(Some(count_cap)))
+            .expect("baseline modification preserves query validity")
+    };
     let mut executed = 0usize;
     let mut trajectory = Vec::new();
     let mut best_dev;
 
-    let c0 = matcher.count(q, MatchOptions::counting(Some(count_cap)));
+    let c0 = count(q);
     executed += 1;
     best_dev = goal.deviation(c0);
     trajectory.push((executed, best_dev));
@@ -189,7 +199,7 @@ pub fn exhaustive_bfs(
             if !visited.insert(sig) {
                 continue;
             }
-            let c = matcher.count(&child, MatchOptions::counting(Some(count_cap)));
+            let c = count(&child);
             executed += 1;
             let dev = goal.deviation(c);
             if dev < best_dev {
@@ -228,17 +238,17 @@ pub fn exhaustive_bfs(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use whyq_graph::Value;
+    use whyq_graph::{PropertyGraph, Value};
     use whyq_query::{Predicate, QueryBuilder};
 
-    fn data() -> PropertyGraph {
+    fn data() -> Database {
         let mut g = PropertyGraph::new();
         let city = g.add_vertex([("type", Value::str("city"))]);
         for i in 0..10 {
             let p = g.add_vertex([("type", Value::str("person")), ("age", Value::Int(20 + i))]);
             g.add_edge(p, city, "livesIn", []);
         }
-        g
+        Database::open(g).expect("open")
     }
 
     fn narrow_query() -> PatternQuery {
@@ -257,10 +267,10 @@ mod tests {
 
     #[test]
     fn random_walk_eventually_finds_solution() {
-        let g = data();
-        let domains = AttributeDomains::build(&g, 100);
+        let db = data();
+        let domains = AttributeDomains::build(db.graph(), 100);
         let out = random_walk(
-            &g,
+            &db,
             &narrow_query(),
             CardinalityGoal::AtLeast(7),
             500,
@@ -273,10 +283,10 @@ mod tests {
 
     #[test]
     fn random_walk_is_deterministic_per_seed() {
-        let g = data();
-        let domains = AttributeDomains::build(&g, 100);
+        let db = data();
+        let domains = AttributeDomains::build(db.graph(), 100);
         let a = random_walk(
-            &g,
+            &db,
             &narrow_query(),
             CardinalityGoal::AtLeast(7),
             200,
@@ -285,7 +295,7 @@ mod tests {
             10_000,
         );
         let b = random_walk(
-            &g,
+            &db,
             &narrow_query(),
             CardinalityGoal::AtLeast(7),
             200,
@@ -299,10 +309,10 @@ mod tests {
 
     #[test]
     fn bfs_finds_solution_with_enough_budget() {
-        let g = data();
-        let domains = AttributeDomains::build(&g, 100);
+        let db = data();
+        let domains = AttributeDomains::build(db.graph(), 100);
         let out = exhaustive_bfs(
-            &g,
+            &db,
             &narrow_query(),
             CardinalityGoal::AtLeast(7),
             2000,
@@ -314,10 +324,10 @@ mod tests {
 
     #[test]
     fn trajectories_are_monotone() {
-        let g = data();
-        let domains = AttributeDomains::build(&g, 100);
+        let db = data();
+        let domains = AttributeDomains::build(db.graph(), 100);
         let out = exhaustive_bfs(
-            &g,
+            &db,
             &narrow_query(),
             CardinalityGoal::AtLeast(1000),
             50,

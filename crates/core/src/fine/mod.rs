@@ -22,10 +22,10 @@ use crate::fine::generate::fine_candidates;
 use crate::fine::ops::{Pipeline, PipelineEvaluator};
 use crate::problem::CardinalityGoal;
 use std::collections::{BinaryHeap, HashSet};
-use whyq_graph::PropertyGraph;
-use whyq_matcher::{MatchOptions, Matcher};
+use whyq_matcher::MatchOptions;
 use whyq_metrics::syntactic_distance;
 use whyq_query::{signature::signature, GraphMod, PatternQuery, Target};
+use whyq_session::{Database, Session};
 
 /// Configuration of the fine-grained rewriter.
 #[derive(Debug, Clone)]
@@ -108,18 +108,20 @@ impl Ord for FrontierNode {
 
 /// The TRAVERSESEARCHTREE algorithm (§6.2.1).
 pub struct TraverseSearchTree<'g> {
-    g: &'g PropertyGraph,
+    db: &'g Database,
+    session: Session<'g>,
     domains: AttributeDomains,
     config: FineConfig,
 }
 
 impl<'g> TraverseSearchTree<'g> {
-    /// Rewriter over `g` with default configuration.
-    pub fn new(g: &'g PropertyGraph) -> Self {
+    /// Rewriter over `db` with default configuration.
+    pub fn new(db: &'g Database) -> Self {
         let config = FineConfig::default();
         TraverseSearchTree {
-            g,
-            domains: AttributeDomains::build(g, config.domain_cap),
+            db,
+            session: db.session(),
+            domains: AttributeDomains::build(db.graph(), config.domain_cap),
             config,
         }
     }
@@ -127,7 +129,7 @@ impl<'g> TraverseSearchTree<'g> {
     /// Override the configuration.
     pub fn with_config(mut self, config: FineConfig) -> Self {
         if config.domain_cap != self.config.domain_cap {
-            self.domains = AttributeDomains::build(self.g, config.domain_cap);
+            self.domains = AttributeDomains::build(self.db.graph(), config.domain_cap);
         }
         self.config = config;
         self
@@ -140,13 +142,17 @@ impl<'g> TraverseSearchTree<'g> {
 
     /// Modify `q` until its cardinality satisfies `goal`.
     pub fn run(&self, q: &PatternQuery, goal: CardinalityGoal) -> FineOutcome {
-        let matcher = Matcher::new(self.g).with_index("type");
-        let evaluator = PipelineEvaluator::new(self.g, self.config.count_cap as usize);
+        let count = |query: &PatternQuery| {
+            self.session
+                .count_opts(query, MatchOptions::counting(Some(self.config.count_cap)))
+                .expect("fine modification preserves query validity")
+        };
+        let evaluator = PipelineEvaluator::new(self.db.graph(), self.config.count_cap as usize);
         let mut extensions = 0u64;
         let mut executed = 0usize;
         let mut trajectory = Vec::new();
 
-        let c0 = matcher.count(q, MatchOptions::counting(Some(self.config.count_cap)));
+        let c0 = count(q);
         executed += 1;
         let dev0 = goal.deviation(c0);
         let mut tree = ModificationTree::with_root(c0, dev0);
@@ -232,7 +238,7 @@ impl<'g> TraverseSearchTree<'g> {
                         let from = p.position_of(&child, target);
                         evaluator.eval_suffix(&child, p, states, from, &mut extensions)
                     }
-                    _ => matcher.count(&child, MatchOptions::counting(Some(self.config.count_cap))),
+                    _ => count(&child),
                 };
                 executed += 1;
                 let dev = goal.deviation(c);
@@ -310,18 +316,18 @@ fn changed_target(m: &GraphMod) -> Option<Target> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use whyq_graph::Value;
+    use whyq_graph::{PropertyGraph, Value};
     use whyq_query::{Predicate, QueryBuilder};
 
     /// One city, persons aged 20..=29 living there.
-    fn data() -> PropertyGraph {
+    fn data() -> Database {
         let mut g = PropertyGraph::new();
         let city = g.add_vertex([("type", Value::str("city"))]);
         for i in 0..10 {
             let p = g.add_vertex([("type", Value::str("person")), ("age", Value::Int(20 + i))]);
             g.add_edge(p, city, "livesIn", []);
         }
-        g
+        Database::open(g).expect("open")
     }
 
     fn age_query(lo: f64, hi: f64) -> PatternQuery {
@@ -340,10 +346,10 @@ mod tests {
 
     #[test]
     fn widens_range_to_reach_at_least() {
-        let g = data();
+        let db = data();
         // 3 matches now (ages 24..=26); user wants at least 7
         let q = age_query(24.0, 26.0);
-        let out = TraverseSearchTree::new(&g).run(&q, CardinalityGoal::AtLeast(7));
+        let out = TraverseSearchTree::new(&db).run(&q, CardinalityGoal::AtLeast(7));
         let expl = out.explanation.expect("found");
         assert!(expl.cardinality >= 7);
         assert!(!expl.mods.is_empty());
@@ -353,28 +359,28 @@ mod tests {
 
     #[test]
     fn narrows_range_to_reach_at_most() {
-        let g = data();
+        let db = data();
         // 10 matches; user wants at most 4
         let q = age_query(18.0, 32.0);
-        let out = TraverseSearchTree::new(&g).run(&q, CardinalityGoal::AtMost(4));
+        let out = TraverseSearchTree::new(&db).run(&q, CardinalityGoal::AtMost(4));
         let expl = out.explanation.expect("found");
         assert!(expl.cardinality <= 4 && expl.cardinality > 0);
     }
 
     #[test]
     fn satisfied_query_returns_immediately() {
-        let g = data();
+        let db = data();
         let q = age_query(20.0, 29.0);
-        let out = TraverseSearchTree::new(&g).run(&q, CardinalityGoal::AtLeast(5));
+        let out = TraverseSearchTree::new(&db).run(&q, CardinalityGoal::AtLeast(5));
         assert_eq!(out.executed, 1);
         assert!(out.explanation.unwrap().mods.is_empty());
     }
 
     #[test]
     fn non_contributing_changes_are_discarded() {
-        let g = data();
+        let db = data();
         let q = age_query(24.0, 26.0);
-        let out = TraverseSearchTree::new(&g).run(&q, CardinalityGoal::AtLeast(7));
+        let out = TraverseSearchTree::new(&db).run(&q, CardinalityGoal::AtLeast(7));
         // some generated changes (e.g. direction flips on livesIn) change
         // nothing — they must be in the tree as Discarded
         assert!(out.tree.count_status(NodeStatus::Discarded) > 0);
@@ -382,16 +388,16 @@ mod tests {
 
     #[test]
     fn prefix_reuse_reduces_extensions() {
-        let g = data();
+        let db = data();
         let q = age_query(24.0, 26.0);
         let goal = CardinalityGoal::AtLeast(7);
-        let with = TraverseSearchTree::new(&g)
+        let with = TraverseSearchTree::new(&db)
             .with_config(FineConfig {
                 reuse_prefix: true,
                 ..FineConfig::default()
             })
             .run(&q, goal);
-        let without = TraverseSearchTree::new(&g)
+        let without = TraverseSearchTree::new(&db)
             .with_config(FineConfig {
                 reuse_prefix: false,
                 ..FineConfig::default()
@@ -407,9 +413,9 @@ mod tests {
 
     #[test]
     fn budget_limits_execution() {
-        let g = data();
+        let db = data();
         let q = age_query(24.0, 26.0);
-        let out = TraverseSearchTree::new(&g)
+        let out = TraverseSearchTree::new(&db)
             .with_config(FineConfig {
                 max_executed: 3,
                 ..FineConfig::default()
@@ -426,10 +432,10 @@ mod tests {
 
     #[test]
     fn oscillation_converges_to_interval() {
-        let g = data();
+        let db = data();
         // start with 10 answers, goal: between 4 and 6
         let q = age_query(18.0, 32.0);
-        let out = TraverseSearchTree::new(&g).run(&q, CardinalityGoal::Between(4, 6));
+        let out = TraverseSearchTree::new(&db).run(&q, CardinalityGoal::Between(4, 6));
         let expl = out.explanation.expect("found");
         assert!((4..=6).contains(&expl.cardinality));
     }

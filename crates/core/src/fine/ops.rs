@@ -177,7 +177,7 @@ impl<'g> PipelineEvaluator<'g> {
 mod tests {
     use super::*;
     use whyq_graph::Value;
-    use whyq_matcher::count_matches;
+    use whyq_matcher::{MatchOptions, Matcher};
     use whyq_query::{GraphMod, Interval, Predicate, QueryBuilder};
 
     fn data() -> PropertyGraph {
@@ -214,7 +214,7 @@ mod tests {
         let states = ev.eval_full(&q, &pipeline, &mut ext);
         assert_eq!(
             states.last().unwrap().len() as u64,
-            count_matches(&g, &q, None)
+            Matcher::new(&g).count(&q, MatchOptions::default())
         );
         assert_eq!(ext, pipeline.steps.len() as u64);
     }
@@ -238,7 +238,7 @@ mod tests {
         let pos = pipeline.position_of(&child, Target::Vertex(whyq_query::QVid(0)));
         let mut ext2 = 0;
         let c = ev.eval_suffix(&child, &pipeline, &states, pos, &mut ext2);
-        assert_eq!(c, count_matches(&g, &child, None));
+        assert_eq!(c, Matcher::new(&g).count(&child, MatchOptions::default()));
         assert_eq!(c, 5);
     }
 

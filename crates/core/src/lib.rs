@@ -29,6 +29,41 @@
 //! [`engine::WhyEngine`] ties everything together and provides the holistic
 //! dispatch of §3.1.3: given a cardinality goal it decides which why-query
 //! to run and lets the search oscillate around the threshold (Fig. 3.1).
+//!
+//! ## Entry point: the `Database` facade
+//!
+//! Everything in this crate is driven through the `whyq-session` facade
+//! (re-exported here): open a [`Database`] over an owned
+//! [`whyq_graph::PropertyGraph`] — that seals the topology and builds the
+//! configured attribute indexes — then construct the engine from it. All
+//! engine entry points return `Result<_, `[`WhyqError`]`>`, and every
+//! cardinality measurement (the engine's, the rewriters', the statistics
+//! provider's) flows through the database's shared plan cache, so the
+//! relax loop's hundreds of sibling candidates compile once per distinct
+//! query signature.
+//!
+//! ```
+//! use whyq_core::{CardinalityGoal, WhyEngine};
+//! use whyq_graph::{PropertyGraph, Value};
+//! use whyq_query::{Predicate, QueryBuilder};
+//! use whyq_session::Database;
+//!
+//! let mut g = PropertyGraph::new();
+//! let p = g.add_vertex([("type", Value::str("person"))]);
+//! let c = g.add_vertex([("type", Value::str("city")), ("name", Value::str("Dresden"))]);
+//! g.add_edge(p, c, "livesIn", []);
+//!
+//! let db = Database::open(g)?;
+//! let engine = WhyEngine::new(&db);
+//! let q = QueryBuilder::new("berlin")
+//!     .vertex("p", [Predicate::eq("type", "person")])
+//!     .vertex("c", [Predicate::eq("type", "city"), Predicate::eq("name", "Berlin")])
+//!     .edge("p", "c", "livesIn")
+//!     .build();
+//! let diagnosis = engine.diagnose(&q, CardinalityGoal::NonEmpty)?;
+//! assert_eq!(diagnosis.cardinality, 0);
+//! # Ok::<(), whyq_session::WhyqError>(())
+//! ```
 
 pub mod domains;
 pub mod engine;
@@ -44,3 +79,4 @@ pub use domains::AttributeDomains;
 pub use engine::WhyEngine;
 pub use explanation::{DifferentialGraph, ModificationExplanation, SubgraphExplanation};
 pub use problem::{CardinalityGoal, WhyProblem};
+pub use whyq_session::{CacheStats, Database, DatabaseConfig, PreparedQuery, Session, WhyqError};

@@ -32,10 +32,10 @@ use crate::relax::user_model::PreferenceModel;
 use crate::stats::Statistics;
 use crate::user::SimulatedUser;
 use std::collections::{BinaryHeap, HashSet};
-use whyq_graph::PropertyGraph;
-use whyq_matcher::{MatchOptions, Matcher};
+use whyq_matcher::MatchOptions;
 use whyq_metrics::syntactic_distance;
 use whyq_query::{signature::signature, GraphMod, PatternQuery};
+use whyq_session::{Database, Session};
 
 /// Configuration of the coarse-grained rewriter.
 #[derive(Debug, Clone)]
@@ -146,17 +146,20 @@ impl Ord for Node {
 /// sessions re-enter the search after every rejected proposal and re-derive
 /// many of the same candidates — the re-use the thesis measures in App. B.2.
 pub struct CoarseRewriter<'g> {
-    g: &'g PropertyGraph,
+    session: Session<'g>,
     stats: Statistics<'g>,
     cache: std::cell::RefCell<QueryCache>,
 }
 
 impl<'g> CoarseRewriter<'g> {
-    /// Rewriter over `g`.
-    pub fn new(g: &'g PropertyGraph) -> Self {
+    /// Rewriter over `db`. Candidate execution runs through an own
+    /// session, so every candidate count benefits from the database's
+    /// configured indexes and shared plan cache (siblings re-derived
+    /// across interactive rounds skip compilation entirely).
+    pub fn new(db: &'g Database) -> Self {
         CoarseRewriter {
-            g,
-            stats: Statistics::new(g),
+            session: db.session(),
+            stats: Statistics::new(db),
             cache: std::cell::RefCell::new(QueryCache::new()),
         }
     }
@@ -186,7 +189,6 @@ impl<'g> CoarseRewriter<'g> {
         model: Option<&PreferenceModel>,
         exclude: &HashSet<String>,
     ) -> RelaxOutcome {
-        let matcher = Matcher::new(self.g).with_index("type");
         let mut cache = self.cache.borrow_mut();
         let mut visited: HashSet<String> = HashSet::new();
         let mut frontier: BinaryHeap<Node> = BinaryHeap::new();
@@ -217,19 +219,24 @@ impl<'g> CoarseRewriter<'g> {
                 match cache.get(&sig) {
                     Some(c) => c,
                     None => {
-                        let c = matcher.count(
-                            &node.query,
-                            MatchOptions::counting(Some(config.count_limit)),
-                        );
+                        let c = self
+                            .session
+                            .count_opts(
+                                &node.query,
+                                MatchOptions::counting(Some(config.count_limit)),
+                            )
+                            .expect("relaxation preserves query validity");
                         cache.insert(sig.clone(), c);
                         c
                     }
                 }
             } else {
-                matcher.count(
-                    &node.query,
-                    MatchOptions::counting(Some(config.count_limit)),
-                )
+                self.session
+                    .count_opts(
+                        &node.query,
+                        MatchOptions::counting(Some(config.count_limit)),
+                    )
+                    .expect("relaxation preserves query validity")
             };
             executed += 1;
             let syn = syntactic_distance(q, &node.query);
@@ -359,11 +366,11 @@ impl<'g> CoarseRewriter<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use whyq_graph::Value;
+    use whyq_graph::{PropertyGraph, Value};
     use whyq_query::{Predicate, QueryBuilder};
 
     /// Anna works at TUD in Dresden; the query asks for Berlin → empty.
-    fn data() -> PropertyGraph {
+    fn data() -> Database {
         let mut g = PropertyGraph::new();
         let anna = g.add_vertex([("type", Value::str("person")), ("name", Value::str("Anna"))]);
         let tud = g.add_vertex([("type", Value::str("university"))]);
@@ -373,7 +380,7 @@ mod tests {
         ]);
         g.add_edge(anna, tud, "workAt", []);
         g.add_edge(tud, dresden, "locatedIn", []);
-        g
+        Database::open(g).expect("open")
     }
 
     fn failing() -> PatternQuery {
@@ -394,8 +401,8 @@ mod tests {
 
     #[test]
     fn finds_minimal_relaxation() {
-        let g = data();
-        let rw = CoarseRewriter::new(&g);
+        let db = data();
+        let rw = CoarseRewriter::new(&db);
         let out = rw.rewrite(&failing(), &RelaxConfig::default());
         let expl = out.explanation.expect("explanation found");
         assert!(expl.cardinality >= 1);
@@ -408,8 +415,8 @@ mod tests {
 
     #[test]
     fn trajectory_is_recorded() {
-        let g = data();
-        let rw = CoarseRewriter::new(&g);
+        let db = data();
+        let rw = CoarseRewriter::new(&db);
         let out = rw.rewrite(&failing(), &RelaxConfig::default());
         assert_eq!(out.trajectory.len(), out.executed);
         assert!(out.trajectory.last().unwrap().cardinality > 0);
@@ -417,8 +424,8 @@ mod tests {
 
     #[test]
     fn budget_zero_finds_nothing() {
-        let g = data();
-        let rw = CoarseRewriter::new(&g);
+        let db = data();
+        let rw = CoarseRewriter::new(&db);
         let out = rw.rewrite(
             &failing(),
             &RelaxConfig {
@@ -432,8 +439,8 @@ mod tests {
 
     #[test]
     fn priority_functions_all_terminate() {
-        let g = data();
-        let rw = CoarseRewriter::new(&g);
+        let db = data();
+        let rw = CoarseRewriter::new(&db);
         for p in [
             PriorityFn::Random(42),
             PriorityFn::MinSyntactic,
@@ -455,8 +462,8 @@ mod tests {
 
     #[test]
     fn excluded_solutions_are_skipped() {
-        let g = data();
-        let rw = CoarseRewriter::new(&g);
+        let db = data();
+        let rw = CoarseRewriter::new(&db);
         let first = rw
             .rewrite(&failing(), &RelaxConfig::default())
             .explanation
@@ -472,8 +479,8 @@ mod tests {
 
     #[test]
     fn session_with_agreeable_user_accepts_first_round() {
-        let g = data();
-        let rw = CoarseRewriter::new(&g);
+        let db = data();
+        let rw = CoarseRewriter::new(&db);
         // the user only protects the workAt edge; the natural fix (drop the
         // Berlin name predicate) never touches it
         let user = SimulatedUser::protecting_edges(&[whyq_query::QEid(0)]);
@@ -484,8 +491,8 @@ mod tests {
 
     #[test]
     fn session_with_protective_user_adapts() {
-        let g = data();
-        let rw = CoarseRewriter::new(&g);
+        let db = data();
+        let rw = CoarseRewriter::new(&db);
         // the user insists on keeping the city vertex untouched — but every
         // fix must neutralize the Berlin predicate, so nothing can rate 1.0;
         // with a 0.4 acceptance bar the session rejects the pure predicate

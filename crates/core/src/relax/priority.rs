@@ -94,7 +94,7 @@ mod tests {
     use whyq_graph::{PropertyGraph, Value};
     use whyq_query::{GraphMod, Predicate, QueryBuilder, Target};
 
-    fn setup() -> (PropertyGraph, PatternQuery) {
+    fn setup() -> (whyq_session::Database, PatternQuery) {
         let mut g = PropertyGraph::new();
         let a = g.add_vertex([("type", Value::str("person"))]);
         let b = g.add_vertex([
@@ -113,13 +113,13 @@ mod tests {
             )
             .edge("p", "c", "livesIn")
             .build();
-        (g, q)
+        (whyq_session::Database::open(g).expect("open"), q)
     }
 
     #[test]
     fn induced_change_rewards_fixing_the_failure() {
-        let (g, q) = setup();
-        let stats = Statistics::new(&g);
+        let (db, q) = setup();
+        let stats = Statistics::new(&db);
         // removing the failing name predicate raises the estimate
         let fix = GraphMod::RemovePredicate {
             target: Target::Vertex(whyq_query::QVid(1)),
@@ -138,8 +138,8 @@ mod tests {
 
     #[test]
     fn random_is_deterministic_per_seed() {
-        let (g, q) = setup();
-        let stats = Statistics::new(&g);
+        let (db, q) = setup();
+        let stats = Statistics::new(&db);
         let a = PriorityFn::Random(1).score(&q, &q, &stats, 0);
         let b = PriorityFn::Random(1).score(&q, &q, &stats, 0);
         let c = PriorityFn::Random(2).score(&q, &q, &stats, 0);
@@ -149,8 +149,8 @@ mod tests {
 
     #[test]
     fn min_syntactic_prefers_shallow_candidates() {
-        let (g, q) = setup();
-        let stats = Statistics::new(&g);
+        let (db, q) = setup();
+        let stats = Statistics::new(&db);
         let m = GraphMod::RemovePredicate {
             target: Target::Vertex(whyq_query::QVid(1)),
             attr: "name".into(),

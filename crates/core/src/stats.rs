@@ -19,23 +19,25 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
-use whyq_graph::PropertyGraph;
-use whyq_matcher::{MatchOptions, Matcher};
+use whyq_matcher::MatchOptions;
 use whyq_query::{signature::signature, PatternQuery, QEid, QVid};
+use whyq_session::{Database, Session};
 
-/// Memoizing statistics provider bound to one data graph.
+/// Memoizing statistics provider bound to one database.
 pub struct Statistics<'g> {
-    matcher: Matcher<'g>,
+    session: Session<'g>,
     cache: RefCell<HashMap<String, u64>>,
     lookups: RefCell<u64>,
     misses: RefCell<u64>,
 }
 
 impl<'g> Statistics<'g> {
-    /// New provider over `g`.
-    pub fn new(g: &'g PropertyGraph) -> Self {
+    /// New provider over `db` (counting runs through an own session, so
+    /// statistics measurement shares the database's indexes and plan
+    /// cache with every other consumer).
+    pub fn new(db: &'g Database) -> Self {
         Statistics {
-            matcher: Matcher::new(g).with_index("type"),
+            session: db.session(),
             cache: RefCell::new(HashMap::new()),
             lookups: RefCell::new(0),
             misses: RefCell::new(0),
@@ -159,7 +161,10 @@ impl<'g> Statistics<'g> {
             return c;
         }
         *self.misses.borrow_mut() += 1;
-        let c = self.matcher.count(sub, MatchOptions::counting(None));
+        let c = self
+            .session
+            .count_opts(sub, MatchOptions::counting(None))
+            .expect("statistics subqueries derive from validated queries");
         self.cache.borrow_mut().insert(key, c);
         c
     }
@@ -198,10 +203,10 @@ fn bfs_edge_order(q: &PatternQuery) -> Vec<QEid> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use whyq_graph::Value;
+    use whyq_graph::{PropertyGraph, Value};
     use whyq_query::{Predicate, QueryBuilder};
 
-    fn social() -> PropertyGraph {
+    fn social() -> Database {
         let mut g = PropertyGraph::new();
         let a = g.add_vertex([("type", Value::str("person"))]);
         let b = g.add_vertex([("type", Value::str("person"))]);
@@ -211,7 +216,7 @@ mod tests {
         g.add_edge(b, c, "knows", []);
         g.add_edge(a, city, "livesIn", []);
         g.add_edge(b, city, "livesIn", []);
-        g
+        Database::open(g).expect("open")
     }
 
     fn path_query() -> PatternQuery {
@@ -226,8 +231,8 @@ mod tests {
 
     #[test]
     fn vertex_and_edge_cardinalities() {
-        let g = social();
-        let s = Statistics::new(&g);
+        let db = social();
+        let s = Statistics::new(&db);
         let q = path_query();
         assert_eq!(s.vertex_card(&q, QVid(0)), 3);
         assert_eq!(s.vertex_card(&q, QVid(2)), 1);
@@ -237,8 +242,8 @@ mod tests {
 
     #[test]
     fn path_cardinalities() {
-        let g = social();
-        let s = Statistics::new(&g);
+        let db = social();
+        let s = Statistics::new(&db);
         let q = path_query();
         // p1-knows->p2-livesIn->city: (a,b,city) and (b,c,?) — c has no city
         assert_eq!(s.path_card(&q, &[QEid(0), QEid(1)]), 1);
@@ -246,8 +251,8 @@ mod tests {
 
     #[test]
     fn memoization_counts() {
-        let g = social();
-        let s = Statistics::new(&g);
+        let db = social();
+        let s = Statistics::new(&db);
         let q = path_query();
         let _ = s.edge_card(&q, QEid(0));
         let _ = s.edge_card(&q, QEid(0));
@@ -259,8 +264,8 @@ mod tests {
 
     #[test]
     fn estimates_and_induced_change() {
-        let g = social();
-        let s = Statistics::new(&g);
+        let db = social();
+        let s = Statistics::new(&db);
         let q = path_query();
         assert_eq!(s.estimate(&q), 2); // min(2, 2)
                                        // relaxing the whole livesIn edge away raises the estimate? both
@@ -277,8 +282,8 @@ mod tests {
 
     #[test]
     fn paths_estimate_is_exact_on_chains() {
-        let g = social();
-        let s = Statistics::new(&g);
+        let db = social();
+        let s = Statistics::new(&db);
         let q = path_query();
         // on a pure 2-edge chain the paths(2) estimate *is* the true count
         let est = s.estimate_paths(&q);
@@ -292,8 +297,8 @@ mod tests {
 
     #[test]
     fn paths_estimate_zero_on_failing_queries() {
-        let g = social();
-        let s = Statistics::new(&g);
+        let db = social();
+        let s = Statistics::new(&db);
         let mut q = path_query();
         q.vertex_mut(QVid(2))
             .unwrap()
@@ -304,8 +309,8 @@ mod tests {
 
     #[test]
     fn avg_path1() {
-        let g = social();
-        let s = Statistics::new(&g);
+        let db = social();
+        let s = Statistics::new(&db);
         let q = path_query();
         assert!((s.avg_path1(&q) - 2.0).abs() < 1e-12);
         // vertex-only query

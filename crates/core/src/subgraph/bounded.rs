@@ -25,21 +25,21 @@ use crate::stats::Statistics;
 use crate::subgraph::discover::{assemble_mcs, components_of, paths_for, PrefixOutcome};
 use crate::subgraph::traversal::TraversalPath;
 use crate::subgraph::McsConfig;
-use whyq_graph::PropertyGraph;
-use whyq_matcher::{extend_matches, seed_matches, MatchOptions, Matcher};
+use whyq_matcher::{extend_matches, seed_matches, MatchOptions};
 use whyq_query::PatternQuery;
+use whyq_session::{Database, Session};
 
 /// The BOUNDEDMCS algorithm (§4.2.2).
 pub struct BoundedMcs<'g> {
-    g: &'g PropertyGraph,
+    db: &'g Database,
     config: McsConfig,
 }
 
 impl<'g> BoundedMcs<'g> {
-    /// BOUNDEDMCS over `g` with default configuration.
-    pub fn new(g: &'g PropertyGraph) -> Self {
+    /// BOUNDEDMCS over `db` with default configuration.
+    pub fn new(db: &'g Database) -> Self {
         BoundedMcs {
-            g,
+            db,
             config: McsConfig::default(),
         }
     }
@@ -60,14 +60,15 @@ impl<'g> BoundedMcs<'g> {
         cap: usize,
         extensions: &mut u64,
     ) -> Vec<usize> {
-        let mut partial = seed_matches(self.g, q, path.start, cap);
+        let g = self.db.graph();
+        let mut partial = seed_matches(g, q, path.start, cap);
         *extensions += 1;
         let mut counts = vec![partial.len()];
         for &e in &path.edges {
             if partial.is_empty() {
                 break;
             }
-            partial = extend_matches(self.g, q, &partial, e, cap);
+            partial = extend_matches(g, q, &partial, e, cap);
             *extensions += 1;
             counts.push(partial.len());
         }
@@ -80,25 +81,25 @@ impl<'g> BoundedMcs<'g> {
     }
 
     /// Like [`BoundedMcs::run`], but measuring the MCS cardinality through
-    /// a caller-provided matcher (which must be bound to the same graph) —
-    /// the why-engine reuses its long-lived index-backed matcher this way
-    /// instead of building a throwaway index per explanation.
+    /// a caller-provided session (which must belong to the same database) —
+    /// the why-engine reuses its long-lived session this way instead of
+    /// opening a throwaway one per explanation.
     pub fn run_with(
         &self,
         q: &PatternQuery,
         goal: CardinalityGoal,
-        matcher: &Matcher<'_>,
+        session: &Session<'_>,
     ) -> SubgraphExplanation {
-        self.run_impl(q, goal, Some(matcher))
+        self.run_impl(q, goal, Some(session))
     }
 
     fn run_impl(
         &self,
         q: &PatternQuery,
         goal: CardinalityGoal,
-        matcher: Option<&Matcher<'_>>,
+        session: Option<&Session<'_>>,
     ) -> SubgraphExplanation {
-        let stats = Statistics::new(self.g);
+        let stats = Statistics::new(self.db);
         let bound_cap = match goal {
             CardinalityGoal::NonEmpty => 1,
             CardinalityGoal::AtLeast(t) | CardinalityGoal::AtMost(t) => t as usize + 1,
@@ -172,9 +173,13 @@ impl<'g> BoundedMcs<'g> {
             0
         } else {
             let opts = MatchOptions::counting(Some(self.config.cardinality_limit));
-            match matcher {
-                Some(m) => m.count(&mcs, opts),
-                None => Matcher::new(self.g).with_index("type").count(&mcs, opts),
+            let count = |s: &Session<'_>| {
+                s.count_opts(&mcs, opts)
+                    .expect("the MCS is a subquery of a validated query")
+            };
+            match session {
+                Some(s) => count(s),
+                None => count(&self.db.session()),
             }
         };
         let crossing_edge = outcomes.iter().find_map(|o| o.crossing);
@@ -192,12 +197,12 @@ impl<'g> BoundedMcs<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use whyq_graph::Value;
+    use whyq_graph::{PropertyGraph, Value};
     use whyq_query::{Predicate, QEid, QVid, QueryBuilder};
 
     /// Star data: one city with ten inhabitants; only one of them works at
     /// the rare company.
-    fn data() -> PropertyGraph {
+    fn data() -> Database {
         let mut g = PropertyGraph::new();
         let city = g.add_vertex([("type", Value::str("city"))]);
         let rare = g.add_vertex([
@@ -211,7 +216,7 @@ mod tests {
                 g.add_edge(p, rare, "worksAt", []);
             }
         }
-        g
+        Database::open(g).expect("open")
     }
 
     /// person -livesIn-> city, person -worksAt-> company(RareCo)
@@ -233,10 +238,10 @@ mod tests {
 
     #[test]
     fn why_so_few_blames_the_selective_edge() {
-        let g = data();
+        let db = data();
         let q = star_query();
         // full query delivers 1 answer; the user expected ≥ 5
-        let expl = BoundedMcs::new(&g).run(&q, CardinalityGoal::AtLeast(5));
+        let expl = BoundedMcs::new(&db).run(&q, CardinalityGoal::AtLeast(5));
         // bounded MCS: person + livesIn + city (10 matches ≥ 5)
         assert_eq!(expl.mcs.num_edges(), 1);
         assert!(expl.mcs.edge(whyq_query::QEid(0)).is_some());
@@ -249,14 +254,14 @@ mod tests {
 
     #[test]
     fn why_so_many_finds_explosion_edge() {
-        let g = data();
+        let db = data();
         // city joined with every inhabitant: 10 answers, user wanted ≤ 3
         let q = QueryBuilder::new("many")
             .vertex("c", [Predicate::eq("type", "city")])
             .vertex("p", [Predicate::eq("type", "person")])
             .edge("p", "c", "livesIn")
             .build();
-        let expl = BoundedMcs::new(&g).run(&q, CardinalityGoal::AtMost(3));
+        let expl = BoundedMcs::new(&db).run(&q, CardinalityGoal::AtMost(3));
         // the city seed (1 ≤ 3) is fine; adding livesIn explodes to 10
         assert_eq!(expl.mcs.num_edges(), 0);
         assert!(expl.mcs.vertex(QVid(0)).is_some());
@@ -265,20 +270,20 @@ mod tests {
 
     #[test]
     fn satisfied_bound_covers_whole_query() {
-        let g = data();
+        let db = data();
         let q = QueryBuilder::new("ok")
             .vertex("c", [Predicate::eq("type", "city")])
             .vertex("p", [Predicate::eq("type", "person")])
             .edge("p", "c", "livesIn")
             .build();
-        let expl = BoundedMcs::new(&g).run(&q, CardinalityGoal::AtMost(50));
+        let expl = BoundedMcs::new(&db).run(&q, CardinalityGoal::AtMost(50));
         assert!(expl.differential.is_empty());
         assert_eq!(expl.mcs_cardinality, 10);
     }
 
     #[test]
     fn bounded_with_nonempty_goal_matches_discover() {
-        let g = data();
+        let db = data();
         let q = QueryBuilder::new("fail")
             .vertex(
                 "p",
@@ -290,18 +295,18 @@ mod tests {
             .vertex("c", [Predicate::eq("type", "city")])
             .edge("p", "c", "livesIn")
             .build();
-        let bounded = BoundedMcs::new(&g).run(&q, CardinalityGoal::NonEmpty);
-        let discover = crate::subgraph::DiscoverMcs::new(&g).run(&q);
+        let bounded = BoundedMcs::new(&db).run(&q, CardinalityGoal::NonEmpty);
+        let discover = crate::subgraph::DiscoverMcs::new(&db).run(&q);
         assert_eq!(bounded.mcs.num_edges(), discover.mcs.num_edges());
         assert_eq!(bounded.mcs.num_vertices(), discover.mcs.num_vertices());
     }
 
     #[test]
     fn hopeless_bound_yields_empty_mcs() {
-        let g = data();
+        let db = data();
         let q = star_query();
         // nothing in this data ever reaches 1000 matches
-        let expl = BoundedMcs::new(&g).run(&q, CardinalityGoal::AtLeast(1000));
+        let expl = BoundedMcs::new(&db).run(&q, CardinalityGoal::AtLeast(1000));
         assert_eq!(expl.mcs.num_vertices(), 0);
         assert_eq!(expl.differential.len(), q.num_vertices() + q.num_edges());
     }

@@ -20,8 +20,9 @@ use crate::subgraph::traversal::{
 };
 use crate::subgraph::McsConfig;
 use whyq_graph::PropertyGraph;
-use whyq_matcher::{extend_matches, seed_matches, MatchOptions, Matcher};
+use whyq_matcher::{extend_matches, seed_matches, MatchOptions};
 use whyq_query::{PatternQuery, QEid, QVid};
+use whyq_session::{Database, Session};
 
 /// Outcome of traversing one component along its best path.
 #[derive(Debug, Clone)]
@@ -162,15 +163,15 @@ pub(crate) fn assemble_mcs(q: &PatternQuery, outcomes: &[PrefixOutcome]) -> Patt
 
 /// The DISCOVERMCS algorithm (§4.2.1).
 pub struct DiscoverMcs<'g> {
-    g: &'g PropertyGraph,
+    db: &'g Database,
     config: McsConfig,
 }
 
 impl<'g> DiscoverMcs<'g> {
-    /// DISCOVERMCS over `g` with default configuration.
-    pub fn new(g: &'g PropertyGraph) -> Self {
+    /// DISCOVERMCS over `db` with default configuration.
+    pub fn new(db: &'g Database) -> Self {
         DiscoverMcs {
-            g,
+            db,
             config: McsConfig::default(),
         }
     }
@@ -187,15 +188,16 @@ impl<'g> DiscoverMcs<'g> {
     }
 
     /// Like [`DiscoverMcs::run`], but measuring the MCS cardinality through
-    /// a caller-provided matcher (which must be bound to the same graph) —
-    /// the why-engine reuses its long-lived index-backed matcher this way
-    /// instead of building a throwaway index per explanation.
-    pub fn run_with(&self, q: &PatternQuery, matcher: &Matcher<'_>) -> SubgraphExplanation {
-        self.run_impl(q, Some(matcher))
+    /// a caller-provided session (which must belong to the same database) —
+    /// the why-engine reuses its long-lived session this way instead of
+    /// opening a throwaway one per explanation.
+    pub fn run_with(&self, q: &PatternQuery, session: &Session<'_>) -> SubgraphExplanation {
+        self.run_impl(q, Some(session))
     }
 
-    fn run_impl(&self, q: &PatternQuery, matcher: Option<&Matcher<'_>>) -> SubgraphExplanation {
-        let stats = Statistics::new(self.g);
+    fn run_impl(&self, q: &PatternQuery, session: Option<&Session<'_>>) -> SubgraphExplanation {
+        let g = self.db.graph();
+        let stats = Statistics::new(self.db);
         let satisfied = |n: usize| n > 0;
         let mut extensions = 0u64;
         let mut paths_tried = 0usize;
@@ -213,7 +215,7 @@ impl<'g> DiscoverMcs<'g> {
                 .collect();
             let paths = paths_for(q, &component, &self.config, &stats);
             let outcome = best_prefix(
-                self.g,
+                g,
                 q,
                 &paths,
                 comp_edges.len(),
@@ -229,9 +231,13 @@ impl<'g> DiscoverMcs<'g> {
             0
         } else {
             let opts = MatchOptions::counting(Some(self.config.cardinality_limit));
-            match matcher {
-                Some(m) => m.count(&mcs, opts),
-                None => Matcher::new(self.g).with_index("type").count(&mcs, opts),
+            let count = |s: &Session<'_>| {
+                s.count_opts(&mcs, opts)
+                    .expect("the MCS is a subquery of a validated query")
+            };
+            match session {
+                Some(s) => count(s),
+                None => count(&self.db.session()),
             }
         };
         let crossing_edge = outcomes.iter().find_map(|o| o.crossing);
@@ -253,7 +259,7 @@ mod tests {
     use whyq_query::{Predicate, QueryBuilder};
 
     /// Data: Anna works at TUD (since 2003), TUD located in Dresden.
-    fn data() -> PropertyGraph {
+    fn data() -> Database {
         let mut g = PropertyGraph::new();
         let anna = g.add_vertex([("type", Value::str("person")), ("name", Value::str("Anna"))]);
         let tud = g.add_vertex([("type", Value::str("university"))]);
@@ -263,7 +269,7 @@ mod tests {
         ]);
         g.add_edge(anna, tud, "workAt", [("sinceYear", Value::Int(2003))]);
         g.add_edge(tud, dresden, "locatedIn", []);
-        g
+        Database::open(g).expect("open")
     }
 
     /// Query asking for the university in *Berlin* — fails on the city name.
@@ -285,8 +291,8 @@ mod tests {
 
     #[test]
     fn finds_mcs_and_differential() {
-        let g = data();
-        let expl = DiscoverMcs::new(&g).run(&failing_query());
+        let db = data();
+        let expl = DiscoverMcs::new(&db).run(&failing_query());
         // MCS: person -workAt-> university (1 edge, 2 vertices)
         assert_eq!(expl.mcs.num_edges(), 1);
         assert_eq!(expl.mcs.num_vertices(), 2);
@@ -329,10 +335,10 @@ mod tests {
 
     #[test]
     fn single_path_strategy_is_cheaper() {
-        let g = data();
+        let db = data();
         let q = failing_query();
-        let exhaustive = DiscoverMcs::new(&g).run(&q);
-        let single = DiscoverMcs::new(&g)
+        let exhaustive = DiscoverMcs::new(&db).run(&q);
+        let single = DiscoverMcs::new(&db)
             .with_config(McsConfig {
                 strategy: PathStrategy::SingleSelectivity,
                 ..McsConfig::default()

@@ -319,8 +319,9 @@ mod tests {
             g.add_edge(w[0], w[1], "knows", []);
         }
         g.add_edge(people[0], city, "livesIn", []);
+        let db = whyq_session::Database::open(g).expect("open");
         let q = tri_query();
-        let stats = Statistics::new(&g);
+        let stats = Statistics::new(&db);
         let comp: Vec<QVid> = q.vertex_ids().collect();
         let p = selectivity_path(&q, &comp, &stats);
         assert_eq!(p.edges.len(), 3);
@@ -338,8 +339,9 @@ mod tests {
         g.add_edge(a, b, "knows", []);
         g.add_edge(a, c, "livesIn", []);
         g.add_edge(b, c, "livesIn", []);
+        let db = whyq_session::Database::open(g).expect("open");
         let q = tri_query();
-        let stats = Statistics::new(&g);
+        let stats = Statistics::new(&db);
         let comp: Vec<QVid> = q.vertex_ids().collect();
         let mut prefs = UserPreferences::new();
         prefs.set_edge(QEid(0), 1.0); // the knows edge is most interesting

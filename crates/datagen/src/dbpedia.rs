@@ -239,7 +239,15 @@ pub fn dbpedia_failing_queries() -> Vec<PatternQuery> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use whyq_matcher::count_matches;
+    use whyq_matcher::{MatchOptions, Matcher};
+
+    fn count_matches(
+        g: &whyq_graph::PropertyGraph,
+        q: &whyq_query::PatternQuery,
+        limit: Option<u64>,
+    ) -> u64 {
+        Matcher::new(g).count(q, MatchOptions::counting(limit))
+    }
 
     #[test]
     fn generation_is_deterministic() {

@@ -447,7 +447,15 @@ pub fn ldbc_path_query(hops: usize, failing: bool) -> PatternQuery {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use whyq_matcher::count_matches;
+    use whyq_matcher::{MatchOptions, Matcher};
+
+    fn count_matches(
+        g: &whyq_graph::PropertyGraph,
+        q: &whyq_query::PatternQuery,
+        limit: Option<u64>,
+    ) -> u64 {
+        Matcher::new(g).count(q, MatchOptions::counting(limit))
+    }
 
     #[test]
     fn generation_is_deterministic() {

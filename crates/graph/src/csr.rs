@@ -55,6 +55,13 @@ impl<'a> AdjSlice<'a> {
     pub fn iter(&self) -> impl Iterator<Item = (EdgeId, VertexId)> + 'a {
         self.edges.iter().copied().zip(self.others.iter().copied())
     }
+
+    /// The `i`-th `(edge, other endpoint)` candidate — random access for
+    /// resumable scans (the matcher's streaming DFS stores a position into
+    /// the slice across suspension points).
+    pub fn get(&self, i: usize) -> (EdgeId, VertexId) {
+        (self.edges[i], self.others[i])
+    }
 }
 
 /// One direction (out or in) of the sealed adjacency.

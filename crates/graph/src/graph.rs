@@ -10,7 +10,7 @@
 //! Adjacency has two representations matched to the two phases of a
 //! graph's life:
 //!
-//! * **Build phase** — per-vertex in/out edge lists ([`AdjList`]), cheap to
+//! * **Build phase** — per-vertex in/out edge lists (`AdjList`), cheap to
 //!   append to while edges stream in.
 //! * **Sealed phase** — one compressed-sparse-row arena per direction
 //!   ([`CsrTopology`]): flat SoA columns (`edge`, `other endpoint`, `type`)

@@ -5,9 +5,9 @@
 //! `u32` symbols keeps [`crate::AttrMap`]s small and makes predicate lookup a
 //! binary search over integers instead of string comparisons. The same
 //! machinery doubles as the per-graph **value dictionary**: every
-//! [`Value::Str`](crate::Value::Str) stored on a vertex or edge is interned
+//! [`Value::Str`](crate::Value) stored on a vertex or edge is interned
 //! through [`Interner::intern_value`] into a
-//! [`Value::Sym`](crate::Value::Sym), so string-equality predicates compare
+//! [`Value::Sym`](crate::Value), so string-equality predicates compare
 //! one `u32` instead of walking heap strings (see `crate::value` for the
 //! encoding invariants).
 //!

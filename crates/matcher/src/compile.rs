@@ -368,9 +368,9 @@ pub fn build_plans(
     g: &PropertyGraph,
     q: &PatternQuery,
     compiled: &Compiled,
-    index: Option<&AttrIndex>,
+    indexes: &[Arc<AttrIndex>],
 ) -> Vec<ComponentPlan> {
-    let est = estimate_candidates(g, q, compiled, index);
+    let est = estimate_candidates(g, q, compiled, indexes);
     q.weakly_connected_components()
         .into_iter()
         .map(|comp| plan_component(q, &comp, &est))
@@ -395,7 +395,7 @@ const ESTIMATE_SAMPLE: usize = 64;
 ///   count for that predicate and an upper bound overall;
 /// * an evenly spaced sample of the vertex arena filtered through the
 ///   compiled predicates, extrapolated by `|V| / sample` (exact when the
-///   graph has at most [`ESTIMATE_SAMPLE`] vertices);
+///   graph has at most `ESTIMATE_SAMPLE` (64) vertices);
 /// * the total vertex count as the trivial fallback for an unconstrained
 ///   vertex.
 ///
@@ -406,7 +406,7 @@ pub fn estimate_candidates(
     g: &PropertyGraph,
     q: &PatternQuery,
     compiled: &Compiled,
-    index: Option<&AttrIndex>,
+    indexes: &[Arc<AttrIndex>],
 ) -> Vec<u64> {
     let n = g.num_vertices();
     let stride = n.div_ceil(ESTIMATE_SAMPLE).max(1);
@@ -424,20 +424,22 @@ pub fn estimate_candidates(
             est[v.0 as usize] = 0;
             continue;
         }
-        // exact bucket counts for equality predicates on the indexed attr
-        if let Some(idx) = index {
-            for p in &qv.predicates {
-                if g.attr_symbol(&p.attr) != Some(idx.attr()) {
-                    continue;
-                }
-                if let Interval::OneOf(vals) = &p.interval {
-                    let bucket_sum: u64 = vals.iter().map(|v| idx.lookup(g, v).len() as u64).sum();
-                    e = e.min(bucket_sum);
-                } else if let Some(pv) = p.interval.point_value() {
-                    // one probe covers Int and Float encodings: `Value`
-                    // equates (and the index buckets) numeric family members
-                    e = e.min(idx.lookup(g, &pv).len() as u64);
-                }
+        // exact bucket counts for equality predicates on indexed attrs —
+        // every configured index contributes its own upper bound
+        for p in &qv.predicates {
+            let Some(attr) = g.attr_symbol(&p.attr) else {
+                continue;
+            };
+            let Some(idx) = indexes.iter().find(|i| i.attr() == attr) else {
+                continue;
+            };
+            if let Interval::OneOf(vals) = &p.interval {
+                let bucket_sum: u64 = vals.iter().map(|v| idx.lookup(g, v).len() as u64).sum();
+                e = e.min(bucket_sum);
+            } else if let Some(pv) = p.interval.point_value() {
+                // one probe covers Int and Float encodings: `Value`
+                // equates (and the index buckets) numeric family members
+                e = e.min(idx.lookup(g, &pv).len() as u64);
             }
         }
         // sampled (or exact, for small graphs) selectivity across *all*
@@ -579,7 +581,7 @@ mod tests {
         let c = Compiled::new(&g, &q);
         assert!(c.vertex(QVid(0)).unsatisfiable());
         assert!(c.unsatisfiable());
-        let est = estimate_candidates(&g, &q, &c, None);
+        let est = estimate_candidates(&g, &q, &c, &[]);
         assert_eq!(est, vec![0]);
         // a mixed disjunction with one known constant survives
         let q2 = QueryBuilder::new("q2")
@@ -621,7 +623,7 @@ mod tests {
             .edge("p", "c", "livesIn")
             .build();
         let compiled = Compiled::new(&g, &q);
-        let plans = build_plans(&g, &q, &compiled, None);
+        let plans = build_plans(&g, &q, &compiled, &[]);
         assert_eq!(plans.len(), 1);
         // the city vertex (1 candidate) beats the person vertex (2)
         assert_eq!(plans[0].steps[0], Step::Seed { vertex: QVid(1) });
@@ -640,7 +642,7 @@ mod tests {
             .edge("a", "c", "knows")
             .build();
         let compiled = Compiled::new(&g, &q);
-        let plans = build_plans(&g, &q, &compiled, None);
+        let plans = build_plans(&g, &q, &compiled, &[]);
         let closes = plans[0]
             .steps
             .iter()
@@ -657,7 +659,7 @@ mod tests {
             .vertex("y", [])
             .build();
         let compiled = Compiled::new(&g, &q);
-        let plans = build_plans(&g, &q, &compiled, None);
+        let plans = build_plans(&g, &q, &compiled, &[]);
         assert_eq!(plans.len(), 2);
         assert_eq!(plans[0].steps.len(), 1);
     }

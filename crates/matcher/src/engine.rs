@@ -31,6 +31,7 @@ use crate::compile::{build_plans, Compiled, ComponentPlan, Step};
 use crate::index::AttrIndex;
 use crate::result::ResultGraph;
 use std::cell::RefCell;
+use std::sync::Arc;
 use whyq_graph::{AdjSlice, CsrTopology, PropertyGraph, Value, VertexId};
 use whyq_query::{Interval, PatternQuery, QVid};
 
@@ -74,13 +75,15 @@ impl MatchOptions {
 
 /// Reusable per-matcher search storage: binding slots, occupancy stamps
 /// and the seed candidate buffer. Allocated lazily on first use and grown,
-/// never shrunk, across searches.
+/// never shrunk, across searches. Also used by the suspendable streaming
+/// DFS ([`crate::stream::MatchStream`]), which owns a private arena so a
+/// live stream never contends with the matcher's own searches.
 #[derive(Debug, Clone, Default)]
-struct Scratch {
+pub(crate) struct Scratch {
     /// Data vertex bound to each query vertex slot.
-    vslots: Vec<Option<VertexId>>,
+    pub(crate) vslots: Vec<Option<VertexId>>,
     /// Data edge bound to each query edge slot.
-    eslots: Vec<Option<whyq_graph::EdgeId>>,
+    pub(crate) eslots: Vec<Option<whyq_graph::EdgeId>>,
     /// Inverse occupancy, generation-stamped: a data vertex is used by the
     /// current partial assignment iff its stamp equals [`Scratch::gen`].
     /// Stamping (instead of a bitmap) makes the per-search reset O(1) —
@@ -98,7 +101,7 @@ struct Scratch {
 
 impl Scratch {
     /// Size (and reset) the arena for a search of `q` over `g`.
-    fn prepare(&mut self, g: &PropertyGraph, q: &PatternQuery) {
+    pub(crate) fn prepare(&mut self, g: &PropertyGraph, q: &PatternQuery) {
         self.vslots.clear();
         self.vslots.resize(q.vertex_slots(), None);
         self.eslots.clear();
@@ -118,28 +121,28 @@ impl Scratch {
     }
 
     #[inline]
-    fn vertex_used(&self, dv: VertexId) -> bool {
+    pub(crate) fn vertex_used(&self, dv: VertexId) -> bool {
         self.v_stamp[dv.0 as usize] == self.gen
     }
 
     #[inline]
-    fn edge_used(&self, de: whyq_graph::EdgeId) -> bool {
+    pub(crate) fn edge_used(&self, de: whyq_graph::EdgeId) -> bool {
         self.e_stamp[de.0 as usize] == self.gen
     }
 
     #[inline]
-    fn set_vertex_used(&mut self, dv: VertexId, used: bool) {
+    pub(crate) fn set_vertex_used(&mut self, dv: VertexId, used: bool) {
         self.v_stamp[dv.0 as usize] = if used { self.gen } else { 0 };
     }
 
     #[inline]
-    fn set_edge_used(&mut self, de: whyq_graph::EdgeId, used: bool) {
+    pub(crate) fn set_edge_used(&mut self, de: whyq_graph::EdgeId, used: bool) {
         self.e_stamp[de.0 as usize] = if used { self.gen } else { 0 };
     }
 
     /// Materialize the current complete assignment (bindings are pushed in
     /// ascending slot order, so every insert lands at the end).
-    fn to_result(&self) -> ResultGraph {
+    pub(crate) fn to_result(&self) -> ResultGraph {
         let mut r = ResultGraph::new();
         for (slot, dv) in self.vslots.iter().enumerate() {
             if let Some(dv) = dv {
@@ -174,18 +177,79 @@ struct ExpandBinding<'a> {
 }
 
 /// Where a `Seed` step draws its candidates from.
-enum SeedSource<'a> {
+pub(crate) enum SeedSource<'a> {
     /// Full scan of the vertex arena.
     Scan,
     /// One index bucket, streamed directly.
     Bucket(&'a [VertexId]),
-    /// Several index buckets (multi-value disjunction) — needs buffering
-    /// to deduplicate repeated values.
-    Union(&'a [Value]),
+    /// Several buckets of one index (multi-value disjunction) — needs
+    /// buffering to deduplicate repeated values.
+    Union(&'a AttrIndex, &'a [Value]),
 }
 
-/// A reusable matcher bound to one data graph, optionally with a vertex
-/// attribute index for seeding and selectivity estimation.
+/// Where the candidates of a `Seed` step come from: the bucket of an
+/// equality-shaped predicate on an indexed attribute (an explicit `OneOf`
+/// or a degenerate point `Range` with `lo == hi`, both inclusive — see
+/// `Interval::point_value`), or a full vertex scan. Index probes resolve
+/// string constants through the value dictionary, so a point probe is a
+/// symbol lookup, not a string hash. With several indexed predicates the
+/// *smallest* candidate set wins — the same signal `estimate_candidates`
+/// feeds the planner, so the seed the planner chose for its low estimate
+/// is actually drawn from that small bucket. Shared between the recursive
+/// engine and the suspendable streaming DFS so both draw seeds
+/// identically.
+pub(crate) fn seed_source<'m>(
+    g: &PropertyGraph,
+    indexes: &'m [Arc<AttrIndex>],
+    q: &'m PatternQuery,
+    vertex: QVid,
+) -> SeedSource<'m> {
+    let Some(qv) = q.vertex(vertex) else {
+        return SeedSource::Scan;
+    };
+    let mut best: Option<(usize, SeedSource<'m>)> = None;
+    let mut consider = |size: usize, src: SeedSource<'m>| {
+        if best.as_ref().is_none_or(|(s, _)| size < *s) {
+            best = Some((size, src));
+        }
+    };
+    for p in &qv.predicates {
+        let Some(attr) = g.attr_symbol(&p.attr) else {
+            continue;
+        };
+        let Some(idx) = indexes.iter().find(|i| i.attr() == attr) else {
+            continue;
+        };
+        if let Interval::OneOf(vals) = &p.interval {
+            if vals.len() == 1 {
+                let bucket = idx.lookup(g, &vals[0]);
+                consider(bucket.len(), SeedSource::Bucket(bucket));
+            } else {
+                // upper bound: repeated values double-count, which only
+                // makes the union look worse than it is
+                let size = vals.iter().map(|v| idx.lookup(g, v).len()).sum();
+                consider(size, SeedSource::Union(idx, vals));
+            }
+        } else if let Some(pv) = p.interval.point_value() {
+            // point equality: `Value` equates (and the index buckets)
+            // numeric family members, so one canonical probe covers both
+            // Int and Float encodings
+            let bucket = idx.lookup(g, &pv);
+            consider(bucket.len(), SeedSource::Bucket(bucket));
+        }
+    }
+    match best {
+        Some((_, src)) => src,
+        None => SeedSource::Scan,
+    }
+}
+
+/// A reusable matcher bound to one data graph, optionally with vertex
+/// attribute indexes for seeding and selectivity estimation.
+///
+/// Sessions of the `whyq-session` facade each own one matcher: the scratch
+/// arena inside is the per-worker state, while the attribute indexes are
+/// shared (`Arc`) with every other session of the same database.
 #[derive(Debug, Clone)]
 pub struct Matcher<'g> {
     g: &'g PropertyGraph,
@@ -193,7 +257,7 @@ pub struct Matcher<'g> {
     /// every candidate scan is a plain slice walk (building it here also
     /// warms the graph's topology cache for unsealed graphs).
     topo: &'g CsrTopology,
-    index: Option<AttrIndex>,
+    indexes: Vec<Arc<AttrIndex>>,
     scratch: RefCell<Scratch>,
 }
 
@@ -203,15 +267,43 @@ impl<'g> Matcher<'g> {
         Matcher {
             g,
             topo: g.topology(),
-            index: None,
+            indexes: Vec::new(),
+            scratch: RefCell::new(Scratch::default()),
+        }
+    }
+
+    /// Matcher sharing prebuilt attribute indexes (the `whyq-session`
+    /// facade builds the configured indexes once per database and hands
+    /// each session a matcher constructed this way).
+    pub fn with_shared_indexes(g: &'g PropertyGraph, indexes: Vec<Arc<AttrIndex>>) -> Self {
+        Matcher {
+            g,
+            topo: g.topology(),
+            indexes,
             scratch: RefCell::new(Scratch::default()),
         }
     }
 
     /// Attach an equality index over `attr` (no-op if absent from graph).
+    #[deprecated(
+        since = "0.2.0",
+        note = "configure indexes on `whyq_session::DatabaseConfig` and open a `Database` instead; sessions share the database's prebuilt indexes"
+    )]
     pub fn with_index(mut self, attr: &str) -> Self {
-        self.index = AttrIndex::build(self.g, attr);
+        if let Some(idx) = AttrIndex::build(self.g, attr) {
+            self.indexes.push(Arc::new(idx));
+        }
         self
+    }
+
+    /// Append a prebuilt shared index.
+    pub fn attach_index(&mut self, idx: Arc<AttrIndex>) {
+        self.indexes.push(idx);
+    }
+
+    /// The attached shared indexes.
+    pub fn indexes(&self) -> &[Arc<AttrIndex>] {
+        &self.indexes
     }
 
     /// The underlying graph.
@@ -219,28 +311,53 @@ impl<'g> Matcher<'g> {
         self.g
     }
 
-    /// Enumerate result graphs.
-    pub fn find(&self, q: &PatternQuery, opts: MatchOptions) -> Vec<ResultGraph> {
-        if q.num_vertices() == 0 {
-            return Vec::new();
-        }
+    /// Compile `q` and build its per-component plans against this
+    /// matcher's graph and indexes. An unsatisfiable query gets no plans —
+    /// executing it answers "no matches" without any scan. The
+    /// `whyq-session` facade calls this once per distinct query signature
+    /// and memoizes the result.
+    pub fn compile(&self, q: &PatternQuery) -> (Compiled, Vec<ComponentPlan>) {
         let compiled = Compiled::new(self.g, q);
         // compile-time pruning: an unknown attribute/type or a string
         // constant absent from the value dictionary proves some element
-        // unmatchable — answer without planning or scanning anything
+        // unmatchable — no plan needed
         if compiled.unsatisfiable() {
+            return (compiled, Vec::new());
+        }
+        let plans = build_plans(self.g, q, &compiled, &self.indexes);
+        (compiled, plans)
+    }
+
+    /// Enumerate result graphs.
+    pub fn find(&self, q: &PatternQuery, opts: MatchOptions) -> Vec<ResultGraph> {
+        let (compiled, plans) = self.compile(q);
+        self.find_compiled(q, &compiled, &plans, opts)
+    }
+
+    /// [`Matcher::find`] with a precompiled query — the prepared-query
+    /// fast path: no name resolution, no selectivity estimation, no plan
+    /// construction. `compiled`/`plans` must come from [`Matcher::compile`]
+    /// on a query with the same signature over the same graph (the plan
+    /// cache of `whyq-session` guarantees this).
+    pub fn find_compiled(
+        &self,
+        q: &PatternQuery,
+        compiled: &Compiled,
+        plans: &[ComponentPlan],
+        opts: MatchOptions,
+    ) -> Vec<ResultGraph> {
+        if q.num_vertices() == 0 || plans.is_empty() {
             return Vec::new();
         }
-        let plans = build_plans(self.g, q, &compiled, self.index.as_ref());
         let cap = opts.limit.unwrap_or(usize::MAX);
         let mut st = self.scratch.borrow_mut();
         st.prepare(self.g, q);
 
         // evaluate each component independently
         let mut per_component: Vec<Vec<ResultGraph>> = Vec::with_capacity(plans.len());
-        for plan in &plans {
+        for plan in plans {
             let mut results = Vec::new();
-            self.eval_component(q, &compiled, plan, opts.injective, &mut st, &mut |s| {
+            self.eval_component(q, compiled, plan, opts.injective, &mut st, &mut |s| {
                 results.push(s.to_result());
                 results.len() < cap
             });
@@ -272,22 +389,29 @@ impl<'g> Matcher<'g> {
     /// (the returned value is `min(C(Q), limit)`). Unlike [`Matcher::find`]
     /// no result graph is ever materialized.
     pub fn count(&self, q: &PatternQuery, opts: MatchOptions) -> u64 {
-        if q.num_vertices() == 0 {
+        let (compiled, plans) = self.compile(q);
+        self.count_compiled(q, &compiled, &plans, opts)
+    }
+
+    /// [`Matcher::count`] with a precompiled query — see
+    /// [`Matcher::find_compiled`] for the contract.
+    pub fn count_compiled(
+        &self,
+        q: &PatternQuery,
+        compiled: &Compiled,
+        plans: &[ComponentPlan],
+        opts: MatchOptions,
+    ) -> u64 {
+        if q.num_vertices() == 0 || plans.is_empty() {
             return 0;
         }
-        let compiled = Compiled::new(self.g, q);
-        // same compile-time pruning as `find`
-        if compiled.unsatisfiable() {
-            return 0;
-        }
-        let plans = build_plans(self.g, q, &compiled, self.index.as_ref());
         let limit = opts.limit.map(|l| l as u64);
         let mut st = self.scratch.borrow_mut();
         st.prepare(self.g, q);
         let mut counts: Vec<u64> = Vec::with_capacity(plans.len());
-        for plan in &plans {
+        for plan in plans {
             let mut c: u64 = 0;
-            self.eval_component(q, &compiled, plan, opts.injective, &mut st, &mut |_| {
+            self.eval_component(q, compiled, plan, opts.injective, &mut st, &mut |_| {
                 c += 1;
                 limit.is_none_or(|l| c < l)
             });
@@ -411,7 +535,7 @@ impl<'g> Matcher<'g> {
         vertex: QVid,
     ) -> bool {
         let cv = cx.compiled.vertex(vertex);
-        match self.seed_source(cx.q, vertex) {
+        match seed_source(self.g, &self.indexes, cx.q, vertex) {
             SeedSource::Scan => {
                 for dv in self.g.vertex_ids() {
                     if !cv.accepts(self.g, dv) {
@@ -434,8 +558,7 @@ impl<'g> Matcher<'g> {
                 }
                 true
             }
-            SeedSource::Union(vals) => {
-                let idx = self.index.as_ref().expect("union source implies an index");
+            SeedSource::Union(idx, vals) => {
                 // the buffer is detached from the arena while the search
                 // below mutates it, and reattached (keeping its allocation)
                 // before returning
@@ -689,38 +812,18 @@ impl<'g> Matcher<'g> {
         }
         cont
     }
-
-    /// Where the candidates of a `Seed` step come from: the index bucket
-    /// of an equality-shaped predicate on the indexed attribute (an
-    /// explicit `OneOf` or a degenerate point `Range` with `lo == hi`,
-    /// both inclusive — see `Interval::point_value`), or a full vertex
-    /// scan. Index probes resolve string constants through the value
-    /// dictionary, so a point probe is a symbol lookup, not a string hash.
-    fn seed_source<'m>(&'m self, q: &'m PatternQuery, vertex: QVid) -> SeedSource<'m> {
-        if let (Some(idx), Some(qv)) = (self.index.as_ref(), q.vertex(vertex)) {
-            for p in &qv.predicates {
-                if self.g.attr_symbol(&p.attr) != Some(idx.attr()) {
-                    continue;
-                }
-                if let Interval::OneOf(vals) = &p.interval {
-                    if vals.len() == 1 {
-                        return SeedSource::Bucket(idx.lookup(self.g, &vals[0]));
-                    }
-                    return SeedSource::Union(vals);
-                }
-                if let Some(pv) = p.interval.point_value() {
-                    // point equality: `Value` equates (and the index
-                    // buckets) numeric family members, so one canonical
-                    // probe covers both Int and Float encodings
-                    return SeedSource::Bucket(idx.lookup(self.g, &pv));
-                }
-            }
-        }
-        SeedSource::Scan
-    }
 }
 
 /// Enumerate the result graphs of `q` over `g` (convenience wrapper).
+///
+/// Thin compatibility shim over the same engine the `whyq-session` facade
+/// drives: it compiles and plans `q` on every call and cannot use attribute
+/// indexes or the plan cache. Open a `whyq_session::Database`, take a
+/// `Session` and use `session.prepare(&q)?.find()` instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "use whyq_session::Database::open + Session::prepare; this shim recompiles the query on every call"
+)]
 pub fn find_matches(g: &PropertyGraph, q: &PatternQuery, limit: Option<usize>) -> Vec<ResultGraph> {
     Matcher::new(g).find(
         q,
@@ -733,11 +836,19 @@ pub fn find_matches(g: &PropertyGraph, q: &PatternQuery, limit: Option<usize>) -
 
 /// Count the result graphs of `q` over `g` injectively, stopping early at
 /// `limit`.
+///
+/// Thin compatibility shim — see [`find_matches`]; prefer
+/// `session.prepare(&q)?.count()` through the `whyq-session` facade.
+#[deprecated(
+    since = "0.2.0",
+    note = "use whyq_session::Database::open + Session::prepare; this shim recompiles the query on every call"
+)]
 pub fn count_matches(g: &PropertyGraph, q: &PatternQuery, limit: Option<u64>) -> u64 {
     Matcher::new(g).count(q, MatchOptions::counting(limit))
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims under deprecation are exercised on purpose
 mod tests {
     use super::*;
     use whyq_graph::Value;

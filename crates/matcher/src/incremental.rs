@@ -174,7 +174,7 @@ pub fn extend_matches(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::count_matches;
+    use crate::engine::{MatchOptions, Matcher};
     use whyq_graph::Value;
     use whyq_query::{Predicate, QueryBuilder};
 
@@ -209,7 +209,8 @@ mod tests {
         let after_lives = extend_matches(&g, &q, &after_knows, whyq_query::QEid(1), usize::MAX);
         assert_eq!(after_lives.len(), 2); // a and b live in the city
         let full = extend_matches(&g, &q, &after_lives, whyq_query::QEid(2), usize::MAX);
-        assert_eq!(full.len() as u64, count_matches(&g, &q, None));
+        let whole = Matcher::new(&g).count(&q, MatchOptions::default());
+        assert_eq!(full.len() as u64, whole);
         assert_eq!(full.len(), 1);
     }
 

@@ -4,7 +4,7 @@
 //! attribute per query vertex; seeding the backtracking search from an index
 //! lookup instead of a full vertex scan removes the dominant scan cost.
 //!
-//! The buckets are keyed by a fixed-width [`IndexKey`], not by the value
+//! The buckets are keyed by a fixed-width `IndexKey`, not by the value
 //! itself: dictionary-encoded strings key by their `u32` symbol and numbers
 //! by their canonical `f64` bit pattern, so building and probing the index
 //! hashes a machine word instead of walking heap strings. Probes resolve

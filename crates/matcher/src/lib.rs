@@ -2,8 +2,8 @@
 //!
 //! Evaluates [`whyq_query::PatternQuery`] against a
 //! [`whyq_graph::PropertyGraph`]: finds the data subgraphs matching the
-//! query (the *result graphs* of Def. 6, §3.2.4) or counts them with early
-//! termination.
+//! query (the *result graphs* of Def. 6, §3.2.4), counts them with early
+//! termination, or streams them lazily.
 //!
 //! Matching semantics (§3.1.2):
 //!
@@ -17,6 +17,31 @@
 //! * unconnected query components are matched independently and combined as
 //!   a cartesian product (§4.3.3) — cardinalities multiply.
 //!
+//! ## Execution model
+//!
+//! [`Matcher`] is the execution core: it owns a reusable scratch arena and
+//! any number of shared attribute indexes ([`AttrIndex`], `Arc`-shared so
+//! one database's indexes serve every session), compiles queries against
+//! the graph's name/value dictionaries ([`compile`]) and runs a
+//! zero-allocation backtracking DFS ([`engine`]). Compilation and planning
+//! are exposed separately ([`Matcher::compile`] +
+//! [`Matcher::find_compiled`] / [`Matcher::count_compiled`] /
+//! [`MatchStream::over`]) so the `whyq-session` facade can memoize plans
+//! by query signature and skip them entirely on repeat queries.
+//!
+//! **Most callers should not drive this crate directly**: open a
+//! `whyq_session::Database`, take a `Session` and use
+//! `session.prepare(&q)?` — prepared queries add plan caching, configured
+//! indexes and a `Result`-based error surface on top of the same engine.
+//! The free functions [`find_matches`] / [`count_matches`] and
+//! [`Matcher::with_index`] remain as deprecated shims for incremental
+//! migration.
+//!
+//! Result enumeration comes in two shapes: eager ([`Matcher::find`],
+//! returning a `Vec`) and lazy ([`Matcher::stream`], a suspendable DFS
+//! that yields [`ResultGraph`]s one at a time without materializing the
+//! result set — see [`stream::MatchStream`]).
+//!
 //! Besides whole-query evaluation the crate exposes the *incremental* API
 //! ([`seed_matches`] / [`extend_matches`]) that the why-query algorithms of
 //! `whyq-core` (DISCOVERMCS, BOUNDEDMCS, change propagation) are built on:
@@ -28,9 +53,13 @@ pub mod incremental;
 pub mod index;
 pub mod reference;
 pub mod result;
+pub mod stream;
 
-pub use engine::{count_matches, find_matches, MatchOptions, Matcher};
+#[allow(deprecated)] // compatibility re-exports of the deprecated shims
+pub use engine::{count_matches, find_matches};
+pub use engine::{MatchOptions, Matcher};
 pub use incremental::{extend_matches, seed_matches};
 pub use index::AttrIndex;
 pub use reference::{count_matches_naive, find_matches_naive};
 pub use result::ResultGraph;
+pub use stream::MatchStream;

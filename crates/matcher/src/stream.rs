@@ -1,0 +1,712 @@
+//! Lazy result enumeration — the suspendable twin of the recursive engine.
+//!
+//! [`MatchStream`] yields [`ResultGraph`]s one at a time from the same
+//! backtracking search [`Matcher::find`] runs, without ever materializing
+//! the result set: the DFS runs on an explicit frame stack (one frame per
+//! plan step, each remembering its candidate cursor), so the search
+//! *suspends* after every emitted match and resumes exactly where it
+//! stopped on the next [`Iterator::next`] call. A caller that stops after
+//! ten results pays for ten results — the contract prepared queries of the
+//! `whyq-session` facade expose as `PreparedQuery::stream()`.
+//!
+//! Multi-component queries combine component results as a cartesian
+//! product (§4.3.3). The product itself — where the blow-up lives — is
+//! enumerated lazily with an odometer over the non-first components'
+//! (capped) result lists; only those factor lists are materialized, once,
+//! on the first `next()` call. Connected queries, the common case,
+//! materialize nothing.
+//!
+//! The stream owns its scratch arena, so any number of streams can be
+//! in-flight concurrently with each other and with `find`/`count` calls
+//! on the matcher they came from.
+
+use crate::compile::{Compiled, ComponentPlan, Step};
+use crate::engine::{seed_source, MatchOptions, Matcher, Scratch, SeedSource};
+use crate::index::AttrIndex;
+use crate::result::ResultGraph;
+use std::sync::Arc;
+use whyq_graph::{CsrTopology, PropertyGraph, VertexId};
+use whyq_query::{PatternQuery, QEid, QVid};
+
+/// Candidate cursor of a `Seed` frame.
+enum SeedCursor {
+    /// Full scan of the (dense) vertex arena; `next` is the next raw id.
+    Scan { next: u32 },
+    /// An owned candidate list: a copied index bucket or the deduplicated
+    /// union of several buckets (multi-value disjunction).
+    Fixed { seeds: Vec<VertexId>, pos: usize },
+}
+
+/// One suspended step of the DFS: which candidate to try next when the
+/// search resumes at this depth. Adjacency slices are re-resolved from
+/// `(phase, ty)` on resume — a CSR run lookup is two array reads, cheaper
+/// than making the frame borrow the topology.
+enum Frame {
+    Seed {
+        vertex: QVid,
+        cursor: SeedCursor,
+    },
+    Expand {
+        edge: QEid,
+        from: QVid,
+        to: QVid,
+        /// Data vertex the expansion leaves, fixed when the frame is
+        /// entered (its `from` endpoint is already bound then).
+        bound: VertexId,
+        /// 0 = forward direction pass, 1 = backward pass.
+        phase: u8,
+        /// Position in the compiled type disjunction (0 when untyped).
+        ty: usize,
+        /// Position within the current adjacency slice.
+        pos: usize,
+    },
+    Close {
+        edge: QEid,
+        phase: u8,
+        ty: usize,
+        pos: usize,
+    },
+}
+
+/// Lazy iterator over the result graphs of one compiled query.
+///
+/// Created by [`Matcher::stream`] or directly via [`MatchStream::over`]
+/// with a cached compilation. Yields exactly the multiset
+/// [`Matcher::find`] would return (in the same order), honoring the
+/// injectivity and limit of its [`MatchOptions`].
+pub struct MatchStream<'g> {
+    g: &'g PropertyGraph,
+    topo: &'g CsrTopology,
+    indexes: Vec<Arc<AttrIndex>>,
+    q: Arc<PatternQuery>,
+    compiled: Arc<Compiled>,
+    plans: Arc<Vec<ComponentPlan>>,
+    injective: bool,
+    /// Results still allowed out (from `MatchOptions::limit`).
+    remaining: usize,
+    started: bool,
+    done: bool,
+    /// Materialized results of components `1..n` (plan order), each capped
+    /// at the stream limit; empty for connected queries.
+    factors: Vec<Vec<ResultGraph>>,
+    /// Odometer over `factors` (last digit fastest — the same nesting
+    /// order `find`'s cartesian combination uses).
+    odo: Vec<usize>,
+    /// Current match of component 0, combined with every factor
+    /// combination before the DFS advances.
+    cur0: Option<ResultGraph>,
+    scratch: Scratch,
+    stack: Vec<Frame>,
+}
+
+impl<'g> MatchStream<'g> {
+    /// Stream over a precompiled query. `compiled`/`plans` must come from
+    /// [`Matcher::compile`] on a query with the same signature over the
+    /// same graph — the contract the `whyq-session` plan cache maintains.
+    pub fn over(
+        g: &'g PropertyGraph,
+        indexes: Vec<Arc<AttrIndex>>,
+        q: Arc<PatternQuery>,
+        compiled: Arc<Compiled>,
+        plans: Arc<Vec<ComponentPlan>>,
+        opts: MatchOptions,
+    ) -> Self {
+        MatchStream {
+            g,
+            topo: g.topology(),
+            indexes,
+            q,
+            compiled,
+            plans,
+            injective: opts.injective,
+            remaining: opts.limit.unwrap_or(usize::MAX),
+            started: false,
+            done: false,
+            factors: Vec::new(),
+            odo: Vec::new(),
+            cur0: None,
+            scratch: Scratch::default(),
+            stack: Vec::new(),
+        }
+    }
+
+    /// First-call setup: size the arena, materialize the factor lists of
+    /// components `1..n` and park the component-0 DFS at its seed step.
+    fn start(&mut self) {
+        self.started = true;
+        if self.q.num_vertices() == 0 || self.plans.is_empty() || self.remaining == 0 {
+            self.done = true;
+            return;
+        }
+        self.scratch.prepare(self.g, &self.q);
+        let cap = self.remaining;
+        for comp in 1..self.plans.len() {
+            let factor = self.run_component_to_vec(comp, cap);
+            if factor.is_empty() {
+                // an empty component zeroes the cartesian product
+                self.done = true;
+                return;
+            }
+            self.factors.push(factor);
+        }
+        self.odo = vec![0; self.factors.len()];
+        self.stack.clear();
+        self.push_frame(0, 0);
+    }
+
+    /// Run one component's DFS to completion, collecting at most `cap`
+    /// results, and leave the scratch arena clean.
+    fn run_component_to_vec(&mut self, comp: usize, cap: usize) -> Vec<ResultGraph> {
+        self.stack.clear();
+        self.push_frame(comp, 0);
+        let mut out = Vec::new();
+        while let Some(r) = self.next_component_match(comp) {
+            out.push(r);
+            if out.len() >= cap {
+                break;
+            }
+        }
+        self.unwind();
+        out
+    }
+
+    /// Pop every live frame, unbinding whatever it bound — used when a
+    /// component run stops before natural exhaustion.
+    fn unwind(&mut self) {
+        while let Some(frame) = self.stack.pop() {
+            unbind_frame(&mut self.scratch, self.injective, &frame);
+        }
+    }
+
+    /// Push the frame for step `i` of component `comp`'s plan.
+    fn push_frame(&mut self, comp: usize, i: usize) {
+        let frame = match self.plans[comp].steps[i] {
+            Step::Seed { vertex } => {
+                let cursor = match seed_source(self.g, &self.indexes, &self.q, vertex) {
+                    SeedSource::Scan => SeedCursor::Scan { next: 0 },
+                    SeedSource::Bucket(bucket) => SeedCursor::Fixed {
+                        seeds: bucket.to_vec(),
+                        pos: 0,
+                    },
+                    SeedSource::Union(idx, vals) => {
+                        let mut seeds = Vec::new();
+                        for v in vals {
+                            seeds.extend_from_slice(idx.lookup(self.g, v));
+                        }
+                        // repeated disjunction values would repeat their
+                        // buckets — dedup exactly like the engine does
+                        seeds.sort_unstable();
+                        seeds.dedup();
+                        SeedCursor::Fixed { seeds, pos: 0 }
+                    }
+                };
+                Frame::Seed { vertex, cursor }
+            }
+            Step::ExpandNew { edge, from, to } => Frame::Expand {
+                edge,
+                from,
+                to,
+                bound: self.scratch.vslots[from.0 as usize].expect("plan binds from first"),
+                phase: 0,
+                ty: 0,
+                pos: 0,
+            },
+            Step::Close { edge } => Frame::Close {
+                edge,
+                phase: 0,
+                ty: 0,
+                pos: 0,
+            },
+        };
+        self.stack.push(frame);
+    }
+
+    /// Resume the DFS of component `comp`: advance the top frame to its
+    /// next acceptable candidate, descending on success and backtracking
+    /// on exhaustion, until a full assignment of the component is bound
+    /// (returned as a materialized [`ResultGraph`]) or the stack empties.
+    fn next_component_match(&mut self, comp: usize) -> Option<ResultGraph> {
+        let plans = Arc::clone(&self.plans);
+        let steps = &plans[comp].steps;
+        let q = Arc::clone(&self.q);
+        let compiled = Arc::clone(&self.compiled);
+        while !self.stack.is_empty() {
+            let advanced = {
+                let frame = self.stack.last_mut().expect("non-empty");
+                advance_frame(
+                    self.g,
+                    self.topo,
+                    &q,
+                    &compiled,
+                    self.injective,
+                    &mut self.scratch,
+                    frame,
+                )
+            };
+            if advanced {
+                if self.stack.len() == steps.len() {
+                    return Some(self.scratch.to_result());
+                }
+                self.push_frame(comp, self.stack.len());
+            } else {
+                // exhausted: the frame already unbound its last candidate
+                self.stack.pop();
+            }
+        }
+        None
+    }
+}
+
+impl Iterator for MatchStream<'_> {
+    type Item = ResultGraph;
+
+    fn next(&mut self) -> Option<ResultGraph> {
+        if !self.started {
+            self.start();
+        }
+        if self.done || self.remaining == 0 {
+            self.done = true;
+            return None;
+        }
+        if self.cur0.is_none() {
+            match self.next_component_match(0) {
+                Some(r) => {
+                    self.cur0 = Some(r);
+                    self.odo.iter_mut().for_each(|d| *d = 0);
+                }
+                None => {
+                    self.done = true;
+                    return None;
+                }
+            }
+        }
+        if self.factors.is_empty() {
+            self.remaining -= 1;
+            return self.cur0.take();
+        }
+        let mut r = self.cur0.as_ref().expect("set above").clone();
+        for (factor, &digit) in self.factors.iter().zip(&self.odo) {
+            r = r.merged(&factor[digit]);
+        }
+        // advance the odometer, last digit fastest; overflow moves the
+        // outer DFS to its next component-0 match
+        let mut i = self.odo.len();
+        loop {
+            if i == 0 {
+                self.cur0 = None;
+                break;
+            }
+            i -= 1;
+            self.odo[i] += 1;
+            if self.odo[i] < self.factors[i].len() {
+                break;
+            }
+            self.odo[i] = 0;
+        }
+        self.remaining -= 1;
+        Some(r)
+    }
+}
+
+impl<'g> Matcher<'g> {
+    /// Stream the result graphs of `q` lazily — compile, plan and return a
+    /// suspended search. Equivalent to [`Matcher::find`] result-for-result
+    /// but pays only for the matches actually pulled from the iterator.
+    pub fn stream(&self, q: &PatternQuery, opts: MatchOptions) -> MatchStream<'g> {
+        let (compiled, plans) = self.compile(q);
+        MatchStream::over(
+            self.graph(),
+            self.indexes().to_vec(),
+            Arc::new(q.clone()),
+            Arc::new(compiled),
+            Arc::new(plans),
+            opts,
+        )
+    }
+}
+
+/// Unbind whatever `frame` currently has bound (nothing if it never bound
+/// or already unbound its candidate).
+fn unbind_frame(st: &mut Scratch, injective: bool, frame: &Frame) {
+    match frame {
+        Frame::Seed { vertex, .. } => {
+            if let Some(dv) = st.vslots[vertex.0 as usize].take() {
+                if injective {
+                    st.set_vertex_used(dv, false);
+                }
+            }
+        }
+        Frame::Expand { edge, to, .. } => {
+            if let Some(de) = st.eslots[edge.0 as usize].take() {
+                if injective {
+                    st.set_edge_used(de, false);
+                }
+            }
+            if let Some(dv) = st.vslots[to.0 as usize].take() {
+                if injective {
+                    st.set_vertex_used(dv, false);
+                }
+            }
+        }
+        Frame::Close { edge, .. } => {
+            if let Some(de) = st.eslots[edge.0 as usize].take() {
+                if injective {
+                    st.set_edge_used(de, false);
+                }
+            }
+        }
+    }
+}
+
+/// Advance one frame to its next acceptable candidate: unbind the previous
+/// candidate, scan forward, bind the next one. Returns `false` when the
+/// frame is exhausted (left unbound). The candidate order and the filter
+/// sequence mirror the recursive engine exactly — occupancy stamps before
+/// predicate checks, `EdgeData` loaded only when edge predicates exist,
+/// the self-loop and duplicate-direction skip rules included — so the
+/// stream's multiset of results is identical to `find`'s.
+#[allow(clippy::too_many_arguments)]
+fn advance_frame(
+    g: &PropertyGraph,
+    topo: &CsrTopology,
+    q: &PatternQuery,
+    compiled: &Compiled,
+    injective: bool,
+    st: &mut Scratch,
+    frame: &mut Frame,
+) -> bool {
+    unbind_frame(st, injective, frame);
+    match frame {
+        Frame::Seed { vertex, cursor } => {
+            let cv = compiled.vertex(*vertex);
+            loop {
+                let dv = match cursor {
+                    SeedCursor::Scan { next } => {
+                        if *next as usize >= g.num_vertices() {
+                            return false;
+                        }
+                        let dv = VertexId(*next);
+                        *next += 1;
+                        dv
+                    }
+                    SeedCursor::Fixed { seeds, pos } => {
+                        if *pos >= seeds.len() {
+                            return false;
+                        }
+                        let dv = seeds[*pos];
+                        *pos += 1;
+                        dv
+                    }
+                };
+                if !cv.accepts(g, dv) {
+                    continue;
+                }
+                // the seed is the first binding of its component, so no
+                // occupancy check is needed (injectivity is per-component)
+                st.vslots[vertex.0 as usize] = Some(dv);
+                if injective {
+                    st.set_vertex_used(dv, true);
+                }
+                return true;
+            }
+        }
+        Frame::Expand {
+            edge,
+            from,
+            to,
+            bound,
+            phase,
+            ty,
+            pos,
+        } => {
+            let qe = q.edge(*edge).expect("live");
+            let ce = compiled.edge(*edge);
+            let cv_to = compiled.vertex(*to);
+            let from_is_src = *from == qe.src;
+            loop {
+                if *phase > 1 {
+                    return false;
+                }
+                let dir_on = if *phase == 0 {
+                    qe.directions.forward
+                } else {
+                    qe.directions.backward
+                };
+                if !dir_on {
+                    *phase += 1;
+                    *ty = 0;
+                    *pos = 0;
+                    continue;
+                }
+                // forward pass: `bound` plays the data edge's source role
+                // iff it is the query edge's source; backward mirrors it
+                let along_src = (*phase == 0) == from_is_src;
+                // a self-loop at `bound` sits in both adjacency lists —
+                // the backward pass skips the ones forward already tried
+                let skip_self_loops = *phase == 1 && qe.directions.forward;
+                let list = match &ce.types {
+                    Some(tys) => {
+                        if *ty >= tys.len() {
+                            *phase += 1;
+                            *ty = 0;
+                            *pos = 0;
+                            continue;
+                        }
+                        let t = tys[*ty];
+                        if along_src {
+                            topo.out_entries_of(*bound, t)
+                        } else {
+                            topo.in_entries_of(*bound, t)
+                        }
+                    }
+                    None => {
+                        if *ty >= 1 {
+                            *phase += 1;
+                            *ty = 0;
+                            *pos = 0;
+                            continue;
+                        }
+                        if along_src {
+                            topo.out_entries(*bound)
+                        } else {
+                            topo.in_entries(*bound)
+                        }
+                    }
+                };
+                while *pos < list.len() {
+                    let (de, dv) = list.get(*pos);
+                    *pos += 1;
+                    if skip_self_loops && dv == *bound {
+                        continue;
+                    }
+                    if injective && (st.vertex_used(dv) || st.edge_used(de)) {
+                        continue;
+                    }
+                    if ce.needs_edge_data() && !ce.accepts_attrs(&g.edge(de).attrs) {
+                        continue;
+                    }
+                    if !cv_to.accepts(g, dv) {
+                        continue;
+                    }
+                    st.vslots[to.0 as usize] = Some(dv);
+                    st.eslots[edge.0 as usize] = Some(de);
+                    if injective {
+                        st.set_vertex_used(dv, true);
+                        st.set_edge_used(de, true);
+                    }
+                    return true;
+                }
+                *ty += 1;
+                *pos = 0;
+            }
+        }
+        Frame::Close {
+            edge,
+            phase,
+            ty,
+            pos,
+        } => {
+            let qe = q.edge(*edge).expect("live");
+            let ce = compiled.edge(*edge);
+            let ms = st.vslots[qe.src.0 as usize].expect("bound");
+            let mt = st.vslots[qe.dst.0 as usize].expect("bound");
+            loop {
+                if *phase > 1 {
+                    return false;
+                }
+                let dir_on = if *phase == 0 {
+                    qe.directions.forward
+                } else {
+                    // when both endpoints map to one data vertex the
+                    // forward pass already enumerated every self-loop
+                    qe.directions.backward && !(qe.directions.forward && ms == mt)
+                };
+                if !dir_on {
+                    *phase += 1;
+                    *ty = 0;
+                    *pos = 0;
+                    continue;
+                }
+                let ends = if *phase == 0 { (ms, mt) } else { (mt, ms) };
+                let lists = match &ce.types {
+                    Some(tys) => {
+                        if *ty >= tys.len() {
+                            *phase += 1;
+                            *ty = 0;
+                            *pos = 0;
+                            continue;
+                        }
+                        let t = tys[*ty];
+                        (
+                            topo.out_entries_of(ends.0, t),
+                            topo.in_entries_of(ends.1, t),
+                        )
+                    }
+                    None => {
+                        if *ty >= 1 {
+                            *phase += 1;
+                            *ty = 0;
+                            *pos = 0;
+                            continue;
+                        }
+                        (topo.out_entries(ends.0), topo.in_entries(ends.1))
+                    }
+                };
+                // scan whichever slice of the two endpoints is shorter;
+                // the deterministic choice keeps resumption stable
+                let scan_out = lists.0.len() <= lists.1.len();
+                let (list, want) = if scan_out {
+                    (lists.0, ends.1)
+                } else {
+                    (lists.1, ends.0)
+                };
+                while *pos < list.len() {
+                    let (de, other) = list.get(*pos);
+                    *pos += 1;
+                    if other != want {
+                        continue;
+                    }
+                    if injective && st.edge_used(de) {
+                        continue;
+                    }
+                    if ce.needs_edge_data() && !ce.accepts_attrs(&g.edge(de).attrs) {
+                        continue;
+                    }
+                    st.eslots[edge.0 as usize] = Some(de);
+                    if injective {
+                        st.set_edge_used(de, true);
+                    }
+                    return true;
+                }
+                *ty += 1;
+                *pos = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::MatchOptions;
+    use std::collections::BTreeMap;
+    use whyq_graph::Value;
+    use whyq_query::{DirectionSet, Predicate, QueryBuilder};
+
+    fn social() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let a = g.add_vertex([("type", Value::str("person")), ("name", Value::str("Anna"))]);
+        let b = g.add_vertex([("type", Value::str("person")), ("name", Value::str("Bert"))]);
+        let c = g.add_vertex([("type", Value::str("person")), ("name", Value::str("Cleo"))]);
+        let berlin = g.add_vertex([("type", Value::str("city")), ("name", Value::str("Berlin"))]);
+        let rome = g.add_vertex([("type", Value::str("city")), ("name", Value::str("Rome"))]);
+        g.add_edge(a, b, "knows", [("since", Value::Int(2003))]);
+        g.add_edge(b, c, "knows", [("since", Value::Int(2010))]);
+        g.add_edge(a, berlin, "livesIn", []);
+        g.add_edge(b, berlin, "livesIn", []);
+        g.add_edge(c, rome, "livesIn", []);
+        g.add_edge(a, a, "knows", []);
+        g
+    }
+
+    fn multiset(results: Vec<ResultGraph>) -> BTreeMap<String, usize> {
+        let mut m = BTreeMap::new();
+        for r in results {
+            *m.entry(format!("{r:?}")).or_insert(0) += 1;
+        }
+        m
+    }
+
+    fn assert_stream_matches_find(g: &PropertyGraph, q: &PatternQuery, opts: MatchOptions) {
+        let m = Matcher::new(g);
+        let found = m.find(q, opts);
+        let streamed: Vec<ResultGraph> = m.stream(q, opts).collect();
+        assert_eq!(multiset(found), multiset(streamed));
+    }
+
+    #[test]
+    fn stream_equals_find_on_triangle() {
+        let g = social();
+        let q = QueryBuilder::new("colocated")
+            .vertex("p1", [Predicate::eq("type", "person")])
+            .vertex("p2", [Predicate::eq("type", "person")])
+            .vertex("city", [Predicate::eq("type", "city")])
+            .edge("p1", "p2", "knows")
+            .edge("p1", "city", "livesIn")
+            .edge("p2", "city", "livesIn")
+            .build();
+        assert_stream_matches_find(&g, &q, MatchOptions::default());
+    }
+
+    #[test]
+    fn stream_handles_directions_and_self_loops() {
+        let g = social();
+        let q = QueryBuilder::new("both")
+            .vertex("x", [])
+            .vertex("y", [])
+            .edge_full("x", "y", "knows", DirectionSet::BOTH, [])
+            .build();
+        assert_stream_matches_find(&g, &q, MatchOptions::default());
+        let hom = MatchOptions {
+            injective: false,
+            limit: None,
+        };
+        assert_stream_matches_find(&g, &q, hom);
+    }
+
+    #[test]
+    fn stream_is_lazy_under_limit() {
+        let g = social();
+        let q = QueryBuilder::new("p")
+            .vertex("p", [Predicate::eq("type", "person")])
+            .build();
+        let m = Matcher::new(&g);
+        let mut s = m.stream(&q, MatchOptions::default());
+        assert!(s.next().is_some());
+        drop(s); // a dropped stream must not disturb the matcher
+        assert_eq!(m.count(&q, MatchOptions::default()), 3);
+        assert_stream_matches_find(&g, &q, MatchOptions::limited(2));
+    }
+
+    #[test]
+    fn stream_combines_components_like_find() {
+        let g = social();
+        let q = QueryBuilder::new("pair")
+            .vertex("p", [Predicate::eq("type", "person")])
+            .vertex("c", [Predicate::eq("type", "city")])
+            .build();
+        assert_stream_matches_find(&g, &q, MatchOptions::default());
+        assert_stream_matches_find(&g, &q, MatchOptions::limited(3));
+    }
+
+    #[test]
+    fn stream_of_unsatisfiable_query_is_empty() {
+        let g = social();
+        let q = QueryBuilder::new("robot")
+            .vertex("r", [Predicate::eq("type", "robot")])
+            .build();
+        let m = Matcher::new(&g);
+        assert_eq!(m.stream(&q, MatchOptions::default()).count(), 0);
+        let empty = PatternQuery::new();
+        assert_eq!(m.stream(&empty, MatchOptions::default()).count(), 0);
+    }
+
+    #[test]
+    fn interleaved_streams_do_not_interfere() {
+        let g = social();
+        let q = QueryBuilder::new("p")
+            .vertex("p", [Predicate::eq("type", "person")])
+            .build();
+        let m = Matcher::new(&g);
+        let mut s1 = m.stream(&q, MatchOptions::default());
+        let mut s2 = m.stream(&q, MatchOptions::default());
+        let a1 = s1.next();
+        let b1 = s2.next();
+        let a2 = s1.next();
+        let b2 = s2.next();
+        assert_eq!(a1, b1);
+        assert_eq!(a2, b2);
+        assert_eq!(s1.count(), 1);
+        assert_eq!(s2.count(), 1);
+    }
+}

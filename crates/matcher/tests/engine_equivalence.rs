@@ -3,6 +3,9 @@
 //! the same match sets and the same counts — injectively, homomorphically,
 //! with and without result limits, and with or without an attribute index.
 
+// the deprecated `with_index` shim is part of the surface under test
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 use whyq_graph::{PropertyGraph, Value};
 use whyq_matcher::{count_matches_naive, find_matches_naive, MatchOptions, Matcher, ResultGraph};

@@ -11,6 +11,35 @@ use crate::interval::Interval;
 use crate::query::PatternQuery;
 use std::fmt::Write;
 
+impl PatternQuery {
+    /// Deterministic, canonical textual signature of this query — the key
+    /// the plan cache and the rewriters' memo tables share. Two queries
+    /// with equal signatures have identical live elements (ids, predicate
+    /// sets, type disjunctions, direction sets), so any compilation or
+    /// plan derived from one is valid for the other. Element ids are part
+    /// of the signature: relabeled-but-isomorphic queries deliberately get
+    /// *distinct* signatures — a cached plan binds concrete `QVid`/`QEid`
+    /// slots and must never be served to a query with different ids.
+    pub fn signature(&self) -> String {
+        signature(self)
+    }
+
+    /// FNV-1a hash of [`PatternQuery::signature`] — a stable, platform-
+    /// independent `u64` for callers that want a fixed-width cache key.
+    /// Collisions are possible; cache implementations must verify the full
+    /// signature on a hash hit before serving a cached plan.
+    pub fn signature_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for b in self.signature().bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+}
+
 /// Deterministic, canonical textual signature of a query.
 pub fn signature(q: &PatternQuery) -> String {
     let mut out = String::new();

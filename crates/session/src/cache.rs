@@ -1,0 +1,175 @@
+//! The shared plan cache.
+//!
+//! Compiling a pattern query resolves every attribute name, edge type and
+//! string constant against the graph's dictionaries and runs selectivity
+//! estimation to order the search — work that is identical for every
+//! execution of the same query over the same (immutable) database. The
+//! why-query workloads repeat queries *heavily*: the relax loop and
+//! TRAVERSESEARCHTREE execute hundreds of near-identical candidates, and a
+//! service replays the same patterns verbatim across requests.
+//!
+//! `PlanCache` memoizes `(Compiled, plans)` pairs in an LRU keyed by the
+//! canonical [`whyq_query::PatternQuery::signature`]. The signature
+//! includes element ids, so only queries whose compiled slot layout is
+//! byte-for-byte interchangeable share an entry — relabeled-but-isomorphic
+//! queries deliberately get separate entries (a plan binds concrete
+//! `QVid`/`QEid` slots). The cache is owned by the `Database` and shared
+//! by every `Session`, so one session's compilation warms all of them.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use whyq_matcher::compile::{Compiled, ComponentPlan};
+
+/// A memoized compilation: the dictionary-resolved query plus its
+/// per-component evaluation plans (empty when the query is unsatisfiable —
+/// executing it answers without any scan).
+#[derive(Debug)]
+pub struct CachedPlan {
+    /// The compiled (dictionary-resolved) query.
+    pub compiled: Arc<Compiled>,
+    /// Selectivity-ordered per-component plans; empty ⇔ unsatisfiable
+    /// (or the query has no vertices).
+    pub plans: Arc<Vec<ComponentPlan>>,
+}
+
+/// Cumulative cache counters (exposed via `Session::cache_stats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Prepares answered from the cache.
+    pub hits: u64,
+    /// Prepares that had to compile and plan.
+    pub misses: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub len: usize,
+    /// Configured capacity.
+    pub capacity: usize,
+}
+
+struct Entry {
+    plan: Arc<CachedPlan>,
+    /// Logical timestamp of the last hit or insertion.
+    last_used: u64,
+}
+
+/// Signature-keyed LRU of compiled plans.
+pub struct PlanCache {
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    entries: HashMap<String, Entry>,
+}
+
+impl PlanCache {
+    /// Empty cache holding at most `capacity` plans (0 disables caching —
+    /// every prepare compiles).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Cached plan for `signature`, bumping its recency.
+    pub fn get(&mut self, signature: &str) -> Option<Arc<CachedPlan>> {
+        self.tick += 1;
+        match self.entries.get_mut(signature) {
+            Some(e) => {
+                e.last_used = self.tick;
+                self.hits += 1;
+                Some(Arc::clone(&e.plan))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly compiled plan, evicting the least recently used
+    /// entry when over capacity.
+    pub fn insert(&mut self, signature: String, plan: Arc<CachedPlan>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&signature) {
+            if let Some(lru) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&lru);
+                self.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            signature,
+            Entry {
+                plan,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            len: self.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(sig: &str) -> Arc<CachedPlan> {
+        let _ = sig;
+        Arc::new(CachedPlan {
+            compiled: Arc::new(Compiled::default()),
+            plans: Arc::new(Vec::new()),
+        })
+    }
+
+    #[test]
+    fn hit_miss_and_eviction_counters() {
+        let mut c = PlanCache::new(2);
+        assert!(c.get("a").is_none());
+        c.insert("a".into(), dummy("a"));
+        assert!(c.get("a").is_some());
+        c.insert("b".into(), dummy("b"));
+        // touch a so b is the LRU victim
+        assert!(c.get("a").is_some());
+        c.insert("c".into(), dummy("c"));
+        let s = c.stats();
+        assert_eq!(s.len, 2);
+        assert_eq!(s.evictions, 1);
+        assert!(c.get("a").is_some(), "recently used entry survives");
+        assert!(c.get("b").is_none(), "LRU entry evicted");
+        assert!(c.get("c").is_some());
+        let s = c.stats();
+        assert_eq!(s.hits, 4);
+        assert_eq!(s.misses, 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = PlanCache::new(0);
+        c.insert("a".into(), dummy("a"));
+        assert!(c.get("a").is_none());
+        assert_eq!(c.stats().len, 0);
+    }
+}

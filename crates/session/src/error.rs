@@ -1,0 +1,41 @@
+//! The error surface of the facade.
+//!
+//! Every facade entry point returns `Result<_, WhyqError>` — misuse that
+//! the borrow-heavy pre-facade API answered with a panic (or silently
+//! wrong behavior, like an index configured on an attribute no element
+//! carries) is a value here.
+
+use std::fmt;
+
+/// Errors raised by the `Database`/`Session`/`PreparedQuery` facade.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WhyqError {
+    /// A configured index attribute occurs nowhere in the graph (raised by
+    /// strict configurations — see `DatabaseConfig::strict`).
+    UnknownIndexAttribute {
+        /// The attribute name that matched no element.
+        attr: String,
+    },
+    /// The query violates a structural invariant and can never execute
+    /// meaningfully (e.g. an edge whose direction set is empty).
+    InvalidQuery {
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
+}
+
+impl fmt::Display for WhyqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WhyqError::UnknownIndexAttribute { attr } => {
+                write!(
+                    f,
+                    "index attribute {attr:?} occurs on no vertex of the graph"
+                )
+            }
+            WhyqError::InvalidQuery { reason } => write!(f, "invalid query: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for WhyqError {}

@@ -1,0 +1,581 @@
+//! # whyq-session — the `Database` → `Session` → `PreparedQuery` facade
+//!
+//! The public face of the workspace's query engine. It packages the raw
+//! matching machinery of `whyq-matcher` into the contract a real graph
+//! database exposes (prepared statements and lazy result enumeration are
+//! the baseline of every modern graph query API — see Angles et al.,
+//! *Foundations of Modern Query Languages for Graph Databases*):
+//!
+//! * [`Database::open`] **takes ownership** of a [`PropertyGraph`], seals
+//!   its CSR topology once and builds the *configured* attribute indexes
+//!   ([`DatabaseConfig`] — no more hard-coded `"type"` index buried in an
+//!   engine constructor). Opening validates the configuration; every
+//!   facade entry point returns `Result<_, `[`WhyqError`]`>` instead of
+//!   panicking.
+//! * [`Database::session`] hands out cheap [`Session`] handles. Each
+//!   session owns its scratch arena (the per-worker state that makes
+//!   parallel evaluation possible) while sharing the database's immutable
+//!   graph, indexes and plan cache.
+//! * [`Session::prepare`] compiles a query **once** and memoizes the
+//!   compilation + evaluation plans in a shared LRU keyed by the canonical
+//!   [`PatternQuery::signature`] — repeat queries (the relax loop's
+//!   hundreds of siblings, a service's verbatim replays) skip name
+//!   resolution, selectivity estimation and planning entirely.
+//! * [`PreparedQuery::find`], [`PreparedQuery::count`] and the lazy
+//!   [`PreparedQuery::stream`] execute the cached plan; `stream` yields
+//!   [`ResultGraph`]s straight from the suspendable backtracking DFS
+//!   without materializing the result set.
+//!
+//! ```
+//! use whyq_graph::{PropertyGraph, Value};
+//! use whyq_query::{Predicate, QueryBuilder};
+//! use whyq_session::Database;
+//!
+//! let mut g = PropertyGraph::new();
+//! let anna = g.add_vertex([("type", Value::str("person"))]);
+//! let tud = g.add_vertex([("type", Value::str("university"))]);
+//! g.add_edge(anna, tud, "workAt", []);
+//!
+//! let db = Database::open(g)?;
+//! let session = db.session();
+//! let q = QueryBuilder::new("who-works")
+//!     .vertex("p", [Predicate::eq("type", "person")])
+//!     .vertex("u", [Predicate::eq("type", "university")])
+//!     .edge("p", "u", "workAt")
+//!     .build();
+//!
+//! let prepared = session.prepare(&q)?;
+//! assert_eq!(prepared.count()?, 1);
+//! for result in prepared.stream() {
+//!     assert_eq!(result.vertex(whyq_query::QVid(0)), Some(anna));
+//! }
+//! // a second prepare of the same query is a cache hit
+//! let again = session.prepare(&q)?;
+//! assert_eq!(again.count()?, 1);
+//! assert!(session.cache_stats().hits >= 1);
+//! # Ok::<(), whyq_session::WhyqError>(())
+//! ```
+
+pub mod cache;
+pub mod error;
+
+pub use cache::{CacheStats, PlanCache};
+pub use error::WhyqError;
+
+use cache::CachedPlan;
+use std::sync::{Arc, Mutex};
+use whyq_graph::PropertyGraph;
+use whyq_matcher::{AttrIndex, MatchOptions, MatchStream, Matcher, ResultGraph};
+use whyq_query::PatternQuery;
+
+/// Configuration applied when opening a [`Database`].
+#[derive(Debug, Clone)]
+pub struct DatabaseConfig {
+    /// Vertex attributes to build equality indexes over. Defaults to
+    /// `["type"]` — the attribute the thesis workloads pin on nearly every
+    /// query vertex.
+    pub index_attrs: Vec<String>,
+    /// When `true`, [`Database::open_with`] fails with
+    /// [`WhyqError::UnknownIndexAttribute`] if a configured attribute
+    /// occurs nowhere in the graph; when `false` (default), such
+    /// attributes are skipped — matching the historical behavior of
+    /// building an index lazily and finding nothing to index.
+    pub strict_indexes: bool,
+    /// Capacity of the shared plan cache (entries). `0` disables caching.
+    pub plan_cache_capacity: usize,
+}
+
+impl Default for DatabaseConfig {
+    fn default() -> Self {
+        DatabaseConfig {
+            index_attrs: vec!["type".to_string()],
+            strict_indexes: false,
+            plan_cache_capacity: 256,
+        }
+    }
+}
+
+impl DatabaseConfig {
+    /// Default configuration (a lenient `"type"` index, 256-entry plan
+    /// cache).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Configuration with exactly the given index attributes.
+    pub fn with_indexes<I, S>(attrs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        DatabaseConfig {
+            index_attrs: attrs.into_iter().map(Into::into).collect(),
+            ..Self::default()
+        }
+    }
+
+    /// Configuration with no indexes at all.
+    pub fn unindexed() -> Self {
+        DatabaseConfig {
+            index_attrs: Vec::new(),
+            ..Self::default()
+        }
+    }
+
+    /// Add one index attribute (builder style).
+    pub fn index(mut self, attr: impl Into<String>) -> Self {
+        self.index_attrs.push(attr.into());
+        self
+    }
+
+    /// Require every configured index attribute to occur in the graph.
+    pub fn strict(mut self) -> Self {
+        self.strict_indexes = true;
+        self
+    }
+
+    /// Override the plan cache capacity.
+    pub fn plan_cache_capacity(mut self, capacity: usize) -> Self {
+        self.plan_cache_capacity = capacity;
+        self
+    }
+}
+
+/// An immutable, sealed property graph plus everything derived from it:
+/// configured attribute indexes and the shared plan cache.
+///
+/// A `Database` owns its graph. Sealing happens once at open — every
+/// session reads the same compact CSR topology — and because the graph can
+/// no longer change, compiled plans and index buckets stay valid for the
+/// database's whole lifetime. Reopening (dropping the database and calling
+/// [`Database::open`] on a graph again) naturally starts from an empty
+/// cache: plans never outlive the graph they were compiled against.
+pub struct Database {
+    g: PropertyGraph,
+    config: DatabaseConfig,
+    indexes: Vec<Arc<AttrIndex>>,
+    /// Names of the attributes an index was actually built for (strict
+    /// mode makes this equal to `config.index_attrs`).
+    built_attrs: Vec<String>,
+    cache: Mutex<PlanCache>,
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("vertices", &self.g.num_vertices())
+            .field("edges", &self.g.num_edges())
+            .field("index_attrs", &self.built_attrs)
+            .field("cache", &self.cache_stats())
+            .finish()
+    }
+}
+
+impl Database {
+    /// Open a database over `graph` with the default configuration.
+    pub fn open(graph: PropertyGraph) -> Result<Database, WhyqError> {
+        Self::open_with(graph, DatabaseConfig::default())
+    }
+
+    /// Open a database over `graph`, sealing its topology and building the
+    /// configured indexes. With `config.strict_indexes`, an index attribute
+    /// that occurs nowhere in the graph is an error; otherwise it is
+    /// skipped.
+    pub fn open_with(
+        mut graph: PropertyGraph,
+        config: DatabaseConfig,
+    ) -> Result<Database, WhyqError> {
+        graph.seal();
+        let mut indexes = Vec::new();
+        let mut built_attrs = Vec::new();
+        for attr in &config.index_attrs {
+            match AttrIndex::build(&graph, attr) {
+                Some(idx) => {
+                    indexes.push(Arc::new(idx));
+                    built_attrs.push(attr.clone());
+                }
+                None if config.strict_indexes => {
+                    return Err(WhyqError::UnknownIndexAttribute { attr: attr.clone() });
+                }
+                None => {}
+            }
+        }
+        let cache = Mutex::new(PlanCache::new(config.plan_cache_capacity));
+        Ok(Database {
+            g: graph,
+            config,
+            indexes,
+            built_attrs,
+            cache,
+        })
+    }
+
+    /// The owned (sealed) graph.
+    pub fn graph(&self) -> &PropertyGraph {
+        &self.g
+    }
+
+    /// The configuration the database was opened with.
+    pub fn config(&self) -> &DatabaseConfig {
+        &self.config
+    }
+
+    /// The attribute indexes built at open (shared with every session).
+    pub fn indexes(&self) -> &[Arc<AttrIndex>] {
+        &self.indexes
+    }
+
+    /// Names of the attributes an index was actually built over.
+    pub fn index_attrs(&self) -> &[String] {
+        &self.built_attrs
+    }
+
+    /// A new session: a cheap handle owning its own scratch arena and
+    /// sharing the database's graph, indexes and plan cache.
+    pub fn session(&self) -> Session<'_> {
+        Session {
+            db: self,
+            matcher: Matcher::with_shared_indexes(&self.g, self.indexes.clone()),
+        }
+    }
+
+    /// Counters of the shared plan cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("plan cache poisoned").stats()
+    }
+
+    /// Close the database, handing the graph back (e.g. to mutate and
+    /// reopen). All plans ever cached die with the database.
+    pub fn close(self) -> PropertyGraph {
+        self.g
+    }
+
+    /// Look up or build the cached plan for `q`. The cache lock is held
+    /// only for the probe and the insert — compilation (which samples the
+    /// graph for selectivity estimates) runs outside it, so concurrent
+    /// sessions never serialize on each other's compiles. Two sessions
+    /// racing on the same uncached signature may both compile; the second
+    /// insert wins, which is harmless (both plans are equivalent).
+    fn plan_for(&self, session: &Session<'_>, q: &PatternQuery) -> Arc<CachedPlan> {
+        let sig = q.signature();
+        if let Some(plan) = self.cache.lock().expect("plan cache poisoned").get(&sig) {
+            return plan;
+        }
+        let (compiled, plans) = session.matcher.compile(q);
+        let plan = Arc::new(CachedPlan {
+            compiled: Arc::new(compiled),
+            plans: Arc::new(plans),
+        });
+        self.cache
+            .lock()
+            .expect("plan cache poisoned")
+            .insert(sig, Arc::clone(&plan));
+        plan
+    }
+}
+
+/// Structural validation applied at prepare time — the panics the
+/// pre-facade API reserved for misuse become [`WhyqError::InvalidQuery`].
+fn validate(q: &PatternQuery) -> Result<(), WhyqError> {
+    for e in q.edge_ids() {
+        let ed = q.edge(e).expect("live");
+        if ed.directions.is_empty() {
+            return Err(WhyqError::InvalidQuery {
+                reason: format!("query edge {e} admits no direction"),
+            });
+        }
+        if q.vertex(ed.src).is_none() || q.vertex(ed.dst).is_none() {
+            return Err(WhyqError::InvalidQuery {
+                reason: format!("query edge {e} references a removed vertex"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// A lightweight execution handle: shares the database's graph, indexes
+/// and plan cache, owns its scratch arena.
+///
+/// Sessions are cheap to create and independent — each one can run
+/// searches (and hold suspended [`MatchStream`]s) without contending with
+/// any other session's scratch state. This is the per-worker unit for
+/// parallel evaluation: hand one session to each thread.
+#[derive(Debug)]
+pub struct Session<'db> {
+    db: &'db Database,
+    matcher: Matcher<'db>,
+}
+
+impl<'db> Session<'db> {
+    /// The database this session belongs to.
+    pub fn database(&self) -> &'db Database {
+        self.db
+    }
+
+    /// The session's graph (the database's).
+    pub fn graph(&self) -> &'db PropertyGraph {
+        self.db.graph()
+    }
+
+    /// Prepare `q`: validate it, then fetch its compilation and plans from
+    /// the shared cache (compiling at most once per distinct signature).
+    pub fn prepare(&self, q: &PatternQuery) -> Result<PreparedQuery<'_, 'db>, WhyqError> {
+        validate(q)?;
+        let plan = self.db.plan_for(self, q);
+        Ok(PreparedQuery {
+            session: self,
+            // the caller's own query, not the cache entry's: signatures
+            // exclude display-only fields (the query name), so an
+            // equal-signature cache hit must still report the identity it
+            // was prepared with. Execution is signature-determined, so
+            // running the caller's clone against the cached plan is exact.
+            query: Arc::new(q.clone()),
+            plan,
+        })
+    }
+
+    /// Prepare and enumerate all result graphs of `q`.
+    pub fn find(&self, q: &PatternQuery) -> Result<Vec<ResultGraph>, WhyqError> {
+        self.find_opts(q, MatchOptions::default())
+    }
+
+    /// Prepare and enumerate result graphs of `q` under `opts`.
+    pub fn find_opts(
+        &self,
+        q: &PatternQuery,
+        opts: MatchOptions,
+    ) -> Result<Vec<ResultGraph>, WhyqError> {
+        self.prepare(q)?.find_opts(opts)
+    }
+
+    /// Prepare and count the result graphs of `q` (injective, no cap).
+    pub fn count(&self, q: &PatternQuery) -> Result<u64, WhyqError> {
+        self.count_opts(q, MatchOptions::default())
+    }
+
+    /// Prepare and count the result graphs of `q` under `opts`.
+    pub fn count_opts(&self, q: &PatternQuery, opts: MatchOptions) -> Result<u64, WhyqError> {
+        self.prepare(q)?.count_opts(opts)
+    }
+
+    /// Counters of the shared plan cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.db.cache_stats()
+    }
+}
+
+/// A compiled, planned, cache-resident query bound to a session.
+///
+/// Executing a prepared query runs the cached plan directly: no name
+/// resolution, no selectivity estimation, no planning. All execution
+/// methods may be called any number of times.
+#[derive(Debug)]
+pub struct PreparedQuery<'s, 'db> {
+    session: &'s Session<'db>,
+    query: Arc<PatternQuery>,
+    plan: Arc<CachedPlan>,
+}
+
+impl<'db> PreparedQuery<'_, 'db> {
+    /// The query this handle was prepared with.
+    pub fn query(&self) -> &PatternQuery {
+        &self.query
+    }
+
+    /// The canonical signature the plan is cached under.
+    pub fn signature(&self) -> String {
+        self.query.signature()
+    }
+
+    /// True when compilation proved the query can match nothing in this
+    /// database (unknown attribute/type, a string constant the value
+    /// dictionary has never seen, an empty interval).
+    pub fn is_unsatisfiable(&self) -> bool {
+        self.plan.plans.is_empty() && self.query.num_vertices() > 0
+    }
+
+    /// Enumerate all result graphs (injective).
+    pub fn find(&self) -> Result<Vec<ResultGraph>, WhyqError> {
+        self.find_opts(MatchOptions::default())
+    }
+
+    /// Enumerate result graphs under `opts`. Execution of a prepared plan
+    /// cannot currently fail — the `Result` is the facade's uniform error
+    /// surface, leaving room for execution-time errors (budgets,
+    /// cancellation) without a breaking change.
+    pub fn find_opts(&self, opts: MatchOptions) -> Result<Vec<ResultGraph>, WhyqError> {
+        Ok(self.session.matcher.find_compiled(
+            &self.query,
+            &self.plan.compiled,
+            &self.plan.plans,
+            opts,
+        ))
+    }
+
+    /// Count result graphs (injective, exact).
+    pub fn count(&self) -> Result<u64, WhyqError> {
+        self.count_opts(MatchOptions::default())
+    }
+
+    /// Count result graphs under `opts`, stopping early at `opts.limit` —
+    /// same uniform `Result` surface as [`PreparedQuery::find_opts`].
+    pub fn count_opts(&self, opts: MatchOptions) -> Result<u64, WhyqError> {
+        Ok(self.session.matcher.count_compiled(
+            &self.query,
+            &self.plan.compiled,
+            &self.plan.plans,
+            opts,
+        ))
+    }
+
+    /// Stream result graphs lazily (injective, unlimited): the backtracking
+    /// DFS suspends after every yielded match, so consuming `k` results
+    /// costs `O(k)` search work regardless of the full result size.
+    pub fn stream(&self) -> MatchStream<'db> {
+        self.stream_opts(MatchOptions::default())
+    }
+
+    /// Stream result graphs lazily under `opts`. The stream owns its own
+    /// search state — it stays valid after the prepared query or session
+    /// it came from is dropped, and any number of streams may be in flight
+    /// at once.
+    pub fn stream_opts(&self, opts: MatchOptions) -> MatchStream<'db> {
+        MatchStream::over(
+            self.session.db.graph(),
+            self.session.db.indexes().to_vec(),
+            Arc::clone(&self.query),
+            Arc::clone(&self.plan.compiled),
+            Arc::clone(&self.plan.plans),
+            opts,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whyq_graph::Value;
+    use whyq_query::{Predicate, QueryBuilder};
+
+    fn social() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let a = g.add_vertex([("type", Value::str("person"))]);
+        let b = g.add_vertex([("type", Value::str("person"))]);
+        let city = g.add_vertex([("type", Value::str("city"))]);
+        g.add_edge(a, b, "knows", []);
+        g.add_edge(a, city, "livesIn", []);
+        g.add_edge(b, city, "livesIn", []);
+        g
+    }
+
+    fn pair_query() -> PatternQuery {
+        QueryBuilder::new("pair")
+            .vertex("p1", [Predicate::eq("type", "person")])
+            .vertex("p2", [Predicate::eq("type", "person")])
+            .edge("p1", "p2", "knows")
+            .build()
+    }
+
+    #[test]
+    fn open_builds_configured_indexes() {
+        let db = Database::open(social()).unwrap();
+        assert_eq!(db.index_attrs(), ["type".to_string()]);
+        assert_eq!(db.indexes().len(), 1);
+        let none = Database::open_with(social(), DatabaseConfig::unindexed()).unwrap();
+        assert!(none.indexes().is_empty());
+    }
+
+    #[test]
+    fn strict_config_rejects_unknown_attrs() {
+        let err = Database::open_with(
+            social(),
+            DatabaseConfig::with_indexes(["nonexistent"]).strict(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            WhyqError::UnknownIndexAttribute {
+                attr: "nonexistent".into()
+            }
+        );
+        // lenient mode skips it
+        let db =
+            Database::open_with(social(), DatabaseConfig::with_indexes(["nonexistent"])).unwrap();
+        assert!(db.indexes().is_empty());
+    }
+
+    #[test]
+    fn prepare_executes_and_caches() {
+        let db = Database::open(social()).unwrap();
+        let session = db.session();
+        let q = pair_query();
+        let prepared = session.prepare(&q).unwrap();
+        assert_eq!(prepared.count().unwrap(), 1);
+        assert_eq!(prepared.find().unwrap().len(), 1);
+        assert_eq!(prepared.stream().count(), 1);
+        let before = session.cache_stats();
+        let again = session.prepare(&q).unwrap();
+        assert_eq!(again.count().unwrap(), 1);
+        let after = session.cache_stats();
+        assert_eq!(after.hits, before.hits + 1);
+        assert_eq!(after.misses, before.misses);
+    }
+
+    #[test]
+    fn sessions_share_the_plan_cache() {
+        let db = Database::open(social()).unwrap();
+        let q = pair_query();
+        let s1 = db.session();
+        s1.prepare(&q).unwrap();
+        let s2 = db.session();
+        s2.prepare(&q).unwrap();
+        let stats = db.cache_stats();
+        assert_eq!(stats.misses, 1, "second session reuses the first's plan");
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn invalid_query_is_an_error_not_a_panic() {
+        let db = Database::open(social()).unwrap();
+        let session = db.session();
+        let mut q = pair_query();
+        q.edge_mut(whyq_query::QEid(0))
+            .unwrap()
+            .directions
+            .remove(whyq_query::Direction::Forward);
+        let err = session.prepare(&q).unwrap_err();
+        assert!(matches!(err, WhyqError::InvalidQuery { .. }));
+    }
+
+    #[test]
+    fn unsatisfiable_queries_answer_without_scanning() {
+        let db = Database::open(social()).unwrap();
+        let session = db.session();
+        let q = QueryBuilder::new("robot")
+            .vertex("r", [Predicate::eq("type", "robot")])
+            .build();
+        let prepared = session.prepare(&q).unwrap();
+        assert!(prepared.is_unsatisfiable());
+        assert_eq!(prepared.count().unwrap(), 0);
+        assert!(prepared.find().unwrap().is_empty());
+        assert_eq!(prepared.stream().count(), 0);
+    }
+
+    #[test]
+    fn stream_outlives_session_and_prepared() {
+        let db = Database::open(social()).unwrap();
+        let stream = {
+            let session = db.session();
+            let prepared = session.prepare(&pair_query()).unwrap();
+            prepared.stream()
+        };
+        assert_eq!(stream.count(), 1);
+    }
+
+    #[test]
+    fn close_returns_the_graph() {
+        let db = Database::open(social()).unwrap();
+        let g = db.close();
+        assert_eq!(g.num_vertices(), 3);
+    }
+}

@@ -1,0 +1,290 @@
+//! Integration tests of the facade: plan-cache behavior (hits, misses,
+//! signature discrimination, invalidation on reopen) and the equivalence
+//! of the lazy `stream()` with the eager `find()` and the naive oracle on
+//! randomized queries.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use whyq_graph::{PropertyGraph, Value};
+use whyq_matcher::{find_matches_naive, MatchOptions, ResultGraph};
+use whyq_query::{DirectionSet, PatternQuery, Predicate, QueryBuilder, QueryEdge, QueryVertex};
+use whyq_session::{Database, DatabaseConfig};
+
+fn social() -> PropertyGraph {
+    let mut g = PropertyGraph::new();
+    let a = g.add_vertex([("type", Value::str("person")), ("name", Value::str("Anna"))]);
+    let b = g.add_vertex([("type", Value::str("person")), ("name", Value::str("Bert"))]);
+    let c = g.add_vertex([("type", Value::str("person")), ("name", Value::str("Cleo"))]);
+    let city = g.add_vertex([("type", Value::str("city"))]);
+    g.add_edge(a, b, "knows", []);
+    g.add_edge(b, c, "knows", []);
+    g.add_edge(a, city, "livesIn", []);
+    g.add_edge(b, city, "livesIn", []);
+    g
+}
+
+fn pair_query() -> PatternQuery {
+    QueryBuilder::new("pair")
+        .vertex("p1", [Predicate::eq("type", "person")])
+        .vertex("p2", [Predicate::eq("type", "person")])
+        .edge("p1", "p2", "knows")
+        .build()
+}
+
+// ---------------------------------------------------------------------
+// plan cache
+// ---------------------------------------------------------------------
+
+#[test]
+fn repeat_prepares_hit_the_cache() {
+    let db = Database::open(social()).unwrap();
+    let session = db.session();
+    let q = pair_query();
+    for _ in 0..5 {
+        assert_eq!(session.prepare(&q).unwrap().count().unwrap(), 2);
+    }
+    let stats = session.cache_stats();
+    assert_eq!(stats.misses, 1, "compiled exactly once");
+    assert_eq!(stats.hits, 4);
+    assert_eq!(stats.len, 1);
+}
+
+#[test]
+fn predicate_order_is_signature_invariant() {
+    // two builds of "the same" query with permuted predicate lists share
+    // one cache entry
+    let db = Database::open(social()).unwrap();
+    let session = db.session();
+    let mut q1 = PatternQuery::new();
+    q1.add_vertex(QueryVertex::with([
+        Predicate::eq("type", "person"),
+        Predicate::eq("name", "Anna"),
+    ]));
+    let mut q2 = PatternQuery::new();
+    q2.add_vertex(QueryVertex::with([
+        Predicate::eq("name", "Anna"),
+        Predicate::eq("type", "person"),
+    ]));
+    assert_eq!(q1.signature(), q2.signature());
+    assert_eq!(session.prepare(&q1).unwrap().count().unwrap(), 1);
+    assert_eq!(session.prepare(&q2).unwrap().count().unwrap(), 1);
+    let stats = session.cache_stats();
+    assert_eq!((stats.misses, stats.hits), (1, 1));
+}
+
+#[test]
+fn relabeled_isomorphic_queries_do_not_collide() {
+    // q2 is isomorphic to q1 but its elements carry different ids (a
+    // tombstoned vertex shifts every id by one). The signatures must
+    // differ — a cached plan binds concrete id slots — and each entry
+    // must keep answering correctly for its own query.
+    let db = Database::open(social()).unwrap();
+    let session = db.session();
+    let q1 = pair_query();
+
+    let mut q2 = PatternQuery::new();
+    let dummy = q2.add_vertex(QueryVertex::any());
+    let p1 = q2.add_vertex(QueryVertex::with([Predicate::eq("type", "person")]));
+    let p2 = q2.add_vertex(QueryVertex::with([Predicate::eq("type", "person")]));
+    q2.add_edge(QueryEdge::typed(p1, p2, "knows"));
+    q2.remove_vertex(dummy);
+
+    assert_ne!(q1.signature(), q2.signature());
+    let pr1 = session.prepare(&q1).unwrap();
+    let pr2 = session.prepare(&q2).unwrap();
+    assert_eq!(pr1.count().unwrap(), 2);
+    assert_eq!(pr2.count().unwrap(), 2);
+    // interleave executions — each prepared query keeps its own plan
+    assert_eq!(pr1.find().unwrap().len(), 2);
+    assert_eq!(pr2.find().unwrap().len(), 2);
+    let stats = session.cache_stats();
+    assert_eq!(stats.misses, 2, "two distinct cache entries");
+    assert_eq!(stats.len, 2);
+}
+
+#[test]
+fn signature_hash_is_stable_and_collision_checked() {
+    let q = pair_query();
+    assert_eq!(q.signature_hash(), pair_query().signature_hash());
+    let other = QueryBuilder::new("other")
+        .vertex("c", [Predicate::eq("type", "city")])
+        .build();
+    assert_ne!(q.signature_hash(), other.signature_hash());
+}
+
+#[test]
+fn reopening_a_database_starts_from_a_cold_valid_cache() {
+    let db = Database::open(social()).unwrap();
+    let session = db.session();
+    let q = pair_query();
+    assert_eq!(session.prepare(&q).unwrap().count().unwrap(), 2);
+    assert_eq!(db.cache_stats().misses, 1);
+
+    // close, mutate the graph (a new person + edge), reopen
+    let mut g = db.close();
+    let a = g.add_vertex([("type", Value::str("person"))]);
+    let b = g.add_vertex([("type", Value::str("person"))]);
+    g.add_edge(a, b, "knows", []);
+    let db2 = Database::open(g).unwrap();
+
+    // the new database has an empty cache — nothing stale survives
+    let cold = db2.cache_stats();
+    assert_eq!((cold.hits, cold.misses, cold.len), (0, 0, 0));
+    // and recompilation sees the new data (3 knows pairs now)
+    let session2 = db2.session();
+    assert_eq!(session2.prepare(&q).unwrap().count().unwrap(), 3);
+    assert_eq!(db2.cache_stats().misses, 1);
+}
+
+#[test]
+fn lru_capacity_bounds_the_cache() {
+    let db =
+        Database::open_with(social(), DatabaseConfig::default().plan_cache_capacity(2)).unwrap();
+    let session = db.session();
+    for name in ["Anna", "Bert", "Cleo", "Anna"] {
+        let q = QueryBuilder::new("n")
+            .vertex("p", [Predicate::eq("name", name)])
+            .build();
+        session.prepare(&q).unwrap();
+    }
+    let stats = db.cache_stats();
+    assert!(stats.len <= 2);
+    assert!(stats.evictions >= 1);
+    // "Anna" was evicted before its re-prepare: 4 misses, 0 hits
+    assert_eq!((stats.misses, stats.hits), (4, 0));
+}
+
+// ---------------------------------------------------------------------
+// stream() ≡ find() ≡ naive oracle on randomized queries
+// ---------------------------------------------------------------------
+
+fn build_graph(n: usize, types: &[u8], pairs: &[(u8, u8, bool)]) -> PropertyGraph {
+    let names = ["red", "green", "blue"];
+    let mut g = PropertyGraph::new();
+    let vs: Vec<_> = (0..n)
+        .map(|i| {
+            g.add_vertex([(
+                "type",
+                Value::str(names[types[i % types.len()] as usize % 3]),
+            )])
+        })
+        .collect();
+    for &(a, b, t) in pairs {
+        g.add_edge(
+            vs[a as usize % n],
+            vs[b as usize % n],
+            if t { "link" } else { "flow" },
+            [],
+        );
+    }
+    g
+}
+
+/// A random query shape: a path of `len` vertices with typed edges, plus
+/// an optional disconnected extra vertex (exercising the stream's lazy
+/// cartesian combination) and optional direction-agnostic edges.
+fn build_query(
+    len: usize,
+    types: &[u8],
+    etypes: &[bool],
+    undirected: bool,
+    extra_component: bool,
+) -> PatternQuery {
+    let names = ["red", "green", "blue"];
+    let mut q = PatternQuery::new();
+    let mut prev = None;
+    for i in 0..len {
+        let v = q.add_vertex(QueryVertex::with([Predicate::eq(
+            "type",
+            names[types[i % types.len()] as usize % 3],
+        )]));
+        if let Some(p) = prev {
+            let mut e = QueryEdge::typed(
+                p,
+                v,
+                if etypes[i % etypes.len()] {
+                    "link"
+                } else {
+                    "flow"
+                },
+            );
+            if undirected {
+                e.directions = DirectionSet::BOTH;
+            }
+            q.add_edge(e);
+        }
+        prev = Some(v);
+    }
+    if extra_component {
+        q.add_vertex(QueryVertex::with([Predicate::eq(
+            "type",
+            names[types[0] as usize % 3],
+        )]));
+    }
+    q
+}
+
+fn multiset(results: &[ResultGraph]) -> BTreeMap<String, usize> {
+    let mut m = BTreeMap::new();
+    for r in results {
+        *m.entry(format!("{r:?}")).or_insert(0) += 1;
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `stream()` yields exactly the multiset `find()` returns, which in
+    /// turn is the multiset the naive oracle enumerates.
+    #[test]
+    fn stream_find_and_oracle_agree(
+        n in 2usize..6,
+        vtypes in prop::collection::vec(0u8..3, 6),
+        pairs in prop::collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 1..10),
+        qlen in 1usize..4,
+        qtypes in prop::collection::vec(0u8..3, 4),
+        qetypes in prop::collection::vec(any::<bool>(), 4),
+        undirected in any::<bool>(),
+        extra_component in any::<bool>(),
+        injective in any::<bool>(),
+    ) {
+        let g = build_graph(n, &vtypes, &pairs);
+        let q = build_query(qlen, &qtypes, &qetypes, undirected, extra_component);
+        let opts = MatchOptions { injective, limit: None };
+        let naive = find_matches_naive(&g, &q, opts);
+
+        let db = Database::open(g).expect("open");
+        let session = db.session();
+        let prepared = session.prepare(&q).expect("valid query");
+        let found = prepared.find_opts(opts).expect("find");
+        let streamed: Vec<ResultGraph> = prepared.stream_opts(opts).collect();
+
+        prop_assert_eq!(multiset(&streamed), multiset(&found), "stream vs find");
+        prop_assert_eq!(multiset(&found), multiset(&naive), "find vs naive oracle");
+        prop_assert_eq!(prepared.count_opts(opts).expect("count"), found.len() as u64);
+    }
+
+    /// A limited stream is a prefix of the unlimited eager enumeration.
+    #[test]
+    fn limited_stream_is_a_prefix_of_find(
+        n in 2usize..6,
+        vtypes in prop::collection::vec(0u8..3, 6),
+        pairs in prop::collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 1..10),
+        qlen in 1usize..4,
+        qtypes in prop::collection::vec(0u8..3, 4),
+        qetypes in prop::collection::vec(any::<bool>(), 4),
+        limit in 0usize..5,
+    ) {
+        let g = build_graph(n, &vtypes, &pairs);
+        let q = build_query(qlen, &qtypes, &qetypes, false, false);
+        let db = Database::open(g).expect("open");
+        let session = db.session();
+        let prepared = session.prepare(&q).expect("valid query");
+        let all = prepared.find().expect("find");
+        let some: Vec<ResultGraph> =
+            prepared.stream_opts(MatchOptions::limited(limit)).collect();
+        prop_assert_eq!(some.len(), all.len().min(limit));
+        prop_assert_eq!(&some[..], &all[..some.len()]);
+    }
+}

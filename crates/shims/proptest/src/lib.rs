@@ -274,7 +274,7 @@ tuple_strategy! {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Admissible size specifications for [`vec`].
+    /// Admissible size specifications for [`vec()`].
     pub trait SizeRange {
         /// Pick a concrete length.
         fn pick(&self, rng: &mut TestRng) -> usize;

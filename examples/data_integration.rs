@@ -12,12 +12,13 @@ use whyquery::datagen::{dbpedia_graph, DbpediaConfig};
 use whyquery::prelude::*;
 use whyquery::query::{QEid, QVid};
 
-fn main() {
-    let g = dbpedia_graph(DbpediaConfig::default());
+fn main() -> Result<(), WhyqError> {
+    let db = Database::open(dbpedia_graph(DbpediaConfig::default()))?;
+    let session = db.session();
     println!(
         "DBpedia-like knowledge graph: {} vertices, {} edges",
-        g.num_vertices(),
-        g.num_edges()
+        db.graph().num_vertices(),
+        db.graph().num_edges()
     );
 
     // films starring persons born in "Borduria" — a country that does not
@@ -38,7 +39,7 @@ fn main() {
         .edge("s", "c", "country")
         .build();
 
-    assert_eq!(count_matches(&g, &query, None), 0);
+    assert_eq!(session.count(&query)?, 0);
     println!("query {:?} is empty", query.name.as_deref().unwrap());
 
     // the curator cares about the starring relationship and the film
@@ -48,15 +49,15 @@ fn main() {
     hidden.set_vertex(QVid(0), 1.0); // film
     let curator = SimulatedUser::new(hidden);
 
-    let rewriter = CoarseRewriter::new(&g);
+    let rewriter = CoarseRewriter::new(&db);
     let config = RelaxConfig {
         lambda: 5.0, // let the learned preference model steer
         ..RelaxConfig::default()
     };
-    let (session, model) = rewriter.session(&query, &config, &curator, 0.75, 6);
+    let (outcome, model) = rewriter.session(&query, &config, &curator, 0.75, 6);
 
     println!("\n--- interactive rewriting session ---");
-    for (i, round) in session.rounds.iter().enumerate() {
+    for (i, round) in outcome.rounds.iter().enumerate() {
         println!(
             "round {}: {} candidate queries executed, proposal rated {:.2}",
             i + 1,
@@ -67,16 +68,16 @@ fn main() {
             println!("    - {m}");
         }
     }
-    match session.accepted {
+    match outcome.accepted {
         Some(i) => {
-            let accepted = &session.rounds[i].explanation;
+            let accepted = &outcome.rounds[i].explanation;
             println!(
                 "\naccepted in round {}: {} result(s), syntactic distance {:.3}",
                 i + 1,
                 accepted.cardinality,
                 accepted.syntactic_distance
             );
-            assert!(count_matches(&g, &accepted.query, None) > 0);
+            assert!(session.count(&accepted.query)? > 0);
         }
         None => println!("\nno proposal met the curator's bar"),
     }
@@ -84,4 +85,5 @@ fn main() {
         "preference model learned weights for {} query element(s)",
         model.len()
     );
+    Ok(())
 }

@@ -9,9 +9,9 @@ use whyquery::core::fine::TraverseSearchTree;
 use whyquery::datagen::{ldbc_graph, LdbcConfig};
 use whyquery::prelude::*;
 
-fn main() {
-    let g = ldbc_graph(LdbcConfig::default());
-    let engine = WhyEngine::new(&g);
+fn main() -> Result<(), WhyqError> {
+    let db = Database::open(ldbc_graph(LdbcConfig::default()))?;
+    let engine = WhyEngine::new(&db);
 
     // start from a broad query: every person who knows someone
     let query = QueryBuilder::new("acquaintances")
@@ -19,14 +19,14 @@ fn main() {
         .vertex("p2", [Predicate::eq("type", "person")])
         .edge("p1", "p2", "knows")
         .build();
-    let c0 = engine.cardinality(&query);
+    let c0 = engine.cardinality(&query)?;
 
     // the user wants a shortlist: between 10 and 20 answers
     let goal = CardinalityGoal::Between(10, 20);
     println!("original cardinality: {c0}; goal: 10..=20");
-    println!("classified as: {}", engine.classify(&query, goal));
+    println!("classified as: {}", engine.classify(&query, goal)?);
 
-    let outcome = TraverseSearchTree::new(&g).run(&query, goal);
+    let outcome = TraverseSearchTree::new(&db).run(&query, goal);
 
     println!(
         "\nexecuted {} candidates; search trajectory (executed → best |C_thr−C|):",
@@ -51,4 +51,5 @@ fn main() {
         }
         None => println!("\nbudget exhausted at deviation {}", outcome.best_deviation),
     }
+    Ok(())
 }

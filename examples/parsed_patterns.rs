@@ -11,9 +11,9 @@ use whyquery::datagen::{ldbc_graph, LdbcConfig};
 use whyquery::prelude::*;
 use whyquery::query::parse_query;
 
-fn main() {
-    let g = ldbc_graph(LdbcConfig::default());
-    let engine = WhyEngine::new(&g);
+fn main() -> Result<(), WhyqError> {
+    let db = Database::open(ldbc_graph(LdbcConfig::default()))?;
+    let engine = WhyEngine::new(&db);
 
     let patterns = [
         // a star: a person working somewhere, living somewhere, interested
@@ -31,12 +31,12 @@ fn main() {
 
     for text in patterns {
         let query = parse_query(text).expect("pattern parses");
-        let c = engine.cardinality(&query);
+        let c = engine.cardinality(&query)?;
         println!("pattern: {text}\n  → {c} match(es)");
         if c == 0 {
-            let why = engine.why_empty(&query);
+            let why = engine.why_empty(&query)?;
             println!("  → why empty: {}", why.differential);
-            if let Some(fix) = engine.rewrite(&query, CardinalityGoal::NonEmpty) {
+            if let Some(fix) = engine.rewrite(&query, CardinalityGoal::NonEmpty)? {
                 println!(
                     "  → suggested fix ({} mods, {} results): {}",
                     fix.mods.len(),
@@ -51,4 +51,5 @@ fn main() {
         }
         println!();
     }
+    Ok(())
 }

@@ -1,12 +1,12 @@
-//! Quickstart: build a tiny property graph, run a pattern query that
-//! unexpectedly returns nothing, and ask the why-query engine to explain
-//! and repair it.
+//! Quickstart: open a tiny property graph as a database, run a prepared
+//! pattern query that unexpectedly returns nothing, and ask the why-query
+//! engine to explain and repair it.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use whyquery::prelude::*;
 
-fn main() {
+fn main() -> Result<(), WhyqError> {
     // ----------------------------------------------------------------
     // 1. A tiny data graph: Anna works at TU Dresden, located in Dresden.
     // ----------------------------------------------------------------
@@ -22,6 +22,11 @@ fn main() {
     ]);
     g.add_edge(anna, tud, "workAt", [("sinceYear", Value::Int(2003))]);
     g.add_edge(tud, dresden, "locatedIn", []);
+
+    // opening seals the topology and builds the configured indexes
+    // (default: an equality index over "type")
+    let db = Database::open(g)?;
+    let session = db.session();
 
     // ----------------------------------------------------------------
     // 2. The user asks for people working at a university in *Berlin*.
@@ -40,7 +45,10 @@ fn main() {
         .edge("u", "c", "locatedIn")
         .build();
 
-    let n = count_matches(&g, &query, None);
+    // prepare once — compilation and planning are cached by signature,
+    // so every later execution (and re-prepare) skips them
+    let prepared = session.prepare(&query)?;
+    let n = prepared.count()?;
     println!(
         "query {:?} returned {n} results",
         query.name.as_deref().unwrap()
@@ -50,8 +58,8 @@ fn main() {
     // ----------------------------------------------------------------
     // 3. Why is it empty? — subgraph-based explanation (DISCOVERMCS)
     // ----------------------------------------------------------------
-    let engine = WhyEngine::new(&g);
-    let explanation = engine.why_empty(&query);
+    let engine = WhyEngine::new(&db);
+    let explanation = engine.why_empty(&query)?;
     println!("\n--- subgraph-based explanation ---");
     println!(
         "largest succeeding subquery: {} vertices, {} edges, {} result(s)",
@@ -67,7 +75,7 @@ fn main() {
     // ----------------------------------------------------------------
     // 4. How should the query change? — modification-based explanation
     // ----------------------------------------------------------------
-    let diagnosis = engine.diagnose(&query, CardinalityGoal::NonEmpty);
+    let diagnosis = engine.diagnose(&query, CardinalityGoal::NonEmpty)?;
     println!("\n--- modification-based explanation ---");
     println!("classified problem: {}", diagnosis.problem);
     let rewrite = diagnosis.rewrite.expect("rewriting found a fix");
@@ -80,7 +88,13 @@ fn main() {
         rewrite.cardinality, rewrite.syntactic_distance
     );
 
-    // the rewritten query really works:
-    assert!(count_matches(&g, &rewrite.query, None) > 0);
-    println!("\nquickstart OK");
+    // the rewritten query really works — stream the first witness lazily
+    let fixed = session.prepare(&rewrite.query)?;
+    let witness = fixed.stream().next().expect("repaired query matches");
+    println!(
+        "\nfirst witness binds {} query vertices",
+        witness.vertex_bindings().len()
+    );
+    println!("quickstart OK");
+    Ok(())
 }

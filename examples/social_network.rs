@@ -13,12 +13,13 @@ use whyquery::core::subgraph::BoundedMcs;
 use whyquery::datagen::{ldbc_graph, LdbcConfig};
 use whyquery::prelude::*;
 
-fn main() {
-    let g = ldbc_graph(LdbcConfig::default());
+fn main() -> Result<(), WhyqError> {
+    let db = Database::open(ldbc_graph(LdbcConfig::default()))?;
+    let session = db.session();
     println!(
         "LDBC-like social network: {} vertices, {} edges",
-        g.num_vertices(),
-        g.num_edges()
+        db.graph().num_vertices(),
+        db.graph().num_edges()
     );
 
     // an analyst looks for "female persons who know somebody who lives in
@@ -37,13 +38,21 @@ fn main() {
         .edge("p2", "city", "isLocatedIn")
         .build();
 
-    let c = count_matches(&g, &query, None);
+    let prepared = session.prepare(&query)?;
+    let c = prepared.count()?;
     let budget = 25u64;
     println!("query returns {c} matches — the analyst wanted at most {budget}");
 
+    // the flood never needs to be materialized: stream a handful lazily
+    let preview: Vec<_> = prepared.stream().take(3).collect();
+    println!(
+        "first {} matches pulled lazily from the suspended search",
+        preview.len()
+    );
+
     // --- where does the explosion come from? --------------------------
     let goal = CardinalityGoal::AtMost(budget);
-    let bounded = BoundedMcs::new(&g).run(&query, goal);
+    let bounded = BoundedMcs::new(&db).run(&query, goal);
     println!("\n--- BOUNDEDMCS ---");
     println!(
         "largest subquery within budget: {} edges ({} results)",
@@ -56,7 +65,7 @@ fn main() {
     println!("over-producing part: {}", bounded.differential);
 
     // --- tighten the query automatically ------------------------------
-    let fine = TraverseSearchTree::new(&g)
+    let fine = TraverseSearchTree::new(&db)
         .with_config(FineConfig {
             max_executed: 1500,
             ..FineConfig::default()
@@ -87,4 +96,5 @@ fn main() {
             fine.best_deviation
         ),
     }
+    Ok(())
 }

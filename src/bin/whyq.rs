@@ -16,8 +16,9 @@ use whyquery::core::engine::WhyEngine;
 use whyquery::core::problem::CardinalityGoal;
 use whyquery::datagen::{dbpedia_graph, ldbc_graph, DbpediaConfig, LdbcConfig};
 use whyquery::graph::{io, PropertyGraph};
-use whyquery::matcher::find_matches;
+use whyquery::matcher::MatchOptions;
 use whyquery::query::{parse_query, PatternQuery};
+use whyquery::session::Database;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -135,9 +136,12 @@ fn do_match(args: &[String]) -> Result<(), String> {
         Some(s) => parse_num(s, "limit")?,
         None => 10,
     };
-    let g = load_graph(path)?;
+    let db = Database::open(load_graph(path)?).map_err(|e| e.to_string())?;
+    let session = db.session();
     let q = load_pattern(pattern)?;
-    let results = find_matches(&g, &q, Some(limit));
+    let prepared = session.prepare(&q).map_err(|e| e.to_string())?;
+    // stream lazily: a small --limit never enumerates the full result set
+    let results: Vec<_> = prepared.stream_opts(MatchOptions::limited(limit)).collect();
     println!("{} match(es) (showing up to {limit}):", results.len());
     for (i, r) in results.iter().enumerate() {
         let parts: Vec<String> = r
@@ -165,10 +169,10 @@ fn why(args: &[String]) -> Result<(), String> {
         CardinalityGoal::NonEmpty
     };
 
-    let g = load_graph(path)?;
+    let db = Database::open(load_graph(path)?).map_err(|e| e.to_string())?;
     let q = load_pattern(pattern)?;
-    let engine = WhyEngine::new(&g);
-    let d = engine.diagnose(&q, goal);
+    let engine = WhyEngine::new(&db);
+    let d = engine.diagnose(&q, goal).map_err(|e| e.to_string())?;
     println!("cardinality: {}", d.cardinality);
     println!("problem:     {}", d.problem);
     if let Some(sub) = &d.subgraph {

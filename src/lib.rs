@@ -1,15 +1,22 @@
 //! # whyquery — why-query support for graph databases
 //!
-//! Facade crate re-exporting the whole workspace: a property-graph store, a
+//! Facade crate re-exporting the whole workspace: a property-graph store,
+//! the `Database`/`Session`/`PreparedQuery` query facade, a
 //! predicate-aware pattern matcher, explanation-comparison metrics and the
-//! why-query engine (subgraph-based and modification-based explanations for
-//! empty, too-few and too-many answers), plus seeded workload generators.
+//! why-query engine (subgraph-based and modification-based explanations
+//! for empty, too-few and too-many answers), plus seeded workload
+//! generators.
 //!
 //! Reproduces *"Why-Query Support in Graph Databases"* (E. Vasilyeva,
 //! TU Dresden, 2016). See `DESIGN.md` for the system inventory and
 //! `EXPERIMENTS.md` for the reproduced evaluation.
 //!
 //! ## Quick start
+//!
+//! Build a graph, open it as a [`session::Database`] (which seals the
+//! topology and builds the configured indexes), take a [`session::Session`]
+//! and prepare queries — prepared queries compile once, cache their plans,
+//! and expose eager (`find`/`count`) and lazy (`stream`) execution:
 //!
 //! ```
 //! use whyquery::prelude::*;
@@ -20,6 +27,9 @@
 //! let tud = g.add_vertex([("type", Value::str("university"))]);
 //! g.add_edge(anna, tud, "workAt", [("sinceYear", Value::Int(2003))]);
 //!
+//! let db = Database::open(g)?;
+//! let session = db.session();
+//!
 //! // a pattern query that can never match (wrong year)
 //! let q = QueryBuilder::new("who-works-since-2005")
 //!     .vertex("p", [Predicate::eq("type", "person")])
@@ -28,12 +38,15 @@
 //!                [Predicate::eq("sinceYear", 2005)])
 //!     .build();
 //!
-//! assert_eq!(count_matches(&g, &q, None), 0);
+//! let prepared = session.prepare(&q)?;
+//! assert_eq!(prepared.count()?, 0);
+//! assert!(prepared.stream().next().is_none()); // lazy: no result set built
 //!
 //! // ask the why-query engine what went wrong
-//! let engine = WhyEngine::new(&g);
-//! let explanation = engine.why_empty(&q);
+//! let engine = WhyEngine::new(&db);
+//! let explanation = engine.why_empty(&q)?;
 //! assert!(explanation.differential.edge_ids().count() > 0);
+//! # Ok::<(), WhyqError>(())
 //! ```
 
 pub use whyq_core as core;
@@ -42,14 +55,18 @@ pub use whyq_graph as graph;
 pub use whyq_matcher as matcher;
 pub use whyq_metrics as metrics;
 pub use whyq_query as query;
+pub use whyq_session as session;
 
 /// Convenience imports covering the common API surface.
 pub mod prelude {
     pub use whyq_core::engine::WhyEngine;
     pub use whyq_core::problem::{CardinalityGoal, WhyProblem};
     pub use whyq_graph::{PropertyGraph, Value};
-    pub use whyq_matcher::{count_matches, find_matches, MatchOptions};
+    pub use whyq_matcher::MatchOptions;
+    #[allow(deprecated)] // kept so pre-facade downstream code builds (with warnings)
+    pub use whyq_matcher::{count_matches, find_matches};
     pub use whyq_query::{
         DirectionSet, GraphMod, Interval, PatternQuery, Predicate, QueryBuilder, Target,
     };
+    pub use whyq_session::{Database, DatabaseConfig, PreparedQuery, Session, WhyqError};
 }

@@ -1,0 +1,28 @@
+//! Helpers shared by the top-level integration suites.
+
+// each test binary compiles this module independently and uses a subset
+#![allow(dead_code)]
+
+use whyquery::matcher::ResultGraph;
+use whyquery::prelude::*;
+
+/// Count through a throwaway session — the per-test convenience the
+/// deprecated free function used to provide.
+pub fn count_matches(db: &Database, q: &PatternQuery, limit: Option<u64>) -> u64 {
+    db.session()
+        .count_opts(q, MatchOptions::counting(limit))
+        .expect("test queries are valid")
+}
+
+/// Find through a throwaway session — see [`count_matches`].
+pub fn find_matches(db: &Database, q: &PatternQuery, limit: Option<usize>) -> Vec<ResultGraph> {
+    db.session()
+        .find_opts(
+            q,
+            MatchOptions {
+                injective: true,
+                limit,
+            },
+        )
+        .expect("test queries are valid")
+}

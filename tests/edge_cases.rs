@@ -9,26 +9,29 @@ use whyquery::graph::io;
 use whyquery::prelude::*;
 use whyquery::query::{parse_query, QEid, QVid, QueryEdge, QueryVertex};
 
-fn empty_graph() -> PropertyGraph {
-    PropertyGraph::new()
+fn empty_graph() -> Database {
+    Database::open(PropertyGraph::new()).expect("open")
 }
 
-fn tiny_graph() -> PropertyGraph {
+fn tiny_graph() -> Database {
     let mut g = PropertyGraph::new();
     let a = g.add_vertex([("type", Value::str("thing"))]);
     let b = g.add_vertex([("type", Value::str("thing"))]);
     g.add_edge(a, b, "rel", []);
-    g
+    Database::open(g).expect("open")
 }
+
+mod common;
+use common::{count_matches, find_matches};
 
 #[test]
 fn empty_graph_never_panics() {
-    let g = empty_graph();
+    let db = empty_graph();
     let q = parse_query("(a:thing)-[:rel]->(b:thing)").unwrap();
-    assert_eq!(count_matches(&g, &q, None), 0);
-    assert!(find_matches(&g, &q, None).is_empty());
-    let engine = WhyEngine::new(&g);
-    let d = engine.diagnose(&q, CardinalityGoal::NonEmpty);
+    assert_eq!(count_matches(&db, &q, None), 0);
+    assert!(find_matches(&db, &q, None).is_empty());
+    let engine = WhyEngine::new(&db);
+    let d = engine.diagnose(&q, CardinalityGoal::NonEmpty).unwrap();
     assert_eq!(d.problem, WhyProblem::WhyEmpty);
     // nothing in the graph → whole query fails, no rewrite possible
     let sub = d.subgraph.unwrap();
@@ -38,10 +41,10 @@ fn empty_graph_never_panics() {
 
 #[test]
 fn query_with_unknown_attributes_and_types() {
-    let g = tiny_graph();
+    let db = tiny_graph();
     let q = parse_query("(a {nonexistent = 1})-[:ghostrel]->(b)").unwrap();
-    assert_eq!(count_matches(&g, &q, None), 0);
-    let expl = DiscoverMcs::new(&g).run(&q);
+    assert_eq!(count_matches(&db, &q, None), 0);
+    let expl = DiscoverMcs::new(&db).run(&q);
     // only vertex b (unconstrained) survives
     assert!(expl.mcs.num_edges() == 0);
     assert!(expl.differential.len() >= 2);
@@ -62,8 +65,8 @@ fn tombstone_heavy_queries_stay_consistent() {
     }
     assert_eq!(q.num_vertices(), 2);
     assert_eq!(q.num_edges(), 1);
-    let g = tiny_graph();
-    assert_eq!(count_matches(&g, &q, None), 1);
+    let db = tiny_graph();
+    assert_eq!(count_matches(&db, &q, None), 1);
     // ids beyond the tombstones resolve to None, not panics
     assert!(q.vertex(QVid(5)).is_none());
     assert!(q.edge(QEid(4)).is_none());
@@ -71,26 +74,28 @@ fn tombstone_heavy_queries_stay_consistent() {
 
 #[test]
 fn zero_and_one_caps() {
-    let g = tiny_graph();
+    let db = tiny_graph();
     let q = parse_query("(a:thing)").unwrap();
-    assert_eq!(count_matches(&g, &q, Some(0)), 0);
-    assert_eq!(count_matches(&g, &q, Some(1)), 1);
-    assert!(find_matches(&g, &q, Some(0)).is_empty());
+    assert_eq!(count_matches(&db, &q, Some(0)), 0);
+    assert_eq!(count_matches(&db, &q, Some(1)), 1);
+    assert!(find_matches(&db, &q, Some(0)).is_empty());
 }
 
 #[test]
 fn huge_thresholds_do_not_overflow() {
-    let g = tiny_graph();
+    let db = tiny_graph();
     let q = parse_query("(a:thing)").unwrap();
-    let engine = WhyEngine::new(&g);
-    let d = engine.classify(&q, CardinalityGoal::AtLeast(u64::MAX));
+    let engine = WhyEngine::new(&db);
+    let d = engine
+        .classify(&q, CardinalityGoal::AtLeast(u64::MAX))
+        .unwrap();
     assert_eq!(d, WhyProblem::WhySoFew);
     assert_eq!(
         CardinalityGoal::AtLeast(u64::MAX).deviation(2),
         u64::MAX - 2
     );
     // fine search terminates at budget without finding a fix
-    let out = TraverseSearchTree::new(&g)
+    let out = TraverseSearchTree::new(&db)
         .with_config(FineConfig {
             max_executed: 10,
             ..FineConfig::default()
@@ -113,14 +118,15 @@ fn unicode_attributes_round_trip() {
     // matching on unicode values works
     let mut q = PatternQuery::new();
     q.add_vertex(QueryVertex::with([Predicate::eq("名前", "Анна 😀")]));
-    assert_eq!(count_matches(&g2, &q, None), 1);
+    let db2 = Database::open(g2).expect("open");
+    assert_eq!(count_matches(&db2, &q, None), 1);
 }
 
 #[test]
 fn rewriter_with_zero_lambda_ignores_model() {
-    let g = tiny_graph();
+    let db = tiny_graph();
     let q = parse_query("(a:thing {x = 1})-[:rel]->(b:thing)").unwrap();
-    let rw = CoarseRewriter::new(&g);
+    let rw = CoarseRewriter::new(&db);
     let out = rw.rewrite(
         &q,
         &RelaxConfig {
@@ -137,22 +143,23 @@ fn self_loop_query_on_self_loop_data() {
     let mut g = PropertyGraph::new();
     let v = g.add_vertex([("type", Value::str("node"))]);
     g.add_edge(v, v, "self", []);
+    let db = Database::open(g).expect("open");
     let mut q = PatternQuery::new();
     let qv = q.add_vertex(QueryVertex::with([Predicate::eq("type", "node")]));
     q.add_edge(QueryEdge::typed(qv, qv, "self"));
-    assert_eq!(count_matches(&g, &q, None), 1);
-    let expl = DiscoverMcs::new(&g).run(&q);
+    assert_eq!(count_matches(&db, &q, None), 1);
+    let expl = DiscoverMcs::new(&db).run(&q);
     assert!(expl.differential.is_empty());
 }
 
 #[test]
 fn disconnected_query_with_failing_and_succeeding_components() {
-    let g = tiny_graph();
+    let db = tiny_graph();
     let mut q = PatternQuery::new();
     q.add_vertex(QueryVertex::with([Predicate::eq("type", "thing")]));
     q.add_vertex(QueryVertex::with([Predicate::eq("type", "ghost")]));
-    assert_eq!(count_matches(&g, &q, None), 0); // cartesian with empty part
-    let expl = DiscoverMcs::new(&g)
+    assert_eq!(count_matches(&db, &q, None), 0); // cartesian with empty part
+    let expl = DiscoverMcs::new(&db)
         .with_config(McsConfig::default())
         .run(&q);
     assert!(expl.mcs.vertex(QVid(0)).is_some());
@@ -161,9 +168,9 @@ fn disconnected_query_with_failing_and_succeeding_components() {
 
 #[test]
 fn mcs_with_tiny_intermediate_cap_still_terminates() {
-    let g = tiny_graph();
+    let db = tiny_graph();
     let q = parse_query("(a:thing)-[:rel]->(b:thing)").unwrap();
-    let expl = DiscoverMcs::new(&g)
+    let expl = DiscoverMcs::new(&db)
         .with_config(McsConfig {
             max_intermediate: 1,
             ..McsConfig::default()

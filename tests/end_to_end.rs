@@ -9,30 +9,33 @@ use whyquery::datagen::{
 };
 use whyquery::prelude::*;
 
-fn small_ldbc() -> PropertyGraph {
+mod common;
+use common::count_matches;
+
+fn small_ldbc() -> Database {
     // the default scale guarantees all four workload queries are non-empty
-    ldbc_graph(LdbcConfig::default())
+    Database::open(ldbc_graph(LdbcConfig::default())).expect("open")
 }
 
 #[test]
 fn ldbc_workload_round_trip() {
-    let g = small_ldbc();
-    let engine = WhyEngine::new(&g);
+    let db = small_ldbc();
+    let engine = WhyEngine::new(&db);
     for q in ldbc_queries() {
-        let c = engine.cardinality(&q);
+        let c = engine.cardinality(&q).unwrap();
         assert!(c > 0, "{:?} unexpectedly empty", q.name);
         // a satisfied goal yields no explanations
-        let d = engine.diagnose(&q, CardinalityGoal::NonEmpty);
+        let d = engine.diagnose(&q, CardinalityGoal::NonEmpty).unwrap();
         assert_eq!(d.problem, WhyProblem::Satisfied);
     }
 }
 
 #[test]
 fn failing_ldbc_queries_get_explained_and_repaired() {
-    let g = small_ldbc();
-    let engine = WhyEngine::new(&g);
+    let db = small_ldbc();
+    let engine = WhyEngine::new(&db);
     for q in ldbc_failing_queries() {
-        let d = engine.diagnose(&q, CardinalityGoal::NonEmpty);
+        let d = engine.diagnose(&q, CardinalityGoal::NonEmpty).unwrap();
         assert_eq!(d.problem, WhyProblem::WhyEmpty, "{:?}", q.name);
         // subgraph explanation identifies a non-trivial failed part
         let sub = d.subgraph.expect("subgraph explanation");
@@ -40,14 +43,14 @@ fn failing_ldbc_queries_get_explained_and_repaired() {
         // the MCS itself must be satisfiable (that is its definition)
         if sub.mcs.num_vertices() > 0 {
             assert!(
-                count_matches(&g, &sub.mcs, Some(1)) > 0,
+                count_matches(&db, &sub.mcs, Some(1)) > 0,
                 "{:?}: MCS not satisfiable",
                 q.name
             );
         }
         // the rewrite delivers what it claims
         let rw = d.rewrite.expect("rewrite");
-        let recount = count_matches(&g, &rw.query, Some(rw.cardinality + 1));
+        let recount = count_matches(&db, &rw.query, Some(rw.cardinality + 1));
         assert!(recount > 0, "{:?}: rewrite empty on re-execution", q.name);
         assert!(rw.syntactic_distance > 0.0);
     }
@@ -55,17 +58,17 @@ fn failing_ldbc_queries_get_explained_and_repaired() {
 
 #[test]
 fn mcs_is_maximal_under_exhaustive_paths() {
-    let g = small_ldbc();
+    let db = small_ldbc();
     // exhaustive DISCOVERMCS must dominate the single-path approximation
     for q in ldbc_failing_queries() {
-        let exhaustive = DiscoverMcs::new(&g)
+        let exhaustive = DiscoverMcs::new(&db)
             .with_config(McsConfig {
                 strategy: PathStrategy::Exhaustive,
                 max_paths: 256,
                 ..McsConfig::default()
             })
             .run(&q);
-        let single = DiscoverMcs::new(&g)
+        let single = DiscoverMcs::new(&db)
             .with_config(McsConfig {
                 strategy: PathStrategy::SingleSelectivity,
                 ..McsConfig::default()
@@ -82,20 +85,21 @@ fn mcs_is_maximal_under_exhaustive_paths() {
 
 #[test]
 fn dbpedia_workload_round_trip() {
-    let g = dbpedia_graph(DbpediaConfig {
+    let db = Database::open(dbpedia_graph(DbpediaConfig {
         entities: 800,
         seed: 7,
-    });
-    let engine = WhyEngine::new(&g);
+    }))
+    .expect("open");
+    let engine = WhyEngine::new(&db);
     for q in dbpedia_queries() {
-        assert!(engine.cardinality(&q) > 0, "{:?}", q.name);
+        assert!(engine.cardinality(&q).unwrap() > 0, "{:?}", q.name);
     }
 }
 
 #[test]
 fn rewriting_mods_are_all_relaxations_for_why_empty() {
-    let g = small_ldbc();
-    let rewriter = CoarseRewriter::new(&g);
+    let db = small_ldbc();
+    let rewriter = CoarseRewriter::new(&db);
     for q in ldbc_failing_queries() {
         let out = rewriter.rewrite(&q, &RelaxConfig::default());
         let expl = out.explanation.expect("found");
@@ -112,39 +116,39 @@ fn rewriting_mods_are_all_relaxations_for_why_empty() {
 
 #[test]
 fn too_many_and_too_few_round_trip() {
-    let g = small_ldbc();
-    let engine = WhyEngine::new(&g);
+    let db = small_ldbc();
+    let engine = WhyEngine::new(&db);
     let q = &ldbc_queries()[2]; // co-location triangle
-    let c = engine.cardinality(q);
+    let c = engine.cardinality(q).unwrap();
     assert!(c > 2);
 
     // too many: ask for at most half
     let goal_many = CardinalityGoal::AtMost(c / 2);
-    let d = engine.diagnose(q, goal_many);
+    let d = engine.diagnose(q, goal_many).unwrap();
     assert_eq!(d.problem, WhyProblem::WhySoMany);
     if let Some(rw) = d.rewrite {
-        let recount = count_matches(&g, &rw.query, None);
+        let recount = count_matches(&db, &rw.query, None);
         assert_eq!(recount, rw.cardinality);
         assert!(goal_many.satisfied(recount));
     }
 
     // too few: ask for double
     let goal_few = CardinalityGoal::AtLeast(c * 2);
-    let d = engine.diagnose(q, goal_few);
+    let d = engine.diagnose(q, goal_few).unwrap();
     assert_eq!(d.problem, WhyProblem::WhySoFew);
     if let Some(rw) = d.rewrite {
-        let recount = count_matches(&g, &rw.query, Some(rw.cardinality + 1));
+        let recount = count_matches(&db, &rw.query, Some(rw.cardinality + 1));
         assert!(recount >= c * 2);
     }
 }
 
 #[test]
 fn diagnosis_is_deterministic() {
-    let g = small_ldbc();
-    let engine = WhyEngine::new(&g);
+    let db = small_ldbc();
+    let engine = WhyEngine::new(&db);
     let q = &ldbc_failing_queries()[0];
-    let a = engine.diagnose(q, CardinalityGoal::NonEmpty);
-    let b = engine.diagnose(q, CardinalityGoal::NonEmpty);
+    let a = engine.diagnose(q, CardinalityGoal::NonEmpty).unwrap();
+    let b = engine.diagnose(q, CardinalityGoal::NonEmpty).unwrap();
     let (ra, rb) = (a.rewrite.unwrap(), b.rewrite.unwrap());
     assert_eq!(ra.cardinality, rb.cardinality);
     assert_eq!(

@@ -8,9 +8,12 @@ use whyquery::core::DifferentialGraph;
 use whyquery::prelude::*;
 use whyquery::query::{QEid, QVid, QueryEdge, QueryVertex};
 
+mod common;
+use common::count_matches;
+
 /// Build a small random data graph: `n` vertices with a type out of three,
 /// edges from the pair list, one edge type out of two.
-fn build_graph(n: usize, types: &[u8], pairs: &[(u8, u8, bool)]) -> PropertyGraph {
+fn build_graph(n: usize, types: &[u8], pairs: &[(u8, u8, bool)]) -> Database {
     let mut g = PropertyGraph::new();
     let type_names = ["red", "green", "blue"];
     let vs: Vec<_> = (0..n)
@@ -28,7 +31,7 @@ fn build_graph(n: usize, types: &[u8], pairs: &[(u8, u8, bool)]) -> PropertyGrap
         let (a, b) = (a as usize % n, b as usize % n);
         g.add_edge(vs[a], vs[b], if t { "link" } else { "flow" }, []);
     }
-    g
+    Database::open(g).expect("open")
 }
 
 /// Build a small random connected path query over the same vocabulary.
@@ -71,9 +74,9 @@ proptest! {
         qtypes in prop::collection::vec(0u8..3, 5),
         qetypes in prop::collection::vec(any::<bool>(), 5),
     ) {
-        let g = build_graph(n, &vtypes, &pairs);
+        let db = build_graph(n, &vtypes, &pairs);
         let q = build_query(qlen, &qtypes, &qetypes);
-        let expl = DiscoverMcs::new(&g).run(&q);
+        let expl = DiscoverMcs::new(&db).run(&q);
 
         // complementarity: every query element is either in the MCS or in
         // the differential, never both
@@ -91,12 +94,12 @@ proptest! {
 
         // satisfiability: a non-empty MCS matches something
         if expl.mcs.num_vertices() > 0 {
-            prop_assert!(count_matches(&g, &expl.mcs, Some(1)) > 0);
+            prop_assert!(count_matches(&db, &expl.mcs, Some(1)) > 0);
         }
 
         // consistency: if the query itself succeeds, the differential is
         // empty and vice versa
-        let c = count_matches(&g, &q, Some(1));
+        let c = count_matches(&db, &q, Some(1));
         if c > 0 {
             prop_assert!(expl.differential.is_empty());
         } else {
@@ -115,12 +118,12 @@ proptest! {
         qtypes in prop::collection::vec(0u8..3, 5),
         qetypes in prop::collection::vec(any::<bool>(), 5),
     ) {
-        let g = build_graph(n, &vtypes, &pairs);
+        let db = build_graph(n, &vtypes, &pairs);
         let q = build_query(qlen, &qtypes, &qetypes);
-        let exhaustive = DiscoverMcs::new(&g)
+        let exhaustive = DiscoverMcs::new(&db)
             .with_config(McsConfig { max_paths: 512, ..McsConfig::default() })
             .run(&q);
-        let single = DiscoverMcs::new(&g)
+        let single = DiscoverMcs::new(&db)
             .with_config(McsConfig {
                 strategy: PathStrategy::SingleSelectivity,
                 ..McsConfig::default()
@@ -140,12 +143,12 @@ proptest! {
         qtypes in prop::collection::vec(0u8..3, 5),
         qetypes in prop::collection::vec(any::<bool>(), 5),
     ) {
-        let g = build_graph(n, &vtypes, &pairs);
+        let db = build_graph(n, &vtypes, &pairs);
         let q = build_query(qlen, &qtypes, &qetypes);
-        let engine = WhyEngine::new(&g);
+        let engine = WhyEngine::new(&db);
         let goal = CardinalityGoal::NonEmpty;
-        if let Some(rw) = engine.rewrite(&q, goal) {
-            let c = count_matches(&g, &rw.query, None);
+        if let Some(rw) = engine.rewrite(&q, goal).expect("valid query") {
+            let c = count_matches(&db, &rw.query, None);
             prop_assert_eq!(c, rw.cardinality);
             prop_assert!(goal.satisfied(c));
         }
@@ -161,9 +164,9 @@ proptest! {
         qtypes in prop::collection::vec(0u8..3, 4),
         qetypes in prop::collection::vec(any::<bool>(), 4),
     ) {
-        let g = build_graph(n, &vtypes, &pairs);
+        let db = build_graph(n, &vtypes, &pairs);
         let q = build_query(3, &qtypes, &qetypes); // 3 vertices, 2 edges
-        let expl = DiscoverMcs::new(&g)
+        let expl = DiscoverMcs::new(&db)
             .with_config(McsConfig { max_paths: 512, ..McsConfig::default() })
             .run(&q);
         // enumerate all edge subsets (the query has ≤ 2 edges)
@@ -180,7 +183,7 @@ proptest! {
             if sub.num_vertices() == 0 {
                 continue;
             }
-            if sub.is_connected() && count_matches(&g, &sub, Some(1)) > 0 {
+            if sub.is_connected() && count_matches(&db, &sub, Some(1)) > 0 {
                 best = best.max(subset.len());
             }
         }

@@ -1,11 +1,12 @@
 //! Property-based verification of the matching engine against a
 //! brute-force reference: on small random graphs and queries, the
-//! backtracking matcher must produce exactly the assignments a naive
+//! prepared-query facade (eager `find`, early-terminating `count` and the
+//! lazy `stream`) must produce exactly the assignments a naive
 //! enumerate-all-mappings oracle accepts.
 
 use proptest::prelude::*;
 use whyquery::graph::{EdgeId, PropertyGraph, VertexId};
-use whyquery::matcher::{count_matches, find_matches, ResultGraph};
+use whyquery::matcher::ResultGraph;
 use whyquery::prelude::*;
 use whyquery::query::{QEid, QVid, QueryEdge, QueryVertex};
 
@@ -166,15 +167,22 @@ proptest! {
         let g = build_graph(n, &vtypes, &pairs);
         let q = build_query(qlen, &qtypes, &qetypes, undirected);
         let expected = brute_force_count(&g, &q);
-        let got = count_matches(&g, &q, None);
+        let db = Database::open(g).expect("open");
+        let session = db.session();
+        let prepared = session.prepare(&q).expect("valid query");
+        let got = prepared.count().expect("count");
         prop_assert_eq!(got, expected, "matcher vs brute force");
         // find() agrees with count()
-        let found = find_matches(&g, &q, None);
+        let found = prepared.find().expect("find");
         prop_assert_eq!(found.len() as u64, expected);
+        // the lazy stream yields exactly the eager result sequence
+        let streamed: Vec<ResultGraph> = prepared.stream().collect();
+        prop_assert_eq!(&streamed, &found, "stream vs find");
         // every found match is valid and distinct
+        let g = db.graph();
         let mut seen: Vec<&ResultGraph> = Vec::new();
         for r in &found {
-            prop_assert!(validate(&g, &q, r));
+            prop_assert!(validate(g, &q, r));
             prop_assert!(!seen.contains(&r));
             seen.push(r);
         }
