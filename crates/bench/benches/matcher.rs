@@ -13,10 +13,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
-use whyq_datagen::{ldbc_graph, ldbc_queries, LdbcConfig};
+use whyq_core::relax::{CoarseRewriter, RelaxConfig};
+use whyq_datagen::{ldbc_failing_queries, ldbc_graph, ldbc_queries, LdbcConfig};
 use whyq_matcher::{count_matches_naive, find_matches_naive, AttrIndex, MatchOptions, Matcher};
 use whyq_query::{PatternQuery, Predicate, QueryBuilder};
-use whyq_session::Database;
+use whyq_session::{Database, Executor, ParallelOpts};
 
 /// A string-equality-heavy persona scan over the LDBC person table: every
 /// candidate check is a conjunction of four string equalities plus one on
@@ -117,6 +118,61 @@ fn bench_matcher(c: &mut Criterion) {
         })
     });
 
+    // intra-query parallelism: the co-location triangle (the most
+    // expensive LDBC pattern) over a larger instance, serially vs sharded
+    // into seed-range work units across 4 worker sessions. The `-ser`
+    // twins re-run the serial path under the same prepared-query harness
+    // so `find-par`/`count-par` divide cleanly against them; the larger
+    // graph gives every work unit enough search to amortize worker
+    // startup (on the 300-person default the whole count is ~70µs —
+    // thread scheduling noise, not a measurement).
+    let xl = Database::open(ldbc_graph(LdbcConfig {
+        persons: 2000,
+        seed: 42,
+    }))
+    .expect("open");
+    let xl_session = xl.session();
+    let q3 = &queries[2];
+    let par4 = ParallelOpts::with_threads(4).min_seeds_per_split(1);
+    let serial1 = ParallelOpts::serial();
+    let prepared3 = xl_session.prepare(q3).expect("valid query");
+    group.bench_function("find-ser/LDBC-XL QUERY 3", |b| {
+        b.iter(|| {
+            black_box(
+                prepared3
+                    .find_par_opts(MatchOptions::default(), &serial1)
+                    .expect("find"),
+            )
+        })
+    });
+    group.bench_function("find-par/LDBC-XL QUERY 3", |b| {
+        b.iter(|| {
+            black_box(
+                prepared3
+                    .find_par_opts(MatchOptions::default(), &par4)
+                    .expect("find"),
+            )
+        })
+    });
+    group.bench_function("count-ser/LDBC-XL QUERY 3", |b| {
+        b.iter(|| {
+            black_box(
+                prepared3
+                    .count_par_opts(MatchOptions::default(), &serial1)
+                    .expect("count"),
+            )
+        })
+    });
+    group.bench_function("count-par/LDBC-XL QUERY 3", |b| {
+        b.iter(|| {
+            black_box(
+                prepared3
+                    .count_par_opts(MatchOptions::default(), &par4)
+                    .expect("count"),
+            )
+        })
+    });
+
     group.bench_function("find-limit100/LDBC QUERY 3", |b| {
         b.iter(|| black_box(plain.find(&queries[2], MatchOptions::limited(100))))
     });
@@ -141,5 +197,41 @@ fn bench_matcher(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matcher);
+/// Inter-query parallelism at the engine level: the why-empty relax loop
+/// over a larger LDBC instance, with its sibling-candidate cardinality
+/// probes executed serially vs batched through a 4-thread
+/// `Executor::count_batch`. A fresh rewriter per iteration — the
+/// cardinality cache is rewriter state, and the sibling probes are
+/// exactly what this case measures.
+fn bench_relax_siblings(c: &mut Criterion) {
+    let db = Database::open(ldbc_graph(LdbcConfig {
+        persons: 2000,
+        seed: 42,
+    }))
+    .expect("open");
+    let q = &ldbc_failing_queries()[0];
+    let mut group = c.benchmark_group("relax");
+    group.sample_size(10);
+    group.bench_function("sibling-serial", |b| {
+        b.iter(|| {
+            black_box(
+                CoarseRewriter::new(&db)
+                    .with_executor(Executor::serial())
+                    .rewrite(q, &RelaxConfig::default()),
+            )
+        })
+    });
+    group.bench_function("sibling-batch", |b| {
+        b.iter(|| {
+            black_box(
+                CoarseRewriter::new(&db)
+                    .with_executor(Executor::new(ParallelOpts::with_threads(4)))
+                    .rewrite(q, &RelaxConfig::default()),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matcher, bench_relax_siblings);
 criterion_main!(benches);

@@ -42,6 +42,14 @@ pub struct Diagnosis {
 /// cardinality measurements flow through the database's shared plan cache
 /// — the relax loop's hundreds of sibling candidates pay for compilation
 /// once per distinct signature.
+///
+/// The explanation generators constructed here inherit the
+/// environment-configured executor (`WHYQ_THREADS`, else the machine's
+/// parallelism — see [`whyq_session::ParallelOpts::from_env`]): the relax
+/// loop batches its sibling cardinality probes and the MCS algorithms
+/// probe sibling traversal paths concurrently, each against its own
+/// session arena. Explanations are identical in serial and parallel mode;
+/// construct the generators directly (`with_executor`) to override.
 pub struct WhyEngine<'db> {
     db: &'db Database,
     /// Session reused across every cardinality measurement (its scratch

@@ -27,26 +27,37 @@ use crate::subgraph::traversal::TraversalPath;
 use crate::subgraph::McsConfig;
 use whyq_matcher::{extend_matches, seed_matches, MatchOptions};
 use whyq_query::PatternQuery;
-use whyq_session::{Database, Session};
+use whyq_session::{Database, Executor, Session};
 
 /// The BOUNDEDMCS algorithm (§4.2.2).
 pub struct BoundedMcs<'g> {
     db: &'g Database,
     config: McsConfig,
+    executor: Executor,
 }
 
 impl<'g> BoundedMcs<'g> {
-    /// BOUNDEDMCS over `db` with default configuration.
+    /// BOUNDEDMCS over `db` with default configuration. Sibling traversal
+    /// paths are probed in parallel when the environment enables it
+    /// ([`whyq_session::ParallelOpts::from_env`]); the explanation is
+    /// identical either way.
     pub fn new(db: &'g Database) -> Self {
         BoundedMcs {
             db,
             config: McsConfig::default(),
+            executor: Executor::from_env(),
         }
     }
 
     /// Override the configuration.
     pub fn with_config(mut self, config: McsConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Override the executor used for sibling path probes.
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
         self
     }
 
@@ -120,10 +131,31 @@ impl<'g> BoundedMcs<'g> {
                 .collect::<std::collections::BTreeSet<_>>()
                 .len();
             let paths = paths_for(q, &component, &self.config, &stats);
+            // sibling paths are independent cardinality probes: with a
+            // parallel executor all per-prefix counts are measured
+            // concurrently up front, and the selection loop below replays
+            // them in path order — the bounded MCS it picks is identical
+            // to the serial scan's
+            let precomputed: Option<Vec<(Vec<usize>, u64)>> =
+                if self.executor.is_parallel() && paths.len() > 1 {
+                    Some(self.executor.map_batch(&paths, |path| {
+                        let mut ext = 0u64;
+                        let counts = self.traverse_counts(q, path, cap, &mut ext);
+                        (counts, ext)
+                    }))
+                } else {
+                    None
+                };
             let mut best: Option<PrefixOutcome> = None;
-            for path in &paths {
+            for (pi, path) in paths.iter().enumerate() {
                 paths_tried += 1;
-                let counts = self.traverse_counts(q, path, cap, &mut extensions);
+                let counts = match &precomputed {
+                    Some(all) => {
+                        extensions += all[pi].1;
+                        all[pi].0.clone()
+                    }
+                    None => self.traverse_counts(q, path, cap, &mut extensions),
+                };
                 // longest prefix position with a satisfied cardinality;
                 // position 0 = seed only, position i = i edges traversed
                 let satisfied_len = counts
@@ -299,6 +331,29 @@ mod tests {
         let discover = crate::subgraph::DiscoverMcs::new(&db).run(&q);
         assert_eq!(bounded.mcs.num_edges(), discover.mcs.num_edges());
         assert_eq!(bounded.mcs.num_vertices(), discover.mcs.num_vertices());
+    }
+
+    #[test]
+    fn parallel_path_probes_match_serial() {
+        use whyq_session::{Executor, ParallelOpts};
+        let db = data();
+        let q = star_query();
+        for goal in [
+            CardinalityGoal::AtLeast(5),
+            CardinalityGoal::AtMost(3),
+            CardinalityGoal::NonEmpty,
+        ] {
+            let serial = BoundedMcs::new(&db)
+                .with_executor(Executor::serial())
+                .run(&q, goal);
+            let par = BoundedMcs::new(&db)
+                .with_executor(Executor::new(ParallelOpts::with_threads(4)))
+                .run(&q, goal);
+            assert_eq!(par.mcs.num_edges(), serial.mcs.num_edges(), "{goal:?}");
+            assert_eq!(par.mcs.num_vertices(), serial.mcs.num_vertices());
+            assert_eq!(par.mcs_cardinality, serial.mcs_cardinality);
+            assert_eq!(par.crossing_edge, serial.crossing_edge);
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::subgraph::McsConfig;
 use whyq_graph::PropertyGraph;
 use whyq_matcher::{extend_matches, seed_matches, MatchOptions};
 use whyq_query::{PatternQuery, QEid, QVid};
-use whyq_session::{Database, Session};
+use whyq_session::{Database, Executor, Session};
 
 /// Outcome of traversing one component along its best path.
 #[derive(Debug, Clone)]
@@ -34,12 +34,14 @@ pub(crate) struct PrefixOutcome {
 }
 
 /// Traverse one path, growing the prefix while `satisfied(count)` holds.
+/// (`satisfied` is `Sync` so sibling paths can be traversed concurrently —
+/// see [`best_prefix`].)
 pub(crate) fn traverse_path(
     g: &PropertyGraph,
     q: &PatternQuery,
     path: &TraversalPath,
     cap: usize,
-    satisfied: &dyn Fn(usize) -> bool,
+    satisfied: &(dyn Fn(usize) -> bool + Sync),
     extensions: &mut u64,
 ) -> PrefixOutcome {
     let mut partial = seed_matches(g, q, path.start, cap);
@@ -77,6 +79,12 @@ pub(crate) fn traverse_path(
 
 /// Best prefix over a set of paths for one component: the longest prefix
 /// wins; exploration stops early once a path covers every component edge.
+/// Sibling paths are independent probes, so with a parallel `executor`
+/// they are all traversed concurrently ([`Executor::map_batch`]) and the
+/// fold then replays them in path order *with the same early break* — the
+/// selected prefix and the reported `paths_tried`/`extensions` statistics
+/// are identical to the serial scan's (ties break on the earlier path
+/// either way, and a later path can never beat a complete one).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn best_prefix(
     g: &PropertyGraph,
@@ -84,22 +92,47 @@ pub(crate) fn best_prefix(
     paths: &[TraversalPath],
     component_edges: usize,
     cap: usize,
-    satisfied: &dyn Fn(usize) -> bool,
+    satisfied: &(dyn Fn(usize) -> bool + Sync),
     extensions: &mut u64,
     paths_tried: &mut usize,
+    executor: &Executor,
 ) -> PrefixOutcome {
     let mut best: Option<PrefixOutcome> = None;
-    for path in paths {
-        *paths_tried += 1;
-        let outcome = traverse_path(g, q, path, cap, satisfied, extensions);
-        let better = match &best {
+    let select = |best: &mut Option<PrefixOutcome>, outcome: PrefixOutcome| -> bool {
+        let better = match &*best {
             None => true,
             Some(b) => outcome.prefix.len() > b.prefix.len() || (!b.seed_ok && outcome.seed_ok),
         };
         if better {
             let complete = outcome.prefix.len() == component_edges;
-            best = Some(outcome);
-            if complete {
+            *best = Some(outcome);
+            complete
+        } else {
+            false
+        }
+    };
+    if executor.is_parallel() && paths.len() > 1 {
+        let results = executor.map_batch(paths, |path| {
+            let mut ext = 0u64;
+            let outcome = traverse_path(g, q, path, cap, satisfied, &mut ext);
+            (outcome, ext)
+        });
+        // replay with the serial early-break so the reported
+        // `paths_tried`/`extensions` statistics are bit-identical to
+        // serial mode (the paths computed past the break are the wasted
+        // speculation, not a measurement)
+        for (outcome, ext) in results {
+            *paths_tried += 1;
+            *extensions += ext;
+            if select(&mut best, outcome) {
+                break;
+            }
+        }
+    } else {
+        for path in paths {
+            *paths_tried += 1;
+            let outcome = traverse_path(g, q, path, cap, satisfied, extensions);
+            if select(&mut best, outcome) {
                 break;
             }
         }
@@ -165,20 +198,31 @@ pub(crate) fn assemble_mcs(q: &PatternQuery, outcomes: &[PrefixOutcome]) -> Patt
 pub struct DiscoverMcs<'g> {
     db: &'g Database,
     config: McsConfig,
+    executor: Executor,
 }
 
 impl<'g> DiscoverMcs<'g> {
-    /// DISCOVERMCS over `db` with default configuration.
+    /// DISCOVERMCS over `db` with default configuration. Sibling traversal
+    /// paths are probed in parallel when the environment enables it
+    /// ([`whyq_session::ParallelOpts::from_env`]); the explanation is
+    /// identical either way.
     pub fn new(db: &'g Database) -> Self {
         DiscoverMcs {
             db,
             config: McsConfig::default(),
+            executor: Executor::from_env(),
         }
     }
 
     /// Override the configuration (path strategy, caps, decomposition).
     pub fn with_config(mut self, config: McsConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Override the executor used for sibling path probes.
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
         self
     }
 
@@ -223,6 +267,7 @@ impl<'g> DiscoverMcs<'g> {
                 &satisfied,
                 &mut extensions,
                 &mut paths_tried,
+                &self.executor,
             );
             outcomes.push(outcome);
         }
@@ -348,6 +393,27 @@ mod tests {
         assert!(single.extensions <= exhaustive.extensions);
         // on this simple query the approximation is exact
         assert_eq!(single.mcs.num_edges(), exhaustive.mcs.num_edges());
+    }
+
+    #[test]
+    fn parallel_path_probes_match_serial() {
+        use whyq_session::ParallelOpts;
+        let db = data();
+        let q = failing_query();
+        let serial = DiscoverMcs::new(&db)
+            .with_executor(Executor::serial())
+            .run(&q);
+        let par = DiscoverMcs::new(&db)
+            .with_executor(Executor::new(ParallelOpts::with_threads(4)))
+            .run(&q);
+        assert_eq!(par.mcs.num_edges(), serial.mcs.num_edges());
+        assert_eq!(par.mcs.num_vertices(), serial.mcs.num_vertices());
+        assert_eq!(par.mcs_cardinality, serial.mcs_cardinality);
+        assert_eq!(par.crossing_edge, serial.crossing_edge);
+        // the parallel fold replays the serial early-break, so even the
+        // reported measurement statistics are machine-independent
+        assert_eq!(par.paths_tried, serial.paths_tried);
+        assert_eq!(par.extensions, serial.extensions);
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Cartesian combination of per-component partial bindings.
+//!
+//! Weakly connected query components match independently; a full result
+//! graph is one choice of partial binding per component, merged (§4.3.3).
+//! The blow-up lives entirely in this product, so the combiner is kept
+//! separate from the search: the engine's eager [`combine_components`] and
+//! the streaming DFS's incremental [`FactorOdometer`] enumerate the exact
+//! same order — base component slowest, last factor fastest — which is
+//! also the order the pre-refactor inline loops produced. The parallel
+//! executor of `whyq-session` reuses the same combiner to merge the
+//! per-component outputs of its work units, so serial and parallel
+//! evaluation cannot drift apart in how they count or enumerate products.
+
+use crate::result::ResultGraph;
+
+/// Incremental cartesian enumerator over the result lists of components
+/// `1..n` (the *factors*), combined against a caller-supplied binding of
+/// component `0`.
+///
+/// Digits advance last-fastest, mirroring the nesting order of the eager
+/// product. An odometer over zero factors combines every base with exactly
+/// one (empty) factor choice.
+#[derive(Debug, Default)]
+pub struct FactorOdometer {
+    factors: Vec<Vec<ResultGraph>>,
+    odo: Vec<usize>,
+}
+
+impl FactorOdometer {
+    /// Odometer over `factors`. An empty factor zeroes the product —
+    /// check [`FactorOdometer::is_zero`] before enumerating.
+    pub fn new(factors: Vec<Vec<ResultGraph>>) -> Self {
+        let odo = vec![0; factors.len()];
+        FactorOdometer { factors, odo }
+    }
+
+    /// Number of factor components (excluding the base component).
+    pub fn num_factors(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// True when some factor is empty, making every product empty.
+    pub fn is_zero(&self) -> bool {
+        self.factors.iter().any(Vec::is_empty)
+    }
+
+    /// Merge the current factor choice into `base`.
+    pub fn combine(&self, base: &ResultGraph) -> ResultGraph {
+        let mut r = base.clone();
+        for (factor, &digit) in self.factors.iter().zip(&self.odo) {
+            r = r.merged(&factor[digit]);
+        }
+        r
+    }
+
+    /// Advance to the next factor combination (last digit fastest).
+    /// Returns `false` on wrap-around — every combination for the current
+    /// base has been enumerated and the digits are reset to zero.
+    pub fn advance(&mut self) -> bool {
+        let mut i = self.odo.len();
+        loop {
+            if i == 0 {
+                return false;
+            }
+            i -= 1;
+            self.odo[i] += 1;
+            if self.odo[i] < self.factors[i].len() {
+                return true;
+            }
+            self.odo[i] = 0;
+        }
+    }
+
+    /// Reset the digits for a fresh base binding.
+    pub fn reset(&mut self) {
+        self.odo.iter_mut().for_each(|d| *d = 0);
+    }
+}
+
+/// Eagerly combine per-component result lists into at most `cap` full
+/// result graphs. `per_component[0]` is the base; empty input or any empty
+/// component yields no results (the component must match for the query to
+/// match). A single component is returned as-is (no clone).
+pub fn combine_components(
+    mut per_component: Vec<Vec<ResultGraph>>,
+    cap: usize,
+) -> Vec<ResultGraph> {
+    if cap == 0 || per_component.is_empty() || per_component.iter().any(Vec::is_empty) {
+        return Vec::new();
+    }
+    let base = per_component.remove(0);
+    if per_component.is_empty() {
+        let mut base = base;
+        base.truncate(cap);
+        return base;
+    }
+    let mut odo = FactorOdometer::new(per_component);
+    let mut out = Vec::new();
+    'outer: for b in &base {
+        loop {
+            out.push(odo.combine(b));
+            if out.len() >= cap {
+                break 'outer;
+            }
+            if !odo.advance() {
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whyq_graph::{EdgeId, VertexId};
+    use whyq_query::{QEid, QVid};
+
+    fn binding(slot: u32, dv: u32) -> ResultGraph {
+        let mut r = ResultGraph::new();
+        r.bind_vertex(QVid(slot), VertexId(dv));
+        r
+    }
+
+    #[test]
+    fn single_component_passes_through() {
+        let comp = vec![binding(0, 1), binding(0, 2)];
+        let out = combine_components(vec![comp.clone()], usize::MAX);
+        assert_eq!(out, comp);
+        assert_eq!(combine_components(vec![comp], 1).len(), 1);
+    }
+
+    #[test]
+    fn empty_component_zeroes_the_product() {
+        assert!(combine_components(vec![], 10).is_empty());
+        let comp = vec![binding(0, 1)];
+        assert!(combine_components(vec![comp, vec![]], 10).is_empty());
+    }
+
+    #[test]
+    fn product_order_is_base_major_last_factor_fastest() {
+        let base = vec![binding(0, 0), binding(0, 1)];
+        let f1 = vec![binding(1, 10), binding(1, 11)];
+        let f2 = vec![binding(2, 20), binding(2, 21)];
+        let out = combine_components(vec![base, f1, f2], usize::MAX);
+        assert_eq!(out.len(), 8);
+        let key = |r: &ResultGraph| {
+            (
+                r.vertex(QVid(0)).unwrap().0,
+                r.vertex(QVid(1)).unwrap().0,
+                r.vertex(QVid(2)).unwrap().0,
+            )
+        };
+        let keys: Vec<_> = out.iter().map(key).collect();
+        assert_eq!(
+            keys,
+            vec![
+                (0, 10, 20),
+                (0, 10, 21),
+                (0, 11, 20),
+                (0, 11, 21),
+                (1, 10, 20),
+                (1, 10, 21),
+                (1, 11, 20),
+                (1, 11, 21),
+            ]
+        );
+    }
+
+    #[test]
+    fn cap_truncates_mid_product() {
+        let base = vec![binding(0, 0), binding(0, 1)];
+        let f1 = vec![binding(1, 10), binding(1, 11)];
+        let out = combine_components(vec![base, f1], 3);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn zero_cap_yields_nothing_even_with_factors() {
+        let base = vec![binding(0, 0)];
+        let f1 = vec![binding(1, 10)];
+        assert!(combine_components(vec![base.clone(), f1], 0).is_empty());
+        assert!(combine_components(vec![base], 0).is_empty());
+    }
+
+    #[test]
+    fn odometer_tracks_edges_too() {
+        let mut base = binding(0, 0);
+        base.bind_edge(QEid(0), EdgeId(5));
+        let f1 = vec![binding(1, 10)];
+        let mut odo = FactorOdometer::new(vec![f1]);
+        assert!(!odo.is_zero());
+        let combined = odo.combine(&base);
+        assert_eq!(combined.edge(QEid(0)), Some(EdgeId(5)));
+        assert_eq!(combined.vertex(QVid(1)), Some(VertexId(10)));
+        assert!(!odo.advance(), "single combination wraps immediately");
+        odo.reset();
+    }
+}

@@ -357,6 +357,18 @@ pub struct ComponentPlan {
     pub steps: Vec<Step>,
 }
 
+impl ComponentPlan {
+    /// The query vertex the component's search is seeded from — the
+    /// vertex whose candidate space parallel execution shards into
+    /// [`crate::work::WorkUnit`]s.
+    pub fn seed_vertex(&self) -> QVid {
+        match self.steps.first() {
+            Some(&Step::Seed { vertex }) => vertex,
+            _ => unreachable!("plans start with a Seed step"),
+        }
+    }
+}
+
 /// Build greedy, selectivity-ordered plans for every weakly connected
 /// component of `q`.
 ///

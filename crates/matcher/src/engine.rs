@@ -30,6 +30,7 @@
 use crate::compile::{build_plans, Compiled, ComponentPlan, Step};
 use crate::index::AttrIndex;
 use crate::result::ResultGraph;
+use crate::work::{SeedList, WorkUnit};
 use std::cell::RefCell;
 use std::sync::Arc;
 use whyq_graph::{AdjSlice, CsrTopology, PropertyGraph, Value, VertexId};
@@ -244,6 +245,26 @@ pub(crate) fn seed_source<'m>(
     }
 }
 
+/// Materialize the union of a multi-value disjunction's index buckets
+/// into `out` (cleared first), sorted and deduplicated — repeated
+/// disjunction values would repeat their buckets. The single definition
+/// keeps the recursive engine, the streaming DFS and the parallel work
+/// model ([`Matcher::seed_list`]) drawing identical seed candidates in
+/// identical order.
+pub(crate) fn union_seeds(
+    g: &PropertyGraph,
+    idx: &AttrIndex,
+    vals: &[Value],
+    out: &mut Vec<VertexId>,
+) {
+    out.clear();
+    for v in vals {
+        out.extend_from_slice(idx.lookup(g, v));
+    }
+    out.sort_unstable();
+    out.dedup();
+}
+
 /// A reusable matcher bound to one data graph, optionally with vertex
 /// attribute indexes for seeding and selectivity estimation.
 ///
@@ -368,21 +389,7 @@ impl<'g> Matcher<'g> {
         }
 
         // cartesian combination, capped
-        let mut combined = per_component.remove(0);
-        for comp in per_component {
-            let mut next = Vec::new();
-            'outer: for base in &combined {
-                for extra in &comp {
-                    next.push(base.merged(extra));
-                    if next.len() >= cap {
-                        break 'outer;
-                    }
-                }
-            }
-            combined = next;
-        }
-        combined.truncate(cap);
-        combined
+        crate::combine::combine_components(per_component, cap)
     }
 
     /// Count result graphs under `opts`, stopping early at `opts.limit`
@@ -426,6 +433,139 @@ impl<'g> Matcher<'g> {
         match limit {
             Some(l) => total.min(l),
             None => total,
+        }
+    }
+
+    /// Materialize the seed candidate space of `vertex` (a component
+    /// plan's seed step) in engine order: the dense arena for a full scan,
+    /// a copy of the winning index bucket for an equality-shaped
+    /// predicate, or the sorted, deduplicated union of a multi-value
+    /// disjunction's buckets — exactly the candidates (and order) the
+    /// serial [`Matcher::find_compiled`] search would draw. Any subrange
+    /// of the list is an independently executable [`WorkUnit`].
+    pub fn seed_list(&self, q: &PatternQuery, vertex: QVid) -> SeedList {
+        match seed_source(self.g, &self.indexes, q, vertex) {
+            SeedSource::Scan => SeedList::All(self.g.num_vertices()),
+            SeedSource::Bucket(bucket) => SeedList::List(bucket.to_vec()),
+            SeedSource::Union(idx, vals) => {
+                let mut seeds = Vec::new();
+                union_seeds(self.g, idx, vals, &mut seeds);
+                SeedList::List(seeds)
+            }
+        }
+    }
+
+    /// Execute one [`WorkUnit`]: enumerate the partial bindings of
+    /// component `unit.component` whose seed lies in `unit.range` of
+    /// `seeds`, capped at `opts.limit`. `seeds` must come from
+    /// [`Matcher::seed_list`] for that component's seed vertex (over the
+    /// same graph and indexes) and `compiled`/`plans` from
+    /// [`Matcher::compile`]. Units of one component partition its serial
+    /// result list: concatenating their outputs in range order equals the
+    /// serial enumeration.
+    pub fn find_unit(
+        &self,
+        q: &PatternQuery,
+        compiled: &Compiled,
+        plans: &[ComponentPlan],
+        unit: &WorkUnit,
+        seeds: &SeedList,
+        opts: MatchOptions,
+    ) -> Vec<ResultGraph> {
+        let cap = opts.limit.unwrap_or(usize::MAX);
+        if cap == 0 {
+            return Vec::new();
+        }
+        let mut st = self.scratch.borrow_mut();
+        st.prepare(self.g, q);
+        let mut results = Vec::new();
+        self.eval_unit(
+            q,
+            compiled,
+            &plans[unit.component],
+            opts.injective,
+            seeds,
+            unit.range.clone(),
+            &mut st,
+            &mut |s| {
+                results.push(s.to_result());
+                results.len() < cap
+            },
+        );
+        results
+    }
+
+    /// Count the partial bindings of one [`WorkUnit`] without
+    /// materializing them, stopping early at `opts.limit` — the counting
+    /// twin of [`Matcher::find_unit`].
+    pub fn count_unit(
+        &self,
+        q: &PatternQuery,
+        compiled: &Compiled,
+        plans: &[ComponentPlan],
+        unit: &WorkUnit,
+        seeds: &SeedList,
+        opts: MatchOptions,
+    ) -> u64 {
+        let limit = opts.limit.map(|l| l as u64);
+        let mut st = self.scratch.borrow_mut();
+        st.prepare(self.g, q);
+        let mut c: u64 = 0;
+        self.eval_unit(
+            q,
+            compiled,
+            &plans[unit.component],
+            opts.injective,
+            seeds,
+            unit.range.clone(),
+            &mut st,
+            &mut |_| {
+                c += 1;
+                limit.is_none_or(|l| c < l)
+            },
+        );
+        match limit {
+            Some(l) => c.min(l),
+            None => c,
+        }
+    }
+
+    /// DFS over one component plan with an explicit seed slice: like
+    /// [`Matcher::eval_component`] but the `Seed` step draws candidates
+    /// from `seeds[range]` instead of resolving a seed source itself.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_unit(
+        &self,
+        q: &PatternQuery,
+        compiled: &Compiled,
+        plan: &ComponentPlan,
+        injective: bool,
+        seeds: &SeedList,
+        range: std::ops::Range<usize>,
+        st: &mut Scratch,
+        emit: &mut dyn FnMut(&Scratch) -> bool,
+    ) {
+        let Some(&Step::Seed { vertex }) = plan.steps.first() else {
+            return;
+        };
+        let cx = SearchCtx {
+            q,
+            compiled,
+            steps: &plan.steps,
+            injective,
+        };
+        let cv = compiled.vertex(vertex);
+        for i in range {
+            if i >= seeds.len() {
+                break;
+            }
+            let dv = seeds.get(i);
+            if !cv.accepts(self.g, dv) {
+                continue;
+            }
+            if !self.bind_seed(&cx, 0, st, emit, vertex, dv) {
+                return;
+            }
         }
     }
 
@@ -563,13 +703,7 @@ impl<'g> Matcher<'g> {
                 // below mutates it, and reattached (keeping its allocation)
                 // before returning
                 let mut seeds = std::mem::take(&mut st.seeds);
-                seeds.clear();
-                for v in vals {
-                    seeds.extend_from_slice(idx.lookup(self.g, v));
-                }
-                // repeated disjunction values would repeat their buckets
-                seeds.sort_unstable();
-                seeds.dedup();
+                union_seeds(self.g, idx, vals, &mut seeds);
                 let mut live = true;
                 for &dv in &seeds {
                     if !cv.accepts(self.g, dv) {
@@ -848,11 +982,39 @@ pub fn count_matches(g: &PropertyGraph, q: &PatternQuery, limit: Option<u64>) ->
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the shims under deprecation are exercised on purpose
 mod tests {
     use super::*;
+    use std::sync::Arc;
     use whyq_graph::Value;
     use whyq_query::{DirectionSet, Predicate, QueryBuilder};
+
+    /// Injective count through a throwaway matcher (what the deprecated
+    /// `count_matches` shim wraps).
+    fn count_matches(g: &PropertyGraph, q: &PatternQuery, limit: Option<u64>) -> u64 {
+        Matcher::new(g).count(q, MatchOptions::counting(limit))
+    }
+
+    /// Injective find through a throwaway matcher (what the deprecated
+    /// `find_matches` shim wraps).
+    fn find_matches(g: &PropertyGraph, q: &PatternQuery, limit: Option<usize>) -> Vec<ResultGraph> {
+        Matcher::new(g).find(
+            q,
+            MatchOptions {
+                injective: true,
+                limit,
+            },
+        )
+    }
+
+    /// Matcher with a freshly built index over `attr` (the non-deprecated
+    /// spelling of `with_index`).
+    fn indexed<'g>(g: &'g PropertyGraph, attr: &str) -> Matcher<'g> {
+        let mut m = Matcher::new(g);
+        if let Some(idx) = AttrIndex::build(g, attr) {
+            m.attach_index(Arc::new(idx));
+        }
+        m
+    }
 
     /// Two persons living in one city, knowing each other; a third person in
     /// another city.
@@ -976,6 +1138,18 @@ mod tests {
     }
 
     #[test]
+    fn zero_limit_with_multiple_components_finds_nothing() {
+        let g = social();
+        let q = QueryBuilder::new("pair")
+            .vertex("p", [Predicate::eq("type", "person")])
+            .vertex("c", [Predicate::eq("type", "city")])
+            .build();
+        let m = Matcher::new(&g);
+        assert!(m.find(&q, MatchOptions::limited(0)).is_empty());
+        assert_eq!(m.count(&q, MatchOptions::counting(Some(0))), 0);
+    }
+
+    #[test]
     fn empty_query_has_no_matches() {
         let g = social();
         let q = PatternQuery::new();
@@ -988,10 +1162,8 @@ mod tests {
         let g = social();
         let q = co_located_friends();
         let plain = Matcher::new(&g).count(&q, MatchOptions::default());
-        let indexed = Matcher::new(&g)
-            .with_index("type")
-            .count(&q, MatchOptions::default());
-        assert_eq!(plain, indexed);
+        let with_idx = indexed(&g, "type").count(&q, MatchOptions::default());
+        assert_eq!(plain, with_idx);
     }
 
     #[test]
@@ -1008,12 +1180,10 @@ mod tests {
             .vertex("v", [Predicate::between("year", 2005.0, 2005.0)])
             .build();
         let plain = Matcher::new(&g).count(&q, MatchOptions::default());
-        let indexed = Matcher::new(&g)
-            .with_index("year")
-            .count(&q, MatchOptions::default());
+        let with_idx = indexed(&g, "year").count(&q, MatchOptions::default());
         // both the Int(2005) and the Float(2005.0) vertex match
         assert_eq!(plain, 2);
-        assert_eq!(indexed, 2);
+        assert_eq!(with_idx, 2);
     }
 
     #[test]
@@ -1130,10 +1300,132 @@ mod tests {
     fn scratch_is_reused_across_calls() {
         let g = social();
         let q = co_located_friends();
-        let m = Matcher::new(&g).with_index("type");
+        let m = indexed(&g, "type");
         for _ in 0..3 {
             assert_eq!(m.count(&q, MatchOptions::default()), 1);
             assert_eq!(m.find(&q, MatchOptions::default()).len(), 1);
         }
+    }
+
+    #[test]
+    fn work_units_partition_the_serial_enumeration() {
+        let g = social();
+        let q = co_located_friends();
+        let m = indexed(&g, "type");
+        let (compiled, plans) = m.compile(&q);
+        assert_eq!(plans.len(), 1);
+        let seeds = m.seed_list(&q, plans[0].seed_vertex());
+        let serial = m.find_compiled(&q, &compiled, &plans, MatchOptions::default());
+        // concatenating the units of every split reproduces serial order
+        for chunks in [1usize, 2, 3, 16] {
+            let mut merged = Vec::new();
+            let mut counted = 0u64;
+            for range in crate::work::split_ranges(seeds.len(), chunks) {
+                let unit = WorkUnit {
+                    component: 0,
+                    range,
+                };
+                merged.extend(m.find_unit(
+                    &q,
+                    &compiled,
+                    &plans,
+                    &unit,
+                    &seeds,
+                    MatchOptions::default(),
+                ));
+                counted += m.count_unit(
+                    &q,
+                    &compiled,
+                    &plans,
+                    &unit,
+                    &seeds,
+                    MatchOptions::default(),
+                );
+            }
+            assert_eq!(merged, serial, "chunks={chunks}");
+            assert_eq!(counted, serial.len() as u64);
+        }
+    }
+
+    #[test]
+    fn unit_limits_cap_each_unit() {
+        let g = social();
+        let q = QueryBuilder::new("p")
+            .vertex("p", [Predicate::eq("type", "person")])
+            .build();
+        let m = Matcher::new(&g);
+        let (compiled, plans) = m.compile(&q);
+        let seeds = m.seed_list(&q, plans[0].seed_vertex());
+        let unit = WorkUnit::whole(0, &seeds);
+        let opts = MatchOptions::counting(Some(2));
+        assert_eq!(m.count_unit(&q, &compiled, &plans, &unit, &seeds, opts), 2);
+        assert_eq!(
+            m.find_unit(
+                &q,
+                &compiled,
+                &plans,
+                &unit,
+                &seeds,
+                MatchOptions::limited(2)
+            )
+            .len(),
+            2
+        );
+        // an empty range is a valid unit that finds nothing
+        let empty = WorkUnit {
+            component: 0,
+            range: 0..0,
+        };
+        assert_eq!(
+            m.count_unit(
+                &q,
+                &compiled,
+                &plans,
+                &empty,
+                &seeds,
+                MatchOptions::default()
+            ),
+            0
+        );
+    }
+}
+
+#[cfg(test)]
+#[allow(deprecated)] // this module *is* the deprecation test: the shims
+                     // must keep working until they are removed
+mod deprecated_shim_tests {
+    use super::*;
+    use whyq_graph::Value;
+    use whyq_query::{Predicate, QueryBuilder};
+
+    #[test]
+    fn shims_agree_with_the_matcher_they_wrap() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_vertex([("type", Value::str("person"))]);
+        let b = g.add_vertex([("type", Value::str("person"))]);
+        g.add_edge(a, b, "knows", []);
+        let q = QueryBuilder::new("pair")
+            .vertex("p1", [Predicate::eq("type", "person")])
+            .vertex("p2", [Predicate::eq("type", "person")])
+            .edge("p1", "p2", "knows")
+            .build();
+        let m = Matcher::new(&g);
+        assert_eq!(
+            count_matches(&g, &q, None),
+            m.count(&q, MatchOptions::default())
+        );
+        assert_eq!(
+            find_matches(&g, &q, Some(1)).len(),
+            m.find(&q, MatchOptions::limited(1)).len()
+        );
+        // with_index still builds and uses an index
+        let idx = Matcher::new(&g).with_index("type");
+        assert_eq!(
+            idx.count(&q, MatchOptions::default()),
+            m.count(&q, MatchOptions::default())
+        );
+        // unknown attribute: no-op, not a panic
+        let none = Matcher::new(&g).with_index("nonexistent");
+        assert!(none.indexes().is_empty());
     }
 }

@@ -42,11 +42,23 @@
 //! that yields [`ResultGraph`]s one at a time without materializing the
 //! result set — see [`stream::MatchStream`]).
 //!
+//! ## Work model
+//!
+//! Execution decomposes into component × seed-subrange [`WorkUnit`]s
+//! ([`work`]): each weakly connected component over each slice of its
+//! [`SeedList`] is independently executable ([`Matcher::find_unit`] /
+//! [`Matcher::count_unit`]) against any matcher's private scratch arena,
+//! and per-component partial bindings are merged by the standalone
+//! cartesian combiner ([`combine`]). The `whyq-session` executor builds
+//! its parallel `find_par`/`count_par` on exactly these pieces — serial
+//! evaluation is the one-unit-per-component special case.
+//!
 //! Besides whole-query evaluation the crate exposes the *incremental* API
 //! ([`seed_matches`] / [`extend_matches`]) that the why-query algorithms of
 //! `whyq-core` (DISCOVERMCS, BOUNDEDMCS, change propagation) are built on:
 //! grow a set of partial result graphs by one query edge at a time.
 
+pub mod combine;
 pub mod compile;
 pub mod engine;
 pub mod incremental;
@@ -54,7 +66,9 @@ pub mod index;
 pub mod reference;
 pub mod result;
 pub mod stream;
+pub mod work;
 
+pub use combine::{combine_components, FactorOdometer};
 #[allow(deprecated)] // compatibility re-exports of the deprecated shims
 pub use engine::{count_matches, find_matches};
 pub use engine::{MatchOptions, Matcher};
@@ -63,3 +77,4 @@ pub use index::AttrIndex;
 pub use reference::{count_matches_naive, find_matches_naive};
 pub use result::ResultGraph;
 pub use stream::MatchStream;
+pub use work::{split_ranges, SeedList, WorkUnit};

@@ -20,6 +20,7 @@
 //! in-flight concurrently with each other and with `find`/`count` calls
 //! on the matcher they came from.
 
+use crate::combine::FactorOdometer;
 use crate::compile::{Compiled, ComponentPlan, Step};
 use crate::engine::{seed_source, MatchOptions, Matcher, Scratch, SeedSource};
 use crate::index::AttrIndex;
@@ -86,12 +87,11 @@ pub struct MatchStream<'g> {
     remaining: usize,
     started: bool,
     done: bool,
-    /// Materialized results of components `1..n` (plan order), each capped
-    /// at the stream limit; empty for connected queries.
-    factors: Vec<Vec<ResultGraph>>,
-    /// Odometer over `factors` (last digit fastest — the same nesting
-    /// order `find`'s cartesian combination uses).
-    odo: Vec<usize>,
+    /// Lazy cartesian enumerator over the materialized results of
+    /// components `1..n` (plan order, each factor capped at the stream
+    /// limit; no factors for connected queries). Shared with `find`'s
+    /// eager combination, so product order is identical by construction.
+    odo: FactorOdometer,
     /// Current match of component 0, combined with every factor
     /// combination before the DFS advances.
     cur0: Option<ResultGraph>,
@@ -122,8 +122,7 @@ impl<'g> MatchStream<'g> {
             remaining: opts.limit.unwrap_or(usize::MAX),
             started: false,
             done: false,
-            factors: Vec::new(),
-            odo: Vec::new(),
+            odo: FactorOdometer::default(),
             cur0: None,
             scratch: Scratch::default(),
             stack: Vec::new(),
@@ -140,6 +139,7 @@ impl<'g> MatchStream<'g> {
         }
         self.scratch.prepare(self.g, &self.q);
         let cap = self.remaining;
+        let mut factors = Vec::new();
         for comp in 1..self.plans.len() {
             let factor = self.run_component_to_vec(comp, cap);
             if factor.is_empty() {
@@ -147,9 +147,9 @@ impl<'g> MatchStream<'g> {
                 self.done = true;
                 return;
             }
-            self.factors.push(factor);
+            factors.push(factor);
         }
-        self.odo = vec![0; self.factors.len()];
+        self.odo = FactorOdometer::new(factors);
         self.stack.clear();
         self.push_frame(0, 0);
     }
@@ -190,13 +190,9 @@ impl<'g> MatchStream<'g> {
                     },
                     SeedSource::Union(idx, vals) => {
                         let mut seeds = Vec::new();
-                        for v in vals {
-                            seeds.extend_from_slice(idx.lookup(self.g, v));
-                        }
-                        // repeated disjunction values would repeat their
-                        // buckets — dedup exactly like the engine does
-                        seeds.sort_unstable();
-                        seeds.dedup();
+                        // one shared materializer — the stream's candidate
+                        // order matches the engine's by construction
+                        crate::engine::union_seeds(self.g, idx, vals, &mut seeds);
                         SeedCursor::Fixed { seeds, pos: 0 }
                     }
                 };
@@ -272,7 +268,7 @@ impl Iterator for MatchStream<'_> {
             match self.next_component_match(0) {
                 Some(r) => {
                     self.cur0 = Some(r);
-                    self.odo.iter_mut().for_each(|d| *d = 0);
+                    self.odo.reset();
                 }
                 None => {
                     self.done = true;
@@ -280,28 +276,15 @@ impl Iterator for MatchStream<'_> {
                 }
             }
         }
-        if self.factors.is_empty() {
+        if self.odo.num_factors() == 0 {
             self.remaining -= 1;
             return self.cur0.take();
         }
-        let mut r = self.cur0.as_ref().expect("set above").clone();
-        for (factor, &digit) in self.factors.iter().zip(&self.odo) {
-            r = r.merged(&factor[digit]);
-        }
-        // advance the odometer, last digit fastest; overflow moves the
-        // outer DFS to its next component-0 match
-        let mut i = self.odo.len();
-        loop {
-            if i == 0 {
-                self.cur0 = None;
-                break;
-            }
-            i -= 1;
-            self.odo[i] += 1;
-            if self.odo[i] < self.factors[i].len() {
-                break;
-            }
-            self.odo[i] = 0;
+        let r = self.odo.combine(self.cur0.as_ref().expect("set above"));
+        // odometer overflow moves the outer DFS to its next component-0
+        // match
+        if !self.odo.advance() {
+            self.cur0 = None;
         }
         self.remaining -= 1;
         Some(r)

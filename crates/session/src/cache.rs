@@ -15,10 +15,24 @@
 //! queries deliberately get separate entries (a plan binds concrete
 //! `QVid`/`QEid` slots). The cache is owned by the `Database` and shared
 //! by every `Session`, so one session's compilation warms all of them.
+//!
+//! ## Compile-once under contention
+//!
+//! The cache stores [`PlanSlot`]s, not finished plans: probing for a
+//! signature reserves (or finds) a slot under the cache lock in O(1), and
+//! the *compilation* happens outside the lock through the slot's
+//! [`OnceLock`]. Any number of sessions racing on one uncached signature
+//! therefore serialize on that slot alone — exactly one of them compiles,
+//! the rest block on the `OnceLock` and share the result — while probes
+//! for other signatures proceed untouched. An entry evicted while a
+//! compile is in flight simply detaches: the in-flight sessions finish on
+//! the detached slot (their `Arc` keeps it alive) and a later probe
+//! starts a fresh one.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use whyq_matcher::compile::{Compiled, ComponentPlan};
+use whyq_matcher::SeedList;
 
 /// A memoized compilation: the dictionary-resolved query plus its
 /// per-component evaluation plans (empty when the query is unsatisfiable —
@@ -30,14 +44,45 @@ pub struct CachedPlan {
     /// Selectivity-ordered per-component plans; empty ⇔ unsatisfiable
     /// (or the query has no vertices).
     pub plans: Arc<Vec<ComponentPlan>>,
+    /// Per-component seed candidate lists (`plans`-indexed), materialized
+    /// lazily by the first parallel execution. Graph and indexes are
+    /// immutable for the database's lifetime, so the lists are computed
+    /// once per cached plan and shared by every session and prepare —
+    /// repeat `find_par`/`count_par` calls pay no bucket copies or
+    /// disjunction-union sorts.
+    pub seed_lists: OnceLock<Vec<SeedList>>,
+}
+
+/// One signature's compile-at-most-once cell. Handed out by
+/// [`PlanCache::probe`]; the caller completes it via
+/// [`PlanSlot::get_or_compile`] *outside* the cache lock.
+#[derive(Debug, Default)]
+pub struct PlanSlot {
+    cell: OnceLock<Arc<CachedPlan>>,
+}
+
+impl PlanSlot {
+    /// The cached plan, compiling it with `compile` if this slot has never
+    /// been filled. Concurrent callers on one slot run `compile` exactly
+    /// once; the others block until it finishes and share the result.
+    pub fn get_or_compile(&self, compile: impl FnOnce() -> CachedPlan) -> Arc<CachedPlan> {
+        Arc::clone(self.cell.get_or_init(|| Arc::new(compile())))
+    }
+
+    /// The plan, if some caller already compiled it.
+    pub fn get(&self) -> Option<Arc<CachedPlan>> {
+        self.cell.get().map(Arc::clone)
+    }
 }
 
 /// Cumulative cache counters (exposed via `Session::cache_stats`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Prepares answered from the cache.
+    /// Prepares answered from the cache (slot already present — possibly
+    /// still compiling under another session, which the prepare joins).
     pub hits: u64,
-    /// Prepares that had to compile and plan.
+    /// Prepares that reserved a fresh slot (and will compile it, unless a
+    /// concurrent prepare on the same fresh slot gets there first).
     pub misses: u64,
     /// Entries evicted to respect the capacity bound.
     pub evictions: u64,
@@ -48,12 +93,12 @@ pub struct CacheStats {
 }
 
 struct Entry {
-    plan: Arc<CachedPlan>,
+    slot: Arc<PlanSlot>,
     /// Logical timestamp of the last hit or insertion.
     last_used: u64,
 }
 
-/// Signature-keyed LRU of compiled plans.
+/// Signature-keyed LRU of compile-once plan slots.
 pub struct PlanCache {
     capacity: usize,
     tick: u64,
@@ -65,7 +110,7 @@ pub struct PlanCache {
 
 impl PlanCache {
     /// Empty cache holding at most `capacity` plans (0 disables caching —
-    /// every prepare compiles).
+    /// every probe hands out a detached slot, so every prepare compiles).
     pub fn new(capacity: usize) -> Self {
         PlanCache {
             capacity,
@@ -77,30 +122,24 @@ impl PlanCache {
         }
     }
 
-    /// Cached plan for `signature`, bumping its recency.
-    pub fn get(&mut self, signature: &str) -> Option<Arc<CachedPlan>> {
+    /// The slot for `signature`, plus whether it was already resident
+    /// (`true` = hit). A miss reserves a fresh empty slot — evicting the
+    /// least recently used entry when over capacity — which the caller
+    /// fills via [`PlanSlot::get_or_compile`] outside the cache lock.
+    pub fn probe(&mut self, signature: &str) -> (Arc<PlanSlot>, bool) {
         self.tick += 1;
-        match self.entries.get_mut(signature) {
-            Some(e) => {
-                e.last_used = self.tick;
-                self.hits += 1;
-                Some(Arc::clone(&e.plan))
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
+        if let Some(e) = self.entries.get_mut(signature) {
+            e.last_used = self.tick;
+            self.hits += 1;
+            return (Arc::clone(&e.slot), true);
         }
-    }
-
-    /// Insert a freshly compiled plan, evicting the least recently used
-    /// entry when over capacity.
-    pub fn insert(&mut self, signature: String, plan: Arc<CachedPlan>) {
+        self.misses += 1;
+        let slot = Arc::new(PlanSlot::default());
         if self.capacity == 0 {
-            return;
+            // caching disabled: hand out a detached one-shot slot
+            return (slot, false);
         }
-        self.tick += 1;
-        if self.entries.len() >= self.capacity && !self.entries.contains_key(&signature) {
+        if self.entries.len() >= self.capacity {
             if let Some(lru) = self
                 .entries
                 .iter()
@@ -112,12 +151,13 @@ impl PlanCache {
             }
         }
         self.entries.insert(
-            signature,
+            signature.to_owned(),
             Entry {
-                plan,
+                slot: Arc::clone(&slot),
                 last_used: self.tick,
             },
         );
+        (slot, false)
     }
 
     /// Current counters.
@@ -136,40 +176,69 @@ impl PlanCache {
 mod tests {
     use super::*;
 
-    fn dummy(sig: &str) -> Arc<CachedPlan> {
-        let _ = sig;
-        Arc::new(CachedPlan {
+    fn fill(slot: &Arc<PlanSlot>) {
+        slot.get_or_compile(|| CachedPlan {
             compiled: Arc::new(Compiled::default()),
             plans: Arc::new(Vec::new()),
-        })
+            seed_lists: OnceLock::new(),
+        });
     }
 
     #[test]
     fn hit_miss_and_eviction_counters() {
         let mut c = PlanCache::new(2);
-        assert!(c.get("a").is_none());
-        c.insert("a".into(), dummy("a"));
-        assert!(c.get("a").is_some());
-        c.insert("b".into(), dummy("b"));
+        let (a, hit) = c.probe("a");
+        assert!(!hit);
+        fill(&a);
+        assert!(c.probe("a").1, "second probe hits");
+        let (b, hit) = c.probe("b");
+        assert!(!hit);
+        fill(&b);
         // touch a so b is the LRU victim
-        assert!(c.get("a").is_some());
-        c.insert("c".into(), dummy("c"));
+        assert!(c.probe("a").1);
+        let (_, hit) = c.probe("c");
+        assert!(!hit);
         let s = c.stats();
         assert_eq!(s.len, 2);
         assert_eq!(s.evictions, 1);
-        assert!(c.get("a").is_some(), "recently used entry survives");
-        assert!(c.get("b").is_none(), "LRU entry evicted");
-        assert!(c.get("c").is_some());
+        assert!(c.probe("a").1, "recently used entry survives");
+        assert!(c.probe("c").1);
         let s = c.stats();
-        assert_eq!(s.hits, 4);
-        assert_eq!(s.misses, 2);
+        assert_eq!((s.hits, s.misses), (4, 3));
+        // probing the evicted signature is a miss that re-reserves a
+        // *fresh* slot (the old plan died with the eviction)
+        let (b2, hit) = c.probe("b");
+        assert!(!hit, "LRU entry was evicted");
+        assert!(b2.get().is_none(), "fresh slot, nothing compiled yet");
+        assert_eq!(c.stats().evictions, 2);
     }
 
     #[test]
     fn zero_capacity_disables_caching() {
         let mut c = PlanCache::new(0);
-        c.insert("a".into(), dummy("a"));
-        assert!(c.get("a").is_none());
+        let (slot, hit) = c.probe("a");
+        assert!(!hit);
+        fill(&slot);
+        assert!(!c.probe("a").1, "nothing is retained");
         assert_eq!(c.stats().len, 0);
+    }
+
+    #[test]
+    fn slot_compiles_exactly_once() {
+        let slot = Arc::new(PlanSlot::default());
+        let mut compiles = 0;
+        for _ in 0..3 {
+            slot.get_or_compile(|| {
+                compiles += 1;
+                CachedPlan {
+                    compiled: Arc::new(Compiled::default()),
+                    plans: Arc::new(Vec::new()),
+                    seed_lists: OnceLock::new(),
+                }
+            });
+        }
+        assert_eq!(compiles, 1);
+        assert!(slot.get().is_some());
+        assert!(PlanSlot::default().get().is_none());
     }
 }

@@ -1,0 +1,291 @@
+//! Parallel execution: a scoped-thread work pool over per-worker sessions.
+//!
+//! The why-query engine's dominant cost is *many independent searches*:
+//! hundreds of sibling cardinality probes in the relax loop and the MCS
+//! traversals (inter-query parallelism), and — for one big query — the
+//! independent seed subranges of each weakly connected component
+//! (intra-query parallelism, the `whyq-matcher` work model). Both shapes
+//! reduce to "run N pure tasks against one shared [`Database`]", which is
+//! exactly what [`Executor`] provides, with no dependencies beyond
+//! `std::thread::scope`.
+//!
+//! ## The `Send + Sync` contract
+//!
+//! [`Database`] is `Send + Sync` **by design** (asserted at compile time in
+//! `whyq-session`): the sealed graph and the prebuilt indexes are immutable
+//! after open, and the only mutable shared state — the plan cache — is
+//! behind a `Mutex` whose per-signature slots compile at most once (see
+//! [`crate::cache::PlanCache`]). All mutable *search* state lives in
+//! per-worker [`Session`]s: every worker thread creates its own session
+//! (and with it its own matcher scratch arena), so workers never contend
+//! on anything but the plan-cache lock, which is held only for probes and
+//! inserts, never across a compile or a search.
+//!
+//! ## Determinism
+//!
+//! Task *results* are returned in task order regardless of which worker
+//! ran what, so batch APIs are deterministic functions of their inputs.
+//! Result *order within* a parallel `find_par` is unspecified (documented
+//! on the method); counts and result multisets always equal their serial
+//! counterparts.
+
+use crate::{Database, Session, WhyqError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use whyq_matcher::MatchOptions;
+use whyq_query::PatternQuery;
+
+/// Default seed-range split floor: a component whose seed list is smaller
+/// than this is evaluated as a single unit — below it, thread start-up
+/// outweighs the search.
+pub const DEFAULT_MIN_SEEDS_PER_SPLIT: usize = 64;
+
+/// Tuning knobs of parallel evaluation.
+///
+/// `threads == 1` means strictly serial execution on the calling thread
+/// (no pool, no spawns) — the safe default everywhere determinism of
+/// *timing* matters. `threads > 1` enables the scoped pool; correctness
+/// is unaffected either way (`parallel == serial` is property-tested).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParallelOpts {
+    /// Worker threads to run tasks on (capped at the task count). `0` is
+    /// treated as 1.
+    pub threads: usize,
+    /// Do not shard a component whose seed list holds fewer candidates
+    /// than this; it runs as one work unit instead.
+    pub min_seeds_per_split: usize,
+}
+
+impl ParallelOpts {
+    /// Strictly serial execution (1 thread, no spawns).
+    pub fn serial() -> Self {
+        ParallelOpts {
+            threads: 1,
+            min_seeds_per_split: DEFAULT_MIN_SEEDS_PER_SPLIT,
+        }
+    }
+
+    /// `threads` workers with the default split floor.
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelOpts {
+            threads,
+            min_seeds_per_split: DEFAULT_MIN_SEEDS_PER_SPLIT,
+        }
+    }
+
+    /// Thread count from the environment: the `WHYQ_THREADS` variable when
+    /// set (and parseable), otherwise [`std::thread::available_parallelism`].
+    /// `WHYQ_THREADS=1` (or a single-core machine) therefore disables
+    /// parallel execution engine-wide. The lookup is performed once per
+    /// process and memoized — hot loops calling `find_par()` (whose
+    /// default options come from here) pay no repeated env reads.
+    pub fn from_env() -> Self {
+        static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+        let threads = *ENV_THREADS.get_or_init(|| {
+            std::env::var("WHYQ_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(std::num::NonZeroUsize::get)
+                        .unwrap_or(1)
+                })
+                .max(1)
+        });
+        ParallelOpts {
+            threads,
+            min_seeds_per_split: DEFAULT_MIN_SEEDS_PER_SPLIT,
+        }
+    }
+
+    /// Override the split floor (builder style).
+    pub fn min_seeds_per_split(mut self, min: usize) -> Self {
+        self.min_seeds_per_split = min;
+        self
+    }
+
+    /// Effective worker count (`0` is treated as 1).
+    pub fn effective_threads(&self) -> usize {
+        self.threads.max(1)
+    }
+}
+
+impl Default for ParallelOpts {
+    /// The environment-derived configuration — see [`ParallelOpts::from_env`].
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// A dependency-free scoped-thread task pool bound to a [`ParallelOpts`].
+///
+/// Every batch call spawns up to `threads` scoped workers that pull task
+/// indices off a shared atomic counter and write results into per-task
+/// slots; the scope joins before returning, so borrowed inputs (the
+/// database, the query list) need no `'static` lifetimes and a panicking
+/// task propagates to the caller instead of being lost. With `threads <=
+/// 1` (or a single task) every batch runs inline on the calling thread —
+/// serial fallback is the absence of the pool, not a special mode.
+///
+/// Spawn-per-batch is a deliberate trade: a persistent pool over borrowed
+/// data would need `'static` task plumbing (or unsafe), while a scoped
+/// spawn costs on the order of ten microseconds per worker. Batches
+/// should therefore carry at least ~100µs of work each — which is what
+/// `min_seeds_per_split` enforces for seed sharding, and why the relax
+/// loop's sibling batcher only fans out when at least two uncached
+/// probes are pending.
+///
+/// See the [module docs](self) for the `Database: Send + Sync` contract
+/// and determinism guarantees.
+#[derive(Debug, Clone, Default)]
+pub struct Executor {
+    opts: ParallelOpts,
+}
+
+impl Executor {
+    /// Executor over explicit options.
+    pub fn new(opts: ParallelOpts) -> Self {
+        Executor { opts }
+    }
+
+    /// Executor configured from the environment ([`ParallelOpts::from_env`]).
+    pub fn from_env() -> Self {
+        Executor::new(ParallelOpts::from_env())
+    }
+
+    /// Strictly serial executor (all batches run inline).
+    pub fn serial() -> Self {
+        Executor::new(ParallelOpts::serial())
+    }
+
+    /// The configured options.
+    pub fn opts(&self) -> &ParallelOpts {
+        &self.opts
+    }
+
+    /// Effective worker count.
+    pub fn threads(&self) -> usize {
+        self.opts.effective_threads()
+    }
+
+    /// True when batches may actually run on more than one thread.
+    pub fn is_parallel(&self) -> bool {
+        self.threads() > 1
+    }
+
+    /// Run `f` over every item of `items`, returning results in item
+    /// order. Tasks are pure functions of their item — `f` is shared by
+    /// reference across workers, so it must be `Sync` and should not
+    /// depend on execution order.
+    pub fn map_batch<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send + Sync,
+        F: Fn(&I) -> T + Sync,
+    {
+        self.dispatch(items.len(), || (), |(), i| f(&items[i]))
+    }
+
+    /// Count every query of `queries` against `db` under `opts`, returning
+    /// per-query results in query order. Each worker owns one session, so
+    /// sibling probes share the database's plan cache and indexes but
+    /// never a scratch arena — the batched form of the relax loop's and
+    /// the MCS algorithms' cardinality probes.
+    pub fn count_batch(
+        &self,
+        db: &Database,
+        queries: &[&PatternQuery],
+        opts: MatchOptions,
+    ) -> Vec<Result<u64, WhyqError>> {
+        self.dispatch(
+            queries.len(),
+            || db.session(),
+            |session, i| session.count_opts(queries[i], opts),
+        )
+    }
+
+    /// Run `task(state, i)` for `i in 0..n` across the pool, where each
+    /// worker initializes its own `state` once (e.g. a [`Session`]) and
+    /// reuses it for every task it pulls. Results come back in task order.
+    pub(crate) fn dispatch<S, T, Init, Task>(&self, n: usize, init: Init, task: Task) -> Vec<T>
+    where
+        T: Send + Sync,
+        Init: Fn() -> S + Sync,
+        Task: Fn(&mut S, usize) -> T + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads().min(n);
+        if workers <= 1 {
+            let mut state = init();
+            return (0..n).map(|i| task(&mut state, i)).collect();
+        }
+        let slots: Vec<OnceLock<T>> = (0..n).map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut state = init();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let _ = slots[i].set(task(&mut state, i));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("every task index was dispatched"))
+            .collect()
+    }
+}
+
+/// A worker-session batch runner used by `find_par`/`count_par`: runs
+/// `task(&session, i)` for `i in 0..n` with one [`Session`] per worker.
+pub(crate) fn run_with_sessions<'db, T, Task>(
+    exec: &Executor,
+    db: &'db Database,
+    n: usize,
+    task: Task,
+) -> Vec<T>
+where
+    T: Send + Sync,
+    Task: Fn(&Session<'db>, usize) -> T + Sync,
+{
+    exec.dispatch(n, || db.session(), |session, i| task(session, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_batch_preserves_order() {
+        for threads in [1usize, 2, 8] {
+            let exec = Executor::new(ParallelOpts::with_threads(threads));
+            let items: Vec<usize> = (0..100).collect();
+            let out = exec.map_batch(&items, |&i| i * 2);
+            assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        }
+        assert!(Executor::serial()
+            .map_batch(&Vec::<u8>::new(), |_| 0)
+            .is_empty());
+    }
+
+    #[test]
+    fn opts_floor_zero_threads_to_one() {
+        let opts = ParallelOpts {
+            threads: 0,
+            min_seeds_per_split: 0,
+        };
+        let exec = Executor::new(opts);
+        assert_eq!(exec.threads(), 1);
+        assert!(!exec.is_parallel());
+        assert_eq!(ParallelOpts::serial().effective_threads(), 1);
+        assert!(ParallelOpts::from_env().effective_threads() >= 1);
+    }
+}

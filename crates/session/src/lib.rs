@@ -58,15 +58,28 @@
 
 pub mod cache;
 pub mod error;
+pub mod executor;
 
 pub use cache::{CacheStats, PlanCache};
 pub use error::WhyqError;
+pub use executor::{Executor, ParallelOpts, DEFAULT_MIN_SEEDS_PER_SPLIT};
 
 use cache::CachedPlan;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use whyq_graph::PropertyGraph;
-use whyq_matcher::{AttrIndex, MatchOptions, MatchStream, Matcher, ResultGraph};
+use whyq_matcher::{
+    combine_components, split_ranges, AttrIndex, MatchOptions, MatchStream, Matcher, ResultGraph,
+    SeedList, WorkUnit,
+};
 use whyq_query::PatternQuery;
+
+// `Executor` workers share one `&Database` across scoped threads; this
+// trips at compile time if a future field ever breaks that contract.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Database>();
+};
 
 /// Configuration applied when opening a [`Database`].
 #[derive(Debug, Clone)]
@@ -158,6 +171,10 @@ pub struct Database {
     /// mode makes this equal to `config.index_attrs`).
     built_attrs: Vec<String>,
     cache: Mutex<PlanCache>,
+    /// Number of plan compilations actually performed — under contention
+    /// this stays equal to the number of distinct uncached signatures
+    /// prepared (the compile-once guarantee of [`cache::PlanSlot`]).
+    compiles: AtomicU64,
 }
 
 impl std::fmt::Debug for Database {
@@ -207,6 +224,7 @@ impl Database {
             indexes,
             built_attrs,
             cache,
+            compiles: AtomicU64::new(0),
         })
     }
 
@@ -244,6 +262,16 @@ impl Database {
         self.cache.lock().expect("plan cache poisoned").stats()
     }
 
+    /// Number of plan compilations this database has performed. Distinct
+    /// from [`CacheStats::misses`]: concurrent prepares racing on one
+    /// uncached signature all count as misses of the cache probe, but the
+    /// per-signature [`cache::PlanSlot`] guarantees exactly one of them
+    /// compiles — so absent evictions this equals the number of distinct
+    /// signatures ever prepared, under any amount of contention.
+    pub fn compile_count(&self) -> u64 {
+        self.compiles.load(Ordering::Relaxed)
+    }
+
     /// Close the database, handing the graph back (e.g. to mutate and
     /// reopen). All plans ever cached die with the database.
     pub fn close(self) -> PropertyGraph {
@@ -251,26 +279,24 @@ impl Database {
     }
 
     /// Look up or build the cached plan for `q`. The cache lock is held
-    /// only for the probe and the insert — compilation (which samples the
-    /// graph for selectivity estimates) runs outside it, so concurrent
-    /// sessions never serialize on each other's compiles. Two sessions
-    /// racing on the same uncached signature may both compile; the second
-    /// insert wins, which is harmless (both plans are equivalent).
+    /// only to probe-or-reserve the signature's slot — compilation (which
+    /// samples the graph for selectivity estimates) runs outside it, so
+    /// concurrent sessions never serialize on each other's compiles.
+    /// Sessions racing on the *same* uncached signature serialize on that
+    /// signature's slot alone: exactly one compiles, the rest share its
+    /// result (see [`cache::PlanCache`]).
     fn plan_for(&self, session: &Session<'_>, q: &PatternQuery) -> Arc<CachedPlan> {
         let sig = q.signature();
-        if let Some(plan) = self.cache.lock().expect("plan cache poisoned").get(&sig) {
-            return plan;
-        }
-        let (compiled, plans) = session.matcher.compile(q);
-        let plan = Arc::new(CachedPlan {
-            compiled: Arc::new(compiled),
-            plans: Arc::new(plans),
-        });
-        self.cache
-            .lock()
-            .expect("plan cache poisoned")
-            .insert(sig, Arc::clone(&plan));
-        plan
+        let (slot, _hit) = self.cache.lock().expect("plan cache poisoned").probe(&sig);
+        slot.get_or_compile(|| {
+            self.compiles.fetch_add(1, Ordering::Relaxed);
+            let (compiled, plans) = session.matcher.compile(q);
+            CachedPlan {
+                compiled: Arc::new(compiled),
+                plans: Arc::new(plans),
+                seed_lists: std::sync::OnceLock::new(),
+            }
+        })
     }
 }
 
@@ -428,6 +454,175 @@ impl<'db> PreparedQuery<'_, 'db> {
         ))
     }
 
+    /// Enumerate all result graphs (injective) across the threads of the
+    /// environment-configured pool — see [`PreparedQuery::find_par_opts`].
+    pub fn find_par(&self) -> Result<Vec<ResultGraph>, WhyqError> {
+        self.find_par_opts(MatchOptions::default(), &ParallelOpts::default())
+    }
+
+    /// Enumerate result graphs under `opts` in parallel: each weakly
+    /// connected component's seed set is sharded into [`WorkUnit`]s
+    /// (subranges of at least `par.min_seeds_per_split` seeds), executed
+    /// across up to `par.threads` workers — each owning its own session
+    /// arena — and merged through the matcher's cartesian combiner.
+    ///
+    /// Returns exactly the multiset [`PreparedQuery::find_opts`] returns.
+    /// **Result order is unspecified in parallel mode** (the current
+    /// implementation happens to preserve serial order, but only the
+    /// multiset is contractual); under a `limit`, *which* results survive
+    /// the cap is likewise unspecified. Queries too small to shard — or a
+    /// 1-thread configuration — fall back to the serial path unchanged.
+    pub fn find_par_opts(
+        &self,
+        opts: MatchOptions,
+        par: &ParallelOpts,
+    ) -> Result<Vec<ResultGraph>, WhyqError> {
+        let Some((units, seed_lists)) = self.shard(par) else {
+            return self.find_opts(opts);
+        };
+        let exec = Executor::new(par.clone());
+        let query = &*self.query;
+        let compiled = &*self.plan.compiled;
+        let plans = &*self.plan.plans;
+        let outputs = executor::run_with_sessions(&exec, self.session.db, units.len(), {
+            let units = &units;
+            let seed_lists = &seed_lists;
+            move |session, i| {
+                let unit = &units[i];
+                session.matcher.find_unit(
+                    query,
+                    compiled,
+                    plans,
+                    unit,
+                    &seed_lists[unit.component],
+                    opts,
+                )
+            }
+        });
+        let mut per_comp: Vec<Vec<ResultGraph>> = vec![Vec::new(); plans.len()];
+        for (unit, out) in units.iter().zip(outputs) {
+            per_comp[unit.component].extend(out);
+        }
+        if per_comp.iter().any(Vec::is_empty) {
+            // a component with no partial bindings zeroes the product
+            return Ok(Vec::new());
+        }
+        if let Some(l) = opts.limit {
+            // mirror the serial engine: each component's list is capped
+            // before combination
+            for comp in &mut per_comp {
+                comp.truncate(l);
+            }
+        }
+        Ok(combine_components(
+            per_comp,
+            opts.limit.unwrap_or(usize::MAX),
+        ))
+    }
+
+    /// Count result graphs (injective, exact) in parallel — see
+    /// [`PreparedQuery::count_par_opts`].
+    pub fn count_par(&self) -> Result<u64, WhyqError> {
+        self.count_par_opts(MatchOptions::default(), &ParallelOpts::default())
+    }
+
+    /// Count result graphs under `opts` in parallel: per-component seed
+    /// shards are counted across workers, summed per component and
+    /// multiplied — always equal to [`PreparedQuery::count_opts`],
+    /// including under an `opts.limit` cap (both report
+    /// `min(C(Q), limit)`). Falls back to the serial path when the query
+    /// is too small to shard or `par.threads <= 1`.
+    pub fn count_par_opts(&self, opts: MatchOptions, par: &ParallelOpts) -> Result<u64, WhyqError> {
+        let Some((units, seed_lists)) = self.shard(par) else {
+            return self.count_opts(opts);
+        };
+        let exec = Executor::new(par.clone());
+        let query = &*self.query;
+        let compiled = &*self.plan.compiled;
+        let plans = &*self.plan.plans;
+        let counts = executor::run_with_sessions(&exec, self.session.db, units.len(), {
+            let units = &units;
+            let seed_lists = &seed_lists;
+            move |session, i| {
+                let unit = &units[i];
+                session.matcher.count_unit(
+                    query,
+                    compiled,
+                    plans,
+                    unit,
+                    &seed_lists[unit.component],
+                    opts,
+                )
+            }
+        });
+        let mut per_comp = vec![0u64; plans.len()];
+        for (unit, c) in units.iter().zip(counts) {
+            per_comp[unit.component] = per_comp[unit.component].saturating_add(c);
+        }
+        let limit = opts.limit.map(|l| l as u64);
+        let mut total: u64 = 1;
+        for c in per_comp {
+            if c == 0 {
+                return Ok(0);
+            }
+            // per-unit counts stop early at the limit, so a component sum
+            // may undershoot its true count but never min(true, limit) —
+            // capping here keeps the product identical to the serial one
+            let c = match limit {
+                Some(l) => c.min(l),
+                None => c,
+            };
+            total = total.saturating_mul(c);
+        }
+        Ok(match limit {
+            Some(l) => total.min(l),
+            None => total,
+        })
+    }
+
+    /// Decompose the query into parallel work units, or `None` when serial
+    /// execution is the right call: a 1-thread configuration, an
+    /// empty/unsatisfiable query, or a single component too small to shard
+    /// (below `min_seeds_per_split`) — the threshold below which thread
+    /// startup would outweigh the search.
+    fn shard(&self, par: &ParallelOpts) -> Option<(Vec<WorkUnit>, &[SeedList])> {
+        let threads = par.effective_threads();
+        if threads <= 1 || self.query.num_vertices() == 0 || self.plan.plans.is_empty() {
+            return None;
+        }
+        // materialized once per cached plan (graph and indexes are sealed
+        // for the database's lifetime) and shared across sessions, so
+        // repeat parallel executions pay no bucket copies or union sorts
+        let seed_lists: &[SeedList] = self.plan.seed_lists.get_or_init(|| {
+            let matcher = &self.session.matcher;
+            self.plan
+                .plans
+                .iter()
+                .map(|p| matcher.seed_list(&self.query, p.seed_vertex()))
+                .collect()
+        });
+        let floor = par.min_seeds_per_split.max(1);
+        let mut units = Vec::new();
+        for (component, seeds) in seed_lists.iter().enumerate() {
+            if seeds.len() >= floor.saturating_mul(2) {
+                // oversubscribe so an unlucky chunk doesn't idle the pool;
+                // each chunk still holds at least `floor` seeds
+                let chunks = (seeds.len() / floor).min(threads.saturating_mul(4)).max(1);
+                units.extend(
+                    split_ranges(seeds.len(), chunks)
+                        .into_iter()
+                        .map(|range| WorkUnit { component, range }),
+                );
+            } else {
+                units.push(WorkUnit::whole(component, seeds));
+            }
+        }
+        if units.len() <= 1 {
+            return None;
+        }
+        Some((units, seed_lists))
+    }
+
     /// Stream result graphs lazily (injective, unlimited): the backtracking
     /// DFS suspends after every yielded match, so consuming `k` results
     /// costs `O(k)` search work regardless of the full result size.
@@ -570,6 +765,68 @@ mod tests {
             prepared.stream()
         };
         assert_eq!(stream.count(), 1);
+    }
+
+    #[test]
+    fn parallel_execution_matches_serial() {
+        let db = Database::open(social()).unwrap();
+        let session = db.session();
+        let q = pair_query();
+        let prepared = session.prepare(&q).unwrap();
+        let serial = prepared.find().unwrap();
+        for threads in [1usize, 2, 4] {
+            let par = ParallelOpts::with_threads(threads).min_seeds_per_split(1);
+            assert_eq!(
+                prepared
+                    .find_par_opts(MatchOptions::default(), &par)
+                    .unwrap(),
+                serial,
+                "threads={threads}"
+            );
+            assert_eq!(
+                prepared
+                    .count_par_opts(MatchOptions::default(), &par)
+                    .unwrap(),
+                serial.len() as u64
+            );
+        }
+        // env-default entry points agree too (whatever the thread count)
+        assert_eq!(prepared.find_par().unwrap().len(), serial.len());
+        assert_eq!(prepared.count_par().unwrap(), serial.len() as u64);
+    }
+
+    #[test]
+    fn count_batch_reports_per_query_results_in_order() {
+        let db = Database::open(social()).unwrap();
+        let q1 = pair_query();
+        let q2 = QueryBuilder::new("people")
+            .vertex("p", [Predicate::eq("type", "person")])
+            .build();
+        let mut invalid = pair_query();
+        invalid
+            .edge_mut(whyq_query::QEid(0))
+            .unwrap()
+            .directions
+            .remove(whyq_query::Direction::Forward);
+        invalid
+            .edge_mut(whyq_query::QEid(0))
+            .unwrap()
+            .directions
+            .remove(whyq_query::Direction::Backward);
+        for exec in [
+            Executor::serial(),
+            Executor::new(ParallelOpts::with_threads(4)),
+        ] {
+            let out = exec.count_batch(&db, &[&q1, &q2, &invalid, &q1], MatchOptions::default());
+            assert_eq!(out.len(), 4);
+            assert_eq!(*out[0].as_ref().unwrap(), 1);
+            assert_eq!(*out[1].as_ref().unwrap(), 2);
+            assert!(
+                matches!(out[2], Err(WhyqError::InvalidQuery { .. })),
+                "a bad query errors in its own slot without failing the batch"
+            );
+            assert_eq!(*out[3].as_ref().unwrap(), 1);
+        }
     }
 
     #[test]

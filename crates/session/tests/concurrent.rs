@@ -1,0 +1,169 @@
+//! Concurrency stress tests of the shared plan cache: N threads × M
+//! sessions hammering `prepare()` on overlapping signatures must keep the
+//! hit/miss/eviction counters consistent and compile every distinct
+//! signature exactly once (the [`whyq_session::cache::PlanSlot`]
+//! compile-once guarantee), while every prepare still answers correctly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use whyq_graph::{PropertyGraph, Value};
+use whyq_query::{PatternQuery, Predicate, QueryBuilder};
+use whyq_session::{Database, DatabaseConfig};
+
+const THREADS: usize = 8;
+const SESSIONS_PER_THREAD: usize = 4;
+const ROUNDS: usize = 25;
+
+fn social() -> PropertyGraph {
+    let mut g = PropertyGraph::new();
+    let mut people = Vec::new();
+    for i in 0..12 {
+        people.push(g.add_vertex([("type", Value::str("person")), ("age", Value::Int(20 + i))]));
+    }
+    let city = g.add_vertex([("type", Value::str("city"))]);
+    for (i, &p) in people.iter().enumerate() {
+        g.add_edge(p, city, "livesIn", []);
+        g.add_edge(p, people[(i + 1) % people.len()], "knows", []);
+    }
+    g
+}
+
+/// Overlapping workload: every thread prepares every one of these, so
+/// each signature is contended by all threads at once.
+fn workload() -> Vec<(PatternQuery, u64)> {
+    let people = QueryBuilder::new("people")
+        .vertex("p", [Predicate::eq("type", "person")])
+        .build();
+    let pairs = QueryBuilder::new("pairs")
+        .vertex("a", [Predicate::eq("type", "person")])
+        .vertex("b", [Predicate::eq("type", "person")])
+        .edge("a", "b", "knows")
+        .build();
+    let triangle = QueryBuilder::new("co-located")
+        .vertex("a", [Predicate::eq("type", "person")])
+        .vertex("c", [Predicate::eq("type", "city")])
+        .edge("a", "c", "livesIn")
+        .build();
+    let young = QueryBuilder::new("young")
+        .vertex(
+            "p",
+            [
+                Predicate::eq("type", "person"),
+                Predicate::between("age", 20.0, 24.0),
+            ],
+        )
+        .build();
+    let none = QueryBuilder::new("robots")
+        .vertex("r", [Predicate::eq("type", "robot")])
+        .build();
+    let disconnected = QueryBuilder::new("product")
+        .vertex("p", [Predicate::eq("type", "person")])
+        .vertex("c", [Predicate::eq("type", "city")])
+        .build();
+    vec![
+        (people, 12),
+        (pairs, 12),
+        (triangle, 12),
+        (young, 5),
+        (none, 0),
+        (disconnected, 12),
+    ]
+}
+
+#[test]
+fn contended_prepares_compile_once_per_signature() {
+    let db = Database::open_with(
+        social(),
+        // capacity far above the distinct-signature count: no evictions,
+        // so the compile-once invariant is observable exactly
+        DatabaseConfig::default().plan_cache_capacity(64),
+    )
+    .expect("open");
+    let queries = workload();
+    let prepares = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let db = &db;
+            let queries = &queries;
+            let prepares = &prepares;
+            scope.spawn(move || {
+                // several sessions per thread, rotated per round — session
+                // handles are cheap and share the one cache
+                let sessions: Vec<_> = (0..SESSIONS_PER_THREAD).map(|_| db.session()).collect();
+                for round in 0..ROUNDS {
+                    let session = &sessions[round % sessions.len()];
+                    for qi in 0..queries.len() {
+                        // stagger start order per thread so different
+                        // signatures race on different threads
+                        let (q, expected) = &queries[(qi + t) % queries.len()];
+                        let prepared = session.prepare(q).expect("valid query");
+                        prepares.fetch_add(1, Ordering::Relaxed);
+                        assert_eq!(prepared.count().expect("count"), *expected, "{:?}", q.name);
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = db.cache_stats();
+    let total = prepares.load(Ordering::Relaxed);
+    let distinct = queries.len() as u64;
+    assert_eq!(total, (THREADS * ROUNDS * queries.len()) as u64);
+    // every probe is either a hit or a miss — no prepare is lost
+    assert_eq!(stats.hits + stats.misses, total, "{stats:?}");
+    // a miss can only happen while a signature's slot has never been
+    // resident; with no evictions that is once per distinct signature and
+    // per racing thread at worst — and the *compiles* are exactly one per
+    // signature no matter how many threads raced the reservation
+    assert_eq!(stats.evictions, 0, "{stats:?}");
+    assert_eq!(stats.len, queries.len(), "{stats:?}");
+    assert_eq!(stats.misses, distinct, "one reservation per signature");
+    assert_eq!(
+        db.compile_count(),
+        distinct,
+        "no signature compiled twice under contention"
+    );
+}
+
+#[test]
+fn contended_prepares_with_evictions_stay_consistent() {
+    // capacity 2 with 6 signatures: constant eviction churn under
+    // contention. Counters must still balance and every answer must still
+    // be correct; compile-once holds per *resident* slot generation.
+    let db = Database::open_with(social(), DatabaseConfig::default().plan_cache_capacity(2))
+        .expect("open");
+    let queries = workload();
+    let prepares = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let db = &db;
+            let queries = &queries;
+            let prepares = &prepares;
+            scope.spawn(move || {
+                let session = db.session();
+                for _ in 0..ROUNDS {
+                    for (q, expected) in queries {
+                        let prepared = session.prepare(q).expect("valid query");
+                        prepares.fetch_add(1, Ordering::Relaxed);
+                        assert_eq!(prepared.count().expect("count"), *expected, "{:?}", q.name);
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = db.cache_stats();
+    let total = prepares.load(Ordering::Relaxed);
+    assert_eq!(stats.hits + stats.misses, total, "{stats:?}");
+    assert_eq!(stats.len, 2, "capacity bound respected: {stats:?}");
+    // every miss inserts (capacity > 0), so inserts beyond the resident
+    // len must have evicted exactly that many entries
+    assert_eq!(
+        stats.evictions,
+        stats.misses - stats.len as u64,
+        "{stats:?}"
+    );
+    // each reservation compiles its fresh slot exactly once
+    assert_eq!(db.compile_count(), stats.misses, "{stats:?}");
+}

@@ -58,15 +58,23 @@ pub use whyq_query as query;
 pub use whyq_session as session;
 
 /// Convenience imports covering the common API surface.
+///
+/// The deprecated `find_matches`/`count_matches` shims are no longer
+/// re-exported here: the facade (`Database::open` → `session.prepare(&q)`)
+/// is the supported path, and the parallel entry points
+/// (`prepared.find_par()`/`count_par()`, [`whyq_session::Executor`]) only
+/// exist on it. Downstream code still on the shims can import them from
+/// `whyquery::matcher` explicitly (with deprecation warnings) until they
+/// are removed.
 pub mod prelude {
     pub use whyq_core::engine::WhyEngine;
     pub use whyq_core::problem::{CardinalityGoal, WhyProblem};
     pub use whyq_graph::{PropertyGraph, Value};
     pub use whyq_matcher::MatchOptions;
-    #[allow(deprecated)] // kept so pre-facade downstream code builds (with warnings)
-    pub use whyq_matcher::{count_matches, find_matches};
     pub use whyq_query::{
         DirectionSet, GraphMod, Interval, PatternQuery, Predicate, QueryBuilder, Target,
     };
-    pub use whyq_session::{Database, DatabaseConfig, PreparedQuery, Session, WhyqError};
+    pub use whyq_session::{
+        Database, DatabaseConfig, Executor, ParallelOpts, PreparedQuery, Session, WhyqError,
+    };
 }
