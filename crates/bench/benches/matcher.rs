@@ -15,7 +15,9 @@ use std::hint::black_box;
 use std::sync::Arc;
 use whyq_core::relax::{CoarseRewriter, RelaxConfig};
 use whyq_datagen::{ldbc_failing_queries, ldbc_graph, ldbc_queries, LdbcConfig};
-use whyq_matcher::{count_matches_naive, find_matches_naive, AttrIndex, MatchOptions, Matcher};
+use whyq_matcher::{
+    count_matches_naive, find_matches_naive, AttrIndex, Budget, CancelToken, MatchOptions, Matcher,
+};
 use whyq_query::{PatternQuery, Predicate, QueryBuilder};
 use whyq_session::{Database, Executor, ParallelOpts};
 
@@ -70,6 +72,22 @@ fn bench_matcher(c: &mut Criterion) {
     });
     group.bench_function("count-naive/PERSONA STRINGS", |b| {
         b.iter(|| black_box(count_matches_naive(&g, &persona, MatchOptions::default())))
+    });
+
+    // governance overhead: the same count with a budget attached — a
+    // generous deadline plus a cancel token, neither of which ever trips,
+    // so the entire difference against `count/LDBC QUERY 3` is the cost
+    // of the tick-counted checks at DFS backtrack points. The committed
+    // snapshot pins this pair within a few percent of each other; a
+    // refactor that makes the governed path slow (a check per transition
+    // instead of per CHECK_INTERVAL, a lock on the hot path) trips the
+    // bench_compare gate.
+    let token = CancelToken::new();
+    let governed_opts = MatchOptions::governed(
+        Budget::deadline(std::time::Duration::from_secs(3600)).with_cancel(&token),
+    );
+    group.bench_function("deadline-overhead/LDBC QUERY 3", |b| {
+        b.iter(|| black_box(plain.count(&queries[2], governed_opts.clone())))
     });
 
     let type_index = Arc::new(AttrIndex::build(&g, "type").expect("LDBC graphs carry type"));

@@ -39,7 +39,7 @@ pub fn disc_ldbc(db: &Database, tsv: bool) {
         queries.push(ldbc_path_query(hops, true));
     }
     for q in &queries {
-        let (expl, ms) = timed(|| DiscoverMcs::new(db).run(q));
+        let (expl, ms) = timed(|| DiscoverMcs::new(db).run(q).expect("discover"));
         t.row(cells![
             q.name.clone().unwrap_or_default(),
             q.num_vertices(),
@@ -78,7 +78,7 @@ pub fn disc_dbp(db: &Database, tsv: bool) {
         ],
     );
     for q in dbpedia_failing_queries() {
-        let (expl, ms) = timed(|| DiscoverMcs::new(db).run(&q));
+        let (expl, ms) = timed(|| DiscoverMcs::new(db).run(&q).expect("discover"));
         t.row(cells![
             q.name.clone().unwrap_or_default(),
             q.num_vertices(),
@@ -143,7 +143,12 @@ pub fn optimizations(db: &Database, tsv: bool) {
                     decompose,
                     ..McsConfig::default()
                 };
-                let (expl, ms) = timed(|| DiscoverMcs::new(db).with_config(config).run(q));
+                let (expl, ms) = timed(|| {
+                    DiscoverMcs::new(db)
+                        .with_config(config)
+                        .run(q)
+                        .expect("discover")
+                });
                 t.row(cells![
                     q.name.clone().unwrap_or_default(),
                     sname,
@@ -188,7 +193,7 @@ pub fn bounded(db: &Database, tsv: bool) {
             } else {
                 CardinalityGoal::AtLeast(c_thr)
             };
-            let (expl, ms) = timed(|| BoundedMcs::new(db).run(&q, goal));
+            let (expl, ms) = timed(|| BoundedMcs::new(db).run(&q, goal).expect("bounded"));
             t.row(cells![
                 q.name.clone().unwrap_or_default(),
                 c1,

@@ -13,6 +13,7 @@ use whyq_core::domains::AttributeDomains;
 use whyq_core::fine::baselines::{exhaustive_bfs, random_walk};
 use whyq_core::fine::{FineConfig, TraverseSearchTree};
 use whyq_core::problem::CardinalityGoal;
+use whyq_core::Budget;
 use whyq_datagen::ldbc_queries;
 use whyq_session::Database;
 
@@ -62,7 +63,18 @@ pub fn baselines(db: &Database, tsv: bool) {
                 format!("{ms:.1}"),
             ]);
             // random walk
-            let (rw, ms) = timed(|| random_walk(db, &q, goal, BUDGET, 11, &domains, 50_000));
+            let (rw, ms) = timed(|| {
+                random_walk(
+                    db,
+                    &q,
+                    goal,
+                    BUDGET,
+                    11,
+                    &domains,
+                    50_000,
+                    &Budget::unlimited(),
+                )
+            });
             t.row(cells![
                 q.name.clone().unwrap_or_default(),
                 factor,
@@ -74,7 +86,9 @@ pub fn baselines(db: &Database, tsv: bool) {
                 format!("{ms:.1}"),
             ]);
             // exhaustive BFS
-            let (bfs, ms) = timed(|| exhaustive_bfs(db, &q, goal, BUDGET, &domains, 50_000));
+            let (bfs, ms) = timed(|| {
+                exhaustive_bfs(db, &q, goal, BUDGET, &domains, 50_000, &Budget::unlimited())
+            });
             t.row(cells![
                 q.name.clone().unwrap_or_default(),
                 factor,

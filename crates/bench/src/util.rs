@@ -52,6 +52,7 @@ pub fn find(db: &Database, q: &PatternQuery, limit: Option<usize>) -> Vec<Result
             MatchOptions {
                 injective: true,
                 limit,
+                ..Default::default()
             },
         )
         .expect("harness queries are valid")

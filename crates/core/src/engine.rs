@@ -105,12 +105,16 @@ impl<'db> WhyEngine<'db> {
     }
 
     /// Subgraph-based explanation for an empty result (DISCOVERMCS).
+    ///
+    /// A tripped [`McsConfig::budget`] is not an error: the partial
+    /// explanation is returned with a non-`Complete`
+    /// [`termination`](SubgraphExplanation::termination).
     pub fn why_empty(&self, q: &PatternQuery) -> Result<SubgraphExplanation, WhyqError> {
         // validate (and warm the plan cache) before the traversal starts
         self.session.prepare(q)?;
-        Ok(DiscoverMcs::new(self.db)
+        DiscoverMcs::new(self.db)
             .with_config(self.mcs_config.clone())
-            .run_with(q, &self.session))
+            .run_with(q, &self.session)
     }
 
     /// Subgraph-based explanation for any cardinality problem.
@@ -121,9 +125,9 @@ impl<'db> WhyEngine<'db> {
     ) -> Result<SubgraphExplanation, WhyqError> {
         match self.classify(q, goal)? {
             WhyProblem::WhyEmpty => self.why_empty(q),
-            _ => Ok(BoundedMcs::new(self.db)
+            _ => BoundedMcs::new(self.db)
                 .with_config(self.mcs_config.clone())
-                .run_with(q, goal, &self.session)),
+                .run_with(q, goal, &self.session),
         }
     }
 

@@ -1,5 +1,6 @@
 //! Explanation types delivered to the user.
 
+use whyq_matcher::Termination;
 use whyq_query::{GraphMod, PatternQuery, QEid, QVid};
 
 /// The failed query part: elements of the original query **not** contained
@@ -105,6 +106,12 @@ pub struct SubgraphExplanation {
     /// Number of edge-extension operations performed (work measure used by
     /// the §4.5 evaluation).
     pub extensions: u64,
+    /// How the run ended. [`Termination::Complete`] means the traversal
+    /// finished on its own; any other variant marks a *degraded* answer —
+    /// the budget in [`crate::subgraph::McsConfig`] tripped and the MCS
+    /// reflects only the components traversed (and the cardinality counted)
+    /// up to that point.
+    pub termination: Termination,
 }
 
 /// A modification-based explanation (Ch. 5/6): a rewritten query together

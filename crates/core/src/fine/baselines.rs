@@ -16,10 +16,28 @@ use crate::problem::CardinalityGoal;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::{HashSet, VecDeque};
-use whyq_matcher::MatchOptions;
+use whyq_matcher::{Budget, MatchOptions, Termination};
 use whyq_metrics::syntactic_distance;
 use whyq_query::{signature::signature, GraphMod, PatternQuery};
 use whyq_session::Database;
+
+/// Attempt budget substituted when a baseline's `governor` is unlimited:
+/// it bounds the sampling loop of [`random_walk`] (a node whose
+/// neighborhood is fully visited would otherwise spin without consuming
+/// execution budget) with the same shared [`Budget`] machinery callers use
+/// for deadlines and cancellation, instead of an ad-hoc multiple of the
+/// execution budget.
+pub const DEFAULT_ATTEMPT_BUDGET: u64 = 10_000;
+
+/// Effective governor of a baseline run: the caller's, or — when that one
+/// is unlimited — a fresh [`DEFAULT_ATTEMPT_BUDGET`]-step budget.
+fn effective_governor(governor: &Budget) -> Budget {
+    if governor.is_unlimited() {
+        Budget::steps(DEFAULT_ATTEMPT_BUDGET)
+    } else {
+        governor.clone()
+    }
+}
 
 /// Outcome of a baseline run (same shape as the §6.4.2 series).
 #[derive(Debug, Clone)]
@@ -32,10 +50,21 @@ pub struct BaselineOutcome {
     pub trajectory: Vec<(usize, u64)>,
     /// Best deviation reached.
     pub best_deviation: u64,
+    /// How the run ended: [`Termination::Complete`] when the search
+    /// finished on its own (explanation found, execution budget or
+    /// candidate space exhausted); otherwise the cause the governor
+    /// tripped on — [`Termination::BudgetExhausted`] for the implicit
+    /// attempt budget of an ungoverned [`random_walk`].
+    pub termination: Termination,
 }
 
 /// Greedy random walk: sample a random candidate modification of the
 /// current query, execute it, move only when the deviation improves.
+///
+/// `governor` bounds the *sampling attempts* (one step charged per
+/// attempt) and carries any deadline or cancellation; pass
+/// [`Budget::unlimited`] to get the default attempt budget.
+#[allow(clippy::too_many_arguments)]
 pub fn random_walk(
     db: &Database,
     q: &PatternQuery,
@@ -44,7 +73,9 @@ pub fn random_walk(
     seed: u64,
     domains: &AttributeDomains,
     count_cap: u64,
+    governor: &Budget,
 ) -> BaselineOutcome {
+    let governor = effective_governor(governor);
     let session = db.session();
     let count = |query: &PatternQuery| {
         session
@@ -72,18 +103,20 @@ pub fn random_walk(
             executed,
             trajectory,
             best_deviation: 0,
+            termination: governor.termination(),
         };
     }
 
     let mut visited: HashSet<String> = HashSet::new();
     visited.insert(signature(&current));
 
-    // attempts bound the sampling loop: a node whose neighborhood is fully
-    // visited would otherwise spin without consuming execution budget
-    let mut attempts = 0usize;
-    let max_attempts = budget.saturating_mul(20).max(1000);
-    while executed < budget && attempts < max_attempts {
-        attempts += 1;
+    // the governor bounds the sampling loop (one step per attempt): a node
+    // whose neighborhood is fully visited would otherwise spin without
+    // consuming execution budget
+    while executed < budget {
+        if governor.charge(1).is_err() {
+            break;
+        }
         let need_more = current_c == 0
             || !matches!(
                 goal.classify(current_c),
@@ -122,6 +155,7 @@ pub fn random_walk(
                 executed,
                 trajectory,
                 best_deviation: 0,
+                termination: governor.termination(),
             };
         }
         // hill-climb: adopt the child only on improvement
@@ -137,10 +171,16 @@ pub fn random_walk(
         executed,
         trajectory,
         best_deviation: best_dev,
+        termination: governor.termination(),
     }
 }
 
 /// Breadth-first lattice enumeration without cardinality guidance.
+///
+/// `governor` carries any deadline or cancellation (one step charged per
+/// executed candidate); [`Budget::unlimited`] leaves the run bounded by
+/// `budget` alone — unlike [`random_walk`], BFS never spins without
+/// executing, so no implicit attempt budget is substituted.
 pub fn exhaustive_bfs(
     db: &Database,
     q: &PatternQuery,
@@ -148,6 +188,7 @@ pub fn exhaustive_bfs(
     budget: usize,
     domains: &AttributeDomains,
     count_cap: u64,
+    governor: &Budget,
 ) -> BaselineOutcome {
     let session = db.session();
     let count = |query: &PatternQuery| {
@@ -174,6 +215,7 @@ pub fn exhaustive_bfs(
             executed,
             trajectory,
             best_deviation: 0,
+            termination: governor.termination(),
         };
     }
 
@@ -182,8 +224,8 @@ pub fn exhaustive_bfs(
     let mut queue: VecDeque<(PatternQuery, u64, Vec<GraphMod>)> = VecDeque::new();
     queue.push_back((q.clone(), c0, Vec::new()));
 
-    while let Some((node, node_c, mods)) = queue.pop_front() {
-        if executed >= budget {
+    'outer: while let Some((node, node_c, mods)) = queue.pop_front() {
+        if executed >= budget || governor.poll().is_err() {
             break;
         }
         let need_more =
@@ -191,6 +233,9 @@ pub fn exhaustive_bfs(
         for m in fine_candidates(&node, domains, need_more, true) {
             if executed >= budget {
                 break;
+            }
+            if governor.charge(1).is_err() {
+                break 'outer;
             }
             let Ok((child, _)) = m.applied(&node) else {
                 continue;
@@ -219,6 +264,7 @@ pub fn exhaustive_bfs(
                     executed,
                     trajectory,
                     best_deviation: 0,
+                    termination: governor.termination(),
                 };
             }
             let mut all_mods = mods.clone();
@@ -232,6 +278,7 @@ pub fn exhaustive_bfs(
         executed,
         trajectory,
         best_deviation: best_dev,
+        termination: governor.termination(),
     }
 }
 
@@ -277,6 +324,7 @@ mod tests {
             42,
             &domains,
             10_000,
+            &Budget::unlimited(),
         );
         assert!(out.explanation.is_some());
     }
@@ -293,6 +341,7 @@ mod tests {
             7,
             &domains,
             10_000,
+            &Budget::unlimited(),
         );
         let b = random_walk(
             &db,
@@ -302,6 +351,7 @@ mod tests {
             7,
             &domains,
             10_000,
+            &Budget::unlimited(),
         );
         assert_eq!(a.executed, b.executed);
         assert_eq!(a.trajectory, b.trajectory);
@@ -318,8 +368,32 @@ mod tests {
             2000,
             &domains,
             10_000,
+            &Budget::unlimited(),
         );
         assert!(out.explanation.is_some());
+    }
+
+    #[test]
+    fn cancelled_governor_stops_the_walk_tagged() {
+        use whyq_matcher::CancelToken;
+        let db = data();
+        let domains = AttributeDomains::build(db.graph(), 100);
+        let token = CancelToken::new();
+        token.cancel();
+        let out = random_walk(
+            &db,
+            &narrow_query(),
+            CardinalityGoal::AtLeast(7),
+            500,
+            42,
+            &domains,
+            10_000,
+            &Budget::cancelled_by(&token),
+        );
+        assert!(out.explanation.is_none());
+        // only the original query was measured before the governor tripped
+        assert_eq!(out.executed, 1);
+        assert_eq!(out.termination, Termination::Cancelled);
     }
 
     #[test]
@@ -333,6 +407,7 @@ mod tests {
             50,
             &domains,
             10_000,
+            &Budget::unlimited(),
         );
         for w in out.trajectory.windows(2) {
             assert!(w[1].1 <= w[0].1);

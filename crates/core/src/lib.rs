@@ -79,4 +79,7 @@ pub use domains::AttributeDomains;
 pub use engine::WhyEngine;
 pub use explanation::{DifferentialGraph, ModificationExplanation, SubgraphExplanation};
 pub use problem::{CardinalityGoal, WhyProblem};
-pub use whyq_session::{CacheStats, Database, DatabaseConfig, PreparedQuery, Session, WhyqError};
+pub use whyq_session::{
+    Budget, CacheStats, CancelToken, Database, DatabaseConfig, Governed, PreparedQuery, Session,
+    Termination, WhyqError,
+};

@@ -32,10 +32,10 @@ use crate::relax::user_model::PreferenceModel;
 use crate::stats::Statistics;
 use crate::user::SimulatedUser;
 use std::collections::{BinaryHeap, HashSet};
-use whyq_matcher::MatchOptions;
+use whyq_matcher::{Budget, MatchOptions, Termination};
 use whyq_metrics::syntactic_distance;
 use whyq_query::{signature::signature, GraphMod, PatternQuery};
-use whyq_session::{Database, Executor, Session};
+use whyq_session::{Database, Executor, Session, WhyqError};
 
 /// Configuration of the coarse-grained rewriter.
 #[derive(Debug, Clone)]
@@ -51,6 +51,12 @@ pub struct RelaxConfig {
     /// Weight of the learned preference model in the priority (0 = model
     /// ignored).
     pub lambda: f64,
+    /// Resource governor of the run: deadline, step budget and external
+    /// cancellation, on top of the logical `max_executed` cap. On a trip
+    /// the search stops and the outcome so far is returned, tagged with
+    /// the budget's [`Termination`]. The budget is single-run state: use a
+    /// fresh one per `rewrite()` call.
+    pub budget: Budget,
 }
 
 impl Default for RelaxConfig {
@@ -61,6 +67,7 @@ impl Default for RelaxConfig {
             count_limit: 10_000,
             use_cache: true,
             lambda: 0.0,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -95,6 +102,12 @@ pub struct RelaxOutcome {
     pub cache: CacheStats,
     /// Execution trajectory (§5.5.2 convergence plots).
     pub trajectory: Vec<TrajectoryPoint>,
+    /// How the run ended: [`Termination::Complete`] when the search
+    /// finished on its own (explanation found or `max_executed`
+    /// exhausted), any other variant when [`RelaxConfig::budget`] tripped
+    /// and the outcome reflects only the candidates executed up to that
+    /// point.
+    pub termination: Termination,
 }
 
 /// A delivered explanation with the user's rating (§5.5.4, App. B.1).
@@ -231,8 +244,14 @@ impl<'g> CoarseRewriter<'g> {
             &mut generated,
         );
 
+        // every candidate count shares the run's budget: deadline, step
+        // and cancellation checks happen *inside* the matcher DFS, so even
+        // one pathological candidate cannot overshoot the deadline
+        let counting_opts =
+            MatchOptions::counting(Some(config.count_limit)).with_budget(config.budget.clone());
+
         while let Some(node) = frontier.pop() {
-            if executed >= config.max_executed {
+            if executed >= config.max_executed || config.budget.poll().is_err() {
                 break;
             }
             // Speculative sibling batch (parallel mode only): the
@@ -248,28 +267,26 @@ impl<'g> CoarseRewriter<'g> {
                 speculated += self.speculate_siblings(&node, &mut frontier, &mut cache, config);
             }
             let sig = signature(&node.query);
-            let cardinality = if config.use_cache {
-                match cache.get(&sig) {
-                    Some(c) => c,
-                    None => {
-                        let c = self
-                            .session
-                            .count_opts(
-                                &node.query,
-                                MatchOptions::counting(Some(config.count_limit)),
-                            )
-                            .expect("relaxation preserves query validity");
-                        cache.insert(sig.clone(), c);
+            let cached = if config.use_cache {
+                cache.get(&sig)
+            } else {
+                None
+            };
+            let cardinality = match cached {
+                Some(c) => c,
+                None => match self.session.count_opts(&node.query, counting_opts.clone()) {
+                    Ok(c) => {
+                        if config.use_cache {
+                            cache.insert(sig.clone(), c);
+                        }
                         c
                     }
-                }
-            } else {
-                self.session
-                    .count_opts(
-                        &node.query,
-                        MatchOptions::counting(Some(config.count_limit)),
-                    )
-                    .expect("relaxation preserves query validity")
+                    // tripped budget: stop the search without caching the
+                    // truncated count — a later run with headroom must
+                    // re-measure this candidate
+                    Err(WhyqError::Interrupted { .. }) => break,
+                    Err(e) => panic!("relaxation preserves query validity: {e}"),
+                },
             };
             executed += 1;
             let syn = syntactic_distance(q, &node.query);
@@ -292,6 +309,7 @@ impl<'g> CoarseRewriter<'g> {
                     speculated,
                     cache: cache.stats(),
                     trajectory,
+                    termination: config.budget.termination(),
                 };
             }
             // still empty (or excluded) — relax further
@@ -314,6 +332,7 @@ impl<'g> CoarseRewriter<'g> {
             speculated,
             cache: cache.stats(),
             trajectory,
+            termination: config.budget.termination(),
         }
     }
 
@@ -349,10 +368,12 @@ impl<'g> CoarseRewriter<'g> {
         // extra ceremony — only fan out when there are true siblings
         if targets.len() >= 2 {
             let queries: Vec<&PatternQuery> = targets.iter().map(|(q, _)| *q).collect();
+            // the shared budget governs speculative probes too; a tripped
+            // probe comes back `Err(Interrupted)` and is simply not cached
             let counts = self.executor.count_batch(
                 self.db,
                 &queries,
-                MatchOptions::counting(Some(config.count_limit)),
+                MatchOptions::counting(Some(config.count_limit)).with_budget(config.budget.clone()),
             );
             for ((_, sig), c) in targets.into_iter().zip(counts) {
                 if let Ok(c) = c {
@@ -577,6 +598,31 @@ mod tests {
         assert_eq!(a.cache.lookups, b.cache.lookups);
         assert_eq!(a.cache.hits, b.cache.hits);
         assert!(b.cache.entries >= a.cache.entries);
+    }
+
+    #[test]
+    fn elapsed_deadline_stops_the_search_tagged() {
+        let db = data();
+        let rw = CoarseRewriter::new(&db);
+        let out = rw.rewrite(
+            &failing(),
+            &RelaxConfig {
+                budget: Budget::deadline(std::time::Duration::ZERO),
+                ..Default::default()
+            },
+        );
+        assert!(out.explanation.is_none());
+        assert_eq!(out.executed, 0);
+        assert_eq!(out.termination, Termination::DeadlineExceeded);
+    }
+
+    #[test]
+    fn ungoverned_run_reports_complete() {
+        let db = data();
+        let rw = CoarseRewriter::new(&db);
+        let out = rw.rewrite(&failing(), &RelaxConfig::default());
+        assert!(out.explanation.is_some());
+        assert_eq!(out.termination, Termination::Complete);
     }
 
     #[test]

@@ -25,9 +25,9 @@ use crate::stats::Statistics;
 use crate::subgraph::discover::{assemble_mcs, components_of, paths_for, PrefixOutcome};
 use crate::subgraph::traversal::TraversalPath;
 use crate::subgraph::McsConfig;
-use whyq_matcher::{extend_matches, seed_matches, MatchOptions};
+use whyq_matcher::{extend_matches, seed_matches, Budget, MatchOptions};
 use whyq_query::PatternQuery;
-use whyq_session::{Database, Executor, Session};
+use whyq_session::{Database, Executor, Session, WhyqError};
 
 /// The BOUNDEDMCS algorithm (§4.2.2).
 pub struct BoundedMcs<'g> {
@@ -63,20 +63,26 @@ impl<'g> BoundedMcs<'g> {
 
     /// Walk one path to its end (or until the prefix empties), returning
     /// the per-prefix cardinalities: `counts[0]` is the seed count,
-    /// `counts[i]` the count after traversing `i` edges.
+    /// `counts[i]` the count after traversing `i` edges. The budget is
+    /// charged before every extension; a trip truncates the walk, leaving
+    /// the counts measured so far.
     fn traverse_counts(
         &self,
         q: &PatternQuery,
         path: &TraversalPath,
         cap: usize,
+        budget: &Budget,
         extensions: &mut u64,
     ) -> Vec<usize> {
         let g = self.db.graph();
+        if budget.poll().is_err() {
+            return Vec::new();
+        }
         let mut partial = seed_matches(g, q, path.start, cap);
         *extensions += 1;
         let mut counts = vec![partial.len()];
         for &e in &path.edges {
-            if partial.is_empty() {
+            if partial.is_empty() || budget.charge(partial.len() as u64).is_err() {
                 break;
             }
             partial = extend_matches(g, q, &partial, e, cap);
@@ -87,7 +93,18 @@ impl<'g> BoundedMcs<'g> {
     }
 
     /// Explain a query whose cardinality violates `goal`.
-    pub fn run(&self, q: &PatternQuery, goal: CardinalityGoal) -> SubgraphExplanation {
+    ///
+    /// When the configured [`McsConfig::budget`](crate::subgraph::McsConfig::budget)
+    /// trips mid-run the traversal degrades gracefully: the explanation
+    /// assembled from the components finished so far is returned with its
+    /// [`termination`](SubgraphExplanation::termination) naming the cause.
+    /// `Err` is reserved for real failures (a panicked parallel worker, an
+    /// invalid query).
+    pub fn run(
+        &self,
+        q: &PatternQuery,
+        goal: CardinalityGoal,
+    ) -> Result<SubgraphExplanation, WhyqError> {
         self.run_impl(q, goal, None)
     }
 
@@ -100,7 +117,7 @@ impl<'g> BoundedMcs<'g> {
         q: &PatternQuery,
         goal: CardinalityGoal,
         session: &Session<'_>,
-    ) -> SubgraphExplanation {
+    ) -> Result<SubgraphExplanation, WhyqError> {
         self.run_impl(q, goal, Some(session))
     }
 
@@ -109,8 +126,9 @@ impl<'g> BoundedMcs<'g> {
         q: &PatternQuery,
         goal: CardinalityGoal,
         session: Option<&Session<'_>>,
-    ) -> SubgraphExplanation {
+    ) -> Result<SubgraphExplanation, WhyqError> {
         let stats = Statistics::new(self.db);
+        let budget = &self.config.budget;
         let bound_cap = match goal {
             CardinalityGoal::NonEmpty => 1,
             CardinalityGoal::AtLeast(t) | CardinalityGoal::AtMost(t) => t as usize + 1,
@@ -122,6 +140,9 @@ impl<'g> BoundedMcs<'g> {
         let mut outcomes = Vec::new();
 
         for component in components_of(q, self.config.decompose) {
+            if budget.poll().is_err() {
+                break;
+            }
             // set-dedup of per-vertex incidence lists: two-endpoint edges
             // arrive twice, self-loops once — the count compares against
             // prefix lengths, so it must be exact (see discover.rs)
@@ -140,21 +161,24 @@ impl<'g> BoundedMcs<'g> {
                 if self.executor.is_parallel() && paths.len() > 1 {
                     Some(self.executor.map_batch(&paths, |path| {
                         let mut ext = 0u64;
-                        let counts = self.traverse_counts(q, path, cap, &mut ext);
+                        let counts = self.traverse_counts(q, path, cap, budget, &mut ext);
                         (counts, ext)
-                    }))
+                    })?)
                 } else {
                     None
                 };
             let mut best: Option<PrefixOutcome> = None;
             for (pi, path) in paths.iter().enumerate() {
+                if precomputed.is_none() && budget.poll().is_err() {
+                    break;
+                }
                 paths_tried += 1;
                 let counts = match &precomputed {
                     Some(all) => {
                         extensions += all[pi].1;
                         all[pi].0.clone()
                     }
-                    None => self.traverse_counts(q, path, cap, &mut extensions),
+                    None => self.traverse_counts(q, path, cap, budget, &mut extensions),
                 };
                 // longest prefix position with a satisfied cardinality;
                 // position 0 = seed only, position i = i edges traversed
@@ -204,25 +228,26 @@ impl<'g> BoundedMcs<'g> {
         let mcs_cardinality = if mcs.num_vertices() == 0 {
             0
         } else {
-            let opts = MatchOptions::counting(Some(self.config.cardinality_limit));
-            let count = |s: &Session<'_>| {
-                s.count_opts(&mcs, opts)
-                    .expect("the MCS is a subquery of a validated query")
-            };
+            // the final count shares the run's budget: a tripped governor
+            // yields the partial count enumerated so far instead of an error
+            let opts = MatchOptions::counting(Some(self.config.cardinality_limit))
+                .with_budget(budget.clone());
+            let count = |s: &Session<'_>| Ok::<u64, WhyqError>(s.count_governed(&mcs, opts)?.value);
             match session {
-                Some(s) => count(s),
-                None => count(&self.db.session()),
+                Some(s) => count(s)?,
+                None => count(&self.db.session())?,
             }
         };
         let crossing_edge = outcomes.iter().find_map(|o| o.crossing);
-        SubgraphExplanation {
+        Ok(SubgraphExplanation {
             differential: DifferentialGraph::between(q, &mcs),
             mcs,
             mcs_cardinality,
             crossing_edge,
             paths_tried,
             extensions,
-        }
+            termination: budget.termination(),
+        })
     }
 }
 
@@ -273,7 +298,9 @@ mod tests {
         let db = data();
         let q = star_query();
         // full query delivers 1 answer; the user expected ≥ 5
-        let expl = BoundedMcs::new(&db).run(&q, CardinalityGoal::AtLeast(5));
+        let expl = BoundedMcs::new(&db)
+            .run(&q, CardinalityGoal::AtLeast(5))
+            .unwrap();
         // bounded MCS: person + livesIn + city (10 matches ≥ 5)
         assert_eq!(expl.mcs.num_edges(), 1);
         assert!(expl.mcs.edge(whyq_query::QEid(0)).is_some());
@@ -293,7 +320,9 @@ mod tests {
             .vertex("p", [Predicate::eq("type", "person")])
             .edge("p", "c", "livesIn")
             .build();
-        let expl = BoundedMcs::new(&db).run(&q, CardinalityGoal::AtMost(3));
+        let expl = BoundedMcs::new(&db)
+            .run(&q, CardinalityGoal::AtMost(3))
+            .unwrap();
         // the city seed (1 ≤ 3) is fine; adding livesIn explodes to 10
         assert_eq!(expl.mcs.num_edges(), 0);
         assert!(expl.mcs.vertex(QVid(0)).is_some());
@@ -308,7 +337,9 @@ mod tests {
             .vertex("p", [Predicate::eq("type", "person")])
             .edge("p", "c", "livesIn")
             .build();
-        let expl = BoundedMcs::new(&db).run(&q, CardinalityGoal::AtMost(50));
+        let expl = BoundedMcs::new(&db)
+            .run(&q, CardinalityGoal::AtMost(50))
+            .unwrap();
         assert!(expl.differential.is_empty());
         assert_eq!(expl.mcs_cardinality, 10);
     }
@@ -327,8 +358,10 @@ mod tests {
             .vertex("c", [Predicate::eq("type", "city")])
             .edge("p", "c", "livesIn")
             .build();
-        let bounded = BoundedMcs::new(&db).run(&q, CardinalityGoal::NonEmpty);
-        let discover = crate::subgraph::DiscoverMcs::new(&db).run(&q);
+        let bounded = BoundedMcs::new(&db)
+            .run(&q, CardinalityGoal::NonEmpty)
+            .unwrap();
+        let discover = crate::subgraph::DiscoverMcs::new(&db).run(&q).unwrap();
         assert_eq!(bounded.mcs.num_edges(), discover.mcs.num_edges());
         assert_eq!(bounded.mcs.num_vertices(), discover.mcs.num_vertices());
     }
@@ -345,10 +378,12 @@ mod tests {
         ] {
             let serial = BoundedMcs::new(&db)
                 .with_executor(Executor::serial())
-                .run(&q, goal);
+                .run(&q, goal)
+                .unwrap();
             let par = BoundedMcs::new(&db)
                 .with_executor(Executor::new(ParallelOpts::with_threads(4)))
-                .run(&q, goal);
+                .run(&q, goal)
+                .unwrap();
             assert_eq!(par.mcs.num_edges(), serial.mcs.num_edges(), "{goal:?}");
             assert_eq!(par.mcs.num_vertices(), serial.mcs.num_vertices());
             assert_eq!(par.mcs_cardinality, serial.mcs_cardinality);
@@ -357,11 +392,30 @@ mod tests {
     }
 
     #[test]
+    fn cancelled_run_returns_tagged_partial() {
+        use whyq_matcher::{Budget, CancelToken, Termination};
+        let db = data();
+        let token = CancelToken::new();
+        token.cancel();
+        let expl = BoundedMcs::new(&db)
+            .with_config(McsConfig {
+                budget: Budget::cancelled_by(&token),
+                ..McsConfig::default()
+            })
+            .run(&star_query(), CardinalityGoal::AtLeast(5))
+            .unwrap();
+        assert_eq!(expl.termination, Termination::Cancelled);
+        assert_eq!(expl.mcs.num_vertices(), 0);
+    }
+
+    #[test]
     fn hopeless_bound_yields_empty_mcs() {
         let db = data();
         let q = star_query();
         // nothing in this data ever reaches 1000 matches
-        let expl = BoundedMcs::new(&db).run(&q, CardinalityGoal::AtLeast(1000));
+        let expl = BoundedMcs::new(&db)
+            .run(&q, CardinalityGoal::AtLeast(1000))
+            .unwrap();
         assert_eq!(expl.mcs.num_vertices(), 0);
         assert_eq!(expl.differential.len(), q.num_vertices() + q.num_edges());
     }

@@ -20,9 +20,9 @@ use crate::subgraph::traversal::{
 };
 use crate::subgraph::McsConfig;
 use whyq_graph::PropertyGraph;
-use whyq_matcher::{extend_matches, seed_matches, MatchOptions};
+use whyq_matcher::{extend_matches, seed_matches, Budget, MatchOptions};
 use whyq_query::{PatternQuery, QEid, QVid};
-use whyq_session::{Database, Executor, Session};
+use whyq_session::{Database, Executor, Session, WhyqError};
 
 /// Outcome of traversing one component along its best path.
 #[derive(Debug, Clone)]
@@ -35,15 +35,26 @@ pub(crate) struct PrefixOutcome {
 
 /// Traverse one path, growing the prefix while `satisfied(count)` holds.
 /// (`satisfied` is `Sync` so sibling paths can be traversed concurrently —
-/// see [`best_prefix`].)
+/// see [`best_prefix`].) The budget is polled before every extension; on a
+/// trip the prefix grown so far is returned as-is (with no crossing edge —
+/// an exhausted budget is not a semantic bound violation).
 pub(crate) fn traverse_path(
     g: &PropertyGraph,
     q: &PatternQuery,
     path: &TraversalPath,
     cap: usize,
     satisfied: &(dyn Fn(usize) -> bool + Sync),
+    budget: &Budget,
     extensions: &mut u64,
 ) -> PrefixOutcome {
+    if budget.poll().is_err() {
+        return PrefixOutcome {
+            start: path.start,
+            prefix: Vec::new(),
+            crossing: None,
+            seed_ok: false,
+        };
+    }
     let mut partial = seed_matches(g, q, path.start, cap);
     *extensions += 1;
     if !satisfied(partial.len()) {
@@ -56,6 +67,9 @@ pub(crate) fn traverse_path(
     }
     let mut prefix = Vec::new();
     for &e in &path.edges {
+        if budget.charge(partial.len() as u64).is_err() {
+            break;
+        }
         let next = extend_matches(g, q, &partial, e, cap);
         *extensions += 1;
         if !satisfied(next.len()) {
@@ -85,6 +99,9 @@ pub(crate) fn traverse_path(
 /// selected prefix and the reported `paths_tried`/`extensions` statistics
 /// are identical to the serial scan's (ties break on the earlier path
 /// either way, and a later path can never beat a complete one).
+///
+/// `Err` is reserved for a panicked parallel worker; a tripped budget just
+/// ends the scan early with the best prefix found so far.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn best_prefix(
     g: &PropertyGraph,
@@ -93,10 +110,11 @@ pub(crate) fn best_prefix(
     component_edges: usize,
     cap: usize,
     satisfied: &(dyn Fn(usize) -> bool + Sync),
+    budget: &Budget,
     extensions: &mut u64,
     paths_tried: &mut usize,
     executor: &Executor,
-) -> PrefixOutcome {
+) -> Result<PrefixOutcome, WhyqError> {
     let mut best: Option<PrefixOutcome> = None;
     let select = |best: &mut Option<PrefixOutcome>, outcome: PrefixOutcome| -> bool {
         let better = match &*best {
@@ -114,9 +132,9 @@ pub(crate) fn best_prefix(
     if executor.is_parallel() && paths.len() > 1 {
         let results = executor.map_batch(paths, |path| {
             let mut ext = 0u64;
-            let outcome = traverse_path(g, q, path, cap, satisfied, &mut ext);
+            let outcome = traverse_path(g, q, path, cap, satisfied, budget, &mut ext);
             (outcome, ext)
-        });
+        })?;
         // replay with the serial early-break so the reported
         // `paths_tried`/`extensions` statistics are bit-identical to
         // serial mode (the paths computed past the break are the wasted
@@ -130,19 +148,22 @@ pub(crate) fn best_prefix(
         }
     } else {
         for path in paths {
+            if budget.poll().is_err() {
+                break;
+            }
             *paths_tried += 1;
-            let outcome = traverse_path(g, q, path, cap, satisfied, extensions);
+            let outcome = traverse_path(g, q, path, cap, satisfied, budget, extensions);
             if select(&mut best, outcome) {
                 break;
             }
         }
     }
-    best.unwrap_or(PrefixOutcome {
+    Ok(best.unwrap_or(PrefixOutcome {
         start: QVid(0),
         prefix: Vec::new(),
         crossing: None,
         seed_ok: false,
-    })
+    }))
 }
 
 /// Components to traverse: per-WCC when decomposition is on (§4.3.1),
@@ -227,7 +248,14 @@ impl<'g> DiscoverMcs<'g> {
     }
 
     /// Explain a why-empty query: detect the MCS and the differential graph.
-    pub fn run(&self, q: &PatternQuery) -> SubgraphExplanation {
+    ///
+    /// When the configured [`McsConfig::budget`] trips mid-run the
+    /// traversal degrades gracefully: the explanation assembled from the
+    /// components finished so far is returned with its
+    /// [`termination`](SubgraphExplanation::termination) naming the cause.
+    /// `Err` is reserved for real failures (a panicked parallel worker, an
+    /// invalid query).
+    pub fn run(&self, q: &PatternQuery) -> Result<SubgraphExplanation, WhyqError> {
         self.run_impl(q, None)
     }
 
@@ -235,18 +263,30 @@ impl<'g> DiscoverMcs<'g> {
     /// a caller-provided session (which must belong to the same database) —
     /// the why-engine reuses its long-lived session this way instead of
     /// opening a throwaway one per explanation.
-    pub fn run_with(&self, q: &PatternQuery, session: &Session<'_>) -> SubgraphExplanation {
+    pub fn run_with(
+        &self,
+        q: &PatternQuery,
+        session: &Session<'_>,
+    ) -> Result<SubgraphExplanation, WhyqError> {
         self.run_impl(q, Some(session))
     }
 
-    fn run_impl(&self, q: &PatternQuery, session: Option<&Session<'_>>) -> SubgraphExplanation {
+    fn run_impl(
+        &self,
+        q: &PatternQuery,
+        session: Option<&Session<'_>>,
+    ) -> Result<SubgraphExplanation, WhyqError> {
         let g = self.db.graph();
         let stats = Statistics::new(self.db);
+        let budget = &self.config.budget;
         let satisfied = |n: usize| n > 0;
         let mut extensions = 0u64;
         let mut paths_tried = 0usize;
         let mut outcomes = Vec::new();
         for component in components_of(q, self.config.decompose) {
+            if budget.poll().is_err() {
+                break;
+            }
             // `incident_edges` yields each edge once per *vertex* it
             // touches (a self-loop included once, not twice); the set
             // dedups the edges shared by two component endpoints so the
@@ -265,35 +305,37 @@ impl<'g> DiscoverMcs<'g> {
                 comp_edges.len(),
                 self.config.max_intermediate,
                 &satisfied,
+                budget,
                 &mut extensions,
                 &mut paths_tried,
                 &self.executor,
-            );
+            )?;
             outcomes.push(outcome);
         }
         let mcs = assemble_mcs(q, &outcomes);
         let mcs_cardinality = if mcs.num_vertices() == 0 {
             0
         } else {
-            let opts = MatchOptions::counting(Some(self.config.cardinality_limit));
-            let count = |s: &Session<'_>| {
-                s.count_opts(&mcs, opts)
-                    .expect("the MCS is a subquery of a validated query")
-            };
+            // the final count shares the run's budget: a tripped governor
+            // yields the partial count enumerated so far instead of an error
+            let opts = MatchOptions::counting(Some(self.config.cardinality_limit))
+                .with_budget(budget.clone());
+            let count = |s: &Session<'_>| Ok::<u64, WhyqError>(s.count_governed(&mcs, opts)?.value);
             match session {
-                Some(s) => count(s),
-                None => count(&self.db.session()),
+                Some(s) => count(s)?,
+                None => count(&self.db.session())?,
             }
         };
         let crossing_edge = outcomes.iter().find_map(|o| o.crossing);
-        SubgraphExplanation {
+        Ok(SubgraphExplanation {
             differential: DifferentialGraph::between(q, &mcs),
             mcs,
             mcs_cardinality,
             crossing_edge,
             paths_tried,
             extensions,
-        }
+            termination: budget.termination(),
+        })
     }
 }
 
@@ -337,7 +379,7 @@ mod tests {
     #[test]
     fn finds_mcs_and_differential() {
         let db = data();
-        let expl = DiscoverMcs::new(&db).run(&failing_query());
+        let expl = DiscoverMcs::new(&db).run(&failing_query()).unwrap();
         // MCS: person -workAt-> university (1 edge, 2 vertices)
         assert_eq!(expl.mcs.num_edges(), 1);
         assert_eq!(expl.mcs.num_vertices(), 2);
@@ -360,7 +402,7 @@ mod tests {
             .vertex("u", [Predicate::eq("type", "university")])
             .edge("p", "u", "workAt")
             .build();
-        let expl = DiscoverMcs::new(&g).run(&q);
+        let expl = DiscoverMcs::new(&g).run(&q).unwrap();
         assert!(expl.differential.is_empty());
         assert_eq!(expl.mcs_cardinality, 1);
         assert_eq!(expl.crossing_edge, None);
@@ -372,7 +414,7 @@ mod tests {
         let q = QueryBuilder::new("alien")
             .vertex("x", [Predicate::eq("type", "spaceship")])
             .build();
-        let expl = DiscoverMcs::new(&g).run(&q);
+        let expl = DiscoverMcs::new(&g).run(&q).unwrap();
         assert_eq!(expl.mcs.num_vertices(), 0);
         assert_eq!(expl.mcs_cardinality, 0);
         assert_eq!(expl.differential.len(), 1);
@@ -382,13 +424,14 @@ mod tests {
     fn single_path_strategy_is_cheaper() {
         let db = data();
         let q = failing_query();
-        let exhaustive = DiscoverMcs::new(&db).run(&q);
+        let exhaustive = DiscoverMcs::new(&db).run(&q).unwrap();
         let single = DiscoverMcs::new(&db)
             .with_config(McsConfig {
                 strategy: PathStrategy::SingleSelectivity,
                 ..McsConfig::default()
             })
-            .run(&q);
+            .run(&q)
+            .unwrap();
         assert!(single.paths_tried <= exhaustive.paths_tried);
         assert!(single.extensions <= exhaustive.extensions);
         // on this simple query the approximation is exact
@@ -402,10 +445,12 @@ mod tests {
         let q = failing_query();
         let serial = DiscoverMcs::new(&db)
             .with_executor(Executor::serial())
-            .run(&q);
+            .run(&q)
+            .unwrap();
         let par = DiscoverMcs::new(&db)
             .with_executor(Executor::new(ParallelOpts::with_threads(4)))
-            .run(&q);
+            .run(&q)
+            .unwrap();
         assert_eq!(par.mcs.num_edges(), serial.mcs.num_edges());
         assert_eq!(par.mcs.num_vertices(), serial.mcs.num_vertices());
         assert_eq!(par.mcs_cardinality, serial.mcs_cardinality);
@@ -414,6 +459,32 @@ mod tests {
         // reported measurement statistics are machine-independent
         assert_eq!(par.paths_tried, serial.paths_tried);
         assert_eq!(par.extensions, serial.extensions);
+    }
+
+    #[test]
+    fn elapsed_deadline_degrades_gracefully() {
+        use whyq_matcher::{Budget, Termination};
+        let db = data();
+        let expl = DiscoverMcs::new(&db)
+            .with_config(McsConfig {
+                budget: Budget::deadline(std::time::Duration::ZERO),
+                ..McsConfig::default()
+            })
+            .run(&failing_query())
+            .unwrap();
+        // the budget tripped before any component was traversed: the
+        // partial explanation is empty but tagged, not an error
+        assert_eq!(expl.termination, Termination::DeadlineExceeded);
+        assert_eq!(expl.mcs.num_vertices(), 0);
+        assert_eq!(expl.extensions, 0);
+    }
+
+    #[test]
+    fn ungoverned_run_reports_complete() {
+        use whyq_matcher::Termination;
+        let db = data();
+        let expl = DiscoverMcs::new(&db).run(&failing_query()).unwrap();
+        assert_eq!(expl.termination, Termination::Complete);
     }
 
     #[test]
@@ -429,7 +500,7 @@ mod tests {
                 ],
             )
             .build();
-        let expl = DiscoverMcs::new(&g).run(&q);
+        let expl = DiscoverMcs::new(&g).run(&q).unwrap();
         // person part matches, Atlantis part fails
         assert!(expl.mcs.vertex(QVid(0)).is_some());
         assert!(expl.mcs.vertex(QVid(1)).is_none());

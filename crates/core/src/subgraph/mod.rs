@@ -26,6 +26,8 @@ pub use bounded::BoundedMcs;
 pub use discover::DiscoverMcs;
 pub use traversal::{PathStrategy, TraversalPath};
 
+use whyq_matcher::Budget;
+
 /// Configuration shared by DISCOVERMCS and BOUNDEDMCS.
 #[derive(Debug, Clone)]
 pub struct McsConfig {
@@ -40,6 +42,14 @@ pub struct McsConfig {
     pub max_paths: usize,
     /// Cap used when counting the cardinality of the final MCS.
     pub cardinality_limit: u64,
+    /// Resource governor of the run: deadline, step budget and external
+    /// cancellation. On a trip the traversal stops where it stands and
+    /// the explanation assembled from the components finished so far is
+    /// returned, tagged with the budget's
+    /// [`Termination`](whyq_matcher::Termination) — a degraded answer, not
+    /// an error. The budget is single-run state: use a fresh one per
+    /// `run()` call.
+    pub budget: Budget,
 }
 
 impl Default for McsConfig {
@@ -50,6 +60,7 @@ impl Default for McsConfig {
             max_intermediate: 10_000,
             max_paths: 64,
             cardinality_limit: 100_000,
+            budget: Budget::unlimited(),
         }
     }
 }

@@ -27,6 +27,7 @@
 //! why-query relaxation loop does — performs no per-call setup allocations
 //! beyond query compilation.
 
+use crate::budget::{Budget, CHECK_INTERVAL};
 use crate::compile::{build_plans, Compiled, ComponentPlan, Step};
 use crate::index::AttrIndex;
 use crate::result::ResultGraph;
@@ -37,13 +38,23 @@ use whyq_graph::{AdjSlice, CsrTopology, PropertyGraph, Value, VertexId};
 use whyq_query::{Interval, PatternQuery, QVid};
 
 /// Options controlling match semantics.
-#[derive(Debug, Clone, Copy)]
+///
+/// `Clone` (not `Copy`): the [`Budget`] is a shared handle, and cloning
+/// options deliberately shares it — every evaluation run under clones of
+/// one `MatchOptions` draws on the *same* deadline/step/cancel limits.
+#[derive(Debug, Clone)]
 pub struct MatchOptions {
     /// Injective mapping of vertices and edges within a component
     /// (subgraph-isomorphism style). `false` = homomorphic matching.
     pub injective: bool,
     /// Stop after this many result graphs.
     pub limit: Option<usize>,
+    /// Resource governance: deadline, step budget, cooperative cancel.
+    /// Checked every [`CHECK_INTERVAL`] DFS transitions; when it trips,
+    /// the search stops early and the budget records the cause — inspect
+    /// [`Budget::termination`] after the run to distinguish a complete
+    /// answer from a partial prefix. Unlimited by default.
+    pub budget: Budget,
 }
 
 impl Default for MatchOptions {
@@ -51,6 +62,7 @@ impl Default for MatchOptions {
         MatchOptions {
             injective: true,
             limit: None,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -70,7 +82,23 @@ impl MatchOptions {
         MatchOptions {
             injective: true,
             limit: limit.map(|l| usize::try_from(l).unwrap_or(usize::MAX)),
+            ..Self::default()
         }
+    }
+
+    /// Default options governed by `budget` (builder style — combine with
+    /// struct update syntax for limits).
+    pub fn governed(budget: Budget) -> Self {
+        MatchOptions {
+            budget,
+            ..Self::default()
+        }
+    }
+
+    /// Replace the budget (builder style).
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
     }
 }
 
@@ -98,11 +126,16 @@ pub(crate) struct Scratch {
     gen: u32,
     /// Seed candidates of the component currently being evaluated.
     seeds: Vec<VertexId>,
+    /// DFS transitions since the search started; every
+    /// [`CHECK_INTERVAL`]-th transition charges the budget. Reset per
+    /// search so block boundaries are deterministic.
+    pub(crate) ticks: u64,
 }
 
 impl Scratch {
     /// Size (and reset) the arena for a search of `q` over `g`.
     pub(crate) fn prepare(&mut self, g: &PropertyGraph, q: &PatternQuery) {
+        self.ticks = 0;
         self.vslots.clear();
         self.vslots.resize(q.vertex_slots(), None);
         self.eslots.clear();
@@ -166,6 +199,7 @@ struct SearchCtx<'a> {
     compiled: &'a Compiled,
     steps: &'a [Step],
     injective: bool,
+    budget: &'a Budget,
 }
 
 /// Per-`ExpandNew`-step constants: the query edge being bound, the query
@@ -370,6 +404,11 @@ impl<'g> Matcher<'g> {
         if q.num_vertices() == 0 || plans.is_empty() {
             return Vec::new();
         }
+        // an already-tripped (or zero) budget refuses the search up front —
+        // the tick check inside the DFS only fires after a full block
+        if opts.budget.poll().is_err() {
+            return Vec::new();
+        }
         let cap = opts.limit.unwrap_or(usize::MAX);
         let mut st = self.scratch.borrow_mut();
         st.prepare(self.g, q);
@@ -378,7 +417,7 @@ impl<'g> Matcher<'g> {
         let mut per_component: Vec<Vec<ResultGraph>> = Vec::with_capacity(plans.len());
         for plan in plans {
             let mut results = Vec::new();
-            self.eval_component(q, compiled, plan, opts.injective, &mut st, &mut |s| {
+            self.eval_component(q, compiled, plan, &opts, &mut st, &mut |s| {
                 results.push(s.to_result());
                 results.len() < cap
             });
@@ -412,13 +451,16 @@ impl<'g> Matcher<'g> {
         if q.num_vertices() == 0 || plans.is_empty() {
             return 0;
         }
+        if opts.budget.poll().is_err() {
+            return 0;
+        }
         let limit = opts.limit.map(|l| l as u64);
         let mut st = self.scratch.borrow_mut();
         st.prepare(self.g, q);
         let mut counts: Vec<u64> = Vec::with_capacity(plans.len());
         for plan in plans {
             let mut c: u64 = 0;
-            self.eval_component(q, compiled, plan, opts.injective, &mut st, &mut |_| {
+            self.eval_component(q, compiled, plan, &opts, &mut st, &mut |_| {
                 c += 1;
                 limit.is_none_or(|l| c < l)
             });
@@ -473,7 +515,7 @@ impl<'g> Matcher<'g> {
         opts: MatchOptions,
     ) -> Vec<ResultGraph> {
         let cap = opts.limit.unwrap_or(usize::MAX);
-        if cap == 0 {
+        if cap == 0 || opts.budget.poll().is_err() {
             return Vec::new();
         }
         let mut st = self.scratch.borrow_mut();
@@ -483,7 +525,7 @@ impl<'g> Matcher<'g> {
             q,
             compiled,
             &plans[unit.component],
-            opts.injective,
+            &opts,
             seeds,
             unit.range.clone(),
             &mut st,
@@ -507,6 +549,9 @@ impl<'g> Matcher<'g> {
         seeds: &SeedList,
         opts: MatchOptions,
     ) -> u64 {
+        if opts.budget.poll().is_err() {
+            return 0;
+        }
         let limit = opts.limit.map(|l| l as u64);
         let mut st = self.scratch.borrow_mut();
         st.prepare(self.g, q);
@@ -515,7 +560,7 @@ impl<'g> Matcher<'g> {
             q,
             compiled,
             &plans[unit.component],
-            opts.injective,
+            &opts,
             seeds,
             unit.range.clone(),
             &mut st,
@@ -539,7 +584,7 @@ impl<'g> Matcher<'g> {
         q: &PatternQuery,
         compiled: &Compiled,
         plan: &ComponentPlan,
-        injective: bool,
+        opts: &MatchOptions,
         seeds: &SeedList,
         range: std::ops::Range<usize>,
         st: &mut Scratch,
@@ -552,7 +597,8 @@ impl<'g> Matcher<'g> {
             q,
             compiled,
             steps: &plan.steps,
-            injective,
+            injective: opts.injective,
+            budget: &opts.budget,
         };
         let cv = compiled.vertex(vertex);
         for i in range {
@@ -577,7 +623,7 @@ impl<'g> Matcher<'g> {
         q: &PatternQuery,
         compiled: &Compiled,
         plan: &ComponentPlan,
-        injective: bool,
+        opts: &MatchOptions,
         st: &mut Scratch,
         emit: &mut dyn FnMut(&Scratch) -> bool,
     ) {
@@ -585,7 +631,8 @@ impl<'g> Matcher<'g> {
             q,
             compiled,
             steps: &plan.steps,
-            injective,
+            injective: opts.injective,
+            budget: &opts.budget,
         };
         self.step(&cx, 0, st, emit);
     }
@@ -597,6 +644,15 @@ impl<'g> Matcher<'g> {
         st: &mut Scratch,
         emit: &mut dyn FnMut(&Scratch) -> bool,
     ) -> bool {
+        // coarse tick-counted budget check: one charge per CHECK_INTERVAL
+        // DFS transitions keeps `Instant::now` off the per-step hot path
+        // while bounding how far past a deadline the search can run
+        st.ticks += 1;
+        if st.ticks.is_multiple_of(CHECK_INTERVAL as u64)
+            && cx.budget.charge(CHECK_INTERVAL as u64).is_err()
+        {
+            return false;
+        }
         if i == cx.steps.len() {
             return emit(st);
         }
@@ -731,6 +787,8 @@ impl<'g> Matcher<'g> {
         vertex: QVid,
         dv: VertexId,
     ) -> bool {
+        #[cfg(feature = "fault-inject")]
+        crate::fault::on_seed_bound();
         // the seed is the first binding of its component; earlier
         // components' bindings are irrelevant (injectivity is
         // per-component), so no occupancy check is needed here
@@ -964,6 +1022,7 @@ pub fn find_matches(g: &PropertyGraph, q: &PatternQuery, limit: Option<usize>) -
         MatchOptions {
             injective: true,
             limit,
+            ..Default::default()
         },
     )
 }
@@ -1002,6 +1061,7 @@ mod tests {
             MatchOptions {
                 injective: true,
                 limit,
+                ..Default::default()
             },
         )
     }
@@ -1205,9 +1265,10 @@ mod tests {
         let hom = MatchOptions {
             injective: false,
             limit: None,
+            ..Default::default()
         };
-        assert_eq!(m.count(&q, hom), 2);
-        assert_eq!(m.find(&q, hom).len() as u64, m.count(&q, hom));
+        assert_eq!(m.count(&q, hom.clone()), 2);
+        assert_eq!(m.find(&q, hom.clone()).len() as u64, m.count(&q, hom));
     }
 
     #[test]
@@ -1231,6 +1292,7 @@ mod tests {
             MatchOptions {
                 injective: false,
                 limit: None,
+                ..Default::default()
             },
         );
         assert_eq!(hom.len(), 2); // a->b->a and b->a->b
@@ -1272,6 +1334,7 @@ mod tests {
             MatchOptions {
                 injective: false,
                 limit: None,
+                ..Default::default()
             },
         );
         // homomorphic adds (a,a) once — not twice

@@ -58,9 +58,12 @@
 //! `whyq-core` (DISCOVERMCS, BOUNDEDMCS, change propagation) are built on:
 //! grow a set of partial result graphs by one query edge at a time.
 
+pub mod budget;
 pub mod combine;
 pub mod compile;
 pub mod engine;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod incremental;
 pub mod index;
 pub mod reference;
@@ -68,6 +71,7 @@ pub mod result;
 pub mod stream;
 pub mod work;
 
+pub use budget::{Budget, CancelToken, Termination};
 pub use combine::{combine_components, FactorOdometer};
 #[allow(deprecated)] // compatibility re-exports of the deprecated shims
 pub use engine::{count_matches, find_matches};

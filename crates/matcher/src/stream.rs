@@ -20,6 +20,7 @@
 //! in-flight concurrently with each other and with `find`/`count` calls
 //! on the matcher they came from.
 
+use crate::budget::{Budget, Termination, CHECK_INTERVAL};
 use crate::combine::FactorOdometer;
 use crate::compile::{Compiled, ComponentPlan, Step};
 use crate::engine::{seed_source, MatchOptions, Matcher, Scratch, SeedSource};
@@ -83,6 +84,10 @@ pub struct MatchStream<'g> {
     compiled: Arc<Compiled>,
     plans: Arc<Vec<ComponentPlan>>,
     injective: bool,
+    /// Resource governance shared with the caller (see
+    /// [`MatchOptions::budget`]); on a trip the stream ends early and
+    /// [`MatchStream::termination`] reports the cause.
+    budget: Budget,
     /// Results still allowed out (from `MatchOptions::limit`).
     remaining: usize,
     started: bool,
@@ -119,6 +124,7 @@ impl<'g> MatchStream<'g> {
             compiled,
             plans,
             injective: opts.injective,
+            budget: opts.budget.clone(),
             remaining: opts.limit.unwrap_or(usize::MAX),
             started: false,
             done: false,
@@ -129,11 +135,24 @@ impl<'g> MatchStream<'g> {
         }
     }
 
+    /// How the stream's governed execution has ended so far:
+    /// [`Termination::Complete`] while no budget limit has tripped. When a
+    /// limit trips mid-stream, iteration stops early and this reports why
+    /// — the results already yielded are a prefix of the full enumeration.
+    pub fn termination(&self) -> Termination {
+        self.budget.termination()
+    }
+
     /// First-call setup: size the arena, materialize the factor lists of
     /// components `1..n` and park the component-0 DFS at its seed step.
     fn start(&mut self) {
         self.started = true;
         if self.q.num_vertices() == 0 || self.plans.is_empty() || self.remaining == 0 {
+            self.done = true;
+            return;
+        }
+        // refuse an already-tripped (or zero) budget before any setup work
+        if self.budget.poll().is_err() {
             self.done = true;
             return;
         }
@@ -227,6 +246,14 @@ impl<'g> MatchStream<'g> {
         let q = Arc::clone(&self.q);
         let compiled = Arc::clone(&self.compiled);
         while !self.stack.is_empty() {
+            // same tick-counted governance as the recursive engine: one
+            // budget charge per CHECK_INTERVAL frame advances
+            self.scratch.ticks += 1;
+            if self.scratch.ticks.is_multiple_of(CHECK_INTERVAL as u64)
+                && self.budget.charge(CHECK_INTERVAL as u64).is_err()
+            {
+                return None;
+            }
             let advanced = {
                 let frame = self.stack.last_mut().expect("non-empty");
                 advance_frame(
@@ -602,7 +629,7 @@ mod tests {
 
     fn assert_stream_matches_find(g: &PropertyGraph, q: &PatternQuery, opts: MatchOptions) {
         let m = Matcher::new(g);
-        let found = m.find(q, opts);
+        let found = m.find(q, opts.clone());
         let streamed: Vec<ResultGraph> = m.stream(q, opts).collect();
         assert_eq!(multiset(found), multiset(streamed));
     }
@@ -633,6 +660,7 @@ mod tests {
         let hom = MatchOptions {
             injective: false,
             limit: None,
+            ..Default::default()
         };
         assert_stream_matches_find(&g, &q, hom);
     }

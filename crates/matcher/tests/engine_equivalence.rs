@@ -104,18 +104,18 @@ proptest! {
     ) {
         let g = build_graph(n, &vtypes, &pairs);
         let q = build_query(qlen, &qtypes, &qetypes, undirected);
-        let opts = MatchOptions { injective, limit: None };
+        let opts = MatchOptions { injective, limit: None, ..Default::default() };
 
-        let naive_count = count_matches_naive(&g, &q, opts);
-        let naive_set = canonical(&find_matches_naive(&g, &q, opts));
+        let naive_count = count_matches_naive(&g, &q, opts.clone());
+        let naive_set = canonical(&find_matches_naive(&g, &q, opts.clone()));
 
         let plain = Matcher::new(&g);
-        prop_assert_eq!(plain.count(&q, opts), naive_count);
-        prop_assert_eq!(canonical(&plain.find(&q, opts)), naive_set.clone());
+        prop_assert_eq!(plain.count(&q, opts.clone()), naive_count);
+        prop_assert_eq!(canonical(&plain.find(&q, opts.clone())), naive_set.clone());
 
         let indexed = Matcher::new(&g).with_index("type");
-        prop_assert_eq!(indexed.count(&q, opts), naive_count);
-        prop_assert_eq!(canonical(&indexed.find(&q, opts)), naive_set);
+        prop_assert_eq!(indexed.count(&q, opts.clone()), naive_count);
+        prop_assert_eq!(canonical(&indexed.find(&q, opts.clone())), naive_set);
     }
 
     /// Limits clamp identically: `min(total, limit)` results/counts.
@@ -135,16 +135,16 @@ proptest! {
         let total = count_matches_naive(
             &g,
             &q,
-            MatchOptions { injective, limit: None },
+            MatchOptions { injective, limit: None, ..Default::default() },
         );
-        let opts = MatchOptions { injective, limit: Some(limit) };
+        let opts = MatchOptions { injective, limit: Some(limit), ..Default::default() };
         let expect = total.min(limit as u64);
 
         let m = Matcher::new(&g);
-        prop_assert_eq!(m.count(&q, opts), expect);
-        prop_assert_eq!(m.find(&q, opts).len() as u64, expect);
-        prop_assert_eq!(count_matches_naive(&g, &q, opts), expect);
-        prop_assert_eq!(find_matches_naive(&g, &q, opts).len() as u64, expect);
+        prop_assert_eq!(m.count(&q, opts.clone()), expect);
+        prop_assert_eq!(m.find(&q, opts.clone()).len() as u64, expect);
+        prop_assert_eq!(count_matches_naive(&g, &q, opts.clone()), expect);
+        prop_assert_eq!(find_matches_naive(&g, &q, opts.clone()).len() as u64, expect);
     }
 
     /// String-predicate queries — including `OneOf` disjunctions carrying
@@ -200,18 +200,18 @@ proptest! {
             }
             prev = Some(v);
         }
-        let opts = MatchOptions { injective, limit: None };
+        let opts = MatchOptions { injective, limit: None, ..Default::default() };
 
-        let naive_count = count_matches_naive(&g, &q, opts);
-        let naive_set = canonical(&find_matches_naive(&g, &q, opts));
+        let naive_count = count_matches_naive(&g, &q, opts.clone());
+        let naive_set = canonical(&find_matches_naive(&g, &q, opts.clone()));
 
         let plain = Matcher::new(&g);
-        prop_assert_eq!(plain.count(&q, opts), naive_count);
-        prop_assert_eq!(canonical(&plain.find(&q, opts)), naive_set.clone());
+        prop_assert_eq!(plain.count(&q, opts.clone()), naive_count);
+        prop_assert_eq!(canonical(&plain.find(&q, opts.clone())), naive_set.clone());
 
         let indexed = Matcher::new(&g).with_index("type");
-        prop_assert_eq!(indexed.count(&q, opts), naive_count);
-        prop_assert_eq!(canonical(&indexed.find(&q, opts)), naive_set);
+        prop_assert_eq!(indexed.count(&q, opts.clone()), naive_count);
+        prop_assert_eq!(canonical(&indexed.find(&q, opts.clone())), naive_set);
     }
 
     /// Multi-component queries (isolated vertices) multiply identically.
@@ -233,10 +233,13 @@ proptest! {
         }
         let opts = MatchOptions::default();
         let m = Matcher::new(&g);
-        prop_assert_eq!(m.count(&q, opts), count_matches_naive(&g, &q, opts));
         prop_assert_eq!(
-            canonical(&m.find(&q, opts)),
-            canonical(&find_matches_naive(&g, &q, opts))
+            m.count(&q, opts.clone()),
+            count_matches_naive(&g, &q, opts.clone())
+        );
+        prop_assert_eq!(
+            canonical(&m.find(&q, opts.clone())),
+            canonical(&find_matches_naive(&g, &q, opts.clone()))
         );
     }
 }

@@ -6,6 +6,7 @@
 //! carries) is a value here.
 
 use std::fmt;
+use whyq_matcher::Termination;
 
 /// Errors raised by the `Database`/`Session`/`PreparedQuery` facade.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,6 +23,27 @@ pub enum WhyqError {
         /// Human-readable description of the violated invariant.
         reason: String,
     },
+    /// Execution stopped before completing because its
+    /// [`whyq_matcher::Budget`] tripped: the deadline passed, the step
+    /// budget ran out, or an external [`whyq_matcher::CancelToken`] was
+    /// flipped. Raised by the plain `find`/`count` entry points, whose
+    /// contract is an *exact* answer — callers that want the partial
+    /// results of an interrupted run use the `*_governed` variants, which
+    /// return them tagged with the [`Termination`] instead of erroring.
+    Interrupted {
+        /// Why the budget tripped (never [`Termination::Complete`]).
+        termination: Termination,
+    },
+    /// A worker thread panicked while executing a parallel work unit. The
+    /// executor catches the unwind at the unit boundary, so the
+    /// [`crate::Database`] — its graph, indexes and plan cache — and every
+    /// other session remain fully usable; only the batch that hosted the
+    /// panic fails.
+    WorkerPanicked {
+        /// The panic payload, when it was a string (the common
+        /// `panic!`/`assert!` case), else a placeholder.
+        message: String,
+    },
 }
 
 impl fmt::Display for WhyqError {
@@ -34,6 +56,12 @@ impl fmt::Display for WhyqError {
                 )
             }
             WhyqError::InvalidQuery { reason } => write!(f, "invalid query: {reason}"),
+            WhyqError::Interrupted { termination } => {
+                write!(f, "execution interrupted: {termination}")
+            }
+            WhyqError::WorkerPanicked { message } => {
+                write!(f, "a parallel worker panicked: {message}")
+            }
         }
     }
 }

@@ -30,10 +30,22 @@
 //! counterparts.
 
 use crate::{Database, Session, WhyqError};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::OnceLock;
-use whyq_matcher::MatchOptions;
+use whyq_matcher::{CancelToken, MatchOptions, Termination};
 use whyq_query::PatternQuery;
+
+/// Render a caught panic payload for [`WhyqError::WorkerPanicked`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Default seed-range split floor: a component whose seed list is smaller
 /// than this is evaluated as a single unit — below it, thread start-up
@@ -74,23 +86,35 @@ impl ParallelOpts {
     }
 
     /// Thread count from the environment: the `WHYQ_THREADS` variable when
-    /// set (and parseable), otherwise [`std::thread::available_parallelism`].
-    /// `WHYQ_THREADS=1` (or a single-core machine) therefore disables
-    /// parallel execution engine-wide. The lookup is performed once per
-    /// process and memoized — hot loops calling `find_par()` (whose
-    /// default options come from here) pay no repeated env reads.
+    /// set, otherwise [`std::thread::available_parallelism`]. A malformed
+    /// `WHYQ_THREADS` value is rejected **loudly**: a warning naming the
+    /// bad value is printed to stderr (once — the lookup is memoized) and
+    /// the hardware default is used, instead of the misconfiguration
+    /// silently passing as "unset". `WHYQ_THREADS=1` (or a single-core
+    /// machine) disables parallel execution engine-wide. The lookup is
+    /// performed once per process and memoized — hot loops calling
+    /// `find_par()` (whose default options come from here) pay no
+    /// repeated env reads.
     pub fn from_env() -> Self {
         static ENV_THREADS: OnceLock<usize> = OnceLock::new();
         let threads = *ENV_THREADS.get_or_init(|| {
-            std::env::var("WHYQ_THREADS")
-                .ok()
-                .and_then(|v| v.parse::<usize>().ok())
-                .unwrap_or_else(|| {
-                    std::thread::available_parallelism()
-                        .map(std::num::NonZeroUsize::get)
-                        .unwrap_or(1)
-                })
-                .max(1)
+            let fallback = || {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            };
+            match std::env::var("WHYQ_THREADS") {
+                Ok(raw) => parse_threads(&raw).unwrap_or_else(|| {
+                    eprintln!(
+                        "whyq-session: ignoring malformed WHYQ_THREADS={raw:?} \
+                         (expected a positive integer); using {} worker(s)",
+                        fallback()
+                    );
+                    fallback()
+                }),
+                Err(_) => fallback(),
+            }
+            .max(1)
         });
         ParallelOpts {
             threads,
@@ -117,6 +141,13 @@ impl Default for ParallelOpts {
     }
 }
 
+/// Parse a `WHYQ_THREADS` value: a non-negative integer (surrounding
+/// whitespace tolerated; `0` keeps its documented "treated as 1"
+/// meaning). `None` marks the value malformed.
+fn parse_threads(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok()
+}
+
 /// A dependency-free scoped-thread task pool bound to a [`ParallelOpts`].
 ///
 /// Every batch call spawns up to `threads` scoped workers that pull task
@@ -140,12 +171,17 @@ impl Default for ParallelOpts {
 #[derive(Debug, Clone, Default)]
 pub struct Executor {
     opts: ParallelOpts,
+    /// Optional external cancellation: workers poll this token between
+    /// tasks and stop pulling new ones once it flips (tasks already
+    /// running finish — or stop on their own via the budget inside their
+    /// `MatchOptions`, when they share it with the token).
+    cancel: Option<CancelToken>,
 }
 
 impl Executor {
     /// Executor over explicit options.
     pub fn new(opts: ParallelOpts) -> Self {
-        Executor { opts }
+        Executor { opts, cancel: None }
     }
 
     /// Executor configured from the environment ([`ParallelOpts::from_env`]).
@@ -156,6 +192,19 @@ impl Executor {
     /// Strictly serial executor (all batches run inline).
     pub fn serial() -> Self {
         Executor::new(ParallelOpts::serial())
+    }
+
+    /// Attach an external cancel token (builder style): batches observe a
+    /// cancel between tasks and fail with
+    /// [`WhyqError::Interrupted`]`(Cancelled)`.
+    pub fn with_cancel(mut self, token: &CancelToken) -> Self {
+        self.cancel = Some(token.clone());
+        self
+    }
+
+    /// True once the attached cancel token (if any) has flipped.
+    fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
     }
 
     /// The configured options.
@@ -177,7 +226,13 @@ impl Executor {
     /// order. Tasks are pure functions of their item — `f` is shared by
     /// reference across workers, so it must be `Sync` and should not
     /// depend on execution order.
-    pub fn map_batch<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    ///
+    /// A panicking task does not take the process (or the caller) down:
+    /// the unwind is caught at the unit boundary and surfaced as
+    /// [`WhyqError::WorkerPanicked`] — first error wins, remaining units
+    /// are abandoned. An attached cancel token likewise fails the batch
+    /// with [`WhyqError::Interrupted`].
+    pub fn map_batch<I, T, F>(&self, items: &[I], f: F) -> Result<Vec<T>, WhyqError>
     where
         I: Sync,
         T: Send + Sync,
@@ -191,67 +246,157 @@ impl Executor {
     /// sibling probes share the database's plan cache and indexes but
     /// never a scratch arena — the batched form of the relax loop's and
     /// the MCS algorithms' cardinality probes.
+    ///
+    /// Errors are **per-slot**: a query that fails — including by
+    /// panicking its worker, caught and reported as
+    /// [`WhyqError::WorkerPanicked`] in that slot — never poisons its
+    /// siblings' results. Only an executor-level stop (an attached cancel
+    /// token, a panic in worker setup) fails whole slots wholesale.
     pub fn count_batch(
         &self,
         db: &Database,
         queries: &[&PatternQuery],
         opts: MatchOptions,
     ) -> Vec<Result<u64, WhyqError>> {
-        self.dispatch(
+        let dispatched = self.dispatch(
             queries.len(),
             || db.session(),
-            |session, i| session.count_opts(queries[i], opts),
-        )
+            |session, i| {
+                // per-slot isolation: catch the unwind *inside* the task so
+                // a panicking probe errors its own slot instead of aborting
+                // the batch (the relax loop skips failed siblings)
+                catch_unwind(AssertUnwindSafe(|| {
+                    session.count_opts(queries[i], opts.clone())
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(WhyqError::WorkerPanicked {
+                        message: panic_message(payload.as_ref()),
+                    })
+                })
+            },
+        );
+        match dispatched {
+            Ok(slots) => slots,
+            // an executor-level stop has no per-slot results to salvage
+            Err(e) => queries.iter().map(|_| Err(e.clone())).collect(),
+        }
     }
 
     /// Run `task(state, i)` for `i in 0..n` across the pool, where each
     /// worker initializes its own `state` once (e.g. a [`Session`]) and
     /// reuses it for every task it pulls. Results come back in task order.
-    pub(crate) fn dispatch<S, T, Init, Task>(&self, n: usize, init: Init, task: Task) -> Vec<T>
+    ///
+    /// Robustness contract: every task (and every worker's `init`) runs
+    /// under [`catch_unwind`], so a panic is confined to its work unit.
+    /// The first failure — panic or cancel — is recorded, every worker
+    /// stops pulling new tasks, and the batch returns `Err`; the shared
+    /// [`Database`] and all other sessions stay untouched and usable
+    /// (per-search scratch state is re-prepared from scratch on every
+    /// search, so nothing leaks out of an abandoned unit).
+    pub(crate) fn dispatch<S, T, Init, Task>(
+        &self,
+        n: usize,
+        init: Init,
+        task: Task,
+    ) -> Result<Vec<T>, WhyqError>
     where
         T: Send + Sync,
         Init: Fn() -> S + Sync,
         Task: Fn(&mut S, usize) -> T + Sync,
     {
         if n == 0 {
-            return Vec::new();
-        }
-        let workers = self.threads().min(n);
-        if workers <= 1 {
-            let mut state = init();
-            return (0..n).map(|i| task(&mut state, i)).collect();
+            return Ok(Vec::new());
         }
         let slots: Vec<OnceLock<T>> = (0..n).map(|_| OnceLock::new()).collect();
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    let mut state = init();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        let _ = slots[i].set(task(&mut state, i));
+        let first_error: OnceLock<WhyqError> = OnceLock::new();
+        let stop = AtomicBool::new(false);
+        let worker = |next: &AtomicUsize| {
+            let mut state = match catch_unwind(AssertUnwindSafe(&init)) {
+                Ok(state) => state,
+                Err(payload) => {
+                    let _ = first_error.set(WhyqError::WorkerPanicked {
+                        message: panic_message(payload.as_ref()),
+                    });
+                    stop.store(true, Ordering::Release);
+                    return;
+                }
+            };
+            loop {
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                if self.cancelled() {
+                    let _ = first_error.set(WhyqError::Interrupted {
+                        termination: Termination::Cancelled,
+                    });
+                    stop.store(true, Ordering::Release);
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                #[cfg(feature = "fault-inject")]
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    whyq_matcher::fault::maybe_panic_at_unit(i);
+                    task(&mut state, i)
+                }));
+                #[cfg(not(feature = "fault-inject"))]
+                let run = catch_unwind(AssertUnwindSafe(|| task(&mut state, i)));
+                match run {
+                    Ok(value) => {
+                        let _ = slots[i].set(value);
                     }
-                });
+                    Err(payload) => {
+                        // first error wins; siblings see `stop` and quit.
+                        // The worker's own state may be mid-search — drop
+                        // it rather than reuse it.
+                        let _ = first_error.set(WhyqError::WorkerPanicked {
+                            message: panic_message(payload.as_ref()),
+                        });
+                        stop.store(true, Ordering::Release);
+                        break;
+                    }
+                }
             }
-        });
+        };
+        let workers = self.threads().min(n);
+        if workers <= 1 {
+            let next = AtomicUsize::new(0);
+            worker(&next);
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| worker(&next));
+                }
+            });
+        }
+        if let Some(e) = first_error.into_inner() {
+            return Err(e);
+        }
         slots
             .into_iter()
-            .map(|s| s.into_inner().expect("every task index was dispatched"))
+            .map(|s| {
+                // no recorded error ⇒ every index was pulled and completed
+                s.into_inner().ok_or(WhyqError::Interrupted {
+                    termination: Termination::Cancelled,
+                })
+            })
             .collect()
     }
 }
 
 /// A worker-session batch runner used by `find_par`/`count_par`: runs
 /// `task(&session, i)` for `i in 0..n` with one [`Session`] per worker.
+/// Fails with the executor's first error — a worker panic or a cancel —
+/// with the database left fully usable.
 pub(crate) fn run_with_sessions<'db, T, Task>(
     exec: &Executor,
     db: &'db Database,
     n: usize,
     task: Task,
-) -> Vec<T>
+) -> Result<Vec<T>, WhyqError>
 where
     T: Send + Sync,
     Task: Fn(&Session<'db>, usize) -> T + Sync,
@@ -268,12 +413,26 @@ mod tests {
         for threads in [1usize, 2, 8] {
             let exec = Executor::new(ParallelOpts::with_threads(threads));
             let items: Vec<usize> = (0..100).collect();
-            let out = exec.map_batch(&items, |&i| i * 2);
+            let out = exec.map_batch(&items, |&i| i * 2).unwrap();
             assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
         }
         assert!(Executor::serial()
             .map_batch(&Vec::<u8>::new(), |_| 0)
+            .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn parse_threads_accepts_integers_and_rejects_noise() {
+        // well-formed: plain integers, surrounding whitespace, the
+        // documented "0 treated as 1" value
+        assert_eq!(parse_threads("4"), Some(4));
+        assert_eq!(parse_threads("  16\n"), Some(16));
+        assert_eq!(parse_threads("0"), Some(0));
+        // malformed: empty, signs, fractions, words, embedded garbage
+        for bad in ["", "  ", "-2", "2.5", "four", "8 cores", "0x10"] {
+            assert_eq!(parse_threads(bad), None, "accepted {bad:?}");
+        }
     }
 
     #[test]

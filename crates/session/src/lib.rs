@@ -72,7 +72,28 @@ use whyq_matcher::{
     combine_components, split_ranges, AttrIndex, MatchOptions, MatchStream, Matcher, ResultGraph,
     SeedList, WorkUnit,
 };
+pub use whyq_matcher::{Budget, CancelToken, Termination};
 use whyq_query::PatternQuery;
+
+/// A result produced under a [`Budget`], tagged with how the execution
+/// ended. Returned by the `*_governed` entry points: when `termination`
+/// is not [`Termination::Complete`], `value` holds the partial results
+/// accumulated before the budget tripped — a prefix-consistent subset of
+/// the ungoverned answer, still useful for best-effort serving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Governed<T> {
+    /// The (possibly partial) result.
+    pub value: T,
+    /// [`Termination::Complete`] iff `value` is the full answer.
+    pub termination: Termination,
+}
+
+impl<T> Governed<T> {
+    /// True iff the run finished and `value` is exact.
+    pub fn is_complete(&self) -> bool {
+        self.termination.is_complete()
+    }
+}
 
 // `Executor` workers share one `&Database` across scoped threads; this
 // trips at compile time if a future field ever breaks that contract.
@@ -259,7 +280,7 @@ impl Database {
 
     /// Counters of the shared plan cache.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().expect("plan cache poisoned").stats()
+        self.lock_cache().stats()
     }
 
     /// Number of plan compilations this database has performed. Distinct
@@ -278,6 +299,18 @@ impl Database {
         self.g
     }
 
+    /// The plan cache, recovering from lock poisoning. A thread that
+    /// panics while holding the cache lock can only have been inside
+    /// `probe`/`stats`, whose LRU bookkeeping has no multi-step invariant
+    /// a partial update could break (and plan *compilation* happens
+    /// outside the lock through a `OnceLock` slot that simply stays
+    /// unfilled if it panics) — so the cache is always safe to keep
+    /// using, and one crashed worker must not poison every future
+    /// prepare on the database.
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, PlanCache> {
+        self.cache.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     /// Look up or build the cached plan for `q`. The cache lock is held
     /// only to probe-or-reserve the signature's slot — compilation (which
     /// samples the graph for selectivity estimates) runs outside it, so
@@ -287,7 +320,7 @@ impl Database {
     /// result (see [`cache::PlanCache`]).
     fn plan_for(&self, session: &Session<'_>, q: &PatternQuery) -> Arc<CachedPlan> {
         let sig = q.signature();
-        let (slot, _hit) = self.cache.lock().expect("plan cache poisoned").probe(&sig);
+        let (slot, _hit) = self.lock_cache().probe(&sig);
         slot.get_or_compile(|| {
             self.compiles.fetch_add(1, Ordering::Relaxed);
             let (compiled, plans) = session.matcher.compile(q);
@@ -384,6 +417,26 @@ impl<'db> Session<'db> {
         self.prepare(q)?.count_opts(opts)
     }
 
+    /// Prepare and enumerate under `opts`, keeping the partial results of
+    /// an interrupted run — see [`PreparedQuery::find_governed`].
+    pub fn find_governed(
+        &self,
+        q: &PatternQuery,
+        opts: MatchOptions,
+    ) -> Result<Governed<Vec<ResultGraph>>, WhyqError> {
+        Ok(self.prepare(q)?.find_governed(opts))
+    }
+
+    /// Prepare and count under `opts`, keeping the partial count of an
+    /// interrupted run — see [`PreparedQuery::count_governed`].
+    pub fn count_governed(
+        &self,
+        q: &PatternQuery,
+        opts: MatchOptions,
+    ) -> Result<Governed<u64>, WhyqError> {
+        Ok(self.prepare(q)?.count_governed(opts))
+    }
+
     /// Counters of the shared plan cache.
     pub fn cache_stats(&self) -> CacheStats {
         self.db.cache_stats()
@@ -425,17 +478,40 @@ impl<'db> PreparedQuery<'_, 'db> {
         self.find_opts(MatchOptions::default())
     }
 
-    /// Enumerate result graphs under `opts`. Execution of a prepared plan
-    /// cannot currently fail — the `Result` is the facade's uniform error
-    /// surface, leaving room for execution-time errors (budgets,
-    /// cancellation) without a breaking change.
+    /// Enumerate result graphs under `opts`.
+    ///
+    /// The contract of this entry point is an **exact** answer: when
+    /// `opts.budget` trips mid-search (deadline, step budget or cancel),
+    /// the truncated results are discarded and
+    /// [`WhyqError::Interrupted`] is returned, so a partial answer can
+    /// never be mistaken for a complete one. Use
+    /// [`PreparedQuery::find_governed`] to keep the partial results.
     pub fn find_opts(&self, opts: MatchOptions) -> Result<Vec<ResultGraph>, WhyqError> {
-        Ok(self.session.matcher.find_compiled(
+        let governed = self.find_governed(opts);
+        match governed.termination {
+            Termination::Complete => Ok(governed.value),
+            termination => Err(WhyqError::Interrupted { termination }),
+        }
+    }
+
+    /// Enumerate result graphs under `opts`, keeping whatever an
+    /// interrupted run produced: the returned [`Governed`] tags the
+    /// results with the budget's [`Termination`]. On a trip the value is
+    /// a prefix of the serial enumeration (per component; across
+    /// components of a disconnected query it is a subset of the cartesian
+    /// product) — the best-effort shape a serving layer degrades to.
+    pub fn find_governed(&self, opts: MatchOptions) -> Governed<Vec<ResultGraph>> {
+        let budget = opts.budget.clone();
+        let value = self.session.matcher.find_compiled(
             &self.query,
             &self.plan.compiled,
             &self.plan.plans,
             opts,
-        ))
+        );
+        Governed {
+            value,
+            termination: budget.termination(),
+        }
     }
 
     /// Count result graphs (injective, exact).
@@ -444,14 +520,33 @@ impl<'db> PreparedQuery<'_, 'db> {
     }
 
     /// Count result graphs under `opts`, stopping early at `opts.limit` —
-    /// same uniform `Result` surface as [`PreparedQuery::find_opts`].
+    /// same exact-answer contract as [`PreparedQuery::find_opts`]: a
+    /// tripped budget is [`WhyqError::Interrupted`], never a silently
+    /// low count.
     pub fn count_opts(&self, opts: MatchOptions) -> Result<u64, WhyqError> {
-        Ok(self.session.matcher.count_compiled(
+        let governed = self.count_governed(opts);
+        match governed.termination {
+            Termination::Complete => Ok(governed.value),
+            termination => Err(WhyqError::Interrupted { termination }),
+        }
+    }
+
+    /// Count result graphs under `opts`, keeping the partial count of an
+    /// interrupted run — the counting twin of
+    /// [`PreparedQuery::find_governed`]. A non-complete termination tags
+    /// the count as a lower bound.
+    pub fn count_governed(&self, opts: MatchOptions) -> Governed<u64> {
+        let budget = opts.budget.clone();
+        let value = self.session.matcher.count_compiled(
             &self.query,
             &self.plan.compiled,
             &self.plan.plans,
             opts,
-        ))
+        );
+        Governed {
+            value,
+            termination: budget.termination(),
+        }
     }
 
     /// Enumerate all result graphs (injective) across the threads of the
@@ -480,6 +575,8 @@ impl<'db> PreparedQuery<'_, 'db> {
         let Some((units, seed_lists)) = self.shard(par) else {
             return self.find_opts(opts);
         };
+        // workers poll the budget's cancel state between units (and the
+        // DFS inside each unit observes it at block granularity)
         let exec = Executor::new(par.clone());
         let query = &*self.query;
         let compiled = &*self.plan.compiled;
@@ -487,6 +584,7 @@ impl<'db> PreparedQuery<'_, 'db> {
         let outputs = executor::run_with_sessions(&exec, self.session.db, units.len(), {
             let units = &units;
             let seed_lists = &seed_lists;
+            let opts = opts.clone();
             move |session, i| {
                 let unit = &units[i];
                 session.matcher.find_unit(
@@ -495,10 +593,14 @@ impl<'db> PreparedQuery<'_, 'db> {
                     plans,
                     unit,
                     &seed_lists[unit.component],
-                    opts,
+                    opts.clone(),
                 )
             }
-        });
+        })?;
+        match opts.budget.termination() {
+            Termination::Complete => {}
+            termination => return Err(WhyqError::Interrupted { termination }),
+        }
         let mut per_comp: Vec<Vec<ResultGraph>> = vec![Vec::new(); plans.len()];
         for (unit, out) in units.iter().zip(outputs) {
             per_comp[unit.component].extend(out);
@@ -543,6 +645,7 @@ impl<'db> PreparedQuery<'_, 'db> {
         let counts = executor::run_with_sessions(&exec, self.session.db, units.len(), {
             let units = &units;
             let seed_lists = &seed_lists;
+            let opts = opts.clone();
             move |session, i| {
                 let unit = &units[i];
                 session.matcher.count_unit(
@@ -551,10 +654,14 @@ impl<'db> PreparedQuery<'_, 'db> {
                     plans,
                     unit,
                     &seed_lists[unit.component],
-                    opts,
+                    opts.clone(),
                 )
             }
-        });
+        })?;
+        match opts.budget.termination() {
+            Termination::Complete => {}
+            termination => return Err(WhyqError::Interrupted { termination }),
+        }
         let mut per_comp = vec![0u64; plans.len()];
         for (unit, c) in units.iter().zip(counts) {
             per_comp[unit.component] = per_comp[unit.component].saturating_add(c);

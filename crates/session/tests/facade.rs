@@ -251,14 +251,14 @@ proptest! {
     ) {
         let g = build_graph(n, &vtypes, &pairs);
         let q = build_query(qlen, &qtypes, &qetypes, undirected, extra_component);
-        let opts = MatchOptions { injective, limit: None };
-        let naive = find_matches_naive(&g, &q, opts);
+        let opts = MatchOptions { injective, limit: None, ..Default::default() };
+        let naive = find_matches_naive(&g, &q, opts.clone());
 
         let db = Database::open(g).expect("open");
         let session = db.session();
         let prepared = session.prepare(&q).expect("valid query");
-        let found = prepared.find_opts(opts).expect("find");
-        let streamed: Vec<ResultGraph> = prepared.stream_opts(opts).collect();
+        let found = prepared.find_opts(opts.clone()).expect("find");
+        let streamed: Vec<ResultGraph> = prepared.stream_opts(opts.clone()).collect();
 
         prop_assert_eq!(multiset(&streamed), multiset(&found), "stream vs find");
         prop_assert_eq!(multiset(&found), multiset(&naive), "find vs naive oracle");

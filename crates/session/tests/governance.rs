@@ -1,0 +1,226 @@
+//! Governance tests that need no fault injection: deadlines, step
+//! budgets and cancel tokens observed through the public facade, plus
+//! the session-robustness contracts around dropped streams and reuse
+//! after an error.
+
+use proptest::prelude::*;
+use std::time::{Duration, Instant};
+use whyq_graph::{PropertyGraph, Value};
+use whyq_matcher::MatchOptions;
+use whyq_query::{PatternQuery, Predicate, QueryBuilder};
+use whyq_session::{Budget, CancelToken, Database, Termination, WhyqError};
+
+/// Complete directed graph on `n` same-typed vertices — a directed path
+/// query of length `k` has `n!/(n-k)!` injective matches, so small `n`
+/// already buys combinatorial search work.
+fn clique(n: usize) -> PropertyGraph {
+    let mut g = PropertyGraph::new();
+    let vs: Vec<_> = (0..n)
+        .map(|_| g.add_vertex([("type", Value::str("red"))]))
+        .collect();
+    for &a in &vs {
+        for &b in &vs {
+            if a != b {
+                g.add_edge(a, b, "link", []);
+            }
+        }
+    }
+    g
+}
+
+fn path_query(len: usize) -> PatternQuery {
+    let mut b = QueryBuilder::new("path");
+    for i in 0..len {
+        b = b.vertex(&format!("v{i}"), [Predicate::eq("type", "red")]);
+    }
+    for i in 1..len {
+        b = b.edge(&format!("v{}", i - 1), &format!("v{i}"), "link");
+    }
+    b.build()
+}
+
+// ---------------------------------------------------------------------
+// deadlines
+// ---------------------------------------------------------------------
+
+#[test]
+fn zero_deadline_interrupts_the_plain_entry_points() {
+    let db = Database::open(clique(6)).unwrap();
+    let session = db.session();
+    let q = path_query(2);
+    let opts = MatchOptions::governed(Budget::deadline(Duration::ZERO));
+    // the value-or-error entry points refuse a partial answer
+    match session.find_opts(&q, opts.clone()) {
+        Err(WhyqError::Interrupted { termination }) => {
+            assert_eq!(termination, Termination::DeadlineExceeded)
+        }
+        other => panic!("expected Interrupted, got {other:?}"),
+    }
+    assert!(matches!(
+        session.count_opts(&q, MatchOptions::governed(Budget::deadline(Duration::ZERO))),
+        Err(WhyqError::Interrupted {
+            termination: Termination::DeadlineExceeded
+        })
+    ));
+}
+
+/// Acceptance criterion: a pathological query under a 10 ms deadline
+/// comes back tagged `DeadlineExceeded` in well under a second, carrying
+/// whatever prefix of the answer it had time for.
+#[test]
+fn ten_ms_deadline_on_pathological_query_returns_fast() {
+    // 60^4-ish injective path embeddings — far more than 10 ms of work
+    let db = Database::open(clique(60)).unwrap();
+    let session = db.session();
+    let q = path_query(4);
+    let opts = MatchOptions::governed(Budget::deadline(Duration::from_millis(10)));
+    let start = Instant::now();
+    let governed = session.find_governed(&q, opts).unwrap();
+    let elapsed = start.elapsed();
+    assert_eq!(governed.termination, Termination::DeadlineExceeded);
+    assert!(
+        elapsed < Duration::from_secs(1),
+        "deadline overshot: {elapsed:?}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// cancellation
+// ---------------------------------------------------------------------
+
+#[test]
+fn pre_cancelled_token_refuses_the_search_up_front() {
+    let db = Database::open(clique(8)).unwrap();
+    let session = db.session();
+    let token = CancelToken::new();
+    token.cancel();
+    let governed = session
+        .find_governed(
+            &path_query(3),
+            MatchOptions::governed(Budget::cancelled_by(&token)),
+        )
+        .unwrap();
+    assert_eq!(governed.termination, Termination::Cancelled);
+    assert!(governed.value.is_empty());
+    assert!(!governed.is_complete());
+}
+
+#[test]
+fn cancel_token_is_shared_across_budget_clones() {
+    let token = CancelToken::new();
+    let budget = Budget::cancelled_by(&token);
+    let clone = budget.clone();
+    assert_eq!(budget.poll(), Ok(()));
+    token.cancel();
+    assert!(clone.poll().is_err());
+    // the trip is sticky and shared
+    assert_eq!(budget.termination(), Termination::Cancelled);
+}
+
+// ---------------------------------------------------------------------
+// step budgets: partial results are a prefix of the serial answer
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn step_budget_results_are_a_prefix_of_the_full_run(
+        n in 4usize..10,
+        len in 2usize..4,
+        steps in 1u64..20_000,
+    ) {
+        let db = Database::open(clique(n)).unwrap();
+        let session = db.session();
+        let q = path_query(len);
+        let full = session.find(&q).unwrap();
+        let governed = session
+            .find_governed(&q, MatchOptions::governed(Budget::steps(steps)))
+            .unwrap();
+        // a connected query's governed enumeration is literally a prefix
+        // of the serial enumeration: the DFS stops, it never reorders
+        prop_assert!(governed.value.len() <= full.len());
+        for (got, expected) in governed.value.iter().zip(&full) {
+            prop_assert_eq!(format!("{got:?}"), format!("{expected:?}"));
+        }
+        // and the tag tells the two cases apart truthfully
+        if governed.is_complete() {
+            prop_assert_eq!(governed.value.len(), full.len());
+        } else {
+            prop_assert_eq!(governed.termination, Termination::BudgetExhausted);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// stream dropped mid-iteration; session reuse after an error
+// ---------------------------------------------------------------------
+
+#[test]
+fn stream_dropped_mid_iteration_leaves_the_session_intact() {
+    // big enough that the search spans several 1024-tick check intervals,
+    // so a 1-step budget is guaranteed to trip mid-stream
+    let db = Database::open(clique(16)).unwrap();
+    let session = db.session();
+    let q = path_query(3);
+    let expected = session.count(&q).unwrap();
+    {
+        let prepared = session.prepare(&q).unwrap();
+        let mut stream = prepared.stream();
+        // consume a couple of results, then drop the suspended search
+        assert!(stream.next().is_some());
+        assert!(stream.next().is_some());
+    }
+    {
+        // a budget-tripped stream dropped mid-flight is no different
+        let prepared = session.prepare(&q).unwrap();
+        let mut stream = prepared.stream_opts(MatchOptions::governed(Budget::steps(1)));
+        while stream.next().is_some() {}
+        assert_eq!(stream.termination(), Termination::BudgetExhausted);
+    }
+    // the session (and the shared plan cache) answer as before
+    assert_eq!(session.count(&q).unwrap(), expected);
+    assert_eq!(session.find(&q).unwrap().len() as u64, expected);
+}
+
+#[test]
+fn session_stays_usable_after_interrupted_and_invalid_queries() {
+    let db = Database::open(clique(8)).unwrap();
+    let session = db.session();
+    let q = path_query(2);
+    let expected = session.count(&q).unwrap();
+    let stats_before = session.cache_stats();
+
+    // error 1: a governed run interrupted by a zero deadline
+    assert!(session
+        .find_opts(&q, MatchOptions::governed(Budget::deadline(Duration::ZERO)))
+        .is_err());
+    // error 2: a query that fails validation (edge admitting no direction)
+    let mut invalid = PatternQuery::new();
+    let v = invalid.add_vertex(whyq_query::QueryVertex::with([Predicate::eq(
+        "type", "red",
+    )]));
+    let w = invalid.add_vertex(whyq_query::QueryVertex::with([Predicate::eq(
+        "type", "red",
+    )]));
+    let mut e = whyq_query::QueryEdge::typed(v, w, "link");
+    e.directions = whyq_query::DirectionSet {
+        forward: false,
+        backward: false,
+    };
+    invalid.add_edge(e);
+    assert!(matches!(
+        session.prepare(&invalid),
+        Err(WhyqError::InvalidQuery { .. })
+    ));
+
+    // the same session keeps answering, and the cache counters moved in
+    // an orderly fashion (no poisoned lock, no wedged entry)
+    assert_eq!(session.count(&q).unwrap(), expected);
+    let stats_after = session.cache_stats();
+    assert!(stats_after.hits > stats_before.hits);
+    assert_eq!(
+        session.find(&q).unwrap().len() as u64,
+        expected,
+        "enumeration unaffected by earlier errors"
+    );
+}

@@ -107,24 +107,24 @@ proptest! {
         let g = build_graph(n, &vtypes, &pairs);
         let extra_type = if extra_matches { "red" } else { "purple" };
         let q = build_query(qlen, &qtypes, &qetypes, undirected, extra_component, extra_type);
-        let opts = MatchOptions { injective, limit: None };
+        let opts = MatchOptions { injective, limit: None, ..Default::default() };
 
         let db = Database::open(g).expect("open");
         let session = db.session();
         let prepared = session.prepare(&q).expect("valid query");
-        let serial = prepared.find_opts(opts).expect("find");
-        let serial_count = prepared.count_opts(opts).expect("count");
+        let serial = prepared.find_opts(opts.clone()).expect("find");
+        let serial_count = prepared.count_opts(opts.clone()).expect("count");
 
         for threads in [1usize, 2, 8] {
             for min_split in [0usize, 1, 3, 1_000_000] {
                 let par = ParallelOpts::with_threads(threads).min_seeds_per_split(min_split);
-                let found = prepared.find_par_opts(opts, &par).expect("find_par");
+                let found = prepared.find_par_opts(opts.clone(), &par).expect("find_par");
                 prop_assert_eq!(
                     multiset(&found),
                     multiset(&serial),
                     "find_par multiset (threads={}, min_split={})", threads, min_split
                 );
-                let counted = prepared.count_par_opts(opts, &par).expect("count_par");
+                let counted = prepared.count_par_opts(opts.clone(), &par).expect("count_par");
                 prop_assert_eq!(
                     counted, serial_count,
                     "count_par (threads={}, min_split={})", threads, min_split
@@ -150,22 +150,22 @@ proptest! {
     ) {
         let g = build_graph(n, &vtypes, &pairs);
         let q = build_query(qlen, &qtypes, &qetypes, false, extra_component, "red");
-        let opts = MatchOptions { injective: true, limit: Some(limit) };
+        let opts = MatchOptions { injective: true, limit: Some(limit), ..Default::default() };
 
         let db = Database::open(g).expect("open");
         let session = db.session();
         let prepared = session.prepare(&q).expect("valid query");
         let all = prepared.find().expect("find");
-        let serial_count = prepared.count_opts(opts).expect("count");
+        let serial_count = prepared.count_opts(opts.clone()).expect("count");
         let universe = multiset(&all);
 
         for threads in [2usize, 8] {
             let par = ParallelOpts::with_threads(threads).min_seeds_per_split(1);
             prop_assert_eq!(
-                prepared.count_par_opts(opts, &par).expect("count_par"),
+                prepared.count_par_opts(opts.clone(), &par).expect("count_par"),
                 serial_count
             );
-            let found = prepared.find_par_opts(opts, &par).expect("find_par");
+            let found = prepared.find_par_opts(opts.clone(), &par).expect("find_par");
             prop_assert_eq!(found.len(), all.len().min(limit));
             for (key, count) in multiset(&found) {
                 prop_assert!(

@@ -52,7 +52,7 @@ fn main() -> Result<(), WhyqError> {
 
     // --- where does the explosion come from? --------------------------
     let goal = CardinalityGoal::AtMost(budget);
-    let bounded = BoundedMcs::new(&db).run(&query, goal);
+    let bounded = BoundedMcs::new(&db).run(&query, goal)?;
     println!("\n--- BOUNDEDMCS ---");
     println!(
         "largest subquery within budget: {} edges ({} results)",

@@ -22,6 +22,7 @@ pub fn find_matches(db: &Database, q: &PatternQuery, limit: Option<usize>) -> Ve
             MatchOptions {
                 injective: true,
                 limit,
+                ..Default::default()
             },
         )
         .expect("test queries are valid")

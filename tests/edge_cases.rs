@@ -44,7 +44,7 @@ fn query_with_unknown_attributes_and_types() {
     let db = tiny_graph();
     let q = parse_query("(a {nonexistent = 1})-[:ghostrel]->(b)").unwrap();
     assert_eq!(count_matches(&db, &q, None), 0);
-    let expl = DiscoverMcs::new(&db).run(&q);
+    let expl = DiscoverMcs::new(&db).run(&q).unwrap();
     // only vertex b (unconstrained) survives
     assert!(expl.mcs.num_edges() == 0);
     assert!(expl.differential.len() >= 2);
@@ -148,7 +148,7 @@ fn self_loop_query_on_self_loop_data() {
     let qv = q.add_vertex(QueryVertex::with([Predicate::eq("type", "node")]));
     q.add_edge(QueryEdge::typed(qv, qv, "self"));
     assert_eq!(count_matches(&db, &q, None), 1);
-    let expl = DiscoverMcs::new(&db).run(&q);
+    let expl = DiscoverMcs::new(&db).run(&q).unwrap();
     assert!(expl.differential.is_empty());
 }
 
@@ -161,7 +161,8 @@ fn disconnected_query_with_failing_and_succeeding_components() {
     assert_eq!(count_matches(&db, &q, None), 0); // cartesian with empty part
     let expl = DiscoverMcs::new(&db)
         .with_config(McsConfig::default())
-        .run(&q);
+        .run(&q)
+        .unwrap();
     assert!(expl.mcs.vertex(QVid(0)).is_some());
     assert!(expl.mcs.vertex(QVid(1)).is_none());
 }
@@ -175,7 +176,8 @@ fn mcs_with_tiny_intermediate_cap_still_terminates() {
             max_intermediate: 1,
             ..McsConfig::default()
         })
-        .run(&q);
+        .run(&q)
+        .unwrap();
     // with cap 1 the traversal still finds the full (1-match) query
     assert!(expl.differential.is_empty());
 }

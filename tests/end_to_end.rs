@@ -67,13 +67,15 @@ fn mcs_is_maximal_under_exhaustive_paths() {
                 max_paths: 256,
                 ..McsConfig::default()
             })
-            .run(&q);
+            .run(&q)
+            .unwrap();
         let single = DiscoverMcs::new(&db)
             .with_config(McsConfig {
                 strategy: PathStrategy::SingleSelectivity,
                 ..McsConfig::default()
             })
-            .run(&q);
+            .run(&q)
+            .unwrap();
         assert!(
             exhaustive.mcs.num_edges() >= single.mcs.num_edges(),
             "{:?}",

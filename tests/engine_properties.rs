@@ -76,7 +76,7 @@ proptest! {
     ) {
         let db = build_graph(n, &vtypes, &pairs);
         let q = build_query(qlen, &qtypes, &qetypes);
-        let expl = DiscoverMcs::new(&db).run(&q);
+        let expl = DiscoverMcs::new(&db).run(&q).unwrap();
 
         // complementarity: every query element is either in the MCS or in
         // the differential, never both
@@ -122,13 +122,13 @@ proptest! {
         let q = build_query(qlen, &qtypes, &qetypes);
         let exhaustive = DiscoverMcs::new(&db)
             .with_config(McsConfig { max_paths: 512, ..McsConfig::default() })
-            .run(&q);
+            .run(&q).unwrap();
         let single = DiscoverMcs::new(&db)
             .with_config(McsConfig {
                 strategy: PathStrategy::SingleSelectivity,
                 ..McsConfig::default()
             })
-            .run(&q);
+            .run(&q).unwrap();
         prop_assert!(exhaustive.mcs.num_edges() >= single.mcs.num_edges());
     }
 
@@ -168,7 +168,7 @@ proptest! {
         let q = build_query(3, &qtypes, &qetypes); // 3 vertices, 2 edges
         let expl = DiscoverMcs::new(&db)
             .with_config(McsConfig { max_paths: 512, ..McsConfig::default() })
-            .run(&q);
+            .run(&q).unwrap();
         // enumerate all edge subsets (the query has ≤ 2 edges)
         let eids: Vec<QEid> = q.edge_ids().collect();
         let mut best = 0usize;
