@@ -37,7 +37,7 @@ fn bench_graph(c: &mut Criterion) {
                 }
             }
             black_box(acc)
-        })
+        });
     });
     group.bench_function("candidate-scan/csr-columns", |b| {
         b.iter(|| {
@@ -48,7 +48,7 @@ fn bench_graph(c: &mut Criterion) {
                 }
             }
             black_box(acc)
-        })
+        });
     });
 
     // type-restricted scan, the common shape inside the matcher
@@ -61,7 +61,7 @@ fn bench_graph(c: &mut Criterion) {
                 }
             }
             black_box(acc)
-        })
+        });
     });
     group.bench_function("typed-scan/csr-columns", |b| {
         b.iter(|| {
@@ -72,12 +72,12 @@ fn bench_graph(c: &mut Criterion) {
                 }
             }
             black_box(acc)
-        })
+        });
     });
 
     // undirected BFS over the whole graph (CSR incident scans)
     group.bench_function("bfs/whole-graph", |b| {
-        b.iter(|| black_box(bfs_order(&g, VertexId(0)).len()))
+        b.iter(|| black_box(bfs_order(&g, VertexId(0)).len()));
     });
 
     // one-time compaction cost of sealing the LDBC graph (the clone of
@@ -90,7 +90,7 @@ fn bench_graph(c: &mut Criterion) {
             let mut fresh = melted.clone();
             fresh.seal();
             black_box(fresh.is_sealed())
-        })
+        });
     });
     group.finish();
 }

@@ -60,18 +60,18 @@ fn bench_matcher(c: &mut Criterion) {
     for q in &queries {
         let name = q.name.clone().unwrap_or_default();
         group.bench_function(format!("count/{name}"), |b| {
-            b.iter(|| black_box(plain.count(q, MatchOptions::default())))
+            b.iter(|| black_box(plain.count(q, MatchOptions::default())));
         });
         group.bench_function(format!("count-naive/{name}"), |b| {
-            b.iter(|| black_box(count_matches_naive(&g, q, MatchOptions::default())))
+            b.iter(|| black_box(count_matches_naive(&g, q, MatchOptions::default())));
         });
     }
     let persona = persona_query();
     group.bench_function("count/PERSONA STRINGS", |b| {
-        b.iter(|| black_box(plain.count(&persona, MatchOptions::default())))
+        b.iter(|| black_box(plain.count(&persona, MatchOptions::default())));
     });
     group.bench_function("count-naive/PERSONA STRINGS", |b| {
-        b.iter(|| black_box(count_matches_naive(&g, &persona, MatchOptions::default())))
+        b.iter(|| black_box(count_matches_naive(&g, &persona, MatchOptions::default())));
     });
 
     // governance overhead: the same count with a budget attached — a
@@ -87,14 +87,24 @@ fn bench_matcher(c: &mut Criterion) {
         Budget::deadline(std::time::Duration::from_secs(3600)).with_cancel(&token),
     );
     group.bench_function("deadline-overhead/LDBC QUERY 3", |b| {
-        b.iter(|| black_box(plain.count(&queries[2], governed_opts.clone())))
+        b.iter(|| black_box(plain.count(&queries[2], governed_opts.clone())));
     });
 
     let type_index = Arc::new(AttrIndex::build(&g, "type").expect("LDBC graphs carry type"));
     let indexed = Matcher::with_shared_indexes(&g, vec![Arc::clone(&type_index)]);
     let q1 = &queries[0];
     group.bench_function("count-indexed/LDBC QUERY 1", |b| {
-        b.iter(|| black_box(indexed.count(q1, MatchOptions::default())))
+        b.iter(|| black_box(indexed.count(q1, MatchOptions::default())));
+    });
+
+    // prepare-time cost of the static analyzer (satisfiability, predicate
+    // merging, dictionary pruning) that now runs on every plan-cache miss:
+    // it must stay negligible next to a single compile+plan, let alone a
+    // search — the snapshot pins it so an expensive rewrite pass (e.g. an
+    // accidental O(preds²) merge or a per-constant dictionary scan) trips
+    // the bench_compare gate
+    group.bench_function("analyze-overhead/LDBC QUERY 1", |b| {
+        b.iter(|| black_box(whyq_query::analyze_against(q1, &g)));
     });
 
     // the plan-cache gate: one prepared query executed REPEAT times vs the
@@ -111,7 +121,7 @@ fn bench_matcher(c: &mut Criterion) {
                     .expect("prepared");
             }
             black_box(total)
-        })
+        });
     });
     // the pre-facade repeat path: what the deprecated `count_matches` shim
     // does per call — construct a matcher, compile, plan, search, discard
@@ -122,7 +132,7 @@ fn bench_matcher(c: &mut Criterion) {
                 total += Matcher::new(&g).count(q1, MatchOptions::default());
             }
             black_box(total)
-        })
+        });
     });
     // tighter comparison: per-call compile over a long-lived indexed
     // matcher (scratch + index amortized, compile/plan still per call)
@@ -133,7 +143,7 @@ fn bench_matcher(c: &mut Criterion) {
                 total += indexed.count(q1, MatchOptions::default());
             }
             black_box(total)
-        })
+        });
     });
 
     // intra-query parallelism: the co-location triangle (the most
@@ -161,7 +171,7 @@ fn bench_matcher(c: &mut Criterion) {
                     .find_par_opts(MatchOptions::default(), &serial1)
                     .expect("find"),
             )
-        })
+        });
     });
     group.bench_function("find-par/LDBC-XL QUERY 3", |b| {
         b.iter(|| {
@@ -170,7 +180,7 @@ fn bench_matcher(c: &mut Criterion) {
                     .find_par_opts(MatchOptions::default(), &par4)
                     .expect("find"),
             )
-        })
+        });
     });
     group.bench_function("count-ser/LDBC-XL QUERY 3", |b| {
         b.iter(|| {
@@ -179,7 +189,7 @@ fn bench_matcher(c: &mut Criterion) {
                     .count_par_opts(MatchOptions::default(), &serial1)
                     .expect("count"),
             )
-        })
+        });
     });
     group.bench_function("count-par/LDBC-XL QUERY 3", |b| {
         b.iter(|| {
@@ -188,11 +198,11 @@ fn bench_matcher(c: &mut Criterion) {
                     .count_par_opts(MatchOptions::default(), &par4)
                     .expect("count"),
             )
-        })
+        });
     });
 
     group.bench_function("find-limit100/LDBC QUERY 3", |b| {
-        b.iter(|| black_box(plain.find(&queries[2], MatchOptions::limited(100))))
+        b.iter(|| black_box(plain.find(&queries[2], MatchOptions::limited(100))));
     });
     group.bench_function("find-limit100-naive/LDBC QUERY 3", |b| {
         b.iter(|| {
@@ -201,7 +211,7 @@ fn bench_matcher(c: &mut Criterion) {
                 &queries[2],
                 MatchOptions::limited(100),
             ))
-        })
+        });
     });
     group.bench_function("stream-limit100/LDBC QUERY 3", |b| {
         b.iter(|| {
@@ -210,7 +220,7 @@ fn bench_matcher(c: &mut Criterion) {
                     .stream(&queries[2], MatchOptions::limited(100))
                     .count(),
             )
-        })
+        });
     });
     group.finish();
 }
@@ -237,7 +247,7 @@ fn bench_relax_siblings(c: &mut Criterion) {
                     .with_executor(Executor::serial())
                     .rewrite(q, &RelaxConfig::default()),
             )
-        })
+        });
     });
     group.bench_function("sibling-batch", |b| {
         b.iter(|| {
@@ -246,7 +256,7 @@ fn bench_relax_siblings(c: &mut Criterion) {
                     .with_executor(Executor::new(ParallelOpts::with_threads(4)))
                     .rewrite(q, &RelaxConfig::default()),
             )
-        })
+        });
     });
     group.finish();
 }

@@ -15,17 +15,17 @@ fn bench_mcs(c: &mut Criterion) {
     group.sample_size(10);
 
     group.bench_function("discover-exhaustive/Q1", |b| {
-        b.iter(|| black_box(DiscoverMcs::new(&db).run(&failing[0]).unwrap()))
+        b.iter(|| black_box(DiscoverMcs::new(&db).run(&failing[0]).unwrap()));
     });
     group.bench_function("discover-single-path/Q1", |b| {
         let d = DiscoverMcs::new(&db).with_config(McsConfig {
             strategy: PathStrategy::SingleSelectivity,
             ..McsConfig::default()
         });
-        b.iter(|| black_box(d.run(&failing[0]).unwrap()))
+        b.iter(|| black_box(d.run(&failing[0]).unwrap()));
     });
     group.bench_function("discover-exhaustive/Q2", |b| {
-        b.iter(|| black_box(DiscoverMcs::new(&db).run(&failing[1]).unwrap()))
+        b.iter(|| black_box(DiscoverMcs::new(&db).run(&failing[1]).unwrap()));
     });
     let q3 = &ldbc_queries()[2];
     group.bench_function("bounded-atmost/Q3", |b| {
@@ -35,7 +35,7 @@ fn bench_mcs(c: &mut Criterion) {
                     .run(q3, CardinalityGoal::AtMost(10))
                     .unwrap(),
             )
-        })
+        });
     });
     group.finish();
 }

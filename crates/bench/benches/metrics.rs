@@ -28,14 +28,14 @@ fn bench_metrics(c: &mut Criterion) {
             for (eq, _) in &pool {
                 black_box(syntactic_distance(q, eq));
             }
-        })
+        });
     });
 
     let m = Matcher::new(&g);
     let orig = m.find(q, MatchOptions::limited(40));
     let modified = m.find(&pool[0].0, MatchOptions::limited(40));
     group.bench_function("result-distance/40x40", |b| {
-        b.iter(|| black_box(result_set_distance(&orig, &modified)))
+        b.iter(|| black_box(result_set_distance(&orig, &modified)));
     });
 
     // deterministic pseudo-random square matrix for the assignment kernel
@@ -48,7 +48,7 @@ fn bench_metrics(c: &mut Criterion) {
     };
     let cost: Vec<Vec<f64>> = (0..64).map(|_| (0..64).map(|_| next()).collect()).collect();
     group.bench_function("hungarian/64x64", |b| {
-        b.iter(|| black_box(hungarian(&cost)))
+        b.iter(|| black_box(hungarian(&cost)));
     });
     group.finish();
 }

@@ -17,7 +17,7 @@ fn bench_rewrite(c: &mut Criterion) {
 
     group.bench_function("coarse/path1+induced/Q1", |b| {
         let rw = CoarseRewriter::new(&db);
-        b.iter(|| black_box(rw.rewrite(&failing[0], &RelaxConfig::default())))
+        b.iter(|| black_box(rw.rewrite(&failing[0], &RelaxConfig::default())));
     });
     group.bench_function("coarse/random/Q1", |b| {
         let rw = CoarseRewriter::new(&db);
@@ -25,13 +25,13 @@ fn bench_rewrite(c: &mut Criterion) {
             priority: PriorityFn::Random(99),
             ..RelaxConfig::default()
         };
-        b.iter(|| black_box(rw.rewrite(&failing[0], &config)))
+        b.iter(|| black_box(rw.rewrite(&failing[0], &config)));
     });
 
     let q3 = &ldbc_queries()[2];
     let c1 = db.session().count(q3).expect("valid query");
     group.bench_function("fine/atmost-half/Q3", |b| {
-        b.iter(|| black_box(TraverseSearchTree::new(&db).run(q3, CardinalityGoal::AtMost(c1 / 2))))
+        b.iter(|| black_box(TraverseSearchTree::new(&db).run(q3, CardinalityGoal::AtMost(c1 / 2))));
     });
     group.bench_function("fine/no-prefix-reuse/Q3", |b| {
         b.iter(|| {
@@ -43,7 +43,7 @@ fn bench_rewrite(c: &mut Criterion) {
                     })
                     .run(q3, CardinalityGoal::AtMost(c1 / 2)),
             )
-        })
+        });
     });
     group.finish();
 }

@@ -40,7 +40,7 @@ pub fn b1(db: &Database, tsv: bool) {
                 .explanation
                 .mods
                 .iter()
-                .map(|m| m.to_string())
+                .map(std::string::ToString::to_string)
                 .collect();
             t.row(cells![
                 q.name.clone().unwrap_or_default(),

@@ -47,8 +47,7 @@ pub fn disc_ldbc(db: &Database, tsv: bool) {
             expl.mcs.num_edges(),
             expl.mcs_cardinality,
             expl.crossing_edge
-                .map(|e| e.to_string())
-                .unwrap_or_else(|| "-".into()),
+                .map_or_else(|| "-".into(), |e| e.to_string()),
             expl.paths_tried,
             expl.extensions,
             format!("{ms:.1}"),
@@ -86,8 +85,7 @@ pub fn disc_dbp(db: &Database, tsv: bool) {
             expl.mcs.num_edges(),
             expl.mcs_cardinality,
             expl.crossing_edge
-                .map(|e| e.to_string())
-                .unwrap_or_else(|| "-".into()),
+                .map_or_else(|| "-".into(), |e| e.to_string()),
             expl.paths_tried,
             expl.extensions,
             format!("{ms:.1}"),
@@ -202,8 +200,7 @@ pub fn bounded(db: &Database, tsv: bool) {
                 expl.mcs.num_edges(),
                 expl.mcs_cardinality,
                 expl.crossing_edge
-                    .map(|e| e.to_string())
-                    .unwrap_or_else(|| "-".into()),
+                    .map_or_else(|| "-".into(), |e| e.to_string()),
                 expl.extensions,
                 format!("{ms:.1}"),
             ]);
@@ -244,8 +241,7 @@ pub fn user_paths(db: &Database, tsv: bool) {
             edges
                 .iter()
                 .position(|&e| e == interesting)
-                .map(|p| p + 1)
-                .unwrap_or(0)
+                .map_or(0, |p| p + 1)
         };
         t.row(cells![
             q.name.clone().unwrap_or_default(),

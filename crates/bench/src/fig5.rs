@@ -65,8 +65,7 @@ pub fn priorities(ldbc: &Database, dbp: &Database, tsv: bool) {
                     out.explanation.is_some(),
                     out.explanation
                         .as_ref()
-                        .map(|e| format!("{:.3}", e.syntactic_distance))
-                        .unwrap_or_else(|| "-".into()),
+                        .map_or_else(|| "-".into(), |e| format!("{:.3}", e.syntactic_distance)),
                     format!("{ms:.1}"),
                 ]);
             }
@@ -204,13 +203,9 @@ pub fn user(db: &Database, tsv: bool) {
                 session.rounds.len(),
                 session
                     .accepted
-                    .map(|i| (i + 1).to_string())
-                    .unwrap_or_else(|| "-".into()),
-                first
-                    .map(|r| format!("{r:.2}"))
-                    .unwrap_or_else(|| "-".into()),
-                last.map(|r| format!("{r:.2}"))
-                    .unwrap_or_else(|| "-".into()),
+                    .map_or_else(|| "-".into(), |i| (i + 1).to_string()),
+                first.map_or_else(|| "-".into(), |r| format!("{r:.2}")),
+                last.map_or_else(|| "-".into(), |r| format!("{r:.2}")),
             ]);
         }
     }

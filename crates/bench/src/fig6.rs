@@ -136,8 +136,7 @@ pub fn topology(db: &Database, tsv: bool) {
                     out.best_deviation,
                     out.explanation
                         .as_ref()
-                        .map(|e| e.mods.len().to_string())
-                        .unwrap_or_else(|| "-".into()),
+                        .map_or_else(|| "-".into(), |e| e.mods.len().to_string()),
                     out.extensions,
                 ]);
             }

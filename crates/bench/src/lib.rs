@@ -5,6 +5,9 @@
 //! index). Each experiment prints the same series the paper plots and
 //! optionally writes TSV files for external plotting.
 
+// The whole workspace is unsafe-free (audited 2026-08): lock it in.
+#![forbid(unsafe_code)]
+
 pub mod appendix;
 pub mod compare;
 pub mod fig3;

@@ -81,7 +81,10 @@ impl Table {
     pub fn new(title: &str, headers: &[&str]) -> Self {
         Table {
             title: title.to_string(),
-            headers: headers.iter().map(|s| s.to_string()).collect(),
+            headers: headers
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
             rows: Vec::new(),
         }
     }
@@ -89,7 +92,7 @@ impl Table {
     /// Append one row (anything displayable).
     pub fn row(&mut self, cells: Vec<Box<dyn Display>>) {
         self.rows
-            .push(cells.iter().map(|c| c.to_string()).collect());
+            .push(cells.iter().map(std::string::ToString::to_string).collect());
     }
 
     /// Append a row of ready-made strings.

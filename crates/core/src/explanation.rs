@@ -76,8 +76,16 @@ impl std::fmt::Display for DifferentialGraph {
         if self.is_empty() {
             return write!(f, "∅ (query succeeded)");
         }
-        let vs: Vec<String> = self.vertices.iter().map(|v| v.to_string()).collect();
-        let es: Vec<String> = self.edges.iter().map(|e| e.to_string()).collect();
+        let vs: Vec<String> = self
+            .vertices
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
+        let es: Vec<String> = self
+            .edges
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         write!(
             f,
             "failed vertices: [{}], failed edges: [{}]",

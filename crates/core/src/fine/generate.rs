@@ -188,7 +188,7 @@ fn widen_interval(
             }
         }
         Interval::Range { .. } => {
-            let step = domain.map_or(1.0, |d| d.range_step());
+            let step = domain.map_or(1.0, super::super::domains::AttrDomain::range_step);
             let mut widened = p.interval.clone();
             if widened.widen(step) {
                 out.push(GraphMod::ReplaceInterval {
@@ -334,7 +334,7 @@ mod tests {
     fn topology_flag_suppresses_structure_changes() {
         let (domains, q) = setup();
         let mods = fine_candidates(&q, &domains, true, false);
-        assert!(!mods.iter().any(|m| m.is_topological()));
+        assert!(!mods.iter().any(whyq_query::GraphMod::is_topological));
     }
 
     #[test]
@@ -357,10 +357,10 @@ mod tests {
         let g = PropertyGraph::new();
         let domains = AttributeDomains::build(&g, 10);
         let mods = fine_candidates(&q, &domains, false, false);
-        let narrowed: Vec<_> = mods
+        let narrowed = mods
             .iter()
             .filter(|m| matches!(m, GraphMod::ReplaceInterval { .. }))
-            .collect();
-        assert_eq!(narrowed.len(), 2); // drop first ("a") and last ("c")
+            .count();
+        assert_eq!(narrowed, 2); // drop first ("a") and last ("c")
     }
 }

@@ -11,8 +11,9 @@
 //! operators *i..n* and its effect on the final cardinality is always
 //! observed.
 
+use crate::grow::{extend_matches, seed_matches};
 use whyq_graph::PropertyGraph;
-use whyq_matcher::{extend_matches, seed_matches, ResultGraph};
+use whyq_matcher::ResultGraph;
 use whyq_query::{PatternQuery, QEid, QVid, Target};
 
 /// One pipeline operator.

@@ -11,10 +11,15 @@
 //! The fine-grained rewriter's change-propagation machinery (§6.3.1) reuses
 //! the same primitive to re-evaluate only the pipeline suffix behind a
 //! modified operator.
+//!
+//! This module lives in `whyq-core` (not `whyq-matcher`) because the
+//! edge-at-a-time growth order is dictated by the why-query algorithms
+//! here, while the matcher owns whole-plan evaluation; only the per-element
+//! predicate compilation ([`whyq_matcher::compile`]) is shared.
 
-use crate::compile::{CompiledEdge, CompiledVertex};
-use crate::result::ResultGraph;
 use whyq_graph::{EdgeId, PropertyGraph, VertexId};
+use whyq_matcher::compile::{CompiledEdge, CompiledVertex};
+use whyq_matcher::ResultGraph;
 use whyq_query::{PatternQuery, QEid, QVid};
 
 fn compile_vertex(g: &PropertyGraph, q: &PatternQuery, v: QVid) -> CompiledVertex {
@@ -174,8 +179,8 @@ pub fn extend_matches(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{MatchOptions, Matcher};
     use whyq_graph::Value;
+    use whyq_matcher::{MatchOptions, Matcher};
     use whyq_query::{Predicate, QueryBuilder};
 
     fn social() -> PropertyGraph {

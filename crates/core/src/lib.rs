@@ -65,10 +65,14 @@
 //! # Ok::<(), whyq_session::WhyqError>(())
 //! ```
 
+// The whole workspace is unsafe-free (audited 2026-08): lock it in.
+#![forbid(unsafe_code)]
+
 pub mod domains;
 pub mod engine;
 pub mod explanation;
 pub mod fine;
+pub mod grow;
 pub mod problem;
 pub mod relax;
 pub mod stats;

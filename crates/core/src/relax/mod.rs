@@ -34,8 +34,38 @@ use crate::user::SimulatedUser;
 use std::collections::{BinaryHeap, HashSet};
 use whyq_matcher::{Budget, MatchOptions, Termination};
 use whyq_metrics::syntactic_distance;
-use whyq_query::{signature::signature, GraphMod, PatternQuery};
+use whyq_query::{analyze_against, signature::signature, GraphMod, PatternQuery, Target};
 use whyq_session::{Database, Executor, Session, WhyqError};
+
+/// Priority boost for a candidate whose modification discards a constraint
+/// the static analyzer proved conflicting ([`AnalysisReport::conflict_set`]
+/// of `whyq-query`): such a rewrite is the *minimal certain* step toward
+/// satisfiability, so it must outrank every statistics-scored sibling. The
+/// magnitude dwarfs any statistics score (estimated cardinalities are
+/// graph-bounded) without drowning the statistics: among several
+/// conflict-targeting candidates the underlying score still tie-breaks.
+const CONFLICT_BONUS: f64 = 1e9;
+
+/// Does applying `m` discard a constraint named in `conflicts`?
+fn targets_conflict(m: &GraphMod, conflicts: &[(Target, Option<String>)]) -> bool {
+    match m {
+        // `RemovePredicate` drops *all* predicates with the attribute, so
+        // one modification resolves even a merged contradiction like
+        // `age > 30 ∧ age < 20`
+        GraphMod::RemovePredicate { target, attr } => conflicts
+            .iter()
+            .any(|(t, a)| t == target && a.as_deref() == Some(attr.as_str())),
+        // element-level conflicts (unknown edge type, no direction) are
+        // resolved by discarding the element
+        GraphMod::RemoveEdge(e) => conflicts
+            .iter()
+            .any(|(t, a)| *t == Target::Edge(*e) && a.is_none()),
+        GraphMod::RemoveVertex(v) => conflicts
+            .iter()
+            .any(|(t, a)| *t == Target::Vertex(*v) && a.is_none()),
+        _ => false,
+    }
+}
 
 /// Configuration of the coarse-grained rewriter.
 #[derive(Debug, Clone)]
@@ -231,6 +261,13 @@ impl<'g> CoarseRewriter<'g> {
         let mut speculated = 0usize;
         let mut trajectory = Vec::new();
 
+        // seed the relaxation frontier from the static analyzer's conflict
+        // set: when the emptiness is provable from the query text (a
+        // contradictory conjunction, an unknown constant/type), the
+        // candidates discarding exactly those constraints are explored
+        // first instead of blind sibling enumeration
+        let conflicts = analyze_against(q, self.db.graph()).report.conflict_set();
+
         // the original query is known to be empty — expand it directly
         visited.insert(signature(q));
         self.expand(
@@ -238,6 +275,7 @@ impl<'g> CoarseRewriter<'g> {
             &[],
             config,
             model,
+            &conflicts,
             &mut frontier,
             &mut visited,
             &mut seq,
@@ -318,6 +356,7 @@ impl<'g> CoarseRewriter<'g> {
                 &node.mods,
                 config,
                 model,
+                &conflicts,
                 &mut frontier,
                 &mut visited,
                 &mut seq,
@@ -437,6 +476,7 @@ impl<'g> CoarseRewriter<'g> {
         parent_mods: &[GraphMod],
         config: &RelaxConfig,
         model: Option<&PreferenceModel>,
+        conflicts: &[(Target, Option<String>)],
         frontier: &mut BinaryHeap<Node>,
         visited: &mut HashSet<String>,
         seq: &mut u64,
@@ -457,6 +497,9 @@ impl<'g> CoarseRewriter<'g> {
                     .score(&child, parent, &self.stats, parent_mods.len());
             if let (Some(model), true) = (model, config.lambda > 0.0) {
                 priority += config.lambda * model.tolerance(parent, &child);
+            }
+            if targets_conflict(&m, conflicts) {
+                priority += CONFLICT_BONUS;
             }
             let mut mods = parent_mods.to_vec();
             mods.push(m);
@@ -480,7 +523,11 @@ mod tests {
     /// Anna works at TUD in Dresden; the query asks for Berlin → empty.
     fn data() -> Database {
         let mut g = PropertyGraph::new();
-        let anna = g.add_vertex([("type", Value::str("person")), ("name", Value::str("Anna"))]);
+        let anna = g.add_vertex([
+            ("type", Value::str("person")),
+            ("name", Value::str("Anna")),
+            ("age", Value::Int(27)),
+        ]);
         let tud = g.add_vertex([("type", Value::str("university"))]);
         let dresden = g.add_vertex([
             ("type", Value::str("city")),
@@ -519,6 +566,45 @@ mod tests {
         assert!(expl.syntactic_distance > 0.0);
         assert!(out.executed >= 1);
         assert!(out.generated >= out.executed);
+    }
+
+    #[test]
+    fn conflict_set_seeds_the_first_rewrites() {
+        use whyq_query::{QVid, Target};
+        let db = data();
+        let rw = CoarseRewriter::new(&db);
+        // statically unsatisfiable: the contradictory age conjunction is
+        // provable from the query text, and the analyzer names it
+        let q = QueryBuilder::new("contra")
+            .vertex(
+                "p",
+                [
+                    Predicate::eq("type", "person"),
+                    Predicate::at_least("age", 31.0),
+                    Predicate::at_most("age", 20.0),
+                ],
+            )
+            .build();
+        let conflicts = whyq_query::analyze_against(&q, db.graph())
+            .report
+            .conflict_set();
+        assert!(!conflicts.is_empty(), "the contradiction is detected");
+        let out = rw.rewrite(&q, &RelaxConfig::default());
+        let expl = out.explanation.expect("explanation found");
+        // the very first rewrite discards the conflicting constraint: the
+        // relax loop starts from the analyzer's conflict set instead of
+        // blind sibling enumeration. `RemovePredicate` drops every `age`
+        // predicate at once, so one modification resolves the conjunction.
+        assert_eq!(
+            expl.mods[0],
+            GraphMod::RemovePredicate {
+                target: Target::Vertex(QVid(0)),
+                attr: "age".into(),
+            }
+        );
+        assert!(targets_conflict(&expl.mods[0], &conflicts));
+        assert_eq!(out.executed, 1, "the first executed candidate succeeds");
+        assert!(expl.cardinality >= 1);
     }
 
     #[test]

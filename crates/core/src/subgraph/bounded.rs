@@ -20,12 +20,13 @@
 //! so every bound test below the cap is exact.
 
 use crate::explanation::{DifferentialGraph, SubgraphExplanation};
+use crate::grow::{extend_matches, seed_matches};
 use crate::problem::CardinalityGoal;
 use crate::stats::Statistics;
 use crate::subgraph::discover::{assemble_mcs, components_of, paths_for, PrefixOutcome};
 use crate::subgraph::traversal::TraversalPath;
 use crate::subgraph::McsConfig;
-use whyq_matcher::{extend_matches, seed_matches, Budget, MatchOptions};
+use whyq_matcher::{Budget, MatchOptions};
 use whyq_query::PatternQuery;
 use whyq_session::{Database, Executor, Session, WhyqError};
 
@@ -187,8 +188,7 @@ impl<'g> BoundedMcs<'g> {
                     .enumerate()
                     .rev()
                     .find(|&(_, &c)| goal.satisfied(c as u64))
-                    .map(|(i, _)| i as i64)
-                    .unwrap_or(-1);
+                    .map_or(-1, |(i, _)| i as i64);
                 let outcome = if satisfied_len < 0 {
                     PrefixOutcome {
                         start: path.start,

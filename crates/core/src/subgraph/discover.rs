@@ -14,13 +14,14 @@
 //! strategies of §4.3.2/§4.4.2 approximate it with one traversal.
 
 use crate::explanation::{DifferentialGraph, SubgraphExplanation};
+use crate::grow::{extend_matches, seed_matches};
 use crate::stats::Statistics;
 use crate::subgraph::traversal::{
     enumerate_paths, selectivity_path, user_centric_path, PathStrategy, TraversalPath,
 };
 use crate::subgraph::McsConfig;
 use whyq_graph::PropertyGraph;
-use whyq_matcher::{extend_matches, seed_matches, Budget, MatchOptions};
+use whyq_matcher::{Budget, MatchOptions};
 use whyq_query::{PatternQuery, QEid, QVid};
 use whyq_session::{Database, Executor, Session, WhyqError};
 
@@ -291,11 +292,9 @@ impl<'g> DiscoverMcs<'g> {
             // touches (a self-loop included once, not twice); the set
             // dedups the edges shared by two component endpoints so the
             // component edge count stays exact
-            let comp_edges: Vec<QEid> = component
+            let comp_edges: std::collections::BTreeSet<QEid> = component
                 .iter()
                 .flat_map(|&v| q.incident_edges(v))
-                .collect::<std::collections::BTreeSet<_>>()
-                .into_iter()
                 .collect();
             let paths = paths_for(q, &component, &self.config, &stats);
             let outcome = best_prefix(

@@ -16,6 +16,9 @@
 //! * [`mutation`] — the random explanation generator of the §3.2.5 metric
 //!   study: seeded pools of modified queries at 1–3 modification levels.
 
+// The whole workspace is unsafe-free (audited 2026-08): lock it in.
+#![forbid(unsafe_code)]
+
 pub mod dbpedia;
 pub mod ldbc;
 pub mod mutation;

@@ -20,6 +20,9 @@
 //! builds on — the pattern matcher (`whyq-matcher`), the why-query engine
 //! (`whyq-core`) and the workload generators (`whyq-datagen`).
 
+// The whole workspace is unsafe-free (audited 2026-08): lock it in.
+#![forbid(unsafe_code)]
+
 pub mod algo;
 pub mod attrs;
 pub mod csr;

@@ -380,6 +380,12 @@ impl<'g> Matcher<'g> {
             return (compiled, Vec::new());
         }
         let plans = build_plans(self.g, q, &compiled, &self.indexes);
+        // debug-mode plan verifier: every test and debug build checks the
+        // planner's structural invariants; release builds pay nothing
+        #[cfg(debug_assertions)]
+        if let Err(violation) = crate::verify::verify_plans(q, &compiled, &plans) {
+            panic!("compiled plan violates invariants: {violation}");
+        }
         (compiled, plans)
     }
 
@@ -469,9 +475,7 @@ impl<'g> Matcher<'g> {
             }
             counts.push(c);
         }
-        let total = counts
-            .into_iter()
-            .fold(1u64, |acc, c| acc.saturating_mul(c));
+        let total = counts.into_iter().fold(1u64, u64::saturating_mul);
         match limit {
             Some(l) => total.min(l),
             None => total,

@@ -103,7 +103,7 @@ impl AttrIndex {
                     // encoded bucket can hold it; fall through to the
                     // (normally empty) un-encoded fallback
                     None => {
-                        return self.str_buckets.get(text).map(Vec::as_slice).unwrap_or(&[]);
+                        return self.str_buckets.get(text).map_or(&[], Vec::as_slice);
                     }
                 }
             }
@@ -111,8 +111,7 @@ impl AttrIndex {
             num => num.as_f64().map(|f| IndexKey::Num(canonical_num_bits(f))),
         };
         key.and_then(|k| self.buckets.get(&k))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+            .map_or(&[], Vec::as_slice)
     }
 
     /// Number of distinct indexed values.

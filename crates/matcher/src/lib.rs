@@ -53,10 +53,13 @@
 //! its parallel `find_par`/`count_par` on exactly these pieces — serial
 //! evaluation is the one-unit-per-component special case.
 //!
-//! Besides whole-query evaluation the crate exposes the *incremental* API
-//! ([`seed_matches`] / [`extend_matches`]) that the why-query algorithms of
-//! `whyq-core` (DISCOVERMCS, BOUNDEDMCS, change propagation) are built on:
-//! grow a set of partial result graphs by one query edge at a time.
+//! The incremental edge-at-a-time growth primitive the why-query algorithms
+//! (DISCOVERMCS, BOUNDEDMCS, change propagation) are built on lives with
+//! those algorithms in `whyq_core::grow`; it reuses this crate's
+//! per-element predicate compilation ([`compile`]).
+
+// The whole workspace is unsafe-free (audited 2026-08): lock it in.
+#![forbid(unsafe_code)]
 
 pub mod budget;
 pub mod combine;
@@ -64,11 +67,11 @@ pub mod compile;
 pub mod engine;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
-pub mod incremental;
 pub mod index;
 pub mod reference;
 pub mod result;
 pub mod stream;
+pub mod verify;
 pub mod work;
 
 pub use budget::{Budget, CancelToken, Termination};
@@ -76,9 +79,9 @@ pub use combine::{combine_components, FactorOdometer};
 #[allow(deprecated)] // compatibility re-exports of the deprecated shims
 pub use engine::{count_matches, find_matches};
 pub use engine::{MatchOptions, Matcher};
-pub use incremental::{extend_matches, seed_matches};
 pub use index::AttrIndex;
 pub use reference::{count_matches_naive, find_matches_naive};
 pub use result::ResultGraph;
 pub use stream::MatchStream;
+pub use verify::verify_plans;
 pub use work::{split_ranges, SeedList, WorkUnit};

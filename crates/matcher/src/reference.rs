@@ -404,9 +404,7 @@ pub fn count_matches_naive(g: &PropertyGraph, q: &PatternQuery, opts: MatchOptio
         }
         counts.push(c);
     }
-    let total = counts
-        .into_iter()
-        .fold(1u64, |acc, c| acc.saturating_mul(c));
+    let total = counts.into_iter().fold(1u64, u64::saturating_mul);
     match limit {
         Some(l) => total.min(l),
         None => total,

@@ -1,0 +1,262 @@
+//! Debug-mode plan verifier: structural invariants of compiled plans.
+//!
+//! The planner ([`crate::compile::build_plans`]) is greedy and heuristic;
+//! its *ordering* choices are free, but a handful of structural invariants
+//! must hold for the engine's DFS to be sound:
+//!
+//! * one plan per weakly connected component of the live query (or no
+//!   plans at all, exactly when the query is unsatisfiable or empty);
+//! * every plan starts with a single [`Step::Seed`] whose vertex belongs
+//!   to the component the plan covers;
+//! * [`Step::ExpandNew`] traverses from a bound endpoint to an unbound one
+//!   and both are the compiled edge's endpoints;
+//! * [`Step::Close`] fires only when both endpoints are already bound;
+//! * every component edge is bound exactly once, every component vertex
+//!   exactly once;
+//! * every live query element has a compiled slot.
+//!
+//! [`verify_plans`] checks all of this in `O(plan size)`. It runs
+//! automatically inside [`crate::Matcher::compile`] under
+//! `cfg(debug_assertions)` — i.e. in every test and debug build, at zero
+//! release-mode cost — and the CI static-analysis lane drives it over the
+//! whole test corpus.
+
+use crate::compile::{Compiled, ComponentPlan, Step};
+use whyq_query::{PatternQuery, QEid, QVid};
+
+/// Check the structural invariants of `plans` for `q` compiled as
+/// `compiled`. Returns `Err` with a description of the first violation.
+pub fn verify_plans(
+    q: &PatternQuery,
+    compiled: &Compiled,
+    plans: &[ComponentPlan],
+) -> Result<(), String> {
+    // every live element must have a compiled slot
+    for v in q.vertex_ids() {
+        if compiled
+            .vertices
+            .get(v.0 as usize)
+            .is_none_or(Option::is_none)
+        {
+            return Err(format!("live query vertex {v} has no compiled slot"));
+        }
+    }
+    for e in q.edge_ids() {
+        if compiled.edges.get(e.0 as usize).is_none_or(Option::is_none) {
+            return Err(format!("live query edge {e} has no compiled slot"));
+        }
+    }
+
+    let components = q.weakly_connected_components();
+    if plans.is_empty() {
+        // legal exactly for unsatisfiable or vertex-less queries — the
+        // engine short-circuits those to "no matches"
+        if compiled.unsatisfiable() || q.num_vertices() == 0 {
+            return Ok(());
+        }
+        return Err("satisfiable non-empty query compiled to zero plans".into());
+    }
+    if plans.len() != components.len() {
+        return Err(format!(
+            "{} plans for {} weakly connected components",
+            plans.len(),
+            components.len()
+        ));
+    }
+
+    let mut covered_vertices: Vec<QVid> = Vec::new();
+    let mut covered_edges: Vec<QEid> = Vec::new();
+    for plan in plans {
+        verify_component_plan(
+            q,
+            plan,
+            &components,
+            &mut covered_vertices,
+            &mut covered_edges,
+        )?;
+    }
+
+    // global coverage: each vertex and edge bound by exactly one plan
+    for v in q.vertex_ids() {
+        match covered_vertices.iter().filter(|&&x| x == v).count() {
+            1 => {}
+            0 => return Err(format!("query vertex {v} is never bound by any plan")),
+            n => return Err(format!("query vertex {v} is bound {n} times")),
+        }
+    }
+    for e in q.edge_ids() {
+        match covered_edges.iter().filter(|&&x| x == e).count() {
+            1 => {}
+            0 => return Err(format!("query edge {e} is never bound by any plan")),
+            n => return Err(format!("query edge {e} is bound {n} times")),
+        }
+    }
+    Ok(())
+}
+
+fn verify_component_plan(
+    q: &PatternQuery,
+    plan: &ComponentPlan,
+    components: &[Vec<QVid>],
+    covered_vertices: &mut Vec<QVid>,
+    covered_edges: &mut Vec<QEid>,
+) -> Result<(), String> {
+    let Some(&Step::Seed { vertex: seed }) = plan.steps.first() else {
+        return Err(format!(
+            "plan does not start with a Seed step: {:?}",
+            plan.steps.first()
+        ));
+    };
+    let Some(comp) = components.iter().find(|c| c.contains(&seed)) else {
+        return Err(format!("seed vertex {seed} is not a live query vertex"));
+    };
+
+    let mut bound: Vec<QVid> = Vec::with_capacity(comp.len());
+    for (i, step) in plan.steps.iter().enumerate() {
+        match *step {
+            Step::Seed { vertex } => {
+                if i != 0 {
+                    return Err(format!("Seed step for {vertex} at position {i} (> 0)"));
+                }
+                bound.push(vertex);
+            }
+            Step::ExpandNew { edge, from, to } => {
+                let Some(qe) = q.edge(edge) else {
+                    return Err(format!("ExpandNew binds dead query edge {edge}"));
+                };
+                if !(qe.src == from && qe.dst == to || qe.src == to && qe.dst == from) {
+                    return Err(format!(
+                        "ExpandNew {edge} claims endpoints {from}->{to}, edge has {}->{}",
+                        qe.src, qe.dst
+                    ));
+                }
+                if !bound.contains(&from) {
+                    return Err(format!(
+                        "ExpandNew {edge} traverses from unbound vertex {from}"
+                    ));
+                }
+                if bound.contains(&to) {
+                    return Err(format!(
+                        "ExpandNew {edge} rebinds already-bound vertex {to} (should be Close)"
+                    ));
+                }
+                bound.push(to);
+                if covered_edges.contains(&edge) {
+                    return Err(format!("query edge {edge} bound twice"));
+                }
+                covered_edges.push(edge);
+            }
+            Step::Close { edge } => {
+                let Some(qe) = q.edge(edge) else {
+                    return Err(format!("Close binds dead query edge {edge}"));
+                };
+                if !bound.contains(&qe.src) || !bound.contains(&qe.dst) {
+                    return Err(format!(
+                        "Close {edge} fires before both endpoints are bound"
+                    ));
+                }
+                if covered_edges.contains(&edge) {
+                    return Err(format!("query edge {edge} bound twice"));
+                }
+                covered_edges.push(edge);
+            }
+        }
+    }
+
+    // the plan must bind its whole component, nothing more
+    for &v in comp {
+        if !bound.contains(&v) {
+            return Err(format!(
+                "plan seeded at {seed} never binds component vertex {v}"
+            ));
+        }
+    }
+    for &v in &bound {
+        if !comp.contains(&v) {
+            return Err(format!(
+                "plan seeded at {seed} binds vertex {v} outside its component"
+            ));
+        }
+    }
+    covered_vertices.extend(bound);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::build_plans;
+    use whyq_graph::{PropertyGraph, Value};
+    use whyq_query::{Predicate, QueryBuilder};
+
+    fn graph() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let a = g.add_vertex([("type", Value::str("person"))]);
+        let b = g.add_vertex([("type", Value::str("person"))]);
+        let c = g.add_vertex([("type", Value::str("city"))]);
+        g.add_edge(a, b, "knows", []);
+        g.add_edge(a, c, "livesIn", []);
+        g.seal();
+        g
+    }
+
+    fn query() -> PatternQuery {
+        QueryBuilder::new("q")
+            .vertex("p1", [Predicate::eq("type", "person")])
+            .vertex("p2", [Predicate::eq("type", "person")])
+            .vertex("c", [Predicate::eq("type", "city")])
+            .edge("p1", "p2", "knows")
+            .edge("p1", "c", "livesIn")
+            .build()
+    }
+
+    #[test]
+    fn real_plans_verify() {
+        let g = graph();
+        let q = query();
+        let compiled = Compiled::new(&g, &q);
+        let plans = build_plans(&g, &q, &compiled, &[]);
+        verify_plans(&q, &compiled, &plans).unwrap();
+    }
+
+    #[test]
+    fn empty_plans_require_unsatisfiability() {
+        let g = graph();
+        let q = query();
+        let compiled = Compiled::new(&g, &q);
+        let err = verify_plans(&q, &compiled, &[]).unwrap_err();
+        assert!(err.contains("zero plans"), "{err}");
+
+        // unsatisfiable query: empty plans are the *expected* shape
+        let unsat = QueryBuilder::new("u")
+            .vertex("a", [Predicate::eq("type", "robot")])
+            .build();
+        let cu = Compiled::new(&g, &unsat);
+        assert!(cu.unsatisfiable());
+        verify_plans(&unsat, &cu, &[]).unwrap();
+    }
+
+    #[test]
+    fn corrupted_plans_are_rejected() {
+        let g = graph();
+        let q = query();
+        let compiled = Compiled::new(&g, &q);
+        let good = build_plans(&g, &q, &compiled, &[]);
+
+        // drop a step: component not fully bound
+        let mut truncated = good.clone();
+        truncated[0].steps.pop();
+        assert!(verify_plans(&q, &compiled, &truncated).is_err());
+
+        // duplicate the last step: edge bound twice
+        let mut duped = good.clone();
+        let last = *duped[0].steps.last().unwrap();
+        duped[0].steps.push(last);
+        assert!(verify_plans(&q, &compiled, &duped).is_err());
+
+        // reverse the steps: seed not first / expand from unbound
+        let mut reversed = good.clone();
+        reversed[0].steps.reverse();
+        assert!(verify_plans(&q, &compiled, &reversed).is_err());
+    }
+}

@@ -13,6 +13,9 @@
 //!   between result graphs (Def. 7) combined through a minimum-cost
 //!   assignment (Def. 8, the Hungarian algorithm of Algorithm 2).
 
+// The whole workspace is unsafe-free (audited 2026-08): lock it in.
+#![forbid(unsafe_code)]
+
 pub mod cardinality;
 pub mod ged;
 pub mod hungarian;

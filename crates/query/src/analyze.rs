@@ -1,0 +1,785 @@
+//! Static query analysis: satisfiability, dead-predicate elimination and
+//! conflict diagnostics — the pass between parsing and compilation.
+//!
+//! The paper's premise is diagnosing empty answers, yet a whole class of
+//! empty results is provable from the query text alone: contradictory
+//! interval conjunctions (`age > 30 ∧ age < 20`), value constants the
+//! graph's dictionary has never seen, attributes and edge types outside
+//! the data domain. This module proves that class *before* any plan is
+//! built or any candidate is scanned, and reports **which** constraints
+//! conflict — the machine-readable conflict set the coarse rewriter seeds
+//! its relaxation frontier with (PUG's constraint-level provenance is the
+//! model: name the conflicting predicates, not just the emptiness).
+//!
+//! ## The pipeline
+//!
+//! `Session::prepare` runs `parse → validate → analyze → compile`:
+//!
+//! 1. [`analyze`] (pure) or [`analyze_against`] (with a sealed graph)
+//!    rewrites the query into an equivalent *simplified* form — duplicate
+//!    predicates on one `(element, attribute)` are merged by interval
+//!    intersection, entailed predicates are dropped, disjunctions are
+//!    deduplicated, predicate order is canonicalized — and collects a
+//!    typed [`AnalysisReport`].
+//! 2. An [`AnalysisReport::is_unsatisfiable`] verdict short-circuits
+//!    compilation entirely: the prepared query answers "no matches" with
+//!    zero candidate scans, and [`AnalysisReport::conflict_set`] names the
+//!    predicates to relax first.
+//! 3. Otherwise the *simplified* query is compiled; every rewrite rule is
+//!    result-equivalence-tested against the naive oracle (the discipline
+//!    of "Proving Cypher Query Equivalence"), so the compiled plan is
+//!    valid for the original query.
+//!
+//! Simplification never renumbers or removes query elements — `QVid` /
+//! `QEid` ids and the topology are preserved — so compiled plans, result
+//! graphs and explanations keep referring to the caller's original
+//! element ids.
+//!
+//! ## Diagnostic codes
+//!
+//! | code | severity | meaning |
+//! |------|----------|---------|
+//! | [`DiagnosticCode::EmptyInterval`] | error | a single predicate interval admits no value (inverted or NaN-bounded range, empty disjunction) |
+//! | [`DiagnosticCode::ContradictoryPredicates`] | error | the conjunction of an element's predicates on one attribute is empty |
+//! | [`DiagnosticCode::UnknownAttribute`] | error | the attribute occurs nowhere in the graph |
+//! | [`DiagnosticCode::UnknownConstant`] | warning / error | string constants absent from the value dictionary were pruned (error when the whole disjunction pruned away) |
+//! | [`DiagnosticCode::UnknownEdgeType`] | warning / error | edge types absent from the graph were pruned (error when every named type is unknown) |
+//! | [`DiagnosticCode::SubsumedPredicate`] | info | duplicate predicates merged; one of them entailed the rest |
+//! | [`DiagnosticCode::MergedPredicates`] | info | duplicate predicates merged into a strictly tighter interval |
+//! | [`DiagnosticCode::NoDirection`] | error | a query edge admits no direction |
+//! | [`DiagnosticCode::DanglingEdge`] | error | a query edge references a removed vertex |
+//! | [`DiagnosticCode::UnconstrainedComponent`] | info | a component carries no constraint at all — its seed is a full scan |
+
+use crate::interval::Interval;
+use crate::modification::Target;
+use crate::predicate::Predicate;
+use crate::query::{PatternQuery, QueryEdge};
+use whyq_graph::{PropertyGraph, Value};
+
+/// How serious a [`Diagnostic`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// An equivalence-preserving simplification was applied; purely
+    /// informational.
+    Info,
+    /// Part of a constraint was pruned (it could not match anything), but
+    /// the query remains satisfiable.
+    Warning,
+    /// The element this diagnostic points at can match nothing — the whole
+    /// query is unsatisfiable.
+    Error,
+}
+
+/// Machine-readable classification of a [`Diagnostic`]. See the module
+/// docs for the full code table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiagnosticCode {
+    /// A predicate interval admits no value on its own.
+    EmptyInterval,
+    /// Predicates on one `(element, attribute)` intersect to nothing.
+    ContradictoryPredicates,
+    /// The predicate's attribute occurs nowhere in the graph.
+    UnknownAttribute,
+    /// String constants absent from the value dictionary.
+    UnknownConstant,
+    /// Edge types absent from the graph.
+    UnknownEdgeType,
+    /// Duplicate predicates merged; the kept one entailed the others.
+    SubsumedPredicate,
+    /// Duplicate predicates merged into a strictly tighter interval.
+    MergedPredicates,
+    /// A query edge admits no direction.
+    NoDirection,
+    /// A query edge references a removed vertex.
+    DanglingEdge,
+    /// A weakly connected component carries no constraint at all.
+    UnconstrainedComponent,
+}
+
+/// One analysis finding, anchored to a query element (and optionally one
+/// of its attributes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// What was found.
+    pub code: DiagnosticCode,
+    /// How serious it is; any [`Severity::Error`] makes the query
+    /// unsatisfiable.
+    pub severity: Severity,
+    /// The query element the finding anchors to.
+    pub locus: Target,
+    /// The attribute of the offending predicate, for predicate-level
+    /// findings.
+    pub attr: Option<String>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sev = match self.severity {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        write!(f, "{sev}[{:?}] {}: {}", self.code, self.locus, self.message)
+    }
+}
+
+/// The typed outcome of a static analysis pass.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AnalysisReport {
+    /// All findings, in query element order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl AnalysisReport {
+    /// True when analysis proved the query can match nothing — some
+    /// diagnostic carries [`Severity::Error`].
+    pub fn is_unsatisfiable(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// The conflicting constraints behind an unsatisfiable verdict:
+    /// `(element, attribute)` pairs of every error-level diagnostic
+    /// (`attribute = None` for element-level conflicts such as an unknown
+    /// edge type), deduplicated in discovery order. The coarse rewriter
+    /// consumes this as its initial relaxation frontier — the first
+    /// rewrites it tries discard exactly these constraints.
+    pub fn conflict_set(&self) -> Vec<(Target, Option<String>)> {
+        let mut out: Vec<(Target, Option<String>)> = Vec::new();
+        for d in &self.diagnostics {
+            if d.severity != Severity::Error {
+                continue;
+            }
+            let key = (d.locus, d.attr.clone());
+            if !out.contains(&key) {
+                out.push(key);
+            }
+        }
+        out
+    }
+
+    /// Diagnostics of exactly `severity`.
+    pub fn with_severity(&self, severity: Severity) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(move |d| d.severity == severity)
+    }
+}
+
+/// The result of analyzing a query: an equivalent simplified query plus
+/// the report of everything the pass found.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// The simplified query. Result-equivalent to the input (on the graph
+    /// analyzed against, for [`analyze_against`]), with identical element
+    /// ids and topology — any plan compiled from it is valid for the
+    /// original.
+    pub query: PatternQuery,
+    /// The findings.
+    pub report: AnalysisReport,
+}
+
+/// Graph-independent analysis: merge and canonicalize predicates, detect
+/// interval contradictions and structural defects. Everything reported
+/// here holds for the query over *any* graph.
+pub fn analyze(q: &PatternQuery) -> Analysis {
+    analyze_impl(q, None)
+}
+
+/// Analysis against a sealed graph: everything [`analyze`] does, plus
+/// domain checks against the graph's dictionaries — unknown attributes and
+/// edge types, string constants the value dictionary has never seen
+/// (generalizing the compiler's ad-hoc dictionary pruning into a reported,
+/// typed pass). The simplified query is result-equivalent to the input
+/// **on this graph**.
+pub fn analyze_against(q: &PatternQuery, g: &PropertyGraph) -> Analysis {
+    analyze_impl(q, Some(g))
+}
+
+fn analyze_impl(q: &PatternQuery, g: Option<&PropertyGraph>) -> Analysis {
+    let mut out = q.clone();
+    let mut diags = Vec::new();
+
+    for v in q.vertex_ids() {
+        let vx = out.vertex_mut(v).expect("live");
+        simplify_predicates(&mut vx.predicates, Target::Vertex(v), g, &mut diags);
+    }
+    for e in q.edge_ids() {
+        let dangling = {
+            let ed = out.edge(e).expect("live");
+            out.vertex(ed.src).is_none() || out.vertex(ed.dst).is_none()
+        };
+        let ed = out.edge_mut(e).expect("live");
+        if dangling {
+            diags.push(Diagnostic {
+                code: DiagnosticCode::DanglingEdge,
+                severity: Severity::Error,
+                locus: Target::Edge(e),
+                attr: None,
+                message: format!("query edge {e} references a removed vertex"),
+            });
+        }
+        if ed.directions.is_empty() {
+            diags.push(Diagnostic {
+                code: DiagnosticCode::NoDirection,
+                severity: Severity::Error,
+                locus: Target::Edge(e),
+                attr: None,
+                message: format!("query edge {e} admits no direction"),
+            });
+        }
+        simplify_types(ed, e, g, &mut diags);
+        simplify_predicates(&mut ed.predicates, Target::Edge(e), g, &mut diags);
+    }
+    if g.is_some() {
+        flag_unconstrained_components(&out, &mut diags);
+    }
+
+    Analysis {
+        query: out,
+        report: AnalysisReport { diagnostics: diags },
+    }
+}
+
+/// Merge, prune and canonicalize one element's predicate conjunction.
+///
+/// Order matters: dictionary pruning first (so a merge sees the values
+/// that can actually occur), then per-attribute intersection, then the
+/// emptiness checks, then the canonical sort. The rewritten conjunction
+/// matches exactly the data elements the original matched — empty
+/// intervals are *kept* (as the canonical `OneOf []`) rather than deleted,
+/// because deleting a never-satisfied predicate would relax the query.
+fn simplify_predicates(
+    preds: &mut Vec<Predicate>,
+    locus: Target,
+    g: Option<&PropertyGraph>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if let Some(g) = g {
+        for p in preds.iter_mut() {
+            if g.attr_symbol(&p.attr).is_none() {
+                diags.push(Diagnostic {
+                    code: DiagnosticCode::UnknownAttribute,
+                    severity: Severity::Error,
+                    locus,
+                    attr: Some(p.attr.clone()),
+                    message: format!(
+                        "attribute {:?} occurs nowhere in the graph — predicate [{p}] can match nothing",
+                        p.attr
+                    ),
+                });
+            }
+            prune_unknown_constants(p, locus, g, diags);
+        }
+    }
+
+    // canonicalize each disjunction: duplicate values contribute nothing
+    for p in preds.iter_mut() {
+        if let Interval::OneOf(vals) = &mut p.interval {
+            let mut seen: Vec<Value> = Vec::with_capacity(vals.len());
+            vals.retain(|v| {
+                if seen.contains(v) {
+                    false
+                } else {
+                    seen.push(v.clone());
+                    true
+                }
+            });
+        }
+    }
+
+    // merge per attribute: conjunction = interval intersection
+    let mut merged: Vec<Predicate> = Vec::with_capacity(preds.len());
+    for p in preds.drain(..) {
+        match merged.iter_mut().find(|m| m.attr == p.attr) {
+            None => merged.push(p),
+            Some(m) => {
+                let conj = m.interval.intersect(&p.interval);
+                let (code, detail) = if conj == m.interval || conj == p.interval {
+                    (
+                        DiagnosticCode::SubsumedPredicate,
+                        "one predicate entails the other",
+                    )
+                } else {
+                    (
+                        DiagnosticCode::MergedPredicates,
+                        "merged into a tighter interval",
+                    )
+                };
+                let contradiction =
+                    conj.is_vacuous() && !m.interval.is_vacuous() && !p.interval.is_vacuous();
+                diags.push(Diagnostic {
+                    code,
+                    severity: Severity::Info,
+                    locus,
+                    attr: Some(m.attr.clone()),
+                    message: format!("[{m}] ∧ [{p}] → [{conj}] ({detail})"),
+                });
+                if contradiction {
+                    diags.push(Diagnostic {
+                        code: DiagnosticCode::ContradictoryPredicates,
+                        severity: Severity::Error,
+                        locus,
+                        attr: Some(m.attr.clone()),
+                        message: format!(
+                            "predicates on {:?} contradict each other: [{m}] ∧ [{p}] admits no value",
+                            m.attr
+                        ),
+                    });
+                }
+                m.interval = conj;
+            }
+        }
+    }
+    *preds = merged;
+
+    // single-predicate emptiness (merged contradictions were reported
+    // above; avoid double-flagging the same locus/attr)
+    for p in preds.iter() {
+        if p.interval.is_vacuous()
+            && !diags.iter().any(|d| {
+                d.severity == Severity::Error
+                    && d.locus == locus
+                    && d.attr.as_deref() == Some(&p.attr)
+            })
+        {
+            diags.push(Diagnostic {
+                code: DiagnosticCode::EmptyInterval,
+                severity: Severity::Error,
+                locus,
+                attr: Some(p.attr.clone()),
+                message: format!("predicate [{p}] admits no value"),
+            });
+        }
+    }
+
+    // canonical order: one predicate per attribute now, so the attribute
+    // name alone is a total key
+    preds.sort_by(|a, b| a.attr.cmp(&b.attr));
+}
+
+/// Drop string constants the value dictionary has never seen from a
+/// `OneOf` disjunction — no stored (always-encoded) string can equal them.
+/// Mirrors the compiler's resolution fast path: a constant already encoded
+/// by *this* graph's dictionary skips the hash probe.
+fn prune_unknown_constants(
+    p: &mut Predicate,
+    locus: Target,
+    g: &PropertyGraph,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let Interval::OneOf(vals) = &mut p.interval else {
+        return;
+    };
+    if vals.is_empty() {
+        return; // already empty; EmptyInterval will flag it
+    }
+    let mut dropped: Vec<String> = Vec::new();
+    vals.retain(|v| {
+        let known = match v {
+            Value::Sym(sv) if sv.dict_id() == g.values().dict_id() => true,
+            v => match v.as_str() {
+                Some(text) => g.value_symbol(text).is_some(),
+                // non-string constants never touch the dictionary
+                None => true,
+            },
+        };
+        if !known {
+            dropped.push(format!("{v}"));
+        }
+        known
+    });
+    if dropped.is_empty() {
+        return;
+    }
+    let all = vals.is_empty();
+    diags.push(Diagnostic {
+        code: DiagnosticCode::UnknownConstant,
+        severity: if all {
+            Severity::Error
+        } else {
+            Severity::Warning
+        },
+        locus,
+        attr: Some(p.attr.clone()),
+        message: if all {
+            format!(
+                "every constant of the {:?} disjunction ({}) is absent from the value dictionary — the predicate can match nothing",
+                p.attr,
+                dropped.join(", ")
+            )
+        } else {
+            format!(
+                "pruned {} constant(s) absent from the value dictionary from {:?}: {}",
+                dropped.len(),
+                p.attr,
+                dropped.join(", ")
+            )
+        },
+    });
+}
+
+/// Deduplicate an edge's type disjunction and (against a graph) prune
+/// types the graph has never seen. A fully unknown disjunction is kept
+/// as-is — an empty type list means "any type", which would *relax* the
+/// edge — and reported as an error instead.
+fn simplify_types(
+    ed: &mut QueryEdge,
+    e: crate::query::QEid,
+    g: Option<&PropertyGraph>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut seen: Vec<String> = Vec::with_capacity(ed.types.len());
+    ed.types.retain(|t| {
+        if seen.contains(t) {
+            false
+        } else {
+            seen.push(t.clone());
+            true
+        }
+    });
+    let Some(g) = g else {
+        return;
+    };
+    if ed.types.is_empty() {
+        return;
+    }
+    let unknown: Vec<String> = ed
+        .types
+        .iter()
+        .filter(|t| g.type_symbol(t).is_none())
+        .cloned()
+        .collect();
+    if unknown.is_empty() {
+        return;
+    }
+    if unknown.len() == ed.types.len() {
+        diags.push(Diagnostic {
+            code: DiagnosticCode::UnknownEdgeType,
+            severity: Severity::Error,
+            locus: Target::Edge(e),
+            attr: None,
+            message: format!(
+                "no admissible type of query edge {e} exists in the graph ({})",
+                unknown.join(", ")
+            ),
+        });
+    } else {
+        ed.types.retain(|t| g.type_symbol(t).is_some());
+        diags.push(Diagnostic {
+            code: DiagnosticCode::UnknownEdgeType,
+            severity: Severity::Warning,
+            locus: Target::Edge(e),
+            attr: None,
+            message: format!(
+                "pruned {} edge type(s) absent from the graph from query edge {e}: {}",
+                unknown.len(),
+                unknown.join(", ")
+            ),
+        });
+    }
+}
+
+/// Flag weakly connected components that carry no constraint at all: every
+/// seed source degenerates to a full vertex scan, and with more than one
+/// such component the cartesian combination explodes. A performance
+/// diagnostic, not a correctness one.
+fn flag_unconstrained_components(q: &PatternQuery, diags: &mut Vec<Diagnostic>) {
+    for comp in q.weakly_connected_components() {
+        let constrained = comp.iter().any(|&v| {
+            !q.vertex(v).expect("live").predicates.is_empty()
+                || q.incident_edges(v).iter().any(|&e| {
+                    let ed = q.edge(e).expect("live");
+                    !ed.types.is_empty() || !ed.predicates.is_empty()
+                })
+        });
+        if !constrained {
+            let anchor = comp[0];
+            diags.push(Diagnostic {
+                code: DiagnosticCode::UnconstrainedComponent,
+                severity: Severity::Info,
+                locus: Target::Vertex(anchor),
+                attr: None,
+                message: format!(
+                    "the component of {anchor} carries no constraint — its seed is a full vertex scan"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::QueryBuilder;
+    use crate::query::{QEid, QVid, QueryVertex};
+
+    fn small_graph() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let p1 = g.add_vertex([("type", Value::str("person")), ("age", Value::Int(25))]);
+        let p2 = g.add_vertex([("type", Value::str("person")), ("age", Value::Int(40))]);
+        let c = g.add_vertex([("type", Value::str("city"))]);
+        g.add_edge(p1, p2, "knows", []);
+        g.add_edge(p1, c, "livesIn", []);
+        g.seal();
+        g
+    }
+
+    fn contradictory() -> PatternQuery {
+        let mut q = PatternQuery::named("contra");
+        q.add_vertex(QueryVertex::with([
+            Predicate::eq("type", "person"),
+            Predicate::at_least("age", 31.0),
+            Predicate::at_most("age", 20.0),
+        ]));
+        q
+    }
+
+    #[test]
+    fn contradictory_conjunction_is_unsatisfiable() {
+        let a = analyze(&contradictory());
+        assert!(a.report.is_unsatisfiable());
+        let conflicts = a.report.conflict_set();
+        assert_eq!(
+            conflicts,
+            vec![(Target::Vertex(QVid(0)), Some("age".to_string()))]
+        );
+        // the merged predicate stays in the simplified query (dropping it
+        // would relax the conjunction) and is vacuous
+        let vx = a.query.vertex(QVid(0)).unwrap();
+        assert_eq!(vx.predicates.len(), 2, "age predicates merged into one");
+        assert!(vx.predicate("age").unwrap().interval.is_vacuous());
+    }
+
+    #[test]
+    fn overlapping_ranges_merge_without_error() {
+        let mut q = PatternQuery::new();
+        q.add_vertex(QueryVertex::with([
+            Predicate::at_least("age", 18.0),
+            Predicate::at_most("age", 65.0),
+            Predicate::between("age", 0.0, 30.0),
+        ]));
+        let a = analyze(&q);
+        assert!(!a.report.is_unsatisfiable());
+        let vx = a.query.vertex(QVid(0)).unwrap();
+        assert_eq!(vx.predicates.len(), 1);
+        assert_eq!(
+            vx.predicates[0].interval,
+            Interval::between(18.0, 30.0),
+            "conjunction tightened to the common range"
+        );
+        assert!(a
+            .report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagnosticCode::MergedPredicates));
+    }
+
+    #[test]
+    fn duplicate_predicate_is_subsumed() {
+        let mut q = PatternQuery::new();
+        q.add_vertex(QueryVertex::with([
+            Predicate::eq("type", "person"),
+            Predicate::eq("type", "person"),
+        ]));
+        let a = analyze(&q);
+        assert!(!a.report.is_unsatisfiable());
+        assert_eq!(a.query.vertex(QVid(0)).unwrap().predicates.len(), 1);
+        assert!(a
+            .report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagnosticCode::SubsumedPredicate));
+    }
+
+    #[test]
+    fn predicate_order_is_canonicalized() {
+        let mut q1 = PatternQuery::new();
+        q1.add_vertex(QueryVertex::with([
+            Predicate::eq("b", 2),
+            Predicate::eq("a", 1),
+        ]));
+        let mut q2 = PatternQuery::new();
+        q2.add_vertex(QueryVertex::with([
+            Predicate::eq("a", 1),
+            Predicate::eq("b", 2),
+        ]));
+        assert_eq!(analyze(&q1).query, analyze(&q2).query);
+    }
+
+    #[test]
+    fn unknown_attribute_and_constant_against_graph() {
+        let g = small_graph();
+        let q = QueryBuilder::new("q")
+            .vertex("a", [Predicate::eq("nonexistent", 1)])
+            .build();
+        let a = analyze_against(&q, &g);
+        assert!(a.report.is_unsatisfiable());
+        assert!(a
+            .report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagnosticCode::UnknownAttribute));
+
+        // fully pruned disjunction: error; partially pruned: warning
+        let q2 = QueryBuilder::new("q2")
+            .vertex("a", [Predicate::eq("type", "robot")])
+            .build();
+        let a2 = analyze_against(&q2, &g);
+        assert!(a2.report.is_unsatisfiable());
+        assert_eq!(
+            a2.report.conflict_set(),
+            vec![(Target::Vertex(QVid(0)), Some("type".to_string()))]
+        );
+
+        let q3 = QueryBuilder::new("q3")
+            .vertex("a", [Predicate::one_of("type", ["robot", "city"])])
+            .build();
+        let a3 = analyze_against(&q3, &g);
+        assert!(!a3.report.is_unsatisfiable());
+        assert_eq!(
+            a3.query.vertex(QVid(0)).unwrap().predicates[0].interval,
+            Interval::one_of(["city"]),
+            "unknown constant pruned, known one kept"
+        );
+        assert!(a3
+            .report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagnosticCode::UnknownConstant && d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn unknown_edge_types_against_graph() {
+        let g = small_graph();
+        let mut q = PatternQuery::new();
+        let a = q.add_vertex(QueryVertex::any());
+        let b = q.add_vertex(QueryVertex::any());
+        let mut e = QueryEdge::typed(a, b, "teleportsTo");
+        e.types.push("knows".into());
+        q.add_edge(e);
+        let an = analyze_against(&q, &g);
+        assert!(!an.report.is_unsatisfiable());
+        assert_eq!(
+            an.query.edge(QEid(0)).unwrap().types,
+            vec!["knows".to_string()],
+            "unknown type pruned from the disjunction"
+        );
+
+        // all types unknown: error, and the list is preserved (an empty
+        // list would mean "any type" — a relaxation)
+        let mut q2 = PatternQuery::new();
+        let a2 = q2.add_vertex(QueryVertex::any());
+        let b2 = q2.add_vertex(QueryVertex::any());
+        q2.add_edge(QueryEdge::typed(a2, b2, "teleportsTo"));
+        let an2 = analyze_against(&q2, &g);
+        assert!(an2.report.is_unsatisfiable());
+        assert_eq!(
+            an2.query.edge(QEid(0)).unwrap().types,
+            vec!["teleportsTo".to_string()]
+        );
+        assert_eq!(
+            an2.report.conflict_set(),
+            vec![(Target::Edge(QEid(0)), None)]
+        );
+    }
+
+    #[test]
+    fn empty_and_nan_intervals_are_errors() {
+        let mut q = PatternQuery::new();
+        q.add_vertex(QueryVertex::with([Predicate {
+            attr: "x".into(),
+            interval: Interval::OneOf(vec![]),
+        }]));
+        let a = analyze(&q);
+        assert!(a.report.is_unsatisfiable());
+        assert!(a
+            .report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagnosticCode::EmptyInterval));
+
+        let mut q2 = PatternQuery::new();
+        q2.add_vertex(QueryVertex::with([Predicate::at_least("x", f64::NAN)]));
+        assert!(analyze(&q2).report.is_unsatisfiable());
+    }
+
+    #[test]
+    fn structural_diagnostics() {
+        let g = small_graph();
+        // no direction
+        let mut q = PatternQuery::new();
+        let a = q.add_vertex(QueryVertex::any());
+        let b = q.add_vertex(QueryVertex::any());
+        let mut ed = QueryEdge::typed(a, b, "knows");
+        ed.directions = crate::direction::DirectionSet {
+            forward: false,
+            backward: false,
+        };
+        q.add_edge(ed);
+        let an = analyze_against(&q, &g);
+        assert!(an
+            .report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagnosticCode::NoDirection));
+
+        // unconstrained component
+        let mut q2 = PatternQuery::new();
+        q2.add_vertex(QueryVertex::any());
+        let an2 = analyze_against(&q2, &g);
+        assert!(!an2.report.is_unsatisfiable());
+        assert!(an2
+            .report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagnosticCode::UnconstrainedComponent));
+    }
+
+    #[test]
+    fn satisfiable_queries_pass_untouched() {
+        let g = small_graph();
+        let q = QueryBuilder::new("ok")
+            .vertex("p", [Predicate::eq("type", "person")])
+            .vertex("c", [Predicate::eq("type", "city")])
+            .edge("p", "c", "livesIn")
+            .build();
+        let a = analyze_against(&q, &g);
+        assert!(!a.report.is_unsatisfiable());
+        assert_eq!(a.query, q, "nothing to simplify");
+        assert!(a.report.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn simplification_preserves_ids_and_topology() {
+        let g = small_graph();
+        let q = QueryBuilder::new("ids")
+            .vertex(
+                "p",
+                [
+                    Predicate::eq("type", "person"),
+                    Predicate::at_least("age", 30.0),
+                    Predicate::at_most("age", 50.0),
+                ],
+            )
+            .vertex("c", [Predicate::eq("type", "city")])
+            .edge("p", "c", "livesIn")
+            .build();
+        let a = analyze_against(&q, &g);
+        assert_eq!(a.query.vertex_slots(), q.vertex_slots());
+        assert_eq!(a.query.edge_slots(), q.edge_slots());
+        assert_eq!(
+            a.query.vertex_ids().collect::<Vec<_>>(),
+            q.vertex_ids().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            a.query.edge_ids().collect::<Vec<_>>(),
+            q.edge_ids().collect::<Vec<_>>()
+        );
+        let e = a.query.edge(QEid(0)).unwrap();
+        assert_eq!((e.src, e.dst), (QVid(0), QVid(1)));
+    }
+}

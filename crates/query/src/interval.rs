@@ -150,6 +150,78 @@ impl Interval {
         }
     }
 
+    /// Is the interval empty for *every* possible value, including the
+    /// NaN-bounded ranges that [`Interval::is_empty`] deliberately leaves
+    /// alone (a NaN bound admits nothing on its side — see the pinned NaN
+    /// semantics above — so such a range matches no value even though its
+    /// bounds do not invert). This is the emptiness test static analysis
+    /// and the compiler's unsatisfiability check agree on.
+    pub fn is_vacuous(&self) -> bool {
+        if let Interval::Range { lo, hi, .. } = self {
+            if lo.is_some_and(f64::is_nan) || hi.is_some_and(f64::is_nan) {
+                return true;
+            }
+        }
+        self.is_empty()
+    }
+
+    /// The conjunction `self ∧ other` as a single interval: an interval
+    /// matching exactly the values both inputs match.
+    ///
+    /// * `OneOf ∧ OneOf` — set intersection (by [`whyq_graph::Value`]
+    ///   equality, which equates dictionary-encoded and plain strings and
+    ///   the `Int`/`Float` encodings of one number);
+    /// * `OneOf ∧ Range` — the values of the disjunction that satisfy the
+    ///   range (NaN values drop out: no range admits NaN);
+    /// * `Range ∧ Range` — the tighter bound per side; on equal bounds the
+    ///   endpoint is admissible only when both inputs admit it. A NaN
+    ///   bound on either input makes the conjunction vacuous (`OneOf []`).
+    ///
+    /// The result may be empty — that is the contradiction static analysis
+    /// reports (`age > 30 ∧ age < 20`).
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        use Interval::*;
+        match (self, other) {
+            (OneOf(a), OneOf(b)) => OneOf(a.iter().filter(|v| b.contains(v)).cloned().collect()),
+            (OneOf(a), r @ Range { .. }) | (r @ Range { .. }, OneOf(a)) => {
+                OneOf(a.iter().filter(|v| r.matches(v)).cloned().collect())
+            }
+            (a @ Range { .. }, b @ Range { .. }) => {
+                if a.is_vacuous() || b.is_vacuous() {
+                    // NaN-bounded (or already inverted) ranges admit
+                    // nothing; folding a NaN bound through max/min below
+                    // would silently *drop* it (f64::max(NaN, x) is x)
+                    return OneOf(Vec::new());
+                }
+                let (
+                    Range {
+                        lo: alo,
+                        hi: ahi,
+                        lo_incl: ali,
+                        hi_incl: ahi_i,
+                    },
+                    Range {
+                        lo: blo,
+                        hi: bhi,
+                        lo_incl: bli,
+                        hi_incl: bhi_i,
+                    },
+                ) = (a, b)
+                else {
+                    unreachable!("both matched Range");
+                };
+                let (lo, lo_incl) = tighter_bound(*alo, *ali, *blo, *bli, false);
+                let (hi, hi_incl) = tighter_bound(*ahi, *ahi_i, *bhi, *bhi_i, true);
+                Range {
+                    lo,
+                    hi,
+                    lo_incl,
+                    hi_incl,
+                }
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // modification helpers (used by relaxation / concretization ops)
     // ------------------------------------------------------------------
@@ -374,11 +446,42 @@ impl Interval {
     }
 }
 
+/// The tighter of two optional bounds for one side of a range conjunction:
+/// the larger lower bound (`upper = false`) or the smaller upper bound
+/// (`upper = true`); `None` is unbounded. Equal bounds are admissible only
+/// when both inputs admit the endpoint.
+fn tighter_bound(
+    a: Option<f64>,
+    a_incl: bool,
+    b: Option<f64>,
+    b_incl: bool,
+    upper: bool,
+) -> (Option<f64>, bool) {
+    match (a, b) {
+        // the flag is meaningless without a bound; pin it to `false`, the
+        // convention of the `at_least`/`at_most` constructors, so merged
+        // intervals share canonical signatures with constructed ones
+        (None, None) => (None, false),
+        (Some(x), None) => (Some(x), a_incl),
+        (None, Some(y)) => (Some(y), b_incl),
+        (Some(x), Some(y)) => {
+            if x == y {
+                (Some(x), a_incl && b_incl)
+            } else if (x > y) != upper {
+                (Some(x), a_incl)
+            } else {
+                (Some(y), b_incl)
+            }
+        }
+    }
+}
+
 impl std::fmt::Display for Interval {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Interval::OneOf(vals) => {
-                let parts: Vec<String> = vals.iter().map(|v| v.to_string()).collect();
+                let parts: Vec<String> =
+                    vals.iter().map(std::string::ToString::to_string).collect();
                 write!(f, "{}", parts.join(" OR "))
             }
             Interval::Range {
@@ -551,6 +654,91 @@ mod tests {
         let degenerate = Interval::between(2.0, 2.0);
         let single = Interval::one_of([2]);
         assert_eq!(single.distance(&degenerate), 0.0);
+    }
+
+    #[test]
+    fn intersect_ranges_tightens_bounds() {
+        let a = Interval::at_least(5.0);
+        let b = Interval::at_most(10.0);
+        let i = a.intersect(&b);
+        assert_eq!(i, Interval::between(5.0, 10.0));
+        // contradictory conjunction is empty but well-formed
+        let c = Interval::at_least(31.0).intersect(&Interval::at_most(20.0));
+        assert!(c.is_vacuous());
+        // equal bounds: the endpoint survives only if both sides admit it
+        let open = Interval::Range {
+            lo: Some(5.0),
+            hi: Some(7.0),
+            lo_incl: false,
+            hi_incl: true,
+        };
+        let both = Interval::between(5.0, 7.0).intersect(&open);
+        assert!(!both.matches(&Value::Int(5)));
+        assert!(both.matches(&Value::Int(7)));
+    }
+
+    #[test]
+    fn intersect_value_sets() {
+        let a = Interval::one_of(["x", "y", "z"]);
+        let b = Interval::one_of(["y", "z", "w"]);
+        assert_eq!(a.intersect(&b), Interval::one_of(["y", "z"]));
+        // mixed: only values satisfying the range survive
+        let set = Interval::one_of([1, 5, 9]);
+        let r = Interval::between(2.0, 6.0);
+        assert_eq!(set.intersect(&r), Interval::one_of([5]));
+        assert_eq!(r.intersect(&set), Interval::one_of([5]));
+        // disjoint sets intersect to the canonical empty interval
+        assert!(Interval::eq("a").intersect(&Interval::eq("b")).is_vacuous());
+    }
+
+    #[test]
+    fn intersect_respects_nan_semantics() {
+        // a NaN bound admits nothing — the conjunction must stay vacuous
+        // rather than have max/min drop the NaN bound
+        let nan_bounded = Interval::at_least(f64::NAN);
+        assert!(nan_bounded.is_vacuous());
+        assert!(!nan_bounded.is_empty(), "is_empty leaves NaN to is_vacuous");
+        let merged = nan_bounded.intersect(&Interval::between(0.0, 10.0));
+        assert!(merged.is_vacuous());
+        assert!(!merged.matches(&Value::Int(5)));
+        // a NaN *value* never satisfies a range, so it drops from the set
+        let set = Interval::one_of([Value::Float(f64::NAN), Value::Float(1.0)]);
+        let i = set.intersect(&Interval::between(0.0, 2.0));
+        assert_eq!(i, Interval::one_of([Value::Float(1.0)]));
+    }
+
+    #[test]
+    fn intersect_matches_conjunction_pointwise() {
+        let cases = [
+            Interval::one_of(["a", "b"]),
+            Interval::eq(3),
+            Interval::between(1.0, 4.0),
+            Interval::at_least(2.0),
+            Interval::at_most(3.0),
+            Interval::OneOf(vec![]),
+        ];
+        let probes = [
+            Value::str("a"),
+            Value::str("b"),
+            Value::str("c"),
+            Value::Int(0),
+            Value::Int(2),
+            Value::Int(3),
+            Value::Float(3.5),
+            Value::Float(f64::NAN),
+        ];
+        for a in &cases {
+            for b in &cases {
+                let i = a.intersect(b);
+                for v in &probes {
+                    assert_eq!(
+                        i.matches(v),
+                        a.matches(v) && b.matches(v),
+                        "{a} ∧ {b} at {v}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

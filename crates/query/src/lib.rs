@@ -20,7 +20,20 @@
 //! The crate also provides the graph-edit *modification operations* for
 //! property graphs (Table 3.1 and the complex operations of Fig. 3.2), which
 //! the modification-based explanation generators in `whyq-core` apply.
+//!
+//! The [`mod@analyze`] module is the static-analysis stage of the
+//! `parse → validate → analyze → compile` pipeline run by
+//! `whyq_session::Session::prepare`: satisfiability (interval
+//! contradictions, dictionary-pruned disjunctions), dead-predicate
+//! elimination, and structural checks, reported as typed
+//! [`Diagnostic`]s whose error-level loci form the conflict set the
+//! relaxation loop seeds from. See the module docs for the diagnostic
+//! code table.
 
+// The whole workspace is unsafe-free (audited 2026-08): lock it in.
+#![forbid(unsafe_code)]
+
+pub mod analyze;
 pub mod builder;
 pub mod complex;
 pub mod direction;
@@ -31,6 +44,9 @@ pub mod predicate;
 pub mod query;
 pub mod signature;
 
+pub use analyze::{
+    analyze, analyze_against, Analysis, AnalysisReport, Diagnostic, DiagnosticCode, Severity,
+};
 pub use builder::QueryBuilder;
 pub use complex::ComplexOp;
 pub use direction::{Direction, DirectionSet};

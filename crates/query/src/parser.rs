@@ -296,7 +296,7 @@ impl<'a> Parser<'a> {
             return Ok(Op::Le);
         }
         match self.peek() {
-            Some(b':') | Some(b'=') => {
+            Some(b':' | b'=') => {
                 self.pos += 1;
                 Ok(Op::Eq)
             }
@@ -314,7 +314,7 @@ impl<'a> Parser<'a> {
 
     fn parse_literal(&mut self) -> Result<Value, ParseError> {
         match self.peek() {
-            Some(b'\'') | Some(b'"') => {
+            Some(b'\'' | b'"') => {
                 let quote = self.bytes[self.pos];
                 self.pos += 1;
                 let start = self.pos;

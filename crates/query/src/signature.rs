@@ -52,6 +52,7 @@ pub fn signature(q: &PatternQuery) -> String {
             .map(|p| format!("{}:{}", p.attr, interval_sig(&p.interval)))
             .collect();
         preds.sort();
+        preds.dedup();
         out.push_str(&preds.join(","));
         out.push(']');
     }
@@ -68,6 +69,7 @@ pub fn signature(q: &PatternQuery) -> String {
         );
         let mut tys = ed.types.clone();
         tys.sort();
+        tys.dedup();
         out.push_str(&tys.join("|"));
         out.push_str("]p[");
         let mut preds: Vec<String> = ed
@@ -76,6 +78,7 @@ pub fn signature(q: &PatternQuery) -> String {
             .map(|p| format!("{}:{}", p.attr, interval_sig(&p.interval)))
             .collect();
         preds.sort();
+        preds.dedup();
         out.push_str(&preds.join(","));
         out.push(']');
     }
@@ -87,6 +90,7 @@ fn interval_sig(i: &Interval) -> String {
         Interval::OneOf(vals) => {
             let mut parts: Vec<String> = vals.iter().map(|v| format!("{v}")).collect();
             parts.sort();
+            parts.dedup();
             format!("{{{}}}", parts.join("|"))
         }
         Interval::Range {
@@ -135,6 +139,33 @@ mod tests {
             Predicate::eq("b", 2),
             Predicate::eq("a", 1),
         ]));
+        assert_eq!(signature(&q1), signature(&q2));
+    }
+
+    #[test]
+    fn duplicates_do_not_matter() {
+        // duplicate predicates, edge types and disjunction values are
+        // idempotent under conjunction/disjunction — canonicalize them away
+        // so reordered-and-duplicated queries share one plan-cache slot
+        let mut q1 = PatternQuery::new();
+        let a1 = q1.add_vertex(QueryVertex::with([
+            Predicate::eq("a", 1),
+            Predicate::eq("a", 1),
+            Predicate::one_of("t", ["x", "x", "y"]),
+        ]));
+        let b1 = q1.add_vertex(QueryVertex::any());
+        let mut e1 = QueryEdge::typed(a1, b1, "knows");
+        e1.types.push("knows".into());
+        q1.add_edge(e1);
+
+        let mut q2 = PatternQuery::new();
+        let a2 = q2.add_vertex(QueryVertex::with([
+            Predicate::one_of("t", ["y", "x"]),
+            Predicate::eq("a", 1),
+        ]));
+        let b2 = q2.add_vertex(QueryVertex::any());
+        q2.add_edge(QueryEdge::typed(a2, b2, "knows"));
+
         assert_eq!(signature(&q1), signature(&q2));
     }
 

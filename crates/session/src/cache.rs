@@ -33,6 +33,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 use whyq_matcher::compile::{Compiled, ComponentPlan};
 use whyq_matcher::SeedList;
+use whyq_query::AnalysisReport;
 
 /// A memoized compilation: the dictionary-resolved query plus its
 /// per-component evaluation plans (empty when the query is unsatisfiable —
@@ -44,6 +45,12 @@ pub struct CachedPlan {
     /// Selectivity-ordered per-component plans; empty ⇔ unsatisfiable
     /// (or the query has no vertices).
     pub plans: Arc<Vec<ComponentPlan>>,
+    /// The static-analysis report produced at prepare time
+    /// ([`whyq_query::analyze_against`]). An unsatisfiable verdict here is
+    /// why `plans` is empty without any compilation having run; its
+    /// [`AnalysisReport::conflict_set`] names the predicates to relax
+    /// first.
+    pub report: Arc<AnalysisReport>,
     /// Per-component seed candidate lists (`plans`-indexed), materialized
     /// lazily by the first parallel execution. Graph and indexes are
     /// immutable for the database's lifetime, so the lists are computed
@@ -180,6 +187,7 @@ mod tests {
         slot.get_or_compile(|| CachedPlan {
             compiled: Arc::new(Compiled::default()),
             plans: Arc::new(Vec::new()),
+            report: Arc::new(AnalysisReport::default()),
             seed_lists: OnceLock::new(),
         });
     }
@@ -233,6 +241,7 @@ mod tests {
                 CachedPlan {
                     compiled: Arc::new(Compiled::default()),
                     plans: Arc::new(Vec::new()),
+                    report: Arc::new(AnalysisReport::default()),
                     seed_lists: OnceLock::new(),
                 }
             });

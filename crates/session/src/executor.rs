@@ -98,11 +98,8 @@ impl ParallelOpts {
     pub fn from_env() -> Self {
         static ENV_THREADS: OnceLock<usize> = OnceLock::new();
         let threads = *ENV_THREADS.get_or_init(|| {
-            let fallback = || {
-                std::thread::available_parallelism()
-                    .map(std::num::NonZeroUsize::get)
-                    .unwrap_or(1)
-            };
+            let fallback =
+                || std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
             match std::env::var("WHYQ_THREADS") {
                 Ok(raw) => parse_threads(&raw).unwrap_or_else(|| {
                     eprintln!(

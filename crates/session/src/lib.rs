@@ -16,11 +16,17 @@
 //!   session owns its scratch arena (the per-worker state that makes
 //!   parallel evaluation possible) while sharing the database's immutable
 //!   graph, indexes and plan cache.
-//! * [`Session::prepare`] compiles a query **once** and memoizes the
-//!   compilation + evaluation plans in a shared LRU keyed by the canonical
-//!   [`PatternQuery::signature`] — repeat queries (the relax loop's
-//!   hundreds of siblings, a service's verbatim replays) skip name
-//!   resolution, selectivity estimation and planning entirely.
+//! * [`Session::prepare`] runs the `parse → validate → analyze → compile`
+//!   pipeline **once** per distinct signature and memoizes the result in a
+//!   shared LRU keyed by the canonical [`PatternQuery::signature`] —
+//!   repeat queries (the relax loop's hundreds of siblings, a service's
+//!   verbatim replays) skip analysis, name resolution, selectivity
+//!   estimation and planning entirely. The static-analysis stage
+//!   ([`mod@whyq_query::analyze`]) merges and canonicalizes predicates and
+//!   proves unsatisfiability where possible: a provably-empty query is
+//!   never compiled at all — [`PreparedQuery::find`] answers with zero
+//!   candidate scans and [`PreparedQuery::report`] carries the typed
+//!   [`Diagnostic`]s naming the conflicting predicates.
 //! * [`PreparedQuery::find`], [`PreparedQuery::count`] and the lazy
 //!   [`PreparedQuery::stream`] execute the cached plan; `stream` yields
 //!   [`ResultGraph`]s straight from the suspendable backtracking DFS
@@ -56,6 +62,9 @@
 //! # Ok::<(), whyq_session::WhyqError>(())
 //! ```
 
+// The whole workspace is unsafe-free (audited 2026-08): lock it in.
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod error;
 pub mod executor;
@@ -73,7 +82,8 @@ use whyq_matcher::{
     SeedList, WorkUnit,
 };
 pub use whyq_matcher::{Budget, CancelToken, Termination};
-use whyq_query::PatternQuery;
+use whyq_query::{analyze_against, PatternQuery};
+pub use whyq_query::{AnalysisReport, Diagnostic, DiagnosticCode, Severity};
 
 /// A result produced under a [`Budget`], tagged with how the execution
 /// ended. Returned by the `*_governed` entry points: when `termination`
@@ -288,7 +298,9 @@ impl Database {
     /// uncached signature all count as misses of the cache probe, but the
     /// per-signature [`cache::PlanSlot`] guarantees exactly one of them
     /// compiles — so absent evictions this equals the number of distinct
-    /// signatures ever prepared, under any amount of contention.
+    /// *satisfiable* signatures ever prepared, under any amount of
+    /// contention. Queries the static analyzer proves unsatisfiable are
+    /// never compiled and do not count.
     pub fn compile_count(&self) -> u64 {
         self.compiles.load(Ordering::Relaxed)
     }
@@ -308,7 +320,9 @@ impl Database {
     /// using, and one crashed worker must not poison every future
     /// prepare on the database.
     fn lock_cache(&self) -> std::sync::MutexGuard<'_, PlanCache> {
-        self.cache.lock().unwrap_or_else(|p| p.into_inner())
+        self.cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Look up or build the cached plan for `q`. The cache lock is held
@@ -322,11 +336,31 @@ impl Database {
         let sig = q.signature();
         let (slot, _hit) = self.lock_cache().probe(&sig);
         slot.get_or_compile(|| {
+            // static analysis runs between validation and compilation
+            // (prepare → analyze → compile). A provably unsatisfiable
+            // query is never compiled at all: no name resolution, no
+            // selectivity sampling, no planning — executing it answers
+            // "no matches" with zero candidate scans, and the report's
+            // conflict set names the predicates to relax first.
+            let analysis = analyze_against(q, &self.g);
+            if analysis.report.is_unsatisfiable() {
+                return CachedPlan {
+                    compiled: Arc::new(whyq_matcher::compile::Compiled::default()),
+                    plans: Arc::new(Vec::new()),
+                    report: Arc::new(analysis.report),
+                    seed_lists: std::sync::OnceLock::new(),
+                };
+            }
             self.compiles.fetch_add(1, Ordering::Relaxed);
-            let (compiled, plans) = session.matcher.compile(q);
+            // compile the analyzer-simplified query: it is
+            // result-equivalent to `q` on this graph with identical
+            // element ids and topology, so the plan serves the caller's
+            // original query exactly
+            let (compiled, plans) = session.matcher.compile(&analysis.query);
             CachedPlan {
                 compiled: Arc::new(compiled),
                 plans: Arc::new(plans),
+                report: Arc::new(analysis.report),
                 seed_lists: std::sync::OnceLock::new(),
             }
         })
@@ -466,11 +500,23 @@ impl<'db> PreparedQuery<'_, 'db> {
         self.query.signature()
     }
 
-    /// True when compilation proved the query can match nothing in this
-    /// database (unknown attribute/type, a string constant the value
-    /// dictionary has never seen, an empty interval).
+    /// True when static analysis or compilation proved the query can match
+    /// nothing in this database (contradictory predicates, an unknown
+    /// attribute/type, a string constant the value dictionary has never
+    /// seen, an empty interval). See [`PreparedQuery::report`] for *why*.
     pub fn is_unsatisfiable(&self) -> bool {
         self.plan.plans.is_empty() && self.query.num_vertices() > 0
+    }
+
+    /// The static-analysis report produced when this query's cache entry
+    /// was built (`prepare → analyze → compile`): merged/subsumed
+    /// predicates, pruned constants and types, and — for an
+    /// [unsatisfiable](PreparedQuery::is_unsatisfiable) query — the
+    /// error-level diagnostics whose
+    /// [`AnalysisReport::conflict_set`] names the conflicting predicates
+    /// the relax loop should target first.
+    pub fn report(&self) -> &AnalysisReport {
+        &self.plan.report
     }
 
     /// Enumerate all result graphs (injective).
@@ -861,6 +907,78 @@ mod tests {
         assert_eq!(prepared.count().unwrap(), 0);
         assert!(prepared.find().unwrap().is_empty());
         assert_eq!(prepared.stream().count(), 0);
+    }
+
+    #[test]
+    fn static_analysis_short_circuits_contradictions_without_compiling() {
+        use whyq_query::{QVid, Target};
+        let db = Database::open(social()).unwrap();
+        let session = db.session();
+        // age > 30 ∧ age < 20 — provably empty from the query text alone
+        let q = QueryBuilder::new("contra")
+            .vertex(
+                "p",
+                [
+                    Predicate::eq("type", "person"),
+                    Predicate::at_least("age", 31.0),
+                    Predicate::at_most("age", 20.0),
+                ],
+            )
+            .build();
+        let prepared = session.prepare(&q).unwrap();
+        assert!(prepared.is_unsatisfiable());
+        assert!(prepared.report().is_unsatisfiable());
+        // the report names the conflicting predicates…
+        assert_eq!(
+            prepared.report().conflict_set(),
+            vec![(Target::Vertex(QVid(0)), Some("age".to_string()))]
+        );
+        // …and the query was never compiled: zero candidate scans
+        assert_eq!(db.compile_count(), 0);
+        assert_eq!(prepared.count().unwrap(), 0);
+        assert!(prepared.find().unwrap().is_empty());
+        assert_eq!(prepared.stream().count(), 0);
+        // the verdict is cached like any plan
+        let again = session.prepare(&q).unwrap();
+        assert!(again.is_unsatisfiable());
+        assert_eq!(db.compile_count(), 0);
+        // a satisfiable query on the same database still compiles
+        session.prepare(&pair_query()).unwrap();
+        assert_eq!(db.compile_count(), 1);
+    }
+
+    #[test]
+    fn reordered_and_duplicated_predicates_share_one_plan() {
+        let mut g = social();
+        g.add_vertex([("type", Value::str("person")), ("age", Value::Int(30))]);
+        let db = Database::open(g).unwrap();
+        let session = db.session();
+        let q1 = QueryBuilder::new("a")
+            .vertex(
+                "p",
+                [
+                    Predicate::eq("type", "person"),
+                    Predicate::at_least("age", 18.0),
+                ],
+            )
+            .build();
+        // same constraints, reordered, with one predicate repeated
+        let q2 = QueryBuilder::new("b")
+            .vertex(
+                "p",
+                [
+                    Predicate::at_least("age", 18.0),
+                    Predicate::eq("type", "person"),
+                    Predicate::eq("type", "person"),
+                ],
+            )
+            .build();
+        assert_eq!(q1.signature(), q2.signature());
+        session.prepare(&q1).unwrap();
+        session.prepare(&q2).unwrap();
+        assert_eq!(db.compile_count(), 1, "one plan-cache slot for both");
+        let stats = db.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
     }
 
     #[test]

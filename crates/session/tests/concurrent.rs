@@ -118,9 +118,11 @@ fn contended_prepares_compile_once_per_signature() {
     assert_eq!(stats.evictions, 0, "{stats:?}");
     assert_eq!(stats.len, queries.len(), "{stats:?}");
     assert_eq!(stats.misses, distinct, "one reservation per signature");
+    // the "robots" query is statically unsatisfiable: its slot is filled
+    // with the analyzer's verdict and never compiled at all
     assert_eq!(
         db.compile_count(),
-        distinct,
+        distinct - 1,
         "no signature compiled twice under contention"
     );
 }
@@ -132,7 +134,11 @@ fn contended_prepares_with_evictions_stay_consistent() {
     // be correct; compile-once holds per *resident* slot generation.
     let db = Database::open_with(social(), DatabaseConfig::default().plan_cache_capacity(2))
         .expect("open");
-    let queries = workload();
+    // drop the statically-unsatisfiable query: it fills its slot without
+    // compiling, which would break the exact compiles-per-miss accounting
+    // below (its short-circuit behavior is covered by the other test and
+    // the session unit tests); 5 signatures over capacity 2 still churn
+    let queries: Vec<_> = workload().into_iter().filter(|(_, n)| *n > 0).collect();
     let prepares = AtomicU64::new(0);
 
     std::thread::scope(|scope| {

@@ -52,7 +52,7 @@ fn zero_deadline_interrupts_the_plain_entry_points() {
     // the value-or-error entry points refuse a partial answer
     match session.find_opts(&q, opts.clone()) {
         Err(WhyqError::Interrupted { termination }) => {
-            assert_eq!(termination, Termination::DeadlineExceeded)
+            assert_eq!(termination, Termination::DeadlineExceeded);
         }
         other => panic!("expected Interrupted, got {other:?}"),
     }

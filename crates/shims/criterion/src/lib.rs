@@ -15,6 +15,9 @@
 //! proves the bench harness still compiles and executes without spending
 //! measurement time (the reported numbers are meaningless then).
 
+// The whole workspace is unsafe-free (audited 2026-08): lock it in.
+#![forbid(unsafe_code)]
+
 use std::io::Write as _;
 use std::time::{Duration, Instant};
 
@@ -156,7 +159,7 @@ impl BenchmarkGroup<'_> {
             f(&mut b);
             per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
         }
-        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        per_iter_ns.sort_by(f64::total_cmp);
         let median = per_iter_ns[per_iter_ns.len() / 2];
         let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
         let min = per_iter_ns[0];
@@ -241,7 +244,7 @@ mod tests {
             b.iter(|| {
                 n = n.wrapping_add(1);
                 black_box(n)
-            })
+            });
         });
         g.finish();
         assert_eq!(c.records.len(), 1);

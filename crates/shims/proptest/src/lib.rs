@@ -14,6 +14,9 @@
 //!   fallback), not full regex;
 //! * `prop_assert*` are plain `assert*` aliases (panic-based).
 
+// The whole workspace is unsafe-free (audited 2026-08): lock it in.
+#![forbid(unsafe_code)]
+
 use rand::{RngCore, RngExt, SeedableRng, StdRng};
 use std::rc::Rc;
 

@@ -7,6 +7,9 @@
 //! generator is xoshiro256++ seeded through splitmix64, the same
 //! construction the real `StdRng` family has used for its small RNGs.
 
+// The whole workspace is unsafe-free (audited 2026-08): lock it in.
+#![forbid(unsafe_code)]
+
 /// A random number generator: an infinite stream of `u64`s.
 pub trait RngCore {
     /// The next 64 random bits.

@@ -43,7 +43,7 @@ fn main() -> Result<(), WhyqError> {
                     fix.cardinality,
                     fix.mods
                         .iter()
-                        .map(|m| m.to_string())
+                        .map(std::string::ToString::to_string)
                         .collect::<Vec<_>>()
                         .join("; ")
                 );

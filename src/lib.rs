@@ -49,6 +49,9 @@
 //! # Ok::<(), WhyqError>(())
 //! ```
 
+// The whole workspace is unsafe-free (audited 2026-08): lock it in.
+#![forbid(unsafe_code)]
+
 pub use whyq_core as core;
 pub use whyq_datagen as datagen;
 pub use whyq_graph as graph;
