@@ -117,6 +117,15 @@ impl CsrDir {
         self.offsets[v.0 as usize] as usize..self.offsets[v.0 as usize + 1] as usize
     }
 
+    fn extent_u32(&self, v: VertexId) -> Range<u32> {
+        self.offsets[v.0 as usize]..self.offsets[v.0 as usize + 1]
+    }
+
+    fn extent_of_u32(&self, v: VertexId, ty: Symbol) -> Range<u32> {
+        let r = self.extent_of(v, ty);
+        r.start as u32..r.end as u32
+    }
+
     /// The arena extent of `v`'s edges of type `ty` (empty if none).
     fn extent_of(&self, v: VertexId, ty: Symbol) -> Range<usize> {
         let rr =
@@ -209,5 +218,43 @@ impl CsrTopology {
     /// In-degree of `v` (one offset subtraction).
     pub fn in_degree(&self, v: VertexId) -> usize {
         self.inn.degree(v)
+    }
+
+    /// Absolute out-arena extent of `v`'s entries. Pair with
+    /// [`CsrTopology::out_slice`]: resumable scans can resolve an extent
+    /// once, store the two `u32`s across suspension points, and reslice
+    /// in O(1) on every resume instead of re-running the offset (and,
+    /// for typed runs, binary-search) lookups.
+    pub fn out_extent(&self, v: VertexId) -> Range<u32> {
+        self.out.extent_u32(v)
+    }
+
+    /// Absolute in-arena extent of `v`'s entries.
+    pub fn in_extent(&self, v: VertexId) -> Range<u32> {
+        self.inn.extent_u32(v)
+    }
+
+    /// Absolute out-arena extent of `v`'s entries of type `ty` (empty if
+    /// none).
+    pub fn out_extent_of(&self, v: VertexId, ty: Symbol) -> Range<u32> {
+        self.out.extent_of_u32(v, ty)
+    }
+
+    /// Absolute in-arena extent of `v`'s entries of type `ty` (empty if
+    /// none).
+    pub fn in_extent_of(&self, v: VertexId, ty: Symbol) -> Range<u32> {
+        self.inn.extent_of_u32(v, ty)
+    }
+
+    /// Reslice an extent previously obtained from
+    /// [`CsrTopology::out_extent`] / [`CsrTopology::out_extent_of`].
+    pub fn out_slice(&self, r: Range<u32>) -> AdjSlice<'_> {
+        self.out.slice(r.start as usize..r.end as usize)
+    }
+
+    /// Reslice an extent previously obtained from
+    /// [`CsrTopology::in_extent`] / [`CsrTopology::in_extent_of`].
+    pub fn in_slice(&self, r: Range<u32>) -> AdjSlice<'_> {
+        self.inn.slice(r.start as usize..r.end as usize)
     }
 }

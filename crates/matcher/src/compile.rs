@@ -382,11 +382,27 @@ pub fn build_plans(
     compiled: &Compiled,
     indexes: &[Arc<AttrIndex>],
 ) -> Vec<ComponentPlan> {
+    build_plans_est(g, q, compiled, indexes).0
+}
+
+/// [`build_plans`], also returning the per-vertex selectivity estimates it
+/// planned with (indexed by `QVid` slot). The IR lowering
+/// ([`crate::plan_ir::lower`]) annotates its scan nodes with exactly these
+/// estimates, so the optimizer passes reason from the same signal the
+/// planner ordered by — without re-sampling the graph.
+pub fn build_plans_est(
+    g: &PropertyGraph,
+    q: &PatternQuery,
+    compiled: &Compiled,
+    indexes: &[Arc<AttrIndex>],
+) -> (Vec<ComponentPlan>, Vec<u64>) {
     let est = estimate_candidates(g, q, compiled, indexes);
-    q.weakly_connected_components()
+    let plans = q
+        .weakly_connected_components()
         .into_iter()
         .map(|comp| plan_component(q, &comp, &est))
-        .collect()
+        .collect();
+    (plans, est)
 }
 
 /// How many vertices of the arena to test per query vertex when no index

@@ -27,14 +27,16 @@
 //! why-query relaxation loop does — performs no per-call setup allocations
 //! beyond query compilation.
 
-use crate::budget::{Budget, CHECK_INTERVAL};
-use crate::compile::{build_plans, Compiled, ComponentPlan, Step};
+use crate::budget::Budget;
+use crate::compile::{build_plans, Compiled, ComponentPlan};
 use crate::index::AttrIndex;
+use crate::optimize::PassSet;
 use crate::result::ResultGraph;
+use crate::vm::QueryProgram;
 use crate::work::{SeedList, WorkUnit};
 use std::cell::RefCell;
 use std::sync::Arc;
-use whyq_graph::{AdjSlice, CsrTopology, PropertyGraph, Value, VertexId};
+use whyq_graph::{CsrTopology, PropertyGraph, Value, VertexId};
 use whyq_query::{Interval, PatternQuery, QVid};
 
 /// Options controlling match semantics.
@@ -50,7 +52,8 @@ pub struct MatchOptions {
     /// Stop after this many result graphs.
     pub limit: Option<usize>,
     /// Resource governance: deadline, step budget, cooperative cancel.
-    /// Checked every [`CHECK_INTERVAL`] DFS transitions; when it trips,
+    /// Checked every [`crate::budget::CHECK_INTERVAL`] VM transitions;
+    /// when it trips,
     /// the search stops early and the budget records the cause — inspect
     /// [`Budget::termination`] after the run to distinguish a complete
     /// answer from a partial prefix. Unlimited by default.
@@ -102,6 +105,23 @@ impl MatchOptions {
     }
 }
 
+/// A query compiled all the way to executable bytecode: the per-element
+/// predicate programs and dictionary resolutions ([`Compiled`]) plus the
+/// per-component bytecode programs ([`QueryProgram`]). Produced by
+/// [`Matcher::compile_full`] / [`Matcher::compile_with_passes`]; this is
+/// the artifact the `whyq-session` plan cache stores per query signature.
+///
+/// An unsatisfiable query compiles to an empty program
+/// ([`QueryProgram::is_empty`]) — executing it yields no matches without
+/// touching the graph.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    /// Dictionary-resolved predicate programs for every query element.
+    pub compiled: Compiled,
+    /// One bytecode program per weakly connected query component.
+    pub program: QueryProgram,
+}
+
 /// Reusable per-matcher search storage: binding slots, occupancy stamps
 /// and the seed candidate buffer. Allocated lazily on first use and grown,
 /// never shrunk, across searches. Also used by the suspendable streaming
@@ -125,10 +145,10 @@ pub(crate) struct Scratch {
     /// freshly zeroed stamp entries are never considered used.
     gen: u32,
     /// Seed candidates of the component currently being evaluated.
-    seeds: Vec<VertexId>,
-    /// DFS transitions since the search started; every
-    /// [`CHECK_INTERVAL`]-th transition charges the budget. Reset per
-    /// search so block boundaries are deterministic.
+    pub(crate) seeds: Vec<VertexId>,
+    /// VM transitions since the search started; every
+    /// [`crate::budget::CHECK_INTERVAL`]-th transition charges the budget.
+    /// Reset per search so block boundaries are deterministic.
     pub(crate) ticks: u64,
 }
 
@@ -192,26 +212,11 @@ impl Scratch {
     }
 }
 
-/// Loop-invariant inputs of one component search, bundled so the DFS
-/// helpers don't thread the same parameters through every level.
-struct SearchCtx<'a> {
-    q: &'a PatternQuery,
-    compiled: &'a Compiled,
-    steps: &'a [Step],
-    injective: bool,
-    budget: &'a Budget,
-}
-
-/// Per-`ExpandNew`-step constants: the query edge being bound, the query
-/// vertex it binds, and their compiled forms.
-struct ExpandBinding<'a> {
-    edge: whyq_query::QEid,
-    to: QVid,
-    ce: &'a crate::compile::CompiledEdge,
-    cv_to: &'a crate::compile::CompiledVertex,
-}
-
-/// Where a `Seed` step draws its candidates from.
+/// Where a `Seed` step draws its candidates from. On the default path
+/// the optimizer's `seed_select` pass has taken over this role (it also
+/// considers probe intersections); this greedy resolver survives for the
+/// `legacy-interp` oracle.
+#[cfg_attr(not(feature = "legacy-interp"), allow(dead_code))]
 pub(crate) enum SeedSource<'a> {
     /// Full scan of the vertex arena.
     Scan,
@@ -230,9 +235,9 @@ pub(crate) enum SeedSource<'a> {
 /// symbol lookup, not a string hash. With several indexed predicates the
 /// *smallest* candidate set wins — the same signal `estimate_candidates`
 /// feeds the planner, so the seed the planner chose for its low estimate
-/// is actually drawn from that small bucket. Shared between the recursive
-/// engine and the suspendable streaming DFS so both draw seeds
-/// identically.
+/// is actually drawn from that small bucket. Kept for the `legacy-interp`
+/// oracle; the VM path resolves seeds from the program's `SeedSpec`.
+#[cfg_attr(not(feature = "legacy-interp"), allow(dead_code))]
 pub(crate) fn seed_source<'m>(
     g: &PropertyGraph,
     indexes: &'m [Arc<AttrIndex>],
@@ -282,8 +287,8 @@ pub(crate) fn seed_source<'m>(
 /// Materialize the union of a multi-value disjunction's index buckets
 /// into `out` (cleared first), sorted and deduplicated — repeated
 /// disjunction values would repeat their buckets. The single definition
-/// keeps the recursive engine, the streaming DFS and the parallel work
-/// model ([`Matcher::seed_list`]) drawing identical seed candidates in
+/// keeps the VM, the streaming evaluator and the parallel work model
+/// ([`Matcher::seed_list_for`]) drawing identical seed candidates in
 /// identical order.
 pub(crate) fn union_seeds(
     g: &PropertyGraph,
@@ -307,13 +312,13 @@ pub(crate) fn union_seeds(
 /// shared (`Arc`) with every other session of the same database.
 #[derive(Debug, Clone)]
 pub struct Matcher<'g> {
-    g: &'g PropertyGraph,
+    pub(crate) g: &'g PropertyGraph,
     /// The graph's sealed CSR adjacency — resolved once at construction so
     /// every candidate scan is a plain slice walk (building it here also
     /// warms the graph's topology cache for unsealed graphs).
-    topo: &'g CsrTopology,
-    indexes: Vec<Arc<AttrIndex>>,
-    scratch: RefCell<Scratch>,
+    pub(crate) topo: &'g CsrTopology,
+    pub(crate) indexes: Vec<Arc<AttrIndex>>,
+    pub(crate) scratch: RefCell<Scratch>,
 }
 
 impl<'g> Matcher<'g> {
@@ -342,7 +347,7 @@ impl<'g> Matcher<'g> {
     /// Attach an equality index over `attr` (no-op if absent from graph).
     #[deprecated(
         since = "0.2.0",
-        note = "configure indexes on `whyq_session::DatabaseConfig` and open a `Database` instead; sessions share the database's prebuilt indexes"
+        note = "configure indexes at open instead: `Database::open_with(g, DatabaseConfig::with_indexes([attr]))` — sessions share the database's prebuilt indexes; see docs/migration.md"
     )]
     pub fn with_index(mut self, attr: &str) -> Self {
         if let Some(idx) = AttrIndex::build(self.g, attr) {
@@ -389,29 +394,72 @@ impl<'g> Matcher<'g> {
         (compiled, plans)
     }
 
+    /// Compile `q` all the way to executable bytecode with the default
+    /// (full) optimizer pipeline — lower the greedy plans to the IR,
+    /// optimize, encode. The `whyq-session` facade calls this once per
+    /// distinct query signature and memoizes the [`CompiledQuery`].
+    pub fn compile_full(&self, q: &PatternQuery) -> CompiledQuery {
+        self.compile_with_passes(q, crate::optimize::PassSet::default())
+    }
+
+    /// [`Matcher::compile_full`] with an explicit optimizer [`PassSet`] —
+    /// the hook the pass power-set equivalence suite drives. Every pass
+    /// combination yields a program enumerating the same matches; in
+    /// debug builds the plans and the IR (after every enabled pass) are
+    /// re-verified.
+    pub fn compile_with_passes(&self, q: &PatternQuery, passes: PassSet) -> CompiledQuery {
+        let compiled = Compiled::new(self.g, q);
+        // compile-time pruning: an unknown attribute/type or a string
+        // constant absent from the value dictionary proves some element
+        // unmatchable — no program needed
+        if compiled.unsatisfiable() {
+            return CompiledQuery {
+                compiled,
+                program: QueryProgram::default(),
+            };
+        }
+        let (plans, est) = crate::compile::build_plans_est(self.g, q, &compiled, &self.indexes);
+        #[cfg(debug_assertions)]
+        if let Err(violation) = crate::verify::verify_plans(q, &compiled, &plans) {
+            panic!("compiled plan violates invariants: {violation}");
+        }
+        let mut ir = crate::plan_ir::lower(&compiled, &plans, &est);
+        #[cfg(debug_assertions)]
+        if let Err(violation) = crate::verify::verify_ir(q, &compiled, &ir, self.indexes.len()) {
+            panic!("lowered IR violates invariants: {violation}");
+        }
+        // the optimizer re-verifies after each enabled pass (debug builds)
+        crate::optimize::optimize(&mut ir, self.g, q, &compiled, &self.indexes, passes);
+        CompiledQuery {
+            compiled,
+            program: QueryProgram::from_ir(&ir),
+        }
+    }
+
     /// Enumerate result graphs.
     pub fn find(&self, q: &PatternQuery, opts: MatchOptions) -> Vec<ResultGraph> {
-        let (compiled, plans) = self.compile(q);
-        self.find_compiled(q, &compiled, &plans, opts)
+        let cq = self.compile_full(q);
+        self.find_compiled(q, &cq.compiled, &cq.program, opts)
     }
 
     /// [`Matcher::find`] with a precompiled query — the prepared-query
-    /// fast path: no name resolution, no selectivity estimation, no plan
-    /// construction. `compiled`/`plans` must come from [`Matcher::compile`]
-    /// on a query with the same signature over the same graph (the plan
-    /// cache of `whyq-session` guarantees this).
+    /// fast path: no name resolution, no selectivity estimation, no
+    /// planning, no lowering. `compiled`/`program` must come from
+    /// [`Matcher::compile_full`] (or [`Matcher::compile_with_passes`]) on
+    /// a query with the same signature over the same graph and indexes
+    /// (the plan cache of `whyq-session` guarantees this).
     pub fn find_compiled(
         &self,
         q: &PatternQuery,
         compiled: &Compiled,
-        plans: &[ComponentPlan],
+        program: &QueryProgram,
         opts: MatchOptions,
     ) -> Vec<ResultGraph> {
-        if q.num_vertices() == 0 || plans.is_empty() {
+        if q.num_vertices() == 0 || program.is_empty() {
             return Vec::new();
         }
         // an already-tripped (or zero) budget refuses the search up front —
-        // the tick check inside the DFS only fires after a full block
+        // the tick check inside the VM only fires after a full block
         if opts.budget.poll().is_err() {
             return Vec::new();
         }
@@ -419,11 +467,12 @@ impl<'g> Matcher<'g> {
         let mut st = self.scratch.borrow_mut();
         st.prepare(self.g, q);
 
-        // evaluate each component independently
-        let mut per_component: Vec<Vec<ResultGraph>> = Vec::with_capacity(plans.len());
-        for plan in plans {
+        // evaluate each component's program independently
+        let mut per_component: Vec<Vec<ResultGraph>> =
+            Vec::with_capacity(program.components().len());
+        for prog in program.components() {
             let mut results = Vec::new();
-            self.eval_component(q, compiled, plan, &opts, &mut st, &mut |s| {
+            self.run_component(q, compiled, prog, &opts, &mut st, &mut |s| {
                 results.push(s.to_result());
                 results.len() < cap
             });
@@ -441,8 +490,8 @@ impl<'g> Matcher<'g> {
     /// (the returned value is `min(C(Q), limit)`). Unlike [`Matcher::find`]
     /// no result graph is ever materialized.
     pub fn count(&self, q: &PatternQuery, opts: MatchOptions) -> u64 {
-        let (compiled, plans) = self.compile(q);
-        self.count_compiled(q, &compiled, &plans, opts)
+        let cq = self.compile_full(q);
+        self.count_compiled(q, &cq.compiled, &cq.program, opts)
     }
 
     /// [`Matcher::count`] with a precompiled query — see
@@ -451,10 +500,10 @@ impl<'g> Matcher<'g> {
         &self,
         q: &PatternQuery,
         compiled: &Compiled,
-        plans: &[ComponentPlan],
+        program: &QueryProgram,
         opts: MatchOptions,
     ) -> u64 {
-        if q.num_vertices() == 0 || plans.is_empty() {
+        if q.num_vertices() == 0 || program.is_empty() {
             return 0;
         }
         if opts.budget.poll().is_err() {
@@ -463,10 +512,10 @@ impl<'g> Matcher<'g> {
         let limit = opts.limit.map(|l| l as u64);
         let mut st = self.scratch.borrow_mut();
         st.prepare(self.g, q);
-        let mut counts: Vec<u64> = Vec::with_capacity(plans.len());
-        for plan in plans {
+        let mut counts: Vec<u64> = Vec::with_capacity(program.components().len());
+        for prog in program.components() {
             let mut c: u64 = 0;
-            self.eval_component(q, compiled, plan, &opts, &mut st, &mut |_| {
+            self.run_component(q, compiled, prog, &opts, &mut st, &mut |_| {
                 c += 1;
                 limit.is_none_or(|l| c < l)
             });
@@ -482,21 +531,106 @@ impl<'g> Matcher<'g> {
         }
     }
 
-    /// Materialize the seed candidate space of `vertex` (a component
-    /// plan's seed step) in engine order: the dense arena for a full scan,
-    /// a copy of the winning index bucket for an equality-shaped
-    /// predicate, or the sorted, deduplicated union of a multi-value
-    /// disjunction's buckets — exactly the candidates (and order) the
-    /// serial [`Matcher::find_compiled`] search would draw. Any subrange
-    /// of the list is an independently executable [`WorkUnit`].
-    pub fn seed_list(&self, q: &PatternQuery, vertex: QVid) -> SeedList {
-        match seed_source(self.g, &self.indexes, q, vertex) {
-            SeedSource::Scan => SeedList::All(self.g.num_vertices()),
-            SeedSource::Bucket(bucket) => SeedList::List(bucket.to_vec()),
-            SeedSource::Union(idx, vals) => {
+    /// Run one component program to completion (or until `emit` declines
+    /// or the budget trips), resolving the program's seed source against
+    /// this matcher's graph and indexes. The scratch arena is left clean.
+    fn run_component(
+        &self,
+        q: &PatternQuery,
+        compiled: &Compiled,
+        prog: &crate::vm::Program,
+        opts: &MatchOptions,
+        st: &mut Scratch,
+        emit: &mut dyn FnMut(&Scratch) -> bool,
+    ) {
+        // union/intersection seeds materialize into the scratch seed
+        // buffer, detached while the program runs and reattached after
+        let mut buf = std::mem::take(&mut st.seeds);
+        let seeds = self.resolve_seeds(prog, &mut buf);
+        let cx = crate::vm::VmCtx {
+            g: self.g,
+            topo: self.topo,
+            q,
+            compiled,
+            prog,
+            injective: opts.injective,
+            budget: &opts.budget,
+            seeds,
+        };
+        let mut vs = crate::vm::VmState::default();
+        crate::vm::run_to_end(&cx, st, &mut vs, emit);
+        // release any registers an early stop left bound
+        crate::vm::unwind(&cx, st, &mut vs);
+        buf.clear();
+        st.seeds = buf;
+    }
+
+    /// Resolve a program's [`SeedSpec`] into a concrete candidate source:
+    /// the dense arena range for a full scan, a borrowed index bucket for
+    /// a point probe, or `buf` filled with the materialized union /
+    /// intersection.
+    fn resolve_seeds<'a>(
+        &'a self,
+        prog: &crate::vm::Program,
+        buf: &'a mut Vec<VertexId>,
+    ) -> crate::vm::SeedSrc<'a> {
+        use crate::plan_ir::SeedSpec;
+        match prog.seed() {
+            SeedSpec::FullScan => crate::vm::SeedSrc::Range {
+                start: 0,
+                end: self.g.num_vertices() as u32,
+            },
+            SeedSpec::Bucket { index, key } => {
+                crate::vm::SeedSrc::Slice(self.indexes[*index].lookup(self.g, key))
+            }
+            SeedSpec::Union { index, keys } => {
+                union_seeds(self.g, &self.indexes[*index], keys, buf);
+                crate::vm::SeedSrc::Slice(buf)
+            }
+            SeedSpec::Intersect { probes } => {
+                intersect_seeds(self.g, &self.indexes, probes, buf);
+                crate::vm::SeedSrc::Slice(buf)
+            }
+        }
+    }
+
+    /// Materialize the seed candidate space of one component program in
+    /// engine order: the dense arena for a full scan, a copy of the index
+    /// bucket / union / intersection the optimizer selected — exactly the
+    /// candidates (and order) the serial [`Matcher::find_compiled`] search
+    /// would draw for that component. Any subrange of the list is an
+    /// independently executable [`WorkUnit`].
+    pub fn seed_list_for(&self, prog: &crate::vm::Program) -> SeedList {
+        use crate::plan_ir::SeedSpec;
+        match prog.seed() {
+            SeedSpec::FullScan => SeedList::All(self.g.num_vertices()),
+            SeedSpec::Bucket { index, key } => {
+                SeedList::List(self.indexes[*index].lookup(self.g, key).to_vec())
+            }
+            SeedSpec::Union { index, keys } => {
                 let mut seeds = Vec::new();
-                union_seeds(self.g, idx, vals, &mut seeds);
+                union_seeds(self.g, &self.indexes[*index], keys, &mut seeds);
                 SeedList::List(seeds)
+            }
+            SeedSpec::Intersect { probes } => {
+                let mut seeds = Vec::new();
+                intersect_seeds(self.g, &self.indexes, probes, &mut seeds);
+                SeedList::List(seeds)
+            }
+        }
+    }
+
+    /// Clamp `unit.range` onto `seeds` and view it as a VM seed source.
+    fn seed_src_for_unit<'a>(seeds: &'a SeedList, unit: &WorkUnit) -> crate::vm::SeedSrc<'a> {
+        match seeds {
+            SeedList::All(n) => crate::vm::SeedSrc::Range {
+                start: unit.range.start.min(*n) as u32,
+                end: unit.range.end.min(*n) as u32,
+            },
+            SeedList::List(v) => {
+                let end = unit.range.end.min(v.len());
+                let start = unit.range.start.min(end);
+                crate::vm::SeedSrc::Slice(&v[start..end])
             }
         }
     }
@@ -504,16 +638,16 @@ impl<'g> Matcher<'g> {
     /// Execute one [`WorkUnit`]: enumerate the partial bindings of
     /// component `unit.component` whose seed lies in `unit.range` of
     /// `seeds`, capped at `opts.limit`. `seeds` must come from
-    /// [`Matcher::seed_list`] for that component's seed vertex (over the
-    /// same graph and indexes) and `compiled`/`plans` from
-    /// [`Matcher::compile`]. Units of one component partition its serial
-    /// result list: concatenating their outputs in range order equals the
-    /// serial enumeration.
+    /// [`Matcher::seed_list_for`] on that component's program (over the
+    /// same graph and indexes) and `compiled`/`program` from
+    /// [`Matcher::compile_full`]. Units of one component partition its
+    /// serial result list: concatenating their outputs in range order
+    /// equals the serial enumeration.
     pub fn find_unit(
         &self,
         q: &PatternQuery,
         compiled: &Compiled,
-        plans: &[ComponentPlan],
+        program: &QueryProgram,
         unit: &WorkUnit,
         seeds: &SeedList,
         opts: MatchOptions,
@@ -525,13 +659,13 @@ impl<'g> Matcher<'g> {
         let mut st = self.scratch.borrow_mut();
         st.prepare(self.g, q);
         let mut results = Vec::new();
-        self.eval_unit(
+        self.run_unit(
             q,
             compiled,
-            &plans[unit.component],
-            &opts,
+            program,
+            unit,
             seeds,
-            unit.range.clone(),
+            &opts,
             &mut st,
             &mut |s| {
                 results.push(s.to_result());
@@ -548,7 +682,7 @@ impl<'g> Matcher<'g> {
         &self,
         q: &PatternQuery,
         compiled: &Compiled,
-        plans: &[ComponentPlan],
+        program: &QueryProgram,
         unit: &WorkUnit,
         seeds: &SeedList,
         opts: MatchOptions,
@@ -560,13 +694,13 @@ impl<'g> Matcher<'g> {
         let mut st = self.scratch.borrow_mut();
         st.prepare(self.g, q);
         let mut c: u64 = 0;
-        self.eval_unit(
+        self.run_unit(
             q,
             compiled,
-            &plans[unit.component],
-            &opts,
+            program,
+            unit,
             seeds,
-            unit.range.clone(),
+            &opts,
             &mut st,
             &mut |_| {
                 c += 1;
@@ -579,434 +713,54 @@ impl<'g> Matcher<'g> {
         }
     }
 
-    /// DFS over one component plan with an explicit seed slice: like
-    /// [`Matcher::eval_component`] but the `Seed` step draws candidates
-    /// from `seeds[range]` instead of resolving a seed source itself.
-    #[allow(clippy::too_many_arguments)]
-    fn eval_unit(
+    /// Shared [`WorkUnit`] runner: one component program over one clamped
+    /// seed subrange, on this matcher's scratch arena.
+    #[allow(clippy::too_many_arguments)] // internal plumbing, not API
+    fn run_unit(
         &self,
         q: &PatternQuery,
         compiled: &Compiled,
-        plan: &ComponentPlan,
-        opts: &MatchOptions,
+        program: &QueryProgram,
+        unit: &WorkUnit,
         seeds: &SeedList,
-        range: std::ops::Range<usize>,
-        st: &mut Scratch,
-        emit: &mut dyn FnMut(&Scratch) -> bool,
-    ) {
-        let Some(&Step::Seed { vertex }) = plan.steps.first() else {
-            return;
-        };
-        let cx = SearchCtx {
-            q,
-            compiled,
-            steps: &plan.steps,
-            injective: opts.injective,
-            budget: &opts.budget,
-        };
-        let cv = compiled.vertex(vertex);
-        for i in range {
-            if i >= seeds.len() {
-                break;
-            }
-            let dv = seeds.get(i);
-            if !cv.accepts(self.g, dv) {
-                continue;
-            }
-            if !self.bind_seed(&cx, 0, st, emit, vertex, dv) {
-                return;
-            }
-        }
-    }
-
-    /// DFS over one component plan; `emit` returns `false` to stop. The
-    /// scratch arena must be prepared and is left clean (all slots unbound)
-    /// on return, including on early termination.
-    fn eval_component(
-        &self,
-        q: &PatternQuery,
-        compiled: &Compiled,
-        plan: &ComponentPlan,
         opts: &MatchOptions,
         st: &mut Scratch,
         emit: &mut dyn FnMut(&Scratch) -> bool,
     ) {
-        let cx = SearchCtx {
+        let prog = &program.components()[unit.component];
+        let cx = crate::vm::VmCtx {
+            g: self.g,
+            topo: self.topo,
             q,
             compiled,
-            steps: &plan.steps,
+            prog,
             injective: opts.injective,
             budget: &opts.budget,
+            seeds: Self::seed_src_for_unit(seeds, unit),
         };
-        self.step(&cx, 0, st, emit);
+        let mut vs = crate::vm::VmState::default();
+        crate::vm::run_to_end(&cx, st, &mut vs, emit);
+        crate::vm::unwind(&cx, st, &mut vs);
     }
+}
 
-    fn step(
-        &self,
-        cx: &SearchCtx<'_>,
-        i: usize,
-        st: &mut Scratch,
-        emit: &mut dyn FnMut(&Scratch) -> bool,
-    ) -> bool {
-        // coarse tick-counted budget check: one charge per CHECK_INTERVAL
-        // DFS transitions keeps `Instant::now` off the per-step hot path
-        // while bounding how far past a deadline the search can run
-        st.ticks += 1;
-        if st.ticks.is_multiple_of(CHECK_INTERVAL as u64)
-            && cx.budget.charge(CHECK_INTERVAL as u64).is_err()
-        {
-            return false;
-        }
-        if i == cx.steps.len() {
-            return emit(st);
-        }
-        match cx.steps[i] {
-            Step::Seed { vertex } => self.seed(cx, i, st, emit, vertex),
-            Step::ExpandNew { edge, from, to } => {
-                let qe = cx.q.edge(edge).expect("live");
-                let bound = st.vslots[from.0 as usize].expect("plan binds from first");
-                let ex = ExpandBinding {
-                    edge,
-                    to,
-                    ce: cx.compiled.edge(edge),
-                    cv_to: cx.compiled.vertex(to),
-                };
-                // whether the traversal leaves `bound` along its out-edges
-                // (and binds the data edge's dst) or its in-edges: identical
-                // booleans, merged into ExpandBinding consumers as `along`
-                let from_is_src = from == qe.src;
-                if qe.directions.forward {
-                    // data edge μ(src) → μ(dst)
-                    if !self.expand_direction(cx, i, st, emit, &ex, bound, from_is_src, false) {
-                        return false;
-                    }
-                }
-                if qe.directions.backward {
-                    // data edge μ(dst) → μ(src): the mirror traversal. A
-                    // self-loop at `bound` sits in both adjacency lists, so
-                    // skip self-loops the forward pass already tried.
-                    if !self.expand_direction(
-                        cx,
-                        i,
-                        st,
-                        emit,
-                        &ex,
-                        bound,
-                        !from_is_src,
-                        qe.directions.forward,
-                    ) {
-                        return false;
-                    }
-                }
-                true
-            }
-            Step::Close { edge } => {
-                let qe = cx.q.edge(edge).expect("live");
-                let ms = st.vslots[qe.src.0 as usize].expect("bound");
-                let mt = st.vslots[qe.dst.0 as usize].expect("bound");
-                if qe.directions.forward && !self.close_direction(cx, i, st, emit, edge, (ms, mt)) {
-                    return false;
-                }
-                // when both endpoints map to one data vertex the forward
-                // pass already enumerated every self-loop there
-                if qe.directions.backward
-                    && !(qe.directions.forward && ms == mt)
-                    && !self.close_direction(cx, i, st, emit, edge, (mt, ms))
-                {
-                    return false;
-                }
-                true
-            }
-        }
-    }
-
-    /// Execute a `Seed` step by *streaming* candidates — from the index
-    /// bucket when an equality-shaped predicate pins the indexed attribute,
-    /// from a full vertex scan otherwise — so a search under a small
-    /// `limit` stops without ever touching the rest of the candidate
-    /// space. Only a multi-value disjunction buffers (to deduplicate
-    /// repeated values' buckets).
-    fn seed(
-        &self,
-        cx: &SearchCtx<'_>,
-        i: usize,
-        st: &mut Scratch,
-        emit: &mut dyn FnMut(&Scratch) -> bool,
-        vertex: QVid,
-    ) -> bool {
-        let cv = cx.compiled.vertex(vertex);
-        match seed_source(self.g, &self.indexes, cx.q, vertex) {
-            SeedSource::Scan => {
-                for dv in self.g.vertex_ids() {
-                    if !cv.accepts(self.g, dv) {
-                        continue;
-                    }
-                    if !self.bind_seed(cx, i, st, emit, vertex, dv) {
-                        return false;
-                    }
-                }
-                true
-            }
-            SeedSource::Bucket(bucket) => {
-                for &dv in bucket {
-                    if !cv.accepts(self.g, dv) {
-                        continue;
-                    }
-                    if !self.bind_seed(cx, i, st, emit, vertex, dv) {
-                        return false;
-                    }
-                }
-                true
-            }
-            SeedSource::Union(idx, vals) => {
-                // the buffer is detached from the arena while the search
-                // below mutates it, and reattached (keeping its allocation)
-                // before returning
-                let mut seeds = std::mem::take(&mut st.seeds);
-                union_seeds(self.g, idx, vals, &mut seeds);
-                let mut live = true;
-                for &dv in &seeds {
-                    if !cv.accepts(self.g, dv) {
-                        continue;
-                    }
-                    if !self.bind_seed(cx, i, st, emit, vertex, dv) {
-                        live = false;
-                        break;
-                    }
-                }
-                seeds.clear();
-                st.seeds = seeds;
-                live
-            }
-        }
-    }
-
-    /// Bind one seed candidate, recurse, unbind.
-    fn bind_seed(
-        &self,
-        cx: &SearchCtx<'_>,
-        i: usize,
-        st: &mut Scratch,
-        emit: &mut dyn FnMut(&Scratch) -> bool,
-        vertex: QVid,
-        dv: VertexId,
-    ) -> bool {
-        #[cfg(feature = "fault-inject")]
-        crate::fault::on_seed_bound();
-        // the seed is the first binding of its component; earlier
-        // components' bindings are irrelevant (injectivity is
-        // per-component), so no occupancy check is needed here
-        let slot = vertex.0 as usize;
-        st.vslots[slot] = Some(dv);
-        if cx.injective {
-            st.set_vertex_used(dv, true);
-        }
-        let cont = self.step(cx, i + 1, st, emit);
-        st.vslots[slot] = None;
-        if cx.injective {
-            st.set_vertex_used(dv, false);
-        }
-        cont
-    }
-
-    /// One expansion direction: enumerate the candidate edges leaving
-    /// `bound`, restricted to the admissible edge types via the CSR's
-    /// per-type runs, and try to bind each. `along_src` is true when
-    /// `bound` plays the data edge's source role in this direction (the
-    /// out arena is scanned and the edge's dst becomes the new binding);
-    /// `skip_self_loops` drops self-loops the opposite pass already tried.
-    #[allow(clippy::too_many_arguments)]
-    fn expand_direction(
-        &self,
-        cx: &SearchCtx<'_>,
-        i: usize,
-        st: &mut Scratch,
-        emit: &mut dyn FnMut(&Scratch) -> bool,
-        ex: &ExpandBinding<'_>,
-        bound: VertexId,
-        along_src: bool,
-        skip_self_loops: bool,
-    ) -> bool {
-        match &ex.ce.types {
-            Some(tys) => {
-                for &t in tys {
-                    let list = if along_src {
-                        self.topo.out_entries_of(bound, t)
-                    } else {
-                        self.topo.in_entries_of(bound, t)
-                    };
-                    if !self.expand_list(cx, i, st, emit, ex, list, bound, skip_self_loops) {
-                        return false;
-                    }
-                }
-                true
-            }
-            None => {
-                let list = if along_src {
-                    self.topo.out_entries(bound)
-                } else {
-                    self.topo.in_entries(bound)
-                };
-                self.expand_list(cx, i, st, emit, ex, list, bound, skip_self_loops)
-            }
-        }
-    }
-
-    /// Try every candidate of one CSR slice. The slice's `others` column
-    /// already holds the endpoint the expansion would bind, so the scan
-    /// needs no `EdgeData` at all: an entry is a self-loop exactly when
-    /// its opposite endpoint is `bound` itself (the scanned vertex).
-    #[allow(clippy::too_many_arguments)]
-    fn expand_list(
-        &self,
-        cx: &SearchCtx<'_>,
-        i: usize,
-        st: &mut Scratch,
-        emit: &mut dyn FnMut(&Scratch) -> bool,
-        ex: &ExpandBinding<'_>,
-        list: AdjSlice<'g>,
-        bound: VertexId,
-        skip_self_loops: bool,
-    ) -> bool {
-        for (de, dv) in list.iter() {
-            if skip_self_loops && dv == bound {
-                continue;
-            }
-            if !self.try_bind(cx, i, st, emit, ex, de, dv) {
-                return false;
-            }
-        }
-        true
-    }
-
-    /// One closing direction: bind data edges running `ends.0 → ends.1`,
-    /// restricted to admissible types and scanning whichever adjacency
-    /// slice of the two endpoints is shorter.
-    fn close_direction(
-        &self,
-        cx: &SearchCtx<'_>,
-        i: usize,
-        st: &mut Scratch,
-        emit: &mut dyn FnMut(&Scratch) -> bool,
-        edge: whyq_query::QEid,
-        ends: (VertexId, VertexId),
-    ) -> bool {
-        let ce = cx.compiled.edge(edge);
-        match &ce.types {
-            Some(tys) => {
-                for &t in tys {
-                    let lists = (
-                        self.topo.out_entries_of(ends.0, t),
-                        self.topo.in_entries_of(ends.1, t),
-                    );
-                    if !self.close_pass(cx, i, st, emit, edge, ends, lists) {
-                        return false;
-                    }
-                }
-                true
-            }
-            None => {
-                let lists = (self.topo.out_entries(ends.0), self.topo.in_entries(ends.1));
-                self.close_pass(cx, i, st, emit, edge, ends, lists)
-            }
-        }
-    }
-
-    /// Scan one pair of candidate slices for edges running `ends.0 →
-    /// ends.1`, using whichever of the two is shorter. The endpoint test
-    /// reads the CSR `others` column; `EdgeData` is loaded only for edges
-    /// that survive it *and* carry attribute predicates.
-    #[allow(clippy::too_many_arguments)]
-    fn close_pass(
-        &self,
-        cx: &SearchCtx<'_>,
-        i: usize,
-        st: &mut Scratch,
-        emit: &mut dyn FnMut(&Scratch) -> bool,
-        edge: whyq_query::QEid,
-        ends: (VertexId, VertexId),
-        lists: (AdjSlice<'g>, AdjSlice<'g>),
-    ) -> bool {
-        let ce = cx.compiled.edge(edge);
-        let scan_out = lists.0.len() <= lists.1.len();
-        // scanning the out arena of `ends.0`, the entry's opposite endpoint
-        // is its dst and must equal `ends.1`; scanning the in arena of
-        // `ends.1`, it is the src and must equal `ends.0`
-        let (list, want) = if scan_out {
-            (lists.0, ends.1)
-        } else {
-            (lists.1, ends.0)
-        };
-        for (de, other) in list.iter() {
-            if other != want {
-                continue;
-            }
-            if cx.injective && st.edge_used(de) {
-                continue;
-            }
-            if ce.needs_edge_data() && !ce.accepts_attrs(&self.g.edge(de).attrs) {
-                continue;
-            }
-            let slot = edge.0 as usize;
-            st.eslots[slot] = Some(de);
-            if cx.injective {
-                st.set_edge_used(de, true);
-            }
-            let cont = self.step(cx, i + 1, st, emit);
-            st.eslots[slot] = None;
-            if cx.injective {
-                st.set_edge_used(de, false);
-            }
-            if !cont {
-                return false;
-            }
-        }
-        true
-    }
-
-    /// Try one expansion candidate: filter, bind edge + new vertex in
-    /// place, recurse, unbind. Returns `false` to abort the whole search.
-    /// The O(1) occupancy checks run before the predicate checks — a stamp
-    /// compare is far cheaper than attribute lookups and value equality —
-    /// and the edge payload is only fetched when edge predicates exist
-    /// (its type is already implied by the CSR run the candidate came
-    /// from, or unconstrained).
-    #[allow(clippy::too_many_arguments)]
-    fn try_bind(
-        &self,
-        cx: &SearchCtx<'_>,
-        i: usize,
-        st: &mut Scratch,
-        emit: &mut dyn FnMut(&Scratch) -> bool,
-        ex: &ExpandBinding<'_>,
-        de: whyq_graph::EdgeId,
-        dv: VertexId,
-    ) -> bool {
-        if cx.injective && (st.vertex_used(dv) || st.edge_used(de)) {
-            return true;
-        }
-        if ex.ce.needs_edge_data() && !ex.ce.accepts_attrs(&self.g.edge(de).attrs) {
-            return true;
-        }
-        if !ex.cv_to.accepts(self.g, dv) {
-            return true;
-        }
-        let vslot = ex.to.0 as usize;
-        let eslot = ex.edge.0 as usize;
-        st.vslots[vslot] = Some(dv);
-        st.eslots[eslot] = Some(de);
-        if cx.injective {
-            st.set_vertex_used(dv, true);
-            st.set_edge_used(de, true);
-        }
-        let cont = self.step(cx, i + 1, st, emit);
-        st.vslots[vslot] = None;
-        st.eslots[eslot] = None;
-        if cx.injective {
-            st.set_vertex_used(dv, false);
-            st.set_edge_used(de, false);
-        }
-        cont
+/// Intersect the buckets of several point probes into `out`, preserving
+/// ascending [`VertexId`] order. `probes` must be non-empty; starting from
+/// the (optimizer-sorted) smallest bucket, each further bucket is applied
+/// as a binary-search membership filter — buckets are built by ascending
+/// arena scan, so they are sorted.
+pub(crate) fn intersect_seeds(
+    g: &PropertyGraph,
+    indexes: &[Arc<AttrIndex>],
+    probes: &[(usize, Value)],
+    out: &mut Vec<VertexId>,
+) {
+    out.clear();
+    let (first_idx, first_key) = &probes[0];
+    out.extend_from_slice(indexes[*first_idx].lookup(g, first_key));
+    for (idx, key) in &probes[1..] {
+        let bucket = indexes[*idx].lookup(g, key);
+        out.retain(|v| bucket.binary_search(v).is_ok());
     }
 }
 
@@ -1018,7 +772,7 @@ impl<'g> Matcher<'g> {
 /// `Session` and use `session.prepare(&q)?.find()` instead.
 #[deprecated(
     since = "0.2.0",
-    note = "use whyq_session::Database::open + Session::prepare; this shim recompiles the query on every call"
+    note = "use `Database::open(g)?` + `session.prepare(&q)?.find()` (or `.stream_opts(MatchOptions::limited(n))` for a limit); this shim recompiles the query on every call and bypasses indexes and the plan cache — see docs/migration.md"
 )]
 pub fn find_matches(g: &PropertyGraph, q: &PatternQuery, limit: Option<usize>) -> Vec<ResultGraph> {
     Matcher::new(g).find(
@@ -1038,7 +792,7 @@ pub fn find_matches(g: &PropertyGraph, q: &PatternQuery, limit: Option<usize>) -
 /// `session.prepare(&q)?.count()` through the `whyq-session` facade.
 #[deprecated(
     since = "0.2.0",
-    note = "use whyq_session::Database::open + Session::prepare; this shim recompiles the query on every call"
+    note = "use `Database::open(g)?` + `session.prepare(&q)?.count_opts(MatchOptions::counting(cap))`; this shim recompiles the query on every call and bypasses indexes and the plan cache — see docs/migration.md"
 )]
 pub fn count_matches(g: &PropertyGraph, q: &PatternQuery, limit: Option<u64>) -> u64 {
     Matcher::new(g).count(q, MatchOptions::counting(limit))
@@ -1379,10 +1133,10 @@ mod tests {
         let g = social();
         let q = co_located_friends();
         let m = indexed(&g, "type");
-        let (compiled, plans) = m.compile(&q);
-        assert_eq!(plans.len(), 1);
-        let seeds = m.seed_list(&q, plans[0].seed_vertex());
-        let serial = m.find_compiled(&q, &compiled, &plans, MatchOptions::default());
+        let cq = m.compile_full(&q);
+        assert_eq!(cq.program.components().len(), 1);
+        let seeds = m.seed_list_for(&cq.program.components()[0]);
+        let serial = m.find_compiled(&q, &cq.compiled, &cq.program, MatchOptions::default());
         // concatenating the units of every split reproduces serial order
         for chunks in [1usize, 2, 3, 16] {
             let mut merged = Vec::new();
@@ -1394,16 +1148,16 @@ mod tests {
                 };
                 merged.extend(m.find_unit(
                     &q,
-                    &compiled,
-                    &plans,
+                    &cq.compiled,
+                    &cq.program,
                     &unit,
                     &seeds,
                     MatchOptions::default(),
                 ));
                 counted += m.count_unit(
                     &q,
-                    &compiled,
-                    &plans,
+                    &cq.compiled,
+                    &cq.program,
                     &unit,
                     &seeds,
                     MatchOptions::default(),
@@ -1421,16 +1175,19 @@ mod tests {
             .vertex("p", [Predicate::eq("type", "person")])
             .build();
         let m = Matcher::new(&g);
-        let (compiled, plans) = m.compile(&q);
-        let seeds = m.seed_list(&q, plans[0].seed_vertex());
+        let cq = m.compile_full(&q);
+        let seeds = m.seed_list_for(&cq.program.components()[0]);
         let unit = WorkUnit::whole(0, &seeds);
         let opts = MatchOptions::counting(Some(2));
-        assert_eq!(m.count_unit(&q, &compiled, &plans, &unit, &seeds, opts), 2);
+        assert_eq!(
+            m.count_unit(&q, &cq.compiled, &cq.program, &unit, &seeds, opts),
+            2
+        );
         assert_eq!(
             m.find_unit(
                 &q,
-                &compiled,
-                &plans,
+                &cq.compiled,
+                &cq.program,
                 &unit,
                 &seeds,
                 MatchOptions::limited(2)
@@ -1446,8 +1203,8 @@ mod tests {
         assert_eq!(
             m.count_unit(
                 &q,
-                &compiled,
-                &plans,
+                &cq.compiled,
+                &cq.program,
                 &empty,
                 &seeds,
                 MatchOptions::default()

@@ -1,0 +1,582 @@
+//! The retired recursive-plan interpreter, kept as a second oracle.
+//!
+//! Until the bytecode VM ([`crate::vm`]) became the default execution
+//! path, the engine evaluated [`ComponentPlan`]s directly by recursive
+//! depth-first search over the plan's step list. This module preserves
+//! that interpreter verbatim behind the `legacy-interp` feature so the
+//! equivalence suite can cross-check *three* independent evaluators —
+//! the VM, this interpreter and the brute-force
+//! [`crate::reference`] — and so the benchmark harness can quantify the
+//! VM's win (`vm-vs-interp` in `BENCH_matcher.json`).
+//!
+//! Semantics are identical to the VM by construction: same binding
+//! order, same filter order (occupancy → edge attributes → vertex
+//! predicates), same budget tick cadence, same fault-injection points.
+//! Nothing in the crate calls this module; it exists only for tests and
+//! benches, and carries no cache or streaming integration.
+
+use crate::budget::{Budget, CHECK_INTERVAL};
+use crate::compile::{Compiled, ComponentPlan, Step};
+use crate::engine::{seed_source, union_seeds, MatchOptions, Matcher, Scratch, SeedSource};
+use crate::result::ResultGraph;
+use crate::work::SeedList;
+use whyq_graph::{AdjSlice, VertexId};
+use whyq_query::{PatternQuery, QVid};
+
+/// Loop-invariant inputs of one component search, bundled so the DFS
+/// helpers don't thread the same parameters through every level.
+struct SearchCtx<'a> {
+    q: &'a PatternQuery,
+    compiled: &'a Compiled,
+    steps: &'a [Step],
+    injective: bool,
+    budget: &'a Budget,
+}
+
+/// Per-`ExpandNew`-step constants: the query edge being bound, the query
+/// vertex it binds, and their compiled forms.
+struct ExpandBinding<'a> {
+    edge: whyq_query::QEid,
+    to: QVid,
+    ce: &'a crate::compile::CompiledEdge,
+    cv_to: &'a crate::compile::CompiledVertex,
+}
+
+impl<'g> Matcher<'g> {
+    /// [`Matcher::find_compiled`] evaluated by the legacy recursive
+    /// interpreter over raw [`ComponentPlan`]s instead of bytecode.
+    /// `compiled`/`plans` must come from [`Matcher::compile`] on a query
+    /// with the same signature over the same graph.
+    pub fn find_compiled_interp(
+        &self,
+        q: &PatternQuery,
+        compiled: &Compiled,
+        plans: &[ComponentPlan],
+        opts: MatchOptions,
+    ) -> Vec<ResultGraph> {
+        if q.num_vertices() == 0 || plans.is_empty() {
+            return Vec::new();
+        }
+        if opts.budget.poll().is_err() {
+            return Vec::new();
+        }
+        let cap = opts.limit.unwrap_or(usize::MAX);
+        let mut st = self.scratch.borrow_mut();
+        st.prepare(self.g, q);
+        let mut per_component: Vec<Vec<ResultGraph>> = Vec::with_capacity(plans.len());
+        for plan in plans {
+            let mut results = Vec::new();
+            self.eval_component(q, compiled, plan, &opts, &mut st, &mut |s| {
+                results.push(s.to_result());
+                results.len() < cap
+            });
+            if results.is_empty() {
+                return Vec::new();
+            }
+            per_component.push(results);
+        }
+        crate::combine::combine_components(per_component, cap)
+    }
+
+    /// [`Matcher::count_compiled`] evaluated by the legacy recursive
+    /// interpreter — see [`Matcher::find_compiled_interp`].
+    pub fn count_compiled_interp(
+        &self,
+        q: &PatternQuery,
+        compiled: &Compiled,
+        plans: &[ComponentPlan],
+        opts: MatchOptions,
+    ) -> u64 {
+        if q.num_vertices() == 0 || plans.is_empty() {
+            return 0;
+        }
+        if opts.budget.poll().is_err() {
+            return 0;
+        }
+        let limit = opts.limit.map(|l| l as u64);
+        let mut st = self.scratch.borrow_mut();
+        st.prepare(self.g, q);
+        let mut counts: Vec<u64> = Vec::with_capacity(plans.len());
+        for plan in plans {
+            let mut c: u64 = 0;
+            self.eval_component(q, compiled, plan, &opts, &mut st, &mut |_| {
+                c += 1;
+                limit.is_none_or(|l| c < l)
+            });
+            if c == 0 {
+                return 0;
+            }
+            counts.push(c);
+        }
+        let total = counts.into_iter().fold(1u64, u64::saturating_mul);
+        match limit {
+            Some(l) => total.min(l),
+            None => total,
+        }
+    }
+
+    /// [`Matcher::find_unit`] evaluated by the legacy interpreter: the
+    /// same component × seed-subrange work-unit contract, over plans.
+    #[allow(clippy::too_many_arguments)]
+    pub fn find_unit_interp(
+        &self,
+        q: &PatternQuery,
+        compiled: &Compiled,
+        plans: &[ComponentPlan],
+        component: usize,
+        seeds: &SeedList,
+        range: std::ops::Range<usize>,
+        opts: MatchOptions,
+    ) -> Vec<ResultGraph> {
+        let cap = opts.limit.unwrap_or(usize::MAX);
+        if cap == 0 || opts.budget.poll().is_err() {
+            return Vec::new();
+        }
+        let mut st = self.scratch.borrow_mut();
+        st.prepare(self.g, q);
+        let mut results = Vec::new();
+        self.eval_unit(
+            q,
+            compiled,
+            &plans[component],
+            &opts,
+            seeds,
+            range,
+            &mut st,
+            &mut |s| {
+                results.push(s.to_result());
+                results.len() < cap
+            },
+        );
+        results
+    }
+    /// DFS over one component plan with an explicit seed slice: like
+    /// [`Matcher::eval_component`] but the `Seed` step draws candidates
+    /// from `seeds[range]` instead of resolving a seed source itself.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_unit(
+        &self,
+        q: &PatternQuery,
+        compiled: &Compiled,
+        plan: &ComponentPlan,
+        opts: &MatchOptions,
+        seeds: &SeedList,
+        range: std::ops::Range<usize>,
+        st: &mut Scratch,
+        emit: &mut dyn FnMut(&Scratch) -> bool,
+    ) {
+        let Some(&Step::Seed { vertex }) = plan.steps.first() else {
+            return;
+        };
+        let cx = SearchCtx {
+            q,
+            compiled,
+            steps: &plan.steps,
+            injective: opts.injective,
+            budget: &opts.budget,
+        };
+        let cv = compiled.vertex(vertex);
+        for i in range {
+            if i >= seeds.len() {
+                break;
+            }
+            let dv = seeds.get(i);
+            if !cv.accepts(self.g, dv) {
+                continue;
+            }
+            if !self.bind_seed(&cx, 0, st, emit, vertex, dv) {
+                return;
+            }
+        }
+    }
+
+    /// DFS over one component plan; `emit` returns `false` to stop. The
+    /// scratch arena must be prepared and is left clean (all slots unbound)
+    /// on return, including on early termination.
+    fn eval_component(
+        &self,
+        q: &PatternQuery,
+        compiled: &Compiled,
+        plan: &ComponentPlan,
+        opts: &MatchOptions,
+        st: &mut Scratch,
+        emit: &mut dyn FnMut(&Scratch) -> bool,
+    ) {
+        let cx = SearchCtx {
+            q,
+            compiled,
+            steps: &plan.steps,
+            injective: opts.injective,
+            budget: &opts.budget,
+        };
+        self.step(&cx, 0, st, emit);
+    }
+
+    fn step(
+        &self,
+        cx: &SearchCtx<'_>,
+        i: usize,
+        st: &mut Scratch,
+        emit: &mut dyn FnMut(&Scratch) -> bool,
+    ) -> bool {
+        // coarse tick-counted budget check: one charge per CHECK_INTERVAL
+        // DFS transitions keeps `Instant::now` off the per-step hot path
+        // while bounding how far past a deadline the search can run
+        st.ticks += 1;
+        if st.ticks.is_multiple_of(CHECK_INTERVAL as u64)
+            && cx.budget.charge(CHECK_INTERVAL as u64).is_err()
+        {
+            return false;
+        }
+        if i == cx.steps.len() {
+            return emit(st);
+        }
+        match cx.steps[i] {
+            Step::Seed { vertex } => self.seed(cx, i, st, emit, vertex),
+            Step::ExpandNew { edge, from, to } => {
+                let qe = cx.q.edge(edge).expect("live");
+                let bound = st.vslots[from.0 as usize].expect("plan binds from first");
+                let ex = ExpandBinding {
+                    edge,
+                    to,
+                    ce: cx.compiled.edge(edge),
+                    cv_to: cx.compiled.vertex(to),
+                };
+                // whether the traversal leaves `bound` along its out-edges
+                // (and binds the data edge's dst) or its in-edges: identical
+                // booleans, merged into ExpandBinding consumers as `along`
+                let from_is_src = from == qe.src;
+                if qe.directions.forward {
+                    // data edge μ(src) → μ(dst)
+                    if !self.expand_direction(cx, i, st, emit, &ex, bound, from_is_src, false) {
+                        return false;
+                    }
+                }
+                if qe.directions.backward {
+                    // data edge μ(dst) → μ(src): the mirror traversal. A
+                    // self-loop at `bound` sits in both adjacency lists, so
+                    // skip self-loops the forward pass already tried.
+                    if !self.expand_direction(
+                        cx,
+                        i,
+                        st,
+                        emit,
+                        &ex,
+                        bound,
+                        !from_is_src,
+                        qe.directions.forward,
+                    ) {
+                        return false;
+                    }
+                }
+                true
+            }
+            Step::Close { edge } => {
+                let qe = cx.q.edge(edge).expect("live");
+                let ms = st.vslots[qe.src.0 as usize].expect("bound");
+                let mt = st.vslots[qe.dst.0 as usize].expect("bound");
+                if qe.directions.forward && !self.close_direction(cx, i, st, emit, edge, (ms, mt)) {
+                    return false;
+                }
+                // when both endpoints map to one data vertex the forward
+                // pass already enumerated every self-loop there
+                if qe.directions.backward
+                    && !(qe.directions.forward && ms == mt)
+                    && !self.close_direction(cx, i, st, emit, edge, (mt, ms))
+                {
+                    return false;
+                }
+                true
+            }
+        }
+    }
+
+    /// Execute a `Seed` step by *streaming* candidates — from the index
+    /// bucket when an equality-shaped predicate pins the indexed attribute,
+    /// from a full vertex scan otherwise — so a search under a small
+    /// `limit` stops without ever touching the rest of the candidate
+    /// space. Only a multi-value disjunction buffers (to deduplicate
+    /// repeated values' buckets).
+    fn seed(
+        &self,
+        cx: &SearchCtx<'_>,
+        i: usize,
+        st: &mut Scratch,
+        emit: &mut dyn FnMut(&Scratch) -> bool,
+        vertex: QVid,
+    ) -> bool {
+        let cv = cx.compiled.vertex(vertex);
+        match seed_source(self.g, &self.indexes, cx.q, vertex) {
+            SeedSource::Scan => {
+                for dv in self.g.vertex_ids() {
+                    if !cv.accepts(self.g, dv) {
+                        continue;
+                    }
+                    if !self.bind_seed(cx, i, st, emit, vertex, dv) {
+                        return false;
+                    }
+                }
+                true
+            }
+            SeedSource::Bucket(bucket) => {
+                for &dv in bucket {
+                    if !cv.accepts(self.g, dv) {
+                        continue;
+                    }
+                    if !self.bind_seed(cx, i, st, emit, vertex, dv) {
+                        return false;
+                    }
+                }
+                true
+            }
+            SeedSource::Union(idx, vals) => {
+                // the buffer is detached from the arena while the search
+                // below mutates it, and reattached (keeping its allocation)
+                // before returning
+                let mut seeds = std::mem::take(&mut st.seeds);
+                union_seeds(self.g, idx, vals, &mut seeds);
+                let mut live = true;
+                for &dv in &seeds {
+                    if !cv.accepts(self.g, dv) {
+                        continue;
+                    }
+                    if !self.bind_seed(cx, i, st, emit, vertex, dv) {
+                        live = false;
+                        break;
+                    }
+                }
+                seeds.clear();
+                st.seeds = seeds;
+                live
+            }
+        }
+    }
+
+    /// Bind one seed candidate, recurse, unbind.
+    fn bind_seed(
+        &self,
+        cx: &SearchCtx<'_>,
+        i: usize,
+        st: &mut Scratch,
+        emit: &mut dyn FnMut(&Scratch) -> bool,
+        vertex: QVid,
+        dv: VertexId,
+    ) -> bool {
+        #[cfg(feature = "fault-inject")]
+        crate::fault::on_seed_bound();
+        // the seed is the first binding of its component; earlier
+        // components' bindings are irrelevant (injectivity is
+        // per-component), so no occupancy check is needed here
+        let slot = vertex.0 as usize;
+        st.vslots[slot] = Some(dv);
+        if cx.injective {
+            st.set_vertex_used(dv, true);
+        }
+        let cont = self.step(cx, i + 1, st, emit);
+        st.vslots[slot] = None;
+        if cx.injective {
+            st.set_vertex_used(dv, false);
+        }
+        cont
+    }
+
+    /// One expansion direction: enumerate the candidate edges leaving
+    /// `bound`, restricted to the admissible edge types via the CSR's
+    /// per-type runs, and try to bind each. `along_src` is true when
+    /// `bound` plays the data edge's source role in this direction (the
+    /// out arena is scanned and the edge's dst becomes the new binding);
+    /// `skip_self_loops` drops self-loops the opposite pass already tried.
+    #[allow(clippy::too_many_arguments)]
+    fn expand_direction(
+        &self,
+        cx: &SearchCtx<'_>,
+        i: usize,
+        st: &mut Scratch,
+        emit: &mut dyn FnMut(&Scratch) -> bool,
+        ex: &ExpandBinding<'_>,
+        bound: VertexId,
+        along_src: bool,
+        skip_self_loops: bool,
+    ) -> bool {
+        match &ex.ce.types {
+            Some(tys) => {
+                for &t in tys {
+                    let list = if along_src {
+                        self.topo.out_entries_of(bound, t)
+                    } else {
+                        self.topo.in_entries_of(bound, t)
+                    };
+                    if !self.expand_list(cx, i, st, emit, ex, list, bound, skip_self_loops) {
+                        return false;
+                    }
+                }
+                true
+            }
+            None => {
+                let list = if along_src {
+                    self.topo.out_entries(bound)
+                } else {
+                    self.topo.in_entries(bound)
+                };
+                self.expand_list(cx, i, st, emit, ex, list, bound, skip_self_loops)
+            }
+        }
+    }
+
+    /// Try every candidate of one CSR slice. The slice's `others` column
+    /// already holds the endpoint the expansion would bind, so the scan
+    /// needs no `EdgeData` at all: an entry is a self-loop exactly when
+    /// its opposite endpoint is `bound` itself (the scanned vertex).
+    #[allow(clippy::too_many_arguments)]
+    fn expand_list(
+        &self,
+        cx: &SearchCtx<'_>,
+        i: usize,
+        st: &mut Scratch,
+        emit: &mut dyn FnMut(&Scratch) -> bool,
+        ex: &ExpandBinding<'_>,
+        list: AdjSlice<'g>,
+        bound: VertexId,
+        skip_self_loops: bool,
+    ) -> bool {
+        for (de, dv) in list.iter() {
+            if skip_self_loops && dv == bound {
+                continue;
+            }
+            if !self.try_bind(cx, i, st, emit, ex, de, dv) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// One closing direction: bind data edges running `ends.0 → ends.1`,
+    /// restricted to admissible types and scanning whichever adjacency
+    /// slice of the two endpoints is shorter.
+    fn close_direction(
+        &self,
+        cx: &SearchCtx<'_>,
+        i: usize,
+        st: &mut Scratch,
+        emit: &mut dyn FnMut(&Scratch) -> bool,
+        edge: whyq_query::QEid,
+        ends: (VertexId, VertexId),
+    ) -> bool {
+        let ce = cx.compiled.edge(edge);
+        match &ce.types {
+            Some(tys) => {
+                for &t in tys {
+                    let lists = (
+                        self.topo.out_entries_of(ends.0, t),
+                        self.topo.in_entries_of(ends.1, t),
+                    );
+                    if !self.close_pass(cx, i, st, emit, edge, ends, lists) {
+                        return false;
+                    }
+                }
+                true
+            }
+            None => {
+                let lists = (self.topo.out_entries(ends.0), self.topo.in_entries(ends.1));
+                self.close_pass(cx, i, st, emit, edge, ends, lists)
+            }
+        }
+    }
+
+    /// Scan one pair of candidate slices for edges running `ends.0 →
+    /// ends.1`, using whichever of the two is shorter. The endpoint test
+    /// reads the CSR `others` column; `EdgeData` is loaded only for edges
+    /// that survive it *and* carry attribute predicates.
+    #[allow(clippy::too_many_arguments)]
+    fn close_pass(
+        &self,
+        cx: &SearchCtx<'_>,
+        i: usize,
+        st: &mut Scratch,
+        emit: &mut dyn FnMut(&Scratch) -> bool,
+        edge: whyq_query::QEid,
+        ends: (VertexId, VertexId),
+        lists: (AdjSlice<'g>, AdjSlice<'g>),
+    ) -> bool {
+        let ce = cx.compiled.edge(edge);
+        let scan_out = lists.0.len() <= lists.1.len();
+        // scanning the out arena of `ends.0`, the entry's opposite endpoint
+        // is its dst and must equal `ends.1`; scanning the in arena of
+        // `ends.1`, it is the src and must equal `ends.0`
+        let (list, want) = if scan_out {
+            (lists.0, ends.1)
+        } else {
+            (lists.1, ends.0)
+        };
+        for (de, other) in list.iter() {
+            if other != want {
+                continue;
+            }
+            if cx.injective && st.edge_used(de) {
+                continue;
+            }
+            if ce.needs_edge_data() && !ce.accepts_attrs(&self.g.edge(de).attrs) {
+                continue;
+            }
+            let slot = edge.0 as usize;
+            st.eslots[slot] = Some(de);
+            if cx.injective {
+                st.set_edge_used(de, true);
+            }
+            let cont = self.step(cx, i + 1, st, emit);
+            st.eslots[slot] = None;
+            if cx.injective {
+                st.set_edge_used(de, false);
+            }
+            if !cont {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Try one expansion candidate: filter, bind edge + new vertex in
+    /// place, recurse, unbind. Returns `false` to abort the whole search.
+    /// The O(1) occupancy checks run before the predicate checks — a stamp
+    /// compare is far cheaper than attribute lookups and value equality —
+    /// and the edge payload is only fetched when edge predicates exist
+    /// (its type is already implied by the CSR run the candidate came
+    /// from, or unconstrained).
+    #[allow(clippy::too_many_arguments)]
+    fn try_bind(
+        &self,
+        cx: &SearchCtx<'_>,
+        i: usize,
+        st: &mut Scratch,
+        emit: &mut dyn FnMut(&Scratch) -> bool,
+        ex: &ExpandBinding<'_>,
+        de: whyq_graph::EdgeId,
+        dv: VertexId,
+    ) -> bool {
+        if cx.injective && (st.vertex_used(dv) || st.edge_used(de)) {
+            return true;
+        }
+        if ex.ce.needs_edge_data() && !ex.ce.accepts_attrs(&self.g.edge(de).attrs) {
+            return true;
+        }
+        if !ex.cv_to.accepts(self.g, dv) {
+            return true;
+        }
+        let vslot = ex.to.0 as usize;
+        let eslot = ex.edge.0 as usize;
+        st.vslots[vslot] = Some(dv);
+        st.eslots[eslot] = Some(de);
+        if cx.injective {
+            st.set_vertex_used(dv, true);
+            st.set_edge_used(de, true);
+        }
+        let cont = self.step(cx, i + 1, st, emit);
+        st.vslots[vslot] = None;
+        st.eslots[eslot] = None;
+        if cx.injective {
+            st.set_vertex_used(dv, false);
+            st.set_edge_used(de, false);
+        }
+        cont
+    }
+}

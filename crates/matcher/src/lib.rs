@@ -60,6 +60,8 @@
 
 // The whole workspace is unsafe-free (audited 2026-08): lock it in.
 #![forbid(unsafe_code)]
+// Every public item documents itself; CI's docs lane denies this warning.
+#![warn(missing_docs)]
 
 pub mod budget;
 pub mod combine;
@@ -68,20 +70,28 @@ pub mod engine;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
 pub mod index;
+#[cfg(feature = "legacy-interp")]
+pub mod legacy;
+pub mod optimize;
+pub mod plan_ir;
 pub mod reference;
 pub mod result;
 pub mod stream;
 pub mod verify;
+pub mod vm;
 pub mod work;
 
 pub use budget::{Budget, CancelToken, Termination};
 pub use combine::{combine_components, FactorOdometer};
 #[allow(deprecated)] // compatibility re-exports of the deprecated shims
 pub use engine::{count_matches, find_matches};
-pub use engine::{MatchOptions, Matcher};
+pub use engine::{CompiledQuery, MatchOptions, Matcher};
 pub use index::AttrIndex;
+pub use optimize::{optimize, PassSet};
+pub use plan_ir::{lower, PlanIr};
 pub use reference::{count_matches_naive, find_matches_naive};
 pub use result::ResultGraph;
 pub use stream::MatchStream;
-pub use verify::verify_plans;
+pub use verify::{verify_ir, verify_plans};
+pub use vm::QueryProgram;
 pub use work::{split_ranges, SeedList, WorkUnit};

@@ -1,0 +1,131 @@
+//! Dead-bind elimination: drop trivially true filters, fuse binds into
+//! scans.
+
+use crate::compile::Compiled;
+use crate::plan_ir::{FilterTest, IrNode, PlanIr};
+
+/// True when `test` can never reject a candidate and is safe to delete.
+///
+/// A vertex test is dead when the query vertex compiled to zero
+/// predicates; an edge-attribute test is dead when the compiled edge
+/// never needs edge data (no attribute predicates). `EdgeType` tests are
+/// never dead here — only emitted for edges with a real type disjunction.
+fn is_dead(test: FilterTest, compiled: &Compiled) -> bool {
+    match test {
+        FilterTest::VertexPreds(v) => compiled.vertex(v).preds.is_empty(),
+        FilterTest::EdgeAttrs(e) => !compiled.edge(e).needs_edge_data(),
+        FilterTest::EdgeType(_) => false,
+    }
+}
+
+/// Remove trivially true filters (standalone and inline) and fuse each
+/// [`IrNode::Bind`] that directly follows its scan into the scan
+/// (`bind: true`), so the VM binds accepted candidates inside the scan
+/// loop instead of dispatching a separate instruction.
+///
+/// The fused bind performs the same occupancy check the standalone node
+/// would, just earlier in the candidate loop — rejected candidates are
+/// skipped instead of bounced, which changes nothing observable.
+pub fn dead_bind(ir: &mut PlanIr, compiled: &Compiled) {
+    for comp in &mut ir.components {
+        let mut out: Vec<IrNode> = Vec::with_capacity(comp.nodes.len());
+        for mut node in comp.nodes.drain(..) {
+            match &mut node {
+                IrNode::Filter { test } if is_dead(*test, compiled) => continue,
+                IrNode::SeedScan { filters, .. }
+                | IrNode::ExpandRun { filters, .. }
+                | IrNode::CloseRun { filters, .. } => {
+                    filters.retain(|t| !is_dead(*t, compiled));
+                }
+                IrNode::Bind { .. } => {
+                    // Fuse only when the scan is adjacent: a standalone
+                    // filter in between must keep running before the bind.
+                    if let Some(
+                        IrNode::SeedScan { bind, .. }
+                        | IrNode::ExpandRun { bind, .. }
+                        | IrNode::CloseRun { bind, .. },
+                    ) = out.last_mut()
+                    {
+                        if !*bind {
+                            *bind = true;
+                            continue;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            out.push(node);
+        }
+        comp.nodes = out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{build_plans_est, Compiled};
+    use crate::optimize::pushdown;
+    use crate::plan_ir::lower;
+    use whyq_graph::{PropertyGraph, Value};
+    use whyq_query::{Predicate, QueryBuilder};
+
+    fn setup() -> (PropertyGraph, whyq_query::PatternQuery) {
+        let mut g = PropertyGraph::new();
+        let a = g.add_vertex([("type", Value::str("person"))]);
+        let b = g.add_vertex([]);
+        g.add_edge(a, b, "knows", []);
+        // "b" is unconstrained, the edge has no attribute predicates:
+        // both of those filters are dead.
+        let q = QueryBuilder::new("q")
+            .vertex("a", [Predicate::eq("type", "person")])
+            .vertex("b", [])
+            .edge("a", "b", "knows")
+            .build();
+        (g, q)
+    }
+
+    #[test]
+    fn dead_filters_vanish_and_adjacent_binds_fuse() {
+        let (g, q) = setup();
+        let compiled = Compiled::new(&g, &q);
+        let (plans, est) = build_plans_est(&g, &q, &compiled, &[]);
+        let mut ir = lower(&compiled, &plans, &est);
+        dead_bind(&mut ir, &compiled);
+        let nodes = &ir.components[0].nodes;
+        // EdgeAttrs("knows" has no preds) and VertexPreds(b) are gone;
+        // EdgeType and VertexPreds(a) remain as standalone filters, so no
+        // bind fuses (none is scan-adjacent except after the expand's
+        // remaining EdgeType filter... seed keeps its VertexPreds filter).
+        assert!(!nodes.iter().any(|n| matches!(
+            n,
+            IrNode::Filter {
+                test: FilterTest::EdgeAttrs(_)
+            }
+        )));
+        crate::verify::verify_ir(&q, &compiled, &ir, 0).unwrap();
+    }
+
+    #[test]
+    fn after_pushdown_binds_fuse_into_scans() {
+        let (g, q) = setup();
+        let compiled = Compiled::new(&g, &q);
+        let (plans, est) = build_plans_est(&g, &q, &compiled, &[]);
+        let mut ir = lower(&compiled, &plans, &est);
+        pushdown(&mut ir);
+        dead_bind(&mut ir, &compiled);
+        let nodes = &ir.components[0].nodes;
+        // Everything folded: SeedScan{bind} + ExpandRun{bind} + Emit.
+        assert_eq!(nodes.len(), 3);
+        assert!(matches!(nodes[0], IrNode::SeedScan { bind: true, .. }));
+        assert!(matches!(
+            nodes[1],
+            IrNode::ExpandRun {
+                bind: true,
+                typed: true,
+                ..
+            }
+        ));
+        assert!(matches!(nodes[2], IrNode::Emit));
+        crate::verify::verify_ir(&q, &compiled, &ir, 0).unwrap();
+    }
+}

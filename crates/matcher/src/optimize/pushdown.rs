@@ -1,0 +1,95 @@
+//! Predicate pushdown: fuse standalone filters into their scan.
+
+use crate::plan_ir::{FilterTest, IrNode, PlanIr};
+
+/// Fuse each scan's immediately following [`IrNode::Filter`] nodes into
+/// the scan itself.
+///
+/// An [`FilterTest::EdgeType`] filter on an expansion or close becomes
+/// `typed: true` — the VM then iterates only the CSR runs of the
+/// admissible types instead of testing every edge. All other filters are
+/// appended to the scan's inline `filters` list *in their original
+/// order*, so the sequence of tests applied to each candidate is
+/// unchanged; only the dispatch overhead between them disappears.
+pub fn pushdown(ir: &mut PlanIr) {
+    for comp in &mut ir.components {
+        let mut out: Vec<IrNode> = Vec::with_capacity(comp.nodes.len());
+        for node in comp.nodes.drain(..) {
+            match node {
+                IrNode::Filter { test } => {
+                    // Fuse into the most recent scan if its bind is still
+                    // pending (i.e. no Bind node emitted since).
+                    let fuse = matches!(
+                        out.last(),
+                        Some(
+                            IrNode::SeedScan { bind: false, .. }
+                                | IrNode::ExpandRun { bind: false, .. }
+                                | IrNode::CloseRun { bind: false, .. }
+                        )
+                    );
+                    if !fuse {
+                        out.push(IrNode::Filter { test });
+                        continue;
+                    }
+                    match (out.last_mut().unwrap(), test) {
+                        (
+                            IrNode::ExpandRun { typed, .. } | IrNode::CloseRun { typed, .. },
+                            FilterTest::EdgeType(_),
+                        ) => {
+                            *typed = true;
+                        }
+                        (
+                            IrNode::SeedScan { filters, .. }
+                            | IrNode::ExpandRun { filters, .. }
+                            | IrNode::CloseRun { filters, .. },
+                            t,
+                        ) => filters.push(t),
+                        _ => unreachable!("fuse guard matched a non-scan"),
+                    }
+                }
+                other => out.push(other),
+            }
+        }
+        comp.nodes = out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{build_plans_est, Compiled};
+    use crate::plan_ir::lower;
+    use whyq_graph::{PropertyGraph, Value};
+    use whyq_query::{Predicate, QueryBuilder};
+
+    #[test]
+    fn filters_fold_into_scans_and_types_become_runs() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_vertex([("type", Value::str("person"))]);
+        let b = g.add_vertex([("type", Value::str("person"))]);
+        g.add_edge(a, b, "knows", []);
+        let q = QueryBuilder::new("q")
+            .vertex("a", [Predicate::eq("type", "person")])
+            .vertex("b", [Predicate::eq("type", "person")])
+            .edge("a", "b", "knows")
+            .build();
+        let compiled = Compiled::new(&g, &q);
+        let (plans, est) = build_plans_est(&g, &q, &compiled, &[]);
+        let mut ir = lower(&compiled, &plans, &est);
+        pushdown(&mut ir);
+        let nodes = &ir.components[0].nodes;
+        // no standalone filters remain
+        assert!(!nodes.iter().any(|n| matches!(n, IrNode::Filter { .. })));
+        // the expansion is now typed with its remaining filters inline
+        let expand = nodes
+            .iter()
+            .find(|n| matches!(n, IrNode::ExpandRun { .. }))
+            .unwrap();
+        let IrNode::ExpandRun { typed, filters, .. } = expand else {
+            unreachable!()
+        };
+        assert!(*typed);
+        assert_eq!(filters.len(), 2); // EdgeAttrs + VertexPreds
+        crate::verify::verify_ir(&q, &compiled, &ir, 0).unwrap();
+    }
+}

@@ -1,0 +1,199 @@
+//! Index-aware seed selection: replace seed full-scans with the cheapest
+//! candidate source the attached indexes support.
+
+use crate::index::AttrIndex;
+use crate::plan_ir::{IrNode, PlanIr, SeedSpec};
+use std::sync::Arc;
+use whyq_graph::PropertyGraph;
+use whyq_query::{Interval, PatternQuery};
+
+/// Rewrite each component's [`IrNode::SeedScan`] source.
+///
+/// Candidate sources, costed by (an upper bound on) their candidate
+/// count:
+///
+/// - one index bucket per point-equality predicate on an indexed
+///   attribute (cost = bucket length);
+/// - one bucket union per multi-value disjunction (cost = summed bucket
+///   lengths — an upper bound, duplicates double-count);
+/// - the **intersection** of all point probes when two or more indexed
+///   equality predicates constrain the seed (cost = the smallest probe's
+///   bucket length, an upper bound on the intersection size).
+///
+/// The cheapest source wins; full scan remains only when no indexed
+/// predicate applies. This goes beyond the engine's greedy
+/// `seed_source`, which only ever picks a *single* predicate's bucket or
+/// union: with several indexed equality predicates the intersection is
+/// never larger than the best single probe and usually far smaller.
+///
+/// Every source enumerates ascending vertex ids and every scan still
+/// applies the full predicate filter chain, so a wider-than-necessary
+/// source changes cost, never results.
+pub fn seed_select(
+    ir: &mut PlanIr,
+    g: &PropertyGraph,
+    q: &PatternQuery,
+    indexes: &[Arc<AttrIndex>],
+) {
+    if indexes.is_empty() {
+        return;
+    }
+    for comp in &mut ir.components {
+        let Some(IrNode::SeedScan {
+            vertex, spec, est, ..
+        }) = comp.nodes.first_mut()
+        else {
+            continue;
+        };
+        let Some(qv) = q.vertex(*vertex) else {
+            continue;
+        };
+        // Gather candidate sources from the indexed predicates.
+        let mut points: Vec<(usize, whyq_graph::Value, usize)> = Vec::new();
+        let mut best_union: Option<(usize, Vec<whyq_graph::Value>, usize)> = None;
+        for p in &qv.predicates {
+            let Some(attr) = g.attr_symbol(&p.attr) else {
+                continue;
+            };
+            let Some(pos) = indexes.iter().position(|i| i.attr() == attr) else {
+                continue;
+            };
+            let idx = &indexes[pos];
+            if let Interval::OneOf(vals) = &p.interval {
+                if vals.len() == 1 {
+                    let len = idx.lookup(g, &vals[0]).len();
+                    points.push((pos, vals[0].clone(), len));
+                } else {
+                    let size: usize = vals.iter().map(|v| idx.lookup(g, v).len()).sum();
+                    if best_union.as_ref().is_none_or(|(_, _, s)| size < *s) {
+                        best_union = Some((pos, vals.clone(), size));
+                    }
+                }
+            } else if let Some(pv) = p.interval.point_value() {
+                let len = idx.lookup(g, &pv).len();
+                points.push((pos, pv, len));
+            }
+        }
+        // Cost of each assembled option.
+        let intersect_cost = if points.len() >= 2 {
+            Some(points.iter().map(|&(_, _, l)| l).min().unwrap())
+        } else {
+            None
+        };
+        let single_cost = points.iter().map(|&(_, _, l)| l).min();
+        let union_cost = best_union.as_ref().map(|&(_, _, s)| s);
+
+        // Pick: intersection beats any single probe by construction, so
+        // it only competes with the best union; otherwise best single vs
+        // best union; ties favour the tighter (point-based) source.
+        let chosen = match (intersect_cost, single_cost, union_cost) {
+            (Some(ic), _, Some(uc)) if uc < ic => {
+                let (pos, keys, _) = best_union.unwrap();
+                Some((uc, SeedSpec::Union { index: pos, keys }))
+            }
+            (Some(ic), _, _) => {
+                points.sort_by_key(|&(_, _, l)| l);
+                let probes = points.drain(..).map(|(pos, v, _)| (pos, v)).collect();
+                Some((ic, SeedSpec::Intersect { probes }))
+            }
+            (None, Some(sc), uc) if uc.is_none_or(|u| sc <= u) => {
+                let &(pos, ref v, _) = points.iter().min_by_key(|&&(_, _, l)| l).unwrap();
+                Some((
+                    sc,
+                    SeedSpec::Bucket {
+                        index: pos,
+                        key: v.clone(),
+                    },
+                ))
+            }
+            (None, _, Some(uc)) => {
+                let (pos, keys, _) = best_union.unwrap();
+                Some((uc, SeedSpec::Union { index: pos, keys }))
+            }
+            // (None, Some, None) with a failed guard is unreachable —
+            // `uc.is_none_or` always holds when `uc` is `None`
+            _ => None,
+        };
+        if let Some((cost, new_spec)) = chosen {
+            *spec = new_spec;
+            *est = (*est).min(cost as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{build_plans_est, Compiled};
+    use crate::plan_ir::lower;
+    use whyq_graph::{PropertyGraph, Value};
+    use whyq_query::{Predicate, QueryBuilder};
+
+    fn graph() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        for i in 0..8 {
+            g.add_vertex([
+                ("color", Value::str(if i % 2 == 0 { "red" } else { "blue" })),
+                ("size", Value::Int(i % 4)),
+            ]);
+        }
+        g
+    }
+
+    fn idx(g: &PropertyGraph, attr: &str) -> Arc<AttrIndex> {
+        Arc::new(AttrIndex::build(g, attr).unwrap())
+    }
+
+    #[test]
+    fn two_point_probes_intersect() {
+        let g = graph();
+        let indexes = vec![idx(&g, "color"), idx(&g, "size")];
+        let q = QueryBuilder::new("q")
+            .vertex(
+                "a",
+                [Predicate::eq("color", "red"), Predicate::eq("size", 2)],
+            )
+            .build();
+        let compiled = Compiled::new(&g, &q);
+        let (plans, est) = build_plans_est(&g, &q, &compiled, &indexes);
+        let mut ir = lower(&compiled, &plans, &est);
+        seed_select(&mut ir, &g, &q, &indexes);
+        let IrNode::SeedScan { spec, .. } = &ir.components[0].nodes[0] else {
+            unreachable!()
+        };
+        let SeedSpec::Intersect { probes } = spec else {
+            panic!("expected Intersect, got {spec:?}");
+        };
+        assert_eq!(probes.len(), 2);
+        // smallest bucket first: size=2 has 2 vertices, color=red has 4
+        assert_eq!(probes[0].0, 1);
+        crate::verify::verify_ir(&q, &compiled, &ir, indexes.len()).unwrap();
+    }
+
+    #[test]
+    fn disjunction_becomes_union_and_no_index_stays_scan() {
+        let g = graph();
+        let indexes = vec![idx(&g, "color")];
+        let q = QueryBuilder::new("q")
+            .vertex("a", [Predicate::one_of("color", ["red", "blue"])])
+            .vertex("b", [Predicate::eq("weight", 3)])
+            .build();
+        let compiled = Compiled::new(&g, &q);
+        let (plans, est) = build_plans_est(&g, &q, &compiled, &indexes);
+        let mut ir = lower(&compiled, &plans, &est);
+        seed_select(&mut ir, &g, &q, &indexes);
+        let specs: Vec<_> = ir
+            .components
+            .iter()
+            .map(|c| match &c.nodes[0] {
+                IrNode::SeedScan { spec, .. } => spec.clone(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert!(specs
+            .iter()
+            .any(|s| matches!(s, SeedSpec::Union { keys, .. } if keys.len() == 2)));
+        assert!(specs.iter().any(|s| matches!(s, SeedSpec::FullScan)));
+        crate::verify::verify_ir(&q, &compiled, &ir, indexes.len()).unwrap();
+    }
+}

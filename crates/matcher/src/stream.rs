@@ -1,13 +1,14 @@
-//! Lazy result enumeration — the suspendable twin of the recursive engine.
+//! Lazy result enumeration — the suspendable twin of the eager engine.
 //!
 //! [`MatchStream`] yields [`ResultGraph`]s one at a time from the same
-//! backtracking search [`Matcher::find`] runs, without ever materializing
-//! the result set: the DFS runs on an explicit frame stack (one frame per
-//! plan step, each remembering its candidate cursor), so the search
-//! *suspends* after every emitted match and resumes exactly where it
-//! stopped on the next [`Iterator::next`] call. A caller that stops after
-//! ten results pays for ten results — the contract prepared queries of the
-//! `whyq-session` facade expose as `PreparedQuery::stream()`.
+//! bytecode programs [`Matcher::find`] executes, without ever
+//! materializing the result set: the VM already runs on an explicit frame
+//! stack (one frame per scan instruction, each remembering its candidate
+//! cursor — see [`crate::vm`]), so the search *suspends* after every
+//! emitted match and resumes exactly where it stopped on the next
+//! [`Iterator::next`] call. A caller that stops after ten results pays
+//! for ten results — the contract prepared queries of the `whyq-session`
+//! facade expose as `PreparedQuery::stream()`.
 //!
 //! Multi-component queries combine component results as a cartesian
 //! product (§4.3.3). The product itself — where the blow-up lives — is
@@ -16,58 +17,31 @@
 //! on the first `next()` call. Connected queries, the common case,
 //! materialize nothing.
 //!
-//! The stream owns its scratch arena, so any number of streams can be
-//! in-flight concurrently with each other and with `find`/`count` calls
-//! on the matcher they came from.
+//! The stream owns its scratch arena and VM state, so any number of
+//! streams can be in-flight concurrently with each other and with
+//! `find`/`count` calls on the matcher they came from.
 
-use crate::budget::{Budget, Termination, CHECK_INTERVAL};
+use crate::budget::{Budget, Termination};
 use crate::combine::FactorOdometer;
-use crate::compile::{Compiled, ComponentPlan, Step};
-use crate::engine::{seed_source, MatchOptions, Matcher, Scratch, SeedSource};
+use crate::compile::Compiled;
+use crate::engine::{intersect_seeds, union_seeds, MatchOptions, Matcher, Scratch};
 use crate::index::AttrIndex;
+use crate::plan_ir::SeedSpec;
 use crate::result::ResultGraph;
+use crate::vm::{self, QueryProgram, SeedSrc, VmCtx, VmState};
 use std::sync::Arc;
 use whyq_graph::{CsrTopology, PropertyGraph, VertexId};
-use whyq_query::{PatternQuery, QEid, QVid};
+use whyq_query::PatternQuery;
 
-/// Candidate cursor of a `Seed` frame.
-enum SeedCursor {
-    /// Full scan of the (dense) vertex arena; `next` is the next raw id.
-    Scan { next: u32 },
-    /// An owned candidate list: a copied index bucket or the deduplicated
-    /// union of several buckets (multi-value disjunction).
-    Fixed { seeds: Vec<VertexId>, pos: usize },
-}
-
-/// One suspended step of the DFS: which candidate to try next when the
-/// search resumes at this depth. Adjacency slices are re-resolved from
-/// `(phase, ty)` on resume — a CSR run lookup is two array reads, cheaper
-/// than making the frame borrow the topology.
-enum Frame {
-    Seed {
-        vertex: QVid,
-        cursor: SeedCursor,
-    },
-    Expand {
-        edge: QEid,
-        from: QVid,
-        to: QVid,
-        /// Data vertex the expansion leaves, fixed when the frame is
-        /// entered (its `from` endpoint is already bound then).
-        bound: VertexId,
-        /// 0 = forward direction pass, 1 = backward pass.
-        phase: u8,
-        /// Position in the compiled type disjunction (0 when untyped).
-        ty: usize,
-        /// Position within the current adjacency slice.
-        pos: usize,
-    },
-    Close {
-        edge: QEid,
-        phase: u8,
-        ty: usize,
-        pos: usize,
-    },
+/// The seed source of the component currently being advanced, in owned
+/// form (the stream cannot borrow an index bucket across `next()` calls
+/// without freezing `self`, so bucket / union / intersection candidates
+/// are copied into [`MatchStream::seed_buf`] when the component starts).
+enum OwnedSeeds {
+    /// Full scan of the (dense) vertex arena `0..n`.
+    Range(u32),
+    /// Materialized candidates live in `seed_buf`.
+    Buf,
 }
 
 /// Lazy iterator over the result graphs of one compiled query.
@@ -82,7 +56,7 @@ pub struct MatchStream<'g> {
     indexes: Vec<Arc<AttrIndex>>,
     q: Arc<PatternQuery>,
     compiled: Arc<Compiled>,
-    plans: Arc<Vec<ComponentPlan>>,
+    program: Arc<QueryProgram>,
     injective: bool,
     /// Resource governance shared with the caller (see
     /// [`MatchOptions::budget`]); on a trip the stream ends early and
@@ -93,27 +67,35 @@ pub struct MatchStream<'g> {
     started: bool,
     done: bool,
     /// Lazy cartesian enumerator over the materialized results of
-    /// components `1..n` (plan order, each factor capped at the stream
+    /// components `1..n` (program order, each factor capped at the stream
     /// limit; no factors for connected queries). Shared with `find`'s
     /// eager combination, so product order is identical by construction.
     odo: FactorOdometer,
     /// Current match of component 0, combined with every factor
-    /// combination before the DFS advances.
+    /// combination before the VM advances.
     cur0: Option<ResultGraph>,
     scratch: Scratch,
-    stack: Vec<Frame>,
+    /// Suspended VM frame stack of the component currently advancing.
+    vs: VmState,
+    /// Seed source of that component, resolved by
+    /// [`MatchStream::resolve_seeds_for`].
+    cur_seeds: OwnedSeeds,
+    /// Backing storage for [`OwnedSeeds::Buf`].
+    seed_buf: Vec<VertexId>,
 }
 
 impl<'g> MatchStream<'g> {
-    /// Stream over a precompiled query. `compiled`/`plans` must come from
-    /// [`Matcher::compile`] on a query with the same signature over the
-    /// same graph — the contract the `whyq-session` plan cache maintains.
+    /// Stream over a precompiled query. `compiled`/`program` must come
+    /// from [`Matcher::compile_full`] (or
+    /// [`Matcher::compile_with_passes`]) on a query with the same
+    /// signature over the same graph and indexes — the contract the
+    /// `whyq-session` plan cache maintains.
     pub fn over(
         g: &'g PropertyGraph,
         indexes: Vec<Arc<AttrIndex>>,
         q: Arc<PatternQuery>,
         compiled: Arc<Compiled>,
-        plans: Arc<Vec<ComponentPlan>>,
+        program: Arc<QueryProgram>,
         opts: MatchOptions,
     ) -> Self {
         MatchStream {
@@ -122,7 +104,7 @@ impl<'g> MatchStream<'g> {
             indexes,
             q,
             compiled,
-            plans,
+            program,
             injective: opts.injective,
             budget: opts.budget.clone(),
             remaining: opts.limit.unwrap_or(usize::MAX),
@@ -131,7 +113,9 @@ impl<'g> MatchStream<'g> {
             odo: FactorOdometer::default(),
             cur0: None,
             scratch: Scratch::default(),
-            stack: Vec::new(),
+            vs: VmState::default(),
+            cur_seeds: OwnedSeeds::Range(0),
+            seed_buf: Vec::new(),
         }
     }
 
@@ -144,10 +128,10 @@ impl<'g> MatchStream<'g> {
     }
 
     /// First-call setup: size the arena, materialize the factor lists of
-    /// components `1..n` and park the component-0 DFS at its seed step.
+    /// components `1..n` and park the component-0 VM at its seed scan.
     fn start(&mut self) {
         self.started = true;
-        if self.q.num_vertices() == 0 || self.plans.is_empty() || self.remaining == 0 {
+        if self.q.num_vertices() == 0 || self.program.is_empty() || self.remaining == 0 {
             self.done = true;
             return;
         }
@@ -159,7 +143,7 @@ impl<'g> MatchStream<'g> {
         self.scratch.prepare(self.g, &self.q);
         let cap = self.remaining;
         let mut factors = Vec::new();
-        for comp in 1..self.plans.len() {
+        for comp in 1..self.program.components().len() {
             let factor = self.run_component_to_vec(comp, cap);
             if factor.is_empty() {
                 // an empty component zeroes the cartesian product
@@ -169,15 +153,15 @@ impl<'g> MatchStream<'g> {
             factors.push(factor);
         }
         self.odo = FactorOdometer::new(factors);
-        self.stack.clear();
-        self.push_frame(0, 0);
+        self.vs.reset();
+        self.resolve_seeds_for(0);
     }
 
-    /// Run one component's DFS to completion, collecting at most `cap`
-    /// results, and leave the scratch arena clean.
+    /// Run one component's program to completion, collecting at most
+    /// `cap` results, and leave the scratch arena clean.
     fn run_component_to_vec(&mut self, comp: usize, cap: usize) -> Vec<ResultGraph> {
-        self.stack.clear();
-        self.push_frame(comp, 0);
+        self.vs.reset();
+        self.resolve_seeds_for(comp);
         let mut out = Vec::new();
         while let Some(r) = self.next_component_match(comp) {
             out.push(r);
@@ -185,98 +169,84 @@ impl<'g> MatchStream<'g> {
                 break;
             }
         }
-        self.unwind();
+        self.unwind(comp);
         out
     }
 
-    /// Pop every live frame, unbinding whatever it bound — used when a
-    /// component run stops before natural exhaustion.
-    fn unwind(&mut self) {
-        while let Some(frame) = self.stack.pop() {
-            unbind_frame(&mut self.scratch, self.injective, &frame);
-        }
-    }
-
-    /// Push the frame for step `i` of component `comp`'s plan.
-    fn push_frame(&mut self, comp: usize, i: usize) {
-        let frame = match self.plans[comp].steps[i] {
-            Step::Seed { vertex } => {
-                let cursor = match seed_source(self.g, &self.indexes, &self.q, vertex) {
-                    SeedSource::Scan => SeedCursor::Scan { next: 0 },
-                    SeedSource::Bucket(bucket) => SeedCursor::Fixed {
-                        seeds: bucket.to_vec(),
-                        pos: 0,
-                    },
-                    SeedSource::Union(idx, vals) => {
-                        let mut seeds = Vec::new();
-                        // one shared materializer — the stream's candidate
-                        // order matches the engine's by construction
-                        crate::engine::union_seeds(self.g, idx, vals, &mut seeds);
-                        SeedCursor::Fixed { seeds, pos: 0 }
-                    }
-                };
-                Frame::Seed { vertex, cursor }
+    /// Resolve component `comp`'s seed source into owned form: full scans
+    /// stay a range; bucket / union / intersection candidates are copied
+    /// into the reusable seed buffer.
+    fn resolve_seeds_for(&mut self, comp: usize) {
+        let program = Arc::clone(&self.program);
+        self.cur_seeds = match program.components()[comp].seed() {
+            SeedSpec::FullScan => OwnedSeeds::Range(self.g.num_vertices() as u32),
+            SeedSpec::Bucket { index, key } => {
+                self.seed_buf.clear();
+                self.seed_buf
+                    .extend_from_slice(self.indexes[*index].lookup(self.g, key));
+                OwnedSeeds::Buf
             }
-            Step::ExpandNew { edge, from, to } => Frame::Expand {
-                edge,
-                from,
-                to,
-                bound: self.scratch.vslots[from.0 as usize].expect("plan binds from first"),
-                phase: 0,
-                ty: 0,
-                pos: 0,
-            },
-            Step::Close { edge } => Frame::Close {
-                edge,
-                phase: 0,
-                ty: 0,
-                pos: 0,
-            },
+            SeedSpec::Union { index, keys } => {
+                // the shared materializers keep the stream's candidate
+                // order identical to the eager engine's by construction
+                union_seeds(self.g, &self.indexes[*index], keys, &mut self.seed_buf);
+                OwnedSeeds::Buf
+            }
+            SeedSpec::Intersect { probes } => {
+                intersect_seeds(self.g, &self.indexes, probes, &mut self.seed_buf);
+                OwnedSeeds::Buf
+            }
         };
-        self.stack.push(frame);
     }
 
-    /// Resume the DFS of component `comp`: advance the top frame to its
-    /// next acceptable candidate, descending on success and backtracking
-    /// on exhaustion, until a full assignment of the component is bound
-    /// (returned as a materialized [`ResultGraph`]) or the stack empties.
+    /// Resume component `comp`'s VM until it emits the next full
+    /// assignment (returned as a materialized [`ResultGraph`]) or
+    /// exhausts / trips its budget.
     fn next_component_match(&mut self, comp: usize) -> Option<ResultGraph> {
-        let plans = Arc::clone(&self.plans);
-        let steps = &plans[comp].steps;
+        let program = Arc::clone(&self.program);
         let q = Arc::clone(&self.q);
         let compiled = Arc::clone(&self.compiled);
-        while !self.stack.is_empty() {
-            // same tick-counted governance as the recursive engine: one
-            // budget charge per CHECK_INTERVAL frame advances
-            self.scratch.ticks += 1;
-            if self.scratch.ticks.is_multiple_of(CHECK_INTERVAL as u64)
-                && self.budget.charge(CHECK_INTERVAL as u64).is_err()
-            {
-                return None;
-            }
-            let advanced = {
-                let frame = self.stack.last_mut().expect("non-empty");
-                advance_frame(
-                    self.g,
-                    self.topo,
-                    &q,
-                    &compiled,
-                    self.injective,
-                    &mut self.scratch,
-                    frame,
-                )
-            };
-            if advanced {
-                if self.stack.len() == steps.len() {
-                    return Some(self.scratch.to_result());
-                }
-                self.push_frame(comp, self.stack.len());
-            } else {
-                // exhausted: the frame already unbound its last candidate
-                self.stack.pop();
-            }
+        let cx = VmCtx {
+            g: self.g,
+            topo: self.topo,
+            q: &q,
+            compiled: &compiled,
+            prog: &program.components()[comp],
+            injective: self.injective,
+            budget: &self.budget,
+            seeds: match self.cur_seeds {
+                OwnedSeeds::Range(n) => SeedSrc::Range { start: 0, end: n },
+                OwnedSeeds::Buf => SeedSrc::Slice(&self.seed_buf),
+            },
+        };
+        if vm::next_match(&cx, &mut self.scratch, &mut self.vs) {
+            Some(self.scratch.to_result())
+        } else {
+            None
         }
-        None
+    }
+
+    /// Abandon component `comp`'s suspended run, unbinding whatever its
+    /// frames still hold — used when a component run stops before natural
+    /// exhaustion.
+    fn unwind(&mut self, comp: usize) {
+        let program = Arc::clone(&self.program);
+        let q = Arc::clone(&self.q);
+        let compiled = Arc::clone(&self.compiled);
+        let cx = VmCtx {
+            g: self.g,
+            topo: self.topo,
+            q: &q,
+            compiled: &compiled,
+            prog: &program.components()[comp],
+            injective: self.injective,
+            budget: &self.budget,
+            seeds: match self.cur_seeds {
+                OwnedSeeds::Range(n) => SeedSrc::Range { start: 0, end: n },
+                OwnedSeeds::Buf => SeedSrc::Slice(&self.seed_buf),
+            },
+        };
+        vm::unwind(&cx, &mut self.scratch, &mut self.vs);
     }
 }
 
@@ -308,7 +278,7 @@ impl Iterator for MatchStream<'_> {
             return self.cur0.take();
         }
         let r = self.odo.combine(self.cur0.as_ref().expect("set above"));
-        // odometer overflow moves the outer DFS to its next component-0
+        // odometer overflow moves the outer VM to its next component-0
         // match
         if !self.odo.advance() {
             self.cur0 = None;
@@ -319,279 +289,20 @@ impl Iterator for MatchStream<'_> {
 }
 
 impl<'g> Matcher<'g> {
-    /// Stream the result graphs of `q` lazily — compile, plan and return a
-    /// suspended search. Equivalent to [`Matcher::find`] result-for-result
-    /// but pays only for the matches actually pulled from the iterator.
+    /// Stream the result graphs of `q` lazily — compile to bytecode and
+    /// return a suspended search. Equivalent to [`Matcher::find`]
+    /// result-for-result but pays only for the matches actually pulled
+    /// from the iterator.
     pub fn stream(&self, q: &PatternQuery, opts: MatchOptions) -> MatchStream<'g> {
-        let (compiled, plans) = self.compile(q);
+        let cq = self.compile_full(q);
         MatchStream::over(
             self.graph(),
             self.indexes().to_vec(),
             Arc::new(q.clone()),
-            Arc::new(compiled),
-            Arc::new(plans),
+            Arc::new(cq.compiled),
+            Arc::new(cq.program),
             opts,
         )
-    }
-}
-
-/// Unbind whatever `frame` currently has bound (nothing if it never bound
-/// or already unbound its candidate).
-fn unbind_frame(st: &mut Scratch, injective: bool, frame: &Frame) {
-    match frame {
-        Frame::Seed { vertex, .. } => {
-            if let Some(dv) = st.vslots[vertex.0 as usize].take() {
-                if injective {
-                    st.set_vertex_used(dv, false);
-                }
-            }
-        }
-        Frame::Expand { edge, to, .. } => {
-            if let Some(de) = st.eslots[edge.0 as usize].take() {
-                if injective {
-                    st.set_edge_used(de, false);
-                }
-            }
-            if let Some(dv) = st.vslots[to.0 as usize].take() {
-                if injective {
-                    st.set_vertex_used(dv, false);
-                }
-            }
-        }
-        Frame::Close { edge, .. } => {
-            if let Some(de) = st.eslots[edge.0 as usize].take() {
-                if injective {
-                    st.set_edge_used(de, false);
-                }
-            }
-        }
-    }
-}
-
-/// Advance one frame to its next acceptable candidate: unbind the previous
-/// candidate, scan forward, bind the next one. Returns `false` when the
-/// frame is exhausted (left unbound). The candidate order and the filter
-/// sequence mirror the recursive engine exactly — occupancy stamps before
-/// predicate checks, `EdgeData` loaded only when edge predicates exist,
-/// the self-loop and duplicate-direction skip rules included — so the
-/// stream's multiset of results is identical to `find`'s.
-#[allow(clippy::too_many_arguments)]
-fn advance_frame(
-    g: &PropertyGraph,
-    topo: &CsrTopology,
-    q: &PatternQuery,
-    compiled: &Compiled,
-    injective: bool,
-    st: &mut Scratch,
-    frame: &mut Frame,
-) -> bool {
-    unbind_frame(st, injective, frame);
-    match frame {
-        Frame::Seed { vertex, cursor } => {
-            let cv = compiled.vertex(*vertex);
-            loop {
-                let dv = match cursor {
-                    SeedCursor::Scan { next } => {
-                        if *next as usize >= g.num_vertices() {
-                            return false;
-                        }
-                        let dv = VertexId(*next);
-                        *next += 1;
-                        dv
-                    }
-                    SeedCursor::Fixed { seeds, pos } => {
-                        if *pos >= seeds.len() {
-                            return false;
-                        }
-                        let dv = seeds[*pos];
-                        *pos += 1;
-                        dv
-                    }
-                };
-                if !cv.accepts(g, dv) {
-                    continue;
-                }
-                // the seed is the first binding of its component, so no
-                // occupancy check is needed (injectivity is per-component)
-                st.vslots[vertex.0 as usize] = Some(dv);
-                if injective {
-                    st.set_vertex_used(dv, true);
-                }
-                return true;
-            }
-        }
-        Frame::Expand {
-            edge,
-            from,
-            to,
-            bound,
-            phase,
-            ty,
-            pos,
-        } => {
-            let qe = q.edge(*edge).expect("live");
-            let ce = compiled.edge(*edge);
-            let cv_to = compiled.vertex(*to);
-            let from_is_src = *from == qe.src;
-            loop {
-                if *phase > 1 {
-                    return false;
-                }
-                let dir_on = if *phase == 0 {
-                    qe.directions.forward
-                } else {
-                    qe.directions.backward
-                };
-                if !dir_on {
-                    *phase += 1;
-                    *ty = 0;
-                    *pos = 0;
-                    continue;
-                }
-                // forward pass: `bound` plays the data edge's source role
-                // iff it is the query edge's source; backward mirrors it
-                let along_src = (*phase == 0) == from_is_src;
-                // a self-loop at `bound` sits in both adjacency lists —
-                // the backward pass skips the ones forward already tried
-                let skip_self_loops = *phase == 1 && qe.directions.forward;
-                let list = match &ce.types {
-                    Some(tys) => {
-                        if *ty >= tys.len() {
-                            *phase += 1;
-                            *ty = 0;
-                            *pos = 0;
-                            continue;
-                        }
-                        let t = tys[*ty];
-                        if along_src {
-                            topo.out_entries_of(*bound, t)
-                        } else {
-                            topo.in_entries_of(*bound, t)
-                        }
-                    }
-                    None => {
-                        if *ty >= 1 {
-                            *phase += 1;
-                            *ty = 0;
-                            *pos = 0;
-                            continue;
-                        }
-                        if along_src {
-                            topo.out_entries(*bound)
-                        } else {
-                            topo.in_entries(*bound)
-                        }
-                    }
-                };
-                while *pos < list.len() {
-                    let (de, dv) = list.get(*pos);
-                    *pos += 1;
-                    if skip_self_loops && dv == *bound {
-                        continue;
-                    }
-                    if injective && (st.vertex_used(dv) || st.edge_used(de)) {
-                        continue;
-                    }
-                    if ce.needs_edge_data() && !ce.accepts_attrs(&g.edge(de).attrs) {
-                        continue;
-                    }
-                    if !cv_to.accepts(g, dv) {
-                        continue;
-                    }
-                    st.vslots[to.0 as usize] = Some(dv);
-                    st.eslots[edge.0 as usize] = Some(de);
-                    if injective {
-                        st.set_vertex_used(dv, true);
-                        st.set_edge_used(de, true);
-                    }
-                    return true;
-                }
-                *ty += 1;
-                *pos = 0;
-            }
-        }
-        Frame::Close {
-            edge,
-            phase,
-            ty,
-            pos,
-        } => {
-            let qe = q.edge(*edge).expect("live");
-            let ce = compiled.edge(*edge);
-            let ms = st.vslots[qe.src.0 as usize].expect("bound");
-            let mt = st.vslots[qe.dst.0 as usize].expect("bound");
-            loop {
-                if *phase > 1 {
-                    return false;
-                }
-                let dir_on = if *phase == 0 {
-                    qe.directions.forward
-                } else {
-                    // when both endpoints map to one data vertex the
-                    // forward pass already enumerated every self-loop
-                    qe.directions.backward && !(qe.directions.forward && ms == mt)
-                };
-                if !dir_on {
-                    *phase += 1;
-                    *ty = 0;
-                    *pos = 0;
-                    continue;
-                }
-                let ends = if *phase == 0 { (ms, mt) } else { (mt, ms) };
-                let lists = match &ce.types {
-                    Some(tys) => {
-                        if *ty >= tys.len() {
-                            *phase += 1;
-                            *ty = 0;
-                            *pos = 0;
-                            continue;
-                        }
-                        let t = tys[*ty];
-                        (
-                            topo.out_entries_of(ends.0, t),
-                            topo.in_entries_of(ends.1, t),
-                        )
-                    }
-                    None => {
-                        if *ty >= 1 {
-                            *phase += 1;
-                            *ty = 0;
-                            *pos = 0;
-                            continue;
-                        }
-                        (topo.out_entries(ends.0), topo.in_entries(ends.1))
-                    }
-                };
-                // scan whichever slice of the two endpoints is shorter;
-                // the deterministic choice keeps resumption stable
-                let scan_out = lists.0.len() <= lists.1.len();
-                let (list, want) = if scan_out {
-                    (lists.0, ends.1)
-                } else {
-                    (lists.1, ends.0)
-                };
-                while *pos < list.len() {
-                    let (de, other) = list.get(*pos);
-                    *pos += 1;
-                    if other != want {
-                        continue;
-                    }
-                    if injective && st.edge_used(de) {
-                        continue;
-                    }
-                    if ce.needs_edge_data() && !ce.accepts_attrs(&g.edge(de).attrs) {
-                        continue;
-                    }
-                    st.eslots[edge.0 as usize] = Some(de);
-                    if injective {
-                        st.set_edge_used(de, true);
-                    }
-                    return true;
-                }
-                *ty += 1;
-                *pos = 0;
-            }
-        }
     }
 }
 

@@ -1,0 +1,1115 @@
+//! The bytecode VM: flat programs compiled from the plan IR, executed by
+//! a resumable dispatch loop over the matcher's scratch arena.
+//!
+//! A [`Program`] is one component's [`crate::plan_ir::ComponentIr`]
+//! flattened into a `Vec<Instruction>` plus a pooled filter table; a
+//! [`QueryProgram`] bundles one program per weakly connected component
+//! and is the artifact the `whyq-session` plan cache stores and the
+//! parallel executor ships across threads (it is `Send + Sync` and
+//! immutable after compilation).
+//!
+//! ## Execution model
+//!
+//! The *register file* is the existing scratch arena
+//! (`Scratch::vslots`/`eslots` plus the generation-stamped occupancy
+//! arrays): instruction operands are query vertex/edge slot numbers, so
+//! binding a candidate writes the same slots the recursive interpreter
+//! wrote and [`crate::engine::Matcher`]'s result materialization is
+//! unchanged.
+//!
+//! [`next_match`] is the whole engine: a loop over a program counter and
+//! an explicit frame stack, one frame per active *scan* instruction. A
+//! scan instruction pushes a frame on first entry and advances its
+//! cursor to the next acceptable candidate on re-entry; `Filter` tests
+//! the top frame's candidate and jumps back to the owning scan on
+//! failure; `Bind` commits the candidate to the register file (occupancy
+//! checked here in injective mode); `Emit` suspends the machine and
+//! yields. Resumption re-enters at the deepest frame's scan — exactly
+//! the suspension shape [`crate::stream::MatchStream`] needs, so eager
+//! (`find`/`count`), streamed, governed and [`crate::work::WorkUnit`]
+//! execution all run this one loop.
+//!
+//! Candidate order and filter sequence mirror the retired recursive
+//! engine exactly (occupancy stamps before predicate checks, `EdgeData`
+//! loaded only when a filter needs it, the self-loop and
+//! duplicate-direction skip rules of undirected edges included), so
+//! programs compiled with any optimizer [`crate::optimize::PassSet`]
+//! enumerate the same matches; with identical seed sources they
+//! enumerate them in the same order. The budget is charged every
+//! [`CHECK_INTERVAL`] VM transitions, preserving the governed-prefix
+//! property of the interpreter.
+//!
+//! Instruction encodings and the compilation scheme are documented in
+//! `docs/plan-ir.md`.
+
+use crate::budget::{Budget, CHECK_INTERVAL};
+use crate::compile::Compiled;
+use crate::engine::Scratch;
+use crate::plan_ir::{BindTarget, FilterTest, IrNode, PlanIr, SeedSpec};
+use whyq_graph::{CsrTopology, EdgeId, PropertyGraph, VertexId};
+use whyq_query::{PatternQuery, QEid, QVid};
+
+/// A range into a [`Program`]'s pooled filter table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FilterRange {
+    /// First filter index.
+    pub start: u16,
+    /// Number of filters.
+    pub len: u16,
+}
+
+/// What a [`Instruction::Bind`] commits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BindKind {
+    /// Bind the component's seed vertex.
+    Seed {
+        /// Query vertex slot.
+        vertex: u16,
+    },
+    /// Bind an expansion's edge and newly reached vertex.
+    Expansion {
+        /// Query edge slot.
+        edge: u16,
+        /// Query vertex slot of the reached endpoint.
+        to: u16,
+    },
+    /// Bind a closing edge (endpoints already bound).
+    Closure {
+        /// Query edge slot.
+        edge: u16,
+    },
+}
+
+/// One VM instruction. Operands are query vertex/edge *slot numbers*
+/// (`u16` — a query with more than 65 535 slots is rejected at
+/// compilation), filter operands index the program's pooled filter
+/// table via [`FilterRange`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instruction {
+    /// Produce seed candidates from the program's [`SeedSpec`]; `filters`
+    /// are applied inline, `bind` commits accepted candidates in-loop.
+    SeedScan {
+        /// Query vertex slot being seeded.
+        vertex: u16,
+        /// Inline filters (pushdown pass).
+        filters: FilterRange,
+        /// Bind in-loop (dead-bind pass) instead of via a `Bind`.
+        bind: bool,
+    },
+    /// Traverse a query edge from the bound `from` slot, producing
+    /// `(edge, vertex)` candidates for (`edge`, `to`).
+    Expand {
+        /// Query edge slot being traversed.
+        edge: u16,
+        /// Bound endpoint slot the traversal leaves.
+        from: u16,
+        /// Endpoint slot the traversal reaches.
+        to: u16,
+        /// Walk only the admissible per-type CSR runs (pushdown pass)
+        /// instead of the full adjacency.
+        typed: bool,
+        /// Inline filters.
+        filters: FilterRange,
+        /// Bind in-loop.
+        bind: bool,
+    },
+    /// Bind a query edge whose endpoints are both bound, scanning the
+    /// shorter endpoint adjacency for edges between the mapped vertices.
+    Close {
+        /// Query edge slot being closed.
+        edge: u16,
+        /// Walk only the admissible per-type CSR runs.
+        typed: bool,
+        /// Inline filters.
+        filters: FilterRange,
+        /// Bind in-loop.
+        bind: bool,
+    },
+    /// Test the current scan candidate against one pooled filter; on
+    /// failure jump back to the owning scan.
+    Filter {
+        /// Index into the pooled filter table.
+        test: u16,
+    },
+    /// Commit the current scan candidate to the register file (occupancy
+    /// checked in injective mode; on conflict jump back to the scan).
+    Bind {
+        /// What to bind.
+        kind: BindKind,
+    },
+    /// Yield the complete assignment and suspend. Always last.
+    Emit,
+}
+
+/// One component's compiled bytecode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    code: Vec<Instruction>,
+    /// Pooled filter table, referenced by [`FilterRange`] and
+    /// [`Instruction::Filter`] operands.
+    filters: Vec<FilterTest>,
+    seed: SeedSpec,
+    seed_vertex: QVid,
+}
+
+impl Program {
+    /// The flat instruction sequence.
+    pub fn code(&self) -> &[Instruction] {
+        &self.code
+    }
+
+    /// The pooled filter table.
+    pub fn filters(&self) -> &[FilterTest] {
+        &self.filters
+    }
+
+    /// Where the component's seed candidates come from.
+    pub fn seed(&self) -> &SeedSpec {
+        &self.seed
+    }
+
+    /// The component's seed query vertex.
+    pub fn seed_vertex(&self) -> QVid {
+        self.seed_vertex
+    }
+}
+
+/// The compiled bytecode of a whole query: one [`Program`] per weakly
+/// connected component, in plan order. Empty exactly when the query is
+/// unsatisfiable or has no vertices — executing it answers "no matches"
+/// without touching the graph. This is what the session plan cache
+/// memoizes per query signature.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryProgram {
+    components: Vec<Program>,
+}
+
+impl QueryProgram {
+    /// Compile verified IR into bytecode. Panics if a query slot exceeds
+    /// the `u16` operand range (65 535 slots — far beyond any real
+    /// pattern).
+    pub fn from_ir(ir: &PlanIr) -> QueryProgram {
+        QueryProgram {
+            components: ir.components.iter().map(compile_component).collect(),
+        }
+    }
+
+    /// Per-component programs, in plan order.
+    pub fn components(&self) -> &[Program] {
+        &self.components
+    }
+
+    /// True when the query compiled to no programs (unsatisfiable or
+    /// vertex-less).
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+}
+
+fn slot16(n: u32) -> u16 {
+    n.try_into().expect("query slot exceeds u16 operand range")
+}
+
+fn compile_component(comp: &crate::plan_ir::ComponentIr) -> Program {
+    let mut code = Vec::with_capacity(comp.nodes.len());
+    let mut filters = Vec::new();
+    let mut seed = SeedSpec::FullScan;
+    let pool = |list: &[FilterTest], filters: &mut Vec<FilterTest>| -> FilterRange {
+        let start = slot16(filters.len() as u32);
+        filters.extend_from_slice(list);
+        FilterRange {
+            start,
+            len: slot16(list.len() as u32),
+        }
+    };
+    for node in &comp.nodes {
+        match node {
+            IrNode::SeedScan {
+                vertex,
+                spec,
+                filters: fs,
+                bind,
+                ..
+            } => {
+                seed = spec.clone();
+                code.push(Instruction::SeedScan {
+                    vertex: slot16(vertex.0),
+                    filters: pool(fs, &mut filters),
+                    bind: *bind,
+                });
+            }
+            IrNode::ExpandRun {
+                edge,
+                from,
+                to,
+                typed,
+                filters: fs,
+                bind,
+                ..
+            } => code.push(Instruction::Expand {
+                edge: slot16(edge.0),
+                from: slot16(from.0),
+                to: slot16(to.0),
+                typed: *typed,
+                filters: pool(fs, &mut filters),
+                bind: *bind,
+            }),
+            IrNode::CloseRun {
+                edge,
+                typed,
+                filters: fs,
+                bind,
+            } => code.push(Instruction::Close {
+                edge: slot16(edge.0),
+                typed: *typed,
+                filters: pool(fs, &mut filters),
+                bind: *bind,
+            }),
+            IrNode::Filter { test } => {
+                let idx = slot16(filters.len() as u32);
+                filters.push(*test);
+                code.push(Instruction::Filter { test: idx });
+            }
+            IrNode::Bind { target } => code.push(Instruction::Bind {
+                kind: match *target {
+                    BindTarget::Seed { vertex } => BindKind::Seed {
+                        vertex: slot16(vertex.0),
+                    },
+                    BindTarget::Expansion { edge, to } => BindKind::Expansion {
+                        edge: slot16(edge.0),
+                        to: slot16(to.0),
+                    },
+                    BindTarget::Closure { edge } => BindKind::Closure {
+                        edge: slot16(edge.0),
+                    },
+                },
+            }),
+            IrNode::Emit => code.push(Instruction::Emit),
+        }
+    }
+    Program {
+        code,
+        filters,
+        seed,
+        seed_vertex: comp.seed_vertex,
+    }
+}
+
+/// Where one program run draws its seed candidates from. The engine
+/// resolves the program's [`SeedSpec`] (or a [`crate::work::WorkUnit`]'s
+/// seed-list subrange) into one of these before starting the machine.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum SeedSrc<'a> {
+    /// The dense vertex-id range `[start, end)`.
+    Range { start: u32, end: u32 },
+    /// An explicit candidate list (index bucket, materialized union or
+    /// intersection, or a work unit's slice).
+    Slice(&'a [VertexId]),
+}
+
+impl SeedSrc<'_> {
+    fn get(&self, pos: usize) -> Option<VertexId> {
+        match *self {
+            SeedSrc::Range { start, end } => {
+                let v = start.checked_add(pos as u32)?;
+                (v < end).then_some(VertexId(v))
+            }
+            SeedSrc::Slice(seeds) => seeds.get(pos).copied(),
+        }
+    }
+}
+
+/// Loop-invariant inputs of one component-program run.
+pub(crate) struct VmCtx<'a> {
+    pub(crate) g: &'a PropertyGraph,
+    pub(crate) topo: &'a CsrTopology,
+    pub(crate) q: &'a PatternQuery,
+    pub(crate) compiled: &'a Compiled,
+    pub(crate) prog: &'a Program,
+    pub(crate) injective: bool,
+    pub(crate) budget: &'a Budget,
+    pub(crate) seeds: SeedSrc<'a>,
+}
+
+/// Resumable cursor of one active scan instruction.
+#[derive(Debug, Clone)]
+enum Cursor {
+    /// Position in the seed source.
+    Seed { pos: usize },
+    /// Adjacency walk of an expansion: the anchor data vertex, the
+    /// direction phase (0 = forward, 1 = backward), the per-type run
+    /// index and the position inside the current run. The admissible
+    /// directions and the anchor's role are loop invariants, looked up
+    /// once at frame push; `ext`/`resolved` cache the current run's
+    /// absolute CSR extent so every resume reslices in O(1) instead of
+    /// re-running the offset (and typed binary-search) lookups.
+    Expand {
+        anchor: VertexId,
+        phase: u8,
+        ty: usize,
+        pos: usize,
+        fwd: bool,
+        bwd: bool,
+        from_is_src: bool,
+        ext: (u32, u32),
+        resolved: bool,
+    },
+    /// Adjacency walk of a close: the mapped endpoint pair plus the same
+    /// phase/run/position cursor, cached direction flags, and the cached
+    /// choice of scanned arena (`scan_out`), extent and wanted opposite
+    /// endpoint of the current run.
+    Close {
+        ms: VertexId,
+        mt: VertexId,
+        phase: u8,
+        ty: usize,
+        pos: usize,
+        fwd: bool,
+        bwd: bool,
+        ext: (u32, u32),
+        scan_out: bool,
+        want: VertexId,
+        resolved: bool,
+    },
+}
+
+/// One active scan: the instruction it executes, whether its candidate
+/// is currently committed to the register file, the candidate itself and
+/// the scan cursor.
+#[derive(Debug, Clone)]
+struct Frame {
+    pc: usize,
+    bound: bool,
+    de: EdgeId,
+    dv: VertexId,
+    cur: Cursor,
+}
+
+/// The suspendable machine state of one component-program run: a frame
+/// *file* — one preallocated slot per scan instruction, since a linear
+/// program's scans activate in a fixed nesting order — plus the current
+/// activation depth and started/done markers. Entering a scan overwrites
+/// its slot in place; backtracking just decrements `depth`. No `Vec`
+/// push/pop (or capacity check) ever runs on the transition path.
+/// `Default` is the pristine not-yet-started machine; the file is sized
+/// lazily on first use against the program being run.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct VmState {
+    frames: Vec<Frame>,
+    depth: usize,
+    started: bool,
+    done: bool,
+}
+
+impl VmState {
+    /// Reset to the pristine state, keeping the frame-file allocation.
+    pub(crate) fn reset(&mut self) {
+        self.depth = 0;
+        self.started = false;
+        self.done = false;
+    }
+
+    /// Size the frame file for `prog` (one slot per scan instruction).
+    /// Cheap after the first call: the file only ever grows.
+    fn ensure_frames(&mut self, prog: &Program) {
+        let scans = prog
+            .code()
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i,
+                    Instruction::SeedScan { .. }
+                        | Instruction::Expand { .. }
+                        | Instruction::Close { .. }
+                )
+            })
+            .count();
+        if self.frames.len() < scans {
+            self.frames.resize(
+                scans,
+                Frame {
+                    pc: 0,
+                    bound: false,
+                    de: EdgeId(0),
+                    dv: VertexId(0),
+                    cur: Cursor::Seed { pos: 0 },
+                },
+            );
+        }
+    }
+}
+
+/// Outcome of advancing one scan frame.
+enum Adv {
+    /// A candidate was accepted (and bound, for fused scans).
+    Found,
+    /// The scan ran out of candidates.
+    Exhausted,
+    /// The budget tripped mid-scan; abort the run (sticky).
+    Tripped,
+}
+
+#[inline]
+fn tick(cx: &VmCtx<'_>, st: &mut Scratch) -> bool {
+    st.ticks += 1;
+    !(st.ticks.is_multiple_of(CHECK_INTERVAL as u64)
+        && cx.budget.charge(CHECK_INTERVAL as u64).is_err())
+}
+
+/// Apply one pooled filter to a candidate `(de, dv)`.
+#[inline]
+fn test_filter(cx: &VmCtx<'_>, test: FilterTest, de: EdgeId, dv: VertexId) -> bool {
+    match test {
+        FilterTest::VertexPreds(v) => cx.compiled.vertex(v).accepts(cx.g, dv),
+        FilterTest::EdgeType(e) => match &cx.compiled.edge(e).types {
+            Some(tys) => tys.contains(&cx.g.edge(de).ty),
+            None => true,
+        },
+        FilterTest::EdgeAttrs(e) => {
+            let ce = cx.compiled.edge(e);
+            !ce.needs_edge_data() || ce.accepts_attrs(&cx.g.edge(de).attrs)
+        }
+    }
+}
+
+/// Resolve a [`FilterRange`] into its slice of the pooled filter table —
+/// once per advance call, so the per-candidate loop tests a plain slice.
+#[inline]
+fn filter_slice(prog: &Program, range: FilterRange) -> &[FilterTest] {
+    &prog.filters[range.start as usize..(range.start + range.len) as usize]
+}
+
+#[inline]
+fn inline_filters(cx: &VmCtx<'_>, fs: &[FilterTest], de: EdgeId, dv: VertexId) -> bool {
+    fs.iter().all(|&t| test_filter(cx, t, de, dv))
+}
+
+/// Run the machine until the next complete match. Returns `true` with
+/// the full assignment committed to `st`'s slot arrays (read it with
+/// `Scratch::to_result`, or just count); `false` when the program is
+/// exhausted *or* the budget tripped — distinguish via
+/// [`Budget::termination`]. The machine suspends on emission; calling
+/// again resumes by advancing the deepest scan. After the final `false`
+/// (or when abandoning a run early) call [`unwind`] to release the
+/// registers.
+pub(crate) fn next_match(cx: &VmCtx<'_>, st: &mut Scratch, vs: &mut VmState) -> bool {
+    run(cx, st, vs, None)
+}
+
+/// Run the machine to completion, delivering every match through `emit`
+/// inline — the eager twin of [`next_match`] for `count`/`find`, where
+/// suspending (and later re-entering) the dispatch loop once per match
+/// would dominate high-cardinality result sets. The machine stops when
+/// the program exhausts, the budget trips, or `emit` returns `false`
+/// (state is left suspended exactly as after a `next_match` emission, so
+/// [`unwind`] releases the registers either way).
+pub(crate) fn run_to_end(
+    cx: &VmCtx<'_>,
+    st: &mut Scratch,
+    vs: &mut VmState,
+    emit: &mut dyn FnMut(&Scratch) -> bool,
+) {
+    run(cx, st, vs, Some(emit));
+}
+
+/// The dispatch loop behind [`next_match`] (`emit: None` — return on
+/// each match) and [`run_to_end`] (`emit: Some` — deliver matches inline
+/// and keep going until one is declined).
+fn run(
+    cx: &VmCtx<'_>,
+    st: &mut Scratch,
+    vs: &mut VmState,
+    mut emit: Option<&mut dyn FnMut(&Scratch) -> bool>,
+) -> bool {
+    if vs.done || cx.budget.poll().is_err() {
+        return false;
+    }
+    let code = cx.prog.code();
+    vs.ensure_frames(cx.prog);
+    // `fresh` distinguishes the two ways control reaches a scan
+    // instruction: falling through from the previous instruction (a new
+    // activation — initialize the scan's frame slot) versus backtracking
+    // or resuming (re-advance the existing activation). Tracking it as a
+    // dispatch-local flag avoids inspecting the frame file per step.
+    let mut fresh;
+    let mut pc: usize = if !vs.started {
+        vs.started = true;
+        fresh = true;
+        0
+    } else {
+        if vs.depth == 0 {
+            vs.done = true;
+            return false;
+        }
+        fresh = false;
+        vs.frames[vs.depth - 1].pc
+    };
+    // No budget tick here: every candidate a scan produces is ticked
+    // inside its advance loop, and the O(1) Filter/Bind/Emit steps ride
+    // on the tick of the candidate that reached them — charging per
+    // dispatch as well would double-count each transition relative to
+    // the retired interpreter.
+    loop {
+        match code[pc] {
+            Instruction::SeedScan {
+                vertex,
+                filters,
+                bind,
+            } => {
+                if fresh {
+                    let f = &mut vs.frames[vs.depth];
+                    f.pc = pc;
+                    f.bound = false;
+                    f.cur = Cursor::Seed { pos: 0 };
+                    vs.depth += 1;
+                }
+                match advance_seed(cx, st, &mut vs.frames[vs.depth - 1], vertex, filters, bind) {
+                    Adv::Found => {
+                        pc += 1;
+                        fresh = true;
+                    }
+                    Adv::Tripped => return false,
+                    Adv::Exhausted => {
+                        vs.depth -= 1;
+                        if vs.depth == 0 {
+                            vs.done = true;
+                            return false;
+                        }
+                        pc = vs.frames[vs.depth - 1].pc;
+                        fresh = false;
+                    }
+                }
+            }
+            Instruction::Expand {
+                edge,
+                from,
+                to,
+                typed,
+                filters,
+                bind,
+            } => {
+                if fresh {
+                    let anchor =
+                        st.vslots[from as usize].expect("program binds `from` before Expand");
+                    let qe = cx.q.edge(QEid(edge as u32)).expect("live");
+                    let f = &mut vs.frames[vs.depth];
+                    f.pc = pc;
+                    f.bound = false;
+                    f.cur = Cursor::Expand {
+                        anchor,
+                        phase: 0,
+                        ty: 0,
+                        pos: 0,
+                        fwd: qe.directions.forward,
+                        bwd: qe.directions.backward,
+                        from_is_src: QVid(from as u32) == qe.src,
+                        ext: (0, 0),
+                        resolved: false,
+                    };
+                    vs.depth += 1;
+                }
+                match advance_expand(
+                    cx,
+                    st,
+                    &mut vs.frames[vs.depth - 1],
+                    edge,
+                    to,
+                    typed,
+                    filters,
+                    bind,
+                ) {
+                    Adv::Found => {
+                        pc += 1;
+                        fresh = true;
+                    }
+                    Adv::Tripped => return false,
+                    Adv::Exhausted => {
+                        vs.depth -= 1;
+                        if vs.depth == 0 {
+                            vs.done = true;
+                            return false;
+                        }
+                        pc = vs.frames[vs.depth - 1].pc;
+                        fresh = false;
+                    }
+                }
+            }
+            Instruction::Close {
+                edge,
+                typed,
+                filters,
+                bind,
+            } => {
+                if fresh {
+                    let qe = cx.q.edge(QEid(edge as u32)).expect("live");
+                    let ms = st.vslots[qe.src.0 as usize].expect("bound");
+                    let mt = st.vslots[qe.dst.0 as usize].expect("bound");
+                    let f = &mut vs.frames[vs.depth];
+                    f.pc = pc;
+                    f.bound = false;
+                    f.cur = Cursor::Close {
+                        ms,
+                        mt,
+                        phase: 0,
+                        ty: 0,
+                        pos: 0,
+                        fwd: qe.directions.forward,
+                        bwd: qe.directions.backward,
+                        ext: (0, 0),
+                        scan_out: true,
+                        want: VertexId(0),
+                        resolved: false,
+                    };
+                    vs.depth += 1;
+                }
+                match advance_close(
+                    cx,
+                    st,
+                    &mut vs.frames[vs.depth - 1],
+                    edge,
+                    typed,
+                    filters,
+                    bind,
+                ) {
+                    Adv::Found => {
+                        pc += 1;
+                        fresh = true;
+                    }
+                    Adv::Tripped => return false,
+                    Adv::Exhausted => {
+                        vs.depth -= 1;
+                        if vs.depth == 0 {
+                            vs.done = true;
+                            return false;
+                        }
+                        pc = vs.frames[vs.depth - 1].pc;
+                        fresh = false;
+                    }
+                }
+            }
+            Instruction::Filter { test } => {
+                let f = &vs.frames[vs.depth - 1];
+                if test_filter(cx, cx.prog.filters()[test as usize], f.de, f.dv) {
+                    pc += 1;
+                } else {
+                    pc = f.pc;
+                    fresh = false;
+                }
+            }
+            Instruction::Bind { kind } => {
+                let f = &mut vs.frames[vs.depth - 1];
+                let ok = match kind {
+                    BindKind::Seed { vertex } => {
+                        // the seed is the first binding of its component,
+                        // so no occupancy check (injectivity is
+                        // per-component)
+                        #[cfg(feature = "fault-inject")]
+                        crate::fault::on_seed_bound();
+                        st.vslots[vertex as usize] = Some(f.dv);
+                        if cx.injective {
+                            st.set_vertex_used(f.dv, true);
+                        }
+                        true
+                    }
+                    BindKind::Expansion { edge, to } => {
+                        if cx.injective && (st.vertex_used(f.dv) || st.edge_used(f.de)) {
+                            false
+                        } else {
+                            st.vslots[to as usize] = Some(f.dv);
+                            st.eslots[edge as usize] = Some(f.de);
+                            if cx.injective {
+                                st.set_vertex_used(f.dv, true);
+                                st.set_edge_used(f.de, true);
+                            }
+                            true
+                        }
+                    }
+                    BindKind::Closure { edge } => {
+                        if cx.injective && st.edge_used(f.de) {
+                            false
+                        } else {
+                            st.eslots[edge as usize] = Some(f.de);
+                            if cx.injective {
+                                st.set_edge_used(f.de, true);
+                            }
+                            true
+                        }
+                    }
+                };
+                if ok {
+                    f.bound = true;
+                    pc += 1;
+                } else {
+                    pc = f.pc;
+                    fresh = false;
+                }
+            }
+            Instruction::Emit => match emit.as_mut() {
+                None => return true,
+                Some(e) => {
+                    if !e(st) {
+                        return true;
+                    }
+                    // continue as a resume would: re-advance the deepest
+                    // scan for the next assignment
+                    pc = vs.frames[vs.depth - 1].pc;
+                    fresh = false;
+                }
+            },
+        }
+    }
+}
+
+/// Release every register the machine still holds and mark it done. Must
+/// run after a component run ends — exhausted, tripped or abandoned —
+/// so stale bindings never leak into a later component's
+/// `Scratch::to_result`.
+pub(crate) fn unwind(cx: &VmCtx<'_>, st: &mut Scratch, vs: &mut VmState) {
+    while vs.depth > 0 {
+        vs.depth -= 1;
+        let f = vs.frames[vs.depth].clone();
+        if f.bound {
+            unbind(cx, st, &f);
+        }
+    }
+    vs.done = true;
+}
+
+/// Release one frame's registers (slot `take` + occupancy unstamp).
+fn unbind(cx: &VmCtx<'_>, st: &mut Scratch, f: &Frame) {
+    match cx.prog.code()[f.pc] {
+        Instruction::SeedScan { vertex, .. } => {
+            if let Some(dv) = st.vslots[vertex as usize].take() {
+                if cx.injective {
+                    st.set_vertex_used(dv, false);
+                }
+            }
+        }
+        Instruction::Expand { edge, to, .. } => {
+            if let Some(de) = st.eslots[edge as usize].take() {
+                if cx.injective {
+                    st.set_edge_used(de, false);
+                }
+            }
+            if let Some(dv) = st.vslots[to as usize].take() {
+                if cx.injective {
+                    st.set_vertex_used(dv, false);
+                }
+            }
+        }
+        Instruction::Close { edge, .. } => {
+            if let Some(de) = st.eslots[edge as usize].take() {
+                if cx.injective {
+                    st.set_edge_used(de, false);
+                }
+            }
+        }
+        _ => unreachable!("frames belong to scan instructions"),
+    }
+}
+
+fn advance_seed(
+    cx: &VmCtx<'_>,
+    st: &mut Scratch,
+    f: &mut Frame,
+    vertex: u16,
+    filters: FilterRange,
+    bind: bool,
+) -> Adv {
+    if f.bound {
+        if let Some(dv) = st.vslots[vertex as usize].take() {
+            if cx.injective {
+                st.set_vertex_used(dv, false);
+            }
+        }
+        f.bound = false;
+    }
+    let Cursor::Seed { pos } = &mut f.cur else {
+        unreachable!("seed frame carries a seed cursor")
+    };
+    let fs = filter_slice(cx.prog, filters);
+    loop {
+        let Some(dv) = cx.seeds.get(*pos) else {
+            return Adv::Exhausted;
+        };
+        *pos += 1;
+        if !inline_filters(cx, fs, EdgeId(0), dv) {
+            continue;
+        }
+        // one budget tick per accepted candidate — the DFS-transition
+        // cadence of the retired interpreter (rejected candidates are
+        // plain scan work, charged via the transition that consumed them)
+        if !tick(cx, st) {
+            return Adv::Tripped;
+        }
+        f.dv = dv;
+        if bind {
+            #[cfg(feature = "fault-inject")]
+            crate::fault::on_seed_bound();
+            st.vslots[vertex as usize] = Some(dv);
+            if cx.injective {
+                st.set_vertex_used(dv, true);
+            }
+            f.bound = true;
+        }
+        return Adv::Found;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn advance_expand(
+    cx: &VmCtx<'_>,
+    st: &mut Scratch,
+    f: &mut Frame,
+    edge: u16,
+    to: u16,
+    typed: bool,
+    filters: FilterRange,
+    bind: bool,
+) -> Adv {
+    if f.bound {
+        if let Some(de) = st.eslots[edge as usize].take() {
+            if cx.injective {
+                st.set_edge_used(de, false);
+            }
+        }
+        if let Some(dv) = st.vslots[to as usize].take() {
+            if cx.injective {
+                st.set_vertex_used(dv, false);
+            }
+        }
+        f.bound = false;
+    }
+    let Cursor::Expand {
+        anchor,
+        phase,
+        ty,
+        pos,
+        fwd,
+        bwd,
+        from_is_src,
+        ext,
+        resolved,
+    } = &mut f.cur
+    else {
+        unreachable!("expand frame carries an expand cursor")
+    };
+    let (anchor, fwd, bwd, from_is_src) = (*anchor, *fwd, *bwd, *from_is_src);
+    let fs = filter_slice(cx.prog, filters);
+    loop {
+        if *phase > 1 {
+            return Adv::Exhausted;
+        }
+        let dir_on = if *phase == 0 { fwd } else { bwd };
+        if !dir_on {
+            *phase += 1;
+            *ty = 0;
+            *pos = 0;
+            *resolved = false;
+            continue;
+        }
+        // forward pass: the anchor plays the data edge's source role iff
+        // it is the query edge's source; the backward pass mirrors it
+        let along_src = (*phase == 0) == from_is_src;
+        // a self-loop at the anchor sits in both adjacency lists — the
+        // backward pass skips the ones forward already tried
+        let skip_self_loops = *phase == 1 && fwd;
+        if !*resolved {
+            let r = if typed {
+                let ce = cx.compiled.edge(QEid(edge as u32));
+                let tys = ce.types.as_deref().expect("typed scan on typed edge");
+                if *ty >= tys.len() {
+                    *phase += 1;
+                    *ty = 0;
+                    *pos = 0;
+                    continue;
+                }
+                let t = tys[*ty];
+                if along_src {
+                    cx.topo.out_extent_of(anchor, t)
+                } else {
+                    cx.topo.in_extent_of(anchor, t)
+                }
+            } else {
+                if *ty >= 1 {
+                    *phase += 1;
+                    *ty = 0;
+                    *pos = 0;
+                    continue;
+                }
+                if along_src {
+                    cx.topo.out_extent(anchor)
+                } else {
+                    cx.topo.in_extent(anchor)
+                }
+            };
+            *ext = (r.start, r.end);
+            *resolved = true;
+            *pos = 0;
+        }
+        let list = if along_src {
+            cx.topo.out_slice(ext.0..ext.1)
+        } else {
+            cx.topo.in_slice(ext.0..ext.1)
+        };
+        let mut p = *pos;
+        for (&de, &dv) in list.edges[p..].iter().zip(&list.others[p..]) {
+            p += 1;
+            if skip_self_loops && dv == anchor {
+                continue;
+            }
+            if bind && cx.injective && (st.vertex_used(dv) || st.edge_used(de)) {
+                continue;
+            }
+            if !inline_filters(cx, fs, de, dv) {
+                continue;
+            }
+            *pos = p;
+            if !tick(cx, st) {
+                return Adv::Tripped;
+            }
+            f.de = de;
+            f.dv = dv;
+            if bind {
+                st.vslots[to as usize] = Some(dv);
+                st.eslots[edge as usize] = Some(de);
+                if cx.injective {
+                    st.set_vertex_used(dv, true);
+                    st.set_edge_used(de, true);
+                }
+                f.bound = true;
+            }
+            return Adv::Found;
+        }
+        *ty += 1;
+        *pos = 0;
+        *resolved = false;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn advance_close(
+    cx: &VmCtx<'_>,
+    st: &mut Scratch,
+    f: &mut Frame,
+    edge: u16,
+    typed: bool,
+    filters: FilterRange,
+    bind: bool,
+) -> Adv {
+    if f.bound {
+        if let Some(de) = st.eslots[edge as usize].take() {
+            if cx.injective {
+                st.set_edge_used(de, false);
+            }
+        }
+        f.bound = false;
+    }
+    let Cursor::Close {
+        ms,
+        mt,
+        phase,
+        ty,
+        pos,
+        fwd,
+        bwd,
+        ext,
+        scan_out,
+        want,
+        resolved,
+    } = &mut f.cur
+    else {
+        unreachable!("close frame carries a close cursor")
+    };
+    let (ms, mt, fwd, bwd) = (*ms, *mt, *fwd, *bwd);
+    let fs = filter_slice(cx.prog, filters);
+    loop {
+        if *phase > 1 {
+            return Adv::Exhausted;
+        }
+        let dir_on = if *phase == 0 {
+            fwd
+        } else {
+            // when both endpoints map to one data vertex the forward pass
+            // already enumerated every self-loop there
+            bwd && !(fwd && ms == mt)
+        };
+        if !dir_on {
+            *phase += 1;
+            *ty = 0;
+            *pos = 0;
+            *resolved = false;
+            continue;
+        }
+        let ends = if *phase == 0 { (ms, mt) } else { (mt, ms) };
+        if !*resolved {
+            let (r_out, r_in) = if typed {
+                let ce = cx.compiled.edge(QEid(edge as u32));
+                let tys = ce.types.as_deref().expect("typed scan on typed edge");
+                if *ty >= tys.len() {
+                    *phase += 1;
+                    *ty = 0;
+                    *pos = 0;
+                    continue;
+                }
+                let t = tys[*ty];
+                (
+                    cx.topo.out_extent_of(ends.0, t),
+                    cx.topo.in_extent_of(ends.1, t),
+                )
+            } else {
+                if *ty >= 1 {
+                    *phase += 1;
+                    *ty = 0;
+                    *pos = 0;
+                    continue;
+                }
+                (cx.topo.out_extent(ends.0), cx.topo.in_extent(ends.1))
+            };
+            // scan whichever slice of the two endpoints is shorter; the
+            // deterministic choice keeps resumption stable
+            let so = r_out.end - r_out.start <= r_in.end - r_in.start;
+            let r = if so { r_out } else { r_in };
+            *ext = (r.start, r.end);
+            *scan_out = so;
+            *want = if so { ends.1 } else { ends.0 };
+            *resolved = true;
+            *pos = 0;
+        }
+        let list = if *scan_out {
+            cx.topo.out_slice(ext.0..ext.1)
+        } else {
+            cx.topo.in_slice(ext.0..ext.1)
+        };
+        let want = *want;
+        let mut p = *pos;
+        for (&de, &other) in list.edges[p..].iter().zip(&list.others[p..]) {
+            p += 1;
+            if other != want {
+                continue;
+            }
+            if bind && cx.injective && st.edge_used(de) {
+                continue;
+            }
+            if !inline_filters(cx, fs, de, f.dv) {
+                continue;
+            }
+            *pos = p;
+            if !tick(cx, st) {
+                return Adv::Tripped;
+            }
+            f.de = de;
+            if bind {
+                st.eslots[edge as usize] = Some(de);
+                if cx.injective {
+                    st.set_edge_used(de, true);
+                }
+                f.bound = true;
+            }
+            return Adv::Found;
+        }
+        *ty += 1;
+        *pos = 0;
+        *resolved = false;
+    }
+}

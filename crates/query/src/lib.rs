@@ -32,6 +32,8 @@
 
 // The whole workspace is unsafe-free (audited 2026-08): lock it in.
 #![forbid(unsafe_code)]
+// Every public item documents itself; CI's docs lane denies this warning.
+#![warn(missing_docs)]
 
 pub mod analyze;
 pub mod builder;

@@ -8,7 +8,8 @@
 //! TRAVERSESEARCHTREE execute hundreds of near-identical candidates, and a
 //! service replays the same patterns verbatim across requests.
 //!
-//! `PlanCache` memoizes `(Compiled, plans)` pairs in an LRU keyed by the
+//! `PlanCache` memoizes `(Compiled, bytecode program)` pairs in an LRU
+//! keyed by the
 //! canonical [`whyq_query::PatternQuery::signature`]. The signature
 //! includes element ids, so only queries whose compiled slot layout is
 //! byte-for-byte interchangeable share an entry — relabeled-but-isomorphic
@@ -31,27 +32,27 @@
 
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
-use whyq_matcher::compile::{Compiled, ComponentPlan};
-use whyq_matcher::SeedList;
+use whyq_matcher::compile::Compiled;
+use whyq_matcher::{QueryProgram, SeedList};
 use whyq_query::AnalysisReport;
 
 /// A memoized compilation: the dictionary-resolved query plus its
-/// per-component evaluation plans (empty when the query is unsatisfiable —
-/// executing it answers without any scan).
+/// executable per-component bytecode programs (empty when the query is
+/// unsatisfiable — executing it answers without any scan).
 #[derive(Debug)]
 pub struct CachedPlan {
     /// The compiled (dictionary-resolved) query.
     pub compiled: Arc<Compiled>,
-    /// Selectivity-ordered per-component plans; empty ⇔ unsatisfiable
-    /// (or the query has no vertices).
-    pub plans: Arc<Vec<ComponentPlan>>,
+    /// The optimized per-component bytecode programs the VM executes;
+    /// empty ⇔ unsatisfiable (or the query has no vertices).
+    pub program: Arc<QueryProgram>,
     /// The static-analysis report produced at prepare time
     /// ([`whyq_query::analyze_against`]). An unsatisfiable verdict here is
-    /// why `plans` is empty without any compilation having run; its
+    /// why `program` is empty without any compilation having run; its
     /// [`AnalysisReport::conflict_set`] names the predicates to relax
     /// first.
     pub report: Arc<AnalysisReport>,
-    /// Per-component seed candidate lists (`plans`-indexed), materialized
+    /// Per-component seed candidate lists (program-indexed), materialized
     /// lazily by the first parallel execution. Graph and indexes are
     /// immutable for the database's lifetime, so the lists are computed
     /// once per cached plan and shared by every session and prepare —
@@ -186,7 +187,7 @@ mod tests {
     fn fill(slot: &Arc<PlanSlot>) {
         slot.get_or_compile(|| CachedPlan {
             compiled: Arc::new(Compiled::default()),
-            plans: Arc::new(Vec::new()),
+            program: Arc::new(QueryProgram::default()),
             report: Arc::new(AnalysisReport::default()),
             seed_lists: OnceLock::new(),
         });
@@ -240,7 +241,7 @@ mod tests {
                 compiles += 1;
                 CachedPlan {
                     compiled: Arc::new(Compiled::default()),
-                    plans: Arc::new(Vec::new()),
+                    program: Arc::new(QueryProgram::default()),
                     report: Arc::new(AnalysisReport::default()),
                     seed_lists: OnceLock::new(),
                 }

@@ -64,6 +64,8 @@
 
 // The whole workspace is unsafe-free (audited 2026-08): lock it in.
 #![forbid(unsafe_code)]
+// Every public item documents itself; CI's docs lane denies this warning.
+#![warn(missing_docs)]
 
 pub mod cache;
 pub mod error;
@@ -221,6 +223,19 @@ impl std::fmt::Debug for Database {
 
 impl Database {
     /// Open a database over `graph` with the default configuration.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use whyq_graph::{PropertyGraph, Value};
+    /// use whyq_session::Database;
+    ///
+    /// let mut g = PropertyGraph::new();
+    /// g.add_vertex([("type", Value::str("person"))]);
+    /// let db = Database::open(g)?; // seals the topology, builds indexes
+    /// assert_eq!(db.graph().num_vertices(), 1);
+    /// # Ok::<(), whyq_session::WhyqError>(())
+    /// ```
     pub fn open(graph: PropertyGraph) -> Result<Database, WhyqError> {
         Self::open_with(graph, DatabaseConfig::default())
     }
@@ -346,20 +361,20 @@ impl Database {
             if analysis.report.is_unsatisfiable() {
                 return CachedPlan {
                     compiled: Arc::new(whyq_matcher::compile::Compiled::default()),
-                    plans: Arc::new(Vec::new()),
+                    program: Arc::new(whyq_matcher::QueryProgram::default()),
                     report: Arc::new(analysis.report),
                     seed_lists: std::sync::OnceLock::new(),
                 };
             }
             self.compiles.fetch_add(1, Ordering::Relaxed);
-            // compile the analyzer-simplified query: it is
+            // compile the analyzer-simplified query to bytecode: it is
             // result-equivalent to `q` on this graph with identical
-            // element ids and topology, so the plan serves the caller's
-            // original query exactly
-            let (compiled, plans) = session.matcher.compile(&analysis.query);
+            // element ids and topology, so the program serves the
+            // caller's original query exactly
+            let cq = session.matcher.compile_full(&analysis.query);
             CachedPlan {
-                compiled: Arc::new(compiled),
-                plans: Arc::new(plans),
+                compiled: Arc::new(cq.compiled),
+                program: Arc::new(cq.program),
                 report: Arc::new(analysis.report),
                 seed_lists: std::sync::OnceLock::new(),
             }
@@ -412,6 +427,28 @@ impl<'db> Session<'db> {
 
     /// Prepare `q`: validate it, then fetch its compilation and plans from
     /// the shared cache (compiling at most once per distinct signature).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use whyq_graph::{PropertyGraph, Value};
+    /// use whyq_query::{Predicate, QueryBuilder};
+    /// use whyq_session::Database;
+    ///
+    /// let mut g = PropertyGraph::new();
+    /// g.add_vertex([("type", Value::str("person"))]);
+    /// let db = Database::open(g)?;
+    /// let session = db.session();
+    ///
+    /// let q = QueryBuilder::new("people")
+    ///     .vertex("p", [Predicate::eq("type", "person")])
+    ///     .build();
+    /// let prepared = session.prepare(&q)?; // compiled once, cached by signature
+    /// assert_eq!(prepared.count()?, 1);
+    /// session.prepare(&q)?; // same signature: cache hit, no recompilation
+    /// assert_eq!(db.compile_count(), 1);
+    /// # Ok::<(), whyq_session::WhyqError>(())
+    /// ```
     pub fn prepare(&self, q: &PatternQuery) -> Result<PreparedQuery<'_, 'db>, WhyqError> {
         validate(q)?;
         let plan = self.db.plan_for(self, q);
@@ -505,7 +542,7 @@ impl<'db> PreparedQuery<'_, 'db> {
     /// attribute/type, a string constant the value dictionary has never
     /// seen, an empty interval). See [`PreparedQuery::report`] for *why*.
     pub fn is_unsatisfiable(&self) -> bool {
-        self.plan.plans.is_empty() && self.query.num_vertices() > 0
+        self.plan.program.is_empty() && self.query.num_vertices() > 0
     }
 
     /// The static-analysis report produced when this query's cache entry
@@ -520,6 +557,27 @@ impl<'db> PreparedQuery<'_, 'db> {
     }
 
     /// Enumerate all result graphs (injective).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use whyq_graph::{PropertyGraph, Value};
+    /// use whyq_query::{Predicate, QueryBuilder, QVid};
+    /// use whyq_session::Database;
+    ///
+    /// let mut g = PropertyGraph::new();
+    /// let anna = g.add_vertex([("type", Value::str("person"))]);
+    /// let db = Database::open(g)?;
+    /// let session = db.session();
+    /// let q = QueryBuilder::new("people")
+    ///     .vertex("p", [Predicate::eq("type", "person")])
+    ///     .build();
+    ///
+    /// let results = session.prepare(&q)?.find()?;
+    /// assert_eq!(results.len(), 1);
+    /// assert_eq!(results[0].vertex(QVid(0)), Some(anna));
+    /// # Ok::<(), whyq_session::WhyqError>(())
+    /// ```
     pub fn find(&self) -> Result<Vec<ResultGraph>, WhyqError> {
         self.find_opts(MatchOptions::default())
     }
@@ -551,7 +609,7 @@ impl<'db> PreparedQuery<'_, 'db> {
         let value = self.session.matcher.find_compiled(
             &self.query,
             &self.plan.compiled,
-            &self.plan.plans,
+            &self.plan.program,
             opts,
         );
         Governed {
@@ -581,12 +639,39 @@ impl<'db> PreparedQuery<'_, 'db> {
     /// interrupted run — the counting twin of
     /// [`PreparedQuery::find_governed`]. A non-complete termination tags
     /// the count as a lower bound.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use whyq_graph::{PropertyGraph, Value};
+    /// use whyq_matcher::{Budget, MatchOptions, Termination};
+    /// use whyq_query::{Predicate, QueryBuilder};
+    /// use whyq_session::Database;
+    ///
+    /// let mut g = PropertyGraph::new();
+    /// for _ in 0..5000 {
+    ///     g.add_vertex([("type", Value::str("person"))]);
+    /// }
+    /// let db = Database::open(g)?;
+    /// let session = db.session();
+    /// let q = QueryBuilder::new("people")
+    ///     .vertex("p", [Predicate::eq("type", "person")])
+    ///     .build();
+    ///
+    /// // a starved budget trips mid-search: the partial count survives,
+    /// // tagged with why the run stopped
+    /// let opts = MatchOptions::default().with_budget(Budget::steps(10));
+    /// let governed = session.prepare(&q)?.count_governed(opts);
+    /// assert_eq!(governed.termination, Termination::BudgetExhausted);
+    /// assert!(governed.value < 5000); // a lower bound, not the exact count
+    /// # Ok::<(), whyq_session::WhyqError>(())
+    /// ```
     pub fn count_governed(&self, opts: MatchOptions) -> Governed<u64> {
         let budget = opts.budget.clone();
         let value = self.session.matcher.count_compiled(
             &self.query,
             &self.plan.compiled,
-            &self.plan.plans,
+            &self.plan.program,
             opts,
         );
         Governed {
@@ -626,7 +711,7 @@ impl<'db> PreparedQuery<'_, 'db> {
         let exec = Executor::new(par.clone());
         let query = &*self.query;
         let compiled = &*self.plan.compiled;
-        let plans = &*self.plan.plans;
+        let program = &*self.plan.program;
         let outputs = executor::run_with_sessions(&exec, self.session.db, units.len(), {
             let units = &units;
             let seed_lists = &seed_lists;
@@ -636,7 +721,7 @@ impl<'db> PreparedQuery<'_, 'db> {
                 session.matcher.find_unit(
                     query,
                     compiled,
-                    plans,
+                    program,
                     unit,
                     &seed_lists[unit.component],
                     opts.clone(),
@@ -647,7 +732,7 @@ impl<'db> PreparedQuery<'_, 'db> {
             Termination::Complete => {}
             termination => return Err(WhyqError::Interrupted { termination }),
         }
-        let mut per_comp: Vec<Vec<ResultGraph>> = vec![Vec::new(); plans.len()];
+        let mut per_comp: Vec<Vec<ResultGraph>> = vec![Vec::new(); program.components().len()];
         for (unit, out) in units.iter().zip(outputs) {
             per_comp[unit.component].extend(out);
         }
@@ -687,7 +772,7 @@ impl<'db> PreparedQuery<'_, 'db> {
         let exec = Executor::new(par.clone());
         let query = &*self.query;
         let compiled = &*self.plan.compiled;
-        let plans = &*self.plan.plans;
+        let program = &*self.plan.program;
         let counts = executor::run_with_sessions(&exec, self.session.db, units.len(), {
             let units = &units;
             let seed_lists = &seed_lists;
@@ -697,7 +782,7 @@ impl<'db> PreparedQuery<'_, 'db> {
                 session.matcher.count_unit(
                     query,
                     compiled,
-                    plans,
+                    program,
                     unit,
                     &seed_lists[unit.component],
                     opts.clone(),
@@ -708,7 +793,7 @@ impl<'db> PreparedQuery<'_, 'db> {
             Termination::Complete => {}
             termination => return Err(WhyqError::Interrupted { termination }),
         }
-        let mut per_comp = vec![0u64; plans.len()];
+        let mut per_comp = vec![0u64; program.components().len()];
         for (unit, c) in units.iter().zip(counts) {
             per_comp[unit.component] = per_comp[unit.component].saturating_add(c);
         }
@@ -740,7 +825,7 @@ impl<'db> PreparedQuery<'_, 'db> {
     /// startup would outweigh the search.
     fn shard(&self, par: &ParallelOpts) -> Option<(Vec<WorkUnit>, &[SeedList])> {
         let threads = par.effective_threads();
-        if threads <= 1 || self.query.num_vertices() == 0 || self.plan.plans.is_empty() {
+        if threads <= 1 || self.query.num_vertices() == 0 || self.plan.program.is_empty() {
             return None;
         }
         // materialized once per cached plan (graph and indexes are sealed
@@ -749,9 +834,10 @@ impl<'db> PreparedQuery<'_, 'db> {
         let seed_lists: &[SeedList] = self.plan.seed_lists.get_or_init(|| {
             let matcher = &self.session.matcher;
             self.plan
-                .plans
+                .program
+                .components()
                 .iter()
-                .map(|p| matcher.seed_list(&self.query, p.seed_vertex()))
+                .map(|prog| matcher.seed_list_for(prog))
                 .collect()
         });
         let floor = par.min_seeds_per_split.max(1);
@@ -779,6 +865,30 @@ impl<'db> PreparedQuery<'_, 'db> {
     /// Stream result graphs lazily (injective, unlimited): the backtracking
     /// DFS suspends after every yielded match, so consuming `k` results
     /// costs `O(k)` search work regardless of the full result size.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use whyq_graph::{PropertyGraph, Value};
+    /// use whyq_query::{Predicate, QueryBuilder};
+    /// use whyq_session::Database;
+    ///
+    /// let mut g = PropertyGraph::new();
+    /// for _ in 0..1000 {
+    ///     g.add_vertex([("type", Value::str("person"))]);
+    /// }
+    /// let db = Database::open(g)?;
+    /// let session = db.session();
+    /// let q = QueryBuilder::new("people")
+    ///     .vertex("p", [Predicate::eq("type", "person")])
+    ///     .build();
+    ///
+    /// // taking 3 of 1000 results does ~3 results' worth of search work;
+    /// // no result set is materialized
+    /// let first_three: Vec<_> = session.prepare(&q)?.stream().take(3).collect();
+    /// assert_eq!(first_three.len(), 3);
+    /// # Ok::<(), whyq_session::WhyqError>(())
+    /// ```
     pub fn stream(&self) -> MatchStream<'db> {
         self.stream_opts(MatchOptions::default())
     }
@@ -793,7 +903,7 @@ impl<'db> PreparedQuery<'_, 'db> {
             self.session.db.indexes().to_vec(),
             Arc::clone(&self.query),
             Arc::clone(&self.plan.compiled),
-            Arc::clone(&self.plan.plans),
+            Arc::clone(&self.plan.program),
             opts,
         )
     }

@@ -8,8 +8,11 @@
 //! generators.
 //!
 //! Reproduces *"Why-Query Support in Graph Databases"* (E. Vasilyeva,
-//! TU Dresden, 2016). See `DESIGN.md` for the system inventory and
-//! `EXPERIMENTS.md` for the reproduced evaluation.
+//! TU Dresden, 2016). `ARCHITECTURE.md` at the repository root documents
+//! the whole pipeline stage by stage (parse → analyze → lower → optimize
+//! → bytecode → execute → relax loop), the crate map, and the
+//! budget/termination semantics; `docs/plan-ir.md` specifies the plan IR
+//! and bytecode instruction set.
 //!
 //! ## Quick start
 //!

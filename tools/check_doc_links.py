@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links in the given files resolve.
+
+Usage: check_doc_links.py FILE.md [FILE.md ...]
+
+For every inline markdown link `[text](target)` whose target is not an
+absolute URL or a pure fragment, verify the referenced path exists
+relative to the linking file's directory (fragments are stripped; their
+anchors are not validated). Exits non-zero listing every broken link.
+
+Run locally from the repository root:
+    python3 tools/check_doc_links.py README.md ARCHITECTURE.md docs/*.md
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def broken_links(md_file: Path):
+    text = md_file.read_text(encoding="utf-8")
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        line = text.count("\n", 0, match.start()) + 1
+        resolved = (md_file.parent / path).resolve()
+        if not resolved.exists():
+            yield line, target
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = 0
+    for name in argv[1:]:
+        md_file = Path(name)
+        if not md_file.exists():
+            print(f"{name}: file not found", file=sys.stderr)
+            failures += 1
+            continue
+        for line, target in broken_links(md_file):
+            print(f"{name}:{line}: broken link -> {target}", file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"{failures} broken link(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
