@@ -65,7 +65,7 @@ fn main() -> ExitCode {
     let baseline = read(baseline_path);
     let current = read(current_path);
 
-    let cmp = compare(&baseline, &current, threshold);
+    let cmp = compare(&baseline, &current, threshold).with_sources(baseline_path, current_path);
     print!("{}", cmp.report(threshold));
     if cmp.passed() {
         ExitCode::SUCCESS

@@ -165,9 +165,25 @@ pub struct Comparison {
     pub missing: Vec<String>,
     /// Fresh benchmarks absent from the baseline (fine: newly added).
     pub new_benches: Vec<String>,
+    /// Snapshot file the baseline was read from, when known. Failing
+    /// entries in the report cite it so a multi-snapshot CI gate
+    /// (`BENCH_matcher.json`, `BENCH_server.json`, ...) says which
+    /// committed file to look at.
+    pub baseline_source: Option<String>,
+    /// Snapshot file the fresh run was read from, when known.
+    pub current_source: Option<String>,
 }
 
 impl Comparison {
+    /// Record which snapshot files the two sides came from; the report
+    /// then cites them on failing entries.
+    #[must_use]
+    pub fn with_sources(mut self, baseline: &str, current: &str) -> Self {
+        self.baseline_source = Some(baseline.to_string());
+        self.current_source = Some(current.to_string());
+        self
+    }
+
     /// All rows that regressed.
     pub fn regressions(&self) -> Vec<&CompareRow> {
         self.rows.iter().filter(|r| r.regressed).collect()
@@ -178,9 +194,14 @@ impl Comparison {
         self.missing.is_empty() && self.rows.iter().all(|r| !r.regressed)
     }
 
-    /// Human-readable report table.
+    /// Human-readable report table. With sources recorded (see
+    /// [`Comparison::with_sources`]) the header names both snapshot files
+    /// and every failing entry cites the file it came from.
     pub fn report(&self, threshold: f64) -> String {
         let mut out = String::new();
+        if let (Some(b), Some(c)) = (&self.baseline_source, &self.current_source) {
+            let _ = writeln!(out, "baseline: {b}\ncurrent:  {c}");
+        }
         let width = self
             .rows
             .iter()
@@ -193,6 +214,12 @@ impl Comparison {
             "{:<width$}  {:>12}  {:>12}  {:>8}  verdict",
             "bench", "baseline ns", "current ns", "ratio"
         );
+        let cite = |out: &mut String, source: &Option<String>| {
+            if let Some(s) = source {
+                let _ = write!(out, " [{s}]");
+            }
+            out.push('\n');
+        };
         for r in &self.rows {
             let verdict = if r.regressed {
                 "REGRESSED"
@@ -201,14 +228,20 @@ impl Comparison {
             } else {
                 "ok"
             };
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "{:<width$}  {:>12.1}  {:>12.1}  {:>8.3}  {}",
                 r.name, r.baseline_ns, r.current_ns, r.ratio, verdict
             );
+            if r.regressed {
+                cite(&mut out, &self.baseline_source);
+            } else {
+                out.push('\n');
+            }
         }
         for m in &self.missing {
-            let _ = writeln!(out, "{m}  MISSING from current run");
+            let _ = write!(out, "{m}  MISSING from current run");
+            cite(&mut out, &self.baseline_source);
         }
         for n in &self.new_benches {
             let _ = writeln!(out, "{n}  new (no baseline)");
@@ -315,6 +348,25 @@ mod tests {
         let report = cmp.report(0.25);
         assert!(report.contains("REGRESSED"));
         assert!(report.contains("FAIL"));
+    }
+
+    #[test]
+    fn failing_entries_cite_their_snapshot_file() {
+        let base = vec![rec("slow", 100.0), rec("gone", 100.0)];
+        let curr = vec![rec("slow", 200.0)];
+        let cmp = compare(&base, &curr, 0.25).with_sources("BENCH_server.json", "current.json");
+        let report = cmp.report(0.25);
+        assert!(report.contains("baseline: BENCH_server.json"), "{report}");
+        assert!(report.contains("current:  current.json"), "{report}");
+        // both failure kinds point back at the committed baseline file
+        assert!(report.contains("REGRESSED [BENCH_server.json]"), "{report}");
+        assert!(
+            report.contains("MISSING from current run [BENCH_server.json]"),
+            "{report}"
+        );
+        // passing rows stay uncited
+        let ok = compare(&base, &base, 0.25).with_sources("b.json", "c.json");
+        assert!(!ok.report(0.25).contains("ok [b.json]"));
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! The batching scheduler: coalesces requests arriving within a window
+//! into one `Executor` batch.
+//!
+//! All admitted requests funnel through one mpsc channel into a single
+//! batcher thread. When a request arrives, the batcher keeps collecting
+//! for [`crate::ServerConfig::batch_window`] (or until
+//! [`crate::ServerConfig::max_batch`] requests are queued) and then
+//! executes the whole set through [`Executor::find_batch`] — the
+//! inference-serving trick applied to graph queries. Same-signature
+//! requests in a batch share one compiled plan: each executor worker
+//! prepares against the database's shared plan cache, whose per-signature
+//! slot compiles at most once under any contention, so N concurrent
+//! clients sending the same query text cost one compile
+//! (`Database::compile_count() == 1`), not N.
+//!
+//! Each request still carries its own `MatchOptions` — its own SLO budget
+//! and cancel token — so one slow request degrades *itself*, never its
+//! batch siblings, and errors stay per-slot ([`Executor::find_batch`]'s
+//! contract).
+
+use crate::Shared;
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Instant;
+use whyq_matcher::{MatchOptions, ResultGraph};
+use whyq_query::PatternQuery;
+use whyq_session::{Executor, Governed, ParallelOpts, WhyqError};
+
+/// One admitted request, queued for the batcher.
+pub(crate) struct BatchJob {
+    /// The parsed query (shared so the batcher never re-parses).
+    pub query: Arc<PatternQuery>,
+    /// Per-request options: SLO budget, cancel token, row cap.
+    pub opts: MatchOptions,
+    /// Where the connection worker waits for the result.
+    pub reply: mpsc::Sender<BatchReply>,
+}
+
+/// What the batcher sends back for one job.
+pub(crate) type BatchReply = Result<Governed<Vec<ResultGraph>>, WhyqError>;
+
+/// The batcher loop. Exits when every job sender is gone (the server
+/// drops its handle at shutdown; connections only hold transient clones).
+pub(crate) fn run(shared: &Arc<Shared>, rx: &mpsc::Receiver<BatchJob>) {
+    let threads = shared.config.threads;
+    let exec = if threads == 0 {
+        Executor::from_env()
+    } else {
+        Executor::new(ParallelOpts::with_threads(threads))
+    };
+    loop {
+        let first = match rx.recv() {
+            Ok(job) => job,
+            Err(mpsc::RecvError) => return,
+        };
+        let mut jobs = vec![first];
+        let window = shared.config.batch_window;
+        if window.is_zero() {
+            // no waiting, but still sweep up whatever is already queued
+            while jobs.len() < shared.config.max_batch {
+                match rx.try_recv() {
+                    Ok(job) => jobs.push(job),
+                    Err(_) => break,
+                }
+            }
+        } else {
+            let deadline = Instant::now() + window;
+            while jobs.len() < shared.config.max_batch {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                match rx.recv_timeout(deadline - now) {
+                    Ok(job) => jobs.push(job),
+                    Err(_) => break,
+                }
+            }
+        }
+
+        // observability: count members of same-signature groups of >= 2 —
+        // the requests that actually shared a plan inside this batch
+        let mut by_sig: HashMap<String, u64> = HashMap::new();
+        for job in &jobs {
+            *by_sig.entry(job.query.signature()).or_insert(0) += 1;
+        }
+        for group in by_sig.into_values() {
+            if group >= 2 {
+                shared.stats.batched.fetch_add(group, Ordering::Relaxed);
+            }
+        }
+
+        let requests: Vec<(&PatternQuery, MatchOptions)> = jobs
+            .iter()
+            .map(|job| (&*job.query, job.opts.clone()))
+            .collect();
+        let results = exec.find_batch(&shared.db, &requests);
+        drop(requests);
+        for (job, result) in jobs.into_iter().zip(results) {
+            // a worker that stopped waiting (its connection died) just
+            // drops the receiver; that is not the batcher's problem
+            let _ = job.reply.send(result);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! A small blocking client for the `whyqd` wire protocol.
+//!
+//! Shared by the `whyq client` CLI subcommand, the integration tests and
+//! the open-loop load generator, so all three speak through exactly the
+//! code path real clients would. The client is strictly synchronous: one
+//! request frame out, one response frame in (servers answer pipelined
+//! requests in order, so synchronous use is just the depth-1 case).
+
+use crate::protocol::{parse_reply, write_frame, FrameError, FrameReader, Reply, TermTag};
+use crate::stats::StatsSnapshot;
+use std::fmt;
+use std::io::{self, ErrorKind};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write, timeout).
+    Io(io::Error),
+    /// The server answered `ERR <code> <message>`.
+    Server {
+        /// Machine-readable error code.
+        code: String,
+        /// Human-readable message.
+        message: String,
+    },
+    /// The server's bytes violated the response grammar.
+    Malformed(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+            ClientError::Malformed(m) => write!(f, "malformed server response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A query answer: rows plus the termination tag that says whether they
+/// are complete, a tagged partial, or a shed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryReply {
+    /// One line per result graph (`v0=17 v1=4` vertex bindings).
+    pub rows: Vec<String>,
+    /// How the execution ended (`complete`/`deadline`/`budget`/
+    /// `cancelled`/`shed`).
+    pub termination: TermTag,
+    /// True when the server truncated the rows at its per-request cap.
+    pub capped: bool,
+}
+
+/// A blocking connection to a `whyqd` server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    frames: FrameReader,
+}
+
+impl Client {
+    /// Connect with a 10-second response timeout — generous for tests
+    /// and CLI use while still turning a wedged server into an error
+    /// instead of a hang.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        Client::connect_with(addr, Duration::from_secs(10))
+    }
+
+    /// Connect with an explicit response timeout.
+    pub fn connect_with(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            frames: FrameReader::new(crate::protocol::DEFAULT_MAX_FRAME),
+        })
+    }
+
+    /// Send one raw request payload and read one response frame. The
+    /// building block the typed helpers below are sugar over.
+    pub fn send(&mut self, payload: &str) -> Result<Reply, ClientError> {
+        write_frame(&mut self.stream, payload)?;
+        self.receive()
+    }
+
+    /// Read one response frame without sending anything (for pipelined
+    /// use: several `send_only` calls, then matching `receive` calls).
+    pub fn receive(&mut self) -> Result<Reply, ClientError> {
+        match self.frames.read_frame(&mut self.stream) {
+            Ok(Some(payload)) => parse_reply(&payload).map_err(ClientError::Malformed),
+            Ok(None) => Err(ClientError::Io(io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))),
+            Err(FrameError::Io(e)) => Err(ClientError::Io(e)),
+            Err(FrameError::TruncatedEof) => Err(ClientError::Io(io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "server closed mid-frame",
+            ))),
+            Err(FrameError::Protocol(e)) => Err(ClientError::Malformed(e.to_string())),
+        }
+    }
+
+    /// Send a request frame without waiting for its response.
+    pub fn send_only(&mut self, payload: &str) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, payload)?;
+        Ok(())
+    }
+
+    /// `HELLO` handshake; returns the server's identity line.
+    pub fn hello(&mut self) -> Result<String, ClientError> {
+        match self.send("HELLO")? {
+            Reply::Ok(detail) => Ok(detail),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Execute a query, optionally under an SLO class.
+    pub fn query(&mut self, pattern: &str, class: Option<&str>) -> Result<QueryReply, ClientError> {
+        let payload = match class {
+            Some(c) => format!("QUERY @{c} {pattern}"),
+            None => format!("QUERY {pattern}"),
+        };
+        match self.send(&payload)? {
+            Reply::Rows {
+                rows,
+                termination,
+                capped,
+            } => Ok(QueryReply {
+                rows,
+                termination,
+                capped,
+            }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// `PREPARE` a pattern; returns the server-assigned handle.
+    pub fn prepare(&mut self, pattern: &str) -> Result<u64, ClientError> {
+        match self.send(&format!("PREPARE {pattern}"))? {
+            Reply::Ok(detail) => detail
+                .split_whitespace()
+                .find_map(|tok| tok.strip_prefix("id=")?.parse().ok())
+                .ok_or_else(|| ClientError::Malformed(format!("no handle in {detail:?}"))),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// `EXEC` a prepared handle, optionally under an SLO class.
+    pub fn exec(&mut self, handle: u64, class: Option<&str>) -> Result<QueryReply, ClientError> {
+        let payload = match class {
+            Some(c) => format!("EXEC @{c} {handle}"),
+            None => format!("EXEC {handle}"),
+        };
+        match self.send(&payload)? {
+            Reply::Rows {
+                rows,
+                termination,
+                capped,
+            } => Ok(QueryReply {
+                rows,
+                termination,
+                capped,
+            }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetch the server's observability counters.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        match self.send("STATS")? {
+            Reply::Stats(counters) => Ok(StatsSnapshot::from_counters(&counters)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Ask the server to shut down gracefully.
+    pub fn shutdown_server(&mut self) -> Result<String, ClientError> {
+        match self.send("SHUTDOWN")? {
+            Reply::Ok(detail) => Ok(detail),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+/// Turn an off-script reply into the matching error.
+fn unexpected(reply: Reply) -> ClientError {
+    match reply {
+        Reply::Err { code, message } => ClientError::Server { code, message },
+        other => ClientError::Malformed(format!("unexpected reply {other:?}")),
+    }
+}

@@ -1,0 +1,253 @@
+//! End-to-end serving tests over real TCP: round trips, admission
+//! control, same-signature batching, pipelining order, counters and
+//! graceful shutdown.
+
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+use whyq_graph::{PropertyGraph, Value};
+use whyq_server::client::Client;
+use whyq_server::protocol::TermTag;
+use whyq_server::{Server, ServerConfig, SloClass, StatsSnapshot};
+use whyq_session::Database;
+
+/// Two persons who know each other plus a city — one `knows` match.
+fn social() -> PropertyGraph {
+    let mut g = PropertyGraph::new();
+    let a = g.add_vertex([("type", Value::str("person"))]);
+    let b = g.add_vertex([("type", Value::str("person"))]);
+    let city = g.add_vertex([("type", Value::str("city"))]);
+    g.add_edge(a, b, "knows", []);
+    g.add_edge(a, city, "livesIn", []);
+    g.add_edge(b, city, "livesIn", []);
+    g
+}
+
+const KNOWS: &str = "(p:person)-[:knows]->(q:person)";
+
+fn start(config: ServerConfig) -> (Server, Arc<Database>) {
+    let db = Arc::new(Database::open(social()).unwrap());
+    let server = Server::start(Arc::clone(&db), config).unwrap();
+    (server, db)
+}
+
+/// Poll the server counters until `pred` holds or `bound` elapses.
+fn wait_for(server: &Server, bound: Duration, pred: impl Fn(&StatsSnapshot) -> bool) -> bool {
+    let deadline = Instant::now() + bound;
+    loop {
+        if pred(&server.stats()) {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn hello_query_prepare_exec_round_trip() {
+    let (server, _db) = start(ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let hello = client.hello().unwrap();
+    assert!(hello.contains("whyqd proto=1"), "got {hello:?}");
+    assert!(hello.contains("vertices=3"), "got {hello:?}");
+
+    let reply = client.query(KNOWS, None).unwrap();
+    assert_eq!(reply.termination, TermTag::Complete);
+    assert_eq!(reply.rows.len(), 1);
+    // one line of `name=vertex` bindings per result graph
+    assert!(reply.rows[0].contains('='), "got {:?}", reply.rows[0]);
+    assert!(!reply.capped);
+
+    // the prepared path answers identically and reuses the cached plan
+    let handle = client.prepare(KNOWS).unwrap();
+    let execd = client.exec(handle, Some("interactive")).unwrap();
+    assert_eq!(execd.rows, reply.rows);
+    assert_eq!(server.database().compile_count(), 1);
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.connections, 1);
+    assert_eq!(stats.admitted, 2);
+    assert_eq!(stats.completed, 2);
+    assert_eq!((stats.shed, stats.queue_depth), (0, 0));
+
+    server.shutdown();
+}
+
+#[test]
+fn typed_errors_keep_the_connection_serving() {
+    let (server, _db) = start(ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    for (payload, code) in [
+        ("NOPE", "unknown-command"),
+        ("QUERY (((", "bad-pattern"),
+        ("QUERY", "bad-arguments"),
+        ("EXEC 99", "bad-handle"),
+        ("QUERY @warp (p:person)", "bad-class"),
+        ("", "empty-frame"),
+    ] {
+        match client.send(payload) {
+            Ok(whyq_server::protocol::Reply::Err { code: got, .. }) => {
+                assert_eq!(got, code, "for payload {payload:?}");
+            }
+            other => panic!("expected ERR {code} for {payload:?}, got {other:?}"),
+        }
+    }
+    // same connection, still serving
+    let reply = client.query(KNOWS, None).unwrap();
+    assert_eq!(reply.rows.len(), 1);
+    assert_eq!(server.stats().protocol_errors, 6);
+    server.shutdown();
+}
+
+#[test]
+fn admission_control_sheds_with_a_termination_tag() {
+    let config = ServerConfig {
+        max_queue_depth: 0, // everything sheds
+        ..ServerConfig::default()
+    };
+    let (server, _db) = start(config);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let reply = client.query(KNOWS, None).unwrap();
+    // a shed is a servable degraded answer, not an error
+    assert_eq!(reply.termination, TermTag::Shed);
+    assert!(reply.rows.is_empty());
+    let stats = client.stats().unwrap();
+    assert_eq!((stats.shed, stats.admitted), (1, 0));
+    server.shutdown();
+}
+
+#[test]
+fn same_signature_concurrent_clients_share_one_compiled_plan() {
+    const CLIENTS: usize = 6;
+    let config = ServerConfig {
+        // a wide window so the barrier-released wave lands in one batch
+        batch_window: Duration::from_millis(50),
+        ..ServerConfig::default()
+    };
+    let (server, db) = start(config);
+    let addr = server.local_addr();
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                barrier.wait();
+                client.query(KNOWS, None).unwrap()
+            })
+        })
+        .collect();
+    for worker in workers {
+        let reply = worker.join().unwrap();
+        assert_eq!(reply.termination, TermTag::Complete);
+        assert_eq!(reply.rows.len(), 1);
+    }
+    // the acceptance criterion: N clients, one compile
+    assert_eq!(db.compile_count(), 1);
+    let stats = server.stats();
+    assert_eq!(
+        (stats.admitted, stats.completed),
+        (CLIENTS as u64, CLIENTS as u64)
+    );
+    assert!(
+        stats.batched >= 2,
+        "expected at least one same-signature batch group, stats: {stats:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_commands_answer_in_request_order() {
+    let (server, _db) = start(ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    // three frames in flight before any response is read
+    client.send_only(&format!("QUERY {KNOWS}")).unwrap();
+    client.send_only("CANCEL").unwrap();
+    client.send_only("HELLO").unwrap();
+    let first = client.receive().unwrap();
+    assert!(
+        matches!(first, whyq_server::protocol::Reply::Rows { .. }),
+        "got {first:?}"
+    );
+    assert_eq!(
+        client.receive().unwrap(),
+        whyq_server::protocol::Reply::Ok("cancel".into())
+    );
+    match client.receive().unwrap() {
+        whyq_server::protocol::Reply::Ok(detail) => assert!(detail.contains("whyqd")),
+        other => panic!("got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn slo_classes_resolve_and_unknown_budget_is_usable() {
+    let config = ServerConfig {
+        classes: vec![SloClass::new(
+            "tiny",
+            Some(Duration::from_millis(1)),
+            Some(1),
+        )],
+        default_class: "tiny".to_string(),
+        ..ServerConfig::default()
+    };
+    let (server, _db) = start(config);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    // the 1-step budget trips at the first block: the answer degrades
+    // into a tagged partial instead of erroring
+    let reply = client.query(KNOWS, Some("tiny")).unwrap();
+    assert!(
+        matches!(
+            reply.termination,
+            TermTag::Budget | TermTag::Deadline | TermTag::Complete
+        ),
+        "got {:?}",
+        reply.termination
+    );
+    let stats = server.stats();
+    assert_eq!(stats.admitted, 1);
+    assert_eq!(stats.completed + stats.degraded, 1);
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_via_wire_command_drains_and_stops() {
+    let (server, _db) = start(ServerConfig::default());
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(client.query(KNOWS, None).unwrap().rows.len(), 1);
+    let detail = client.shutdown_server().unwrap();
+    assert!(detail.contains("draining"), "got {detail:?}");
+    // further work is refused while draining
+    match client.query(KNOWS, None) {
+        Ok(reply) => panic!("draining server served {reply:?}"),
+        Err(e) => {
+            let msg = e.to_string();
+            assert!(
+                msg.contains("shutting-down") || msg.contains("i/o") || msg.contains("closed"),
+                "got {msg}"
+            );
+        }
+    }
+    // the accept loop exits and the whole server winds down
+    server.join();
+}
+
+#[test]
+fn dropped_connection_is_reaped() {
+    let (server, _db) = start(ServerConfig::default());
+    {
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        assert_eq!(client.query(KNOWS, None).unwrap().rows.len(), 1);
+    } // client dropped: socket closes with no goodbye
+    assert!(
+        wait_for(&server, Duration::from_secs(2), |s| {
+            s.open_connections == 0 && s.disconnects == 1
+        }),
+        "connection not reaped: {:?}",
+        server.stats()
+    );
+    server.shutdown();
+}

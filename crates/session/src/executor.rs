@@ -29,11 +29,11 @@
 //! on the method); counts and result multisets always equal their serial
 //! counterparts.
 
-use crate::{Database, Session, WhyqError};
+use crate::{Database, Governed, Session, WhyqError};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::OnceLock;
-use whyq_matcher::{CancelToken, MatchOptions, Termination};
+use whyq_matcher::{CancelToken, MatchOptions, ResultGraph, Termination};
 use whyq_query::PatternQuery;
 
 /// Render a caught panic payload for [`WhyqError::WorkerPanicked`].
@@ -276,6 +276,49 @@ impl Executor {
             Ok(slots) => slots,
             // an executor-level stop has no per-slot results to salvage
             Err(e) => queries.iter().map(|_| Err(e.clone())).collect(),
+        }
+    }
+
+    /// Enumerate every request of `requests` against `db`, returning
+    /// per-request **governed** results in request order. Each worker owns
+    /// one session, so same-signature requests share the database's plan
+    /// cache — under any contention exactly one of them compiles the plan
+    /// (the [`crate::cache::PlanSlot`] guarantee) and the rest execute the
+    /// shared bytecode. This is the batched form a serving layer coalesces
+    /// same-signature traffic through: each request still carries its own
+    /// [`MatchOptions`] (its own [`whyq_matcher::Budget`], its own limit),
+    /// so one slow client's deadline never governs its batch siblings.
+    ///
+    /// Errors are **per-slot**, exactly as in [`Executor::count_batch`]: a
+    /// request that fails — including by panicking its worker, caught and
+    /// reported as [`WhyqError::WorkerPanicked`] in that slot — never
+    /// poisons its siblings' results. A budget that trips mid-search is
+    /// *not* an error here: the slot holds the partial results tagged with
+    /// their [`Termination`], the degraded-but-servable contract.
+    pub fn find_batch(
+        &self,
+        db: &Database,
+        requests: &[(&PatternQuery, MatchOptions)],
+    ) -> Vec<Result<Governed<Vec<ResultGraph>>, WhyqError>> {
+        let dispatched = self.dispatch(
+            requests.len(),
+            || db.session(),
+            |session, i| {
+                let (query, opts) = &requests[i];
+                catch_unwind(AssertUnwindSafe(|| {
+                    session.find_governed(query, opts.clone())
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(WhyqError::WorkerPanicked {
+                        message: panic_message(payload.as_ref()),
+                    })
+                })
+            },
+        );
+        match dispatched {
+            Ok(slots) => slots,
+            // an executor-level stop has no per-slot results to salvage
+            Err(e) => requests.iter().map(|_| Err(e.clone())).collect(),
         }
     }
 

@@ -1165,6 +1165,58 @@ mod tests {
     }
 
     #[test]
+    fn find_batch_reports_per_request_governed_results_in_order() {
+        use whyq_matcher::Budget;
+        let db = Database::open(social()).unwrap();
+        let q1 = pair_query();
+        let q2 = QueryBuilder::new("people")
+            .vertex("p", [Predicate::eq("type", "person")])
+            .build();
+        let mut invalid = pair_query();
+        invalid
+            .edge_mut(whyq_query::QEid(0))
+            .unwrap()
+            .directions
+            .remove(whyq_query::Direction::Forward);
+        invalid
+            .edge_mut(whyq_query::QEid(0))
+            .unwrap()
+            .directions
+            .remove(whyq_query::Direction::Backward);
+        // a pre-cancelled request degrades its own slot, not the batch
+        let token = CancelToken::new();
+        token.cancel();
+        let starved = MatchOptions::governed(Budget::cancelled_by(&token));
+        for exec in [
+            Executor::serial(),
+            Executor::new(ParallelOpts::with_threads(4)),
+        ] {
+            let requests: Vec<(&PatternQuery, MatchOptions)> = vec![
+                (&q1, MatchOptions::default()),
+                (&q2, MatchOptions::default()),
+                (&invalid, MatchOptions::default()),
+                (&q1, starved.clone()),
+            ];
+            let out = exec.find_batch(&db, &requests);
+            assert_eq!(out.len(), 4);
+            let full = out[0].as_ref().unwrap();
+            assert_eq!(
+                (full.value.len(), full.termination),
+                (1, Termination::Complete)
+            );
+            assert_eq!(out[1].as_ref().unwrap().value.len(), 2);
+            assert!(
+                matches!(out[2], Err(WhyqError::InvalidQuery { .. })),
+                "a bad request errors in its own slot without failing the batch"
+            );
+            let cancelled = out[3].as_ref().unwrap();
+            assert_eq!(cancelled.termination, Termination::Cancelled);
+        }
+        // every distinct signature compiled exactly once across all batches
+        assert_eq!(db.compile_count(), 2);
+    }
+
+    #[test]
     fn close_returns_the_graph() {
         let db = Database::open(social()).unwrap();
         let g = db.close();

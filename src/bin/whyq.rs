@@ -5,11 +5,14 @@
 //! whyq stats    <GRAPH>
 //! whyq match    <GRAPH> <PATTERN> [--limit N]
 //! whyq why      <GRAPH> <PATTERN> [--at-least N] [--at-most N] [--between LO HI]
+//! whyq client   <ADDR> (<PATTERN> [--slo CLASS] | --stats | --shutdown)
 //! ```
 //!
 //! Graphs use the text format of `whyq_graph::io`; patterns use the
 //! `whyq_query::parser` syntax, e.g.
-//! `'(p:person {name: "Anna"})-[:knows]->(q:person)'`.
+//! `'(p:person {name: "Anna"})-[:knows]->(q:person)'`. The `client`
+//! subcommand speaks the `whyqd` wire protocol (`docs/wire-protocol.md`)
+//! and exits nonzero on any protocol or transport error.
 
 use std::process::ExitCode;
 use whyquery::core::engine::WhyEngine;
@@ -34,6 +37,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "  whyq why      <GRAPH> <PATTERN> [--at-least N] [--at-most N] [--between LO HI]"
             );
+            eprintln!("  whyq client   <ADDR> (<PATTERN> [--slo CLASS] | --stats | --shutdown)");
             ExitCode::FAILURE
         }
     }
@@ -45,6 +49,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("stats") => stats(&args[1..]),
         Some("match") => do_match(&args[1..]),
         Some("why") => why(&args[1..]),
+        Some("client") => client(&args[1..]),
         Some(other) => Err(format!("unknown command {other:?}")),
         None => Err("missing command".into()),
     }
@@ -150,6 +155,42 @@ fn do_match(args: &[String]) -> Result<(), String> {
             .map(|(qv, dv)| format!("{qv}={dv}"))
             .collect();
         println!("  #{:<3} {}", i + 1, parts.join("  "));
+    }
+    Ok(())
+}
+
+fn client(args: &[String]) -> Result<(), String> {
+    use whyquery::server::client::Client;
+    let addr = args.first().ok_or("client needs <ADDR>")?;
+    let mut client =
+        Client::connect(addr.as_str()).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    if args.iter().any(|a| a == "--stats") {
+        let stats = client.stats().map_err(|e| e.to_string())?;
+        for (key, value) in stats.fields() {
+            println!("{key}={value}");
+        }
+        return Ok(());
+    }
+    if args.iter().any(|a| a == "--shutdown") {
+        let detail = client.shutdown_server().map_err(|e| e.to_string())?;
+        println!("server {detail}");
+        return Ok(());
+    }
+    let pattern = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("client needs <PATTERN> (or --stats / --shutdown)")?;
+    let reply = client
+        .query(pattern, flag_value(args, "--slo"))
+        .map_err(|e| e.to_string())?;
+    let capped = if reply.capped { " (capped)" } else { "" };
+    println!(
+        "{} row(s), termination {}{capped}:",
+        reply.rows.len(),
+        reply.termination
+    );
+    for (i, row) in reply.rows.iter().enumerate() {
+        println!("  #{:<3} {row}", i + 1);
     }
     Ok(())
 }

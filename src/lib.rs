@@ -4,8 +4,9 @@
 //! the `Database`/`Session`/`PreparedQuery` query facade, a
 //! predicate-aware pattern matcher, explanation-comparison metrics and the
 //! why-query engine (subgraph-based and modification-based explanations
-//! for empty, too-few and too-many answers), plus seeded workload
-//! generators.
+//! for empty, too-few and too-many answers), seeded workload generators,
+//! and the `whyqd` network serving layer (admission control,
+//! same-signature batching, SLO budgets — see `docs/wire-protocol.md`).
 //!
 //! Reproduces *"Why-Query Support in Graph Databases"* (E. Vasilyeva,
 //! TU Dresden, 2016). `ARCHITECTURE.md` at the repository root documents
@@ -61,6 +62,7 @@ pub use whyq_graph as graph;
 pub use whyq_matcher as matcher;
 pub use whyq_metrics as metrics;
 pub use whyq_query as query;
+pub use whyq_server as server;
 pub use whyq_session as session;
 
 /// Convenience imports covering the common API surface.
