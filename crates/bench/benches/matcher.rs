@@ -14,6 +14,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
 use whyq_core::relax::{CoarseRewriter, RelaxConfig};
+use whyq_core::subgraph::DiscoverMcs;
 use whyq_datagen::{ldbc_failing_queries, ldbc_graph, ldbc_queries, LdbcConfig};
 use whyq_matcher::compile::build_plans_est;
 use whyq_matcher::{
@@ -21,7 +22,7 @@ use whyq_matcher::{
     MatchOptions, Matcher, PassSet, QueryProgram,
 };
 use whyq_query::{PatternQuery, Predicate, QueryBuilder};
-use whyq_session::{Database, Executor, ParallelOpts};
+use whyq_session::{Database, DatabaseConfig, Executor, ParallelOpts};
 
 /// A string-equality-heavy persona scan over the LDBC person table: every
 /// candidate check is a conjunction of four string equalities plus one on
@@ -269,22 +270,34 @@ fn bench_matcher(c: &mut Criterion) {
 /// Inter-query parallelism at the engine level: the why-empty relax loop
 /// over a larger LDBC instance, with its sibling-candidate cardinality
 /// probes executed serially vs batched through a 4-thread
-/// `Executor::count_batch`. A fresh rewriter per iteration — the
-/// cardinality cache is rewriter state, and the sibling probes are
-/// exactly what this case measures.
+/// `Executor::count_batch` vs serially over the sibling result cache. A
+/// fresh rewriter per iteration — the cardinality cache is rewriter
+/// state, and the sibling probes are exactly what this case measures.
+///
+/// `sibling-serial` and `sibling-batch` keep their historical meaning by
+/// running on a database with the sibling cache disabled (every probe
+/// re-executes); `sibling-incremental` runs the identical serial loop on
+/// a default database, so every probe whose weakly-connected components
+/// survived the relaxation replays their memoized counts and only the
+/// delta-invalidated components re-execute.
 fn bench_relax_siblings(c: &mut Criterion) {
-    let db = Database::open(ldbc_graph(LdbcConfig {
+    let ldbc = ldbc_graph(LdbcConfig {
         persons: 2000,
         seed: 42,
-    }))
+    });
+    let cold = Database::open_with(
+        ldbc.clone(),
+        DatabaseConfig::default().sibling_cache_capacity(0),
+    )
     .expect("open");
+    let warm = Database::open(ldbc).expect("open");
     let q = &ldbc_failing_queries()[0];
     let mut group = c.benchmark_group("relax");
     group.sample_size(10);
     group.bench_function("sibling-serial", |b| {
         b.iter(|| {
             black_box(
-                CoarseRewriter::new(&db)
+                CoarseRewriter::new(&cold)
                     .with_executor(Executor::serial())
                     .rewrite(q, &RelaxConfig::default()),
             )
@@ -293,8 +306,17 @@ fn bench_relax_siblings(c: &mut Criterion) {
     group.bench_function("sibling-batch", |b| {
         b.iter(|| {
             black_box(
-                CoarseRewriter::new(&db)
+                CoarseRewriter::new(&cold)
                     .with_executor(Executor::new(ParallelOpts::with_threads(4)))
+                    .rewrite(q, &RelaxConfig::default()),
+            )
+        });
+    });
+    group.bench_function("sibling-incremental", |b| {
+        b.iter(|| {
+            black_box(
+                CoarseRewriter::new(&warm)
+                    .with_executor(Executor::serial())
                     .rewrite(q, &RelaxConfig::default()),
             )
         });
@@ -302,5 +324,25 @@ fn bench_relax_siblings(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matcher, bench_relax_siblings);
+/// The same incremental-reuse measurement for the MCS cardinality probes:
+/// DISCOVERMCS grows prefixes whose probes are near-identical queries, so
+/// on a sibling-cache-enabled database the unchanged components of each
+/// probe replay instead of re-executing.
+fn bench_mcs_incremental(c: &mut Criterion) {
+    let db = Database::open(ldbc_graph(LdbcConfig::default())).expect("open");
+    let q = &ldbc_failing_queries()[0];
+    let mut group = c.benchmark_group("mcs");
+    group.sample_size(10);
+    group.bench_function("incremental-probe", |b| {
+        b.iter(|| black_box(DiscoverMcs::new(&db).run(q).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matcher,
+    bench_relax_siblings,
+    bench_mcs_incremental
+);
 criterion_main!(benches);

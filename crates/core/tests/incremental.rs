@@ -1,0 +1,186 @@
+//! The why-engine's answers are invariant under the sibling cache.
+//!
+//! The relax loop and the MCS traversals probe hundreds of near-identical
+//! sibling queries; with the sibling cache enabled (the default) most of
+//! those probes replay memoized per-component results instead of
+//! re-executing. These suites pin the contract that this is *purely* a
+//! performance optimization: explanations, trajectories, `paths_tried`
+//! and `extensions` work measures are bit-identical between a default
+//! database and one opened with `sibling_cache_capacity(0)`, in serial
+//! and 4-thread executor modes, and a mid-run Budget trip never poisons
+//! the cache for later complete runs.
+
+use whyq_core::problem::CardinalityGoal;
+use whyq_core::relax::{CoarseRewriter, RelaxConfig, RelaxOutcome};
+use whyq_core::subgraph::{BoundedMcs, DiscoverMcs, McsConfig};
+use whyq_core::SubgraphExplanation;
+use whyq_datagen::{ldbc_failing_queries, ldbc_graph, ldbc_queries, LdbcConfig};
+use whyq_matcher::{Budget, Termination};
+use whyq_session::{Database, DatabaseConfig, Executor, ParallelOpts};
+
+/// The same graph opened twice: sibling cache on (default) and off.
+fn db_pair() -> (Database, Database) {
+    let g = ldbc_graph(LdbcConfig::default());
+    let inc = Database::open(g.clone()).expect("open");
+    let off =
+        Database::open_with(g, DatabaseConfig::default().sibling_cache_capacity(0)).expect("open");
+    (inc, off)
+}
+
+fn assert_same_outcome(a: &RelaxOutcome, b: &RelaxOutcome) {
+    assert_eq!(a.executed, b.executed);
+    assert_eq!(a.generated, b.generated);
+    assert_eq!(a.trajectory, b.trajectory);
+    assert_eq!(a.termination, b.termination);
+    match (&a.explanation, &b.explanation) {
+        (None, None) => {}
+        (Some(x), Some(y)) => {
+            assert_eq!(x.query.signature(), y.query.signature());
+            assert_eq!(x.mods, y.mods);
+            assert_eq!(x.cardinality, y.cardinality);
+            assert!((x.syntactic_distance - y.syntactic_distance).abs() < f64::EPSILON);
+        }
+        (x, y) => panic!("explanation presence diverged: {x:?} vs {y:?}"),
+    }
+}
+
+fn assert_same_subgraph(a: &SubgraphExplanation, b: &SubgraphExplanation) {
+    assert_eq!(a.mcs.signature(), b.mcs.signature());
+    assert_eq!(a.mcs_cardinality, b.mcs_cardinality);
+    assert_eq!(a.differential, b.differential);
+    assert_eq!(a.crossing_edge, b.crossing_edge);
+    assert_eq!(a.paths_tried, b.paths_tried, "paths_tried diverged");
+    assert_eq!(a.extensions, b.extensions, "extensions diverged");
+    assert_eq!(a.termination, b.termination);
+}
+
+#[test]
+fn relax_trajectories_are_cache_invariant_serial() {
+    let (inc, off) = db_pair();
+    for q in &ldbc_failing_queries() {
+        let on = CoarseRewriter::new(&inc)
+            .with_executor(Executor::serial())
+            .rewrite(q, &RelaxConfig::default());
+        let reference = CoarseRewriter::new(&off)
+            .with_executor(Executor::serial())
+            .rewrite(q, &RelaxConfig::default());
+        assert_same_outcome(&on, &reference);
+
+        // a second run over the now-warm cache replays instead of
+        // re-executing — the outcome must not change
+        let warm = CoarseRewriter::new(&inc)
+            .with_executor(Executor::serial())
+            .rewrite(q, &RelaxConfig::default());
+        assert_same_outcome(&warm, &reference);
+    }
+    let stats = inc.sibling_stats();
+    assert!(
+        !inc.sibling_cache_enabled() || stats.hits > 0,
+        "warm relax runs should replay: {stats:?}"
+    );
+}
+
+#[test]
+fn relax_trajectories_are_cache_invariant_batched() {
+    let (inc, off) = db_pair();
+    let par = || Executor::new(ParallelOpts::with_threads(4));
+    for q in &ldbc_failing_queries() {
+        let on = CoarseRewriter::new(&inc)
+            .with_executor(par())
+            .rewrite(q, &RelaxConfig::default());
+        let reference = CoarseRewriter::new(&off)
+            .with_executor(par())
+            .rewrite(q, &RelaxConfig::default());
+        assert_same_outcome(&on, &reference);
+    }
+}
+
+#[test]
+fn discover_mcs_is_cache_invariant() {
+    let (inc, off) = db_pair();
+    let par = || Executor::new(ParallelOpts::with_threads(4));
+    for q in &ldbc_failing_queries() {
+        let on = DiscoverMcs::new(&inc).run(q).expect("discover");
+        let reference = DiscoverMcs::new(&off).run(q).expect("discover");
+        assert_same_subgraph(&on, &reference);
+
+        // warm replay and the 4-thread cardinality probes agree too
+        let warm = DiscoverMcs::new(&inc).run(q).expect("discover");
+        assert_same_subgraph(&warm, &reference);
+        let threaded = DiscoverMcs::new(&inc)
+            .with_executor(par())
+            .run(q)
+            .expect("discover");
+        assert_same_subgraph(&threaded, &reference);
+    }
+}
+
+#[test]
+fn bounded_mcs_is_cache_invariant() {
+    let (inc, off) = db_pair();
+    let q3 = &ldbc_queries()[2];
+    let on = BoundedMcs::new(&inc)
+        .run(q3, CardinalityGoal::AtMost(10))
+        .expect("bounded");
+    let reference = BoundedMcs::new(&off)
+        .run(q3, CardinalityGoal::AtMost(10))
+        .expect("bounded");
+    assert_same_subgraph(&on, &reference);
+    let warm = BoundedMcs::new(&inc)
+        .run(q3, CardinalityGoal::AtMost(10))
+        .expect("bounded");
+    assert_same_subgraph(&warm, &reference);
+}
+
+/// A step-starved relax run trips mid-search; whatever partial unit
+/// results it produced must never be cached, so a later unconstrained
+/// run on the same database still matches the cache-off reference.
+#[test]
+fn budget_tripped_relax_does_not_poison_the_cache() {
+    let (inc, off) = db_pair();
+    let q = &ldbc_failing_queries()[0];
+
+    let starved = RelaxConfig {
+        budget: Budget::steps(200),
+        ..RelaxConfig::default()
+    };
+    let tripped = CoarseRewriter::new(&inc)
+        .with_executor(Executor::serial())
+        .rewrite(q, &starved);
+    assert_ne!(
+        tripped.termination,
+        Termination::Complete,
+        "200 steps must trip mid-relax (executed {})",
+        tripped.executed
+    );
+
+    let after = CoarseRewriter::new(&inc)
+        .with_executor(Executor::serial())
+        .rewrite(q, &RelaxConfig::default());
+    let reference = CoarseRewriter::new(&off)
+        .with_executor(Executor::serial())
+        .rewrite(q, &RelaxConfig::default());
+    assert_same_outcome(&after, &reference);
+}
+
+/// The MCS twin: a budget trip mid-traversal leaves no truncated
+/// cardinalities behind for the complete re-run to replay.
+#[test]
+fn budget_tripped_mcs_does_not_poison_the_cache() {
+    let (inc, off) = db_pair();
+    let q = &ldbc_failing_queries()[0];
+
+    let starved = McsConfig {
+        budget: Budget::steps(50),
+        ..McsConfig::default()
+    };
+    let tripped = DiscoverMcs::new(&inc)
+        .with_config(starved)
+        .run(q)
+        .expect("discover");
+    assert_ne!(tripped.termination, Termination::Complete);
+
+    let after = DiscoverMcs::new(&inc).run(q).expect("discover");
+    let reference = DiscoverMcs::new(&off).run(q).expect("discover");
+    assert_same_subgraph(&after, &reference);
+}

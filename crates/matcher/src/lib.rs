@@ -66,6 +66,7 @@
 pub mod budget;
 pub mod combine;
 pub mod compile;
+pub mod derive;
 pub mod engine;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
@@ -83,6 +84,7 @@ pub mod work;
 
 pub use budget::{Budget, CancelToken, Termination};
 pub use combine::{combine_components, FactorOdometer};
+pub use derive::derive_sibling;
 #[allow(deprecated)] // compatibility re-exports of the deprecated shims
 pub use engine::{count_matches, find_matches};
 pub use engine::{CompiledQuery, MatchOptions, Matcher};

@@ -172,6 +172,44 @@ impl Program {
     pub fn seed_vertex(&self) -> QVid {
         self.seed_vertex
     }
+
+    /// A copy of this program drawing its seed candidates from a
+    /// different source. The instruction stream and filter table are
+    /// shared verbatim — sound because seed selection never elides
+    /// filters, so any covering seed source yields identical results
+    /// (possibly at different cost). This is how a sibling plan derived
+    /// by [`crate::derive_sibling`] swaps in a seed spec rebuilt for the
+    /// changed predicate interval.
+    pub fn with_seed(&self, seed: SeedSpec) -> Program {
+        Program {
+            code: self.code.clone(),
+            filters: self.filters.clone(),
+            seed,
+            seed_vertex: self.seed_vertex,
+        }
+    }
+
+    /// Stable content fingerprint of this program (instructions, filter
+    /// table, seed source, seed vertex). Two programs with equal
+    /// fingerprints enumerate rows in the same order, so cached *row
+    /// lists* may only be replayed when fingerprints match — a derived
+    /// sibling program can legitimately order rows differently from a
+    /// fresh compile of the same query. Counts are order-independent and
+    /// do not need this check.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let repr = format!(
+            "{:?}|{:?}|{:?}|{:?}",
+            self.code, self.filters, self.seed, self.seed_vertex
+        );
+        let mut h = FNV_OFFSET;
+        for b in repr.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
 }
 
 /// The compiled bytecode of a whole query: one [`Program`] per weakly
@@ -192,6 +230,13 @@ impl QueryProgram {
         QueryProgram {
             components: ir.components.iter().map(compile_component).collect(),
         }
+    }
+
+    /// Assemble a program from per-component programs, in plan order.
+    /// Used by sibling-plan derivation to splice a patched component
+    /// program next to components shared verbatim with the parent plan.
+    pub fn from_components(components: Vec<Program>) -> QueryProgram {
+        QueryProgram { components }
     }
 
     /// Per-component programs, in plan order.

@@ -38,6 +38,7 @@
 pub mod analyze;
 pub mod builder;
 pub mod complex;
+pub mod delta;
 pub mod direction;
 pub mod interval;
 pub mod modification;
@@ -51,6 +52,7 @@ pub use analyze::{
 };
 pub use builder::QueryBuilder;
 pub use complex::ComplexOp;
+pub use delta::{component_signature, shape_hash, shape_signature, DeltaKind, QueryDelta};
 pub use direction::{Direction, DirectionSet};
 pub use interval::Interval;
 pub use modification::{GraphMod, ModError, ModKind, Receipt, Target};

@@ -29,14 +29,7 @@ impl PatternQuery {
     /// Collisions are possible; cache implementations must verify the full
     /// signature on a hash hit before serving a cached plan.
     pub fn signature_hash(&self) -> u64 {
-        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = FNV_OFFSET;
-        for b in self.signature().bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(FNV_PRIME);
-        }
-        h
+        fnv1a(&self.signature())
     }
 }
 
@@ -44,48 +37,106 @@ impl PatternQuery {
 pub fn signature(q: &PatternQuery) -> String {
     let mut out = String::new();
     for v in q.vertex_ids() {
-        let vx = q.vertex(v).expect("live");
-        let _ = write!(out, "V{}[", v.0);
-        let mut preds: Vec<String> = vx
-            .predicates
-            .iter()
-            .map(|p| format!("{}:{}", p.attr, interval_sig(&p.interval)))
-            .collect();
-        preds.sort();
-        preds.dedup();
-        out.push_str(&preds.join(","));
-        out.push(']');
+        write_vertex_sig(&mut out, q, v, false);
     }
     for e in q.edge_ids() {
-        let ed = q.edge(e).expect("live");
-        let _ = write!(
-            out,
-            "E{}({}->{})d{}{}t[",
-            e.0,
-            ed.src.0,
-            ed.dst.0,
-            u8::from(ed.directions.forward),
-            u8::from(ed.directions.backward)
-        );
-        let mut tys = ed.types.clone();
-        tys.sort();
-        tys.dedup();
-        out.push_str(&tys.join("|"));
-        out.push_str("]p[");
-        let mut preds: Vec<String> = ed
-            .predicates
-            .iter()
-            .map(|p| format!("{}:{}", p.attr, interval_sig(&p.interval)))
-            .collect();
-        preds.sort();
-        preds.dedup();
-        out.push_str(&preds.join(","));
-        out.push(']');
+        write_edge_sig(&mut out, q, e, false);
     }
     out
 }
 
-fn interval_sig(i: &Interval) -> String {
+/// Append the canonical signature block for one live vertex. With
+/// `blank_intervals` the interval *contents* are replaced by `*` while the
+/// attribute names stay — the shape-signature building block used by
+/// [`crate::delta`].
+pub(crate) fn write_vertex_sig(
+    out: &mut String,
+    q: &PatternQuery,
+    v: crate::query::QVid,
+    blank_intervals: bool,
+) {
+    let vx = q.vertex(v).expect("live");
+    let _ = write!(out, "V{}[", v.0);
+    let mut preds: Vec<String> = vx
+        .predicates
+        .iter()
+        .map(|p| {
+            format!(
+                "{}:{}",
+                p.attr,
+                pred_interval_sig(&p.interval, blank_intervals)
+            )
+        })
+        .collect();
+    preds.sort();
+    preds.dedup();
+    out.push_str(&preds.join(","));
+    out.push(']');
+}
+
+/// Append the canonical signature block for one live edge (see
+/// [`write_vertex_sig`] for `blank_intervals`).
+pub(crate) fn write_edge_sig(
+    out: &mut String,
+    q: &PatternQuery,
+    e: crate::query::QEid,
+    blank_intervals: bool,
+) {
+    let ed = q.edge(e).expect("live");
+    let _ = write!(
+        out,
+        "E{}({}->{})d{}{}t[",
+        e.0,
+        ed.src.0,
+        ed.dst.0,
+        u8::from(ed.directions.forward),
+        u8::from(ed.directions.backward)
+    );
+    let mut tys = ed.types.clone();
+    tys.sort();
+    tys.dedup();
+    out.push_str(&tys.join("|"));
+    out.push_str("]p[");
+    let mut preds: Vec<String> = ed
+        .predicates
+        .iter()
+        .map(|p| {
+            format!(
+                "{}:{}",
+                p.attr,
+                pred_interval_sig(&p.interval, blank_intervals)
+            )
+        })
+        .collect();
+    preds.sort();
+    preds.dedup();
+    out.push_str(&preds.join(","));
+    out.push(']');
+}
+
+fn pred_interval_sig(i: &Interval, blank: bool) -> String {
+    if blank {
+        "*".to_string()
+    } else {
+        interval_sig(i)
+    }
+}
+
+/// Stable FNV-1a hash of an arbitrary signature string.
+pub(crate) fn fnv1a(s: &str) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Canonical textual signature of one predicate interval — shared by the
+/// full-query signature and the per-element comparisons in [`crate::delta`].
+pub(crate) fn interval_sig(i: &Interval) -> String {
     match i {
         Interval::OneOf(vals) => {
             let mut parts: Vec<String> = vals.iter().map(|v| format!("{v}")).collect();

@@ -231,7 +231,7 @@ fn run_command(
                 g.num_edges()
             ))
         }
-        Command::Stats => Ok(shared.stats.snapshot().render()),
+        Command::Stats => Ok(shared.stats_snapshot().render()),
         // the out-of-band trip already happened in the reader; this reply
         // just keeps the pipeline ordered
         Command::Cancel => Ok("OK cancel".to_string()),

@@ -229,6 +229,15 @@ pub(crate) struct Shared {
 }
 
 impl Shared {
+    /// The full `STATS` surface: the server's own counters plus the
+    /// shared database's sibling-cache counters merged in.
+    pub(crate) fn stats_snapshot(&self) -> StatsSnapshot {
+        let sib = self.db.sibling_stats();
+        self.stats
+            .snapshot()
+            .with_sibling(sib.hits, sib.invalidations)
+    }
+
     pub(crate) fn is_running(&self) -> bool {
         self.state.load(Ordering::Acquire) == RUNNING
     }
@@ -320,9 +329,10 @@ impl Server {
         &self.shared.db
     }
 
-    /// A point-in-time copy of the observability counters.
+    /// A point-in-time copy of the observability counters (server
+    /// counters plus the database's sibling-cache counters).
     pub fn stats(&self) -> StatsSnapshot {
-        self.shared.stats.snapshot()
+        self.shared.stats_snapshot()
     }
 
     /// Request graceful shutdown without waiting (idempotent).

@@ -71,6 +71,10 @@ impl ServerStats {
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Acquire),
             open_connections: self.open_connections.load(Ordering::Acquire),
+            // engine-side counters; merged in by `Shared::stats_snapshot`
+            // via `StatsSnapshot::with_sibling`
+            sibling_hits: 0,
+            sibling_invalidations: 0,
         }
     }
 }
@@ -103,6 +107,12 @@ pub struct StatsSnapshot {
     pub queue_depth: u64,
     /// Gauge: currently open connections.
     pub open_connections: u64,
+    /// Component results replayed from the database's sibling cache
+    /// instead of re-executed (see `whyq_session::SiblingStats`).
+    pub sibling_hits: u64,
+    /// Component units a sibling's delta invalidated (re-executed while
+    /// the rest of their query replayed) plus generation-bump drops.
+    pub sibling_invalidations: u64,
 }
 
 impl StatsSnapshot {
@@ -121,6 +131,8 @@ impl StatsSnapshot {
             ("protocol_errors", self.protocol_errors),
             ("queue_depth", self.queue_depth),
             ("open_connections", self.open_connections),
+            ("sibling_hits", self.sibling_hits),
+            ("sibling_invalidations", self.sibling_invalidations),
         ]
     }
 
@@ -132,6 +144,17 @@ impl StatsSnapshot {
             let _ = write!(out, "\n{name}={value}");
         }
         out
+    }
+
+    /// This snapshot with the database's sibling-cache counters merged
+    /// in — the engine-side half of the `STATS` surface. The server's own
+    /// counters live in [`ServerStats`] atomics; the sibling counters
+    /// live in the shared `Database`, so the merge happens at render
+    /// time.
+    pub fn with_sibling(mut self, hits: u64, invalidations: u64) -> StatsSnapshot {
+        self.sibling_hits = hits;
+        self.sibling_invalidations = invalidations;
+        self
     }
 
     /// Rebuild a snapshot from parsed `STATS` counter lines (the client
@@ -153,6 +176,8 @@ impl StatsSnapshot {
                 "protocol_errors" => s.protocol_errors = *value,
                 "queue_depth" => s.queue_depth = *value,
                 "open_connections" => s.open_connections = *value,
+                "sibling_hits" => s.sibling_hits = *value,
+                "sibling_invalidations" => s.sibling_invalidations = *value,
                 _ => {}
             }
         }

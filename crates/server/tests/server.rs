@@ -251,3 +251,93 @@ fn dropped_connection_is_reaped() {
     );
     server.shutdown();
 }
+
+/// Two persons living in differently-typed places — the `city` and
+/// `town` query variants below each match exactly one of them.
+fn two_towns() -> PropertyGraph {
+    let mut g = PropertyGraph::new();
+    let p1 = g.add_vertex([("type", Value::str("person"))]);
+    let p2 = g.add_vertex([("type", Value::str("person"))]);
+    let x = g.add_vertex([("type", Value::str("city"))]);
+    let y = g.add_vertex([("type", Value::str("town"))]);
+    g.add_edge(p1, x, "livesIn", []);
+    g.add_edge(p2, y, "livesIn", []);
+    g
+}
+
+/// The batcher's gap: clients sending *sibling* signatures (same shape,
+/// one `OneOf` constant apart) used to recompile per variant. With the
+/// delta path, the second variant's plan is derived from the first —
+/// `compile_count` stays flat — and repeats replay from the sibling
+/// cache, observable through the new `STATS` counters.
+#[test]
+fn sibling_signatures_derive_one_plan_and_replay_from_the_sibling_cache() {
+    const LIVES_IN_CITY: &str = "(p:person)-[:livesIn]->(c:city)";
+    const LIVES_IN_TOWN: &str = "(p:person)-[:livesIn]->(c:town)";
+    let config = ServerConfig {
+        batch_window: Duration::from_millis(50),
+        ..ServerConfig::default()
+    };
+    let db = Arc::new(Database::open(two_towns()).unwrap());
+    let server = Server::start(Arc::clone(&db), config).unwrap();
+    let addr = server.local_addr();
+
+    // warm the parent plan so the sibling wave below can derive from it
+    let mut warm = Client::connect(addr).unwrap();
+    let reply = warm.query(LIVES_IN_CITY, None).unwrap();
+    assert_eq!(
+        (reply.termination, reply.rows.len()),
+        (TermTag::Complete, 1)
+    );
+    assert_eq!(db.compile_count(), 1);
+
+    // a concurrent wave mixing the parent signature and its one-constant
+    // sibling: the batcher coalesces the same-signature groups, and the
+    // sibling's plan is patched from the parent instead of compiled
+    const CLIENTS: usize = 4;
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let pattern = if i % 2 == 0 {
+                    LIVES_IN_CITY
+                } else {
+                    LIVES_IN_TOWN
+                };
+                let mut client = Client::connect(addr).unwrap();
+                barrier.wait();
+                client.query(pattern, None).unwrap()
+            })
+        })
+        .collect();
+    for worker in workers {
+        let reply = worker.join().unwrap();
+        assert_eq!(reply.termination, TermTag::Complete);
+        assert_eq!(reply.rows.len(), 1);
+    }
+
+    // the satellite acceptance: sibling signatures stay on one compile
+    assert_eq!(
+        db.compile_count(),
+        1,
+        "the one-OneOf-constant sibling must derive, not recompile"
+    );
+    let sib = db.sibling_stats();
+    assert!(sib.derived_plans >= 1, "sibling stats: {sib:?}");
+    assert!(
+        sib.hits >= 1,
+        "repeat executions replay from the sibling cache: {sib:?}"
+    );
+
+    // the counters are first-class wire surface, over TCP and in-process
+    let wire = warm.stats().unwrap();
+    let local = server.stats();
+    assert!(wire.sibling_hits >= 1, "STATS: {wire:?}");
+    assert_eq!(local.sibling_hits, db.sibling_stats().hits);
+    assert_eq!(
+        local.sibling_invalidations,
+        db.sibling_stats().invalidations
+    );
+    server.shutdown();
+}

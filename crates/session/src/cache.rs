@@ -168,6 +168,15 @@ impl PlanCache {
         (slot, false)
     }
 
+    /// The resident slot for `signature`, if any. Unlike [`PlanCache::probe`]
+    /// this never reserves a slot, never evicts, and touches no counters or
+    /// LRU state — it is the read-only lookup sibling-plan derivation uses
+    /// to consult a *parent* plan while filling a different signature's
+    /// slot, without perturbing the cache's behavior under observation.
+    pub fn peek(&self, signature: &str) -> Option<Arc<PlanSlot>> {
+        self.entries.get(signature).map(|e| Arc::clone(&e.slot))
+    }
+
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {

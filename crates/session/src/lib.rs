@@ -70,12 +70,15 @@
 pub mod cache;
 pub mod error;
 pub mod executor;
+pub mod sibling;
 
 pub use cache::{CacheStats, PlanCache};
 pub use error::WhyqError;
 pub use executor::{Executor, ParallelOpts, DEFAULT_MIN_SEEDS_PER_SPLIT};
+pub use sibling::SiblingStats;
 
 use cache::CachedPlan;
+use sibling::SiblingCache;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use whyq_graph::PropertyGraph;
@@ -84,7 +87,9 @@ use whyq_matcher::{
     SeedList, WorkUnit,
 };
 pub use whyq_matcher::{Budget, CancelToken, Termination};
-use whyq_query::{analyze_against, PatternQuery};
+use whyq_query::{
+    analyze_against, component_signature, shape_hash, DeltaKind, PatternQuery, QueryDelta,
+};
 pub use whyq_query::{AnalysisReport, Diagnostic, DiagnosticCode, Severity};
 
 /// A result produced under a [`Budget`], tagged with how the execution
@@ -129,6 +134,14 @@ pub struct DatabaseConfig {
     pub strict_indexes: bool,
     /// Capacity of the shared plan cache (entries). `0` disables caching.
     pub plan_cache_capacity: usize,
+    /// Capacity (entries) of the sibling result cache that replays
+    /// per-component results across relax-loop siblings, and gate for
+    /// sibling-plan derivation. `0` disables the whole sibling layer.
+    /// The `WHYQ_NO_SIBLING_CACHE` environment variable (any non-empty
+    /// value other than `0`, read at [`Database::open_with`]) force-
+    /// disables it regardless of this setting — CI uses it to keep the
+    /// non-incremental paths green.
+    pub sibling_cache_capacity: usize,
 }
 
 impl Default for DatabaseConfig {
@@ -137,6 +150,7 @@ impl Default for DatabaseConfig {
             index_attrs: vec!["type".to_string()],
             strict_indexes: false,
             plan_cache_capacity: 256,
+            sibling_cache_capacity: 1024,
         }
     }
 }
@@ -185,6 +199,13 @@ impl DatabaseConfig {
         self.plan_cache_capacity = capacity;
         self
     }
+
+    /// Override the sibling result cache capacity (`0` disables the
+    /// sibling layer: no result replay, no plan derivation).
+    pub fn sibling_cache_capacity(mut self, capacity: usize) -> Self {
+        self.sibling_cache_capacity = capacity;
+        self
+    }
 }
 
 /// An immutable, sealed property graph plus everything derived from it:
@@ -204,9 +225,15 @@ pub struct Database {
     /// mode makes this equal to `config.index_attrs`).
     built_attrs: Vec<String>,
     cache: Mutex<PlanCache>,
+    /// The sibling result cache + derivation-parent registry (see
+    /// [`mod@sibling`]). Disabled (capacity 0) it costs one branch per
+    /// execution.
+    siblings: Mutex<SiblingCache>,
     /// Number of plan compilations actually performed — under contention
     /// this stays equal to the number of distinct uncached signatures
     /// prepared (the compile-once guarantee of [`cache::PlanSlot`]).
+    /// Plans *derived* from a parent plan (single-interval siblings) do
+    /// not count: derivation is the point of not compiling.
     compiles: AtomicU64,
 }
 
@@ -264,12 +291,24 @@ impl Database {
             }
         }
         let cache = Mutex::new(PlanCache::new(config.plan_cache_capacity));
+        // CI and benchmarks force-disable the sibling layer to exercise
+        // the plain execution paths: any non-empty value but "0" wins
+        // over the configured capacity.
+        let env_disabled =
+            std::env::var("WHYQ_NO_SIBLING_CACHE").is_ok_and(|v| !v.is_empty() && v != "0");
+        let sibling_capacity = if env_disabled {
+            0
+        } else {
+            config.sibling_cache_capacity
+        };
+        let siblings = Mutex::new(SiblingCache::new(sibling_capacity));
         Ok(Database {
             g: graph,
             config,
             indexes,
             built_attrs,
             cache,
+            siblings,
             compiles: AtomicU64::new(0),
         })
     }
@@ -320,6 +359,27 @@ impl Database {
         self.compiles.load(Ordering::Relaxed)
     }
 
+    /// Counters of the sibling result cache (hits, invalidations,
+    /// derived plans, …). All zero while the layer is disabled.
+    pub fn sibling_stats(&self) -> SiblingStats {
+        self.lock_siblings().stats()
+    }
+
+    /// True when the sibling layer (result replay across relax siblings
+    /// plus sibling-plan derivation) is active — a nonzero configured
+    /// capacity not overridden by `WHYQ_NO_SIBLING_CACHE`.
+    pub fn sibling_cache_enabled(&self) -> bool {
+        self.lock_siblings().enabled()
+    }
+
+    /// Invalidate every memoized sibling result in O(1) by bumping the
+    /// store's generation (Bevy-tick style); entries inserted before the
+    /// bump are dropped lazily when next touched. Plans and the plan
+    /// cache are unaffected.
+    pub fn clear_sibling_cache(&self) {
+        self.lock_siblings().clear();
+    }
+
     /// Close the database, handing the graph back (e.g. to mutate and
     /// reopen). All plans ever cached die with the database.
     pub fn close(self) -> PropertyGraph {
@@ -340,6 +400,15 @@ impl Database {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
+    /// The sibling cache, recovering from lock poisoning for the same
+    /// reason as [`Database::lock_cache`]: every critical section is a
+    /// self-contained map/counter update with no multi-step invariant.
+    fn lock_siblings(&self) -> std::sync::MutexGuard<'_, SiblingCache> {
+        self.siblings
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Look up or build the cached plan for `q`. The cache lock is held
     /// only to probe-or-reserve the signature's slot — compilation (which
     /// samples the graph for selectivity estimates) runs outside it, so
@@ -350,7 +419,7 @@ impl Database {
     fn plan_for(&self, session: &Session<'_>, q: &PatternQuery) -> Arc<CachedPlan> {
         let sig = q.signature();
         let (slot, _hit) = self.lock_cache().probe(&sig);
-        slot.get_or_compile(|| {
+        let plan = slot.get_or_compile(|| {
             // static analysis runs between validation and compilation
             // (prepare → analyze → compile). A provably unsatisfiable
             // query is never compiled at all: no name resolution, no
@@ -362,6 +431,18 @@ impl Database {
                 return CachedPlan {
                     compiled: Arc::new(whyq_matcher::compile::Compiled::default()),
                     program: Arc::new(whyq_matcher::QueryProgram::default()),
+                    report: Arc::new(analysis.report),
+                    seed_lists: std::sync::OnceLock::new(),
+                };
+            }
+            // single-interval sibling of a recently prepared query? Patch
+            // the parent's resident plan instead of compiling — this is
+            // how the relax loop's interval rewrites and the server
+            // batcher's `OneOf` variants skip the whole compile pipeline.
+            if let Some((compiled, program)) = self.derive_plan(q) {
+                return CachedPlan {
+                    compiled: Arc::new(compiled),
+                    program: Arc::new(program),
                     report: Arc::new(analysis.report),
                     seed_lists: std::sync::OnceLock::new(),
                 };
@@ -378,7 +459,58 @@ impl Database {
                 report: Arc::new(analysis.report),
                 seed_lists: std::sync::OnceLock::new(),
             }
-        })
+        });
+        // remember satisfiable queries as derivation parents for future
+        // same-shape siblings (re-registering refreshes recency)
+        if !plan.program.is_empty() && self.sibling_cache_enabled() {
+            self.lock_siblings()
+                .register(shape_hash(q), sig, Arc::new(q.clone()));
+        }
+        plan
+    }
+
+    /// Try to derive `q`'s plan from a recently prepared same-shape
+    /// parent differing in exactly one predicate interval (see
+    /// [`whyq_matcher::derive_sibling`]). Consults the plan cache
+    /// read-only ([`PlanCache::peek`]); returns `None` when no parent
+    /// qualifies, falling back to a full compile.
+    fn derive_plan(
+        &self,
+        q: &PatternQuery,
+    ) -> Option<(whyq_matcher::compile::Compiled, whyq_matcher::QueryProgram)> {
+        if !self.sibling_cache_enabled() {
+            return None;
+        }
+        let parents = self.lock_siblings().parents_for(shape_hash(q));
+        for (parent_sig, parent_q) in parents {
+            let DeltaKind::SingleInterval { target, attr } = QueryDelta::between(&parent_q, q).kind
+            else {
+                continue;
+            };
+            // read-only peek: a parent still compiling (or evicted) is
+            // simply skipped
+            let Some(parent_plan) = self.lock_cache().peek(&parent_sig).and_then(|s| s.get())
+            else {
+                continue;
+            };
+            if parent_plan.program.is_empty() {
+                continue;
+            }
+            let Some(derived) = whyq_matcher::derive_sibling(
+                &self.g,
+                &self.indexes,
+                &parent_plan.compiled,
+                &parent_plan.program,
+                q,
+                target,
+                &attr,
+            ) else {
+                continue;
+            };
+            self.lock_siblings().note_derived();
+            return Some(derived);
+        }
+        None
     }
 }
 
@@ -605,6 +737,9 @@ impl<'db> PreparedQuery<'_, 'db> {
     /// components of a disconnected query it is a subset of the cartesian
     /// product) — the best-effort shape a serving layer degrades to.
     pub fn find_governed(&self, opts: MatchOptions) -> Governed<Vec<ResultGraph>> {
+        if let Some(governed) = self.find_incremental(&opts) {
+            return governed;
+        }
         let budget = opts.budget.clone();
         let value = self.session.matcher.find_compiled(
             &self.query,
@@ -667,6 +802,9 @@ impl<'db> PreparedQuery<'_, 'db> {
     /// # Ok::<(), whyq_session::WhyqError>(())
     /// ```
     pub fn count_governed(&self, opts: MatchOptions) -> Governed<u64> {
+        if let Some(governed) = self.count_incremental(&opts) {
+            return governed;
+        }
         let budget = opts.budget.clone();
         let value = self.session.matcher.count_compiled(
             &self.query,
@@ -678,6 +816,190 @@ impl<'db> PreparedQuery<'_, 'db> {
             value,
             termination: budget.termination(),
         }
+    }
+
+    /// The per-component seed lists and raw component vertex sets, when
+    /// the incremental (sibling-cache) path applies to this query:
+    /// sibling layer enabled, satisfiable program, and a component list
+    /// aligned with the program (one program per weakly-connected
+    /// component, in the same order — guaranteed by the planner, checked
+    /// defensively here).
+    fn incremental_parts(&self) -> Option<(Vec<Vec<whyq_query::QVid>>, &[SeedList])> {
+        let db = self.session.db;
+        if !db.sibling_cache_enabled() {
+            return None;
+        }
+        let program = &self.plan.program;
+        if self.query.num_vertices() == 0 || program.is_empty() {
+            return None;
+        }
+        let comps = self.query.weakly_connected_components();
+        if comps.len() != program.components().len() {
+            return None;
+        }
+        let seed_lists: &[SeedList] = self.plan.seed_lists.get_or_init(|| {
+            let matcher = &self.session.matcher;
+            program
+                .components()
+                .iter()
+                .map(|prog| matcher.seed_list_for(prog))
+                .collect()
+        });
+        Some((comps, seed_lists))
+    }
+
+    /// Incremental counting: replay memoized per-component counts from
+    /// the database's sibling cache and execute only the components the
+    /// sibling's delta invalidated, as whole-component [`WorkUnit`]s.
+    /// Mirrors [`whyq_matcher::Matcher::count_compiled`] exactly —
+    /// program-order evaluation, per-component cap at `opts.limit`,
+    /// early zero on an empty component, saturating product capped at the
+    /// limit — so the value is bit-identical to a full execution.
+    /// Only budget-complete unit results are inserted; replayed units
+    /// consume no budget (the governed value stays a valid lower bound).
+    /// Returns `None` when the sibling layer is disabled and the caller
+    /// should run the plain path.
+    fn count_incremental(&self, opts: &MatchOptions) -> Option<Governed<u64>> {
+        let (comps, seed_lists) = self.incremental_parts()?;
+        let db = self.session.db;
+        let budget = &opts.budget;
+        // mirror the engine: an already-tripped budget refuses up front
+        if budget.poll().is_err() {
+            return Some(Governed {
+                value: 0,
+                termination: budget.termination(),
+            });
+        }
+        let limit = opts.limit.map(|l| l as u64);
+        let mut replayed = 0u64;
+        let mut recomputed = 0u64;
+        let mut counts: Vec<u64> = Vec::with_capacity(comps.len());
+        let mut zero = false;
+        for (i, comp) in comps.iter().enumerate() {
+            let sig = component_signature(&self.query, comp);
+            let cached = db
+                .lock_siblings()
+                .lookup_count(&sig, opts.injective, opts.limit);
+            let c = match cached {
+                Some(c) => {
+                    replayed += 1;
+                    c
+                }
+                None => {
+                    recomputed += 1;
+                    let unit = WorkUnit::whole(i, &seed_lists[i]);
+                    let c = self.session.matcher.count_unit(
+                        &self.query,
+                        &self.plan.compiled,
+                        &self.plan.program,
+                        &unit,
+                        &seed_lists[i],
+                        opts.clone(),
+                    );
+                    // a tripped budget means `c` is a partial prefix —
+                    // caching it would replay a truncated answer as exact
+                    if budget.termination().is_complete() {
+                        db.lock_siblings()
+                            .insert_count(sig, opts.injective, opts.limit, c);
+                    }
+                    c
+                }
+            };
+            if c == 0 {
+                // a matchless component zeroes the product; later
+                // components never run (same as the serial engine)
+                zero = true;
+                break;
+            }
+            counts.push(c);
+        }
+        db.lock_siblings().finish_query(replayed, recomputed);
+        let value = if zero {
+            0
+        } else {
+            let total = counts.into_iter().fold(1u64, u64::saturating_mul);
+            match limit {
+                Some(l) => total.min(l),
+                None => total,
+            }
+        };
+        Some(Governed {
+            value,
+            termination: budget.termination(),
+        })
+    }
+
+    /// Incremental enumeration — the row twin of
+    /// [`PreparedQuery::count_incremental`]: memoized component rows are
+    /// replayed only when the executing program's fingerprint matches the
+    /// one that produced them (derived sibling programs may enumerate in
+    /// a different order than a fresh compile), then merged through the
+    /// same cartesian combiner as a full execution.
+    fn find_incremental(&self, opts: &MatchOptions) -> Option<Governed<Vec<ResultGraph>>> {
+        let (comps, seed_lists) = self.incremental_parts()?;
+        let db = self.session.db;
+        let budget = &opts.budget;
+        if budget.poll().is_err() {
+            return Some(Governed {
+                value: Vec::new(),
+                termination: budget.termination(),
+            });
+        }
+        let cap = opts.limit.unwrap_or(usize::MAX);
+        let mut replayed = 0u64;
+        let mut recomputed = 0u64;
+        let mut per_component: Vec<Vec<ResultGraph>> = Vec::with_capacity(comps.len());
+        let mut empty = false;
+        for (i, comp) in comps.iter().enumerate() {
+            let sig = component_signature(&self.query, comp);
+            let fingerprint = self.plan.program.components()[i].fingerprint();
+            let cached =
+                db.lock_siblings()
+                    .lookup_rows(&sig, opts.injective, opts.limit, fingerprint);
+            let rows = match cached {
+                Some(rows) => {
+                    replayed += 1;
+                    (*rows).clone()
+                }
+                None => {
+                    recomputed += 1;
+                    let unit = WorkUnit::whole(i, &seed_lists[i]);
+                    let rows = self.session.matcher.find_unit(
+                        &self.query,
+                        &self.plan.compiled,
+                        &self.plan.program,
+                        &unit,
+                        &seed_lists[i],
+                        opts.clone(),
+                    );
+                    if budget.termination().is_complete() {
+                        db.lock_siblings().insert_rows(
+                            sig,
+                            opts.injective,
+                            opts.limit,
+                            fingerprint,
+                            Arc::new(rows.clone()),
+                        );
+                    }
+                    rows
+                }
+            };
+            if rows.is_empty() {
+                empty = true;
+                break;
+            }
+            per_component.push(rows);
+        }
+        db.lock_siblings().finish_query(replayed, recomputed);
+        let value = if empty {
+            Vec::new()
+        } else {
+            combine_components(per_component, cap)
+        };
+        Some(Governed {
+            value,
+            termination: budget.termination(),
+        })
     }
 
     /// Enumerate all result graphs (injective) across the threads of the

@@ -1,0 +1,429 @@
+//! The sibling result cache: delta-driven reuse of per-component results
+//! across relax-loop siblings.
+//!
+//! The relax loop (§6.3.1) and the MCS probes evaluate hundreds of
+//! near-identical queries. The plan cache already removes the *compile*
+//! share; this store removes the *execution* share that survives it:
+//! every evaluated query's per-component outputs (counts, and — when
+//! worth it — materialized rows) are memoized under the component's
+//! canonical [`whyq_query::component_signature`]. A sibling derived by
+//! removing an edge or vertex splits into components, most of which are
+//! byte-identical to a component some earlier sibling already executed —
+//! those units replay from here, and only the component the modification
+//! touched re-runs. The merged answer goes through the same cartesian
+//! combiner as a full execution, so the replayed result is exactly the
+//! full-execution result (property-tested in `tests/sibling.rs`).
+//!
+//! ## Generation stamping
+//!
+//! In the style of Bevy ECS's tick-stamped change detection, every entry
+//! is stamped with the store's `generation` at insert. `SiblingCache::clear`
+//! bumps the generation in O(1) instead of walking the map: a later
+//! lookup that finds an entry from an older generation treats it as
+//! *invalidated* — it is dropped, counted in
+//! [`SiblingStats::invalidations`], and recomputed. The graph itself is
+//! immutable for the database's lifetime, so generations only move when a
+//! caller explicitly clears (benchmarks, tests, future mutation support).
+//!
+//! ## What is — and is not — cached
+//!
+//! Only results computed to completion are inserted: a unit whose
+//! [`whyq_matcher::Budget`] tripped mid-run produced a *partial* count or
+//! row prefix, and caching it would replay a truncated answer as if it
+//! were exact. Callers enforce this by checking the budget's termination
+//! after computing each unit (see `PreparedQuery::count_governed`).
+//! Replays themselves consume no budget — a governed run that reuses
+//! cached units can therefore legitimately return *more* than an
+//! identically-budgeted cold run; the governed contract (the value is a
+//! lower bound of the exact answer unless tagged `Complete`) is
+//! unaffected.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use whyq_matcher::ResultGraph;
+use whyq_query::PatternQuery;
+
+/// Bound on how many recently-prepared queries are remembered as
+/// potential derivation parents (see `SiblingCache::register`).
+const REGISTRY_CAPACITY: usize = 128;
+
+/// Cache key for one component's memoized result. Everything that can
+/// change the per-component output is part of the key:
+/// the component's canonical signature (raw element ids — stable across
+/// relax siblings), the injectivity mode, the per-component result cap,
+/// and — for row entries only — the executing program's fingerprint
+/// (derived sibling programs may enumerate rows in a different order
+/// than a fresh compile; counts are order-independent).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CompKey {
+    sig: String,
+    injective: bool,
+    limit: Option<usize>,
+    /// `None` for count entries; `Some(program fingerprint)` for rows.
+    fingerprint: Option<u64>,
+}
+
+#[derive(Debug, Clone)]
+enum CompValue {
+    Count(u64),
+    Rows(Arc<Vec<ResultGraph>>),
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: CompValue,
+    /// Generation stamp at insert; a lookup from a later generation
+    /// invalidates the entry.
+    generation: u64,
+    /// Logical timestamp of the last hit or insertion (LRU victim pick).
+    last_used: u64,
+}
+
+/// A recently prepared satisfiable query, remembered as a candidate
+/// parent for sibling-plan derivation.
+#[derive(Debug, Clone)]
+struct RegEntry {
+    shape: u64,
+    sig: String,
+    query: Arc<PatternQuery>,
+}
+
+/// Point-in-time counters of the sibling cache (see
+/// [`crate::Database::sibling_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiblingStats {
+    /// Component results replayed from the cache instead of re-executed.
+    pub hits: u64,
+    /// Component units that had to (re-)execute while the rest of their
+    /// query replayed — the units a sibling's delta invalidated — plus
+    /// entries dropped by a generation bump.
+    pub invalidations: u64,
+    /// Complete component results inserted.
+    pub insertions: u64,
+    /// Entries evicted by the LRU capacity bound.
+    pub evictions: u64,
+    /// Plans derived from a parent plan instead of compiled
+    /// (single-interval siblings; see `whyq_matcher::derive_sibling`).
+    pub derived_plans: u64,
+    /// Entries currently resident (stale generations included until
+    /// they are lazily dropped).
+    pub len: usize,
+    /// Configured capacity (0 = the sibling layer is disabled).
+    pub capacity: usize,
+}
+
+/// Bounded, generation-stamped store of per-component results plus the
+/// recent-query registry that seeds sibling-plan derivation. Owned by the
+/// `Database` behind one mutex; all methods are O(1) amortized except
+/// eviction's LRU scan.
+#[derive(Debug)]
+pub(crate) struct SiblingCache {
+    capacity: usize,
+    generation: u64,
+    tick: u64,
+    hits: u64,
+    invalidations: u64,
+    insertions: u64,
+    evictions: u64,
+    derived_plans: u64,
+    entries: HashMap<CompKey, Entry>,
+    registry: VecDeque<RegEntry>,
+}
+
+impl SiblingCache {
+    pub(crate) fn new(capacity: usize) -> Self {
+        SiblingCache {
+            capacity,
+            generation: 0,
+            tick: 0,
+            hits: 0,
+            invalidations: 0,
+            insertions: 0,
+            evictions: 0,
+            derived_plans: 0,
+            entries: HashMap::new(),
+            registry: VecDeque::new(),
+        }
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Replay a memoized component count, if present and current.
+    pub(crate) fn lookup_count(
+        &mut self,
+        sig: &str,
+        injective: bool,
+        limit: Option<usize>,
+    ) -> Option<u64> {
+        let key = CompKey {
+            sig: sig.to_owned(),
+            injective,
+            limit,
+            fingerprint: None,
+        };
+        match self.lookup(&key)? {
+            CompValue::Count(c) => Some(c),
+            CompValue::Rows(_) => None,
+        }
+    }
+
+    /// Replay memoized component rows, if present, current, and produced
+    /// by a program with the same fingerprint (row order is part of the
+    /// contract).
+    pub(crate) fn lookup_rows(
+        &mut self,
+        sig: &str,
+        injective: bool,
+        limit: Option<usize>,
+        fingerprint: u64,
+    ) -> Option<Arc<Vec<ResultGraph>>> {
+        let key = CompKey {
+            sig: sig.to_owned(),
+            injective,
+            limit,
+            fingerprint: Some(fingerprint),
+        };
+        match self.lookup(&key)? {
+            CompValue::Rows(rows) => Some(rows),
+            CompValue::Count(_) => None,
+        }
+    }
+
+    fn lookup(&mut self, key: &CompKey) -> Option<CompValue> {
+        let entry = self.entries.get_mut(key)?;
+        if entry.generation != self.generation {
+            // stale generation: the entry predates a clear — drop it and
+            // count the forced recomputation as an invalidation
+            self.entries.remove(key);
+            self.invalidations += 1;
+            return None;
+        }
+        self.tick += 1;
+        entry.last_used = self.tick;
+        self.hits += 1;
+        Some(entry.value.clone())
+    }
+
+    /// Memoize a *complete* component count. Callers must never insert a
+    /// value computed under a tripped budget.
+    pub(crate) fn insert_count(
+        &mut self,
+        sig: String,
+        injective: bool,
+        limit: Option<usize>,
+        count: u64,
+    ) {
+        self.insert(
+            CompKey {
+                sig,
+                injective,
+                limit,
+                fingerprint: None,
+            },
+            CompValue::Count(count),
+        );
+    }
+
+    /// Memoize *complete* component rows under the producing program's
+    /// fingerprint.
+    pub(crate) fn insert_rows(
+        &mut self,
+        sig: String,
+        injective: bool,
+        limit: Option<usize>,
+        fingerprint: u64,
+        rows: Arc<Vec<ResultGraph>>,
+    ) {
+        self.insert(
+            CompKey {
+                sig,
+                injective,
+                limit,
+                fingerprint: Some(fingerprint),
+            },
+            CompValue::Rows(rows),
+        );
+    }
+
+    fn insert(&mut self, key: CompKey, value: CompValue) {
+        if self.capacity == 0 {
+            return;
+        }
+        while self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| (e.generation == self.generation, e.last_used))
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    self.entries.remove(&k);
+                    self.evictions += 1;
+                }
+                None => break,
+            }
+        }
+        self.tick += 1;
+        self.insertions += 1;
+        self.entries.insert(
+            key,
+            Entry {
+                value,
+                generation: self.generation,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Count the cross-component bookkeeping of one incremental query:
+    /// units that re-executed while at least one sibling unit replayed
+    /// are exactly the units the query's delta invalidated.
+    pub(crate) fn finish_query(&mut self, replayed: u64, recomputed: u64) {
+        if replayed > 0 {
+            self.invalidations += recomputed;
+        }
+    }
+
+    /// Record a sibling-plan derivation (plan patched, not compiled).
+    pub(crate) fn note_derived(&mut self) {
+        self.derived_plans += 1;
+    }
+
+    /// Invalidate every memoized result in O(1) by bumping the
+    /// generation; stale entries are dropped lazily on next touch.
+    pub(crate) fn clear(&mut self) {
+        self.generation += 1;
+    }
+
+    /// Remember `q` (already prepared, satisfiable) as a candidate parent
+    /// for sibling-plan derivation, newest last. Re-registering a known
+    /// signature refreshes its position.
+    pub(crate) fn register(&mut self, shape: u64, sig: String, query: Arc<PatternQuery>) {
+        if !self.enabled() {
+            return;
+        }
+        if let Some(pos) = self.registry.iter().position(|e| e.sig == sig) {
+            let e = self.registry.remove(pos).expect("position is valid");
+            self.registry.push_back(e);
+            return;
+        }
+        self.registry.push_back(RegEntry { shape, sig, query });
+        while self.registry.len() > REGISTRY_CAPACITY {
+            self.registry.pop_front();
+        }
+    }
+
+    /// Recently registered queries with the given shape hash, newest
+    /// first — the candidate parents a plan-cache miss tries to derive
+    /// from.
+    pub(crate) fn parents_for(&self, shape: u64) -> Vec<(String, Arc<PatternQuery>)> {
+        self.registry
+            .iter()
+            .rev()
+            .filter(|e| e.shape == shape)
+            .map(|e| (e.sig.clone(), Arc::clone(&e.query)))
+            .collect()
+    }
+
+    /// Current counters.
+    pub(crate) fn stats(&self) -> SiblingStats {
+        SiblingStats {
+            hits: self.hits,
+            invalidations: self.invalidations,
+            insertions: self.insertions,
+            evictions: self.evictions,
+            derived_plans: self.derived_plans,
+            len: self.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_entries_round_trip_and_track_counters() {
+        let mut c = SiblingCache::new(4);
+        assert!(c.enabled());
+        assert_eq!(c.lookup_count("a", true, None), None);
+        c.insert_count("a".into(), true, None, 7);
+        assert_eq!(c.lookup_count("a", true, None), Some(7));
+        // every result-affecting dimension is part of the key
+        assert_eq!(c.lookup_count("a", false, None), None);
+        assert_eq!(c.lookup_count("a", true, Some(3)), None);
+        let s = c.stats();
+        assert_eq!((s.hits, s.insertions), (1, 1));
+    }
+
+    #[test]
+    fn rows_require_matching_fingerprint() {
+        let mut c = SiblingCache::new(4);
+        c.insert_rows("a".into(), true, None, 42, Arc::new(Vec::new()));
+        assert!(c.lookup_rows("a", true, None, 42).is_some());
+        assert!(c.lookup_rows("a", true, None, 43).is_none());
+        // count lookups never alias row entries
+        assert_eq!(c.lookup_count("a", true, None), None);
+    }
+
+    #[test]
+    fn clear_bumps_generation_and_counts_invalidations() {
+        let mut c = SiblingCache::new(4);
+        c.insert_count("a".into(), true, None, 7);
+        c.clear();
+        assert_eq!(c.lookup_count("a", true, None), None);
+        assert_eq!(c.stats().invalidations, 1);
+        // re-inserting under the new generation works
+        c.insert_count("a".into(), true, None, 7);
+        assert_eq!(c.lookup_count("a", true, None), Some(7));
+    }
+
+    #[test]
+    fn capacity_bound_evicts_lru_and_zero_disables() {
+        let mut c = SiblingCache::new(2);
+        c.insert_count("a".into(), true, None, 1);
+        c.insert_count("b".into(), true, None, 2);
+        assert_eq!(c.lookup_count("a", true, None), Some(1)); // refresh a
+        c.insert_count("c".into(), true, None, 3);
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.lookup_count("b", true, None), None, "LRU victim");
+        assert_eq!(c.lookup_count("a", true, None), Some(1));
+
+        let mut off = SiblingCache::new(0);
+        assert!(!off.enabled());
+        off.insert_count("a".into(), true, None, 1);
+        assert_eq!(off.lookup_count("a", true, None), None);
+        assert_eq!(off.stats().len, 0);
+    }
+
+    #[test]
+    fn registry_is_shape_filtered_newest_first_and_bounded() {
+        let mut c = SiblingCache::new(4);
+        let q = Arc::new(PatternQuery::new());
+        c.register(1, "s1".into(), Arc::clone(&q));
+        c.register(2, "s2".into(), Arc::clone(&q));
+        c.register(1, "s3".into(), Arc::clone(&q));
+        let parents: Vec<String> = c.parents_for(1).into_iter().map(|(s, _)| s).collect();
+        assert_eq!(parents, ["s3", "s1"]);
+        // re-registering refreshes, not duplicates
+        c.register(1, "s1".into(), Arc::clone(&q));
+        let parents: Vec<String> = c.parents_for(1).into_iter().map(|(s, _)| s).collect();
+        assert_eq!(parents, ["s1", "s3"]);
+        for i in 0..(REGISTRY_CAPACITY + 10) {
+            c.register(9, format!("x{i}"), Arc::clone(&q));
+        }
+        assert!(c.parents_for(9).len() <= REGISTRY_CAPACITY);
+    }
+
+    #[test]
+    fn partial_reuse_counts_invalidations() {
+        let mut c = SiblingCache::new(8);
+        c.finish_query(0, 3); // cold query: misses are not invalidations
+        assert_eq!(c.stats().invalidations, 0);
+        c.finish_query(2, 1); // one unit re-ran while two replayed
+        assert_eq!(c.stats().invalidations, 1);
+    }
+}
